@@ -1,0 +1,107 @@
+// Figure 10: vw-greedy demonstrated on a synthetic scenario with three
+// non-stationary flavors — flavor 1 best at the start and end, flavor 2
+// best in the middle. The adaptive trace must hug the minimum envelope,
+// with small exploration spikes. Parameters (1024, 256, 32) as in the
+// paper's demo.
+#include <vector>
+
+#include "adapt/bandit.h"
+#include "adapt/trace_sim.h"
+#include "bench_util.h"
+
+namespace ma {
+namespace {
+
+void Run() {
+  constexpr u64 kCalls = 96 * 1024;
+  constexpr u64 kTuples = 1000;
+  // Three flavors with phase-dependent costs (cycles/tuple).
+  auto cost_of = [](int flavor, u64 t) -> f64 {
+    const f64 p = static_cast<f64>(t) / kCalls;
+    const bool middle = (p >= 0.33 && p < 0.66);
+    switch (flavor) {
+      case 0:  // best at start and end
+        return middle ? 6.5 : 5.0;
+      case 1:  // best in the middle
+        return middle ? 5.2 : 6.0;
+      default:  // never best
+        return 7.0;
+    }
+  };
+
+  InstanceTrace trace;
+  trace.label = "demo";
+  trace.tuples.assign(kCalls, kTuples);
+  trace.cost.assign(3, std::vector<u64>(kCalls));
+  Rng rng(2);
+  for (u64 t = 0; t < kCalls; ++t) {
+    for (int f = 0; f < 3; ++f) {
+      const f64 noise = 1.0 + (rng.NextDouble() - 0.5) * 0.04;
+      trace.cost[f][t] =
+          static_cast<u64>(cost_of(f, t) * kTuples * noise);
+    }
+  }
+
+  PolicyParams params;
+  params.explore_period = 1024;
+  params.exploit_period = 256;
+  params.explore_length = 32;
+  VwGreedyPolicy policy(3, params);
+
+  // Replay, recording the adaptive per-call cost into an APH-like
+  // 64-bucket series alongside the three fixed flavors.
+  constexpr size_t kBuckets = 64;
+  const u64 per_bucket = kCalls / kBuckets;
+  std::vector<std::vector<u64>> series(4, std::vector<u64>(kBuckets, 0));
+  for (u64 t = 0; t < kCalls; ++t) {
+    const int f = policy.Choose();
+    const u64 c = trace.cost[f][t];
+    policy.Update(kTuples, c);
+    const size_t b = std::min(kBuckets - 1, t / per_bucket);
+    series[3][b] += c;
+    for (int k = 0; k < 3; ++k) series[k][b] += trace.cost[k][t];
+  }
+
+  bench::PrintHeader(
+      "Figure 10: vw-greedy(1024,256,32) on 3 non-stationary flavors",
+      "Cost in cycles/tuple per ~1.5K-call bucket. 'adaptive' should "
+      "track min(flavor1..3) with small exploration overhead.");
+  std::printf("%8s %9s %9s %9s %9s\n", "call#", "flavor1", "flavor2",
+              "flavor3", "adaptive");
+  for (size_t b = 0; b < kBuckets; ++b) {
+    const f64 div = static_cast<f64>(per_bucket) * kTuples;
+    std::printf("%8llu %9.2f %9.2f %9.2f %9.2f\n",
+                static_cast<unsigned long long>((b + 1) * per_bucket),
+                series[0][b] / div, series[1][b] / div, series[2][b] / div,
+                series[3][b] / div);
+  }
+
+  const u64 adaptive_total = TraceSimulator::Replay(
+      trace, [] {
+        PolicyParams p;
+        p.explore_period = 1024;
+        p.exploit_period = 256;
+        p.explore_length = 32;
+        static VwGreedyPolicy policy(3, p);
+        policy.Reset();
+        return &policy;
+      }());
+  std::printf("\ntotals (cycles): flavor1=%llu flavor2=%llu flavor3=%llu "
+              "adaptive=%llu OPT=%llu\n",
+              static_cast<unsigned long long>(trace.FlavorCycles(0)),
+              static_cast<unsigned long long>(trace.FlavorCycles(1)),
+              static_cast<unsigned long long>(trace.FlavorCycles(2)),
+              static_cast<unsigned long long>(adaptive_total),
+              static_cast<unsigned long long>(trace.OptCycles()));
+  std::printf(
+      "Expected (paper): adaptive consistently covers the minimum of the\n"
+      "flavor curves, switching to flavor 2 in the middle segment.\n");
+}
+
+}  // namespace
+}  // namespace ma
+
+int main() {
+  ma::Run();
+  return 0;
+}

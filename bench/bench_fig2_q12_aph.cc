@@ -1,0 +1,92 @@
+// Figure 2: (No-)Branching selection cost during TPC-H Q12's lifetime.
+// The selection runs at ~100% selectivity for most of the query, then
+// the pass rate collapses toward 0% at the end (date-clustered data):
+// branching degrades hard in the falling region while no-branching stays
+// flat — the motivating example for Micro Adaptivity.
+#include <vector>
+
+#include "adapt/aph.h"
+#include <cmath>
+
+#include "bench_util.h"
+#include "prim/sel_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+void Run() {
+  constexpr size_t kVec = 1024;
+  constexpr size_t kCalls = 16384;
+
+  // Build a date-like column with Q12's phase structure: within the
+  // receipt-date window for ~90% of the query, then a border region
+  // where the pass rate decays to zero (data locality on dates).
+  Rng rng(7);
+  std::vector<std::vector<i32>> vectors(kCalls, std::vector<i32>(kVec));
+  for (size_t call = 0; call < kCalls; ++call) {
+    f64 pass_rate;
+    const f64 progress = static_cast<f64>(call) / kCalls;
+    if (progress < 0.88) {
+      pass_rate = 1.0;
+    } else {
+      pass_rate = std::max(0.0, 1.0 - (progress - 0.88) / 0.10);
+    }
+    for (auto& v : vectors[call]) {
+      v = rng.NextBool(pass_rate) ? 100 : 9999;  // pred: v < 1000
+    }
+  }
+
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find("sel_lt_i32_col_i32_val");
+  const i32 bound = 1000;
+
+  bench::PrintHeader(
+      "Figure 2: (No-)Branching cost across Q12-like query lifetime",
+      "16384 calls; selectivity 100% for ~88% of the query, then "
+      "decaying to 0%. APHs of 64 buckets (avg cycles/tuple).");
+
+  std::vector<Aph> aphs;
+  std::vector<std::string> names;
+  for (const char* flavor : {"branching", "nobranching"}) {
+    const int f = entry->FindFlavor(flavor);
+    MA_CHECK(f >= 0);
+    Aph aph(64);
+    std::vector<sel_t> out(kVec);
+    for (size_t call = 0; call < kCalls; ++call) {
+      PrimCall c;
+      c.n = kVec;
+      c.res_sel = out.data();
+      c.in1 = vectors[call].data();
+      c.in2 = &bound;
+      const u64 t0 = CycleClock::Now();
+      entry->flavors[f].fn(c);
+      aph.Add(kVec, CycleClock::Now() - t0);
+    }
+    aphs.push_back(std::move(aph));
+    names.push_back(flavor);
+  }
+
+  std::printf("%10s %12s %14s\n", "call#", "branching", "no-branching");
+  const auto& b0 = aphs[0].buckets();
+  const auto& b1 = aphs[1].buckets();
+  u64 call_no = 0;
+  for (size_t i = 0; i < std::min(b0.size(), b1.size()); ++i) {
+    call_no += b0[i].calls;
+    std::printf("%10llu %12.2f %14.2f\n",
+                static_cast<unsigned long long>(call_no),
+                b0[i].CostPerTuple(), b1[i].CostPerTuple());
+  }
+  std::printf(
+      "\nExpected shape (paper): branching ~20%% cheaper during the 100%%\n"
+      "plateau, then spiking several-fold in the border region where\n"
+      "no-branching stays flat.\n");
+}
+
+}  // namespace
+}  // namespace ma
+
+int main() {
+  ma::Run();
+  return 0;
+}

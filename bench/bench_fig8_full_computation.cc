@@ -1,0 +1,69 @@
+// Figure 8: full-computation speedup for map_mul as a function of the
+// input selection density, for 16/32/64-bit integer multiplication.
+// Selective computation does work proportional to the live tuples but
+// cannot be SIMD-ized; full computation does all the work at SIMD speed.
+// speedup = selective_cost / full_cost (per call, same live tuples).
+#include <vector>
+
+#include "adapt/machine_sim.h"
+#include "bench_util.h"
+#include "prim/map_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+template <typename T>
+f64 SpeedupAt(f64 density, Rng* rng) {
+  constexpr size_t kN = 1024;
+  std::vector<T> a(kN), b(kN), res(kN);
+  for (auto& v : a) v = static_cast<T>(rng->NextRange(-100, 100));
+  for (auto& v : b) v = static_cast<T>(rng->NextRange(-100, 100));
+  std::vector<sel_t> sel = bench::MakeSel(kN, density, rng);
+  if (sel.empty()) sel.push_back(0);
+  PrimCall c;
+  c.n = kN;
+  c.res = res.data();
+  c.in1 = a.data();
+  c.in2 = b.data();
+  c.sel = sel.data();
+  c.sel_n = sel.size();
+  const f64 selective = bench::MeasureCyclesPerTuple(
+      &map_detail::MapSelective<T, OpMul, false>, c, sel.size(), 201);
+  const f64 full = bench::MeasureCyclesPerTuple(
+      &map_detail::MapFull<T, OpMul, false>, c, sel.size(), 201);
+  return selective / full;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 8: map_mul full-computation speedup vs input selectivity",
+      "speedup = selective cycles / full-computation cycles at equal "
+      "live-tuple counts; >1 means ignoring the selection vector wins.");
+  std::printf("%12s %10s %10s %10s | model(int) M1..M4\n", "selectivity%",
+              "mul_i16", "mul_i32", "mul_i64");
+  Rng rng(11);
+  const auto machines = PaperMachines();
+  for (int pct = 5; pct <= 100; pct += 5) {
+    const f64 density = pct / 100.0;
+    std::printf("%12d %10.2f %10.2f %10.2f |", pct,
+                SpeedupAt<i16>(density, &rng), SpeedupAt<i32>(density, &rng),
+                SpeedupAt<i64>(density, &rng));
+    for (const auto& m : machines) {
+      std::printf(" %5.2f", PredictFullComputeSpeedup(m, density, 4));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected (paper): speedup grows with selectivity; narrow types\n"
+      "(i16) benefit earliest and strongest, i64 the least; the\n"
+      "cross-over selectivity is machine-dependent (30%% vs 80%%).\n");
+}
+
+}  // namespace
+}  // namespace ma
+
+int main() {
+  ma::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 4: hand unrolling vs compiler optimization for map_mul (dense
+// i32 multiply, cycles/tuple). The paper crosses hand-unroll {8, off}
+// with compiler {SIMD, unroll} flags; here the "compiler" axis is our
+// per-TU optimization regimes (gcc-style auto-vectorized / icc-style
+// unrolled / clang-style plain), and the hand-unroll axis is the
+// template variant.
+#include <vector>
+
+#include "bench_util.h"
+#include "prim/map_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+void Run() {
+  constexpr size_t kN = 1024;
+  Rng rng(3);
+  std::vector<i32> a(kN), b(kN), res(kN);
+  for (auto& v : a) v = static_cast<i32>(rng.NextRange(-100, 100));
+  for (auto& v : b) v = static_cast<i32>(rng.NextRange(-100, 100));
+  PrimCall c;
+  c.n = kN;
+  c.res = res.data();
+  c.in1 = a.data();
+  c.in2 = b.data();
+
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find("map_mul_i32_col_i32_col");
+  MA_CHECK(entry != nullptr);
+
+  bench::PrintHeader(
+      "Table 4: map_mul hand vs compiler unrolling (cycles/tuple)",
+      "Dense 1024x i32 multiply. Rows marked 'hand unroll 8' suppress "
+      "compiler auto-vectorization, as in the paper.");
+  std::printf("%-34s %14s\n", "flavor", "cycles/tuple");
+  struct Row {
+    const char* flavor;
+    const char* note;
+  };
+  const Row rows[] = {
+      {"default", "hand unroll 8 (ships by default)"},
+      {"nounroll", "plain loop, -O3 auto-vectorized"},
+      {"gcc", "compiler-style: vectorize+unroll"},
+      {"icc", "compiler-style: unroll8, no SIMD"},
+      {"clang", "compiler-style: plain, no SIMD"},
+  };
+  for (const Row& row : rows) {
+    const int f = entry->FindFlavor(row.flavor);
+    MA_CHECK(f >= 0);
+    const f64 cpt =
+        bench::MeasureCyclesPerTuple(entry->flavors[f].fn, c, kN, 501);
+    std::printf("%-10s %-34s %6.3f\n", row.flavor, row.note, cpt);
+  }
+  std::printf(
+      "\nExpected (paper Table 4): the auto-vectorized plain loop beats\n"
+      "hand-unrolled variants on SIMD-friendly machines; hand unrolling\n"
+      "wins where vectorization is unavailable. No single best exists.\n");
+}
+
+}  // namespace
+}  // namespace ma
+
+int main() {
+  ma::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Table 5: multi-armed-bandit algorithms scored against OPT on a
+// TPC-H-profile-like trace workload (300+ primitive instances, 16K-32K
+// calls each, 3 "compiler" flavors). Absolute/OPT weights instances by
+// their cycle volume; Relative/OPT averages per-instance factors.
+#include <algorithm>
+#include <vector>
+
+#include "adapt/trace_sim.h"
+#include "bench_util.h"
+
+namespace ma {
+namespace {
+
+struct Config {
+  std::string name;
+  PolicyKind kind;
+  PolicyParams params;
+};
+
+void Run() {
+  SyntheticTraceOptions opt;
+  opt.num_instances = 300;
+  opt.num_flavors = 3;
+  TraceSimulator sim;
+  for (auto& t : MakeSyntheticTraces(opt)) sim.AddTrace(std::move(t));
+
+  auto vw = [](u64 explore, u64 exploit, u64 len) {
+    PolicyParams p;
+    p.explore_period = explore;
+    p.exploit_period = exploit;
+    p.explore_length = len;
+    return Config{"vw-greedy(" + std::to_string(explore) + "," +
+                      std::to_string(exploit) + "," + std::to_string(len) +
+                      ")",
+                  PolicyKind::kVwGreedy, p};
+  };
+  auto eps = [](PolicyKind kind, const char* name, f64 e) {
+    PolicyParams p;
+    p.eps = e;
+    p.horizon = 24 * 1024;
+    return Config{std::string(name) + "(" + std::to_string(e) + ")", kind,
+                  p};
+  };
+
+  std::vector<Config> configs = {
+      vw(1024, 8, 2),
+      vw(2048, 8, 1),
+      vw(2048, 8, 2),
+      vw(1024, 256, 32),
+      eps(PolicyKind::kEpsFirst, "eps-first", 0.001),
+      eps(PolicyKind::kEpsFirst, "eps-first", 0.05),
+      eps(PolicyKind::kEpsFirst, "eps-first", 0.1),
+      eps(PolicyKind::kEpsGreedy, "eps-greedy", 0.001),
+      eps(PolicyKind::kEpsGreedy, "eps-greedy", 0.05),
+      eps(PolicyKind::kEpsGreedy, "eps-greedy", 0.1),
+      eps(PolicyKind::kEpsDecreasing, "eps-decreasing", 1.0),
+      eps(PolicyKind::kEpsDecreasing, "eps-decreasing", 0.1),
+      eps(PolicyKind::kEpsDecreasing, "eps-decreasing", 5.0),
+  };
+
+  struct Row {
+    std::string name;
+    TraceScore score;
+  };
+  std::vector<Row> rows;
+  for (const Config& cfg : configs) {
+    rows.push_back({cfg.name, sim.Evaluate(cfg.kind, cfg.params)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.score.average() < b.score.average();
+  });
+
+  bench::PrintHeader(
+      "Table 5: MAB algorithms as factors of OPT (lower is better)",
+      "300 synthetic primitive-instance traces, 16K-32K calls, 3 flavors "
+      "with occasional mid-query cross-overs.");
+  std::printf("%-26s %14s %14s %10s\n", "algorithm", "Absolute/OPT",
+              "Relative/OPT", "Average");
+  for (const Row& row : rows) {
+    std::printf("%-26s %14.3f %14.3f %10.3f\n", row.name.c_str(),
+                row.score.absolute_opt, row.score.relative_opt,
+                row.score.average());
+  }
+  std::printf(
+      "\nExpected (paper): every algorithm lands within a few %% of OPT\n"
+      "on compiler-flavor traces; vw-greedy(1024,8,2) at or near the\n"
+      "top, eps-first a close runner-up.\n");
+}
+
+}  // namespace
+}  // namespace ma
+
+int main() {
+  ma::Run();
+  return 0;
+}

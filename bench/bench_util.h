@@ -1,0 +1,53 @@
+// Shared helpers for the paper-reproduction benchmark binaries. Each
+// binary regenerates one table or figure of "Micro Adaptivity in
+// Vectorwise" (SIGMOD'13) and prints it in a comparable layout.
+#ifndef MA_BENCH_BENCH_UTIL_H_
+#define MA_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cycleclock.h"
+#include "common/rng.h"
+#include "prim/prim_call.h"
+
+namespace ma::bench {
+
+/// Median cycles/tuple of `fn` over `reps` timed calls on the same
+/// PrimCall (after one warmup call). `tuples` = live tuples per call.
+inline f64 MeasureCyclesPerTuple(PrimFn fn, PrimCall& call, u64 tuples,
+                                 int reps = 31) {
+  fn(call);  // warmup (page-in, I-cache)
+  std::vector<u64> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const u64 t0 = CycleClock::Now();
+    fn(call);
+    samples.push_back(CycleClock::Now() - t0);
+  }
+  std::nth_element(samples.begin(), samples.begin() + reps / 2,
+                   samples.end());
+  return static_cast<f64>(samples[reps / 2]) / static_cast<f64>(tuples);
+}
+
+inline void PrintHeader(const std::string& what, const std::string& why) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("%s\n", why.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Makes a selection vector covering a fraction of [0, n).
+inline std::vector<sel_t> MakeSel(size_t n, f64 density, Rng* rng) {
+  std::vector<sel_t> sel;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->NextBool(density)) sel.push_back(static_cast<sel_t>(i));
+  }
+  return sel;
+}
+
+}  // namespace ma::bench
+
+#endif  // MA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,43 @@
+// TPC-H power run: generates the dataset, runs all 22 queries in the
+// default and the micro-adaptive configuration, and prints per-query
+// times plus the geometric-mean improvement — a small-scale rendition of
+// the paper's Table 11. Usage: tpch_powerrun [scale_factor]
+#include <cstdio>
+#include <cstdlib>
+
+#include "tpch/workload.h"
+
+using namespace ma;
+using namespace ma::tpch;
+
+int main(int argc, char** argv) {
+  TpchConfig cfg;
+  cfg.scale_factor = argc > 1 ? std::atof(argv[1]) : 0.05;
+  std::printf("generating TPC-H at SF %.3f...\n", cfg.scale_factor);
+  auto data = Generate(cfg);
+  std::printf("  lineitem=%zu orders=%zu customer=%zu part=%zu\n\n",
+              data->lineitem->row_count(), data->orders->row_count(),
+              data->customer->row_count(), data->part->row_count());
+
+  const ModeRun base =
+      RunAllQueries(DefaultConfig(), *data, "base", /*quiet=*/false);
+  std::printf("\n");
+  const ModeRun adaptive = RunAllQueries(tpch::AdaptiveConfig(), *data,
+                                         "adaptive", /*quiet=*/false);
+
+  std::printf("\n%-6s %12s %12s %8s\n", "query", "base (ms)",
+              "adaptive", "factor");
+  for (int q = 0; q < kNumQueries; ++q) {
+    std::printf("Q%-5d %12.3f %12.3f %8.2f\n", q + 1,
+                base.query_seconds[q] * 1e3,
+                adaptive.query_seconds[q] * 1e3,
+                base.query_seconds[q] / adaptive.query_seconds[q]);
+  }
+  std::printf("\ngeometric mean improvement: %.3fx\n",
+              base.GeoMeanSeconds() / adaptive.GeoMeanSeconds());
+  std::printf("primitive cycles: base=%llu adaptive=%llu\n",
+              static_cast<unsigned long long>(base.TotalPrimitiveCycles()),
+              static_cast<unsigned long long>(
+                  adaptive.TotalPrimitiveCycles()));
+  return 0;
+}

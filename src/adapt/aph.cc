@@ -1,0 +1,73 @@
+#include "adapt/aph.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace ma {
+
+Aph::Aph(size_t max_buckets) : max_buckets_(max_buckets) {
+  MA_CHECK(max_buckets_ >= 2 && max_buckets_ % 2 == 0);
+  buckets_.reserve(max_buckets_);
+}
+
+void Aph::Add(u64 tuples, u64 cycles) {
+  ++total_calls_;
+  total_tuples_ += tuples;
+  total_cycles_ += cycles;
+  if (buckets_.empty() || buckets_.back().calls == calls_per_bucket_) {
+    if (buckets_.size() == max_buckets_) MergePairs();
+    buckets_.push_back(Bucket{});
+  }
+  Bucket& b = buckets_.back();
+  b.calls += 1;
+  b.tuples += tuples;
+  b.cycles += cycles;
+}
+
+void Aph::MergePairs() {
+  const size_t half = buckets_.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    Bucket merged;
+    merged.calls = buckets_[2 * i].calls + buckets_[2 * i + 1].calls;
+    merged.tuples = buckets_[2 * i].tuples + buckets_[2 * i + 1].tuples;
+    merged.cycles = buckets_[2 * i].cycles + buckets_[2 * i + 1].cycles;
+    buckets_[i] = merged;
+  }
+  buckets_.resize(half);
+  calls_per_bucket_ *= 2;
+}
+
+void Aph::Reset() {
+  buckets_.clear();
+  calls_per_bucket_ = 1;
+  total_calls_ = 0;
+  total_tuples_ = 0;
+  total_cycles_ = 0;
+}
+
+u64 Aph::OptCycles(const std::vector<const Aph*>& flavors) {
+  MA_CHECK(!flavors.empty());
+  // All flavors ran the same call sequence, so bucket layouts agree as
+  // long as total call counts agree; be defensive about small drift at
+  // the tail (e.g. an aborted run) by iterating the shared prefix.
+  size_t min_buckets = flavors[0]->buckets().size();
+  for (const Aph* a : flavors) {
+    min_buckets = std::min(min_buckets, a->buckets().size());
+  }
+  u64 opt = 0;
+  for (size_t b = 0; b < min_buckets; ++b) {
+    u64 best = flavors[0]->buckets()[b].cycles;
+    for (size_t f = 1; f < flavors.size(); ++f) {
+      best = std::min(best, flavors[f]->buckets()[b].cycles);
+    }
+    opt += best;
+  }
+  // Any unshared tail buckets: charge the first flavor's cost (rare).
+  for (size_t b = min_buckets; b < flavors[0]->buckets().size(); ++b) {
+    opt += flavors[0]->buckets()[b].cycles;
+  }
+  return opt;
+}
+
+}  // namespace ma

@@ -1,0 +1,48 @@
+#include "adapt/bandit.h"
+
+#include "common/status.h"
+
+namespace ma {
+
+const char* PolicyKindName(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kFixed:
+      return "fixed";
+    case PolicyKind::kVwGreedy:
+      return "vw-greedy";
+    case PolicyKind::kEpsGreedy:
+      return "eps-greedy";
+    case PolicyKind::kEpsFirst:
+      return "eps-first";
+    case PolicyKind::kEpsDecreasing:
+      return "eps-decreasing";
+    case PolicyKind::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+std::unique_ptr<BanditPolicy> MakePolicy(PolicyKind kind, int num_flavors,
+                                         const PolicyParams& params) {
+  MA_CHECK(num_flavors >= 1);
+  switch (kind) {
+    case PolicyKind::kFixed:
+      return std::make_unique<FixedPolicy>(num_flavors);
+    case PolicyKind::kVwGreedy:
+      return std::make_unique<VwGreedyPolicy>(num_flavors, params);
+    case PolicyKind::kEpsGreedy:
+      return std::make_unique<EpsPolicy>(EpsPolicy::Variant::kGreedy,
+                                         num_flavors, params);
+    case PolicyKind::kEpsFirst:
+      return std::make_unique<EpsPolicy>(EpsPolicy::Variant::kFirst,
+                                         num_flavors, params);
+    case PolicyKind::kEpsDecreasing:
+      return std::make_unique<EpsPolicy>(EpsPolicy::Variant::kDecreasing,
+                                         num_flavors, params);
+    case PolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>(num_flavors);
+  }
+  return nullptr;
+}
+
+}  // namespace ma

@@ -1,0 +1,173 @@
+// Multi-armed-bandit flavor-selection policies (paper §3.2). A policy
+// sees a stream of (flavor used, tuples, cycles) feedback and decides
+// which flavor the next primitive call should use. All policies treat
+// lower cycles/tuple as higher reward.
+#ifndef MA_ADAPT_BANDIT_H_
+#define MA_ADAPT_BANDIT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ma {
+
+/// Which policy the engine uses to pick flavors.
+enum class PolicyKind : u8 {
+  kFixed,          // always the default flavor (adaptivity off)
+  kVwGreedy,       // the paper's contribution (Listing 8 + initial sweep)
+  kEpsGreedy,      // classic epsilon-greedy on lifetime means
+  kEpsFirst,       // explore an initial fraction, then commit
+  kEpsDecreasing,  // epsilon ~ c/t
+  kRoundRobin,     // cycles through flavors (diagnostic baseline)
+};
+
+const char* PolicyKindName(PolicyKind k);
+
+/// Tuning parameters. Defaults follow the winning configuration of the
+/// paper's trace simulation, vw-greedy(1024, 8, 2) (Table 5).
+struct PolicyParams {
+  // vw-greedy: all powers of two; EXPLORE_PERIOD > EXPLOIT_PERIOD, both
+  // multiples of EXPLORE_LENGTH.
+  u64 explore_period = 1024;
+  u64 exploit_period = 8;
+  u64 explore_length = 2;
+  /// Ignore the first N calls of each phase when averaging, to avoid
+  /// measuring instruction-cache misses (the paper uses 2).
+  u64 warmup_calls = 2;
+  /// Run the initial sweep that tests every flavor once at query start
+  /// (the ε-first-inspired extension the paper added after Table 5).
+  bool initial_sweep = true;
+
+  // epsilon family.
+  f64 eps = 0.05;
+  /// eps-first explores for eps * horizon calls.
+  u64 horizon = 16384;
+
+  u64 seed = 42;
+};
+
+class BanditPolicy {
+ public:
+  virtual ~BanditPolicy() = default;
+
+  /// Flavor to use for the next call.
+  virtual int Choose() = 0;
+
+  /// Feedback for the call just made with the flavor returned by the
+  /// last Choose().
+  virtual void Update(u64 tuples, u64 cycles) = 0;
+
+  virtual void Reset() = 0;
+  virtual std::string name() const = 0;
+  int num_flavors() const { return num_flavors_; }
+
+ protected:
+  explicit BanditPolicy(int num_flavors) : num_flavors_(num_flavors) {}
+  int num_flavors_;
+};
+
+/// Factory. `num_flavors` >= 1; kFixed ignores params.
+std::unique_ptr<BanditPolicy> MakePolicy(PolicyKind kind, int num_flavors,
+                                         const PolicyParams& params);
+
+// -----------------------------------------------------------------------
+// Concrete policies (exposed for tests and the trace simulator).
+// -----------------------------------------------------------------------
+
+class FixedPolicy : public BanditPolicy {
+ public:
+  explicit FixedPolicy(int num_flavors, int index = 0)
+      : BanditPolicy(num_flavors), index_(index) {}
+  int Choose() override { return index_; }
+  void Update(u64, u64) override {}
+  void Reset() override {}
+  std::string name() const override { return "fixed"; }
+
+ private:
+  int index_;
+};
+
+class RoundRobinPolicy : public BanditPolicy {
+ public:
+  explicit RoundRobinPolicy(int num_flavors) : BanditPolicy(num_flavors) {}
+  int Choose() override { return static_cast<int>(n_++ % num_flavors_); }
+  void Update(u64, u64) override {}
+  void Reset() override { n_ = 0; }
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  u64 n_ = 0;
+};
+
+/// The paper's vw-greedy (Listing 8): deterministic alternation of
+/// exploration and exploitation phases, per-phase windowed cost averages
+/// (non-stationarity resistance), first `warmup_calls` calls of each
+/// phase excluded from the average, plus the initial all-flavors sweep.
+class VwGreedyPolicy : public BanditPolicy {
+ public:
+  VwGreedyPolicy(int num_flavors, const PolicyParams& params);
+
+  int Choose() override { return flavor_; }
+  void Update(u64 tuples, u64 cycles) override;
+  void Reset() override;
+  std::string name() const override;
+
+  /// Cost estimate (cycles/tuple) the policy currently holds per flavor;
+  /// +inf when never measured. Exposed for tests/diagnostics.
+  const std::vector<f64>& flavor_costs() const { return avg_cost_; }
+  bool in_exploration() const { return exploring_; }
+
+ private:
+  void StartPhase(int flavor, u64 length, bool exploring);
+  int BestFlavor() const;
+
+  PolicyParams p_;
+  Rng rng_;
+
+  // Mirrors the state of Listing 8.
+  u64 calls_ = 0;
+  u64 tot_cycles_ = 0;
+  u64 tot_tuples_ = 0;
+  u64 prev_cycles_ = 0;
+  u64 prev_tuples_ = 0;
+  u64 calc_start_ = 0;
+  u64 calc_end_ = 0;
+  u64 next_explore_ = 0;
+  int flavor_ = 0;
+  bool exploring_ = false;
+  int sweep_next_ = 0;  // next flavor of the initial sweep; -1 when done
+
+  std::vector<f64> avg_cost_;
+};
+
+/// Classic epsilon strategies over lifetime per-flavor means.
+class EpsPolicy : public BanditPolicy {
+ public:
+  enum class Variant { kGreedy, kFirst, kDecreasing };
+
+  EpsPolicy(Variant variant, int num_flavors, const PolicyParams& params);
+
+  int Choose() override;
+  void Update(u64 tuples, u64 cycles) override;
+  void Reset() override;
+  std::string name() const override;
+
+ private:
+  int BestFlavor() const;
+
+  Variant variant_;
+  PolicyParams p_;
+  Rng rng_;
+  u64 t_ = 0;
+  int last_ = 0;
+  std::vector<u64> cycles_;
+  std::vector<u64> tuples_;
+  std::vector<u64> pulls_;
+};
+
+}  // namespace ma
+
+#endif  // MA_ADAPT_BANDIT_H_

@@ -1,0 +1,83 @@
+#include <limits>
+
+#include "adapt/bandit.h"
+#include "common/status.h"
+
+namespace ma {
+
+EpsPolicy::EpsPolicy(Variant variant, int num_flavors,
+                     const PolicyParams& params)
+    : BanditPolicy(num_flavors),
+      variant_(variant),
+      p_(params),
+      rng_(params.seed) {
+  MA_CHECK(num_flavors >= 1);
+  Reset();
+}
+
+void EpsPolicy::Reset() {
+  t_ = 0;
+  last_ = 0;
+  cycles_.assign(num_flavors_, 0);
+  tuples_.assign(num_flavors_, 0);
+  pulls_.assign(num_flavors_, 0);
+}
+
+int EpsPolicy::BestFlavor() const {
+  int best = -1;
+  f64 best_cost = std::numeric_limits<f64>::infinity();
+  for (int f = 0; f < num_flavors_; ++f) {
+    // Never-tried flavors are preferred over any measured one so the
+    // lifetime means become defined quickly.
+    if (pulls_[f] == 0) return f;
+    const f64 cost =
+        tuples_[f] == 0 ? std::numeric_limits<f64>::infinity()
+                        : static_cast<f64>(cycles_[f]) / tuples_[f];
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = f;
+    }
+  }
+  return best < 0 ? 0 : best;
+}
+
+int EpsPolicy::Choose() {
+  ++t_;
+  bool explore = false;
+  switch (variant_) {
+    case Variant::kGreedy:
+      explore = rng_.NextBool(p_.eps);
+      break;
+    case Variant::kFirst:
+      explore = t_ <= static_cast<u64>(p_.eps * p_.horizon);
+      break;
+    case Variant::kDecreasing: {
+      const f64 eps_t = p_.eps < 0 ? 0 : p_.eps / static_cast<f64>(t_);
+      explore = rng_.NextBool(eps_t < 1.0 ? eps_t : 1.0);
+      break;
+    }
+  }
+  last_ = explore ? static_cast<int>(rng_.NextBounded(num_flavors_))
+                  : BestFlavor();
+  return last_;
+}
+
+void EpsPolicy::Update(u64 tuples, u64 cycles) {
+  cycles_[last_] += cycles;
+  tuples_[last_] += tuples;
+  pulls_[last_] += 1;
+}
+
+std::string EpsPolicy::name() const {
+  switch (variant_) {
+    case Variant::kGreedy:
+      return "eps-greedy(" + std::to_string(p_.eps) + ")";
+    case Variant::kFirst:
+      return "eps-first(" + std::to_string(p_.eps) + ")";
+    case Variant::kDecreasing:
+      return "eps-decreasing(" + std::to_string(p_.eps) + ")";
+  }
+  return "eps";
+}
+
+}  // namespace ma

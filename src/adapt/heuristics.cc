@@ -1,0 +1,50 @@
+#include "adapt/heuristics.h"
+
+namespace ma {
+
+void InstallBranchHeuristic(PrimitiveInstance* inst,
+                            const HeuristicThresholds& th) {
+  const int nb = inst->FindFlavor("nobranching");
+  if (nb < 0) return;
+  const PrimitiveInstance* self = inst;
+  inst->set_heuristic([self, nb, th](const PrimCall&) {
+    const f64 s = self->last_output_selectivity();
+    return (s >= th.branch_lo && s <= th.branch_hi) ? nb : 0;
+  });
+}
+
+void InstallFullComputeHeuristic(PrimitiveInstance* inst,
+                                 const HeuristicThresholds& th) {
+  const int full = inst->FindFlavor("full");
+  if (full < 0) return;
+  inst->set_heuristic([full, th](const PrimCall& c) {
+    if (c.sel == nullptr || c.n == 0) return 0;  // dense: default path
+    const f64 density = static_cast<f64>(c.sel_n) / static_cast<f64>(c.n);
+    return density >= th.full_compute_min ? full : 0;
+  });
+}
+
+void InstallFissionHeuristic(PrimitiveInstance* inst,
+                             const HeuristicThresholds& th,
+                             u64 bloom_bytes) {
+  const int fission = inst->FindFlavor("fission");
+  if (fission < 0) return;
+  const int choice = bloom_bytes >= th.fission_min_bytes ? fission : 0;
+  inst->set_heuristic([choice](const PrimCall&) { return choice; });
+}
+
+void InstallHeuristics(PrimitiveInstance* inst,
+                       const HeuristicThresholds& th, u64 bloom_bytes) {
+  if (inst->FindFlavor("nobranching") >= 0) {
+    InstallBranchHeuristic(inst, th);
+  } else if (inst->FindFlavor("full") >= 0) {
+    InstallFullComputeHeuristic(inst, th);
+  } else if (inst->FindFlavor("fission") >= 0) {
+    InstallFissionHeuristic(inst, th, bloom_bytes);
+  }
+  // Compiler and unroll flavor sets have no plausible heuristic — the
+  // paper makes exactly this point — so those instances stay on the
+  // default flavor in heuristic mode.
+}
+
+}  // namespace ma

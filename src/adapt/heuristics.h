@@ -1,0 +1,51 @@
+// The hard-coded heuristics baseline of paper §4.2: instead of learning,
+// pick flavors from rules with tuned thresholds — no-branching selection
+// between 10% and 90% observed selectivity, full computation above 30%
+// selection density, loop fission above a bloom-filter size threshold.
+// The paper tuned these to Machine 1 as a best-case competitor; the
+// thresholds here are the knobs the TPC-H benches tune on this machine.
+#ifndef MA_ADAPT_HEURISTICS_H_
+#define MA_ADAPT_HEURISTICS_H_
+
+#include "adapt/primitive_instance.h"
+
+namespace ma {
+
+struct HeuristicThresholds {
+  /// Use no-branching selection when the previous call's output
+  /// selectivity lies in [branch_lo, branch_hi].
+  f64 branch_lo = 0.10;
+  f64 branch_hi = 0.90;
+  /// Use full computation when the input selection vector covers at
+  /// least this fraction of the vector.
+  f64 full_compute_min = 0.30;
+  /// Use loop fission when the bloom filter exceeds this many bytes
+  /// (meant to approximate the last-level cache size).
+  u64 fission_min_bytes = 2u << 20;
+};
+
+/// Installs the selection (branch vs no-branch) heuristic on `inst`.
+/// No-op if the instance lacks a "nobranching" flavor.
+void InstallBranchHeuristic(PrimitiveInstance* inst,
+                            const HeuristicThresholds& th);
+
+/// Installs the full-computation heuristic on a map instance. No-op if
+/// the instance lacks a "full" flavor.
+void InstallFullComputeHeuristic(PrimitiveInstance* inst,
+                                 const HeuristicThresholds& th);
+
+/// Installs the loop-fission heuristic on a bloom-probe instance, given
+/// the size of the filter it probes (known at build time).
+void InstallFissionHeuristic(PrimitiveInstance* inst,
+                             const HeuristicThresholds& th,
+                             u64 bloom_bytes);
+
+/// Installs whichever of the above applies, inferring the family from
+/// the instance's registered flavors. `bloom_bytes` is consulted for
+/// bloom probes only (pass 0 if unknown: fission stays off).
+void InstallHeuristics(PrimitiveInstance* inst,
+                       const HeuristicThresholds& th, u64 bloom_bytes = 0);
+
+}  // namespace ma
+
+#endif  // MA_ADAPT_HEURISTICS_H_

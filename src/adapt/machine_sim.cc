@@ -1,0 +1,99 @@
+#include "adapt/machine_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ma {
+
+std::vector<MachineModel> PaperMachines() {
+  // Cache sizes follow Table 2; penalties/widths are era-plausible.
+  return {
+      MachineModel{"Machine 1 (Nehalem, 12MB LLC)", 12u << 20, 180, 5, 4,
+                   18},
+      MachineModel{"Machine 2 (Core2, 4MB LLC)", 4u << 20, 240, 2, 4, 14},
+      MachineModel{"Machine 3 (AMD Egypt, 1MB LLC)", 1u << 20, 220, 3, 2,
+                   12},
+      MachineModel{"Machine 4 (Sandy Bridge, 8MB LLC)", 8u << 20, 160, 6,
+                   8, 16},
+  };
+}
+
+namespace {
+
+/// Fraction of bloom probes missing the LLC for a filter of this size:
+/// ~0 when the filter fits, approaching 1 as it dwarfs the cache.
+f64 MissFraction(const MachineModel& m, u64 bytes) {
+  if (bytes <= m.llc_bytes / 2) return 0.0;
+  const f64 ratio = static_cast<f64>(bytes) / static_cast<f64>(m.llc_bytes);
+  // Cache keeps ~llc/bytes of the filter resident once it exceeds LLC.
+  return std::clamp(1.0 - 0.5 / ratio, 0.0, 0.98);
+}
+
+}  // namespace
+
+f64 PredictBloomCost(const MachineModel& m, u64 bloom_bytes, bool fission) {
+  const f64 base = fission ? 5.0 : 4.0;  // fission runs two loops
+  const f64 miss = MissFraction(m, bloom_bytes);
+  // Fused: the loop-carried dependency serializes misses. Fission:
+  // up to `mlp` misses overlap.
+  const f64 effective_penalty =
+      fission ? m.miss_penalty / static_cast<f64>(m.mlp) : m.miss_penalty;
+  return base + miss * effective_penalty;
+}
+
+f64 PredictBloomFissionSpeedup(const MachineModel& m, u64 bloom_bytes) {
+  return PredictBloomCost(m, bloom_bytes, false) /
+         PredictBloomCost(m, bloom_bytes, true);
+}
+
+f64 PredictSelectionCost(const MachineModel& m, f64 selectivity,
+                         bool branching) {
+  if (!branching) return 5.0;  // constant work
+  // Branch mispredict rate peaks at 50% selectivity: 2*s*(1-s) per tuple.
+  const f64 mispredict = 2.0 * selectivity * (1.0 - selectivity);
+  return 2.0 + 3.0 * selectivity + mispredict * m.branch_miss_cost;
+}
+
+f64 PredictMapCost(const MachineModel& m, f64 density, int width_bytes,
+                   bool full_computation) {
+  // SIMD lanes scale inversely with element width relative to 32-bit.
+  const f64 lanes =
+      std::max(1.0, m.simd_lanes_32 * 4.0 / static_cast<f64>(width_bytes));
+  if (full_computation) {
+    // Computes all positions at SIMD speed, regardless of density.
+    return 2.0 / lanes + 0.3;
+  }
+  // Selective computation: scalar gather loop over `density * n` tuples;
+  // cost *per live tuple* is constant, so per input position it scales
+  // with density.
+  return 2.2 * density + 0.2;
+}
+
+f64 PredictFullComputeSpeedup(const MachineModel& m, f64 density,
+                              int width_bytes) {
+  if (density <= 0.0) return 0.0;
+  // Speedup per *live tuple*: selective cost per live tuple is constant,
+  // full-computation cost per live tuple is total cost / live count.
+  const f64 selective_per_live = 2.2 + 0.2;
+  const f64 full_total = PredictMapCost(m, density, width_bytes, true);
+  const f64 full_per_live = full_total / density;
+  return selective_per_live / full_per_live;
+}
+
+f64 PredictMergeJoinCost(const MachineModel& m, int style) {
+  // Style cost = scalar work + branchy control; which wins depends on
+  // branch cost and MLP of the machine, flipping the order (Figure 5).
+  switch (style) {
+    case 0:  // gcc-like: balanced
+      return 4.0 + 0.15 * m.branch_miss_cost;
+    case 1:  // icc-like: unrolled/galloping — branch-light but heavy on
+             // straight-line work, so it shines exactly where branch
+             // misses are expensive (Nehalem) and loses where they are
+             // cheap (AMD Egypt), as in Figure 5.
+      return 9.5 - 0.27 * m.branch_miss_cost;
+    default:  // clang-like: lean scalar loop, branch heavy
+      return 3.0 + 0.25 * m.branch_miss_cost;
+  }
+}
+
+}  // namespace ma

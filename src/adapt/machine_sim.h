@@ -1,0 +1,63 @@
+// Analytical machine model used to reproduce the paper's *cross-machine*
+// claims (Table 2 machines; Figures 5, 6, 8) on a single host. We measure
+// the real curves on this machine, and use this model to show how the
+// cross-over points move as cache size / SIMD width / miss latency vary —
+// the paper's point being precisely that these cross-overs are machine
+// dependent and therefore hopeless to hard-code.
+#ifndef MA_ADAPT_MACHINE_SIM_H_
+#define MA_ADAPT_MACHINE_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ma {
+
+/// Cache/core parameters of a simulated machine (values chosen to mimic
+/// the paper's Table 2 inventory).
+struct MachineModel {
+  std::string name;
+  u64 llc_bytes;          // last-level cache size
+  f64 miss_penalty;       // cycles per LLC miss
+  int mlp;                // max outstanding misses (memory-level parallelism)
+  f64 simd_lanes_32;      // effective 32-bit SIMD lanes (1 = scalar)
+  f64 branch_miss_cost;   // cycles per mispredicted branch
+};
+
+/// The four machines of Table 2 (Nehalem, Core2, AMD Egypt, Sandy
+/// Bridge), parameterized by their documented cache sizes.
+std::vector<MachineModel> PaperMachines();
+
+/// Predicted cycles/tuple of the bloom-filter probe for a filter of
+/// `bloom_bytes`, with (fission=true) or without loop fission. The fused
+/// loop's dependency chain serializes misses; fission overlaps up to
+/// `mlp` of them (paper §2 "Loop Fission").
+f64 PredictBloomCost(const MachineModel& m, u64 bloom_bytes, bool fission);
+
+/// Predicted fission speedup = fused cost / fission cost (Figure 6).
+f64 PredictBloomFissionSpeedup(const MachineModel& m, u64 bloom_bytes);
+
+/// Predicted cycles/tuple for a selection primitive at a given output
+/// selectivity, branching vs no-branching (Figure 1 shape).
+f64 PredictSelectionCost(const MachineModel& m, f64 selectivity,
+                         bool branching);
+
+/// Predicted cycles/tuple of map multiplication under selective vs full
+/// computation at the given selection density and data width in bytes
+/// (Figure 8 shape: SIMD benefits scale inversely with width).
+f64 PredictMapCost(const MachineModel& m, f64 density, int width_bytes,
+                   bool full_computation);
+
+/// Predicted full-computation speedup (selective / full).
+f64 PredictFullComputeSpeedup(const MachineModel& m, f64 density,
+                              int width_bytes);
+
+/// Predicted cycles/tuple of the mergejoin kernel per "compiler" style
+/// (0 = gcc-like, 1 = icc-like, 2 = clang-like); the styles' relative
+/// order flips with machine traits (Figure 5).
+f64 PredictMergeJoinCost(const MachineModel& m, int style);
+
+}  // namespace ma
+
+#endif  // MA_ADAPT_MACHINE_SIM_H_

@@ -1,0 +1,104 @@
+#include "adapt/primitive_instance.h"
+
+#include "common/cycleclock.h"
+#include "common/status.h"
+
+namespace ma {
+
+PrimitiveInstance::PrimitiveInstance(const FlavorEntry* entry,
+                                     const AdaptiveConfig& config,
+                                     std::string label)
+    : entry_(entry), label_(std::move(label)), mode_(config.mode) {
+  MA_CHECK(entry_ != nullptr && !entry_->flavors.empty());
+
+  // Eligible flavors: the registered default plus every flavor whose set
+  // is enabled. Order: default first (index 0), then by registration.
+  const FlavorInfo* def = &entry_->flavors[entry_->default_index];
+  flavors_.push_back(def);
+  for (const FlavorInfo& f : entry_->flavors) {
+    if (&f == def) continue;
+    if (config.enabled_sets & FlavorSetBit(f.set)) flavors_.push_back(&f);
+  }
+
+  switch (mode_) {
+    case ExecMode::kDefault:
+      fixed_index_ = 0;
+      break;
+    case ExecMode::kForcedFlavor: {
+      const int idx = FindFlavor(config.forced_flavor);
+      fixed_index_ = idx >= 0 ? idx : 0;
+      break;
+    }
+    case ExecMode::kHeuristic:
+      fixed_index_ = 0;
+      break;
+    case ExecMode::kAdaptive:
+      if (flavors_.size() > 1) {
+        policy_ = MakePolicy(config.policy,
+                             static_cast<int>(flavors_.size()),
+                             config.params);
+      }
+      fixed_index_ = 0;
+      break;
+  }
+  if (config.keep_aph) aph_ = std::make_unique<Aph>(config.aph_buckets);
+  usage_.resize(flavors_.size());
+}
+
+int PrimitiveInstance::FindFlavor(std::string_view name) const {
+  for (size_t i = 0; i < flavors_.size(); ++i) {
+    if (flavors_[i]->name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool PrimitiveInstance::AffectedBy(FlavorSetId set) const {
+  for (const FlavorInfo& f : entry_->flavors) {
+    if (f.set == set) return true;
+  }
+  return false;
+}
+
+int PrimitiveInstance::PickFlavor(const PrimCall& call) {
+  switch (mode_) {
+    case ExecMode::kDefault:
+    case ExecMode::kForcedFlavor:
+      return fixed_index_;
+    case ExecMode::kHeuristic:
+      return heuristic_ ? heuristic_(call) : fixed_index_;
+    case ExecMode::kAdaptive:
+      return policy_ ? policy_->Choose() : fixed_index_;
+  }
+  return 0;
+}
+
+size_t PrimitiveInstance::Call(PrimCall& call) {
+  return CallN(call, call.sel != nullptr ? call.sel_n : call.n);
+}
+
+size_t PrimitiveInstance::CallN(PrimCall& call, u64 tuples) {
+  const int f = PickFlavor(call);
+  last_flavor_ = f;
+  const u64 t0 = CycleClock::Now();
+  const size_t produced = flavors_[f]->fn(call);
+  const u64 dt = CycleClock::Now() - t0;
+  Record(f, produced, tuples, dt);
+  return produced;
+}
+
+void PrimitiveInstance::Record(int flavor, size_t produced, u64 tuples,
+                               u64 cycles) {
+  if (policy_ != nullptr) policy_->Update(tuples, cycles);
+  ++calls_;
+  tuples_ += tuples;
+  cycles_ += cycles;
+  usage_[flavor].calls += 1;
+  usage_[flavor].tuples += tuples;
+  usage_[flavor].cycles += cycles;
+  flavors_[flavor]->times_used += 1;
+  if (aph_) aph_->Add(tuples, cycles);
+  last_produced_ = produced;
+  last_live_ = tuples;
+}
+
+}  // namespace ma

@@ -1,0 +1,148 @@
+// PrimitiveInstance: one use of a primitive in one place of a query plan
+// (paper §1.1 "Primitive Instances"). Different instances of the same
+// primitive see different data streams, so each carries its own profiling
+// state, Approximated Performance History, and bandit policy. All
+// primitive calls in the engine — from the expression evaluator and from
+// operators alike — go through PrimitiveInstance::Call, which is where
+// Micro Adaptivity happens: choose a flavor, time the call with rdtsc,
+// feed the observation back to the policy.
+#ifndef MA_ADAPT_PRIMITIVE_INSTANCE_H_
+#define MA_ADAPT_PRIMITIVE_INSTANCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/aph.h"
+#include "adapt/bandit.h"
+#include "common/cycleclock.h"
+#include "registry/flavor.h"
+
+namespace ma {
+
+/// How the engine picks flavors at runtime.
+enum class ExecMode : u8 {
+  kDefault,      // always the registered default flavor
+  kForcedFlavor, // a named flavor wherever available, else the default
+  kHeuristic,    // per-call rule-based choice (paper §4.2 "Heuristics")
+  kAdaptive,     // bandit policy (Micro Adaptivity)
+};
+
+/// Bitmask over FlavorSetId used to restrict which flavor sets are
+/// eligible, so experiments can enable e.g. only the branch set.
+constexpr u32 FlavorSetBit(FlavorSetId id) {
+  return 1u << static_cast<u32>(id);
+}
+constexpr u32 kAllFlavorSets = 0xffffffffu;
+
+/// Runtime adaptivity configuration shared by all instances of a query.
+struct AdaptiveConfig {
+  ExecMode mode = ExecMode::kAdaptive;
+  /// For kForcedFlavor: flavor name to force where registered.
+  std::string forced_flavor;
+  PolicyKind policy = PolicyKind::kVwGreedy;
+  PolicyParams params;
+  /// Which flavor sets are eligible (default flavors always are).
+  u32 enabled_sets = kAllFlavorSets;
+  bool keep_aph = true;
+  size_t aph_buckets = 512;
+};
+
+class PrimitiveInstance {
+ public:
+  /// Per-call heuristic hook: returns the index into `flavors()` to use
+  /// for this call. Installed by operators when mode is kHeuristic.
+  using HeuristicFn = std::function<int(const PrimCall&)>;
+
+  PrimitiveInstance(const FlavorEntry* entry, const AdaptiveConfig& config,
+                    std::string label);
+
+  /// Executes one call: picks a flavor, measures cycles, updates the
+  /// policy and profiling. Returns the primitive's return value.
+  size_t Call(PrimCall& call);
+
+  /// Like Call but with an explicit tuple count for the cost metric
+  /// (probe/mergejoin calls where live positions != processed tuples).
+  size_t CallN(PrimCall& call, u64 tuples);
+
+  /// Like CallN, but the tuple count is computed *after* the call from
+  /// the produced count (cursor-style kernels such as mergejoin, where
+  /// the work done is only known once the call returns).
+  template <typename F>
+  size_t CallDeferred(PrimCall& call, F&& tuples_of_produced) {
+    const int f = PickFlavor(call);
+    last_flavor_ = f;
+    const u64 t0 = CycleClock::Now();
+    const size_t produced = flavors_[f]->fn(call);
+    const u64 dt = CycleClock::Now() - t0;
+    Record(f, produced, tuples_of_produced(produced), dt);
+    return produced;
+  }
+
+  void set_heuristic(HeuristicFn fn) { heuristic_ = std::move(fn); }
+
+  // --- introspection ---
+  const std::string& label() const { return label_; }
+  const FlavorEntry* entry() const { return entry_; }
+  /// Eligible flavors (subset of entry()->flavors).
+  const std::vector<const FlavorInfo*>& flavors() const { return flavors_; }
+  int num_flavors() const { return static_cast<int>(flavors_.size()); }
+  /// Index into flavors() of the last flavor used.
+  int last_flavor() const { return last_flavor_; }
+  /// Output selectivity of the previous call (produced / live input);
+  /// 1.0 before the first call. What the selection heuristics key on.
+  f64 last_output_selectivity() const {
+    return last_live_ == 0
+               ? 1.0
+               : static_cast<f64>(last_produced_) / last_live_;
+  }
+  int FindFlavor(std::string_view name) const;
+
+  u64 calls() const { return calls_; }
+  u64 tuples() const { return tuples_; }
+  u64 cycles() const { return cycles_; }
+  f64 MeanCostPerTuple() const {
+    return tuples_ == 0 ? 0.0 : static_cast<f64>(cycles_) / tuples_;
+  }
+  const Aph* aph() const { return aph_.get(); }
+  /// Per-eligible-flavor cumulative (calls, tuples, cycles).
+  struct FlavorUsage {
+    u64 calls = 0;
+    u64 tuples = 0;
+    u64 cycles = 0;
+  };
+  const std::vector<FlavorUsage>& usage() const { return usage_; }
+
+  /// True if any registered flavor of this primitive belongs to `set` —
+  /// i.e. this instance is "affected by" the flavor set in the sense of
+  /// Tables 6-10.
+  bool AffectedBy(FlavorSetId set) const;
+
+  BanditPolicy* policy() { return policy_.get(); }
+
+ private:
+  int PickFlavor(const PrimCall& call);
+  void Record(int flavor, size_t produced, u64 tuples, u64 cycles);
+
+  const FlavorEntry* entry_;
+  std::string label_;
+  ExecMode mode_;
+  std::vector<const FlavorInfo*> flavors_;
+  int fixed_index_ = 0;
+  std::unique_ptr<BanditPolicy> policy_;
+  HeuristicFn heuristic_;
+
+  int last_flavor_ = 0;
+  u64 last_produced_ = 0;
+  u64 last_live_ = 0;
+  u64 calls_ = 0;
+  u64 tuples_ = 0;
+  u64 cycles_ = 0;
+  std::unique_ptr<Aph> aph_;
+  std::vector<FlavorUsage> usage_;
+};
+
+}  // namespace ma
+
+#endif  // MA_ADAPT_PRIMITIVE_INSTANCE_H_

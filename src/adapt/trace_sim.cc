@@ -1,0 +1,110 @@
+#include "adapt/trace_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ma {
+
+u64 InstanceTrace::OptCycles() const {
+  u64 total = 0;
+  for (size_t t = 0; t < num_calls(); ++t) {
+    u64 best = cost[0][t];
+    for (size_t f = 1; f < cost.size(); ++f) {
+      best = std::min(best, cost[f][t]);
+    }
+    total += best;
+  }
+  return total;
+}
+
+u64 InstanceTrace::FlavorCycles(size_t f) const {
+  u64 total = 0;
+  for (u64 c : cost[f]) total += c;
+  return total;
+}
+
+u64 TraceSimulator::Replay(const InstanceTrace& trace,
+                           BanditPolicy* policy) {
+  MA_CHECK(policy->num_flavors() ==
+           static_cast<int>(trace.num_flavors()));
+  u64 total = 0;
+  for (size_t t = 0; t < trace.num_calls(); ++t) {
+    const int f = policy->Choose();
+    const u64 c = trace.cost[f][t];
+    total += c;
+    policy->Update(trace.tuples[t], c);
+  }
+  return total;
+}
+
+TraceScore TraceSimulator::Evaluate(PolicyKind kind,
+                                    const PolicyParams& params) const {
+  MA_CHECK(!traces_.empty());
+  u64 sum_alg = 0, sum_opt = 0;
+  f64 rel_sum = 0;
+  for (const InstanceTrace& trace : traces_) {
+    auto policy =
+        MakePolicy(kind, static_cast<int>(trace.num_flavors()), params);
+    const u64 alg = Replay(trace, policy.get());
+    const u64 opt = trace.OptCycles();
+    sum_alg += alg;
+    sum_opt += opt;
+    rel_sum += opt == 0 ? 1.0
+                        : static_cast<f64>(alg) / static_cast<f64>(opt);
+  }
+  TraceScore score;
+  score.absolute_opt =
+      sum_opt == 0 ? 1.0
+                   : static_cast<f64>(sum_alg) / static_cast<f64>(sum_opt);
+  score.relative_opt = rel_sum / static_cast<f64>(traces_.size());
+  return score;
+}
+
+std::vector<InstanceTrace> MakeSyntheticTraces(
+    const SyntheticTraceOptions& options) {
+  Rng rng(options.seed);
+  std::vector<InstanceTrace> traces;
+  traces.reserve(options.num_instances);
+  for (int inst = 0; inst < options.num_instances; ++inst) {
+    InstanceTrace tr;
+    tr.label = "instance_" + std::to_string(inst);
+    const u64 calls =
+        options.min_calls +
+        rng.NextBounded(options.max_calls - options.min_calls + 1);
+    tr.tuples.resize(calls);
+    for (auto& t : tr.tuples) t = 900 + rng.NextBounded(225);  // ~1K
+
+    // Base cost level of this primitive (cycles/tuple), like the 1-20
+    // cycles/tuple range seen across TPC-H primitives.
+    const f64 base = 1.5 + rng.NextDouble() * 15.0;
+
+    // Per-flavor multipliers; compilers differ by up to ~30-90%.
+    std::vector<f64> mult(options.num_flavors);
+    for (auto& m : mult) m = 1.0 + rng.NextDouble() * 0.5;
+
+    // Optional phase change: at a random point, flavor multipliers are
+    // re-drawn — possibly changing which flavor is best (cross-over).
+    const bool phased = rng.NextBool(options.phase_change_prob);
+    const u64 phase_at = phased ? calls / 4 + rng.NextBounded(calls / 2) : calls;
+    std::vector<f64> mult2(options.num_flavors);
+    for (auto& m : mult2) m = 1.0 + rng.NextDouble() * 0.5;
+
+    tr.cost.assign(options.num_flavors, std::vector<u64>(calls));
+    for (u64 t = 0; t < calls; ++t) {
+      const std::vector<f64>& m = (t < phase_at) ? mult : mult2;
+      for (int f = 0; f < options.num_flavors; ++f) {
+        const f64 noise =
+            1.0 + (rng.NextDouble() * 2.0 - 1.0) * options.noise;
+        const f64 cpt = base * m[f] * noise;
+        tr.cost[f][t] =
+            static_cast<u64>(std::max(1.0, cpt * tr.tuples[t]));
+      }
+    }
+    traces.push_back(std::move(tr));
+  }
+  return traces;
+}
+
+}  // namespace ma

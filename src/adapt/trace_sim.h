@@ -1,0 +1,81 @@
+// Trace-driven bandit simulation (paper §3.2 "Simulations on traces",
+// Table 5). A trace records, for every call of a primitive instance, the
+// cost each flavor *would* have had (the paper gathered these by running
+// the TPC-H workload once per flavor). Replaying traces lets us score
+// selection policies against OPT — the clairvoyant strategy that picks
+// the cheapest flavor at every call — without timing noise.
+#ifndef MA_ADAPT_TRACE_SIM_H_
+#define MA_ADAPT_TRACE_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "adapt/bandit.h"
+
+namespace ma {
+
+/// Per-primitive-instance cost trace.
+struct InstanceTrace {
+  std::string label;
+  /// tuples[t] = tuples processed by call t.
+  std::vector<u64> tuples;
+  /// cost[f][t] = cycles flavor f would spend on call t.
+  std::vector<std::vector<u64>> cost;
+
+  size_t num_calls() const { return tuples.size(); }
+  size_t num_flavors() const { return cost.size(); }
+
+  /// Total cycles of the clairvoyant per-call-minimum strategy.
+  u64 OptCycles() const;
+  /// Total cycles when always using flavor f.
+  u64 FlavorCycles(size_t f) const;
+};
+
+/// Scores, as factors of OPT (>= 1, lower is better; Table 5).
+struct TraceScore {
+  f64 absolute_opt = 0;  // sum(alg) / sum(opt) over the whole workload
+  f64 relative_opt = 0;  // mean over instances of alg_i / opt_i
+  f64 average() const { return (absolute_opt + relative_opt) / 2; }
+};
+
+class TraceSimulator {
+ public:
+  void AddTrace(InstanceTrace trace) {
+    traces_.push_back(std::move(trace));
+  }
+  const std::vector<InstanceTrace>& traces() const { return traces_; }
+
+  /// Replays every trace under a fresh policy of the given kind/params
+  /// and scores the result against OPT.
+  TraceScore Evaluate(PolicyKind kind, const PolicyParams& params) const;
+
+  /// Replays one trace, returning the cycles the policy accrues.
+  static u64 Replay(const InstanceTrace& trace, BanditPolicy* policy);
+
+ private:
+  std::vector<InstanceTrace> traces_;
+};
+
+/// Options for the synthetic TPC-H-profile-like trace workload used by
+/// the Table 5 reproduction: 300+ primitive instances, 16K..32K calls,
+/// 3 flavors with machine-like cost levels, phase shifts and noise.
+struct SyntheticTraceOptions {
+  u64 seed = 7;
+  int num_instances = 300;
+  int num_flavors = 3;
+  u64 min_calls = 16 * 1024;
+  u64 max_calls = 32 * 1024;
+  /// Probability an instance has a mid-query phase change (cost levels
+  /// shift, possibly crossing over) — compiler flavors "less often lead
+  /// to cross-over points", so keep this modest by default.
+  f64 phase_change_prob = 0.25;
+  /// Multiplicative per-call noise (lognormal-ish), e.g. 0.05 = ~5%.
+  f64 noise = 0.05;
+};
+
+std::vector<InstanceTrace> MakeSyntheticTraces(
+    const SyntheticTraceOptions& options);
+
+}  // namespace ma
+
+#endif  // MA_ADAPT_TRACE_SIM_H_

@@ -1,0 +1,105 @@
+#include <limits>
+
+#include "adapt/bandit.h"
+#include "common/status.h"
+
+namespace ma {
+
+VwGreedyPolicy::VwGreedyPolicy(int num_flavors, const PolicyParams& params)
+    : BanditPolicy(num_flavors), p_(params), rng_(params.seed) {
+  MA_CHECK(num_flavors >= 1);
+  MA_CHECK(p_.explore_period >= p_.exploit_period);
+  MA_CHECK(p_.explore_length >= 1);
+  Reset();
+}
+
+void VwGreedyPolicy::Reset() {
+  calls_ = 0;
+  tot_cycles_ = tot_tuples_ = 0;
+  prev_cycles_ = prev_tuples_ = 0;
+  avg_cost_.assign(num_flavors_, std::numeric_limits<f64>::infinity());
+  next_explore_ = p_.explore_period;
+  sweep_next_ = (p_.initial_sweep && num_flavors_ > 1) ? 0 : -1;
+  if (sweep_next_ >= 0) {
+    // Initial sweep: test every flavor for explore_length calls each,
+    // starting with flavor 0.
+    StartPhase(sweep_next_, p_.explore_length, /*exploring=*/true);
+    sweep_next_ = 1 % num_flavors_;
+    if (sweep_next_ == 0) sweep_next_ = -1;
+  } else {
+    StartPhase(0, p_.exploit_period, /*exploring=*/false);
+  }
+}
+
+void VwGreedyPolicy::StartPhase(int flavor, u64 length, bool exploring) {
+  flavor_ = flavor;
+  exploring_ = exploring;
+  // First `warmup_calls` of the phase are excluded from the average to
+  // avoid measuring instruction-cache misses (Listing 8's "+ 2").
+  calc_start_ = calls_ + p_.warmup_calls;
+  calc_end_ = calc_start_ + length;
+}
+
+int VwGreedyPolicy::BestFlavor() const {
+  int best = 0;
+  f64 best_cost = avg_cost_[0];
+  for (int f = 1; f < num_flavors_; ++f) {
+    if (avg_cost_[f] < best_cost) {
+      best_cost = avg_cost_[f];
+      best = f;
+    }
+  }
+  // If nothing is measured yet (all infinite), flavor 0 wins — matches
+  // starting with the default flavor.
+  return best;
+}
+
+void VwGreedyPolicy::Update(u64 tuples, u64 cycles) {
+  tot_cycles_ += cycles;
+  tot_tuples_ += tuples;
+  ++calls_;
+
+  if (calls_ == calc_start_) {
+    prev_cycles_ = tot_cycles_;
+    prev_tuples_ = tot_tuples_;
+    return;
+  }
+  if (calls_ != calc_end_) return;
+
+  // Phase finished: refresh this flavor's cost from the phase window
+  // only — recent information, not a lifetime mean, so sudden context
+  // changes show up immediately (non-stationarity resistance).
+  const u64 dt = tot_tuples_ - prev_tuples_;
+  if (dt > 0) {
+    avg_cost_[flavor_] =
+        static_cast<f64>(tot_cycles_ - prev_cycles_) / static_cast<f64>(dt);
+  }
+
+  if (sweep_next_ >= 0) {
+    // Continue the initial sweep through all flavors.
+    const int f = sweep_next_;
+    sweep_next_ = (sweep_next_ + 1) % num_flavors_;
+    if (sweep_next_ == 0) sweep_next_ = -1;
+    StartPhase(f, p_.explore_length, /*exploring=*/true);
+    return;
+  }
+
+  if (calls_ >= next_explore_) {
+    // Exploration: a uniformly random flavor for explore_length calls,
+    // ignoring all knowledge so far.
+    next_explore_ += p_.explore_period;
+    const int f = static_cast<int>(rng_.NextBounded(num_flavors_));
+    StartPhase(f, p_.explore_length, /*exploring=*/true);
+  } else {
+    // Exploitation: the best-known flavor for exploit_period calls.
+    StartPhase(BestFlavor(), p_.exploit_period, /*exploring=*/false);
+  }
+}
+
+std::string VwGreedyPolicy::name() const {
+  return "vw-greedy(" + std::to_string(p_.explore_period) + "," +
+         std::to_string(p_.exploit_period) + "," +
+         std::to_string(p_.explore_length) + ")";
+}
+
+}  // namespace ma

@@ -1,0 +1,33 @@
+#include "common/cycleclock.h"
+
+#include <chrono>
+
+namespace ma {
+namespace {
+
+double MeasureFrequencyHz() {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const uint64_t c0 = CycleClock::Now();
+  // ~20ms busy spin: long enough to dominate timer granularity, short
+  // enough not to bother tests.
+  while (std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               t0)
+             .count() < 20000) {
+  }
+  const auto t1 = Clock::now();
+  const uint64_t c1 = CycleClock::Now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  return static_cast<double>(c1 - c0) / secs;
+}
+
+}  // namespace
+
+double CycleClock::FrequencyHz() {
+  static const double hz = MeasureFrequencyHz();
+  return hz;
+}
+
+}  // namespace ma

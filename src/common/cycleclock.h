@@ -1,0 +1,42 @@
+// Cheap CPU cycle counter used to profile primitive calls. The paper's
+// whole premise is that vectorized primitives are cheap to instrument:
+// one rdtsc pair around a call over ~1K tuples costs well under a cycle
+// per tuple.
+#ifndef MA_COMMON_CYCLECLOCK_H_
+#define MA_COMMON_CYCLECLOCK_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+namespace ma {
+
+class CycleClock {
+ public:
+  /// Returns a monotonically increasing cycle count. On x86_64 this is
+  /// rdtsc (constant-rate TSC on all post-Nehalem parts); elsewhere it
+  /// falls back to steady_clock nanoseconds, which preserves ordering and
+  /// proportionality, which is all the bandit needs.
+  static uint64_t Now() {
+#if defined(__x86_64__) || defined(_M_X64)
+    return __rdtsc();
+#else
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+  }
+
+  /// Approximate TSC frequency in Hz, measured once per process against
+  /// steady_clock. Used only to convert cycles to seconds for reporting.
+  static double FrequencyHz();
+};
+
+}  // namespace ma
+
+#endif  // MA_COMMON_CYCLECLOCK_H_

@@ -1,0 +1,60 @@
+#include "common/rng.h"
+
+namespace ma {
+namespace {
+
+u64 SplitMix64(u64* x) {
+  u64 z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(u64 seed) {
+  u64 x = seed;
+  for (auto& s : s_) s = SplitMix64(&x);
+}
+
+u64 Rng::Next() {
+  const u64 result = Rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::NextBounded(u64 bound) {
+  // Lemire's multiply-shift rejection-free approximation is fine here:
+  // the bias for bound << 2^64 is negligible for our use cases, but use
+  // rejection sampling to keep tests exact for small bounds.
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    const u64 r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+i64 Rng::NextRange(i64 lo, i64 hi) {
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  return lo + static_cast<i64>(NextBounded(span));
+}
+
+f64 Rng::NextDouble() {
+  return static_cast<f64>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(f64 p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace ma

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation. Everything in this repo
+// that involves randomness (data generation, bandit exploration, test
+// inputs) goes through Rng so runs are reproducible from a seed.
+#ifndef MA_COMMON_RNG_H_
+#define MA_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ma {
+
+/// splitmix64-seeded xoshiro256** generator. Small, fast, and decent
+/// statistical quality; not cryptographic (does not need to be).
+class Rng {
+ public:
+  explicit Rng(u64 seed = 42) { Seed(seed); }
+
+  void Seed(u64 seed);
+
+  /// Uniform over the full 64-bit range.
+  u64 Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u64 NextBounded(u64 bound);
+
+  /// Uniform integer in the closed interval [lo, hi].
+  i64 NextRange(i64 lo, i64 hi);
+
+  /// Uniform double in [0, 1).
+  f64 NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(f64 p);
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace ma
+
+#endif  // MA_COMMON_RNG_H_

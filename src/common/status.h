@@ -1,0 +1,74 @@
+// Minimal error propagation type. The engine does not use exceptions
+// (per the style guides for database C++); fallible entry points return
+// Status and fatal invariant violations use MA_CHECK.
+#ifndef MA_COMMON_STATUS_H_
+#define MA_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace ma {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kInternal,
+  kUnimplemented,
+};
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Fatal invariant check; always on (benchmark hot loops avoid it).
+#define MA_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MA_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define MA_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::ma::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace ma
+
+#endif  // MA_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#include "common/string_heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ma {
+
+StrRef StringHeap::Add(std::string_view s) {
+  const size_t need = s.size();
+  if (need > kChunkSize) {
+    // Oversized strings get a dedicated chunk.
+    chunks_.push_back(std::make_unique<char[]>(need));
+    char* dst = chunks_.back().get();
+    std::memcpy(dst, s.data(), need);
+    bytes_used_ += need;
+    // Keep chunk_pos_ pointing at the previous (non-dedicated) chunk by
+    // swapping the dedicated chunk one position back when possible.
+    if (chunks_.size() >= 2) {
+      std::swap(chunks_[chunks_.size() - 1], chunks_[chunks_.size() - 2]);
+      return StrRef{chunks_[chunks_.size() - 2].get(),
+                    static_cast<u32>(need)};
+    }
+    chunk_pos_ = kChunkSize;
+    return StrRef{dst, static_cast<u32>(need)};
+  }
+  if (chunks_.empty() || chunk_pos_ + need > kChunkSize) {
+    chunks_.push_back(std::make_unique<char[]>(kChunkSize));
+    chunk_pos_ = 0;
+  }
+  char* dst = chunks_.back().get() + chunk_pos_;
+  std::memcpy(dst, s.data(), need);
+  chunk_pos_ += need;
+  bytes_used_ += need;
+  return StrRef{dst, static_cast<u32>(need)};
+}
+
+}  // namespace ma

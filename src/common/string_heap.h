@@ -1,0 +1,41 @@
+// Arena for immutable string payloads referenced by StrRef values.
+// Columns of strings store fixed-width StrRef entries whose bytes live in
+// a StringHeap, mirroring how Vectorwise keeps variable-width data out of
+// the vectors the kernels iterate.
+#ifndef MA_COMMON_STRING_HEAP_H_
+#define MA_COMMON_STRING_HEAP_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ma {
+
+class StringHeap {
+ public:
+  StringHeap() = default;
+  StringHeap(const StringHeap&) = delete;
+  StringHeap& operator=(const StringHeap&) = delete;
+  StringHeap(StringHeap&&) = default;
+  StringHeap& operator=(StringHeap&&) = default;
+
+  /// Copies `s` into the heap and returns a stable reference. References
+  /// remain valid for the lifetime of the heap (chunks never move).
+  StrRef Add(std::string_view s);
+
+  /// Total payload bytes currently stored.
+  size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  static constexpr size_t kChunkSize = 1 << 16;
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_pos_ = kChunkSize;  // force allocation on first Add
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace ma
+
+#endif  // MA_COMMON_STRING_HEAP_H_

@@ -1,0 +1,99 @@
+// Fundamental scalar types and constants used across the microadaptive
+// engine. The engine follows the Vectorwise convention of processing data
+// in small vectors (default 1024 values) so that per-call overheads
+// amortize while the working set stays cache resident.
+#ifndef MA_COMMON_TYPES_H_
+#define MA_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ma {
+
+using i8 = int8_t;
+using i16 = int16_t;
+using i32 = int32_t;
+using i64 = int64_t;
+using u8 = uint8_t;
+using u16 = uint16_t;
+using u32 = uint32_t;
+using u64 = uint64_t;
+using f32 = float;
+using f64 = double;
+
+/// Index type used inside selection vectors. Vectorwise uses positions
+/// within a vector, so 32 bits is ample (vectors are ~1K values).
+using sel_t = u32;
+
+/// Default number of values per vector; the paper's "e.g. 1000 tuples".
+inline constexpr size_t kDefaultVectorSize = 1024;
+
+/// Hard upper bound for vector size; buffers are allocated to this when a
+/// caller does not specify a size. Kept a power of two so bandit phase
+/// arithmetic (which relies on power-of-two periods) composes cleanly.
+inline constexpr size_t kMaxVectorSize = 4096;
+
+/// Reference to a string stored in a StringHeap. Strings in columns are
+/// immutable, so a (pointer, length) pair is sufficient and keeps string
+/// vectors fixed width, which is what the vectorized kernels require.
+struct StrRef {
+  const char* data = nullptr;
+  u32 len = 0;
+
+  std::string_view view() const { return std::string_view(data, len); }
+  friend bool operator==(const StrRef& a, const StrRef& b) {
+    return a.view() == b.view();
+  }
+  friend auto operator<=>(const StrRef& a, const StrRef& b) {
+    return a.view() <=> b.view();
+  }
+};
+
+/// Physical type tags of vector payloads.
+enum class PhysicalType : u8 {
+  kI8,
+  kI16,
+  kI32,
+  kI64,
+  kF64,
+  kStr,
+};
+
+/// Number of bytes of one value of `t`.
+size_t TypeWidth(PhysicalType t);
+
+/// Human-readable name ("i32", "str", ...) used in primitive signatures.
+const char* TypeName(PhysicalType t);
+
+/// Maps a C++ type to its PhysicalType tag at compile time.
+template <typename T>
+struct TypeTag;
+template <>
+struct TypeTag<i8> {
+  static constexpr PhysicalType value = PhysicalType::kI8;
+};
+template <>
+struct TypeTag<i16> {
+  static constexpr PhysicalType value = PhysicalType::kI16;
+};
+template <>
+struct TypeTag<i32> {
+  static constexpr PhysicalType value = PhysicalType::kI32;
+};
+template <>
+struct TypeTag<i64> {
+  static constexpr PhysicalType value = PhysicalType::kI64;
+};
+template <>
+struct TypeTag<f64> {
+  static constexpr PhysicalType value = PhysicalType::kF64;
+};
+template <>
+struct TypeTag<StrRef> {
+  static constexpr PhysicalType value = PhysicalType::kStr;
+};
+
+}  // namespace ma
+
+#endif  // MA_COMMON_TYPES_H_

@@ -1,0 +1,65 @@
+#include "exec/engine.h"
+
+#include "common/cycleclock.h"
+#include "exec/operator.h"
+
+namespace ma {
+
+Engine::Engine(EngineConfig config, PrimitiveDictionary* dict)
+    : config_(std::move(config)), dict_(dict) {
+  MA_CHECK(config_.vector_size > 0 &&
+           config_.vector_size <= kMaxVectorSize);
+}
+
+PrimitiveInstance* Engine::NewInstance(std::string_view signature,
+                                       std::string label, u64 bloom_bytes) {
+  const FlavorEntry* entry = dict_->Find(signature);
+  MA_CHECK(entry != nullptr);
+  instances_.push_back(std::make_unique<PrimitiveInstance>(
+      entry, config_.adaptive, std::move(label)));
+  PrimitiveInstance* inst = instances_.back().get();
+  if (config_.adaptive.mode == ExecMode::kHeuristic) {
+    InstallHeuristics(inst, config_.heuristics, bloom_bytes);
+  }
+  return inst;
+}
+
+u64 Engine::TotalPrimitiveCycles() const {
+  u64 total = 0;
+  for (const auto& inst : instances_) total += inst->cycles();
+  return total;
+}
+
+RunResult Engine::Run(Operator& root, bool materialize) {
+  RunResult result;
+  const u64 prim_at_start = TotalPrimitiveCycles();
+  const u64 t0 = CycleClock::Now();
+
+  MA_CHECK(root.Open().ok());
+  const u64 t_open = CycleClock::Now();
+
+  if (materialize) result.table = std::make_unique<Table>("result");
+  Batch batch;
+  u64 append_cycles = 0;
+  for (;;) {
+    batch.Clear();
+    if (!root.Next(&batch)) break;
+    result.rows_emitted += batch.live_count();
+    if (!materialize) continue;
+    const u64 a0 = CycleClock::Now();
+    AppendBatchToTable(batch, result.table.get());
+    append_cycles += CycleClock::Now() - a0;
+  }
+  const u64 t_end = CycleClock::Now();
+
+  result.stages.preprocess = t_open - t0;
+  result.stages.execute = t_end - t_open - append_cycles;
+  result.stages.primitives = TotalPrimitiveCycles() - prim_at_start;
+  result.stages.postprocess = append_cycles;
+  result.total_cycles = t_end - t0;
+  result.seconds =
+      static_cast<f64>(result.total_cycles) / CycleClock::FrequencyHz();
+  return result;
+}
+
+}  // namespace ma

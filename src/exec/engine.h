@@ -1,0 +1,87 @@
+// Engine: owns the runtime configuration (vector size, adaptivity mode,
+// bandit parameters, heuristic thresholds), creates and tracks every
+// PrimitiveInstance of a query, and runs operator trees to completion
+// with stage-level profiling (Table 1's preprocess/execute/primitives
+// breakdown).
+#ifndef MA_EXEC_ENGINE_H_
+#define MA_EXEC_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/heuristics.h"
+#include "adapt/primitive_instance.h"
+#include "registry/primitive_dictionary.h"
+#include "storage/table.h"
+
+namespace ma {
+
+class Operator;
+
+struct EngineConfig {
+  size_t vector_size = kDefaultVectorSize;
+  AdaptiveConfig adaptive;
+  HeuristicThresholds heuristics;
+  /// Use bloom filters in hash joins when the probe side is expected to
+  /// miss often (the engine decides per join via this switch).
+  bool join_bloom_filters = true;
+};
+
+/// Cycle counts per execution stage, as in Table 1 of the paper.
+struct StageProfile {
+  u64 preprocess = 0;   // operator open/bind (plan preparation)
+  u64 execute = 0;      // the pull loop, everything inside Run
+  u64 primitives = 0;   // cycles inside primitive functions
+  u64 postprocess = 0;  // result materialization / profile capture
+};
+
+struct RunResult {
+  std::unique_ptr<Table> table;  // null when run without materialization
+  StageProfile stages;
+  u64 rows_emitted = 0;
+  u64 total_cycles = 0;
+  f64 seconds = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = EngineConfig(),
+                  PrimitiveDictionary* dict =
+                      &PrimitiveDictionary::Global());
+
+  const EngineConfig& config() const { return config_; }
+  size_t vector_size() const { return config_.vector_size; }
+
+  /// Creates a primitive instance for `signature`, registered in the
+  /// engine profile under `label`. Installs heuristics automatically in
+  /// heuristic mode (`bloom_bytes` is consulted for bloom probes).
+  PrimitiveInstance* NewInstance(std::string_view signature,
+                                 std::string label, u64 bloom_bytes = 0);
+
+  /// All instances created so far (the per-query profile).
+  const std::vector<std::unique_ptr<PrimitiveInstance>>& instances() const {
+    return instances_;
+  }
+
+  /// Sum of cycles spent inside primitives across all instances.
+  u64 TotalPrimitiveCycles() const;
+
+  /// Runs an operator tree to completion. With `materialize` false the
+  /// result batches are consumed but not copied into a table — the
+  /// Vectorwise situation where results stream to a client (used by the
+  /// Table 1 stage-breakdown experiment).
+  RunResult Run(Operator& root, bool materialize = true);
+
+  /// Drops all instances/profiling (e.g. between benchmark repetitions).
+  void ResetProfile() { instances_.clear(); }
+
+ private:
+  EngineConfig config_;
+  PrimitiveDictionary* dict_;
+  std::vector<std::unique_ptr<PrimitiveInstance>> instances_;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_ENGINE_H_

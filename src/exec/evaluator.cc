@@ -1,0 +1,242 @@
+#include "exec/evaluator.h"
+
+#include <algorithm>
+
+#include "prim/map_kernels.h"
+#include "prim/sel_kernels.h"
+
+namespace ma {
+
+ExprEvaluator::ExprEvaluator(Engine* engine, std::string label_prefix)
+    : engine_(engine), label_prefix_(std::move(label_prefix)) {}
+
+PhysicalType ExprEvaluator::ResolveType(const Expr& expr,
+                                        const Batch& batch) {
+  switch (expr.kind) {
+    case Expr::Kind::kColumn: {
+      const int idx = batch.FindColumn(expr.column);
+      MA_CHECK(idx >= 0);
+      return batch.column(idx).type();
+    }
+    case Expr::Kind::kLiteral:
+      return expr.lit_type;
+    case Expr::Kind::kArith: {
+      // Literals coerce to the non-literal side; otherwise types must
+      // match (the planner inserts no implicit casts).
+      const Expr& l = *expr.children[0];
+      const Expr& r = *expr.children[1];
+      if (l.kind == Expr::Kind::kLiteral &&
+          r.kind != Expr::Kind::kLiteral) {
+        return ResolveType(r, batch);
+      }
+      return ResolveType(l, batch);
+    }
+    default:
+      MA_CHECK(false);  // predicates produce selections, not values
+      return PhysicalType::kI64;
+  }
+}
+
+const void* ExprEvaluator::OperandData(const Expr& operand,
+                                       PhysicalType as_type, Batch& batch,
+                                       NodeState& owner, bool* is_val) {
+  if (operand.kind == Expr::Kind::kLiteral) {
+    *is_val = true;
+    switch (as_type) {
+      case PhysicalType::kI16:
+        owner.lit_i16 = static_cast<i16>(operand.lit_i);
+        return &owner.lit_i16;
+      case PhysicalType::kI32:
+        owner.lit_i32 = static_cast<i32>(operand.lit_i);
+        return &owner.lit_i32;
+      case PhysicalType::kI64:
+        owner.lit_i64 = operand.lit_type == PhysicalType::kF64
+                            ? static_cast<i64>(operand.lit_f)
+                            : operand.lit_i;
+        return &owner.lit_i64;
+      case PhysicalType::kF64:
+        owner.lit_f64 = operand.lit_type == PhysicalType::kF64
+                            ? operand.lit_f
+                            : static_cast<f64>(operand.lit_i);
+        return &owner.lit_f64;
+      case PhysicalType::kStr:
+        owner.lit_str = operand.lit_s;
+        owner.lit_ref =
+            StrRef{owner.lit_str.data(),
+                   static_cast<u32>(owner.lit_str.size())};
+        return &owner.lit_ref;
+      default:
+        MA_CHECK(false);
+        return nullptr;
+    }
+  }
+  *is_val = false;
+  if (operand.kind == Expr::Kind::kColumn) {
+    const int idx = batch.FindColumn(operand.column);
+    MA_CHECK(idx >= 0);
+    MA_CHECK(batch.column(idx).type() == as_type);
+    return batch.column(idx).raw_data();
+  }
+  // Nested arithmetic.
+  return EvaluateValue(operand, batch)->raw_data();
+}
+
+std::shared_ptr<Vector> ExprEvaluator::EvaluateValue(const Expr& expr,
+                                                     Batch& batch) {
+  if (expr.kind == Expr::Kind::kColumn) {
+    const int idx = batch.FindColumn(expr.column);
+    MA_CHECK(idx >= 0);
+    return batch.column_ptr(idx);
+  }
+  MA_CHECK(expr.kind == Expr::Kind::kArith);
+  NodeState& st = State(&expr);
+  const PhysicalType t = ResolveType(expr, batch);
+  if (!st.bound) {
+    st.out_type = t;
+    st.out = std::make_shared<Vector>(t, kMaxVectorSize);
+    const bool rhs_is_lit =
+        expr.children[1]->kind == Expr::Kind::kLiteral;
+    st.instance = engine_->NewInstance(
+        MapSignature(expr.op.c_str(), t, rhs_is_lit),
+        label_prefix_ + "/" + expr.ToString());
+    st.bound = true;
+  }
+  bool lv = false, rv = false;
+  const void* l = OperandData(*expr.children[0], t, batch, st, &lv);
+  const void* r = OperandData(*expr.children[1], t, batch, st, &rv);
+  MA_CHECK(!lv);  // left side of arithmetic must be a vector
+
+  PrimCall c;
+  c.n = batch.row_count();
+  c.res = st.out->raw_data();
+  c.in1 = l;
+  c.in2 = r;
+  if (batch.has_sel()) {
+    c.sel = batch.sel().data();
+    c.sel_n = batch.sel().size();
+  }
+  st.instance->Call(c);
+  st.out->set_size(batch.row_count());
+  return st.out;
+}
+
+Status ExprEvaluator::EvaluatePredicate(const Expr& expr, Batch& batch) {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd: {
+      for (const ExprPtr& child : expr.children) {
+        MA_RETURN_IF_ERROR(EvaluatePredicate(*child, batch));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kOr: {
+      // Evaluate each branch against the same input selection and union
+      // the results (sorted merge; branches may overlap).
+      or_input_.clear();
+      if (batch.has_sel()) {
+        or_input_.assign(batch.sel().data(),
+                         batch.sel().data() + batch.sel().size());
+      }
+      const bool had_sel = batch.has_sel();
+      or_accum_.clear();
+      std::vector<sel_t> merged;
+      for (const ExprPtr& child : expr.children) {
+        // Restore the input selection for this branch.
+        if (had_sel) {
+          SelVector& sel = batch.mutable_sel();
+          std::copy(or_input_.begin(), or_input_.end(), sel.data());
+          sel.set_size(or_input_.size());
+          batch.set_sel_active(true);
+        } else {
+          batch.set_sel_active(false);
+        }
+        MA_RETURN_IF_ERROR(EvaluatePredicate(*child, batch));
+        // Union into or_accum_.
+        const SelVector& sel = batch.sel();
+        merged.clear();
+        merged.reserve(or_accum_.size() + sel.size());
+        std::set_union(or_accum_.begin(), or_accum_.end(), sel.data(),
+                       sel.data() + sel.size(),
+                       std::back_inserter(merged));
+        or_accum_.swap(merged);
+      }
+      SelVector& sel = batch.mutable_sel();
+      MA_CHECK(or_accum_.size() <= sel.capacity());
+      std::copy(or_accum_.begin(), or_accum_.end(), sel.data());
+      sel.set_size(or_accum_.size());
+      batch.set_sel_active(true);
+      return Status::OK();
+    }
+    case Expr::Kind::kCompare: {
+      NodeState& st = State(&expr);
+      const PhysicalType t = ResolveType(*expr.children[0], batch) ==
+                                     PhysicalType::kStr
+                                 ? PhysicalType::kStr
+                                 : ResolveType(*expr.children[0], batch);
+      if (!st.bound) {
+        st.out_type = t;
+        const bool rhs_is_lit =
+            expr.children[1]->kind == Expr::Kind::kLiteral;
+        st.instance = engine_->NewInstance(
+            SelSignature(expr.op.c_str(), t, rhs_is_lit),
+            label_prefix_ + "/" + expr.ToString());
+        st.bound = true;
+      }
+      bool lv = false, rv = false;
+      const void* l = OperandData(*expr.children[0], t, batch, st, &lv);
+      const void* r = OperandData(*expr.children[1], t, batch, st, &rv);
+      MA_CHECK(!lv);
+
+      PrimCall c;
+      c.n = batch.row_count();
+      SelVector& sel = batch.mutable_sel();
+      c.res_sel = sel.data();  // in-place narrowing is safe: writes trail
+                               // reads (k <= j invariant in sel kernels)
+      c.in1 = l;
+      c.in2 = r;
+      if (batch.has_sel()) {
+        c.sel = sel.data();
+        c.sel_n = sel.size();
+      }
+      const size_t produced = st.instance->Call(c);
+      sel.set_size(produced);
+      batch.set_sel_active(true);
+      return Status::OK();
+    }
+    case Expr::Kind::kStrPred: {
+      NodeState& st = State(&expr);
+      if (!st.bound) {
+        st.instance = engine_->NewInstance(
+            "sel_" + expr.op + "_str_col_str_val",
+            label_prefix_ + "/" + expr.ToString());
+        st.bound = true;
+      }
+      bool lv = false;
+      const void* col = OperandData(*expr.children[0], PhysicalType::kStr,
+                                    batch, st, &lv);
+      MA_CHECK(!lv);
+      st.lit_str = expr.lit_s;
+      st.lit_ref = StrRef{st.lit_str.data(),
+                          static_cast<u32>(st.lit_str.size())};
+
+      PrimCall c;
+      c.n = batch.row_count();
+      SelVector& sel = batch.mutable_sel();
+      c.res_sel = sel.data();
+      c.in1 = col;
+      c.in2 = &st.lit_ref;
+      if (batch.has_sel()) {
+        c.sel = sel.data();
+        c.sel_n = sel.size();
+      }
+      const size_t produced = st.instance->Call(c);
+      sel.set_size(produced);
+      batch.set_sel_active(true);
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("not a predicate: " +
+                                     expr.ToString());
+  }
+}
+
+}  // namespace ma

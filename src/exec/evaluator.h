@@ -1,0 +1,69 @@
+// ExprEvaluator: the vectorized expression evaluator, and the place where
+// Micro Adaptivity lives (paper §3.2). Each arithmetic / comparison node
+// of an expression is bound to one PrimitiveInstance; every call to that
+// node goes through the instance, which picks a flavor via the configured
+// bandit policy, times it, and learns.
+#ifndef MA_EXEC_EVALUATOR_H_
+#define MA_EXEC_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "exec/engine.h"
+#include "exec/expr.h"
+#include "vector/batch.h"
+
+namespace ma {
+
+class ExprEvaluator {
+ public:
+  /// `label_prefix` prefixes instance labels (e.g. "q12/select").
+  ExprEvaluator(Engine* engine, std::string label_prefix);
+
+  /// Evaluates a value-producing expression for the batch's live
+  /// positions; returns a vector aligned with the batch's rows (dead
+  /// positions undefined unless a full-computation flavor ran). The
+  /// returned vector is owned by the evaluator and reused on next call.
+  std::shared_ptr<Vector> EvaluateValue(const Expr& expr, Batch& batch);
+
+  /// Evaluates a predicate, narrowing the batch's selection vector in
+  /// place (activating it if the batch had none).
+  Status EvaluatePredicate(const Expr& expr, Batch& batch);
+
+ private:
+  struct NodeState {
+    PrimitiveInstance* instance = nullptr;
+    std::shared_ptr<Vector> out;
+    PhysicalType out_type = PhysicalType::kI64;
+    bool bound = false;
+    // Literal payload with stable address for _val parameters.
+    i16 lit_i16 = 0;
+    i32 lit_i32 = 0;
+    i64 lit_i64 = 0;
+    f64 lit_f64 = 0;
+    std::string lit_str;
+    StrRef lit_ref;
+  };
+
+  NodeState& State(const Expr* node) { return states_[node]; }
+
+  /// Resolves the physical type `expr` produces given the batch schema.
+  PhysicalType ResolveType(const Expr& expr, const Batch& batch);
+
+  /// Returns (data pointer, is_val) for an operand: columns/arith nodes
+  /// yield vectors, literals yield a pointer to a single coerced value.
+  const void* OperandData(const Expr& operand, PhysicalType as_type,
+                          Batch& batch, NodeState& owner, bool* is_val);
+
+  Engine* engine_;
+  std::string label_prefix_;
+  std::unordered_map<const Expr*, NodeState> states_;
+  /// Scratch for kOr selection union.
+  std::vector<sel_t> or_accum_;
+  std::vector<sel_t> or_input_;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_EVALUATOR_H_

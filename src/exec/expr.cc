@@ -1,0 +1,150 @@
+#include "exec/expr.h"
+
+#include "common/status.h"
+
+namespace ma {
+
+ExprPtr Expr::Col(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::LitI64(i64 v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->lit_type = PhysicalType::kI64;
+  e->lit_i = v;
+  return e;
+}
+
+ExprPtr Expr::LitF64(f64 v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->lit_type = PhysicalType::kF64;
+  e->lit_f = v;
+  return e;
+}
+
+ExprPtr Expr::LitStr(std::string v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->lit_type = PhysicalType::kStr;
+  e->lit_s = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Arith(std::string op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kArith;
+  e->op = std::move(op);
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr Expr::Cmp(std::string op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCompare;
+  e->op = std::move(op);
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr Expr::StrPred(std::string op, ExprPtr col, std::string val) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStrPred;
+  e->op = std::move(op);
+  e->children.push_back(std::move(col));
+  e->lit_type = PhysicalType::kStr;
+  e->lit_s = std::move(val);
+  return e;
+}
+
+ExprPtr Expr::And(std::vector<ExprPtr> preds) {
+  MA_CHECK(!preds.empty());
+  if (preds.size() == 1) return std::move(preds[0]);
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAnd;
+  e->children = std::move(preds);
+  return e;
+}
+
+ExprPtr Expr::Or(std::vector<ExprPtr> preds) {
+  MA_CHECK(!preds.empty());
+  if (preds.size() == 1) return std::move(preds[0]);
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kOr;
+  e->children = std::move(preds);
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->column = column;
+  e->lit_type = lit_type;
+  e->lit_i = lit_i;
+  e->lit_f = lit_f;
+  e->lit_s = lit_s;
+  e->op = op;
+  e->children.reserve(children.size());
+  for (const ExprPtr& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column;
+    case Kind::kLiteral:
+      if (lit_type == PhysicalType::kStr) return "'" + lit_s + "'";
+      if (lit_type == PhysicalType::kF64) return std::to_string(lit_f);
+      return std::to_string(lit_i);
+    case Kind::kArith:
+    case Kind::kCompare:
+      return op + "(" + children[0]->ToString() + "," +
+             children[1]->ToString() + ")";
+    case Kind::kStrPred:
+      return op + "(" + children[0]->ToString() + ",'" + lit_s + "')";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string s = kind == Kind::kAnd ? "and(" : "or(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) s += ",";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+ExprPtr InI64(std::string col, std::vector<i64> values) {
+  std::vector<ExprPtr> preds;
+  preds.reserve(values.size());
+  for (const i64 v : values) {
+    preds.push_back(Eq(Col(col), Lit(v)));
+  }
+  return OrAny(std::move(preds));
+}
+
+ExprPtr InStr(std::string col, std::vector<std::string> values) {
+  std::vector<ExprPtr> preds;
+  preds.reserve(values.size());
+  for (std::string& v : values) {
+    preds.push_back(StrEq(col, std::move(v)));
+  }
+  return OrAny(std::move(preds));
+}
+
+ExprPtr RangeI64(const std::string& col, i64 lo, i64 hi) {
+  std::vector<ExprPtr> preds;
+  preds.push_back(Ge(Col(col), Lit(lo)));
+  preds.push_back(Lt(Col(col), Lit(hi)));
+  return AndAll(std::move(preds));
+}
+
+}  // namespace ma

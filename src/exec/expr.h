@@ -1,0 +1,136 @@
+// Expression trees. Each arithmetic or comparison node becomes one
+// primitive instance when bound against an input schema — the paper's
+// "primitive instance" granularity at which Micro Adaptivity operates.
+#ifndef MA_EXEC_EXPR_H_
+#define MA_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ma {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : u8 {
+    kColumn,   // reference to an input column by name
+    kLiteral,  // typed constant
+    kArith,    // op in {add, sub, mul, div}; value-producing
+    kCompare,  // op in {lt, le, gt, ge, eq, ne}; predicate
+    kStrPred,  // op in {eq, ne, prefix, notprefix, suffix, contains,
+               //        notcontains}; predicate over str column vs const
+    kAnd,      // conjunction of predicates (children narrow the selection)
+    kOr,       // disjunction of predicates (selection union)
+  };
+
+  Kind kind;
+  std::string column;  // kColumn
+
+  // kLiteral payload (one of, per lit_type).
+  PhysicalType lit_type = PhysicalType::kI64;
+  i64 lit_i = 0;
+  f64 lit_f = 0;
+  std::string lit_s;
+
+  std::string op;  // kArith / kCompare / kStrPred
+  std::vector<ExprPtr> children;
+
+  // --- factory helpers ---
+  static ExprPtr Col(std::string name);
+  static ExprPtr LitI64(i64 v);
+  static ExprPtr LitF64(f64 v);
+  static ExprPtr LitStr(std::string v);
+  static ExprPtr Arith(std::string op, ExprPtr l, ExprPtr r);
+  static ExprPtr Cmp(std::string op, ExprPtr l, ExprPtr r);
+  static ExprPtr StrPred(std::string op, ExprPtr col, std::string val);
+  static ExprPtr And(std::vector<ExprPtr> preds);
+  static ExprPtr Or(std::vector<ExprPtr> preds);
+
+  /// Deep copy (plans are reused across engine configurations).
+  ExprPtr Clone() const;
+
+  /// Human-readable form for labels/diagnostics.
+  std::string ToString() const;
+};
+
+// Short free-function sugar used by query plans and examples.
+inline ExprPtr Col(std::string name) { return Expr::Col(std::move(name)); }
+inline ExprPtr Lit(i64 v) { return Expr::LitI64(v); }
+inline ExprPtr Lit(int v) { return Expr::LitI64(v); }
+inline ExprPtr Lit(f64 v) { return Expr::LitF64(v); }
+inline ExprPtr Lit(const char* v) { return Expr::LitStr(v); }
+inline ExprPtr Add(ExprPtr l, ExprPtr r) {
+  return Expr::Arith("add", std::move(l), std::move(r));
+}
+inline ExprPtr Sub(ExprPtr l, ExprPtr r) {
+  return Expr::Arith("sub", std::move(l), std::move(r));
+}
+inline ExprPtr Mul(ExprPtr l, ExprPtr r) {
+  return Expr::Arith("mul", std::move(l), std::move(r));
+}
+inline ExprPtr Div(ExprPtr l, ExprPtr r) {
+  return Expr::Arith("div", std::move(l), std::move(r));
+}
+inline ExprPtr Lt(ExprPtr l, ExprPtr r) {
+  return Expr::Cmp("lt", std::move(l), std::move(r));
+}
+inline ExprPtr Le(ExprPtr l, ExprPtr r) {
+  return Expr::Cmp("le", std::move(l), std::move(r));
+}
+inline ExprPtr Gt(ExprPtr l, ExprPtr r) {
+  return Expr::Cmp("gt", std::move(l), std::move(r));
+}
+inline ExprPtr Ge(ExprPtr l, ExprPtr r) {
+  return Expr::Cmp("ge", std::move(l), std::move(r));
+}
+inline ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return Expr::Cmp("eq", std::move(l), std::move(r));
+}
+inline ExprPtr Ne(ExprPtr l, ExprPtr r) {
+  return Expr::Cmp("ne", std::move(l), std::move(r));
+}
+inline ExprPtr StrEq(std::string col, std::string val) {
+  return Expr::StrPred("eq", Expr::Col(std::move(col)), std::move(val));
+}
+inline ExprPtr StrNe(std::string col, std::string val) {
+  return Expr::StrPred("ne", Expr::Col(std::move(col)), std::move(val));
+}
+inline ExprPtr StrPrefix(std::string col, std::string val) {
+  return Expr::StrPred("prefix", Expr::Col(std::move(col)),
+                       std::move(val));
+}
+inline ExprPtr StrNotPrefix(std::string col, std::string val) {
+  return Expr::StrPred("notprefix", Expr::Col(std::move(col)),
+                       std::move(val));
+}
+inline ExprPtr StrSuffix(std::string col, std::string val) {
+  return Expr::StrPred("suffix", Expr::Col(std::move(col)),
+                       std::move(val));
+}
+inline ExprPtr StrContains(std::string col, std::string val) {
+  return Expr::StrPred("contains", Expr::Col(std::move(col)),
+                       std::move(val));
+}
+inline ExprPtr StrNotContains(std::string col, std::string val) {
+  return Expr::StrPred("notcontains", Expr::Col(std::move(col)),
+                       std::move(val));
+}
+inline ExprPtr AndAll(std::vector<ExprPtr> preds) {
+  return Expr::And(std::move(preds));
+}
+inline ExprPtr OrAny(std::vector<ExprPtr> preds) {
+  return Expr::Or(std::move(preds));
+}
+/// col IN (v1, v2, ...) as an OR of equalities.
+ExprPtr InI64(std::string col, std::vector<i64> values);
+ExprPtr InStr(std::string col, std::vector<std::string> values);
+/// lo <= col AND col < hi (half-open range, the common date filter).
+ExprPtr RangeI64(const std::string& col, i64 lo, i64 hi);
+
+}  // namespace ma
+
+#endif  // MA_EXEC_EXPR_H_

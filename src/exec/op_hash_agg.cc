@@ -1,0 +1,276 @@
+#include "exec/op_hash_agg.h"
+
+#include <limits>
+
+#include "prim/aggr_kernels.h"
+
+namespace ma {
+
+HashAggOperator::HashAggOperator(Engine* engine, OperatorPtr child,
+                                 std::vector<GroupKey> group_keys,
+                                 std::vector<std::string> group_outputs,
+                                 std::vector<AggSpec> aggs,
+                                 std::string label)
+    : Operator(engine),
+      child_(std::move(child)),
+      group_keys_(std::move(group_keys)),
+      group_output_names_(std::move(group_outputs)),
+      agg_specs_(std::move(aggs)),
+      label_(label),
+      eval_(engine, label) {
+  int total_bits = 0;
+  for (const GroupKey& k : group_keys_) total_bits += k.bits;
+  MA_CHECK(total_bits <= 63);
+}
+
+Status HashAggOperator::Open() {
+  MA_RETURN_IF_ERROR(child_->Open());
+  if (!group_keys_.empty()) {
+    insertcheck_ = engine_->NewInstance("ht_insertcheck_i64_col",
+                                        label_ + "/insertcheck");
+  } else {
+    table_.FindOrInsert(0);  // the single global group
+  }
+  aggs_.clear();
+  for (AggSpec& spec : agg_specs_) {
+    AggState st;
+    st.spec.fn = spec.fn;
+    st.spec.arg = spec.arg ? spec.arg->Clone() : nullptr;
+    st.spec.out_name = spec.out_name;
+    st.spec.type_hint = spec.type_hint;
+    aggs_.push_back(std::move(st));
+  }
+  key_scratch_.resize(kMaxVectorSize, 0);
+  gid_scratch_.resize(kMaxVectorSize, 0);
+  emit_pos_ = 0;
+  input_done_ = false;
+
+  // Drain the child now (blocking operator).
+  Batch batch;
+  for (;;) {
+    batch.Clear();
+    if (!child_->Next(&batch)) break;
+    if (batch.live_count() == 0) continue;
+    ConsumeBatch(batch);
+  }
+  input_done_ = true;
+  // If the input was empty, no aggregate got bound: settle argument
+  // types from the hints and size accumulators so Next() can emit the
+  // (possibly single, global) group rows.
+  for (AggState& st : aggs_) {
+    if (st.update == nullptr) {
+      st.arg_type = st.spec.arg != nullptr ? st.spec.type_hint
+                                           : PhysicalType::kI64;
+    }
+  }
+  ResizeAccumulators();
+  return Status::OK();
+}
+
+void HashAggOperator::ResizeAccumulators() {
+  const u32 groups = table_.num_groups();
+  for (AggState& st : aggs_) {
+    const bool is_min = st.spec.fn == "min";
+    const bool is_max = st.spec.fn == "max";
+    if (st.is_float()) {
+      const f64 init =
+          is_min ? std::numeric_limits<f64>::infinity()
+                 : (is_max ? -std::numeric_limits<f64>::infinity() : 0.0);
+      st.acc_f.resize(groups, init);
+    } else {
+      const i64 init =
+          is_min ? std::numeric_limits<i64>::max()
+                 : (is_max ? std::numeric_limits<i64>::min() : 0);
+      st.acc_i.resize(groups, init);
+    }
+    if (st.spec.fn == "avg") st.count.resize(groups, 0);
+  }
+}
+
+void HashAggOperator::ConsumeBatch(Batch& batch) {
+  const size_t n = batch.row_count();
+  const sel_t* sel = batch.has_sel() ? batch.sel().data() : nullptr;
+  const size_t live = batch.live_count();
+
+  // (1) Pack group keys.
+  if (!group_keys_.empty()) {
+    std::vector<const i64*> key_cols(group_keys_.size());
+    for (size_t k = 0; k < group_keys_.size(); ++k) {
+      const int idx = batch.FindColumn(group_keys_[k].column);
+      MA_CHECK(idx >= 0);
+      key_cols[k] = batch.column(idx).Data<i64>();
+    }
+    auto pack_one = [&](sel_t i) {
+      i64 key = 0;
+      for (size_t k = 0; k < group_keys_.size(); ++k) {
+        const i64 v = key_cols[k][i];
+        MA_CHECK(v >= 0 && v < (i64{1} << group_keys_[k].bits));
+        key = (key << group_keys_[k].bits) | v;
+      }
+      key_scratch_[i] = key;
+    };
+    if (sel != nullptr) {
+      for (size_t j = 0; j < live; ++j) pack_one(sel[j]);
+    } else {
+      for (size_t i = 0; i < n; ++i) pack_one(static_cast<sel_t>(i));
+    }
+
+    // (2) Keys -> dense group ids via the insert-check primitive.
+    table_.EnsureRoom(live);
+    const u32 groups_before = table_.num_groups();
+    PrimCall c;
+    c.n = n;
+    c.res = gid_scratch_.data();
+    c.in1 = key_scratch_.data();
+    c.state = &table_;
+    if (sel != nullptr) {
+      c.sel = sel;
+      c.sel_n = live;
+    }
+    insertcheck_->Call(c);
+
+    // Record first-seen group-output values for new groups.
+    if (!group_output_names_.empty()) {
+      if (group_out_cols_.empty()) {
+        for (const std::string& name : group_output_names_) {
+          const int idx = batch.FindColumn(name);
+          MA_CHECK(idx >= 0);
+          group_out_cols_.push_back(
+              std::make_unique<Column>(batch.column(idx).type()));
+        }
+      }
+      u32 stored = groups_before;
+      auto capture = [&](sel_t i) {
+        if (gid_scratch_[i] < stored) return;
+        MA_CHECK(gid_scratch_[i] == stored);
+        for (size_t g = 0; g < group_output_names_.size(); ++g) {
+          const int idx = batch.FindColumn(group_output_names_[g]);
+          const Vector& src = batch.column(idx);
+          Column* dst = group_out_cols_[g].get();
+          switch (src.type()) {
+            case PhysicalType::kI64:
+              dst->Append<i64>(src.Data<i64>()[i]);
+              break;
+            case PhysicalType::kI32:
+              dst->Append<i32>(src.Data<i32>()[i]);
+              break;
+            case PhysicalType::kI16:
+              dst->Append<i16>(src.Data<i16>()[i]);
+              break;
+            case PhysicalType::kF64:
+              dst->Append<f64>(src.Data<f64>()[i]);
+              break;
+            case PhysicalType::kStr:
+              dst->AppendString(src.Data<StrRef>()[i].view());
+              break;
+            default:
+              MA_CHECK(false);
+          }
+        }
+        ++stored;
+      };
+      if (sel != nullptr) {
+        for (size_t j = 0; j < live; ++j) capture(sel[j]);
+      } else {
+        for (size_t i = 0; i < n; ++i) capture(static_cast<sel_t>(i));
+      }
+    }
+  }
+
+  // (3) Aggregate updates.
+  ResizeAccumulators();
+  for (AggState& st : aggs_) {
+    const void* values = key_scratch_.data();  // dummy for count(*)
+    PhysicalType vt = PhysicalType::kI64;
+    if (st.spec.arg != nullptr) {
+      auto vec = eval_.EvaluateValue(*st.spec.arg, batch);
+      values = vec->raw_data();
+      vt = vec->type();
+    }
+    if (st.update == nullptr) {
+      st.arg_type = vt;
+      const char* fn = st.spec.fn == "avg" ? "sum" : st.spec.fn.c_str();
+      const char* kernel_fn = st.spec.arg == nullptr ? "count" : fn;
+      st.update = engine_->NewInstance(
+          AggrSignature(kernel_fn, vt),
+          label_ + "/aggr_" + st.spec.fn + "_" + st.spec.out_name);
+      if (st.spec.fn == "avg") {
+        // Counts always use the i64 kernel (i64 accumulator) over dummy
+        // values; the count kernel never reads the value column.
+        st.count_update = engine_->NewInstance(
+            AggrSignature("count", PhysicalType::kI64),
+            label_ + "/aggr_count_" + st.spec.out_name);
+      }
+      // Re-resize with the now-known accumulator type.
+      ResizeAccumulators();
+    }
+    MA_CHECK(st.arg_type == vt);
+    PrimCall c;
+    c.n = n;
+    c.in1 = values;
+    c.in2 = gid_scratch_.data();
+    c.state = st.is_float() ? static_cast<void*>(st.acc_f.data())
+                            : static_cast<void*>(st.acc_i.data());
+    if (sel != nullptr) {
+      c.sel = sel;
+      c.sel_n = live;
+    }
+    st.update->Call(c);
+    if (st.count_update != nullptr) {
+      PrimCall cc = c;
+      cc.in1 = key_scratch_.data();  // dummy i64 values, never read
+      cc.state = st.count.data();
+      st.count_update->Call(cc);
+    }
+  }
+}
+
+bool HashAggOperator::Next(Batch* out) {
+  MA_CHECK(input_done_);
+  const u32 groups = table_.num_groups();
+  if (emit_pos_ >= groups) return false;
+  // An aggregation over zero groups with group keys emits nothing; a
+  // global aggregation always has its one group.
+  const size_t n =
+      std::min<size_t>(engine_->vector_size(), groups - emit_pos_);
+
+  for (size_t g = 0; g < group_out_cols_.size(); ++g) {
+    const Column* col = group_out_cols_[g].get();
+    const char* base = static_cast<const char*>(col->RawData());
+    out->AddColumn(group_output_names_[g],
+                   Vector::View(col->type(),
+                                base + emit_pos_ * TypeWidth(col->type()),
+                                n));
+  }
+  for (AggState& st : aggs_) {
+    if (st.spec.fn == "avg") {
+      auto v = std::make_shared<Vector>(PhysicalType::kF64, n);
+      f64* d = v->Data<f64>();
+      for (size_t i = 0; i < n; ++i) {
+        const u32 g = emit_pos_ + static_cast<u32>(i);
+        const f64 sum = st.is_float() ? st.acc_f[g]
+                                      : static_cast<f64>(st.acc_i[g]);
+        d[i] = st.count[g] == 0 ? 0.0 : sum / st.count[g];
+      }
+      v->set_size(n);
+      out->AddColumn(st.spec.out_name, std::move(v));
+    } else if (st.is_float()) {
+      auto v = std::make_shared<Vector>(PhysicalType::kF64, n);
+      f64* d = v->Data<f64>();
+      for (size_t i = 0; i < n; ++i) d[i] = st.acc_f[emit_pos_ + i];
+      v->set_size(n);
+      out->AddColumn(st.spec.out_name, std::move(v));
+    } else {
+      auto v = std::make_shared<Vector>(PhysicalType::kI64, n);
+      i64* d = v->Data<i64>();
+      for (size_t i = 0; i < n; ++i) d[i] = st.acc_i[emit_pos_ + i];
+      v->set_size(n);
+      out->AddColumn(st.spec.out_name, std::move(v));
+    }
+  }
+  out->set_row_count(n);
+  emit_pos_ += static_cast<u32>(n);
+  return true;
+}
+
+}  // namespace ma

@@ -1,0 +1,89 @@
+// HashAgg: vectorized hash aggregation. Per input vector it (1) packs the
+// group-by key columns into one i64 key, (2) translates keys to dense
+// group ids through the insert-check primitive (Figure 4(e)'s
+// hash_insertcheck), and (3) scatters aggregate updates into accumulator
+// arrays through aggr primitives — all three steps adaptive.
+//
+// Group-by key columns must be i64 (dictionary codes, dates, ids) and
+// declare a bit width; widths must sum to <= 63 so packing is exact.
+// With no group keys the operator computes global aggregates (group 0).
+#ifndef MA_EXEC_OP_HASH_AGG_H_
+#define MA_EXEC_OP_HASH_AGG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/evaluator.h"
+#include "exec/operator.h"
+#include "prim/hash_table.h"
+
+namespace ma {
+
+class HashAggOperator : public Operator {
+ public:
+  struct GroupKey {
+    std::string column;  // i64 column in the child's output
+    int bits = 32;       // values must fit in this many bits
+  };
+
+  struct AggSpec {
+    std::string fn;        // "sum" | "min" | "max" | "count" | "avg"
+    ExprPtr arg;           // value expression; null for count(*)
+    std::string out_name;  // output column name
+    /// Argument type used when the input is empty (no batch to infer
+    /// from), so the output column type is stable. Most TPC-H aggregates
+    /// are over f64 measures; integer sums must say so.
+    PhysicalType type_hint = PhysicalType::kF64;
+  };
+
+  /// `group_outputs`: child columns materialized per group (first-seen
+  /// row values) and emitted alongside the aggregates — e.g. the string
+  /// columns whose codes are grouped on.
+  HashAggOperator(Engine* engine, OperatorPtr child,
+                  std::vector<GroupKey> group_keys,
+                  std::vector<std::string> group_outputs,
+                  std::vector<AggSpec> aggs, std::string label = "agg");
+
+  Status Open() override;
+  bool Next(Batch* out) override;
+
+  u32 num_groups() const { return table_.num_groups(); }
+
+ private:
+  struct AggState {
+    AggSpec spec;
+    PhysicalType arg_type = PhysicalType::kI64;
+    PrimitiveInstance* update = nullptr;
+    PrimitiveInstance* count_update = nullptr;  // for avg
+    std::vector<i64> acc_i;
+    std::vector<f64> acc_f;
+    std::vector<i64> count;  // avg denominator
+    bool is_float() const { return arg_type == PhysicalType::kF64; }
+  };
+
+  void ConsumeBatch(Batch& batch);
+  void ResizeAccumulators();
+
+  OperatorPtr child_;
+  std::vector<GroupKey> group_keys_;
+  std::vector<std::string> group_output_names_;
+  std::vector<AggSpec> agg_specs_;
+  std::string label_;
+  ExprEvaluator eval_;
+
+  GroupTable table_;
+  PrimitiveInstance* insertcheck_ = nullptr;
+  std::vector<AggState> aggs_;
+  /// Stored per-group values of group_outputs (first-seen).
+  std::vector<std::unique_ptr<Column>> group_out_cols_;
+  /// Scratch: packed keys and group ids for the current vector.
+  std::vector<i64> key_scratch_;
+  std::vector<u32> gid_scratch_;
+  u32 emit_pos_ = 0;
+  bool input_done_ = false;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_OP_HASH_AGG_H_

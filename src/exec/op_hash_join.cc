@@ -1,0 +1,237 @@
+#include "exec/op_hash_join.h"
+
+#include "prim/fetch_kernels.h"
+
+namespace ma {
+
+HashJoinOperator::HashJoinOperator(Engine* engine, OperatorPtr build,
+                                   OperatorPtr probe, HashJoinSpec spec,
+                                   std::string label)
+    : Operator(engine),
+      build_(std::move(build)),
+      probe_(std::move(probe)),
+      spec_(std::move(spec)),
+      label_(std::move(label)) {}
+
+Status HashJoinOperator::Open() {
+  MA_RETURN_IF_ERROR(build_->Open());
+  MA_RETURN_IF_ERROR(probe_->Open());
+
+  // Drain the build side: compact live keys + output columns.
+  build_cols_.clear();
+  Batch batch;
+  std::vector<i64> dense_keys;
+  u64 materialized = 0;
+  // A rough pre-pass is impossible (pull model), so the bloom filter is
+  // sized after the build drain and filled from the table's keys.
+  for (;;) {
+    batch.Clear();
+    if (!build_->Next(&batch)) break;
+    if (batch.live_count() == 0) continue;
+    const int key_idx = batch.FindColumn(spec_.build_key);
+    MA_CHECK(key_idx >= 0);
+    const i64* keys = batch.column(key_idx).Data<i64>();
+    dense_keys.clear();
+    if (batch.has_sel()) {
+      const SelVector& sel = batch.sel();
+      for (size_t j = 0; j < sel.size(); ++j) {
+        dense_keys.push_back(keys[sel[j]]);
+      }
+    } else {
+      dense_keys.assign(keys, keys + batch.row_count());
+    }
+    ht_.Append(dense_keys.data(), dense_keys.size(), nullptr, 0,
+               materialized);
+    materialized += dense_keys.size();
+
+    if (build_cols_.empty()) {
+      for (const auto& [src, out_name] : spec_.build_outputs) {
+        const int idx = batch.FindColumn(src);
+        MA_CHECK(idx >= 0);
+        build_cols_.push_back(
+            std::make_unique<Column>(batch.column(idx).type()));
+      }
+    }
+    for (size_t i = 0; i < spec_.build_outputs.size(); ++i) {
+      const int idx = batch.FindColumn(spec_.build_outputs[i].first);
+      AppendLive(batch.column(idx), batch, build_cols_[i].get());
+    }
+  }
+  ht_.Finalize();
+
+  if (spec_.use_bloom && engine_->config().join_bloom_filters) {
+    bloom_ = std::make_unique<BloomFilter>(
+        BloomFilter::ForKeys(ht_.num_rows() + 1));
+    const JoinHashTable::View v = ht_.view();
+    for (size_t i = 0; i < ht_.num_rows(); ++i) bloom_->Insert(v.keys[i]);
+    bloom_tmp_.resize(kMaxVectorSize);
+    bloom_state_.filter = bloom_.get();
+    bloom_state_.tmp = bloom_tmp_.data();
+    bloom_inst_ = engine_->NewInstance("sel_bloomfilter_i64_col",
+                                       label_ + "/bloom",
+                                       bloom_->size_bytes());
+  }
+
+  switch (spec_.kind) {
+    case HashJoinSpec::Kind::kInner:
+      probe_inst_ =
+          engine_->NewInstance("ht_probe_i64_col", label_ + "/probe");
+      break;
+    case HashJoinSpec::Kind::kSemi:
+      exists_inst_ =
+          engine_->NewInstance("ht_semijoin_i64_col", label_ + "/semi");
+      break;
+    case HashJoinSpec::Kind::kAnti:
+      exists_inst_ =
+          engine_->NewInstance("ht_antijoin_i64_col", label_ + "/anti");
+      break;
+  }
+  fetch_build_.assign(spec_.build_outputs.size(), nullptr);
+  fetch_probe_.assign(spec_.probe_outputs.size(), nullptr);
+  match_pos_.resize(kMaxVectorSize);
+  match_row_.resize(kMaxVectorSize);
+  match_pos64_.resize(kMaxVectorSize);
+  probe_batch_valid_ = false;
+  return Status::OK();
+}
+
+bool HashJoinOperator::Next(Batch* out) {
+  return spec_.kind == HashJoinSpec::Kind::kInner ? NextInner(out)
+                                                  : NextSemiAnti(out);
+}
+
+bool HashJoinOperator::NextSemiAnti(Batch* out) {
+  for (;;) {
+    out->Clear();
+    if (!probe_->Next(out)) return false;
+    if (out->live_count() == 0) continue;
+    const int key_idx = out->FindColumn(spec_.probe_key);
+    MA_CHECK(key_idx >= 0);
+
+    // Anti joins cannot use the bloom filter to discard (false positives
+    // would wrongly drop rows); semi joins can.
+    if (bloom_inst_ != nullptr && spec_.kind == HashJoinSpec::Kind::kSemi) {
+      PrimCall c;
+      c.n = out->row_count();
+      SelVector& sel = out->mutable_sel();
+      c.res_sel = sel.data();
+      c.in1 = out->column(key_idx).raw_data();
+      c.state = &bloom_state_;
+      if (out->has_sel()) {
+        c.sel = sel.data();
+        c.sel_n = sel.size();
+      }
+      sel.set_size(bloom_inst_->Call(c));
+      out->set_sel_active(true);
+      if (out->live_count() == 0) continue;
+    }
+
+    PrimCall c;
+    c.n = out->row_count();
+    SelVector& sel = out->mutable_sel();
+    c.res_sel = sel.data();
+    c.in1 = out->column(key_idx).raw_data();
+    c.state = const_cast<JoinHashTable*>(&ht_);
+    if (out->has_sel()) {
+      c.sel = sel.data();
+      c.sel_n = sel.size();
+    }
+    sel.set_size(exists_inst_->Call(c));
+    out->set_sel_active(true);
+    if (out->live_count() > 0) return true;
+  }
+}
+
+bool HashJoinOperator::NextInner(Batch* out) {
+  for (;;) {
+    if (!probe_batch_valid_) {
+      probe_batch_.Clear();
+      if (!probe_->Next(&probe_batch_)) return false;
+      if (probe_batch_.live_count() == 0) continue;
+      const int key_idx = probe_batch_.FindColumn(spec_.probe_key);
+      MA_CHECK(key_idx >= 0);
+      if (bloom_inst_ != nullptr) {
+        PrimCall c;
+        c.n = probe_batch_.row_count();
+        SelVector& sel = probe_batch_.mutable_sel();
+        c.res_sel = sel.data();
+        c.in1 = probe_batch_.column(key_idx).raw_data();
+        c.state = &bloom_state_;
+        if (probe_batch_.has_sel()) {
+          c.sel = sel.data();
+          c.sel_n = sel.size();
+        }
+        sel.set_size(bloom_inst_->Call(c));
+        probe_batch_.set_sel_active(true);
+        if (probe_batch_.live_count() == 0) continue;
+      }
+      probe_state_ = ProbeState{};
+      probe_state_.table = &ht_;
+      probe_state_.cursor = ProbeCursor{0, JoinHashTable::kNil, false};
+      probe_batch_valid_ = true;
+    }
+
+    const int key_idx = probe_batch_.FindColumn(spec_.probe_key);
+    probe_state_.out_probe_pos = match_pos_.data();
+    probe_state_.out_build_row = match_row_.data();
+    probe_state_.out_capacity = engine_->vector_size();
+    PrimCall c;
+    c.n = probe_batch_.row_count();
+    c.in1 = probe_batch_.column(key_idx).raw_data();
+    c.state = &probe_state_;
+    if (probe_batch_.has_sel()) {
+      c.sel = probe_batch_.sel().data();
+      c.sel_n = probe_batch_.sel().size();
+    }
+    const size_t before = probe_state_.cursor.pos;
+    const size_t matches = probe_inst_->CallN(
+        c, std::max<u64>(1, probe_batch_.live_count() - before));
+    if (probe_state_.cursor.done) probe_batch_valid_ = false;
+    if (matches == 0) continue;
+
+    // Materialize output: gather probe columns at match positions and
+    // build columns at matched build rows via fetch primitives.
+    for (size_t i = 0; i < matches; ++i) match_pos64_[i] = match_pos_[i];
+    out->Clear();
+    for (size_t p = 0; p < spec_.probe_outputs.size(); ++p) {
+      const int idx = probe_batch_.FindColumn(spec_.probe_outputs[p]);
+      MA_CHECK(idx >= 0);
+      const Vector& src = probe_batch_.column(idx);
+      if (fetch_probe_[p] == nullptr) {
+        fetch_probe_[p] = engine_->NewInstance(
+            FetchSignature(src.type()),
+            label_ + "/fetch_probe_" + spec_.probe_outputs[p]);
+      }
+      auto dst = std::make_shared<Vector>(src.type(), kMaxVectorSize);
+      PrimCall fc;
+      fc.n = matches;
+      fc.res = dst->raw_data();
+      fc.in1 = match_pos64_.data();
+      fc.state = const_cast<void*>(src.raw_data());
+      fetch_probe_[p]->CallN(fc, matches);
+      dst->set_size(matches);
+      out->AddColumn(spec_.probe_outputs[p], std::move(dst));
+    }
+    for (size_t b = 0; b < spec_.build_outputs.size(); ++b) {
+      const Column* src = build_cols_[b].get();
+      if (fetch_build_[b] == nullptr) {
+        fetch_build_[b] = engine_->NewInstance(
+            FetchSignature(src->type()),
+            label_ + "/fetch_build_" + spec_.build_outputs[b].second);
+      }
+      auto dst = std::make_shared<Vector>(src->type(), kMaxVectorSize);
+      PrimCall fc;
+      fc.n = matches;
+      fc.res = dst->raw_data();
+      fc.in1 = match_row_.data();
+      fc.state = const_cast<void*>(src->RawData());
+      fetch_build_[b]->CallN(fc, matches);
+      dst->set_size(matches);
+      out->AddColumn(spec_.build_outputs[b].second, std::move(dst));
+    }
+    out->set_row_count(matches);
+    return true;
+  }
+}
+
+}  // namespace ma

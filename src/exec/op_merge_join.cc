@@ -1,0 +1,132 @@
+#include "exec/op_merge_join.h"
+
+#include <limits>
+
+#include "prim/fetch_kernels.h"
+
+namespace ma {
+
+MergeJoinOperator::MergeJoinOperator(Engine* engine, OperatorPtr left,
+                                     OperatorPtr right, MergeJoinSpec spec,
+                                     std::string label)
+    : Operator(engine),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      spec_(std::move(spec)),
+      label_(std::move(label)) {}
+
+Status MergeJoinOperator::Drain(
+    Operator* child, const std::string& key,
+    const std::vector<std::pair<std::string, std::string>>& outs,
+    Side* side) {
+  MA_RETURN_IF_ERROR(child->Open());
+  Batch batch;
+  i64 prev = std::numeric_limits<i64>::min();
+  for (;;) {
+    batch.Clear();
+    if (!child->Next(&batch)) break;
+    if (batch.live_count() == 0) continue;
+    const int key_idx = batch.FindColumn(key);
+    MA_CHECK(key_idx >= 0);
+    const i64* keys = batch.column(key_idx).Data<i64>();
+    auto push = [&](sel_t i) {
+      MA_CHECK(keys[i] >= prev);  // inputs must arrive sorted
+      prev = keys[i];
+      side->keys.push_back(keys[i]);
+    };
+    if (batch.has_sel()) {
+      const SelVector& sel = batch.sel();
+      for (size_t j = 0; j < sel.size(); ++j) push(sel[j]);
+    } else {
+      for (size_t i = 0; i < batch.row_count(); ++i) {
+        push(static_cast<sel_t>(i));
+      }
+    }
+    if (side->cols.empty()) {
+      for (const auto& [src, out_name] : outs) {
+        const int idx = batch.FindColumn(src);
+        MA_CHECK(idx >= 0);
+        side->cols.push_back(
+            std::make_unique<Column>(batch.column(idx).type()));
+      }
+    }
+    for (size_t i = 0; i < outs.size(); ++i) {
+      const int idx = batch.FindColumn(outs[i].first);
+      AppendLive(batch.column(idx), batch, side->cols[i].get());
+    }
+  }
+  return Status::OK();
+}
+
+Status MergeJoinOperator::Open() {
+  MA_RETURN_IF_ERROR(Drain(left_.get(), spec_.left_key,
+                           spec_.left_outputs, &lhs_));
+  MA_RETURN_IF_ERROR(Drain(right_.get(), spec_.right_key,
+                           spec_.right_outputs, &rhs_));
+  state_ = MergeJoinState{};
+  state_.left_n = lhs_.keys.size();
+  state_.right_n = rhs_.keys.size();
+  out_left_.resize(kMaxVectorSize);
+  out_right_.resize(kMaxVectorSize);
+  join_inst_ = engine_->NewInstance("mergejoin_i64_col_i64_col",
+                                    label_ + "/mergejoin");
+  fetch_left_.assign(spec_.left_outputs.size(), nullptr);
+  fetch_right_.assign(spec_.right_outputs.size(), nullptr);
+  done_ = false;
+  return Status::OK();
+}
+
+bool MergeJoinOperator::Next(Batch* out) {
+  if (done_) return false;
+  size_t matches = 0;
+  while (matches == 0) {
+    state_.out_left = out_left_.data();
+    state_.out_right = out_right_.data();
+    state_.out_capacity = engine_->vector_size();
+    const size_t before = state_.left_pos + state_.right_pos;
+    PrimCall c;
+    c.in1 = lhs_.keys.data();
+    c.in2 = rhs_.keys.data();
+    c.state = &state_;
+    // Cost metric: cursor advance plus matches (tuples touched), only
+    // known after the call returns.
+    matches = join_inst_->CallDeferred(c, [&](size_t produced) {
+      return std::max<u64>(
+          1, state_.left_pos + state_.right_pos - before + produced);
+    });
+    if (state_.done && matches == 0) {
+      done_ = true;
+      return false;
+    }
+    if (state_.done) done_ = true;
+  }
+
+  auto emit = [&](const std::vector<std::pair<std::string, std::string>>&
+                      outs,
+                  const Side& side, std::vector<PrimitiveInstance*>& insts,
+                  const std::vector<u64>& rows, const char* tag) {
+    for (size_t i = 0; i < outs.size(); ++i) {
+      const Column* src = side.cols[i].get();
+      if (insts[i] == nullptr) {
+        insts[i] = engine_->NewInstance(
+            FetchSignature(src->type()),
+            label_ + "/fetch_" + tag + "_" + outs[i].second);
+      }
+      auto dst = std::make_shared<Vector>(src->type(), kMaxVectorSize);
+      PrimCall fc;
+      fc.n = matches;
+      fc.res = dst->raw_data();
+      fc.in1 = rows.data();
+      fc.state = const_cast<void*>(src->RawData());
+      insts[i]->CallN(fc, matches);
+      dst->set_size(matches);
+      out->AddColumn(outs[i].second, std::move(dst));
+    }
+  };
+  emit(spec_.left_outputs, lhs_, fetch_left_, out_left_, "l");
+  emit(spec_.right_outputs, rhs_, fetch_right_, out_right_, "r");
+  out->set_row_count(matches);
+  return true;
+}
+
+}  // namespace ma

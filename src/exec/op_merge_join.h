@@ -1,0 +1,59 @@
+// MergeJoin: joins two inputs sorted ascending on i64 keys (left side
+// unique — the PK side), materializing both at Open() and streaming
+// match pairs through the mergejoin primitive, vector-at-a-time, with
+// fetch primitives gathering the output columns (the Figure 4(c)/(d)
+// pipeline).
+#ifndef MA_EXEC_OP_MERGE_JOIN_H_
+#define MA_EXEC_OP_MERGE_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+#include "prim/mergejoin_kernels.h"
+
+namespace ma {
+
+struct MergeJoinSpec {
+  std::string left_key;   // unique, sorted ascending
+  std::string right_key;  // sorted ascending, duplicates allowed
+  std::vector<std::pair<std::string, std::string>> left_outputs;
+  std::vector<std::pair<std::string, std::string>> right_outputs;
+};
+
+class MergeJoinOperator : public Operator {
+ public:
+  MergeJoinOperator(Engine* engine, OperatorPtr left, OperatorPtr right,
+                    MergeJoinSpec spec, std::string label = "mergejoin");
+
+  Status Open() override;
+  bool Next(Batch* out) override;
+
+ private:
+  struct Side {
+    std::vector<i64> keys;
+    std::vector<std::unique_ptr<Column>> cols;  // parallel to outputs
+  };
+
+  Status Drain(Operator* child, const std::string& key,
+               const std::vector<std::pair<std::string, std::string>>& outs,
+               Side* side);
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  MergeJoinSpec spec_;
+  std::string label_;
+
+  Side lhs_, rhs_;
+  MergeJoinState state_;
+  std::vector<u64> out_left_, out_right_;
+  PrimitiveInstance* join_inst_ = nullptr;
+  std::vector<PrimitiveInstance*> fetch_left_, fetch_right_;
+  bool done_ = false;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_OP_MERGE_JOIN_H_

@@ -1,0 +1,29 @@
+#include "exec/op_project.h"
+
+namespace ma {
+
+ProjectOperator::ProjectOperator(Engine* engine, OperatorPtr child,
+                                 std::vector<Output> outputs,
+                                 std::string label)
+    : Operator(engine),
+      child_(std::move(child)),
+      outputs_(std::move(outputs)),
+      eval_(engine, std::move(label)) {}
+
+Status ProjectOperator::Open() { return child_->Open(); }
+
+bool ProjectOperator::Next(Batch* out) {
+  in_.Clear();
+  if (!child_->Next(&in_)) return false;
+  for (const Output& o : outputs_) {
+    out->AddColumn(o.name, eval_.EvaluateValue(*o.expr, in_));
+  }
+  out->set_row_count(in_.row_count());
+  if (in_.has_sel()) {
+    out->mutable_sel().CopyFrom(in_.sel());
+    out->set_sel_active(true);
+  }
+  return true;
+}
+
+}  // namespace ma

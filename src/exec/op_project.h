@@ -1,0 +1,40 @@
+// Project: computes named output expressions (each arithmetic node is a
+// primitive instance) and/or passes input columns through. The input
+// selection vector is preserved, so downstream operators keep computing
+// selectively.
+#ifndef MA_EXEC_OP_PROJECT_H_
+#define MA_EXEC_OP_PROJECT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/evaluator.h"
+#include "exec/operator.h"
+
+namespace ma {
+
+class ProjectOperator : public Operator {
+ public:
+  struct Output {
+    std::string name;
+    ExprPtr expr;
+  };
+
+  ProjectOperator(Engine* engine, OperatorPtr child,
+                  std::vector<Output> outputs,
+                  std::string label = "project");
+
+  Status Open() override;
+  bool Next(Batch* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<Output> outputs_;
+  ExprEvaluator eval_;
+  Batch in_;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_OP_PROJECT_H_

@@ -1,0 +1,51 @@
+#include "exec/op_scan.h"
+
+namespace ma {
+
+ScanOperator::ScanOperator(Engine* engine, const Table* table,
+                           std::vector<std::string> columns)
+    : Operator(engine), table_(table), column_names_(std::move(columns)) {
+  MA_CHECK(table_ != nullptr);
+  if (column_names_.empty()) {
+    for (size_t i = 0; i < table_->num_columns(); ++i) {
+      column_names_.push_back(table_->column_name(i));
+    }
+  }
+}
+
+Status ScanOperator::Open() {
+  columns_.clear();
+  pos_ = 0;
+  if (table_->row_count() == 0) {
+    // Empty tables (including columnless intermediate results) emit no
+    // batches; skip column resolution so empty pipeline stages compose.
+    return Status::OK();
+  }
+  for (const std::string& name : column_names_) {
+    const Column* col = table_->FindColumn(name);
+    if (col == nullptr) {
+      return Status::NotFound("column " + name + " in table " +
+                              table_->name());
+    }
+    columns_.push_back(col);
+  }
+  return Status::OK();
+}
+
+bool ScanOperator::Next(Batch* out) {
+  if (pos_ >= table_->row_count()) return false;
+  const size_t n =
+      std::min(engine_->vector_size(), table_->row_count() - pos_);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column* col = columns_[i];
+    const char* base = static_cast<const char*>(col->RawData());
+    out->AddColumn(column_names_[i],
+                   Vector::View(col->type(),
+                                base + pos_ * TypeWidth(col->type()), n));
+  }
+  out->set_row_count(n);
+  pos_ += n;
+  return true;
+}
+
+}  // namespace ma

@@ -1,0 +1,35 @@
+// Scan: emits slices of an in-memory table's columns as zero-copy vector
+// views, vector-at-a-time.
+#ifndef MA_EXEC_OP_SCAN_H_
+#define MA_EXEC_OP_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace ma {
+
+class ScanOperator : public Operator {
+ public:
+  /// Scans `columns` of `table`. An empty list scans every column.
+  ScanOperator(Engine* engine, const Table* table,
+               std::vector<std::string> columns = {});
+
+  Status Open() override;
+  bool Next(Batch* out) override;
+
+  /// Rewinds to the first row (used by operators that re-scan).
+  void Rewind() { pos_ = 0; }
+
+ private:
+  const Table* table_;
+  std::vector<std::string> column_names_;
+  std::vector<const Column*> columns_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_OP_SCAN_H_

@@ -1,0 +1,24 @@
+#include "exec/op_select.h"
+
+namespace ma {
+
+SelectOperator::SelectOperator(Engine* engine, OperatorPtr child,
+                               ExprPtr predicate, std::string label)
+    : Operator(engine),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)),
+      eval_(engine, std::move(label)) {}
+
+Status SelectOperator::Open() { return child_->Open(); }
+
+bool SelectOperator::Next(Batch* out) {
+  for (;;) {
+    out->Clear();
+    if (!child_->Next(out)) return false;
+    MA_CHECK(eval_.EvaluatePredicate(*predicate_, *out).ok());
+    // Skip fully-filtered batches; downstream work would be wasted.
+    if (out->live_count() > 0) return true;
+  }
+}
+
+}  // namespace ma

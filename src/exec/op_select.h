@@ -1,0 +1,30 @@
+// Select: narrows the selection vector of each batch by a predicate
+// expression. Does not copy columns — the selection vector flows to
+// downstream primitives ("selective computation").
+#ifndef MA_EXEC_OP_SELECT_H_
+#define MA_EXEC_OP_SELECT_H_
+
+#include <string>
+
+#include "exec/evaluator.h"
+#include "exec/operator.h"
+
+namespace ma {
+
+class SelectOperator : public Operator {
+ public:
+  SelectOperator(Engine* engine, OperatorPtr child, ExprPtr predicate,
+                 std::string label = "select");
+
+  Status Open() override;
+  bool Next(Batch* out) override;
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  ExprEvaluator eval_;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_OP_SELECT_H_

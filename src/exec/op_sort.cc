@@ -1,0 +1,119 @@
+#include "exec/op_sort.h"
+
+#include <algorithm>
+
+namespace ma {
+
+SortOperator::SortOperator(Engine* engine, OperatorPtr child,
+                           std::vector<SortKey> keys, size_t limit)
+    : Operator(engine),
+      child_(std::move(child)),
+      keys_(std::move(keys)),
+      limit_(limit) {}
+
+Status SortOperator::Open() {
+  MA_RETURN_IF_ERROR(child_->Open());
+  buffer_ = std::make_unique<Table>("sort_buffer");
+  Batch batch;
+  for (;;) {
+    batch.Clear();
+    if (!child_->Next(&batch)) break;
+    AppendBatchToTable(batch, buffer_.get());
+  }
+  order_.resize(buffer_->row_count());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  pos_ = 0;
+  if (buffer_->row_count() == 0) return Status::OK();
+
+  std::vector<const Column*> key_cols;
+  for (const SortKey& k : keys_) {
+    const Column* c = buffer_->FindColumn(k.column);
+    MA_CHECK(c != nullptr);
+    key_cols.push_back(c);
+  }
+  auto cmp = [&](u64 a, u64 b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      const Column* c = key_cols[k];
+      int r = 0;
+      switch (c->type()) {
+        case PhysicalType::kI16:
+          r = (c->Data<i16>()[a] > c->Data<i16>()[b]) -
+              (c->Data<i16>()[a] < c->Data<i16>()[b]);
+          break;
+        case PhysicalType::kI32:
+          r = (c->Data<i32>()[a] > c->Data<i32>()[b]) -
+              (c->Data<i32>()[a] < c->Data<i32>()[b]);
+          break;
+        case PhysicalType::kI64:
+          r = (c->Data<i64>()[a] > c->Data<i64>()[b]) -
+              (c->Data<i64>()[a] < c->Data<i64>()[b]);
+          break;
+        case PhysicalType::kF64:
+          r = (c->Data<f64>()[a] > c->Data<f64>()[b]) -
+              (c->Data<f64>()[a] < c->Data<f64>()[b]);
+          break;
+        case PhysicalType::kStr: {
+          const auto va = c->Data<StrRef>()[a].view();
+          const auto vb = c->Data<StrRef>()[b].view();
+          r = (va > vb) - (va < vb);
+          break;
+        }
+        default:
+          MA_CHECK(false);
+      }
+      if (keys_[k].desc) r = -r;
+      if (r != 0) return r < 0;
+    }
+    return a < b;  // stable tiebreak
+  };
+  if (limit_ > 0 && limit_ < order_.size()) {
+    std::partial_sort(order_.begin(), order_.begin() + limit_,
+                      order_.end(), cmp);
+    order_.resize(limit_);
+  } else {
+    std::sort(order_.begin(), order_.end(), cmp);
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+bool SortOperator::Next(Batch* out) {
+  if (pos_ >= order_.size()) return false;
+  const size_t n = std::min(engine_->vector_size(), order_.size() - pos_);
+  for (size_t col = 0; col < buffer_->num_columns(); ++col) {
+    const Column* src = buffer_->column(col);
+    auto dst = std::make_shared<Vector>(src->type(), n);
+    auto gather = [&](auto tag) {
+      using T = decltype(tag);
+      T* d = dst->template Data<T>();
+      const T* s = src->Data<T>();
+      for (size_t i = 0; i < n; ++i) d[i] = s[order_[pos_ + i]];
+    };
+    switch (src->type()) {
+      case PhysicalType::kI16:
+        gather(i16{});
+        break;
+      case PhysicalType::kI32:
+        gather(i32{});
+        break;
+      case PhysicalType::kI64:
+        gather(i64{});
+        break;
+      case PhysicalType::kF64:
+        gather(f64{});
+        break;
+      case PhysicalType::kStr:
+        gather(StrRef{});
+        break;
+      default:
+        MA_CHECK(false);
+    }
+    dst->set_size(n);
+    out->AddColumn(buffer_->column_name(col), std::move(dst));
+  }
+  out->set_row_count(n);
+  pos_ += n;
+  return true;
+}
+
+}  // namespace ma

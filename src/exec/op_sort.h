@@ -1,0 +1,43 @@
+// Sort / TopN / Limit: materializes its input, sorts a row permutation by
+// the key columns and emits batches in order. Sorting the (small) final
+// result is classic post-processing, so this operator is deliberately not
+// primitive-based — TPC-H ORDER BY outputs are tiny next to the scans,
+// joins and aggregations below them.
+#ifndef MA_EXEC_OP_SORT_H_
+#define MA_EXEC_OP_SORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace ma {
+
+struct SortKey {
+  std::string column;
+  bool desc = false;
+};
+
+class SortOperator : public Operator {
+ public:
+  /// `limit` = 0 keeps all rows.
+  SortOperator(Engine* engine, OperatorPtr child, std::vector<SortKey> keys,
+               size_t limit = 0);
+
+  Status Open() override;
+  bool Next(Batch* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  size_t limit_;
+
+  std::unique_ptr<Table> buffer_;
+  std::vector<u64> order_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_OP_SORT_H_

@@ -1,0 +1,49 @@
+// Operator: pull-based (vector-at-a-time Volcano) interface. Open()
+// prepares state; Next(out) fills a batch and returns false at end of
+// stream. Operators own their output vectors; batches passed up may view
+// storage (scans) or operator-owned buffers.
+#ifndef MA_EXEC_OPERATOR_H_
+#define MA_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "vector/batch.h"
+
+namespace ma {
+
+class Operator {
+ public:
+  explicit Operator(Engine* engine) : engine_(engine) {}
+  virtual ~Operator() = default;
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Prepares the operator (binds expressions, builds hash tables...).
+  /// Must be called once before Next().
+  virtual Status Open() = 0;
+
+  /// Produces the next batch. Returns false at end of stream; `out` is
+  /// cleared and refilled on every call.
+  virtual bool Next(Batch* out) = 0;
+
+  Engine* engine() { return engine_; }
+
+ protected:
+  Engine* engine_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Appends the live rows of `src` (honoring the batch's selection) to a
+/// storage column.
+void AppendLive(const Vector& src, const Batch& batch, Column* dst);
+
+/// Appends a batch's live rows to `table`, creating columns on first use.
+void AppendBatchToTable(const Batch& batch, Table* table);
+
+}  // namespace ma
+
+#endif  // MA_EXEC_OPERATOR_H_

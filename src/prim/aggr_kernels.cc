@@ -1,0 +1,50 @@
+#include "prim/aggr_kernels.h"
+
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+
+std::string AggrSignature(const char* fn_name, PhysicalType t) {
+  std::string s = "aggr_";
+  s += fn_name;
+  s += '_';
+  s += TypeName(t);
+  s += "_col";
+  return s;
+}
+
+namespace {
+
+using namespace aggr_detail;
+
+template <typename T, typename AGG>
+void RegisterOne(PrimitiveDictionary* dict) {
+  const std::string sig = AggrSignature(AGG::kName, TypeTag<T>::value);
+  MA_CHECK(dict->Register(sig,
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &AggrUpdateUnroll8<T, AGG>},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register(sig, FlavorInfo{"nounroll", FlavorSetId::kUnroll,
+                                          &AggrUpdate<T, AGG>})
+               .ok());
+}
+
+template <typename T>
+void RegisterType(PrimitiveDictionary* dict) {
+  RegisterOne<T, AggSum>(dict);
+  RegisterOne<T, AggMin>(dict);
+  RegisterOne<T, AggMax>(dict);
+  RegisterOne<T, AggCount>(dict);
+}
+
+}  // namespace
+
+void RegisterAggrKernels(PrimitiveDictionary* dict) {
+  RegisterType<i16>(dict);
+  RegisterType<i32>(dict);
+  RegisterType<i64>(dict);
+  RegisterType<f64>(dict);
+}
+
+}  // namespace ma

@@ -1,0 +1,12 @@
+#include "prim/bloom.h"
+
+namespace ma {
+
+BloomFilter::BloomFilter(u64 min_bits) {
+  u64 bits = 8 * 1024;  // 1KB minimum
+  while (bits < min_bits) bits <<= 1;
+  bitmap_.assign(bits >> 3, 0);
+  mask_ = bits - 1;
+}
+
+}  // namespace ma

@@ -1,0 +1,57 @@
+// Bloom filter used to pre-filter hash-join probes whose keys are mostly
+// absent from the build side (paper §2 "Loop Fission"). The filter is a
+// plain bitmap; sizing follows the paper's micro-benchmark (bits scale
+// with the number of distinct build keys).
+#ifndef MA_PRIM_BLOOM_H_
+#define MA_PRIM_BLOOM_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "prim/hash_table.h"
+
+namespace ma {
+
+class BloomFilter {
+ public:
+  /// Creates a filter with at least `min_bits` bits, rounded up to a
+  /// power of two (minimum 1KB worth) so masking replaces modulo.
+  explicit BloomFilter(u64 min_bits);
+
+  /// Convenience sizing: ~10 bits per expected key.
+  static BloomFilter ForKeys(u64 expected_keys) {
+    return BloomFilter(expected_keys * 10);
+  }
+
+  void Insert(i64 key) {
+    const u64 h = HashKey(key);
+    bitmap_[(h & mask_) >> 3] |= static_cast<u8>(1u << (h & 7));
+  }
+
+  bool MayContain(i64 key) const {
+    const u64 h = HashKey(key);
+    return (bitmap_[(h & mask_) >> 3] >> (h & 7)) & 1;
+  }
+
+  u64 size_bits() const { return mask_ + 1; }
+  u64 size_bytes() const { return (mask_ + 1) >> 3; }
+
+  // Raw view for the vectorized kernels.
+  const u8* bitmap() const { return bitmap_.data(); }
+  u64 mask() const { return mask_; }
+
+ private:
+  std::vector<u8> bitmap_;
+  u64 mask_ = 0;  // over bit positions
+};
+
+/// State handed to sel_bloomfilter kernels via PrimCall::state.
+struct BloomProbeState {
+  const BloomFilter* filter = nullptr;
+  /// Scratch for the loop-fission flavor (one byte per vector position).
+  u8* tmp = nullptr;
+};
+
+}  // namespace ma
+
+#endif  // MA_PRIM_BLOOM_H_

@@ -1,0 +1,38 @@
+// sel_bloomfilter_i64_col: selection primitive that keeps positions whose
+// key may be present in a bloom filter. Two flavors, Listings 5 and 6 of
+// the paper:
+//
+//  * fused (default): one loop; the no-branching position store depends
+//    on the bf_get load, so a cache miss on the bitmap stalls the chain
+//    and at most one miss is in flight.
+//  * fission: first loop only gathers bf_get bits into a temporary array
+//    (independent iterations -> several outstanding misses, maximizing
+//    memory-level parallelism), second loop builds the selection vector.
+//
+// Fission wins when the bitmap misses cache (large filters); the fused
+// flavor wins for small, cache-resident filters. The cross-over point is
+// machine dependent (Figure 6).
+#ifndef MA_PRIM_BLOOM_KERNELS_H_
+#define MA_PRIM_BLOOM_KERNELS_H_
+
+#include "prim/bloom.h"
+#include "prim/prim_call.h"
+
+namespace ma {
+
+class PrimitiveDictionary;
+
+void RegisterBloomKernels(PrimitiveDictionary* dict);
+
+namespace bloom_detail {
+
+/// Listing 5: fused check+select loop (no-branching style).
+size_t SelBloomFused(const PrimCall& c);
+
+/// Listing 6: loop-fission variant using BloomProbeState::tmp.
+size_t SelBloomFission(const PrimCall& c);
+
+}  // namespace bloom_detail
+}  // namespace ma
+
+#endif  // MA_PRIM_BLOOM_KERNELS_H_

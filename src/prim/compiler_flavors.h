@@ -1,0 +1,25 @@
+// "Compiler" flavors (paper §2 "Compiler Variation", §3.1 "Flavor
+// Libraries"). The paper builds the primitive library with gcc, icc and
+// clang and loads all three with dlopen/RTLD_DEEPBIND. We reproduce the
+// mechanism inside one binary: the same kernel templates are instantiated
+// in three translation units, each compiled with a different optimization
+// regime (vectorization on/off, unroll policy, optimization level) and a
+// different template variant mix — yielding functionally identical code
+// with genuinely different machine code, just like distinct compilers do.
+//
+// Each TU registers its flavors under the set FlavorSetId::kCompiler with
+// names "gcc", "icc", "clang" (the style it emulates).
+#ifndef MA_PRIM_COMPILER_FLAVORS_H_
+#define MA_PRIM_COMPILER_FLAVORS_H_
+
+namespace ma {
+
+class PrimitiveDictionary;
+
+void RegisterCompilerFlavorsGcc(PrimitiveDictionary* dict);
+void RegisterCompilerFlavorsIcc(PrimitiveDictionary* dict);
+void RegisterCompilerFlavorsClang(PrimitiveDictionary* dict);
+
+}  // namespace ma
+
+#endif  // MA_PRIM_COMPILER_FLAVORS_H_

@@ -1,0 +1,12 @@
+// "clang"-style flavor library: modest optimization level, no forced
+// unrolling (clang 3.1-era -O3 was closer to gcc -O2 for these loops);
+// plain template variants compiled under -O2 without tree vectorization.
+#define MA_CF_NS cf_clang
+#define MA_CF_NAME "clang"
+#define MA_CF_REGISTER RegisterCompilerFlavorsClang
+#define MA_CF_MAP(T, OP, V) (map_detail::MapSelective<T, OP, V>)
+#define MA_CF_AGGR(T, A) (aggr_detail::AggrUpdate<T, A>)
+#define MA_CF_FETCH(T) (fetch_detail::Fetch<T>)
+#define MA_CF_MERGEJOIN mergejoin_detail::MergeJoin
+
+#include "prim/compiler_flavors.inc"

@@ -1,0 +1,12 @@
+// "gcc"-style flavor library: aggressive auto-vectorization and unrolled
+// loops (mirrors the paper's production gcc flags, Table 3). See the
+// per-file compile options in src/CMakeLists.txt.
+#define MA_CF_NS cf_gcc
+#define MA_CF_NAME "gcc"
+#define MA_CF_REGISTER RegisterCompilerFlavorsGcc
+#define MA_CF_MAP(T, OP, V) (map_detail::MapSelective<T, OP, V>)
+#define MA_CF_AGGR(T, A) (aggr_detail::AggrUpdate<T, A>)
+#define MA_CF_FETCH(T) (fetch_detail::Fetch<T>)
+#define MA_CF_MERGEJOIN mergejoin_detail::MergeJoin
+
+#include "prim/compiler_flavors.inc"

@@ -1,0 +1,12 @@
+// "icc"-style flavor library: heavy unrolling without tree vectorization
+// plus hand-unrolled template variants and a galloping mergejoin — icc's
+// historical strength was software pipelining rather than gcc-style SLP.
+#define MA_CF_NS cf_icc
+#define MA_CF_NAME "icc"
+#define MA_CF_REGISTER RegisterCompilerFlavorsIcc
+#define MA_CF_MAP(T, OP, V) (map_detail::MapSelectiveUnroll8<T, OP, V>)
+#define MA_CF_AGGR(T, A) (aggr_detail::AggrUpdateUnroll8<T, A>)
+#define MA_CF_FETCH(T) (fetch_detail::FetchUnroll8<T>)
+#define MA_CF_MERGEJOIN mergejoin_detail::MergeJoinGallop
+
+#include "prim/compiler_flavors.inc"

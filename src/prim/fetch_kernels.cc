@@ -1,0 +1,41 @@
+#include "prim/fetch_kernels.h"
+
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+
+std::string FetchSignature(PhysicalType t) {
+  std::string s = "map_fetch_u64_col_";
+  s += TypeName(t);
+  s += "_col";
+  return s;
+}
+
+namespace {
+
+using namespace fetch_detail;
+
+template <typename T>
+void RegisterOne(PrimitiveDictionary* dict) {
+  const std::string sig = FetchSignature(TypeTag<T>::value);
+  MA_CHECK(dict->Register(sig,
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &FetchUnroll8<T>},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register(sig, FlavorInfo{"nounroll", FlavorSetId::kUnroll,
+                                          &Fetch<T>})
+               .ok());
+}
+
+}  // namespace
+
+void RegisterFetchKernels(PrimitiveDictionary* dict) {
+  RegisterOne<i16>(dict);
+  RegisterOne<i32>(dict);
+  RegisterOne<i64>(dict);
+  RegisterOne<f64>(dict);
+  RegisterOne<StrRef>(dict);
+}
+
+}  // namespace ma

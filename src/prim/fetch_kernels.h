@@ -1,0 +1,52 @@
+// Fetch primitives ("map_fetch_<type>_col"): gather values from a base
+// array at given row indices — how join results and index-based accesses
+// materialize columns (the primitive of Figure 4(d)).
+//
+// Call convention: in1 = u64 row indices, state = base array (const T*),
+// res = output values, written densely (res[j] = base[in1[j]]).
+#ifndef MA_PRIM_FETCH_KERNELS_H_
+#define MA_PRIM_FETCH_KERNELS_H_
+
+#include <string>
+
+#include "prim/prim_call.h"
+
+namespace ma {
+
+class PrimitiveDictionary;
+
+std::string FetchSignature(PhysicalType t);
+
+void RegisterFetchKernels(PrimitiveDictionary* dict);
+
+namespace fetch_detail {
+
+template <typename T>
+size_t Fetch(const PrimCall& c) {
+  const u64* idx = static_cast<const u64*>(c.in1);
+  const T* base = static_cast<const T*>(c.state);
+  T* r = static_cast<T*>(c.res);
+  for (size_t j = 0; j < c.n; ++j) r[j] = base[idx[j]];
+  return c.n;
+}
+
+template <typename T>
+size_t FetchUnroll8(const PrimCall& c) {
+  const u64* idx = static_cast<const u64*>(c.in1);
+  const T* base = static_cast<const T*>(c.state);
+  T* r = static_cast<T*>(c.res);
+  size_t j = 0;
+#define MA_BODY(J) r[(J)] = base[idx[(J)]];
+  for (; j + 8 <= c.n; j += 8) {
+    MA_BODY(j + 0) MA_BODY(j + 1) MA_BODY(j + 2) MA_BODY(j + 3)
+    MA_BODY(j + 4) MA_BODY(j + 5) MA_BODY(j + 6) MA_BODY(j + 7)
+  }
+  for (; j < c.n; ++j) MA_BODY(j)
+#undef MA_BODY
+  return c.n;
+}
+
+}  // namespace fetch_detail
+}  // namespace ma
+
+#endif  // MA_PRIM_FETCH_KERNELS_H_

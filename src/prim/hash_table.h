@@ -1,0 +1,158 @@
+// Hash-table substrates used by the vectorized hash aggregation and hash
+// join operators. Both tables key on i64 (composite keys are encoded
+// into one i64 by the planner; strings are dictionary-encoded by the
+// storage layer), which keeps every vectorized kernel a tight loop over
+// fixed-width data — the Vectorwise way.
+#ifndef MA_PRIM_HASH_TABLE_H_
+#define MA_PRIM_HASH_TABLE_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ma {
+
+/// Murmur3-style 64-bit finalizer; the `bf_hash` of the paper's bloom
+/// filter listing and the hash used by both tables.
+inline u64 HashKey(i64 key) {
+  u64 h = static_cast<u64>(key);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// GroupTable: maps i64 keys to dense group ids [0, num_groups). Used by
+/// hash aggregation ("hash_insertcheck" primitives): each input vector of
+/// keys is translated into a vector of group ids, then aggregate-update
+/// primitives scatter into accumulator arrays indexed by group id.
+///
+/// Open addressing with linear probing; grows by doubling when load
+/// exceeds 60%. Growth happens only between vectors (EnsureRoom), so the
+/// insert-check kernels never rehash mid-loop.
+class GroupTable {
+ public:
+  explicit GroupTable(size_t initial_buckets = 2048);
+
+  /// Guarantees room for `n` more insertions without exceeding the load
+  /// factor; rehashes if needed. Call once per input vector.
+  void EnsureRoom(size_t n);
+
+  u32 num_groups() const { return static_cast<u32>(keys_by_gid_.size()); }
+
+  /// Key that was assigned group id `gid`.
+  i64 KeyOfGroup(u32 gid) const { return keys_by_gid_[gid]; }
+
+  /// Scalar find-or-insert (kernels inline their own loop over this
+  /// logic; this one is for operators and tests).
+  u32 FindOrInsert(i64 key);
+
+  /// Scalar lookup; returns -1 if absent.
+  i64 Find(i64 key) const;
+
+  void Clear();
+
+  // Exposed to the insert-check kernels.
+  struct Slots {
+    i64* keys;
+    u32* gids;
+    u64 mask;
+  };
+  Slots slots() {
+    return Slots{slot_keys_.data(), slot_gids_.data(), mask_};
+  }
+  static constexpr u32 kEmpty = std::numeric_limits<u32>::max();
+
+  /// Appends a new group for `key`; used by kernels after finding an
+  /// empty slot. Returns the new gid.
+  u32 AppendGroup(i64 key) {
+    keys_by_gid_.push_back(key);
+    ++used_;
+    return static_cast<u32>(keys_by_gid_.size() - 1);
+  }
+
+ private:
+  void Rehash(size_t new_buckets);
+
+  std::vector<i64> slot_keys_;
+  std::vector<u32> slot_gids_;  // kEmpty marks a free slot
+  u64 mask_ = 0;
+  size_t used_ = 0;
+  std::vector<i64> keys_by_gid_;
+};
+
+/// JoinHashTable: chaining hash table for hash joins. Build phase appends
+/// (key, payload-row) pairs; Finalize() links the chains; the probe
+/// kernels walk chains per probe key, supporting duplicate build keys.
+class JoinHashTable {
+ public:
+  JoinHashTable() = default;
+
+  void Reserve(size_t rows) {
+    keys_.reserve(rows);
+  }
+
+  /// Appends build rows. `row0` is the table-global row index of the
+  /// first appended key.
+  void Append(const i64* keys, size_t n, const sel_t* sel, size_t sel_n,
+              u64 row0);
+
+  /// Builds the bucket directory. Must be called before probing.
+  void Finalize();
+
+  size_t num_rows() const { return keys_.size(); }
+  bool finalized() const { return finalized_; }
+
+  static constexpr u32 kNil = std::numeric_limits<u32>::max();
+
+  // Probe-side view, consumed by the probe kernels.
+  struct View {
+    const u32* heads;
+    const u32* next;
+    const i64* keys;
+    const u64* rows;  // build-table global row ids, indexed like keys
+    u64 mask;
+  };
+  View view() const {
+    return View{heads_.data(), next_.data(), keys_.data(), rows_.data(),
+                mask_};
+  }
+
+  /// Scalar probe for tests: returns build rows matching `key`.
+  std::vector<u64> Lookup(i64 key) const;
+
+ private:
+  std::vector<i64> keys_;
+  std::vector<u64> rows_;
+  std::vector<u32> next_;
+  std::vector<u32> heads_;
+  u64 mask_ = 0;
+  bool finalized_ = false;
+};
+
+/// Cursor for resumable vectorized probing: a probe vector can yield more
+/// matches than the output vector holds (duplicate build keys), so the
+/// kernel records where to resume.
+struct ProbeCursor {
+  size_t pos = 0;       // index into the probe vector (or its selection)
+  u32 chain = JoinHashTable::kNil;  // next chain entry to test, if mid-chain
+  bool done = true;
+};
+
+/// State bundle handed to probe kernels through PrimCall::state.
+struct ProbeState {
+  const JoinHashTable* table = nullptr;
+  ProbeCursor cursor;
+  /// Outputs: pairs (probe position within vector, build row id).
+  sel_t* out_probe_pos = nullptr;
+  u64* out_build_row = nullptr;
+  size_t out_capacity = 0;
+};
+
+}  // namespace ma
+
+#endif  // MA_PRIM_HASH_TABLE_H_

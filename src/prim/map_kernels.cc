@@ -1,0 +1,75 @@
+#include "prim/map_kernels.h"
+
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+
+std::string MapSignature(const char* op_name, PhysicalType t,
+                         bool second_is_val) {
+  std::string s = "map_";
+  s += op_name;
+  s += '_';
+  s += TypeName(t);
+  s += "_col_";
+  s += TypeName(t);
+  s += second_is_val ? "_val" : "_col";
+  return s;
+}
+
+namespace {
+
+using namespace map_detail;
+
+template <typename T, typename OP, bool VAL>
+void RegisterOne(PrimitiveDictionary* dict, bool full_compute_safe) {
+  const std::string sig = MapSignature(OP::kName, TypeTag<T>::value, VAL);
+  // Hand unrolling is on by default in Vectorwise, so the default flavor
+  // is the selective, unrolled kernel (matches Table 10's framing where
+  // "unroll 8" is the baseline).
+  MA_CHECK(dict->Register(sig,
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &MapSelectiveUnroll8<T, OP, VAL>},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register(sig, FlavorInfo{"nounroll", FlavorSetId::kUnroll,
+                                          &MapSelective<T, OP, VAL>})
+               .ok());
+  if (full_compute_safe) {
+    MA_CHECK(dict->Register(sig,
+                            FlavorInfo{"full", FlavorSetId::kFullCompute,
+                                       &MapFullUnroll8<T, OP, VAL>})
+                 .ok());
+    MA_CHECK(dict->Register(sig, FlavorInfo{"full_nounroll",
+                                            FlavorSetId::kFullCompute,
+                                            &MapFull<T, OP, VAL>})
+                 .ok());
+  }
+}
+
+template <typename T, typename OP>
+void RegisterShapes(PrimitiveDictionary* dict, bool full_compute_safe) {
+  RegisterOne<T, OP, false>(dict, full_compute_safe);
+  RegisterOne<T, OP, true>(dict, full_compute_safe);
+}
+
+template <typename T>
+void RegisterType(PrimitiveDictionary* dict) {
+  RegisterShapes<T, OpAdd>(dict, /*full_compute_safe=*/true);
+  RegisterShapes<T, OpSub>(dict, /*full_compute_safe=*/true);
+  RegisterShapes<T, OpMul>(dict, /*full_compute_safe=*/true);
+  // Division guards zero divisors internally, so full computation is
+  // actually safe too, but the per-element branch defeats SIMD; keep it
+  // out of the full-computation set like Vectorwise does.
+  RegisterShapes<T, OpDiv>(dict, /*full_compute_safe=*/false);
+}
+
+}  // namespace
+
+void RegisterMapKernels(PrimitiveDictionary* dict) {
+  RegisterType<i16>(dict);
+  RegisterType<i32>(dict);
+  RegisterType<i64>(dict);
+  RegisterType<f64>(dict);
+}
+
+}  // namespace ma

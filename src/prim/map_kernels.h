@@ -1,0 +1,125 @@
+// Projection ("map") primitives: res = op(in1, in2) over a vector, with
+// optional selection vector. Flavor sets generated here:
+//
+//  * selective vs full computation (paper §2 "Full computation"):
+//    the selective flavor computes only positions in the selection
+//    vector; the full flavor ignores the selection vector and computes
+//    every position, which the compiler can SIMD-ize.
+//  * hand unrolling (paper §2 "Hand-Unrolling", Listing 7): the dense
+//    loop is hand-unrolled by 8, which interacts with compiler
+//    vectorization in hard-to-predict ways.
+//
+// Signatures follow the Vectorwise convention:
+//   map_<op>_<type>_col_<type>_col   e.g. map_mul_i32_col_i32_col
+//   map_<op>_<type>_col_<type>_val   (second argument constant)
+#ifndef MA_PRIM_MAP_KERNELS_H_
+#define MA_PRIM_MAP_KERNELS_H_
+
+#include <string>
+
+#include "prim/ops.h"
+#include "prim/prim_call.h"
+
+namespace ma {
+
+class PrimitiveDictionary;
+
+/// Builds a map primitive signature string.
+std::string MapSignature(const char* op_name, PhysicalType t,
+                         bool second_is_val);
+
+/// Registers all map primitive flavors (ops x types x arg shapes).
+void RegisterMapKernels(PrimitiveDictionary* dict);
+
+namespace map_detail {
+
+// The kernel templates are exposed in the header so tests can exercise a
+// specific flavor directly, and so the "compiler flavor" translation
+// units (compiled with different flags) can instantiate them.
+
+/// Selective computation, plain loop (compiler free to vectorize the
+/// dense branch). VAL = second argument is a constant.
+template <typename T, typename OP, bool VAL>
+size_t MapSelective(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  T* r = static_cast<T*>(c.res);
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) {
+      const sel_t i = c.sel[j];
+      r[i] = OP::Apply(a[i], VAL ? b[0] : b[i]);
+    }
+    return c.sel_n;
+  }
+  for (size_t i = 0; i < c.n; ++i) {
+    r[i] = OP::Apply(a[i], VAL ? b[0] : b[i]);
+  }
+  return c.n;
+}
+
+/// Full computation: ignores the selection vector entirely; positions not
+/// in the selection vector get (well-defined but unused) values. The
+/// dense loop trivially maps to SIMD.
+template <typename T, typename OP, bool VAL>
+size_t MapFull(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  T* r = static_cast<T*>(c.res);
+  for (size_t i = 0; i < c.n; ++i) {
+    r[i] = OP::Apply(a[i], VAL ? b[0] : b[i]);
+  }
+  return c.sel != nullptr ? c.sel_n : c.n;
+}
+
+/// Selective computation with the dense path hand-unrolled by 8
+/// (Listing 7 in the paper). The unrolled body tends to suppress
+/// compiler auto-vectorization, trading SIMD for fewer loop tests.
+template <typename T, typename OP, bool VAL>
+size_t MapSelectiveUnroll8(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  T* r = static_cast<T*>(c.res);
+  if (c.sel != nullptr) {
+    size_t j = 0;
+#define MA_BODY(J) \
+  { const sel_t i = c.sel[(J)]; r[i] = OP::Apply(a[i], VAL ? b[0] : b[i]); }
+    for (; j + 8 <= c.sel_n; j += 8) {
+      MA_BODY(j + 0) MA_BODY(j + 1) MA_BODY(j + 2) MA_BODY(j + 3)
+      MA_BODY(j + 4) MA_BODY(j + 5) MA_BODY(j + 6) MA_BODY(j + 7)
+    }
+    for (; j < c.sel_n; ++j) MA_BODY(j)
+#undef MA_BODY
+    return c.sel_n;
+  }
+  size_t i = 0;
+#define MA_BODY(I) r[(I)] = OP::Apply(a[(I)], VAL ? b[0] : b[(I)]);
+  for (; i + 8 <= c.n; i += 8) {
+    MA_BODY(i + 0) MA_BODY(i + 1) MA_BODY(i + 2) MA_BODY(i + 3)
+    MA_BODY(i + 4) MA_BODY(i + 5) MA_BODY(i + 6) MA_BODY(i + 7)
+  }
+  for (; i < c.n; ++i) MA_BODY(i)
+#undef MA_BODY
+  return c.n;
+}
+
+/// Full computation, hand-unrolled by 8.
+template <typename T, typename OP, bool VAL>
+size_t MapFullUnroll8(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  T* r = static_cast<T*>(c.res);
+  size_t i = 0;
+#define MA_BODY(I) r[(I)] = OP::Apply(a[(I)], VAL ? b[0] : b[(I)]);
+  for (; i + 8 <= c.n; i += 8) {
+    MA_BODY(i + 0) MA_BODY(i + 1) MA_BODY(i + 2) MA_BODY(i + 3)
+    MA_BODY(i + 4) MA_BODY(i + 5) MA_BODY(i + 6) MA_BODY(i + 7)
+  }
+  for (; i < c.n; ++i) MA_BODY(i)
+#undef MA_BODY
+  return c.sel != nullptr ? c.sel_n : c.n;
+}
+
+}  // namespace map_detail
+}  // namespace ma
+
+#endif  // MA_PRIM_MAP_KERNELS_H_

@@ -1,0 +1,84 @@
+#include "prim/mergejoin_kernels.h"
+
+#include "common/status.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace mergejoin_detail {
+
+size_t MergeJoin(const PrimCall& c) {
+  const i64* lk = static_cast<const i64*>(c.in1);
+  const i64* rk = static_cast<const i64*>(c.in2);
+  auto* st = static_cast<MergeJoinState*>(c.state);
+  size_t li = st->left_pos, ri = st->right_pos, emitted = 0;
+  while (li < st->left_n && ri < st->right_n) {
+    const i64 a = lk[li], b = rk[ri];
+    if (a < b) {
+      ++li;
+    } else if (a > b) {
+      ++ri;
+    } else {
+      if (emitted == st->out_capacity) break;
+      st->out_left[emitted] = li;
+      st->out_right[emitted] = ri;
+      ++emitted;
+      ++ri;  // left unique: stay on li until right passes the key
+    }
+  }
+  st->left_pos = li;
+  st->right_pos = ri;
+  st->done = (li >= st->left_n || ri >= st->right_n);
+  return emitted;
+}
+
+size_t MergeJoinGallop(const PrimCall& c) {
+  const i64* lk = static_cast<const i64*>(c.in1);
+  const i64* rk = static_cast<const i64*>(c.in2);
+  auto* st = static_cast<MergeJoinState*>(c.state);
+  size_t li = st->left_pos, ri = st->right_pos, emitted = 0;
+  while (li < st->left_n && ri < st->right_n) {
+    const i64 a = lk[li], b = rk[ri];
+    if (a < b) {
+      // Gallop forward over the left run below b.
+      size_t step = 1;
+      while (li + step < st->left_n && lk[li + step] < b) {
+        li += step;
+        step <<= 1;
+      }
+      ++li;
+    } else if (a > b) {
+      size_t step = 1;
+      while (ri + step < st->right_n && rk[ri + step] < a) {
+        ri += step;
+        step <<= 1;
+      }
+      ++ri;
+    } else {
+      if (emitted == st->out_capacity) break;
+      st->out_left[emitted] = li;
+      st->out_right[emitted] = ri;
+      ++emitted;
+      ++ri;
+    }
+  }
+  st->left_pos = li;
+  st->right_pos = ri;
+  st->done = (li >= st->left_n || ri >= st->right_n);
+  return emitted;
+}
+
+}  // namespace mergejoin_detail
+
+void RegisterMergeJoinKernels(PrimitiveDictionary* dict) {
+  using namespace mergejoin_detail;
+  // The paper's mergejoin flavor diversity came from different compilers;
+  // our "compiler" flavor TUs register the icc/clang-style variants (see
+  // compiler_flavors_*.cc). The galloping variant is also exposed there.
+  MA_CHECK(dict->Register("mergejoin_i64_col_i64_col",
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &MergeJoin},
+                          /*is_default=*/true)
+               .ok());
+}
+
+}  // namespace ma

@@ -1,0 +1,46 @@
+// Merge-join primitive: advances through two sorted i64 key arrays and
+// emits matching index pairs (the "mergejoin_slng_col_slng_col" of
+// Figure 4(c) / Figure 5). The left side must have unique keys (the PK
+// side); the right side may repeat keys.
+//
+// Call convention: in1 = left keys, in2 = right keys, state =
+// MergeJoinState (cursors + output buffers). Returns pairs emitted.
+#ifndef MA_PRIM_MERGEJOIN_KERNELS_H_
+#define MA_PRIM_MERGEJOIN_KERNELS_H_
+
+#include "common/types.h"
+#include "prim/prim_call.h"
+
+namespace ma {
+
+class PrimitiveDictionary;
+
+/// Cursor/output state for resumable merge joining over two full arrays.
+struct MergeJoinState {
+  size_t left_pos = 0;
+  size_t right_pos = 0;
+  size_t left_n = 0;
+  size_t right_n = 0;
+  /// Output buffers (capacity out_capacity): indices into left/right.
+  u64* out_left = nullptr;
+  u64* out_right = nullptr;
+  size_t out_capacity = 0;
+  bool done = false;
+};
+
+void RegisterMergeJoinKernels(PrimitiveDictionary* dict);
+
+namespace mergejoin_detail {
+
+/// Straightforward two-cursor merge.
+size_t MergeJoin(const PrimCall& c);
+
+/// Variant that skips runs of non-matching keys with a galloping step
+/// before falling back to the linear merge — cheaper in sparse regions,
+/// slightly more bookkeeping in dense ones.
+size_t MergeJoinGallop(const PrimCall& c);
+
+}  // namespace mergejoin_detail
+}  // namespace ma
+
+#endif  // MA_PRIM_MERGEJOIN_KERNELS_H_

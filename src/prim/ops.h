@@ -1,0 +1,137 @@
+// Scalar operation functors shared by the kernel templates. Each functor
+// carries the short name used to derive primitive signature strings
+// (e.g. OpMul + i32 + col/col => "map_mul_i32_col_i32_col").
+#ifndef MA_PRIM_OPS_H_
+#define MA_PRIM_OPS_H_
+
+#include "common/types.h"
+
+namespace ma {
+
+// ---------------------------------------------------------------------
+// Arithmetic (projection) ops.
+// ---------------------------------------------------------------------
+
+struct OpAdd {
+  static constexpr const char* kName = "add";
+  template <typename T>
+  static T Apply(T a, T b) {
+    return a + b;
+  }
+};
+
+struct OpSub {
+  static constexpr const char* kName = "sub";
+  template <typename T>
+  static T Apply(T a, T b) {
+    return a - b;
+  }
+};
+
+struct OpMul {
+  static constexpr const char* kName = "mul";
+  template <typename T>
+  static T Apply(T a, T b) {
+    return a * b;
+  }
+};
+
+struct OpDiv {
+  static constexpr const char* kName = "div";
+  template <typename T>
+  static T Apply(T a, T b) {
+    return b == T{} ? T{} : a / b;  // SQL-ish: guard div-by-zero
+  }
+};
+
+// ---------------------------------------------------------------------
+// Comparison (selection) predicates.
+// ---------------------------------------------------------------------
+
+struct CmpLt {
+  static constexpr const char* kName = "lt";
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a < b;
+  }
+};
+
+struct CmpLe {
+  static constexpr const char* kName = "le";
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a <= b;
+  }
+};
+
+struct CmpGt {
+  static constexpr const char* kName = "gt";
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a > b;
+  }
+};
+
+struct CmpGe {
+  static constexpr const char* kName = "ge";
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a >= b;
+  }
+};
+
+struct CmpEq {
+  static constexpr const char* kName = "eq";
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a == b;
+  }
+};
+
+struct CmpNe {
+  static constexpr const char* kName = "ne";
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a != b;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Aggregate update ops (accumulator <- f(accumulator, value)).
+// ---------------------------------------------------------------------
+
+struct AggSum {
+  static constexpr const char* kName = "sum";
+  template <typename Acc, typename T>
+  static void Update(Acc& acc, T v) {
+    acc += static_cast<Acc>(v);
+  }
+};
+
+struct AggMin {
+  static constexpr const char* kName = "min";
+  template <typename Acc, typename T>
+  static void Update(Acc& acc, T v) {
+    if (static_cast<Acc>(v) < acc) acc = static_cast<Acc>(v);
+  }
+};
+
+struct AggMax {
+  static constexpr const char* kName = "max";
+  template <typename Acc, typename T>
+  static void Update(Acc& acc, T v) {
+    if (static_cast<Acc>(v) > acc) acc = static_cast<Acc>(v);
+  }
+};
+
+struct AggCount {
+  static constexpr const char* kName = "count";
+  template <typename Acc, typename T>
+  static void Update(Acc& acc, T /*v*/) {
+    acc += 1;
+  }
+};
+
+}  // namespace ma
+
+#endif  // MA_PRIM_OPS_H_

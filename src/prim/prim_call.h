@@ -1,0 +1,60 @@
+// Uniform ABI for vectorized primitive functions ("primitives").
+//
+// Every primitive — projection map, selection, aggregation update, hash,
+// bloom-filter probe, fetch — is an ordinary function with the signature
+// `size_t fn(const PrimCall&)`. A single ABI is what lets the Primitive
+// Dictionary store interchangeable function pointers ("flavors") for one
+// logical primitive, and lets the expression evaluator time and swap them
+// per call without knowing anything about their internals.
+#ifndef MA_PRIM_PRIM_CALL_H_
+#define MA_PRIM_PRIM_CALL_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace ma {
+
+/// Argument bundle for one primitive call over (up to) one vector.
+///
+/// Field use by family:
+///  - map (projection):  res <- op(in1[, in2]); sel optionally restricts.
+///  - sel (selection):   res_sel <- positions where pred(in1, in2) holds,
+///                       returns the count. `sel` restricts candidates.
+///  - aggr:              in1 = values, in2 = group ids (u32), state =
+///                       accumulator array; res unused.
+///  - fetch:             res[j] = base[in2[j]] with base = state or in1.
+///  - bloom/hash:        state points at the filter / table.
+struct PrimCall {
+  /// Number of physical positions in the input vector(s).
+  size_t n = 0;
+
+  /// Output value buffer (type depends on the primitive).
+  void* res = nullptr;
+
+  /// Output selection vector for selection primitives.
+  sel_t* res_sel = nullptr;
+
+  /// First and second input vectors. For `_val` (constant) parameters the
+  /// pointer refers to a single value, as in Vectorwise.
+  const void* in1 = nullptr;
+  const void* in2 = nullptr;
+
+  /// Optional input selection vector; when non-null only these `sel_n`
+  /// positions are live.
+  const sel_t* sel = nullptr;
+  size_t sel_n = 0;
+
+  /// Kernel-specific long-lived state (hash table, bloom filter,
+  /// accumulators). Owned by the operator, not the primitive.
+  void* state = nullptr;
+};
+
+/// All primitives share this signature. The return value is the number of
+/// produced values: selection primitives return the number of qualifying
+/// positions; maps return the number of positions computed.
+using PrimFn = size_t (*)(const PrimCall&);
+
+}  // namespace ma
+
+#endif  // MA_PRIM_PRIM_CALL_H_

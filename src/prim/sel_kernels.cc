@@ -1,0 +1,64 @@
+#include "prim/sel_kernels.h"
+
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+
+std::string SelSignature(const char* cmp_name, PhysicalType t,
+                         bool second_is_val) {
+  std::string s = "sel_";
+  s += cmp_name;
+  s += '_';
+  s += TypeName(t);
+  s += "_col_";
+  s += TypeName(t);
+  s += second_is_val ? "_val" : "_col";
+  return s;
+}
+
+namespace {
+
+using namespace sel_detail;
+
+template <typename T, typename CMP, bool VAL>
+void RegisterOne(PrimitiveDictionary* dict) {
+  const std::string sig = SelSignature(CMP::kName, TypeTag<T>::value, VAL);
+  // Branching is the canonical implementation ("Always Branching" is the
+  // baseline column of Table 6).
+  MA_CHECK(dict->Register(sig,
+                          FlavorInfo{"branching", FlavorSetId::kDefault,
+                                     &SelBranching<T, CMP, VAL>},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register(sig,
+                          FlavorInfo{"nobranching", FlavorSetId::kBranch,
+                                     &SelNoBranching<T, CMP, VAL>})
+               .ok());
+}
+
+template <typename T, typename CMP>
+void RegisterShapes(PrimitiveDictionary* dict) {
+  RegisterOne<T, CMP, true>(dict);
+  RegisterOne<T, CMP, false>(dict);
+}
+
+template <typename T>
+void RegisterType(PrimitiveDictionary* dict) {
+  RegisterShapes<T, CmpLt>(dict);
+  RegisterShapes<T, CmpLe>(dict);
+  RegisterShapes<T, CmpGt>(dict);
+  RegisterShapes<T, CmpGe>(dict);
+  RegisterShapes<T, CmpEq>(dict);
+  RegisterShapes<T, CmpNe>(dict);
+}
+
+}  // namespace
+
+void RegisterSelKernels(PrimitiveDictionary* dict) {
+  RegisterType<i16>(dict);
+  RegisterType<i32>(dict);
+  RegisterType<i64>(dict);
+  RegisterType<f64>(dict);
+}
+
+}  // namespace ma

@@ -1,0 +1,80 @@
+// Selection primitives: produce a selection vector with the positions of
+// tuples satisfying a predicate. The two algorithmic flavors are the
+// paper's motivating example (Listings 1 and 2):
+//
+//  * branching:    `if (pred) res[k++] = i;` — cheap when the branch
+//                  predictor wins (selectivity near 0% or 100%), terrible
+//                  in between.
+//  * no-branching: `res[k] = i; k += pred;` — constant work regardless of
+//                  selectivity.
+//
+// Signatures: sel_<cmp>_<type>_col_<type>_val / ..._col.
+#ifndef MA_PRIM_SEL_KERNELS_H_
+#define MA_PRIM_SEL_KERNELS_H_
+
+#include <string>
+
+#include "prim/ops.h"
+#include "prim/prim_call.h"
+
+namespace ma {
+
+class PrimitiveDictionary;
+
+std::string SelSignature(const char* cmp_name, PhysicalType t,
+                         bool second_is_val);
+
+void RegisterSelKernels(PrimitiveDictionary* dict);
+
+namespace sel_detail {
+
+/// Branching flavor (Listing 1). Honors an input selection vector by
+/// testing only live candidate positions.
+template <typename T, typename CMP, bool VAL>
+size_t SelBranching(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  sel_t* out = c.res_sel;
+  size_t k = 0;
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) {
+      const sel_t i = c.sel[j];
+      if (CMP::Apply(a[i], VAL ? b[0] : b[i])) out[k++] = i;
+    }
+    return k;
+  }
+  for (size_t i = 0; i < c.n; ++i) {
+    if (CMP::Apply(a[i], VAL ? b[0] : b[i])) {
+      out[k++] = static_cast<sel_t>(i);
+    }
+  }
+  return k;
+}
+
+/// No-branching flavor (Listing 2): data-dependent increment instead of a
+/// conditional store.
+template <typename T, typename CMP, bool VAL>
+size_t SelNoBranching(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  sel_t* out = c.res_sel;
+  size_t k = 0;
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) {
+      const sel_t i = c.sel[j];
+      out[k] = i;
+      k += CMP::Apply(a[i], VAL ? b[0] : b[i]) ? 1 : 0;
+    }
+    return k;
+  }
+  for (size_t i = 0; i < c.n; ++i) {
+    out[k] = static_cast<sel_t>(i);
+    k += CMP::Apply(a[i], VAL ? b[0] : b[i]) ? 1 : 0;
+  }
+  return k;
+}
+
+}  // namespace sel_detail
+}  // namespace ma
+
+#endif  // MA_PRIM_SEL_KERNELS_H_

@@ -1,0 +1,156 @@
+#include "prim/string_kernels.h"
+
+#include <cstring>
+
+#include "common/status.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace string_detail {
+
+bool StrContains(const StrRef& s, const StrRef& needle) {
+  if (needle.len == 0) return true;
+  if (s.len < needle.len) return false;
+  const char* end = s.data + s.len - needle.len + 1;
+  for (const char* p = s.data; p < end; ++p) {
+    if (*p == needle.data[0] &&
+        std::memcmp(p, needle.data, needle.len) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Shared driver: PRED(value, constant) decides membership; BRANCHING
+/// picks the conditional-store vs computed-increment style.
+template <typename PRED, bool BRANCHING>
+size_t SelStrGeneric(const PrimCall& c) {
+  const StrRef* col = static_cast<const StrRef*>(c.in1);
+  const StrRef val = *static_cast<const StrRef*>(c.in2);
+  sel_t* out = c.res_sel;
+  size_t k = 0;
+  auto test = [&](sel_t i) {
+    if constexpr (BRANCHING) {
+      if (PRED::Apply(col[i], val)) out[k++] = i;
+    } else {
+      out[k] = i;
+      k += PRED::Apply(col[i], val) ? 1 : 0;
+    }
+  };
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) test(c.sel[j]);
+  } else {
+    for (size_t i = 0; i < c.n; ++i) test(static_cast<sel_t>(i));
+  }
+  return k;
+}
+
+struct PredEq {
+  static bool Apply(const StrRef& a, const StrRef& b) { return StrEq(a, b); }
+};
+struct PredNe {
+  static bool Apply(const StrRef& a, const StrRef& b) {
+    return !StrEq(a, b);
+  }
+};
+struct PredPrefix {
+  static bool Apply(const StrRef& a, const StrRef& b) {
+    return StrPrefix(a, b);
+  }
+};
+struct PredNotPrefix {
+  static bool Apply(const StrRef& a, const StrRef& b) {
+    return !StrPrefix(a, b);
+  }
+};
+struct PredSuffix {
+  static bool Apply(const StrRef& a, const StrRef& b) {
+    return StrSuffix(a, b);
+  }
+};
+struct PredContains {
+  static bool Apply(const StrRef& a, const StrRef& b) {
+    return StrContains(a, b);
+  }
+};
+struct PredNotContains {
+  static bool Apply(const StrRef& a, const StrRef& b) {
+    return !StrContains(a, b);
+  }
+};
+
+}  // namespace
+
+size_t SelStrEqBranching(const PrimCall& c) {
+  return SelStrGeneric<PredEq, true>(c);
+}
+size_t SelStrEqNoBranching(const PrimCall& c) {
+  return SelStrGeneric<PredEq, false>(c);
+}
+size_t SelStrNeBranching(const PrimCall& c) {
+  return SelStrGeneric<PredNe, true>(c);
+}
+size_t SelStrPrefix(const PrimCall& c) {
+  return SelStrGeneric<PredPrefix, true>(c);
+}
+size_t SelStrNotPrefix(const PrimCall& c) {
+  return SelStrGeneric<PredNotPrefix, true>(c);
+}
+size_t SelStrSuffix(const PrimCall& c) {
+  return SelStrGeneric<PredSuffix, true>(c);
+}
+size_t SelStrContains(const PrimCall& c) {
+  return SelStrGeneric<PredContains, true>(c);
+}
+size_t SelStrNotContains(const PrimCall& c) {
+  return SelStrGeneric<PredNotContains, true>(c);
+}
+
+}  // namespace string_detail
+
+void RegisterStringKernels(PrimitiveDictionary* dict) {
+  using namespace string_detail;
+  MA_CHECK(dict->Register("sel_eq_str_col_str_val",
+                          FlavorInfo{"branching", FlavorSetId::kDefault,
+                                     &SelStrEqBranching},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register("sel_eq_str_col_str_val",
+                          FlavorInfo{"nobranching", FlavorSetId::kBranch,
+                                     &SelStrEqNoBranching})
+               .ok());
+  MA_CHECK(dict->Register("sel_ne_str_col_str_val",
+                          FlavorInfo{"branching", FlavorSetId::kDefault,
+                                     &SelStrNeBranching},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register("sel_prefix_str_col_str_val",
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &SelStrPrefix},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register("sel_notprefix_str_col_str_val",
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &SelStrNotPrefix},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register("sel_suffix_str_col_str_val",
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &SelStrSuffix},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register("sel_contains_str_col_str_val",
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &SelStrContains},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register("sel_notcontains_str_col_str_val",
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &SelStrNotContains},
+                          /*is_default=*/true)
+               .ok());
+}
+
+}  // namespace ma

@@ -1,0 +1,46 @@
+// String selection primitives over StrRef columns: equality against a
+// constant, and the LIKE-shaped predicates TPC-H needs (prefix, suffix,
+// substring). Branching and no-branching flavors exist for equality —
+// string compares make the branch-vs-data-dependency trade-off just like
+// integer selections, with the twist that the compare itself has
+// data-dependent cost.
+#ifndef MA_PRIM_STRING_KERNELS_H_
+#define MA_PRIM_STRING_KERNELS_H_
+
+#include <string_view>
+
+#include "prim/prim_call.h"
+
+namespace ma {
+
+class PrimitiveDictionary;
+
+void RegisterStringKernels(PrimitiveDictionary* dict);
+
+namespace string_detail {
+
+inline bool StrEq(const StrRef& a, const StrRef& b) {
+  return a.len == b.len && __builtin_memcmp(a.data, b.data, a.len) == 0;
+}
+inline bool StrPrefix(const StrRef& s, const StrRef& p) {
+  return s.len >= p.len && __builtin_memcmp(s.data, p.data, p.len) == 0;
+}
+inline bool StrSuffix(const StrRef& s, const StrRef& p) {
+  return s.len >= p.len &&
+         __builtin_memcmp(s.data + (s.len - p.len), p.data, p.len) == 0;
+}
+bool StrContains(const StrRef& s, const StrRef& needle);
+
+size_t SelStrEqBranching(const PrimCall& c);
+size_t SelStrEqNoBranching(const PrimCall& c);
+size_t SelStrNeBranching(const PrimCall& c);
+size_t SelStrPrefix(const PrimCall& c);
+size_t SelStrNotPrefix(const PrimCall& c);
+size_t SelStrSuffix(const PrimCall& c);
+size_t SelStrContains(const PrimCall& c);
+size_t SelStrNotContains(const PrimCall& c);
+
+}  // namespace string_detail
+}  // namespace ma
+
+#endif  // MA_PRIM_STRING_KERNELS_H_

@@ -1,0 +1,28 @@
+#include "prim/aggr_kernels.h"
+#include "prim/bloom_kernels.h"
+#include "prim/compiler_flavors.h"
+#include "prim/fetch_kernels.h"
+#include "prim/hash_kernels.h"
+#include "prim/map_kernels.h"
+#include "prim/mergejoin_kernels.h"
+#include "prim/sel_kernels.h"
+#include "prim/string_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+
+void RegisterBuiltinFlavors(PrimitiveDictionary* dict) {
+  RegisterMapKernels(dict);
+  RegisterSelKernels(dict);
+  RegisterAggrKernels(dict);
+  RegisterHashKernels(dict);
+  RegisterBloomKernels(dict);
+  RegisterFetchKernels(dict);
+  RegisterMergeJoinKernels(dict);
+  RegisterStringKernels(dict);
+  RegisterCompilerFlavorsGcc(dict);
+  RegisterCompilerFlavorsIcc(dict);
+  RegisterCompilerFlavorsClang(dict);
+}
+
+}  // namespace ma

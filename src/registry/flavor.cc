@@ -1,0 +1,32 @@
+#include "registry/flavor.h"
+
+namespace ma {
+
+const char* FlavorSetName(FlavorSetId id) {
+  switch (id) {
+    case FlavorSetId::kDefault:
+      return "default";
+    case FlavorSetId::kBranch:
+      return "branch";
+    case FlavorSetId::kCompiler:
+      return "compiler";
+    case FlavorSetId::kFission:
+      return "fission";
+    case FlavorSetId::kFullCompute:
+      return "fullcompute";
+    case FlavorSetId::kUnroll:
+      return "unroll";
+    case FlavorSetId::kNumSets:
+      break;
+  }
+  return "?";
+}
+
+int FlavorEntry::FindFlavor(std::string_view name) const {
+  for (size_t i = 0; i < flavors.size(); ++i) {
+    if (flavors[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ma

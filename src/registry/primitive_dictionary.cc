@@ -1,0 +1,66 @@
+#include "registry/primitive_dictionary.h"
+
+#include <algorithm>
+
+namespace ma {
+
+Status PrimitiveDictionary::Register(std::string_view signature,
+                                     FlavorInfo flavor, bool is_default) {
+  if (signature.empty()) {
+    return Status::InvalidArgument("empty primitive signature");
+  }
+  if (flavor.fn == nullptr) {
+    return Status::InvalidArgument("null flavor function for " +
+                                   std::string(signature));
+  }
+  auto [it, inserted] =
+      entries_.try_emplace(std::string(signature), FlavorEntry{});
+  FlavorEntry& entry = it->second;
+  if (inserted) entry.signature = std::string(signature);
+  if (entry.FindFlavor(flavor.name) >= 0) {
+    return Status::AlreadyExists("flavor '" + flavor.name +
+                                 "' already registered for " +
+                                 std::string(signature));
+  }
+  entry.flavors.push_back(std::move(flavor));
+  if (is_default) {
+    entry.default_index = static_cast<int>(entry.flavors.size()) - 1;
+  }
+  return Status::OK();
+}
+
+const FlavorEntry* PrimitiveDictionary::Find(
+    std::string_view signature) const {
+  auto it = entries_.find(std::string(signature));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+FlavorEntry* PrimitiveDictionary::FindMutable(std::string_view signature) {
+  auto it = entries_.find(std::string(signature));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+size_t PrimitiveDictionary::num_flavors() const {
+  size_t total = 0;
+  for (const auto& [sig, entry] : entries_) total += entry.flavors.size();
+  return total;
+}
+
+std::vector<std::string> PrimitiveDictionary::Signatures() const {
+  std::vector<std::string> sigs;
+  sigs.reserve(entries_.size());
+  for (const auto& [sig, entry] : entries_) sigs.push_back(sig);
+  std::sort(sigs.begin(), sigs.end());
+  return sigs;
+}
+
+PrimitiveDictionary& PrimitiveDictionary::Global() {
+  static PrimitiveDictionary* dict = [] {
+    auto* d = new PrimitiveDictionary();
+    RegisterBuiltinFlavors(d);
+    return d;
+  }();
+  return *dict;
+}
+
+}  // namespace ma

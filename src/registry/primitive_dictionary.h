@@ -1,0 +1,57 @@
+// The Primitive Dictionary resolves primitive signature strings (e.g.
+// "map_mul_i32_col_i32_col") to the set of registered implementations.
+// Micro Adaptivity extends the classic signature->function mapping to
+// signature->{flavor...} with per-flavor metadata, and provides a dynamic
+// registration mechanism so flavor libraries can be added at startup or
+// while the system is running (paper §3.1).
+#ifndef MA_REGISTRY_PRIMITIVE_DICTIONARY_H_
+#define MA_REGISTRY_PRIMITIVE_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "registry/flavor.h"
+
+namespace ma {
+
+class PrimitiveDictionary {
+ public:
+  PrimitiveDictionary() = default;
+  PrimitiveDictionary(const PrimitiveDictionary&) = delete;
+  PrimitiveDictionary& operator=(const PrimitiveDictionary&) = delete;
+
+  /// Registers one flavor under `signature`. Creates the entry on first
+  /// registration; `is_default` marks the flavor used when adaptivity is
+  /// off. Re-registering the same (signature, flavor-name) pair fails.
+  Status Register(std::string_view signature, FlavorInfo flavor,
+                  bool is_default = false);
+
+  /// Looks up the flavor entry for a signature, or nullptr.
+  const FlavorEntry* Find(std::string_view signature) const;
+  FlavorEntry* FindMutable(std::string_view signature);
+
+  /// Number of distinct signatures / total registered flavors.
+  size_t num_signatures() const { return entries_.size(); }
+  size_t num_flavors() const;
+
+  /// All signatures, sorted, for diagnostics and tests.
+  std::vector<std::string> Signatures() const;
+
+  /// The process-wide dictionary pre-populated with all built-in flavor
+  /// libraries (see RegisterBuiltinFlavors).
+  static PrimitiveDictionary& Global();
+
+ private:
+  std::unordered_map<std::string, FlavorEntry> entries_;
+};
+
+/// Registers every built-in kernel family and all their flavors into
+/// `dict`. Called once for the global dictionary; tests can call it on
+/// private dictionaries too.
+void RegisterBuiltinFlavors(PrimitiveDictionary* dict);
+
+}  // namespace ma
+
+#endif  // MA_REGISTRY_PRIMITIVE_DICTIONARY_H_

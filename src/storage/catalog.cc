@@ -1,0 +1,21 @@
+#include "storage/catalog.h"
+
+namespace ma {
+
+Table* Catalog::AddTable(std::unique_ptr<Table> table) {
+  Table* raw = table.get();
+  tables_[table->name()] = std::move(table);
+  return raw;
+}
+
+Table* Catalog::Find(std::string_view name) {
+  auto it = tables_.find(std::string(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::Find(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace ma

@@ -1,0 +1,33 @@
+// Catalog: owns tables by name.
+#ifndef MA_STORAGE_CATALOG_H_
+#define MA_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "storage/table.h"
+
+namespace ma {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Takes ownership; replaces any existing table with the same name.
+  Table* AddTable(std::unique_ptr<Table> table);
+
+  Table* Find(std::string_view name);
+  const Table* Find(std::string_view name) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace ma
+
+#endif  // MA_STORAGE_CATALOG_H_

@@ -1,0 +1,56 @@
+#include "storage/table.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace ma {
+
+Column* Table::AddColumn(std::string name, PhysicalType type) {
+  MA_CHECK(FindColumn(name) == nullptr);
+  names_.push_back(std::move(name));
+  columns_.push_back(std::make_unique<Column>(type));
+  return columns_.back().get();
+}
+
+const Column* Table::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return columns_[i].get();
+  }
+  return nullptr;
+}
+
+Column* Table::FindMutableColumn(std::string_view name) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return columns_[i].get();
+  }
+  return nullptr;
+}
+
+size_t Table::DictEncode(std::string_view src) {
+  const Column* s = FindColumn(src);
+  MA_CHECK(s != nullptr && s->type() == PhysicalType::kStr);
+  Column* code = AddColumn(std::string(src) + "_code", PhysicalType::kI64);
+  code->Reserve(s->size());
+  std::unordered_map<std::string_view, i64> dict;
+  const StrRef* data = s->Data<StrRef>();
+  for (size_t i = 0; i < s->size(); ++i) {
+    auto [it, inserted] =
+        dict.try_emplace(data[i].view(), static_cast<i64>(dict.size()));
+    code->Append<i64>(it->second);
+  }
+  return dict.size();
+}
+
+Status Table::Validate() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i]->size() != row_count_) {
+      return Status::Internal("table " + name_ + " column " + names_[i] +
+                              " has " + std::to_string(columns_[i]->size()) +
+                              " rows, expected " +
+                              std::to_string(row_count_));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ma

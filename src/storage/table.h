@@ -1,0 +1,55 @@
+// Table: named columns of equal length, plus a helper for
+// dictionary-encoding string columns into i64 code columns — the engine
+// joins and groups on fixed-width codes, never on raw strings.
+#ifndef MA_STORAGE_TABLE_H_
+#define MA_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace ma {
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  size_t row_count() const { return row_count_; }
+  void set_row_count(size_t n) { row_count_ = n; }
+
+  /// Adds a column and returns it for filling.
+  Column* AddColumn(std::string name, PhysicalType type);
+
+  size_t num_columns() const { return columns_.size(); }
+  const std::string& column_name(size_t i) const { return names_[i]; }
+  const Column* column(size_t i) const { return columns_[i].get(); }
+  Column* mutable_column(size_t i) { return columns_[i].get(); }
+
+  const Column* FindColumn(std::string_view name) const;
+  Column* FindMutableColumn(std::string_view name);
+
+  /// Builds `<src>_code`, an i64 column where equal strings in `src` get
+  /// equal dense codes (order of first appearance). Returns the number
+  /// of distinct values.
+  size_t DictEncode(std::string_view src);
+
+  /// Validates that all columns have row_count() rows.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  size_t row_count_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Column>> columns_;
+};
+
+}  // namespace ma
+
+#endif  // MA_STORAGE_TABLE_H_

@@ -1,0 +1,374 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tpch/text_pool.h"
+
+namespace ma::tpch {
+namespace {
+
+/// Days from civil date (Howard Hinnant's algorithm), then rebased.
+i64 DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<i64>(doe) - 719468;
+}
+
+constexpr int kSuppliersPerSf = 10000;
+constexpr int kCustomersPerSf = 150000;
+constexpr int kPartsPerSf = 200000;
+constexpr int kOrdersPerSf = 1500000;
+
+}  // namespace
+
+i64 Date(int year, int month, int day) {
+  static const i64 kEpoch = DaysFromCivil(1992, 1, 1);
+  return DaysFromCivil(year, month, day) - kEpoch;
+}
+
+std::unique_ptr<TpchData> Generate(const TpchConfig& config) {
+  auto data = std::make_unique<TpchData>();
+  Rng rng(config.seed);
+
+  const size_t n_supplier = std::max<size_t>(
+      10, static_cast<size_t>(kSuppliersPerSf * config.scale_factor));
+  const size_t n_customer = std::max<size_t>(
+      100, static_cast<size_t>(kCustomersPerSf * config.scale_factor));
+  const size_t n_part = std::max<size_t>(
+      200, static_cast<size_t>(kPartsPerSf * config.scale_factor));
+  const size_t n_orders = std::max<size_t>(
+      1000, static_cast<size_t>(kOrdersPerSf * config.scale_factor));
+
+  const i64 kStart = Date(1992, 1, 1);
+  const i64 kEnd = Date(1998, 8, 2);
+  const i64 kCutoff = Date(1995, 6, 17);
+
+  // ---- region ----
+  {
+    auto t = std::make_unique<Table>("region");
+    Column* rk = t->AddColumn("r_regionkey", PhysicalType::kI64);
+    Column* rn = t->AddColumn("r_name", PhysicalType::kStr);
+    Column* rc = t->AddColumn("r_comment", PhysicalType::kStr);
+    for (size_t i = 0; i < RegionNames().size(); ++i) {
+      rk->Append<i64>(static_cast<i64>(i));
+      rn->AppendString(RegionNames()[i]);
+      rc->AppendString(MakeComment(&rng, 4, 10));
+    }
+    t->set_row_count(RegionNames().size());
+    data->region = data->catalog.AddTable(std::move(t));
+  }
+
+  // ---- nation ----
+  {
+    auto t = std::make_unique<Table>("nation");
+    Column* nk = t->AddColumn("n_nationkey", PhysicalType::kI64);
+    Column* nn = t->AddColumn("n_name", PhysicalType::kStr);
+    Column* nr = t->AddColumn("n_regionkey", PhysicalType::kI64);
+    Column* nc = t->AddColumn("n_comment", PhysicalType::kStr);
+    for (size_t i = 0; i < NationNames().size(); ++i) {
+      nk->Append<i64>(static_cast<i64>(i));
+      nn->AppendString(NationNames()[i]);
+      nr->Append<i64>(NationRegion(static_cast<int>(i)));
+      nc->AppendString(MakeComment(&rng, 4, 10));
+    }
+    t->set_row_count(NationNames().size());
+    data->nation = data->catalog.AddTable(std::move(t));
+  }
+
+  // ---- supplier ----
+  {
+    auto t = std::make_unique<Table>("supplier");
+    Column* sk = t->AddColumn("s_suppkey", PhysicalType::kI64);
+    Column* sn = t->AddColumn("s_name", PhysicalType::kStr);
+    Column* sa = t->AddColumn("s_address", PhysicalType::kStr);
+    Column* snk = t->AddColumn("s_nationkey", PhysicalType::kI64);
+    Column* sp = t->AddColumn("s_phone", PhysicalType::kStr);
+    Column* sb = t->AddColumn("s_acctbal", PhysicalType::kF64);
+    Column* sc = t->AddColumn("s_comment", PhysicalType::kStr);
+    for (size_t i = 0; i < n_supplier; ++i) {
+      const int nation = static_cast<int>(rng.NextBounded(25));
+      sk->Append<i64>(static_cast<i64>(i + 1));
+      sn->AppendString("Supplier#" + std::to_string(i + 1));
+      sa->AppendString(MakeComment(&rng, 2, 4));
+      snk->Append<i64>(nation);
+      sp->AppendString(MakePhone(&rng, 10 + nation));
+      sb->Append<f64>(static_cast<f64>(rng.NextRange(-99999, 999999)) /
+                      100.0);
+      sc->AppendString(MakeComment(&rng, 6, 12, "Customer Complaints",
+                                   config.phrase_prob));
+    }
+    t->set_row_count(n_supplier);
+    data->supplier = data->catalog.AddTable(std::move(t));
+  }
+
+  // ---- customer ----
+  {
+    auto t = std::make_unique<Table>("customer");
+    Column* ck = t->AddColumn("c_custkey", PhysicalType::kI64);
+    Column* cn = t->AddColumn("c_name", PhysicalType::kStr);
+    Column* ca = t->AddColumn("c_address", PhysicalType::kStr);
+    Column* cnk = t->AddColumn("c_nationkey", PhysicalType::kI64);
+    Column* cp = t->AddColumn("c_phone", PhysicalType::kStr);
+    Column* cb = t->AddColumn("c_acctbal", PhysicalType::kF64);
+    Column* cm = t->AddColumn("c_mktsegment", PhysicalType::kStr);
+    Column* cmc = t->AddColumn("c_mktsegment_code", PhysicalType::kI64);
+    Column* ccc = t->AddColumn("c_cntrycode", PhysicalType::kStr);
+    Column* cccc = t->AddColumn("c_cntrycode_code", PhysicalType::kI64);
+    Column* cc = t->AddColumn("c_comment", PhysicalType::kStr);
+    for (size_t i = 0; i < n_customer; ++i) {
+      const int nation = static_cast<int>(rng.NextBounded(25));
+      const int seg = static_cast<int>(rng.NextBounded(5));
+      ck->Append<i64>(static_cast<i64>(i + 1));
+      cn->AppendString("Customer#" + std::to_string(i + 1));
+      ca->AppendString(MakeComment(&rng, 2, 4));
+      cnk->Append<i64>(nation);
+      cp->AppendString(MakePhone(&rng, 10 + nation));
+      cb->Append<f64>(static_cast<f64>(rng.NextRange(-99999, 999999)) /
+                      100.0);
+      cm->AppendString(Segments()[seg]);
+      cmc->Append<i64>(seg);
+      ccc->AppendString(std::to_string(10 + nation));
+      cccc->Append<i64>(10 + nation);
+      cc->AppendString(MakeComment(&rng, 6, 12));
+    }
+    t->set_row_count(n_customer);
+    data->customer = data->catalog.AddTable(std::move(t));
+  }
+
+  // ---- part ----
+  std::vector<f64> retail_price(n_part + 1);
+  {
+    auto t = std::make_unique<Table>("part");
+    Column* pk = t->AddColumn("p_partkey", PhysicalType::kI64);
+    Column* pn = t->AddColumn("p_name", PhysicalType::kStr);
+    Column* pm = t->AddColumn("p_mfgr", PhysicalType::kStr);
+    Column* pb = t->AddColumn("p_brand", PhysicalType::kStr);
+    Column* pbc = t->AddColumn("p_brand_code", PhysicalType::kI64);
+    Column* pt = t->AddColumn("p_type", PhysicalType::kStr);
+    Column* ptc = t->AddColumn("p_type_code", PhysicalType::kI64);
+    Column* ps = t->AddColumn("p_size", PhysicalType::kI64);
+    Column* pc = t->AddColumn("p_container", PhysicalType::kStr);
+    Column* pcc = t->AddColumn("p_container_code", PhysicalType::kI64);
+    Column* pr = t->AddColumn("p_retailprice", PhysicalType::kF64);
+    Column* pcm = t->AddColumn("p_comment", PhysicalType::kStr);
+    for (size_t i = 1; i <= n_part; ++i) {
+      const int mfgr = 1 + static_cast<int>(rng.NextBounded(5));
+      int brand_code = 0;
+      const std::string brand = MakeBrand(&rng, &brand_code);
+      const int t1 = static_cast<int>(rng.NextBounded(6));
+      const int t2 = static_cast<int>(rng.NextBounded(5));
+      const int t3 = static_cast<int>(rng.NextBounded(5));
+      const int c1 = static_cast<int>(rng.NextBounded(5));
+      const int c2 = static_cast<int>(rng.NextBounded(8));
+      const f64 price =
+          (90000.0 + static_cast<f64>((i / 10) % 20001) +
+           100.0 * static_cast<f64>(i % 1000)) /
+          100.0;
+      retail_price[i] = price;
+      pk->Append<i64>(static_cast<i64>(i));
+      pn->AppendString(MakePartName(&rng));
+      pm->AppendString("Manufacturer#" + std::to_string(mfgr));
+      pb->AppendString(brand);
+      pbc->Append<i64>(brand_code);
+      pt->AppendString(TypeSyllable1()[t1] + " " + TypeSyllable2()[t2] +
+                       " " + TypeSyllable3()[t3]);
+      ptc->Append<i64>(t1 * 25 + t2 * 5 + t3);
+      ps->Append<i64>(1 + static_cast<i64>(rng.NextBounded(50)));
+      pc->AppendString(ContainerSyllable1()[c1] + " " +
+                       ContainerSyllable2()[c2]);
+      pcc->Append<i64>(c1 * 8 + c2);
+      pr->Append<f64>(price);
+      pcm->AppendString(MakeComment(&rng, 3, 8));
+    }
+    t->set_row_count(n_part);
+    data->part = data->catalog.AddTable(std::move(t));
+  }
+
+  // ---- partsupp ----
+  std::vector<f64> supply_cost(n_part * 4);
+  {
+    auto t = std::make_unique<Table>("partsupp");
+    Column* pk = t->AddColumn("ps_partkey", PhysicalType::kI64);
+    Column* sk = t->AddColumn("ps_suppkey", PhysicalType::kI64);
+    Column* key = t->AddColumn("ps_pskey", PhysicalType::kI64);
+    Column* aq = t->AddColumn("ps_availqty", PhysicalType::kI64);
+    Column* aqf = t->AddColumn("ps_availqty_f", PhysicalType::kF64);
+    Column* sc = t->AddColumn("ps_supplycost", PhysicalType::kF64);
+    Column* cm = t->AddColumn("ps_comment", PhysicalType::kStr);
+    size_t row = 0;
+    for (size_t p = 1; p <= n_part; ++p) {
+      for (int s = 0; s < 4; ++s) {
+        // The spec's supplier spreading formula, reduced to our counts.
+        const i64 supp =
+            1 + static_cast<i64>((p + s * (n_supplier / 4 + 1)) %
+                                 n_supplier);
+        const f64 cost =
+            1.0 + static_cast<f64>(rng.NextRange(0, 99900)) / 100.0;
+        supply_cost[row++] = cost;
+        const i64 avail = 1 + static_cast<i64>(rng.NextBounded(9999));
+        pk->Append<i64>(static_cast<i64>(p));
+        sk->Append<i64>(supp);
+        key->Append<i64>(static_cast<i64>(p) * 100000 + supp);
+        aq->Append<i64>(avail);
+        aqf->Append<f64>(static_cast<f64>(avail));
+        sc->Append<f64>(cost);
+        cm->AppendString(MakeComment(&rng, 4, 10));
+      }
+    }
+    t->set_row_count(n_part * 4);
+    data->partsupp = data->catalog.AddTable(std::move(t));
+  }
+
+  // ---- orders + lineitem (clustered by o_orderdate) ----
+  {
+    std::vector<i64> order_dates(n_orders);
+    for (auto& d : order_dates) {
+      d = kStart + static_cast<i64>(rng.NextBounded(
+                       static_cast<u64>(kEnd - kStart - 151)));
+    }
+    std::sort(order_dates.begin(), order_dates.end());
+
+    auto ot = std::make_unique<Table>("orders");
+    Column* ok = ot->AddColumn("o_orderkey", PhysicalType::kI64);
+    Column* ock = ot->AddColumn("o_custkey", PhysicalType::kI64);
+    Column* os = ot->AddColumn("o_orderstatus", PhysicalType::kStr);
+    Column* osc = ot->AddColumn("o_orderstatus_code", PhysicalType::kI64);
+    Column* otp = ot->AddColumn("o_totalprice", PhysicalType::kF64);
+    Column* od = ot->AddColumn("o_orderdate", PhysicalType::kI64);
+    Column* oy = ot->AddColumn("o_orderyear", PhysicalType::kI64);
+    Column* op = ot->AddColumn("o_orderpriority", PhysicalType::kStr);
+    Column* opc =
+        ot->AddColumn("o_orderpriority_code", PhysicalType::kI64);
+    Column* osp = ot->AddColumn("o_shippriority", PhysicalType::kI64);
+    Column* ocm = ot->AddColumn("o_comment", PhysicalType::kStr);
+
+    auto lt = std::make_unique<Table>("lineitem");
+    Column* lok = lt->AddColumn("l_orderkey", PhysicalType::kI64);
+    Column* lpk = lt->AddColumn("l_partkey", PhysicalType::kI64);
+    Column* lsk = lt->AddColumn("l_suppkey", PhysicalType::kI64);
+    Column* lps = lt->AddColumn("l_pskey", PhysicalType::kI64);
+    Column* lln = lt->AddColumn("l_linenumber", PhysicalType::kI64);
+    Column* lq = lt->AddColumn("l_quantity", PhysicalType::kI64);
+    Column* lqf = lt->AddColumn("l_quantity_f", PhysicalType::kF64);
+    Column* lep = lt->AddColumn("l_extendedprice", PhysicalType::kF64);
+    Column* ld = lt->AddColumn("l_discount", PhysicalType::kF64);
+    Column* ltx = lt->AddColumn("l_tax", PhysicalType::kF64);
+    Column* lrf = lt->AddColumn("l_returnflag", PhysicalType::kStr);
+    Column* lrfc = lt->AddColumn("l_returnflag_code", PhysicalType::kI64);
+    Column* lls = lt->AddColumn("l_linestatus", PhysicalType::kStr);
+    Column* llsc = lt->AddColumn("l_linestatus_code", PhysicalType::kI64);
+    Column* lsd = lt->AddColumn("l_shipdate", PhysicalType::kI64);
+    Column* lsy = lt->AddColumn("l_shipyear", PhysicalType::kI64);
+    Column* lcd = lt->AddColumn("l_commitdate", PhysicalType::kI64);
+    Column* lrd = lt->AddColumn("l_receiptdate", PhysicalType::kI64);
+    Column* lsi = lt->AddColumn("l_shipinstruct", PhysicalType::kStr);
+    Column* lsic =
+        lt->AddColumn("l_shipinstruct_code", PhysicalType::kI64);
+    Column* lsm = lt->AddColumn("l_shipmode", PhysicalType::kStr);
+    Column* lsmc = lt->AddColumn("l_shipmode_code", PhysicalType::kI64);
+    Column* lcm = lt->AddColumn("l_comment", PhysicalType::kStr);
+
+    // Year of a day number: bucket against the 1992..1999 boundaries.
+    i64 year_start[9];
+    for (int y = 0; y < 9; ++y) year_start[y] = Date(1992 + y, 1, 1);
+    auto year_of = [&year_start](i64 day) {
+      int y = 0;
+      while (y < 8 && day >= year_start[y + 1]) ++y;
+      return static_cast<i64>(1992 + y);
+    };
+
+    size_t line_rows = 0;
+    static const char* kFlags[2] = {"R", "A"};
+    for (size_t o = 0; o < n_orders; ++o) {
+      const i64 okey = static_cast<i64>(o + 1);
+      const i64 odate = order_dates[o];
+      const int n_lines = 1 + static_cast<int>(rng.NextBounded(7));
+      f64 total = 0;
+      int n_f = 0, n_o = 0;
+      for (int l = 0; l < n_lines; ++l) {
+        const i64 part =
+            1 + static_cast<i64>(rng.NextBounded(n_part));
+        const int s = static_cast<int>(rng.NextBounded(4));
+        const i64 supp =
+            1 + static_cast<i64>(
+                    (static_cast<size_t>(part) + s * (n_supplier / 4 + 1)) %
+                    n_supplier);
+        const i64 qty = 1 + static_cast<i64>(rng.NextBounded(50));
+        const f64 eprice =
+            static_cast<f64>(qty) * retail_price[static_cast<size_t>(part)];
+        const f64 disc =
+            static_cast<f64>(rng.NextBounded(11)) / 100.0;  // 0.00..0.10
+        const f64 tax =
+            static_cast<f64>(rng.NextBounded(9)) / 100.0;  // 0.00..0.08
+        const i64 ship = odate + 1 + static_cast<i64>(rng.NextBounded(121));
+        const i64 commit =
+            odate + 30 + static_cast<i64>(rng.NextBounded(61));
+        const i64 receipt = ship + 1 + static_cast<i64>(rng.NextBounded(30));
+        const bool returnable = receipt <= kCutoff;
+        const int rf = returnable
+                           ? static_cast<int>(rng.NextBounded(2))
+                           : 2;  // R/A else N
+        const bool open = ship > kCutoff;
+        open ? ++n_o : ++n_f;
+        const int si = static_cast<int>(rng.NextBounded(4));
+        const int sm = static_cast<int>(rng.NextBounded(7));
+        total += eprice * (1.0 - disc) * (1.0 + tax);
+
+        lok->Append<i64>(okey);
+        lpk->Append<i64>(part);
+        lsk->Append<i64>(supp);
+        lps->Append<i64>(part * 100000 + supp);
+        lln->Append<i64>(l + 1);
+        lq->Append<i64>(qty);
+        lqf->Append<f64>(static_cast<f64>(qty));
+        lep->Append<f64>(eprice);
+        ld->Append<f64>(disc);
+        ltx->Append<f64>(tax);
+        lrf->AppendString(rf == 2 ? "N" : kFlags[rf]);
+        lrfc->Append<i64>(rf);
+        lls->AppendString(open ? "O" : "F");
+        llsc->Append<i64>(open ? 1 : 0);
+        lsd->Append<i64>(ship);
+        lsy->Append<i64>(year_of(ship));
+        lcd->Append<i64>(commit);
+        lrd->Append<i64>(receipt);
+        lsi->AppendString(ShipInstructs()[si]);
+        lsic->Append<i64>(si);
+        lsm->AppendString(ShipModes()[sm]);
+        lsmc->Append<i64>(sm);
+        lcm->AppendString(MakeComment(&rng, 3, 8));
+        ++line_rows;
+      }
+      const int status = n_o == 0 ? 0 : (n_f == 0 ? 1 : 2);  // F,O,P
+      static const char* kStatus[3] = {"F", "O", "P"};
+      const int prio = static_cast<int>(rng.NextBounded(5));
+      ok->Append<i64>(okey);
+      ock->Append<i64>(
+          1 + static_cast<i64>(rng.NextBounded(n_customer)));
+      os->AppendString(kStatus[status]);
+      osc->Append<i64>(status);
+      otp->Append<f64>(total);
+      od->Append<i64>(odate);
+      oy->Append<i64>(year_of(odate));
+      op->AppendString(Priorities()[prio]);
+      opc->Append<i64>(prio);
+      osp->Append<i64>(0);
+      ocm->AppendString(MakeComment(&rng, 5, 12, "special requests",
+                                    config.phrase_prob));
+    }
+    ot->set_row_count(n_orders);
+    lt->set_row_count(line_rows);
+    data->orders = data->catalog.AddTable(std::move(ot));
+    data->lineitem = data->catalog.AddTable(std::move(lt));
+  }
+
+  (void)supply_cost;
+  return data;
+}
+
+}  // namespace ma::tpch

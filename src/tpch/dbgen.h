@@ -1,0 +1,56 @@
+// TPC-H data generator (a pseudo-dbgen). Generates the eight TPC-H
+// tables at a configurable scale factor into in-memory columnar tables,
+// with the value domains and correlations the 22 queries rely on.
+//
+// Physical-design notes (documented in DESIGN.md):
+//  * Dates are stored as i64 day numbers (days since 1992-01-01), so
+//    date predicates are integer range selections — like Vectorwise
+//    after dictionary/date compression. Interval constants reduce to
+//    integers at plan time via Date().
+//  * Low-cardinality string columns also carry a parallel "<name>_code"
+//    i64 column (dictionary code); joins and group-bys use codes.
+//  * orders is clustered by o_orderdate (keys assigned in date order,
+//    as a warehouse would cluster), giving date-range selections the
+//    locality that produces the paper's Figure 2/4 phase behavior; as a
+//    consequence both o_orderkey and l_orderkey are ascending, which the
+//    merge-join plans exploit.
+//  * l_pskey / ps_pskey = partkey * 100000 + suppkey encode the
+//    composite (partkey, suppkey) foreign key into one i64.
+#ifndef MA_TPCH_DBGEN_H_
+#define MA_TPCH_DBGEN_H_
+
+#include <memory>
+
+#include "storage/catalog.h"
+
+namespace ma::tpch {
+
+struct TpchConfig {
+  f64 scale_factor = 0.05;
+  u64 seed = 19940401;
+  /// Probability of injecting the Q13/Q16 NOT-LIKE phrases.
+  f64 phrase_prob = 0.03;
+};
+
+/// Day number of a calendar date, relative to 1992-01-01 (day 0). Valid
+/// for the TPC-H range 1992..1998 (and a bit beyond).
+i64 Date(int year, int month, int day);
+
+struct TpchData {
+  Catalog catalog;
+  Table* region = nullptr;
+  Table* nation = nullptr;
+  Table* supplier = nullptr;
+  Table* customer = nullptr;
+  Table* part = nullptr;
+  Table* partsupp = nullptr;
+  Table* orders = nullptr;
+  Table* lineitem = nullptr;
+};
+
+/// Generates all eight tables. Deterministic for a given config.
+std::unique_ptr<TpchData> Generate(const TpchConfig& config);
+
+}  // namespace ma::tpch
+
+#endif  // MA_TPCH_DBGEN_H_

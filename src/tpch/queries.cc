@@ -1,0 +1,1485 @@
+#include "tpch/queries.h"
+
+#include <cmath>
+
+#include "common/cycleclock.h"
+
+#include "exec/op_hash_agg.h"
+#include "exec/op_hash_join.h"
+#include "exec/op_merge_join.h"
+#include "exec/op_project.h"
+#include "exec/op_scan.h"
+#include "exec/op_select.h"
+#include "exec/op_sort.h"
+#include "tpch/text_pool.h"
+
+namespace ma::tpch {
+namespace {
+
+using Out = ProjectOperator::Output;
+using Agg = HashAggOperator::AggSpec;
+using GK = HashAggOperator::GroupKey;
+
+OperatorPtr Scan(Engine* e, const Table* t,
+                 std::vector<std::string> cols = {}) {
+  return std::make_unique<ScanOperator>(e, t, std::move(cols));
+}
+
+OperatorPtr Sel(Engine* e, OperatorPtr child, ExprPtr pred,
+                std::string label) {
+  return std::make_unique<SelectOperator>(e, std::move(child),
+                                          std::move(pred),
+                                          std::move(label));
+}
+
+OperatorPtr Proj(Engine* e, OperatorPtr child, std::vector<Out> outs,
+                 std::string label) {
+  return std::make_unique<ProjectOperator>(e, std::move(child),
+                                           std::move(outs),
+                                           std::move(label));
+}
+
+OperatorPtr Join(Engine* e, OperatorPtr build, OperatorPtr probe,
+                 HashJoinSpec spec, std::string label) {
+  return std::make_unique<HashJoinOperator>(e, std::move(build),
+                                            std::move(probe),
+                                            std::move(spec),
+                                            std::move(label));
+}
+
+std::unique_ptr<Table> RunToTable(Engine* e, Operator& root) {
+  return e->Run(root).table;
+}
+
+/// Sugar: revenue expression l_extendedprice * (1 - l_discount), written
+/// without a literal on the left: ep - ep*disc.
+ExprPtr Revenue() {
+  return Sub(Col("l_extendedprice"),
+             Mul(Col("l_extendedprice"), Col("l_discount")));
+}
+
+/// Keys of nations/regions by name.
+i64 NationCode(const std::string& name) {
+  const int c = CodeOf(NationNames(), name);
+  MA_CHECK(c >= 0);
+  return c;
+}
+
+/// Suppliers (or customers) of one nation: filtered scan.
+OperatorPtr SupplierOfNation(Engine* e, const TpchData& d,
+                             const std::string& nation,
+                             std::vector<std::string> cols,
+                             const std::string& label) {
+  return Sel(e, Scan(e, d.supplier, std::move(cols)),
+             Eq(Col("s_nationkey"), Lit(NationCode(nation))),
+             label + "/s_nation");
+}
+
+/// Region -> member nation keys, via tiny joins on the metadata tables.
+OperatorPtr NationsOfRegion(Engine* e, const TpchData& d,
+                            const std::string& region,
+                            const std::string& label) {
+  // region is 5 rows; nation 25. Semi join nation against the selected
+  // region key.
+  auto rsel = Sel(e, Scan(e, d.region, {"r_regionkey", "r_name"}),
+                  StrEq("r_name", region), label + "/region");
+  HashJoinSpec spec;
+  spec.build_key = "r_regionkey";
+  spec.probe_key = "n_regionkey";
+  spec.kind = HashJoinSpec::Kind::kSemi;
+  return Join(e, std::move(rsel),
+              Scan(e, d.nation, {"n_nationkey", "n_name", "n_regionkey"}),
+              spec, label + "/nation_of_region");
+}
+
+// =====================================================================
+// Q1: Pricing summary report.
+// =====================================================================
+RunResult Q1(Engine* e, const TpchData& d) {
+  auto scan = Scan(e, d.lineitem,
+                   {"l_quantity", "l_quantity_f", "l_extendedprice",
+                    "l_discount", "l_tax", "l_returnflag",
+                    "l_returnflag_code", "l_linestatus",
+                    "l_linestatus_code", "l_shipdate"});
+  auto sel = Sel(e, std::move(scan),
+                 Le(Col("l_shipdate"), Lit(Date(1998, 12, 1) - 90)),
+                 "q1/select");
+  std::vector<Out> outs;
+  outs.push_back({"l_returnflag", Col("l_returnflag")});
+  outs.push_back({"l_linestatus", Col("l_linestatus")});
+  outs.push_back({"l_returnflag_code", Col("l_returnflag_code")});
+  outs.push_back({"l_linestatus_code", Col("l_linestatus_code")});
+  outs.push_back({"l_quantity", Col("l_quantity")});
+  outs.push_back({"l_quantity_f", Col("l_quantity_f")});
+  outs.push_back({"l_extendedprice", Col("l_extendedprice")});
+  outs.push_back({"l_discount", Col("l_discount")});
+  outs.push_back({"disc_price", Revenue()});
+  // charge = disc_price * (1 + tax) = disc_price + disc_price * tax.
+  auto disc_price = Revenue();
+  outs.push_back(
+      {"charge", Add(Revenue(), Mul(std::move(disc_price), Col("l_tax")))});
+  auto proj = Proj(e, std::move(sel), std::move(outs), "q1/project");
+
+  std::vector<Agg> aggs;
+  aggs.push_back({"sum", Col("l_quantity"), "sum_qty", PhysicalType::kI64});
+  aggs.push_back({"sum", Col("l_extendedprice"), "sum_base_price"});
+  aggs.push_back({"sum", Col("disc_price"), "sum_disc_price"});
+  aggs.push_back({"sum", Col("charge"), "sum_charge"});
+  aggs.push_back({"avg", Col("l_quantity_f"), "avg_qty"});
+  aggs.push_back({"avg", Col("l_extendedprice"), "avg_price"});
+  aggs.push_back({"avg", Col("l_discount"), "avg_disc"});
+  aggs.push_back({"count", nullptr, "count_order"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, std::move(proj),
+      std::vector<GK>{{"l_returnflag_code", 3}, {"l_linestatus_code", 2}},
+      std::vector<std::string>{"l_returnflag", "l_linestatus"},
+      std::move(aggs), "q1/agg");
+  SortOperator sort(e, std::move(agg),
+                    {{"l_returnflag", false}, {"l_linestatus", false}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q2: Minimum cost supplier.
+// =====================================================================
+RunResult Q2(Engine* e, const TpchData& d) {
+  // Stage A: EUROPE suppliers with nation names.
+  auto nations = NationsOfRegion(e, d, "EUROPE", "q2");
+  HashJoinSpec sj;
+  sj.build_key = "n_nationkey";
+  sj.probe_key = "s_nationkey";
+  sj.build_outputs = {{"n_name", "n_name"}};
+  sj.probe_outputs = {"s_suppkey", "s_name", "s_address", "s_phone",
+                      "s_acctbal", "s_comment"};
+  auto supp_eu = Join(e, std::move(nations),
+                      Scan(e, d.supplier,
+                           {"s_suppkey", "s_name", "s_address", "s_phone",
+                            "s_acctbal", "s_comment", "s_nationkey"}),
+                      sj, "q2/supplier_nation");
+
+  // Parts: size 15, type ending in BRASS.
+  std::vector<ExprPtr> part_preds;
+  part_preds.push_back(Eq(Col("p_size"), Lit(15)));
+  part_preds.push_back(StrSuffix("p_type", "BRASS"));
+  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_mfgr", "p_size",
+                                        "p_type"}),
+                    AndAll(std::move(part_preds)), "q2/part");
+
+  // partsupp of those parts.
+  HashJoinSpec pj;
+  pj.build_key = "p_partkey";
+  pj.probe_key = "ps_partkey";
+  pj.build_outputs = {{"p_mfgr", "p_mfgr"}};
+  pj.probe_outputs = {"ps_partkey", "ps_suppkey", "ps_supplycost"};
+  pj.use_bloom = true;  // most partsupp rows miss the filtered parts
+  auto ps = Join(e, std::move(part_f),
+                 Scan(e, d.partsupp,
+                      {"ps_partkey", "ps_suppkey", "ps_supplycost"}),
+                 pj, "q2/partsupp_part");
+
+  // + European supplier columns.
+  HashJoinSpec ssj;
+  ssj.build_key = "s_suppkey";
+  ssj.probe_key = "ps_suppkey";
+  ssj.build_outputs = {{"s_name", "s_name"},       {"n_name", "n_name"},
+                       {"s_address", "s_address"}, {"s_phone", "s_phone"},
+                       {"s_acctbal", "s_acctbal"},
+                       {"s_comment", "s_comment"}};
+  ssj.probe_outputs = {"ps_partkey", "ps_supplycost", "p_mfgr"};
+  auto joined = Join(e, std::move(supp_eu), std::move(ps), ssj,
+                     "q2/supplier_partsupp");
+  auto t = RunToTable(e, *joined);
+
+  // Stage B: min supplycost per part.
+  std::vector<Agg> aggs;
+  aggs.push_back({"min", Col("ps_supplycost"), "min_cost"});
+  HashAggOperator min_agg(e, Scan(e, t.get(), {"ps_partkey",
+                                               "ps_supplycost"}),
+                          {{"ps_partkey", 40}}, {"ps_partkey"},
+                          std::move(aggs), "q2/min_agg");
+  auto mins = RunToTable(e, min_agg);
+
+  // Stage C: keep rows at the minimum, sort, top 100.
+  HashJoinSpec mj;
+  mj.build_key = "ps_partkey";
+  mj.probe_key = "ps_partkey";
+  mj.build_outputs = {{"min_cost", "min_cost"}};
+  mj.probe_outputs = {"ps_partkey", "ps_supplycost", "p_mfgr", "s_name",
+                      "n_name",     "s_address",     "s_phone",
+                      "s_acctbal",  "s_comment"};
+  auto back = Join(e, Scan(e, mins.get()), Scan(e, t.get()), mj,
+                   "q2/min_join");
+  auto filtered =
+      Sel(e, std::move(back),
+          Eq(Col("ps_supplycost"), Col("min_cost")), "q2/min_filter");
+  SortOperator sort(e, std::move(filtered),
+                    {{"s_acctbal", true},
+                     {"n_name", false},
+                     {"s_name", false},
+                     {"ps_partkey", false}},
+                    100);
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q3: Shipping priority.
+// =====================================================================
+RunResult Q3(Engine* e, const TpchData& d) {
+  const i64 cutoff = Date(1995, 3, 15);
+  auto cust = Sel(e, Scan(e, d.customer, {"c_custkey",
+                                          "c_mktsegment_code"}),
+                  Eq(Col("c_mktsegment_code"),
+                     Lit(CodeOf(Segments(), "BUILDING"))),
+                  "q3/customer");
+  auto orders = Sel(e, Scan(e, d.orders, {"o_orderkey", "o_custkey",
+                                          "o_orderdate",
+                                          "o_shippriority"}),
+                    Lt(Col("o_orderdate"), Lit(cutoff)), "q3/orders");
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.kind = HashJoinSpec::Kind::kSemi;
+  auto orders_b = Join(e, std::move(cust), std::move(orders), cj,
+                       "q3/orders_customer");
+
+  auto items = Sel(e, Scan(e, d.lineitem,
+                           {"l_orderkey", "l_extendedprice", "l_discount",
+                            "l_shipdate"}),
+                   Gt(Col("l_shipdate"), Lit(cutoff)), "q3/lineitem");
+  HashJoinSpec oj;
+  oj.build_key = "o_orderkey";
+  oj.probe_key = "l_orderkey";
+  oj.build_outputs = {{"o_orderdate", "o_orderdate"},
+                      {"o_shippriority", "o_shippriority"}};
+  oj.probe_outputs = {"l_orderkey", "l_extendedprice", "l_discount"};
+  oj.use_bloom = true;
+  auto joined = Join(e, std::move(orders_b), std::move(items), oj,
+                     "q3/join");
+  std::vector<Out> outs;
+  outs.push_back({"l_orderkey", Col("l_orderkey")});
+  outs.push_back({"o_orderdate", Col("o_orderdate")});
+  outs.push_back({"o_shippriority", Col("o_shippriority")});
+  outs.push_back({"revenue", Revenue()});
+  auto proj = Proj(e, std::move(joined), std::move(outs), "q3/project");
+
+  std::vector<Agg> aggs;
+  aggs.push_back({"sum", Col("revenue"), "revenue"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, std::move(proj),
+      std::vector<GK>{
+          {"l_orderkey", 36}, {"o_orderdate", 13}, {"o_shippriority", 2}},
+      std::vector<std::string>{"l_orderkey", "o_orderdate",
+                               "o_shippriority"},
+      std::move(aggs), "q3/agg");
+  SortOperator sort(e, std::move(agg),
+                    {{"revenue", true}, {"o_orderdate", false}}, 10);
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q4: Order priority checking.
+// =====================================================================
+RunResult Q4(Engine* e, const TpchData& d) {
+  auto late = Sel(e, Scan(e, d.lineitem,
+                          {"l_orderkey", "l_commitdate", "l_receiptdate"}),
+                  Lt(Col("l_commitdate"), Col("l_receiptdate")),
+                  "q4/late_lines");
+  auto orders =
+      Sel(e, Scan(e, d.orders, {"o_orderkey", "o_orderdate",
+                                "o_orderpriority",
+                                "o_orderpriority_code"}),
+          RangeI64("o_orderdate", Date(1993, 7, 1), Date(1993, 10, 1)),
+          "q4/orders");
+  HashJoinSpec spec;
+  spec.build_key = "l_orderkey";
+  spec.probe_key = "o_orderkey";
+  spec.kind = HashJoinSpec::Kind::kSemi;
+  auto semi = Join(e, std::move(late), std::move(orders), spec,
+                   "q4/exists");
+  std::vector<Agg> aggs;
+  aggs.push_back({"count", nullptr, "order_count"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, std::move(semi), std::vector<GK>{{"o_orderpriority_code", 3}},
+      std::vector<std::string>{"o_orderpriority"}, std::move(aggs),
+      "q4/agg");
+  SortOperator sort(e, std::move(agg), {{"o_orderpriority", false}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q5: Local supplier volume.
+// =====================================================================
+RunResult Q5(Engine* e, const TpchData& d) {
+  // Asian suppliers with nation names; build key encodes
+  // (suppkey, nationkey) so the final join enforces c_nationkey ==
+  // s_nationkey.
+  auto nations = NationsOfRegion(e, d, "ASIA", "q5");
+  HashJoinSpec sn;
+  sn.build_key = "n_nationkey";
+  sn.probe_key = "s_nationkey";
+  sn.build_outputs = {{"n_name", "n_name"}};
+  sn.probe_outputs = {"s_suppkey", "s_nationkey"};
+  auto supp = Join(e, std::move(nations),
+                   Scan(e, d.supplier, {"s_suppkey", "s_nationkey"}), sn,
+                   "q5/supplier_nation");
+  std::vector<Out> souts;
+  souts.push_back({"s_supp_nation",
+                   Add(Mul(Col("s_suppkey"), Lit(32)),
+                       Col("s_nationkey"))});
+  souts.push_back({"s_nationkey", Col("s_nationkey")});
+  souts.push_back({"n_name", Col("n_name")});
+  auto supp_keyed = Proj(e, std::move(supp), std::move(souts),
+                         "q5/supp_key");
+
+  // Orders of 1994 with customer nation attached.
+  auto orders =
+      Sel(e, Scan(e, d.orders, {"o_orderkey", "o_custkey", "o_orderdate"}),
+          RangeI64("o_orderdate", Date(1994, 1, 1), Date(1995, 1, 1)),
+          "q5/orders");
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.build_outputs = {{"c_nationkey", "c_nationkey"}};
+  cj.probe_outputs = {"o_orderkey"};
+  auto orders_c = Join(e, Scan(e, d.customer, {"c_custkey",
+                                               "c_nationkey"}),
+                       std::move(orders), cj, "q5/orders_customer");
+
+  // Lineitems of those orders.
+  HashJoinSpec lj;
+  lj.build_key = "o_orderkey";
+  lj.probe_key = "l_orderkey";
+  lj.build_outputs = {{"c_nationkey", "c_nationkey"}};
+  lj.probe_outputs = {"l_suppkey", "l_extendedprice", "l_discount"};
+  lj.use_bloom = true;
+  auto items = Join(e, std::move(orders_c),
+                    Scan(e, d.lineitem, {"l_orderkey", "l_suppkey",
+                                         "l_extendedprice", "l_discount"}),
+                    lj, "q5/join_lineitem");
+  std::vector<Out> louts;
+  louts.push_back({"l_supp_nation",
+                   Add(Mul(Col("l_suppkey"), Lit(32)),
+                       Col("c_nationkey"))});
+  louts.push_back({"l_extendedprice", Col("l_extendedprice")});
+  louts.push_back({"l_discount", Col("l_discount")});
+  auto items_keyed = Proj(e, std::move(items), std::move(louts),
+                          "q5/items_key");
+
+  HashJoinSpec fj;
+  fj.build_key = "s_supp_nation";
+  fj.probe_key = "l_supp_nation";
+  fj.build_outputs = {{"n_name", "n_name"},
+                      {"s_nationkey", "s_nationkey"}};
+  fj.probe_outputs = {"l_extendedprice", "l_discount"};
+  fj.use_bloom = true;
+  auto joined = Join(e, std::move(supp_keyed), std::move(items_keyed), fj,
+                     "q5/final_join");
+  std::vector<Out> outs;
+  outs.push_back({"s_nationkey", Col("s_nationkey")});
+  outs.push_back({"n_name", Col("n_name")});
+  outs.push_back({"revenue", Revenue()});
+  auto proj = Proj(e, std::move(joined), std::move(outs), "q5/project");
+  std::vector<Agg> aggs;
+  aggs.push_back({"sum", Col("revenue"), "revenue"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, std::move(proj), std::vector<GK>{{"s_nationkey", 5}},
+      std::vector<std::string>{"n_name"}, std::move(aggs), "q5/agg");
+  SortOperator sort(e, std::move(agg), {{"revenue", true}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q6: Forecasting revenue change.
+// =====================================================================
+RunResult Q6(Engine* e, const TpchData& d) {
+  std::vector<ExprPtr> preds;
+  preds.push_back(Ge(Col("l_shipdate"), Lit(Date(1994, 1, 1))));
+  preds.push_back(Lt(Col("l_shipdate"), Lit(Date(1995, 1, 1))));
+  preds.push_back(Ge(Col("l_discount"), Lit(0.05)));
+  preds.push_back(Le(Col("l_discount"), Lit(0.07)));
+  preds.push_back(Lt(Col("l_quantity"), Lit(24)));
+  auto sel = Sel(e, Scan(e, d.lineitem,
+                         {"l_shipdate", "l_discount", "l_quantity",
+                          "l_extendedprice"}),
+                 AndAll(std::move(preds)), "q6/select");
+  std::vector<Out> outs;
+  outs.push_back(
+      {"revenue", Mul(Col("l_extendedprice"), Col("l_discount"))});
+  auto proj = Proj(e, std::move(sel), std::move(outs), "q6/project");
+  std::vector<Agg> aggs;
+  aggs.push_back({"sum", Col("revenue"), "revenue"});
+  HashAggOperator agg(e, std::move(proj), {}, {}, std::move(aggs),
+                      "q6/agg");
+  return e->Run(agg);
+}
+
+// =====================================================================
+// Q7: Volume shipping (uses the merge join on the orderkey order).
+// =====================================================================
+RunResult Q7(Engine* e, const TpchData& d) {
+  const i64 fr = NationCode("FRANCE");
+  const i64 de = NationCode("GERMANY");
+  // Orders annotated with customer nation (FRANCE or GERMANY only).
+  auto cust = Sel(e, Scan(e, d.customer, {"c_custkey", "c_nationkey"}),
+                  InI64("c_nationkey", {fr, de}), "q7/customer");
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.build_outputs = {{"c_nationkey", "cust_nation_code"}};
+  cj.probe_outputs = {"o_orderkey"};
+  cj.use_bloom = true;
+  auto orders_c = Join(e, std::move(cust),
+                       Scan(e, d.orders, {"o_orderkey", "o_custkey"}), cj,
+                       "q7/orders_customer");
+
+  // Lineitems shipped 1995-1996; merge join with the annotated orders on
+  // the (ascending) orderkey — Figure 4(c)'s mergejoin instance.
+  auto items =
+      Sel(e, Scan(e, d.lineitem,
+                  {"l_orderkey", "l_suppkey", "l_extendedprice",
+                   "l_discount", "l_shipdate", "l_shipyear"}),
+          RangeI64("l_shipdate", Date(1995, 1, 1), Date(1997, 1, 1)),
+          "q7/lineitem");
+  MergeJoinSpec mj;
+  mj.left_key = "o_orderkey";
+  mj.right_key = "l_orderkey";
+  mj.left_outputs = {{"cust_nation_code", "cust_nation_code"}};
+  mj.right_outputs = {{"l_suppkey", "l_suppkey"},
+                      {"l_extendedprice", "l_extendedprice"},
+                      {"l_discount", "l_discount"},
+                      {"l_shipyear", "l_shipyear"}};
+  auto merged = std::make_unique<MergeJoinOperator>(
+      e, std::move(orders_c), std::move(items), mj, "q7/mergejoin");
+
+  // Attach supplier nation.
+  auto supp = Sel(e, Scan(e, d.supplier, {"s_suppkey", "s_nationkey"}),
+                  InI64("s_nationkey", {fr, de}), "q7/supplier");
+  HashJoinSpec sj;
+  sj.build_key = "s_suppkey";
+  sj.probe_key = "l_suppkey";
+  sj.build_outputs = {{"s_nationkey", "supp_nation_code"}};
+  sj.probe_outputs = {"cust_nation_code", "l_extendedprice", "l_discount",
+                      "l_shipyear"};
+  sj.use_bloom = true;
+  auto joined =
+      Join(e, std::move(supp), std::move(merged), sj, "q7/supplier_join");
+
+  // (supp=FR and cust=DE) or (supp=DE and cust=FR).
+  std::vector<ExprPtr> c1;
+  c1.push_back(Eq(Col("supp_nation_code"), Lit(fr)));
+  c1.push_back(Eq(Col("cust_nation_code"), Lit(de)));
+  std::vector<ExprPtr> c2;
+  c2.push_back(Eq(Col("supp_nation_code"), Lit(de)));
+  c2.push_back(Eq(Col("cust_nation_code"), Lit(fr)));
+  std::vector<ExprPtr> either;
+  either.push_back(AndAll(std::move(c1)));
+  either.push_back(AndAll(std::move(c2)));
+  auto filtered = Sel(e, std::move(joined), OrAny(std::move(either)),
+                      "q7/nation_pair");
+
+  std::vector<Out> outs;
+  outs.push_back({"supp_nation_code", Col("supp_nation_code")});
+  outs.push_back({"cust_nation_code", Col("cust_nation_code")});
+  outs.push_back({"l_shipyear", Col("l_shipyear")});
+  outs.push_back({"volume", Revenue()});
+  auto proj = Proj(e, std::move(filtered), std::move(outs), "q7/project");
+  std::vector<Agg> aggs;
+  aggs.push_back({"sum", Col("volume"), "revenue"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, std::move(proj),
+      std::vector<GK>{{"supp_nation_code", 5},
+                      {"cust_nation_code", 5},
+                      {"l_shipyear", 11}},
+      std::vector<std::string>{"supp_nation_code", "cust_nation_code",
+                               "l_shipyear"},
+      std::move(aggs), "q7/agg");
+  SortOperator sort(e, std::move(agg),
+                    {{"supp_nation_code", false},
+                     {"cust_nation_code", false},
+                     {"l_shipyear", false}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q8: National market share.
+// =====================================================================
+RunResult Q8(Engine* e, const TpchData& d) {
+  const i64 steel =
+      CodeOf(TypeSyllable1(), "ECONOMY") * 25 +
+      CodeOf(TypeSyllable2(), "ANODIZED") * 5 +
+      CodeOf(TypeSyllable3(), "STEEL");
+  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_type_code"}),
+                    Eq(Col("p_type_code"), Lit(steel)), "q8/part");
+  HashJoinSpec pj;
+  pj.build_key = "p_partkey";
+  pj.probe_key = "l_partkey";
+  pj.probe_outputs = {"l_orderkey", "l_suppkey", "l_extendedprice",
+                      "l_discount"};
+  pj.use_bloom = true;
+  auto l1 = Join(e, std::move(part_f),
+                 Scan(e, d.lineitem,
+                      {"l_partkey", "l_orderkey", "l_suppkey",
+                       "l_extendedprice", "l_discount"}),
+                 pj, "q8/part_join");
+
+  auto orders =
+      Sel(e, Scan(e, d.orders, {"o_orderkey", "o_custkey", "o_orderdate",
+                                "o_orderyear"}),
+          RangeI64("o_orderdate", Date(1995, 1, 1), Date(1997, 1, 1)),
+          "q8/orders");
+  HashJoinSpec oj;
+  oj.build_key = "o_orderkey";
+  oj.probe_key = "l_orderkey";
+  oj.build_outputs = {{"o_custkey", "o_custkey"},
+                      {"o_orderyear", "o_orderyear"}};
+  oj.probe_outputs = {"l_suppkey", "l_extendedprice", "l_discount"};
+  oj.use_bloom = true;
+  auto l2 = Join(e, std::move(orders), std::move(l1), oj,
+                 "q8/orders_join");
+
+  // Customers in AMERICA.
+  auto nations = NationsOfRegion(e, d, "AMERICA", "q8");
+  HashJoinSpec cn;
+  cn.build_key = "n_nationkey";
+  cn.probe_key = "c_nationkey";
+  cn.kind = HashJoinSpec::Kind::kSemi;
+  auto cust_am = Join(e, std::move(nations),
+                      Scan(e, d.customer, {"c_custkey", "c_nationkey"}),
+                      cn, "q8/customer_region");
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.kind = HashJoinSpec::Kind::kSemi;
+  auto l3 = Join(e, std::move(cust_am), std::move(l2), cj,
+                 "q8/customer_semi");
+
+  // Supplier nation for every line.
+  HashJoinSpec sj;
+  sj.build_key = "s_suppkey";
+  sj.probe_key = "l_suppkey";
+  sj.build_outputs = {{"s_nationkey", "supp_nation_code"}};
+  sj.probe_outputs = {"o_orderyear", "l_extendedprice", "l_discount"};
+  auto l4 = Join(e, Scan(e, d.supplier, {"s_suppkey", "s_nationkey"}),
+                 std::move(l3), sj, "q8/supplier_join");
+  std::vector<Out> outs;
+  outs.push_back({"o_orderyear", Col("o_orderyear")});
+  outs.push_back({"supp_nation_code", Col("supp_nation_code")});
+  outs.push_back({"volume", Revenue()});
+  auto proj = Proj(e, std::move(l4), std::move(outs), "q8/project");
+  auto t = RunToTable(e, *proj);
+
+  // Total volume per year and BRAZIL volume per year; share = ratio.
+  std::vector<Agg> a1;
+  a1.push_back({"sum", Col("volume"), "total"});
+  HashAggOperator total_agg(e, Scan(e, t.get(), {"o_orderyear", "volume"}),
+                            {{"o_orderyear", 11}}, {"o_orderyear"},
+                            std::move(a1), "q8/total_agg");
+  auto totals = RunToTable(e, total_agg);
+
+  auto brazil_rows =
+      Sel(e, Scan(e, t.get()),
+          Eq(Col("supp_nation_code"), Lit(NationCode("BRAZIL"))),
+          "q8/brazil");
+  std::vector<Agg> a2;
+  a2.push_back({"sum", Col("volume"), "brazil_volume"});
+  HashAggOperator brazil_agg(e, std::move(brazil_rows),
+                             {{"o_orderyear", 11}}, {"o_orderyear"},
+                             std::move(a2), "q8/brazil_agg");
+  auto brazil = RunToTable(e, brazil_agg);
+
+  HashJoinSpec fj;
+  fj.build_key = "o_orderyear";
+  fj.probe_key = "o_orderyear";
+  fj.build_outputs = {{"brazil_volume", "brazil_volume"}};
+  fj.probe_outputs = {"o_orderyear", "total"};
+  auto joinf = Join(e, Scan(e, brazil.get()), Scan(e, totals.get()), fj,
+                    "q8/share_join");
+  std::vector<Out> fouts;
+  fouts.push_back({"o_orderyear", Col("o_orderyear")});
+  fouts.push_back({"mkt_share", Div(Col("brazil_volume"), Col("total"))});
+  auto projf = Proj(e, std::move(joinf), std::move(fouts), "q8/share");
+  SortOperator sort(e, std::move(projf), {{"o_orderyear", false}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q9: Product type profit measure.
+// =====================================================================
+RunResult Q9(Engine* e, const TpchData& d) {
+  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_name"}),
+                    StrContains("p_name", "green"), "q9/part");
+  HashJoinSpec pj;
+  pj.build_key = "p_partkey";
+  pj.probe_key = "l_partkey";
+  pj.probe_outputs = {"l_orderkey", "l_suppkey", "l_pskey",
+                      "l_quantity_f", "l_extendedprice", "l_discount"};
+  pj.use_bloom = true;
+  auto l1 = Join(e, std::move(part_f),
+                 Scan(e, d.lineitem,
+                      {"l_partkey", "l_orderkey", "l_suppkey", "l_pskey",
+                       "l_quantity_f", "l_extendedprice", "l_discount"}),
+                 pj, "q9/part_join");
+
+  HashJoinSpec psj;
+  psj.build_key = "ps_pskey";
+  psj.probe_key = "l_pskey";
+  psj.build_outputs = {{"ps_supplycost", "ps_supplycost"}};
+  psj.probe_outputs = {"l_orderkey", "l_suppkey", "l_quantity_f",
+                       "l_extendedprice", "l_discount"};
+  auto l2 = Join(e, Scan(e, d.partsupp, {"ps_pskey", "ps_supplycost"}),
+                 std::move(l1), psj, "q9/partsupp_join");
+
+  HashJoinSpec oj;
+  oj.build_key = "o_orderkey";
+  oj.probe_key = "l_orderkey";
+  oj.build_outputs = {{"o_orderyear", "o_orderyear"}};
+  oj.probe_outputs = {"l_suppkey", "l_quantity_f", "l_extendedprice",
+                      "l_discount", "ps_supplycost"};
+  auto l3 = Join(e, Scan(e, d.orders, {"o_orderkey", "o_orderyear"}),
+                 std::move(l2), oj, "q9/orders_join");
+
+  // supplier -> nation name.
+  HashJoinSpec nj;
+  nj.build_key = "n_nationkey";
+  nj.probe_key = "s_nationkey";
+  nj.build_outputs = {{"n_name", "n_name"}};
+  nj.probe_outputs = {"s_suppkey", "s_nationkey"};
+  auto supp_n = Join(e, Scan(e, d.nation, {"n_nationkey", "n_name"}),
+                     Scan(e, d.supplier, {"s_suppkey", "s_nationkey"}),
+                     nj, "q9/supplier_nation");
+  HashJoinSpec sj;
+  sj.build_key = "s_suppkey";
+  sj.probe_key = "l_suppkey";
+  sj.build_outputs = {{"s_nationkey", "s_nationkey"},
+                      {"n_name", "n_name"}};
+  sj.probe_outputs = {"o_orderyear", "l_quantity_f", "l_extendedprice",
+                      "l_discount", "ps_supplycost"};
+  auto l4 =
+      Join(e, std::move(supp_n), std::move(l3), sj, "q9/supplier_join");
+
+  std::vector<Out> outs;
+  outs.push_back({"s_nationkey", Col("s_nationkey")});
+  outs.push_back({"n_name", Col("n_name")});
+  outs.push_back({"o_orderyear", Col("o_orderyear")});
+  outs.push_back({"amount",
+                  Sub(Revenue(),
+                      Mul(Col("ps_supplycost"), Col("l_quantity_f")))});
+  auto proj = Proj(e, std::move(l4), std::move(outs), "q9/project");
+  std::vector<Agg> aggs;
+  aggs.push_back({"sum", Col("amount"), "sum_profit"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, std::move(proj),
+      std::vector<GK>{{"s_nationkey", 5}, {"o_orderyear", 11}},
+      std::vector<std::string>{"n_name", "o_orderyear"}, std::move(aggs),
+      "q9/agg");
+  SortOperator sort(e, std::move(agg),
+                    {{"n_name", false}, {"o_orderyear", true}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q10: Returned item reporting.
+// =====================================================================
+RunResult Q10(Engine* e, const TpchData& d) {
+  auto orders =
+      Sel(e, Scan(e, d.orders, {"o_orderkey", "o_custkey", "o_orderdate"}),
+          RangeI64("o_orderdate", Date(1993, 10, 1), Date(1994, 1, 1)),
+          "q10/orders");
+  auto items = Sel(e, Scan(e, d.lineitem,
+                           {"l_orderkey", "l_extendedprice", "l_discount",
+                            "l_returnflag_code"}),
+                   InI64("l_returnflag_code", {0, 1}),  // 'R' or 'A'
+                   "q10/returned");
+  HashJoinSpec oj;
+  oj.build_key = "o_orderkey";
+  oj.probe_key = "l_orderkey";
+  oj.build_outputs = {{"o_custkey", "o_custkey"}};
+  oj.probe_outputs = {"l_extendedprice", "l_discount"};
+  oj.use_bloom = true;
+  auto joined = Join(e, std::move(orders), std::move(items), oj,
+                     "q10/join");
+  std::vector<Out> outs;
+  outs.push_back({"o_custkey", Col("o_custkey")});
+  outs.push_back({"revenue", Revenue()});
+  auto proj = Proj(e, std::move(joined), std::move(outs), "q10/project");
+  std::vector<Agg> aggs;
+  aggs.push_back({"sum", Col("revenue"), "revenue"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, std::move(proj), std::vector<GK>{{"o_custkey", 32}},
+      std::vector<std::string>{"o_custkey"}, std::move(aggs), "q10/agg");
+  // Attach customer and nation attributes.
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.build_outputs = {{"c_name", "c_name"},       {"c_acctbal",
+                                                   "c_acctbal"},
+                      {"c_nationkey", "c_nationkey"},
+                      {"c_phone", "c_phone"},     {"c_address",
+                                                   "c_address"},
+                      {"c_comment", "c_comment"}};
+  cj.probe_outputs = {"o_custkey", "revenue"};
+  auto with_cust = Join(
+      e,
+      Scan(e, d.customer, {"c_custkey", "c_name", "c_acctbal",
+                           "c_nationkey", "c_phone", "c_address",
+                           "c_comment"}),
+      std::move(agg), cj, "q10/customer_join");
+  HashJoinSpec nj;
+  nj.build_key = "n_nationkey";
+  nj.probe_key = "c_nationkey";
+  nj.build_outputs = {{"n_name", "n_name"}};
+  nj.probe_outputs = {"o_custkey", "c_name", "revenue", "c_acctbal",
+                      "c_phone", "c_address", "c_comment"};
+  auto with_nation = Join(e, Scan(e, d.nation, {"n_nationkey", "n_name"}),
+                          std::move(with_cust), nj, "q10/nation_join");
+  SortOperator sort(e, std::move(with_nation), {{"revenue", true}}, 20);
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q11: Important stock identification.
+// =====================================================================
+RunResult Q11(Engine* e, const TpchData& d) {
+  auto supp_de = SupplierOfNation(e, d, "GERMANY",
+                                  {"s_suppkey", "s_nationkey"}, "q11");
+  HashJoinSpec sj;
+  sj.build_key = "s_suppkey";
+  sj.probe_key = "ps_suppkey";
+  sj.probe_outputs = {"ps_partkey", "ps_supplycost", "ps_availqty_f"};
+  sj.kind = HashJoinSpec::Kind::kSemi;
+  auto ps = Join(e, std::move(supp_de),
+                 Scan(e, d.partsupp, {"ps_partkey", "ps_suppkey",
+                                      "ps_supplycost", "ps_availqty_f"}),
+                 sj, "q11/partsupp_semi");
+  std::vector<Out> outs;
+  outs.push_back({"ps_partkey", Col("ps_partkey")});
+  outs.push_back({"value", Mul(Col("ps_supplycost"),
+                               Col("ps_availqty_f"))});
+  auto proj = Proj(e, std::move(ps), std::move(outs), "q11/project");
+  auto t = RunToTable(e, *proj);
+
+  std::vector<Agg> ga;
+  ga.push_back({"sum", Col("value"), "total"});
+  HashAggOperator global(e, Scan(e, t.get(), {"value"}), {}, {},
+                         std::move(ga), "q11/global");
+  auto total_tbl = RunToTable(e, global);
+  const f64 threshold =
+      total_tbl->FindColumn("total")->Data<f64>()[0] * 0.0001;
+
+  std::vector<Agg> pa;
+  pa.push_back({"sum", Col("value"), "value"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, Scan(e, t.get()), std::vector<GK>{{"ps_partkey", 40}},
+      std::vector<std::string>{"ps_partkey"}, std::move(pa), "q11/agg");
+  auto filtered = Sel(e, std::move(agg), Gt(Col("value"), Lit(threshold)),
+                      "q11/having");
+  SortOperator sort(e, std::move(filtered), {{"value", true}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q12: Shipping modes and order priority (the Figure 2 query).
+// =====================================================================
+RunResult Q12(Engine* e, const TpchData& d) {
+  std::vector<ExprPtr> preds;
+  preds.push_back(InI64("l_shipmode_code",
+                        {CodeOf(ShipModes(), "MAIL"),
+                         CodeOf(ShipModes(), "SHIP")}));
+  preds.push_back(Lt(Col("l_commitdate"), Col("l_receiptdate")));
+  preds.push_back(Lt(Col("l_shipdate"), Col("l_commitdate")));
+  preds.push_back(Ge(Col("l_receiptdate"), Lit(Date(1994, 1, 1))));
+  preds.push_back(Lt(Col("l_receiptdate"), Lit(Date(1995, 1, 1))));
+  auto items = Sel(e, Scan(e, d.lineitem,
+                           {"l_orderkey", "l_shipmode", "l_shipmode_code",
+                            "l_shipdate", "l_commitdate",
+                            "l_receiptdate"}),
+                   AndAll(std::move(preds)), "q12/select");
+
+  // Merge join with orders on the clustered orderkey (Figure 4(d)'s
+  // fetch primitives materialize the priority column).
+  MergeJoinSpec mj;
+  mj.left_key = "o_orderkey";
+  mj.right_key = "l_orderkey";
+  mj.left_outputs = {{"o_orderpriority_code", "o_orderpriority_code"}};
+  mj.right_outputs = {{"l_shipmode", "l_shipmode"},
+                      {"l_shipmode_code", "l_shipmode_code"}};
+  auto merged = std::make_unique<MergeJoinOperator>(
+      e, Scan(e, d.orders, {"o_orderkey", "o_orderpriority_code"}),
+      std::move(items), mj, "q12/mergejoin");
+  auto t = RunToTable(e, *merged);
+
+  // high = priority in {1-URGENT, 2-HIGH}: count per shipmode twice.
+  auto high = Sel(e, Scan(e, t.get()),
+                  Le(Col("o_orderpriority_code"), Lit(1)), "q12/high");
+  std::vector<Agg> ha;
+  ha.push_back({"count", nullptr, "high_line_count"});
+  HashAggOperator high_agg(
+      e, std::move(high), {{"l_shipmode_code", 3}},
+      {"l_shipmode", "l_shipmode_code"}, std::move(ha), "q12/high_agg");
+  auto high_tbl = RunToTable(e, high_agg);
+
+  std::vector<Agg> ta;
+  ta.push_back({"count", nullptr, "all_count"});
+  auto all_agg = std::make_unique<HashAggOperator>(
+      e, Scan(e, t.get()), std::vector<GK>{{"l_shipmode_code", 3}},
+      std::vector<std::string>{"l_shipmode", "l_shipmode_code"},
+      std::move(ta), "q12/all_agg");
+
+  HashJoinSpec fj;
+  fj.build_key = "l_shipmode_code";
+  fj.probe_key = "l_shipmode_code";
+  fj.build_outputs = {{"high_line_count", "high_line_count"}};
+  fj.probe_outputs = {"l_shipmode", "all_count"};
+  auto joined =
+      Join(e, Scan(e, high_tbl.get()), std::move(all_agg), fj,
+           "q12/final_join");
+  std::vector<Out> outs;
+  outs.push_back({"l_shipmode", Col("l_shipmode")});
+  outs.push_back({"high_line_count", Col("high_line_count")});
+  outs.push_back({"low_line_count",
+                  Sub(Col("all_count"), Col("high_line_count"))});
+  auto proj = Proj(e, std::move(joined), std::move(outs), "q12/final");
+  SortOperator sort(e, std::move(proj), {{"l_shipmode", false}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q13: Customer distribution.
+// =====================================================================
+RunResult Q13(Engine* e, const TpchData& d) {
+  auto orders = Sel(e, Scan(e, d.orders, {"o_custkey", "o_comment"}),
+                    StrNotContains("o_comment", "special requests"),
+                    "q13/orders");
+  std::vector<Agg> ca;
+  ca.push_back({"count", nullptr, "c_count"});
+  HashAggOperator per_cust(e, std::move(orders), {{"o_custkey", 32}},
+                           {"o_custkey"}, std::move(ca), "q13/per_cust");
+  auto t1 = RunToTable(e, per_cust);
+
+  // Histogram over c_count, plus the bucket of customers with no orders
+  // at all (the left-outer part of the SQL, assembled directly).
+  std::vector<Agg> ha;
+  ha.push_back({"count", nullptr, "custdist"});
+  HashAggOperator hist(e, Scan(e, t1.get(), {"c_count"}),
+                       {{"c_count", 16}}, {"c_count"}, std::move(ha),
+                       "q13/hist");
+  auto h = RunToTable(e, hist);
+  const i64 zero_customers =
+      static_cast<i64>(d.customer->row_count()) -
+      static_cast<i64>(t1->row_count());
+  if (zero_customers > 0) {
+    h->FindMutableColumn("c_count")->Append<i64>(0);
+    h->FindMutableColumn("custdist")->Append<i64>(zero_customers);
+    h->set_row_count(h->row_count() + 1);
+  }
+  SortOperator sort(e, Scan(e, h.get()),
+                    {{"custdist", true}, {"c_count", true}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q14: Promotion effect.
+// =====================================================================
+RunResult Q14(Engine* e, const TpchData& d) {
+  auto items = Sel(
+      e, Scan(e, d.lineitem, {"l_partkey", "l_extendedprice",
+                              "l_discount", "l_shipdate"}),
+      RangeI64("l_shipdate", Date(1995, 9, 1), Date(1995, 10, 1)),
+      "q14/select");
+  HashJoinSpec pj;
+  pj.build_key = "p_partkey";
+  pj.probe_key = "l_partkey";
+  pj.build_outputs = {{"p_type_code", "p_type_code"}};
+  pj.probe_outputs = {"l_extendedprice", "l_discount"};
+  auto joined = Join(e, Scan(e, d.part, {"p_partkey", "p_type_code"}),
+                     std::move(items), pj, "q14/part_join");
+  std::vector<Out> outs;
+  outs.push_back({"p_type_code", Col("p_type_code")});
+  outs.push_back({"revenue", Revenue()});
+  auto proj = Proj(e, std::move(joined), std::move(outs), "q14/project");
+  auto t = RunToTable(e, *proj);
+
+  std::vector<Agg> ta;
+  ta.push_back({"sum", Col("revenue"), "total"});
+  HashAggOperator total_agg(e, Scan(e, t.get(), {"revenue"}), {}, {},
+                            std::move(ta), "q14/total");
+  auto total_tbl = RunToTable(e, total_agg);
+
+  // PROMO types occupy type codes [125, 150).
+  const i64 promo_lo = CodeOf(TypeSyllable1(), "PROMO") * 25;
+  auto promo = Sel(e, Scan(e, t.get()),
+                   RangeI64("p_type_code", promo_lo, promo_lo + 25),
+                   "q14/promo");
+  std::vector<Agg> pa;
+  pa.push_back({"sum", Col("revenue"), "promo"});
+  HashAggOperator promo_agg(e, std::move(promo), {}, {}, std::move(pa),
+                            "q14/promo_agg");
+  auto promo_tbl = RunToTable(e, promo_agg);
+
+  const f64 total = total_tbl->FindColumn("total")->Data<f64>()[0];
+  const f64 promo_rev = promo_tbl->FindColumn("promo")->Data<f64>()[0];
+  RunResult r;
+  r.table = std::make_unique<Table>("result");
+  r.table->AddColumn("promo_revenue", PhysicalType::kF64)
+      ->Append<f64>(total == 0 ? 0.0 : 100.0 * promo_rev / total);
+  r.table->set_row_count(1);
+  return r;
+}
+
+// =====================================================================
+// Q15: Top supplier.
+// =====================================================================
+RunResult Q15(Engine* e, const TpchData& d) {
+  auto items = Sel(
+      e, Scan(e, d.lineitem, {"l_suppkey", "l_extendedprice",
+                              "l_discount", "l_shipdate"}),
+      RangeI64("l_shipdate", Date(1996, 1, 1), Date(1996, 4, 1)),
+      "q15/select");
+  std::vector<Out> outs;
+  outs.push_back({"l_suppkey", Col("l_suppkey")});
+  outs.push_back({"revenue", Revenue()});
+  auto proj = Proj(e, std::move(items), std::move(outs), "q15/project");
+  std::vector<Agg> aggs;
+  aggs.push_back({"sum", Col("revenue"), "total_revenue"});
+  HashAggOperator agg(e, std::move(proj), {{"l_suppkey", 24}},
+                      {"l_suppkey"}, std::move(aggs), "q15/agg");
+  auto revenue = RunToTable(e, agg);
+
+  std::vector<Agg> ma;
+  ma.push_back({"max", Col("total_revenue"), "max_revenue"});
+  HashAggOperator max_agg(e, Scan(e, revenue.get(), {"total_revenue"}),
+                          {}, {}, std::move(ma), "q15/max");
+  auto max_tbl = RunToTable(e, max_agg);
+  const f64 max_rev =
+      max_tbl->FindColumn("max_revenue")->Data<f64>()[0];
+
+  auto top = Sel(e, Scan(e, revenue.get()),
+                 Ge(Col("total_revenue"), Lit(max_rev)), "q15/top");
+  HashJoinSpec sj;
+  sj.build_key = "s_suppkey";
+  sj.probe_key = "l_suppkey";
+  sj.build_outputs = {{"s_name", "s_name"},
+                      {"s_address", "s_address"},
+                      {"s_phone", "s_phone"}};
+  sj.probe_outputs = {"l_suppkey", "total_revenue"};
+  auto joined = Join(e,
+                     Scan(e, d.supplier, {"s_suppkey", "s_name",
+                                          "s_address", "s_phone"}),
+                     std::move(top), sj, "q15/supplier_join");
+  SortOperator sort(e, std::move(joined), {{"l_suppkey", false}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q16: Parts/supplier relationship.
+// =====================================================================
+RunResult Q16(Engine* e, const TpchData& d) {
+  std::vector<ExprPtr> pp;
+  pp.push_back(Ne(Col("p_brand_code"),
+                  Lit((4 - 1) * 5 + (5 - 1))));  // Brand#45
+  pp.push_back(StrNotPrefix("p_type", "MEDIUM POLISHED"));
+  pp.push_back(InI64("p_size", {49, 14, 23, 45, 19, 3, 36, 9}));
+  auto part_f = Sel(e, Scan(e, d.part,
+                            {"p_partkey", "p_brand", "p_brand_code",
+                             "p_type", "p_type_code", "p_size"}),
+                    AndAll(std::move(pp)), "q16/part");
+  HashJoinSpec pj;
+  pj.build_key = "p_partkey";
+  pj.probe_key = "ps_partkey";
+  pj.build_outputs = {{"p_brand", "p_brand"},
+                      {"p_brand_code", "p_brand_code"},
+                      {"p_type", "p_type"},
+                      {"p_type_code", "p_type_code"},
+                      {"p_size", "p_size"}};
+  pj.probe_outputs = {"ps_suppkey"};
+  pj.use_bloom = true;
+  auto ps = Join(e, std::move(part_f),
+                 Scan(e, d.partsupp, {"ps_partkey", "ps_suppkey"}), pj,
+                 "q16/partsupp_join");
+
+  auto bad = Sel(e, Scan(e, d.supplier, {"s_suppkey", "s_comment"}),
+                 StrContains("s_comment", "Customer Complaints"),
+                 "q16/complaints");
+  HashJoinSpec aj;
+  aj.build_key = "s_suppkey";
+  aj.probe_key = "ps_suppkey";
+  aj.kind = HashJoinSpec::Kind::kAnti;
+  auto good = Join(e, std::move(bad), std::move(ps), aj, "q16/anti");
+
+  // Distinct suppliers per (brand, type, size): dedupe then count.
+  std::vector<Agg> da;
+  da.push_back({"count", nullptr, "dummy"});
+  HashAggOperator dedupe(
+      e, std::move(good),
+      {{"p_brand_code", 5}, {"p_type_code", 8}, {"p_size", 6},
+       {"ps_suppkey", 24}},
+      {"p_brand", "p_type", "p_size", "p_brand_code", "p_type_code"},
+      std::move(da), "q16/dedupe");
+  auto t = RunToTable(e, dedupe);
+
+  std::vector<Agg> ca;
+  ca.push_back({"count", nullptr, "supplier_cnt"});
+  auto cnt = std::make_unique<HashAggOperator>(
+      e, Scan(e, t.get()),
+      std::vector<GK>{{"p_brand_code", 5}, {"p_type_code", 8},
+                      {"p_size", 6}},
+      std::vector<std::string>{"p_brand", "p_type", "p_size"},
+      std::move(ca), "q16/count");
+  SortOperator sort(e, std::move(cnt),
+                    {{"supplier_cnt", true},
+                     {"p_brand", false},
+                     {"p_type", false},
+                     {"p_size", false}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q17: Small-quantity-order revenue.
+// =====================================================================
+RunResult Q17(Engine* e, const TpchData& d) {
+  std::vector<ExprPtr> pp;
+  pp.push_back(Eq(Col("p_brand_code"), Lit((2 - 1) * 5 + (3 - 1))));
+  pp.push_back(Eq(Col("p_container_code"),
+                  Lit(CodeOf(ContainerSyllable1(), "MED") * 8 +
+                      CodeOf(ContainerSyllable2(), "BOX"))));
+  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_brand_code",
+                                        "p_container_code"}),
+                    AndAll(std::move(pp)), "q17/part");
+  HashJoinSpec pj;
+  pj.build_key = "p_partkey";
+  pj.probe_key = "l_partkey";
+  pj.probe_outputs = {"l_partkey", "l_quantity_f", "l_extendedprice"};
+  pj.use_bloom = true;
+  auto t_op = Join(e, std::move(part_f),
+                   Scan(e, d.lineitem, {"l_partkey", "l_quantity_f",
+                                        "l_extendedprice"}),
+                   pj, "q17/join");
+  auto t = RunToTable(e, *t_op);
+
+  std::vector<Agg> aa;
+  aa.push_back({"avg", Col("l_quantity_f"), "avg_qty"});
+  HashAggOperator avg_agg(e, Scan(e, t.get(), {"l_partkey",
+                                               "l_quantity_f"}),
+                          {{"l_partkey", 40}}, {"l_partkey"},
+                          std::move(aa), "q17/avg");
+  auto avgs = RunToTable(e, avg_agg);
+
+  HashJoinSpec bj;
+  bj.build_key = "l_partkey";
+  bj.probe_key = "l_partkey";
+  bj.build_outputs = {{"avg_qty", "avg_qty"}};
+  bj.probe_outputs = {"l_quantity_f", "l_extendedprice"};
+  auto back = Join(e, Scan(e, avgs.get()), Scan(e, t.get()), bj,
+                   "q17/back_join");
+  std::vector<Out> outs;
+  outs.push_back({"l_quantity_f", Col("l_quantity_f")});
+  outs.push_back({"l_extendedprice", Col("l_extendedprice")});
+  outs.push_back({"threshold", Mul(Col("avg_qty"), Lit(0.2))});
+  auto proj = Proj(e, std::move(back), std::move(outs), "q17/threshold");
+  auto small = Sel(e, std::move(proj),
+                   Lt(Col("l_quantity_f"), Col("threshold")),
+                   "q17/small_orders");
+  std::vector<Agg> sa;
+  sa.push_back({"sum", Col("l_extendedprice"), "total"});
+  HashAggOperator sum_agg(e, std::move(small), {}, {}, std::move(sa),
+                          "q17/sum");
+  auto sum_tbl = RunToTable(e, sum_agg);
+
+  RunResult r;
+  r.table = std::make_unique<Table>("result");
+  r.table->AddColumn("avg_yearly", PhysicalType::kF64)
+      ->Append<f64>(sum_tbl->FindColumn("total")->Data<f64>()[0] / 7.0);
+  r.table->set_row_count(1);
+  return r;
+}
+
+// =====================================================================
+// Q18: Large volume customers.
+// =====================================================================
+RunResult Q18(Engine* e, const TpchData& d) {
+  std::vector<Agg> qa;
+  qa.push_back({"sum", Col("l_quantity"), "sum_qty", PhysicalType::kI64});
+  auto per_order = std::make_unique<HashAggOperator>(
+      e, Scan(e, d.lineitem, {"l_orderkey", "l_quantity"}),
+      std::vector<GK>{{"l_orderkey", 36}},
+      std::vector<std::string>{"l_orderkey"}, std::move(qa), "q18/agg");
+  auto big = Sel(e, std::move(per_order), Gt(Col("sum_qty"), Lit(300)),
+                 "q18/having");
+  HashJoinSpec oj;
+  oj.build_key = "l_orderkey";
+  oj.probe_key = "o_orderkey";
+  oj.build_outputs = {{"sum_qty", "sum_qty"}};
+  oj.probe_outputs = {"o_orderkey", "o_custkey", "o_orderdate",
+                      "o_totalprice"};
+  oj.use_bloom = true;
+  auto orders = Join(e, std::move(big),
+                     Scan(e, d.orders, {"o_orderkey", "o_custkey",
+                                        "o_orderdate", "o_totalprice"}),
+                     oj, "q18/orders_join");
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.build_outputs = {{"c_name", "c_name"}};
+  cj.probe_outputs = {"o_custkey", "o_orderkey", "o_orderdate",
+                      "o_totalprice", "sum_qty"};
+  auto with_cust = Join(e, Scan(e, d.customer, {"c_custkey", "c_name"}),
+                        std::move(orders), cj, "q18/customer_join");
+  SortOperator sort(e, std::move(with_cust),
+                    {{"o_totalprice", true}, {"o_orderdate", false}},
+                    100);
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q19: Discounted revenue (the big OR-of-ANDs predicate).
+// =====================================================================
+RunResult Q19(Engine* e, const TpchData& d) {
+  std::vector<ExprPtr> lp;
+  lp.push_back(InI64("l_shipmode_code", {CodeOf(ShipModes(), "AIR"),
+                                         CodeOf(ShipModes(),
+                                                "REG AIR")}));
+  lp.push_back(Eq(Col("l_shipinstruct_code"),
+                  Lit(CodeOf(ShipInstructs(), "DELIVER IN PERSON"))));
+  auto items = Sel(e, Scan(e, d.lineitem,
+                           {"l_partkey", "l_quantity", "l_extendedprice",
+                            "l_discount", "l_shipmode_code",
+                            "l_shipinstruct_code"}),
+                   AndAll(std::move(lp)), "q19/lineitem");
+  HashJoinSpec pj;
+  pj.build_key = "p_partkey";
+  pj.probe_key = "l_partkey";
+  pj.build_outputs = {{"p_brand_code", "p_brand_code"},
+                      {"p_container_code", "p_container_code"},
+                      {"p_size", "p_size"}};
+  pj.probe_outputs = {"l_quantity", "l_extendedprice", "l_discount"};
+  auto joined = Join(e,
+                     Scan(e, d.part, {"p_partkey", "p_brand_code",
+                                      "p_container_code", "p_size"}),
+                     std::move(items), pj, "q19/join");
+
+  auto container_codes = [](std::vector<std::pair<const char*,
+                                                  const char*>> pairs) {
+    std::vector<i64> codes;
+    for (const auto& [a, b] : pairs) {
+      codes.push_back(CodeOf(ContainerSyllable1(), a) * 8 +
+                      CodeOf(ContainerSyllable2(), b));
+    }
+    return codes;
+  };
+  auto branch = [&](int brand_m, int brand_n, std::vector<i64> containers,
+                    i64 qty_lo, i64 qty_hi, i64 size_hi) {
+    std::vector<ExprPtr> preds;
+    preds.push_back(Eq(Col("p_brand_code"),
+                       Lit((brand_m - 1) * 5 + (brand_n - 1))));
+    preds.push_back(InI64("p_container_code", std::move(containers)));
+    preds.push_back(Ge(Col("l_quantity"), Lit(qty_lo)));
+    preds.push_back(Le(Col("l_quantity"), Lit(qty_hi)));
+    preds.push_back(Ge(Col("p_size"), Lit(i64{1})));
+    preds.push_back(Le(Col("p_size"), Lit(size_hi)));
+    return AndAll(std::move(preds));
+  };
+  std::vector<ExprPtr> branches;
+  branches.push_back(branch(
+      1, 2,
+      container_codes({{"SM", "CASE"}, {"SM", "BOX"}, {"SM", "PACK"},
+                       {"SM", "PKG"}}),
+      1, 11, 5));
+  branches.push_back(branch(
+      2, 3,
+      container_codes({{"MED", "BAG"}, {"MED", "BOX"}, {"MED", "PKG"},
+                       {"MED", "PACK"}}),
+      10, 20, 10));
+  branches.push_back(branch(
+      3, 4,
+      container_codes({{"LG", "CASE"}, {"LG", "BOX"}, {"LG", "PACK"},
+                       {"LG", "PKG"}}),
+      20, 30, 15));
+  auto filtered = Sel(e, std::move(joined), OrAny(std::move(branches)),
+                      "q19/or_filter");
+  std::vector<Out> outs;
+  outs.push_back({"revenue", Revenue()});
+  auto proj = Proj(e, std::move(filtered), std::move(outs),
+                   "q19/project");
+  std::vector<Agg> aggs;
+  aggs.push_back({"sum", Col("revenue"), "revenue"});
+  HashAggOperator agg(e, std::move(proj), {}, {}, std::move(aggs),
+                      "q19/agg");
+  return e->Run(agg);
+}
+
+// =====================================================================
+// Q20: Potential part promotion.
+// =====================================================================
+RunResult Q20(Engine* e, const TpchData& d) {
+  // Quantity shipped in 1994 per (part, supplier).
+  auto shipped = Sel(
+      e, Scan(e, d.lineitem, {"l_pskey", "l_quantity_f", "l_shipdate"}),
+      RangeI64("l_shipdate", Date(1994, 1, 1), Date(1995, 1, 1)),
+      "q20/shipped");
+  std::vector<Agg> sa;
+  sa.push_back({"sum", Col("l_quantity_f"), "sum_qty"});
+  HashAggOperator qty_agg(e, std::move(shipped), {{"l_pskey", 48}},
+                          {"l_pskey"}, std::move(sa), "q20/qty_agg");
+  auto qty = RunToTable(e, qty_agg);
+
+  // partsupp rows with availqty > 0.5 * shipped qty.
+  HashJoinSpec qj;
+  qj.build_key = "l_pskey";
+  qj.probe_key = "ps_pskey";
+  qj.build_outputs = {{"sum_qty", "sum_qty"}};
+  qj.probe_outputs = {"ps_partkey", "ps_suppkey", "ps_availqty_f"};
+  auto ps = Join(e, Scan(e, qty.get()),
+                 Scan(e, d.partsupp, {"ps_pskey", "ps_partkey",
+                                      "ps_suppkey", "ps_availqty_f"}),
+                 qj, "q20/qty_join");
+  std::vector<Out> houts;
+  houts.push_back({"ps_partkey", Col("ps_partkey")});
+  houts.push_back({"ps_suppkey", Col("ps_suppkey")});
+  houts.push_back({"ps_availqty_f", Col("ps_availqty_f")});
+  houts.push_back({"half_qty", Mul(Col("sum_qty"), Lit(0.5))});
+  auto hproj = Proj(e, std::move(ps), std::move(houts), "q20/half");
+  auto excess = Sel(e, std::move(hproj),
+                    Gt(Col("ps_availqty_f"), Col("half_qty")),
+                    "q20/excess");
+
+  // Restrict to forest% parts (semi join).
+  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_name"}),
+                    StrPrefix("p_name", "forest"), "q20/part");
+  HashJoinSpec fj;
+  fj.build_key = "p_partkey";
+  fj.probe_key = "ps_partkey";
+  fj.kind = HashJoinSpec::Kind::kSemi;
+  auto forest = Join(e, std::move(part_f), std::move(excess), fj,
+                     "q20/forest_semi");
+
+  // Distinct supplier keys.
+  std::vector<Agg> da;
+  da.push_back({"count", nullptr, "dummy"});
+  HashAggOperator dedupe(e, std::move(forest), {{"ps_suppkey", 24}},
+                         {"ps_suppkey"}, std::move(da), "q20/dedupe");
+  auto supp_keys = RunToTable(e, dedupe);
+
+  // Suppliers in CANADA among them.
+  auto canada = SupplierOfNation(
+      e, d, "CANADA", {"s_suppkey", "s_name", "s_address", "s_nationkey"},
+      "q20");
+  HashJoinSpec sj;
+  sj.build_key = "ps_suppkey";
+  sj.probe_key = "s_suppkey";
+  sj.kind = HashJoinSpec::Kind::kSemi;
+  auto result = Join(e, Scan(e, supp_keys.get(), {"ps_suppkey"}),
+                     std::move(canada), sj, "q20/supplier_semi");
+  SortOperator sort(e, std::move(result), {{"s_name", false}});
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q21: Suppliers who kept orders waiting.
+// =====================================================================
+RunResult Q21(Engine* e, const TpchData& d) {
+  // Distinct (orderkey, suppkey) pairs over all lineitems -> number of
+  // distinct suppliers per order.
+  std::vector<Agg> dummy1;
+  dummy1.push_back({"count", nullptr, "dummy"});
+  HashAggOperator all_pairs(
+      e, Scan(e, d.lineitem, {"l_orderkey", "l_suppkey"}),
+      {{"l_orderkey", 36}, {"l_suppkey", 24}}, {"l_orderkey"},
+      std::move(dummy1), "q21/all_pairs");
+  auto pairs_tbl = RunToTable(e, all_pairs);
+  std::vector<Agg> c1;
+  c1.push_back({"count", nullptr, "n_supp"});
+  HashAggOperator supp_per_order(e, Scan(e, pairs_tbl.get(),
+                                         {"l_orderkey"}),
+                                 {{"l_orderkey", 36}}, {"l_orderkey"},
+                                 std::move(c1), "q21/supp_per_order");
+  auto n_supp = RunToTable(e, supp_per_order);
+
+  // Same for *late* lineitems (receipt > commit).
+  auto late = Sel(e, Scan(e, d.lineitem,
+                          {"l_orderkey", "l_suppkey", "l_commitdate",
+                           "l_receiptdate"}),
+                  Gt(Col("l_receiptdate"), Col("l_commitdate")),
+                  "q21/late");
+  std::vector<Agg> dummy2;
+  dummy2.push_back({"count", nullptr, "dummy"});
+  HashAggOperator late_pairs(e, std::move(late),
+                             {{"l_orderkey", 36}, {"l_suppkey", 24}},
+                             {"l_orderkey"}, std::move(dummy2),
+                             "q21/late_pairs");
+  auto late_tbl = RunToTable(e, late_pairs);
+  std::vector<Agg> c2;
+  c2.push_back({"count", nullptr, "n_late_supp"});
+  HashAggOperator late_per_order(e, Scan(e, late_tbl.get(),
+                                         {"l_orderkey"}),
+                                 {{"l_orderkey", 36}}, {"l_orderkey"},
+                                 std::move(c2), "q21/late_per_order");
+  auto n_late = RunToTable(e, late_per_order);
+
+  // l1: late lines of SAUDI ARABIA suppliers on F-status orders.
+  auto saudi = SupplierOfNation(e, d, "SAUDI ARABIA",
+                                {"s_suppkey", "s_name", "s_nationkey"},
+                                "q21");
+  auto late2 = Sel(e, Scan(e, d.lineitem,
+                           {"l_orderkey", "l_suppkey", "l_commitdate",
+                            "l_receiptdate"}),
+                   Gt(Col("l_receiptdate"), Col("l_commitdate")),
+                   "q21/late2");
+  HashJoinSpec sj;
+  sj.build_key = "s_suppkey";
+  sj.probe_key = "l_suppkey";
+  sj.build_outputs = {{"s_name", "s_name"}};
+  sj.probe_outputs = {"l_orderkey", "l_suppkey"};
+  sj.use_bloom = true;
+  auto l1 = Join(e, std::move(saudi), std::move(late2), sj,
+                 "q21/saudi_join");
+
+  auto orders_f = Sel(e, Scan(e, d.orders, {"o_orderkey",
+                                            "o_orderstatus_code"}),
+                      Eq(Col("o_orderstatus_code"), Lit(i64{0})),
+                      "q21/orders_f");
+  HashJoinSpec ofj;
+  ofj.build_key = "o_orderkey";
+  ofj.probe_key = "l_orderkey";
+  ofj.kind = HashJoinSpec::Kind::kSemi;
+  auto l2 = Join(e, std::move(orders_f), std::move(l1), ofj,
+                 "q21/status_semi");
+
+  // exists other supplier: n_supp >= 2.
+  auto multi = Sel(e, Scan(e, n_supp.get()),
+                   Ge(Col("n_supp"), Lit(i64{2})), "q21/multi");
+  HashJoinSpec mj;
+  mj.build_key = "l_orderkey";
+  mj.probe_key = "l_orderkey";
+  mj.kind = HashJoinSpec::Kind::kSemi;
+  auto l3 = Join(e, std::move(multi), std::move(l2), mj,
+                 "q21/exists_semi");
+
+  // not exists other late supplier: n_late_supp == 1.
+  auto single_late = Sel(e, Scan(e, n_late.get()),
+                         Eq(Col("n_late_supp"), Lit(i64{1})),
+                         "q21/single_late");
+  HashJoinSpec lj;
+  lj.build_key = "l_orderkey";
+  lj.probe_key = "l_orderkey";
+  lj.kind = HashJoinSpec::Kind::kSemi;
+  auto l4 = Join(e, std::move(single_late), std::move(l3), lj,
+                 "q21/notexists_semi");
+
+  std::vector<Agg> fa;
+  fa.push_back({"count", nullptr, "numwait"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, std::move(l4), std::vector<GK>{{"l_suppkey", 24}},
+      std::vector<std::string>{"s_name"}, std::move(fa), "q21/agg");
+  SortOperator sort(e, std::move(agg),
+                    {{"numwait", true}, {"s_name", false}}, 100);
+  return e->Run(sort);
+}
+
+// =====================================================================
+// Q22: Global sales opportunity.
+// =====================================================================
+RunResult Q22(Engine* e, const TpchData& d) {
+  const std::vector<i64> codes = {13, 31, 23, 29, 30, 18, 17};
+  auto cust = Sel(e, Scan(e, d.customer,
+                          {"c_custkey", "c_acctbal", "c_cntrycode",
+                           "c_cntrycode_code"}),
+                  InI64("c_cntrycode_code", codes), "q22/cust");
+  auto t = RunToTable(e, *cust);
+
+  auto positive = Sel(e, Scan(e, t.get()),
+                      Gt(Col("c_acctbal"), Lit(0.0)), "q22/positive");
+  std::vector<Agg> aa;
+  aa.push_back({"avg", Col("c_acctbal"), "avg_bal"});
+  HashAggOperator avg_agg(e, std::move(positive), {}, {}, std::move(aa),
+                          "q22/avg");
+  auto avg_tbl = RunToTable(e, avg_agg);
+  const f64 avg_bal = avg_tbl->FindColumn("avg_bal")->Data<f64>()[0];
+
+  auto rich = Sel(e, Scan(e, t.get()),
+                  Gt(Col("c_acctbal"), Lit(avg_bal)), "q22/rich");
+  HashJoinSpec aj;
+  aj.build_key = "o_custkey";
+  aj.probe_key = "c_custkey";
+  aj.kind = HashJoinSpec::Kind::kAnti;
+  auto no_orders = Join(e, Scan(e, d.orders, {"o_custkey"}),
+                        std::move(rich), aj, "q22/no_orders");
+  std::vector<Agg> fa;
+  fa.push_back({"count", nullptr, "numcust"});
+  fa.push_back({"sum", Col("c_acctbal"), "totacctbal"});
+  auto agg = std::make_unique<HashAggOperator>(
+      e, std::move(no_orders),
+      std::vector<GK>{{"c_cntrycode_code", 6}},
+      std::vector<std::string>{"c_cntrycode"}, std::move(fa), "q22/agg");
+  SortOperator sort(e, std::move(agg), {{"c_cntrycode", false}});
+  return e->Run(sort);
+}
+
+}  // namespace
+
+const char* QueryName(int q) {
+  static const char* kNames[23] = {
+      "",
+      "Q01 pricing summary",      "Q02 minimum cost supplier",
+      "Q03 shipping priority",    "Q04 order priority checking",
+      "Q05 local supplier volume", "Q06 forecasting revenue",
+      "Q07 volume shipping",      "Q08 national market share",
+      "Q09 product type profit",  "Q10 returned items",
+      "Q11 important stock",      "Q12 shipping modes",
+      "Q13 customer distribution", "Q14 promotion effect",
+      "Q15 top supplier",         "Q16 parts/supplier relation",
+      "Q17 small-quantity orders", "Q18 large volume customers",
+      "Q19 discounted revenue",   "Q20 part promotion",
+      "Q21 suppliers kept waiting", "Q22 global sales opportunity"};
+  MA_CHECK(q >= 1 && q <= kNumQueries);
+  return kNames[q];
+}
+
+namespace {
+
+RunResult DispatchQuery(Engine* e, const TpchData& d, int q) {
+  switch (q) {
+    case 1: return Q1(e, d);
+    case 2: return Q2(e, d);
+    case 3: return Q3(e, d);
+    case 4: return Q4(e, d);
+    case 5: return Q5(e, d);
+    case 6: return Q6(e, d);
+    case 7: return Q7(e, d);
+    case 8: return Q8(e, d);
+    case 9: return Q9(e, d);
+    case 10: return Q10(e, d);
+    case 11: return Q11(e, d);
+    case 12: return Q12(e, d);
+    case 13: return Q13(e, d);
+    case 14: return Q14(e, d);
+    case 15: return Q15(e, d);
+    case 16: return Q16(e, d);
+    case 17: return Q17(e, d);
+    case 18: return Q18(e, d);
+    case 19: return Q19(e, d);
+    case 20: return Q20(e, d);
+    case 21: return Q21(e, d);
+    case 22: return Q22(e, d);
+    default:
+      MA_CHECK(false);
+      return RunResult{};
+  }
+}
+
+}  // namespace
+
+RunResult RunQuery(Engine* e, const TpchData& d, int q) {
+  // Multi-stage queries run several plans; per-query time and the
+  // primitive-cycle total must cover all of them, so measure around the
+  // whole query here rather than relying on the last stage's RunResult.
+  const u64 prim0 = e->TotalPrimitiveCycles();
+  const u64 t0 = CycleClock::Now();
+  RunResult r = DispatchQuery(e, d, q);
+  r.total_cycles = CycleClock::Now() - t0;
+  r.seconds =
+      static_cast<f64>(r.total_cycles) / CycleClock::FrequencyHz();
+  r.stages.primitives = e->TotalPrimitiveCycles() - prim0;
+  return r;
+}
+
+}  // namespace ma::tpch

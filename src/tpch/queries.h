@@ -1,0 +1,26 @@
+// The 22 TPC-H queries as hand-built physical plans over the engine's
+// operators. Queries with scalar or correlated subqueries run multiple
+// stages internally (materializing intermediate tables), like a
+// query optimizer would decorrelate them. Each stage's primitives are
+// adaptive instances, so a full power run exercises Micro Adaptivity on
+// 300+ primitive instances (as in the paper's evaluation).
+#ifndef MA_TPCH_QUERIES_H_
+#define MA_TPCH_QUERIES_H_
+
+#include "exec/engine.h"
+#include "tpch/dbgen.h"
+
+namespace ma::tpch {
+
+inline constexpr int kNumQueries = 22;
+
+/// Short description of query `q` (1-based).
+const char* QueryName(int q);
+
+/// Executes TPC-H query `q` (1..22) against `data` using `engine`.
+/// The engine accumulates primitive-instance profiles across stages.
+RunResult RunQuery(Engine* engine, const TpchData& data, int q);
+
+}  // namespace ma::tpch
+
+#endif  // MA_TPCH_QUERIES_H_

@@ -1,0 +1,189 @@
+#include "tpch/text_pool.h"
+
+namespace ma::tpch {
+
+const std::vector<std::string>& RegionNames() {
+  static const auto* v = new std::vector<std::string>{
+      "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+  return *v;
+}
+
+const std::vector<std::string>& NationNames() {
+  static const auto* v = new std::vector<std::string>{
+      "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",         "EGYPT",
+      "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",          "INDONESIA",
+      "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",         "KENYA",
+      "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",          "ROMANIA",
+      "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+      "UNITED STATES"};
+  return *v;
+}
+
+int NationRegion(int nation) {
+  // Region keys per the TPC-H spec's nation table.
+  static const int kRegion[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                  4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+  return kRegion[nation];
+}
+
+const std::vector<std::string>& Segments() {
+  static const auto* v = new std::vector<std::string>{
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+  return *v;
+}
+
+const std::vector<std::string>& Priorities() {
+  static const auto* v = new std::vector<std::string>{
+      "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+  return *v;
+}
+
+const std::vector<std::string>& ShipModes() {
+  static const auto* v = new std::vector<std::string>{
+      "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+  return *v;
+}
+
+const std::vector<std::string>& ShipInstructs() {
+  static const auto* v = new std::vector<std::string>{
+      "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+  return *v;
+}
+
+const std::vector<std::string>& Colors() {
+  static const auto* v = new std::vector<std::string>{
+      "almond",     "antique",    "aquamarine", "azure",     "beige",
+      "bisque",     "black",      "blanched",   "blue",      "blush",
+      "brown",      "burlywood",  "burnished",  "chartreuse", "chiffon",
+      "chocolate",  "coral",      "cornflower", "cornsilk",  "cream",
+      "cyan",       "dark",       "deep",       "dim",       "dodger",
+      "drab",       "firebrick",  "floral",     "forest",    "frosted",
+      "gainsboro",  "ghost",      "goldenrod",  "green",     "grey",
+      "honeydew",   "hot",        "indian",     "ivory",     "khaki",
+      "lace",       "lavender",   "lawn",       "lemon",     "light",
+      "lime",       "linen",      "magenta",    "maroon",    "medium",
+      "metallic",   "midnight",   "mint",       "misty",     "moccasin",
+      "navajo",     "navy",       "olive",      "orange",    "orchid",
+      "pale",       "papaya",     "peach",      "peru",      "pink",
+      "plum",       "powder",     "puff",       "purple",    "red",
+      "rose",       "rosy",       "royal",      "saddle",    "salmon",
+      "sandy",      "seashell",   "sienna",     "sky",       "slate",
+      "smoke",      "snow",       "spring",     "steel",     "tan",
+      "thistle",    "tomato",     "turquoise",  "violet",    "wheat",
+      "white",      "yellow"};
+  return *v;
+}
+
+const std::vector<std::string>& TypeSyllable1() {
+  static const auto* v = new std::vector<std::string>{
+      "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"};
+  return *v;
+}
+
+const std::vector<std::string>& TypeSyllable2() {
+  static const auto* v = new std::vector<std::string>{
+      "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+  return *v;
+}
+
+const std::vector<std::string>& TypeSyllable3() {
+  static const auto* v = new std::vector<std::string>{
+      "TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+  return *v;
+}
+
+const std::vector<std::string>& ContainerSyllable1() {
+  static const auto* v = new std::vector<std::string>{
+      "SM", "LG", "MED", "JUMBO", "WRAP"};
+  return *v;
+}
+
+const std::vector<std::string>& ContainerSyllable2() {
+  static const auto* v = new std::vector<std::string>{
+      "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"};
+  return *v;
+}
+
+int CodeOf(const std::vector<std::string>& list,
+           const std::string& value) {
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == value) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+const std::vector<std::string>& CommentWords() {
+  static const auto* v = new std::vector<std::string>{
+      "furiously", "quickly",  "carefully", "blithely", "slyly",
+      "ironic",    "final",    "pending",   "regular",  "express",
+      "bold",      "even",     "silent",    "unusual",  "daring",
+      "accounts",  "packages", "deposits",  "theodolites", "pinto",
+      "beans",     "instructions", "foxes", "dependencies", "requests",
+      "platelets", "asymptotes", "courts",  "ideas",    "dolphins",
+      "sleep",     "wake",     "nag",       "haggle",   "cajole",
+      "integrate", "use",      "boost",     "detect",   "engage"};
+  return *v;
+}
+
+}  // namespace
+
+std::string MakeComment(Rng* rng, int min_words, int max_words,
+                        const std::string& phrase, f64 phrase_prob) {
+  const auto& words = CommentWords();
+  const int n =
+      min_words + static_cast<int>(rng->NextBounded(
+                      static_cast<u64>(max_words - min_words + 1)));
+  std::string out;
+  const bool inject = !phrase.empty() && rng->NextBool(phrase_prob);
+  const int inject_at =
+      inject ? static_cast<int>(rng->NextBounded(n)) : -1;
+  for (int i = 0; i < n; ++i) {
+    if (!out.empty()) out += ' ';
+    if (i == inject_at) {
+      out += phrase;
+    } else {
+      out += words[rng->NextBounded(words.size())];
+    }
+  }
+  return out;
+}
+
+std::string MakeBrand(Rng* rng, int* code_out) {
+  const int m = 1 + static_cast<int>(rng->NextBounded(5));
+  const int n = 1 + static_cast<int>(rng->NextBounded(5));
+  if (code_out != nullptr) *code_out = (m - 1) * 5 + (n - 1);
+  return "Brand#" + std::to_string(m) + std::to_string(n);
+}
+
+std::string MakePartName(Rng* rng) {
+  const auto& colors = Colors();
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) out += ' ';
+    out += colors[rng->NextBounded(colors.size())];
+  }
+  return out;
+}
+
+std::string MakePhone(Rng* rng, int country_code) {
+  auto three = [&] {
+    std::string s;
+    for (int i = 0; i < 3; ++i) {
+      s += static_cast<char>('0' + rng->NextBounded(10));
+    }
+    return s;
+  };
+  std::string s = std::to_string(country_code);
+  s += '-';
+  s += three();
+  s += '-';
+  s += three();
+  s += '-';
+  s += three();
+  s += static_cast<char>('0' + rng->NextBounded(10));
+  return s;
+}
+
+}  // namespace ma::tpch

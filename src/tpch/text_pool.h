@@ -1,0 +1,53 @@
+// TPC-H text domains: the official value lists (nations, regions, types,
+// containers, segments, priorities, ship modes, colors) plus a small
+// comment generator. Codes are list indices, so dictionary-encoded
+// columns can be produced during generation with stable code values.
+#ifndef MA_TPCH_TEXT_POOL_H_
+#define MA_TPCH_TEXT_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ma::tpch {
+
+/// Official TPC-H lists.
+const std::vector<std::string>& RegionNames();    // 5
+const std::vector<std::string>& NationNames();    // 25
+/// Region of nation i (index into RegionNames), per the TPC-H spec.
+int NationRegion(int nation);
+const std::vector<std::string>& Segments();       // 5
+const std::vector<std::string>& Priorities();     // 5
+const std::vector<std::string>& ShipModes();      // 7
+const std::vector<std::string>& ShipInstructs();  // 4
+const std::vector<std::string>& Colors();         // 92 p_name words
+const std::vector<std::string>& TypeSyllable1();  // 6
+const std::vector<std::string>& TypeSyllable2();  // 5
+const std::vector<std::string>& TypeSyllable3();  // 5
+const std::vector<std::string>& ContainerSyllable1();  // 5
+const std::vector<std::string>& ContainerSyllable2();  // 8
+
+/// Index of `value` in `list`; -1 when absent. Used by query plans to
+/// turn string constants into dictionary codes.
+int CodeOf(const std::vector<std::string>& list, const std::string& value);
+
+/// Random comment of `min_words..max_words` words. With probability
+/// `phrase_prob`, injects `phrase` (e.g. "special requests") so the
+/// NOT LIKE predicates of Q13/Q16 have something to reject.
+std::string MakeComment(Rng* rng, int min_words, int max_words,
+                        const std::string& phrase = "",
+                        f64 phrase_prob = 0.0);
+
+/// "Brand#MN" with M,N in 1..5.
+std::string MakeBrand(Rng* rng, int* code_out);
+
+/// Part name: 5 distinct colors joined by spaces.
+std::string MakePartName(Rng* rng);
+
+/// Phone number with the given country code (cc in 10..34).
+std::string MakePhone(Rng* rng, int country_code);
+
+}  // namespace ma::tpch
+
+#endif  // MA_TPCH_TEXT_POOL_H_

@@ -1,0 +1,124 @@
+#include "tpch/workload.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ma::tpch {
+
+u64 ModeRun::TotalPrimitiveCycles() const {
+  u64 total = 0;
+  for (const auto& q : instances) {
+    for (const auto& inst : q) total += inst.cycles;
+  }
+  return total;
+}
+
+u64 ModeRun::AffectedCycles(FlavorSetId set) const {
+  u64 total = 0;
+  for (const auto& q : instances) {
+    for (const auto& inst : q) {
+      if (inst.affected_sets & FlavorSetBit(set)) total += inst.cycles;
+    }
+  }
+  return total;
+}
+
+f64 ModeRun::GeoMeanSeconds() const {
+  f64 log_sum = 0;
+  for (const f64 s : query_seconds) log_sum += std::log(s);
+  return std::exp(log_sum / static_cast<f64>(query_seconds.size()));
+}
+
+ModeRun RunAllQueries(const EngineConfig& config, const TpchData& data,
+                      std::string name, bool quiet) {
+  ModeRun run;
+  run.name = std::move(name);
+  run.query_seconds.resize(kNumQueries);
+  run.instances.resize(kNumQueries);
+  for (int q = 1; q <= kNumQueries; ++q) {
+    Engine engine(config);
+    const RunResult r = RunQuery(&engine, data, q);
+    run.query_seconds[q - 1] = r.seconds;
+    for (const auto& inst : engine.instances()) {
+      InstanceProfile p;
+      p.label = inst->label();
+      p.signature = inst->entry()->signature;
+      for (int s = 0; s < static_cast<int>(FlavorSetId::kNumSets); ++s) {
+        const auto set = static_cast<FlavorSetId>(s);
+        if (set != FlavorSetId::kDefault && inst->AffectedBy(set)) {
+          p.affected_sets |= FlavorSetBit(set);
+        }
+      }
+      p.calls = inst->calls();
+      p.tuples = inst->tuples();
+      p.cycles = inst->cycles();
+      if (inst->aph() != nullptr) p.aph = *inst->aph();
+      run.instances[q - 1].push_back(std::move(p));
+    }
+    if (!quiet) {
+      std::printf("  [%s] %-28s %8.3f ms, %zu rows\n", run.name.c_str(),
+                  QueryName(q), r.seconds * 1e3,
+                  r.table ? r.table->row_count() : 0);
+    }
+  }
+  return run;
+}
+
+EngineConfig DefaultConfig() {
+  EngineConfig cfg;
+  cfg.adaptive.mode = ExecMode::kDefault;
+  return cfg;
+}
+
+EngineConfig ForcedConfig(const std::string& flavor) {
+  EngineConfig cfg;
+  cfg.adaptive.mode = ExecMode::kForcedFlavor;
+  cfg.adaptive.forced_flavor = flavor;
+  return cfg;
+}
+
+EngineConfig HeuristicConfig() {
+  EngineConfig cfg;
+  cfg.adaptive.mode = ExecMode::kHeuristic;
+  return cfg;
+}
+
+EngineConfig AdaptiveConfig(u32 sets) {
+  EngineConfig cfg;
+  cfg.adaptive.mode = ExecMode::kAdaptive;
+  cfg.adaptive.enabled_sets = sets;
+  // The paper tuned vw-greedy(1024,8,2) on instances making 16K-32K
+  // calls (SF100). Our scaled-down workload makes 1-3K calls per
+  // instance, so the exploration period scales down proportionally —
+  // same explore/exploit ratio, faster reaction.
+  cfg.adaptive.params.explore_period = 256;
+  cfg.adaptive.params.exploit_period = 8;
+  cfg.adaptive.params.explore_length = 2;
+  return cfg;
+}
+
+u64 OptAffectedCycles(const std::vector<const ModeRun*>& runs,
+                      FlavorSetId set) {
+  MA_CHECK(!runs.empty());
+  u64 opt = 0;
+  for (size_t q = 0; q < runs[0]->instances.size(); ++q) {
+    for (size_t i = 0; i < runs[0]->instances[q].size(); ++i) {
+      if (!(runs[0]->instances[q][i].affected_sets & FlavorSetBit(set))) {
+        continue;
+      }
+      std::vector<const Aph*> aphs;
+      for (const ModeRun* run : runs) {
+        // Instance alignment can drift when a mode changes plan shape
+        // (it does not: plans are mode-independent); guard anyway.
+        if (q < run->instances.size() &&
+            i < run->instances[q].size()) {
+          aphs.push_back(&run->instances[q][i].aph);
+        }
+      }
+      opt += Aph::OptCycles(aphs);
+    }
+  }
+  return opt;
+}
+
+}  // namespace ma::tpch

@@ -1,0 +1,30 @@
+#include "vector/batch.h"
+
+namespace ma {
+
+size_t Batch::AddColumn(std::string name, std::shared_ptr<Vector> vec) {
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(vec));
+  return columns_.size() - 1;
+}
+
+int Batch::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+SelVector& Batch::mutable_sel() {
+  if (!sel_) sel_ = std::make_unique<SelVector>(kMaxVectorSize);
+  return *sel_;
+}
+
+void Batch::Clear() {
+  names_.clear();
+  columns_.clear();
+  sel_active_ = false;
+  row_count_ = 0;
+}
+
+}  // namespace ma

@@ -1,0 +1,64 @@
+// Batch: the unit of flow between relational operators — a set of named
+// column vectors of equal logical length, plus an optional selection
+// vector restricting which positions are live. Passing the selection
+// vector along instead of compacting columns is what lets Selection avoid
+// copying all columns (paper §1.1).
+#ifndef MA_VECTOR_BATCH_H_
+#define MA_VECTOR_BATCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vector/selvector.h"
+#include "vector/vector.h"
+
+namespace ma {
+
+class Batch {
+ public:
+  Batch() = default;
+
+  /// Number of physical rows in each column vector.
+  size_t row_count() const { return row_count_; }
+  void set_row_count(size_t n) { row_count_ = n; }
+
+  /// Number of live rows (selection size if one is active, else
+  /// row_count).
+  size_t live_count() const {
+    return sel_active_ ? sel_->size() : row_count_;
+  }
+
+  /// Adds a column; returns its index.
+  size_t AddColumn(std::string name, std::shared_ptr<Vector> vec);
+
+  size_t num_columns() const { return columns_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  Vector& column(size_t i) { return *columns_[i]; }
+  const Vector& column(size_t i) const { return *columns_[i]; }
+  std::shared_ptr<Vector> column_ptr(size_t i) const { return columns_[i]; }
+
+  /// Index of the column called `name`, or -1.
+  int FindColumn(std::string_view name) const;
+
+  /// Selection vector management. The batch owns one lazily-created
+  /// SelVector; operators write into it via mutable_sel().
+  bool has_sel() const { return sel_active_; }
+  const SelVector& sel() const { return *sel_; }
+  SelVector& mutable_sel();
+  void set_sel_active(bool active) { sel_active_ = active; }
+
+  /// Drops all columns and the selection, keeping buffers allocated.
+  void Clear();
+
+ private:
+  size_t row_count_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::shared_ptr<Vector>> columns_;
+  std::unique_ptr<SelVector> sel_;
+  bool sel_active_ = false;
+};
+
+}  // namespace ma
+
+#endif  // MA_VECTOR_BATCH_H_

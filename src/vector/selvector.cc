@@ -1,0 +1,29 @@
+#include "vector/selvector.h"
+
+#include <cstring>
+
+namespace ma {
+
+SelVector::SelVector(size_t capacity)
+    : capacity_(capacity), data_(std::make_unique<sel_t[]>(capacity)) {}
+
+void SelVector::SetIdentity(size_t n) {
+  MA_CHECK(n <= capacity_);
+  for (size_t i = 0; i < n; ++i) data_[i] = static_cast<sel_t>(i);
+  size_ = n;
+}
+
+void SelVector::CopyFrom(const SelVector& other) {
+  MA_CHECK(other.size() <= capacity_);
+  std::memcpy(data_.get(), other.data(), other.size() * sizeof(sel_t));
+  size_ = other.size();
+}
+
+bool SelVector::IsSorted() const {
+  for (size_t i = 1; i < size_; ++i) {
+    if (data_[i - 1] >= data_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace ma

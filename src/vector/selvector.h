@@ -1,0 +1,53 @@
+// SelVector: a selection vector — sorted positions of qualifying tuples
+// within the current vector. Selection primitives produce these; most
+// other primitives optionally consume one ("selective computation", see
+// Figure 7 of the paper).
+#ifndef MA_VECTOR_SELVECTOR_H_
+#define MA_VECTOR_SELVECTOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ma {
+
+class SelVector {
+ public:
+  explicit SelVector(size_t capacity = kDefaultVectorSize);
+
+  SelVector(const SelVector&) = delete;
+  SelVector& operator=(const SelVector&) = delete;
+  SelVector(SelVector&&) = default;
+  SelVector& operator=(SelVector&&) = default;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_; }
+  void set_size(size_t n) {
+    MA_CHECK(n <= capacity_);
+    size_ = n;
+  }
+
+  sel_t* data() { return data_.get(); }
+  const sel_t* data() const { return data_.get(); }
+
+  sel_t operator[](size_t i) const { return data_[i]; }
+
+  /// Fills with the identity selection [0, n).
+  void SetIdentity(size_t n);
+
+  /// Copies positions from another selection vector.
+  void CopyFrom(const SelVector& other);
+
+  /// True if positions are strictly increasing (a kernel invariant).
+  bool IsSorted() const;
+
+ private:
+  size_t capacity_;
+  size_t size_ = 0;
+  std::unique_ptr<sel_t[]> data_;
+};
+
+}  // namespace ma
+
+#endif  // MA_VECTOR_SELVECTOR_H_

@@ -1,0 +1,63 @@
+#include "vector/vector.h"
+
+namespace ma {
+
+size_t TypeWidth(PhysicalType t) {
+  switch (t) {
+    case PhysicalType::kI8:
+      return 1;
+    case PhysicalType::kI16:
+      return 2;
+    case PhysicalType::kI32:
+      return 4;
+    case PhysicalType::kI64:
+      return 8;
+    case PhysicalType::kF64:
+      return 8;
+    case PhysicalType::kStr:
+      return sizeof(StrRef);
+  }
+  return 0;
+}
+
+const char* TypeName(PhysicalType t) {
+  switch (t) {
+    case PhysicalType::kI8:
+      return "i8";
+    case PhysicalType::kI16:
+      return "i16";
+    case PhysicalType::kI32:
+      return "i32";
+    case PhysicalType::kI64:
+      return "i64";
+    case PhysicalType::kF64:
+      return "f64";
+    case PhysicalType::kStr:
+      return "str";
+  }
+  return "?";
+}
+
+Vector::Vector(PhysicalType type, size_t capacity)
+    : type_(type), capacity_(capacity) {
+  const size_t bytes = capacity * TypeWidth(type);
+  void* p = nullptr;
+  // Round up to the alignment multiple as posix rules require.
+  const size_t aligned = (bytes + 63) / 64 * 64;
+  const int rc = posix_memalign(&p, 64, aligned == 0 ? 64 : aligned);
+  MA_CHECK(rc == 0 && p != nullptr);
+  data_ = std::unique_ptr<void, MaybeFreeDeleter>(p, MaybeFreeDeleter{true});
+}
+
+Vector::Vector(ViewTag, PhysicalType type, const void* data, size_t n)
+    : type_(type), capacity_(n), size_(n) {
+  data_ = std::unique_ptr<void, MaybeFreeDeleter>(const_cast<void*>(data),
+                                                  MaybeFreeDeleter{false});
+}
+
+std::shared_ptr<Vector> Vector::View(PhysicalType type, const void* data,
+                                     size_t n) {
+  return std::shared_ptr<Vector>(new Vector(ViewTag{}, type, data, n));
+}
+
+}  // namespace ma

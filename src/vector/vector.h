@@ -1,0 +1,95 @@
+// Vector: a fixed-capacity, typed array of values — the unit of data flow
+// in vectorized execution. Kernels ("primitives") read and write raw
+// pointers obtained from vectors; operators own the vectors.
+#ifndef MA_VECTOR_VECTOR_H_
+#define MA_VECTOR_VECTOR_H_
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ma {
+
+class Vector {
+ public:
+  /// Creates a vector of `type` holding up to `capacity` values. Storage
+  /// is 64-byte aligned so SIMD flavors never straddle cache lines at the
+  /// buffer start.
+  explicit Vector(PhysicalType type, size_t capacity = kDefaultVectorSize);
+
+  /// Creates a non-owning view over `n` values at `data` (e.g. a slice of
+  /// a storage column). The underlying memory must outlive the view;
+  /// scans produce these so no copying happens between storage and
+  /// primitives.
+  static std::shared_ptr<Vector> View(PhysicalType type, const void* data,
+                                      size_t n);
+
+  Vector(const Vector&) = delete;
+  Vector& operator=(const Vector&) = delete;
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  PhysicalType type() const { return type_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Number of valid values. Operators set this after filling.
+  size_t size() const { return size_; }
+  void set_size(size_t n) {
+    MA_CHECK(n <= capacity_);
+    size_ = n;
+  }
+
+  void* raw_data() { return data_.get(); }
+  const void* raw_data() const { return data_.get(); }
+
+  /// Typed accessors; abort on a type mismatch (programming error).
+  template <typename T>
+  T* Data() {
+    MA_CHECK(TypeTag<T>::value == type_);
+    return reinterpret_cast<T*>(data_.get());
+  }
+  template <typename T>
+  const T* Data() const {
+    MA_CHECK(TypeTag<T>::value == type_);
+    return reinterpret_cast<const T*>(data_.get());
+  }
+
+  /// Typed element access for tests and row-at-a-time consumers.
+  template <typename T>
+  T Get(size_t i) const {
+    MA_CHECK(i < size_);
+    return Data<T>()[i];
+  }
+  template <typename T>
+  void Set(size_t i, T v) {
+    MA_CHECK(i < capacity_);
+    Data<T>()[i] = v;
+  }
+
+ private:
+  struct MaybeFreeDeleter {
+    // Note: user-provided constructors (not default member initializers)
+    // so unique_ptr's default-constructibility check, which runs before
+    // the enclosing class is complete, sees a usable default ctor.
+    MaybeFreeDeleter() : owned(true) {}
+    explicit MaybeFreeDeleter(bool o) : owned(o) {}
+    void operator()(void* p) const {
+      if (owned) std::free(p);
+    }
+    bool owned;
+  };
+
+  struct ViewTag {};
+  Vector(ViewTag, PhysicalType type, const void* data, size_t n);
+
+  PhysicalType type_;
+  size_t capacity_;
+  size_t size_ = 0;
+  std::unique_ptr<void, MaybeFreeDeleter> data_;
+};
+
+}  // namespace ma
+
+#endif  // MA_VECTOR_VECTOR_H_

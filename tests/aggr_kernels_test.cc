@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "prim/aggr_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+TEST(AggrKernelsTest, SignatureFormat) {
+  EXPECT_EQ(AggrSignature("sum", PhysicalType::kI32), "aggr_sum_i32_col");
+}
+
+TEST(AggrKernelsTest, GroupedSum) {
+  std::vector<i32> vals{1, 2, 3, 4, 5, 6};
+  std::vector<u32> gids{0, 1, 0, 1, 0, 1};
+  std::vector<i64> acc(2, 0);
+  PrimCall c;
+  c.n = vals.size();
+  c.in1 = vals.data();
+  c.in2 = gids.data();
+  c.state = acc.data();
+  aggr_detail::AggrUpdate<i32, AggSum>(c);
+  EXPECT_EQ(acc[0], 9);
+  EXPECT_EQ(acc[1], 12);
+}
+
+TEST(AggrKernelsTest, MinMaxSemantics) {
+  std::vector<i64> vals{5, -3, 10, 2};
+  std::vector<u32> gids{0, 0, 0, 0};
+  std::vector<i64> mn(1, std::numeric_limits<i64>::max());
+  std::vector<i64> mx(1, std::numeric_limits<i64>::min());
+  PrimCall c;
+  c.n = vals.size();
+  c.in1 = vals.data();
+  c.in2 = gids.data();
+  c.state = mn.data();
+  aggr_detail::AggrUpdate<i64, AggMin>(c);
+  c.state = mx.data();
+  aggr_detail::AggrUpdate<i64, AggMax>(c);
+  EXPECT_EQ(mn[0], -3);
+  EXPECT_EQ(mx[0], 10);
+}
+
+TEST(AggrKernelsTest, CountIgnoresValues) {
+  std::vector<f64> vals{1.5, 2.5, 3.5};
+  std::vector<u32> gids{0, 1, 0};
+  std::vector<f64> acc(2, 0);
+  PrimCall c;
+  c.n = vals.size();
+  c.in1 = vals.data();
+  c.in2 = gids.data();
+  c.state = acc.data();
+  aggr_detail::AggrUpdate<f64, AggCount>(c);
+  EXPECT_EQ(acc[0], 2.0);
+  EXPECT_EQ(acc[1], 1.0);
+}
+
+TEST(AggrKernelsTest, SelectionVectorRestrictsUpdates) {
+  std::vector<i32> vals{1, 100, 1, 100};
+  std::vector<u32> gids{0, 0, 0, 0};
+  std::vector<sel_t> sel{0, 2};
+  std::vector<i64> acc(1, 0);
+  PrimCall c;
+  c.n = vals.size();
+  c.in1 = vals.data();
+  c.in2 = gids.data();
+  c.sel = sel.data();
+  c.sel_n = sel.size();
+  c.state = acc.data();
+  const size_t produced = aggr_detail::AggrUpdate<i32, AggSum>(c);
+  EXPECT_EQ(produced, 2u);
+  EXPECT_EQ(acc[0], 2);
+}
+
+// Property: every registered flavor of every aggr primitive computes the
+// same accumulator values.
+class AggrFlavorEquivalenceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+std::vector<std::string> AllAggrSignatures() {
+  std::vector<std::string> sigs;
+  for (const std::string& s : PrimitiveDictionary::Global().Signatures()) {
+    if (s.rfind("aggr_", 0) == 0 &&
+        s.find("_i16_") == std::string::npos) {  // i16 lacks cf flavors
+      sigs.push_back(s);
+    }
+  }
+  return sigs;
+}
+
+template <typename T>
+void CheckAggrFlavors(const FlavorEntry& entry) {
+  using Acc = typename aggr_detail::AccOf<T>::type;
+  Rng rng(17);
+  constexpr size_t kN = 1000;
+  constexpr u32 kGroups = 16;
+  std::vector<T> vals(kN);
+  std::vector<u32> gids(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    vals[i] = static_cast<T>(rng.NextRange(-50, 50));
+    gids[i] = static_cast<u32>(rng.NextBounded(kGroups));
+  }
+  const bool is_min = entry.signature.find("min") != std::string::npos;
+  const bool is_max = entry.signature.find("max") != std::string::npos;
+  const Acc init = is_min ? std::numeric_limits<Acc>::max()
+                          : (is_max ? std::numeric_limits<Acc>::lowest()
+                                    : Acc{});
+  std::vector<std::vector<Acc>> results;
+  for (const FlavorInfo& flavor : entry.flavors) {
+    std::vector<Acc> acc(kGroups, init);
+    PrimCall c;
+    c.n = kN;
+    c.in1 = vals.data();
+    c.in2 = gids.data();
+    c.state = acc.data();
+    flavor.fn(c);
+    results.push_back(std::move(acc));
+  }
+  for (size_t f = 1; f < results.size(); ++f) {
+    EXPECT_EQ(results[f], results[0])
+        << entry.signature << " flavor " << entry.flavors[f].name;
+  }
+}
+
+TEST_P(AggrFlavorEquivalenceTest, AllFlavorsAgree) {
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find(GetParam());
+  ASSERT_NE(entry, nullptr);
+  const std::string& sig = GetParam();
+  if (sig.find("_i32_") != std::string::npos) {
+    CheckAggrFlavors<i32>(*entry);
+  } else if (sig.find("_i64_") != std::string::npos) {
+    CheckAggrFlavors<i64>(*entry);
+  } else {
+    CheckAggrFlavors<f64>(*entry);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAggrPrimitives, AggrFlavorEquivalenceTest,
+                         ::testing::ValuesIn(AllAggrSignatures()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n) {
+                             if (!isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace ma

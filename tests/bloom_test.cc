@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "prim/bloom.h"
+#include "prim/bloom_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf(1 << 16);
+  Rng rng(1);
+  std::vector<i64> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(static_cast<i64>(rng.Next()));
+    bf.Insert(keys.back());
+  }
+  for (const i64 k : keys) EXPECT_TRUE(bf.MayContain(k));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateBounded) {
+  BloomFilter bf = BloomFilter::ForKeys(10000);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    bf.Insert(static_cast<i64>(rng.NextBounded(1u << 30)));
+  }
+  int fp = 0;
+  const int probes = 100000;
+  for (int i = 0; i < probes; ++i) {
+    // Disjoint key space: negatives by construction.
+    fp += bf.MayContain(static_cast<i64>((1ll << 40) + i));
+  }
+  // Single hash function, 10 bits/key: fp rate ~ set bits fraction < 20%.
+  EXPECT_LT(fp, probes / 5);
+}
+
+TEST(BloomFilterTest, SizeRoundsUpToPowerOfTwo) {
+  BloomFilter bf(3000);
+  EXPECT_EQ(bf.size_bits() & (bf.size_bits() - 1), 0u);
+  EXPECT_GE(bf.size_bits(), 3000u);
+  EXPECT_EQ(bf.size_bytes(), bf.size_bits() / 8);
+}
+
+class BloomKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    filter_ = std::make_unique<BloomFilter>(1 << 14);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+      const i64 k = static_cast<i64>(rng.NextBounded(1000));
+      inserted_.push_back(k);
+      filter_->Insert(k);
+    }
+    tmp_.resize(kMaxVectorSize);
+    state_.filter = filter_.get();
+    state_.tmp = tmp_.data();
+  }
+
+  std::vector<sel_t> Run(PrimFn fn, const std::vector<i64>& keys,
+                         const std::vector<sel_t>* sel) {
+    std::vector<sel_t> out(keys.size());
+    PrimCall c;
+    c.n = keys.size();
+    c.res_sel = out.data();
+    c.in1 = keys.data();
+    c.state = &state_;
+    if (sel != nullptr) {
+      c.sel = sel->data();
+      c.sel_n = sel->size();
+    }
+    out.resize(fn(c));
+    return out;
+  }
+
+  std::unique_ptr<BloomFilter> filter_;
+  std::vector<i64> inserted_;
+  std::vector<u8> tmp_;
+  BloomProbeState state_;
+};
+
+TEST_F(BloomKernelTest, FusedAndFissionAgree) {
+  Rng rng(4);
+  std::vector<i64> keys(1024);
+  for (auto& k : keys) k = static_cast<i64>(rng.NextBounded(4000));
+  const auto fused = Run(&bloom_detail::SelBloomFused, keys, nullptr);
+  const auto fission = Run(&bloom_detail::SelBloomFission, keys, nullptr);
+  EXPECT_EQ(fused, fission);
+  EXPECT_FALSE(fused.empty());
+  EXPECT_LT(fused.size(), keys.size());  // some keys filtered out
+}
+
+TEST_F(BloomKernelTest, AgreeUnderSelectionVector) {
+  Rng rng(5);
+  std::vector<i64> keys(1024);
+  for (auto& k : keys) k = static_cast<i64>(rng.NextBounded(4000));
+  std::vector<sel_t> sel;
+  for (size_t i = 0; i < keys.size(); i += 3) {
+    sel.push_back(static_cast<sel_t>(i));
+  }
+  const auto fused = Run(&bloom_detail::SelBloomFused, keys, &sel);
+  const auto fission = Run(&bloom_detail::SelBloomFission, keys, &sel);
+  EXPECT_EQ(fused, fission);
+  for (const sel_t p : fused) EXPECT_EQ(p % 3, 0u);
+}
+
+TEST_F(BloomKernelTest, InsertedKeysAllSurvive) {
+  const auto out = Run(&bloom_detail::SelBloomFused, inserted_, nullptr);
+  EXPECT_EQ(out.size(), inserted_.size());
+}
+
+TEST_F(BloomKernelTest, RegisteredFlavorsCoverBothListings) {
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find("sel_bloomfilter_i64_col");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GE(entry->flavors.size(), 2u);
+  EXPECT_GE(entry->FindFlavor("fused"), 0);
+  EXPECT_GE(entry->FindFlavor("fission"), 0);
+  EXPECT_EQ(entry->flavors[entry->default_index].name, "fused");
+}
+
+}  // namespace
+}  // namespace ma

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpch/dbgen.h"
+#include "tpch/text_pool.h"
+
+namespace ma::tpch {
+namespace {
+
+class DbgenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.01;
+    data_ = Generate(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static TpchData* data_;
+};
+
+TpchData* DbgenTest::data_ = nullptr;
+
+TEST_F(DbgenTest, TableSizesScale) {
+  EXPECT_EQ(data_->region->row_count(), 5u);
+  EXPECT_EQ(data_->nation->row_count(), 25u);
+  EXPECT_EQ(data_->supplier->row_count(), 100u);
+  EXPECT_EQ(data_->customer->row_count(), 1500u);
+  EXPECT_EQ(data_->part->row_count(), 2000u);
+  EXPECT_EQ(data_->partsupp->row_count(), 8000u);
+  EXPECT_EQ(data_->orders->row_count(), 15000u);
+  // ~4 lineitems per order.
+  EXPECT_GT(data_->lineitem->row_count(), 3 * data_->orders->row_count());
+  EXPECT_LT(data_->lineitem->row_count(), 7 * data_->orders->row_count());
+}
+
+TEST_F(DbgenTest, AllTablesValidate) {
+  for (const Table* t :
+       {data_->region, data_->nation, data_->supplier, data_->customer,
+        data_->part, data_->partsupp, data_->orders, data_->lineitem}) {
+    EXPECT_TRUE(t->Validate().ok()) << t->name();
+  }
+}
+
+TEST_F(DbgenTest, DateEncoding) {
+  EXPECT_EQ(Date(1992, 1, 1), 0);
+  EXPECT_EQ(Date(1992, 1, 2), 1);
+  EXPECT_EQ(Date(1993, 1, 1), 366);  // 1992 is a leap year
+  EXPECT_EQ(Date(1998, 12, 31) - Date(1998, 12, 1), 30);
+  EXPECT_GT(Date(1998, 8, 2), Date(1994, 6, 30));
+}
+
+TEST_F(DbgenTest, OrdersClusteredByDate) {
+  const Column* od = data_->orders->FindColumn("o_orderdate");
+  const Column* ok = data_->orders->FindColumn("o_orderkey");
+  for (size_t i = 1; i < data_->orders->row_count(); ++i) {
+    ASSERT_LE(od->Data<i64>()[i - 1], od->Data<i64>()[i]);
+    ASSERT_LT(ok->Data<i64>()[i - 1], ok->Data<i64>()[i]);
+  }
+}
+
+TEST_F(DbgenTest, LineitemOrderkeyAscending) {
+  const Column* lk = data_->lineitem->FindColumn("l_orderkey");
+  for (size_t i = 1; i < data_->lineitem->row_count(); ++i) {
+    ASSERT_LE(lk->Data<i64>()[i - 1], lk->Data<i64>()[i]);
+  }
+}
+
+TEST_F(DbgenTest, LineitemDateCorrelations) {
+  const Table* l = data_->lineitem;
+  const i64* ship = l->FindColumn("l_shipdate")->Data<i64>();
+  const i64* receipt = l->FindColumn("l_receiptdate")->Data<i64>();
+  const i64* year = l->FindColumn("l_shipyear")->Data<i64>();
+  for (size_t i = 0; i < l->row_count(); i += 97) {
+    ASSERT_LT(ship[i], receipt[i]);
+    ASSERT_GE(year[i], 1992);
+    ASSERT_LE(year[i], 1998);
+  }
+}
+
+TEST_F(DbgenTest, ReturnFlagConsistentWithDates) {
+  const Table* l = data_->lineitem;
+  const i64* receipt = l->FindColumn("l_receiptdate")->Data<i64>();
+  const i64* rf = l->FindColumn("l_returnflag_code")->Data<i64>();
+  const StrRef* rfs = l->FindColumn("l_returnflag")->Data<StrRef>();
+  const i64 cutoff = Date(1995, 6, 17);
+  for (size_t i = 0; i < l->row_count(); i += 31) {
+    if (receipt[i] > cutoff) {
+      ASSERT_EQ(rf[i], 2);
+      ASSERT_EQ(rfs[i].view(), "N");
+    } else {
+      ASSERT_LT(rf[i], 2);
+    }
+  }
+}
+
+TEST_F(DbgenTest, CodesMatchStrings) {
+  const Table* l = data_->lineitem;
+  const i64* smc = l->FindColumn("l_shipmode_code")->Data<i64>();
+  const StrRef* sms = l->FindColumn("l_shipmode")->Data<StrRef>();
+  for (size_t i = 0; i < l->row_count(); i += 53) {
+    ASSERT_EQ(ShipModes()[smc[i]], sms[i].view());
+  }
+  const Table* c = data_->customer;
+  const i64* seg = c->FindColumn("c_mktsegment_code")->Data<i64>();
+  const StrRef* segs = c->FindColumn("c_mktsegment")->Data<StrRef>();
+  for (size_t i = 0; i < c->row_count(); i += 17) {
+    ASSERT_EQ(Segments()[seg[i]], segs[i].view());
+  }
+}
+
+TEST_F(DbgenTest, ForeignKeysInRange) {
+  const Table* l = data_->lineitem;
+  const i64* pk = l->FindColumn("l_partkey")->Data<i64>();
+  const i64* sk = l->FindColumn("l_suppkey")->Data<i64>();
+  const i64* psk = l->FindColumn("l_pskey")->Data<i64>();
+  const i64 n_part = static_cast<i64>(data_->part->row_count());
+  const i64 n_supp = static_cast<i64>(data_->supplier->row_count());
+  for (size_t i = 0; i < l->row_count(); i += 41) {
+    ASSERT_GE(pk[i], 1);
+    ASSERT_LE(pk[i], n_part);
+    ASSERT_GE(sk[i], 1);
+    ASSERT_LE(sk[i], n_supp);
+    ASSERT_EQ(psk[i], pk[i] * 100000 + sk[i]);
+  }
+}
+
+TEST_F(DbgenTest, LineitemPskeyExistsInPartsupp) {
+  std::set<i64> pskeys;
+  const Column* ps = data_->partsupp->FindColumn("ps_pskey");
+  for (size_t i = 0; i < data_->partsupp->row_count(); ++i) {
+    pskeys.insert(ps->Data<i64>()[i]);
+  }
+  const Column* lps = data_->lineitem->FindColumn("l_pskey");
+  for (size_t i = 0; i < data_->lineitem->row_count(); i += 61) {
+    ASSERT_TRUE(pskeys.count(lps->Data<i64>()[i]))
+        << "row " << i;
+  }
+}
+
+TEST_F(DbgenTest, PhrasesInjected) {
+  const Column* oc = data_->orders->FindColumn("o_comment");
+  size_t with_phrase = 0;
+  for (size_t i = 0; i < data_->orders->row_count(); ++i) {
+    const auto v = oc->Data<StrRef>()[i].view();
+    with_phrase += (v.find("special requests") != std::string_view::npos);
+  }
+  // ~3% of comments.
+  EXPECT_GT(with_phrase, data_->orders->row_count() / 100);
+  EXPECT_LT(with_phrase, data_->orders->row_count() / 10);
+}
+
+TEST_F(DbgenTest, DeterministicForSeed) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  auto a = Generate(cfg);
+  auto b = Generate(cfg);
+  EXPECT_EQ(a->lineitem->row_count(), b->lineitem->row_count());
+  const Column* ca = a->lineitem->FindColumn("l_extendedprice");
+  const Column* cb = b->lineitem->FindColumn("l_extendedprice");
+  for (size_t i = 0; i < a->lineitem->row_count(); i += 11) {
+    ASSERT_EQ(ca->Data<f64>()[i], cb->Data<f64>()[i]);
+  }
+}
+
+TEST(TextPoolTest, CodeOfRoundTrips) {
+  EXPECT_EQ(CodeOf(ShipModes(), "MAIL"), 5);
+  EXPECT_EQ(ShipModes()[5], "MAIL");
+  EXPECT_EQ(CodeOf(Segments(), "BUILDING"), 1);
+  EXPECT_EQ(CodeOf(Segments(), "NOPE"), -1);
+}
+
+TEST(TextPoolTest, NationRegionMapping) {
+  EXPECT_EQ(NationNames().size(), 25u);
+  for (int n = 0; n < 25; ++n) {
+    EXPECT_GE(NationRegion(n), 0);
+    EXPECT_LT(NationRegion(n), 5);
+  }
+  // Spot checks per the spec: ALGERIA->AFRICA, CHINA->ASIA,
+  // FRANCE->EUROPE, UNITED STATES->AMERICA.
+  EXPECT_EQ(NationRegion(CodeOf(NationNames(), "ALGERIA")), 0);
+  EXPECT_EQ(NationRegion(CodeOf(NationNames(), "CHINA")), 2);
+  EXPECT_EQ(NationRegion(CodeOf(NationNames(), "FRANCE")), 3);
+  EXPECT_EQ(NationRegion(CodeOf(NationNames(), "UNITED STATES")), 1);
+}
+
+TEST(TextPoolTest, BrandAndPhoneShapes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    int code = -1;
+    const std::string b = MakeBrand(&rng, &code);
+    ASSERT_EQ(b.size(), 8u);
+    ASSERT_TRUE(b.starts_with("Brand#"));
+    ASSERT_GE(code, 0);
+    ASSERT_LT(code, 25);
+    const std::string p = MakePhone(&rng, 13);
+    ASSERT_TRUE(p.starts_with("13-"));
+    ASSERT_EQ(p.size(), 15u);
+  }
+}
+
+}  // namespace
+}  // namespace ma::tpch

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "exec/expr.h"
+
+namespace ma {
+namespace {
+
+TEST(ExprTest, FactoryShapes) {
+  auto e = Mul(Col("a"), Lit(3));
+  EXPECT_EQ(e->kind, Expr::Kind::kArith);
+  EXPECT_EQ(e->op, "mul");
+  EXPECT_EQ(e->children[0]->kind, Expr::Kind::kColumn);
+  EXPECT_EQ(e->children[1]->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(e->children[1]->lit_i, 3);
+}
+
+TEST(ExprTest, ToStringRoundTrip) {
+  auto e = Lt(Add(Col("x"), Lit(1)), Col("y"));
+  EXPECT_EQ(e->ToString(), "lt(add(x,1),y)");
+  auto s = StrContains("p_name", "green");
+  EXPECT_EQ(s->ToString(), "contains(p_name,'green')");
+}
+
+TEST(ExprTest, AndOrFlattenSingletons) {
+  std::vector<ExprPtr> one;
+  one.push_back(Lt(Col("a"), Lit(5)));
+  auto e = AndAll(std::move(one));
+  EXPECT_EQ(e->kind, Expr::Kind::kCompare);  // unwrapped
+
+  std::vector<ExprPtr> two;
+  two.push_back(Lt(Col("a"), Lit(5)));
+  two.push_back(Gt(Col("a"), Lit(1)));
+  auto f = AndAll(std::move(two));
+  EXPECT_EQ(f->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(f->children.size(), 2u);
+}
+
+TEST(ExprTest, InBuildsOrOfEqualities) {
+  auto e = InI64("l_shipmode_code", {3, 7});
+  EXPECT_EQ(e->kind, Expr::Kind::kOr);
+  EXPECT_EQ(e->children.size(), 2u);
+  EXPECT_EQ(e->children[0]->op, "eq");
+  auto s = InStr("l_shipmode", {"MAIL", "SHIP", "AIR"});
+  EXPECT_EQ(s->children.size(), 3u);
+  EXPECT_EQ(s->children[1]->kind, Expr::Kind::kStrPred);
+}
+
+TEST(ExprTest, RangeIsHalfOpen) {
+  auto e = RangeI64("o_orderdate", 100, 200);
+  EXPECT_EQ(e->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(e->children[0]->op, "ge");
+  EXPECT_EQ(e->children[1]->op, "lt");
+  EXPECT_EQ(e->children[1]->children[1]->lit_i, 200);
+}
+
+TEST(ExprTest, CloneIsDeepAndIndependent) {
+  auto e = Mul(Add(Col("a"), Col("b")), Lit(2.5));
+  auto c = e->Clone();
+  EXPECT_EQ(c->ToString(), e->ToString());
+  EXPECT_NE(c->children[0].get(), e->children[0].get());
+  c->children[1]->lit_f = 9.0;
+  EXPECT_DOUBLE_EQ(e->children[1]->lit_f, 2.5);
+}
+
+}  // namespace
+}  // namespace ma

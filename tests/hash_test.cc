@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "prim/hash_kernels.h"
+#include "prim/hash_table.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+TEST(HashKeyTest, DeterministicAndSpread) {
+  EXPECT_EQ(HashKey(42), HashKey(42));
+  EXPECT_NE(HashKey(42), HashKey(43));
+  // Low bits should differ for consecutive keys (bucket spread).
+  int same_low = 0;
+  for (i64 k = 0; k < 1000; ++k) {
+    same_low += ((HashKey(k) & 0xff) == (HashKey(k + 1) & 0xff));
+  }
+  EXPECT_LT(same_low, 50);
+}
+
+TEST(GroupTableTest, FindOrInsertAssignsDenseIds) {
+  GroupTable t;
+  EXPECT_EQ(t.FindOrInsert(100), 0u);
+  EXPECT_EQ(t.FindOrInsert(200), 1u);
+  EXPECT_EQ(t.FindOrInsert(100), 0u);
+  EXPECT_EQ(t.num_groups(), 2u);
+  EXPECT_EQ(t.KeyOfGroup(0), 100);
+  EXPECT_EQ(t.KeyOfGroup(1), 200);
+}
+
+TEST(GroupTableTest, FindWithoutInsert) {
+  GroupTable t;
+  EXPECT_EQ(t.Find(5), -1);
+  t.FindOrInsert(5);
+  EXPECT_EQ(t.Find(5), 0);
+}
+
+TEST(GroupTableTest, SurvivesGrowth) {
+  GroupTable t(16);
+  std::unordered_map<i64, u32> expected;
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    const i64 key = static_cast<i64>(rng.NextBounded(20000));
+    const u32 gid = t.FindOrInsert(key);
+    auto [it, inserted] = expected.try_emplace(key, gid);
+    ASSERT_EQ(it->second, gid) << "key " << key;
+  }
+  EXPECT_EQ(t.num_groups(), expected.size());
+}
+
+TEST(GroupTableTest, ClearResets) {
+  GroupTable t;
+  t.FindOrInsert(1);
+  t.FindOrInsert(2);
+  t.Clear();
+  EXPECT_EQ(t.num_groups(), 0u);
+  EXPECT_EQ(t.Find(1), -1);
+  EXPECT_EQ(t.FindOrInsert(2), 0u);
+}
+
+TEST(InsertCheckKernelTest, MatchesScalarPath) {
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find("ht_insertcheck_i64_col");
+  ASSERT_NE(entry, nullptr);
+  Rng rng(5);
+  constexpr size_t kN = 1024;
+  std::vector<i64> keys(kN);
+  for (auto& k : keys) k = static_cast<i64>(rng.NextBounded(64));
+
+  for (const FlavorInfo& flavor : entry->flavors) {
+    GroupTable table;
+    GroupTable reference;
+    table.EnsureRoom(kN);
+    std::vector<u32> out(kN);
+    PrimCall c;
+    c.n = kN;
+    c.res = out.data();
+    c.in1 = keys.data();
+    c.state = &table;
+    flavor.fn(c);
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[i], reference.FindOrInsert(keys[i]))
+          << "flavor " << flavor.name << " at " << i;
+    }
+  }
+}
+
+TEST(InsertCheckKernelTest, HonorsSelectionVector) {
+  GroupTable table;
+  table.EnsureRoom(4);
+  std::vector<i64> keys{7, 8, 7, 9};
+  std::vector<sel_t> sel{0, 2};
+  std::vector<u32> out(4, 999);
+  PrimCall c;
+  c.n = 4;
+  c.res = out.data();
+  c.in1 = keys.data();
+  c.sel = sel.data();
+  c.sel_n = 2;
+  c.state = &table;
+  hash_detail::InsertCheck(c);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[2], 0u);
+  EXPECT_EQ(out[1], 999u);  // untouched
+  EXPECT_EQ(table.num_groups(), 1u);
+}
+
+TEST(JoinHashTableTest, UniqueKeyLookup) {
+  JoinHashTable t;
+  std::vector<i64> keys{10, 20, 30};
+  t.Append(keys.data(), keys.size(), nullptr, 0, 100);
+  t.Finalize();
+  EXPECT_EQ(t.Lookup(20), (std::vector<u64>{101}));
+  EXPECT_TRUE(t.Lookup(99).empty());
+}
+
+TEST(JoinHashTableTest, DuplicateKeys) {
+  JoinHashTable t;
+  std::vector<i64> keys{5, 5, 6, 5};
+  t.Append(keys.data(), keys.size(), nullptr, 0, 0);
+  t.Finalize();
+  auto rows = t.Lookup(5);
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<u64>{0, 1, 3}));
+}
+
+TEST(JoinHashTableTest, AppendWithSelection) {
+  JoinHashTable t;
+  std::vector<i64> keys{1, 2, 3, 4};
+  std::vector<sel_t> sel{1, 3};
+  t.Append(keys.data(), keys.size(), sel.data(), sel.size(), 50);
+  t.Finalize();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Lookup(2), (std::vector<u64>{51}));
+  EXPECT_EQ(t.Lookup(4), (std::vector<u64>{53}));
+  EXPECT_TRUE(t.Lookup(1).empty());
+}
+
+TEST(ProbeKernelTest, EmitsAllMatches) {
+  JoinHashTable t;
+  std::vector<i64> build{1, 2, 2, 3};
+  t.Append(build.data(), build.size(), nullptr, 0, 0);
+  t.Finalize();
+
+  std::vector<i64> probe{2, 9, 3};
+  std::vector<sel_t> out_pos(16);
+  std::vector<u64> out_row(16);
+  ProbeState st;
+  st.table = &t;
+  st.cursor = ProbeCursor{0, JoinHashTable::kNil, false};
+  st.out_probe_pos = out_pos.data();
+  st.out_build_row = out_row.data();
+  st.out_capacity = 16;
+  PrimCall c;
+  c.n = probe.size();
+  c.in1 = probe.data();
+  c.state = &st;
+  const size_t m = hash_detail::Probe(c);
+  EXPECT_EQ(m, 3u);
+  EXPECT_TRUE(st.cursor.done);
+  // Probe position 0 (key 2) matches build rows {1,2}; position 2 -> 3.
+  std::vector<std::pair<sel_t, u64>> pairs;
+  for (size_t i = 0; i < m; ++i) pairs.push_back({out_pos[i], out_row[i]});
+  std::sort(pairs.begin(), pairs.end());
+  EXPECT_EQ(pairs[0], (std::pair<sel_t, u64>{0, 1}));
+  EXPECT_EQ(pairs[1], (std::pair<sel_t, u64>{0, 2}));
+  EXPECT_EQ(pairs[2], (std::pair<sel_t, u64>{2, 3}));
+}
+
+TEST(ProbeKernelTest, ResumesWhenOutputFull) {
+  JoinHashTable t;
+  std::vector<i64> build(10, 42);  // 10 duplicates of one key
+  t.Append(build.data(), build.size(), nullptr, 0, 0);
+  t.Finalize();
+
+  std::vector<i64> probe{42, 42};
+  std::vector<sel_t> out_pos(4);
+  std::vector<u64> out_row(4);
+  ProbeState st;
+  st.table = &t;
+  st.cursor = ProbeCursor{0, JoinHashTable::kNil, false};
+  st.out_probe_pos = out_pos.data();
+  st.out_build_row = out_row.data();
+  st.out_capacity = 4;
+  PrimCall c;
+  c.n = probe.size();
+  c.in1 = probe.data();
+  c.state = &st;
+
+  size_t total = 0;
+  int rounds = 0;
+  for (;;) {
+    const size_t m = hash_detail::Probe(c);
+    total += m;
+    ++rounds;
+    if (st.cursor.done) break;
+    ASSERT_LT(rounds, 100);
+  }
+  EXPECT_EQ(total, 20u);  // 2 probes x 10 matches
+  EXPECT_GE(rounds, 5);
+}
+
+TEST(ProbeKernelTest, SelectionVectorRestrictsProbes) {
+  JoinHashTable t;
+  std::vector<i64> build{1, 2, 3};
+  t.Append(build.data(), build.size(), nullptr, 0, 0);
+  t.Finalize();
+  std::vector<i64> probe{1, 2, 3};
+  std::vector<sel_t> sel{1};  // only probe position 1
+  std::vector<sel_t> out_pos(8);
+  std::vector<u64> out_row(8);
+  ProbeState st;
+  st.table = &t;
+  st.cursor = ProbeCursor{0, JoinHashTable::kNil, false};
+  st.out_probe_pos = out_pos.data();
+  st.out_build_row = out_row.data();
+  st.out_capacity = 8;
+  PrimCall c;
+  c.n = probe.size();
+  c.in1 = probe.data();
+  c.sel = sel.data();
+  c.sel_n = 1;
+  c.state = &st;
+  const size_t m = hash_detail::Probe(c);
+  EXPECT_EQ(m, 1u);
+  EXPECT_EQ(out_pos[0], 1u);
+  EXPECT_EQ(out_row[0], 1u);
+}
+
+TEST(MapHashKernelTest, FlavorsAgree) {
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find("map_hash_i64_col");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_GE(entry->flavors.size(), 2u);
+  std::vector<i64> keys{1, -5, 1000000007, 0};
+  std::vector<std::vector<u64>> results;
+  for (const FlavorInfo& flavor : entry->flavors) {
+    std::vector<u64> out(keys.size());
+    PrimCall c;
+    c.n = keys.size();
+    c.res = out.data();
+    c.in1 = keys.data();
+    flavor.fn(c);
+    results.push_back(std::move(out));
+  }
+  for (size_t f = 1; f < results.size(); ++f) {
+    EXPECT_EQ(results[f], results[0]);
+  }
+  EXPECT_EQ(results[0][0], HashKey(1));
+}
+
+}  // namespace
+}  // namespace ma

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "adapt/machine_sim.h"
+
+namespace ma {
+namespace {
+
+TEST(MachineSimTest, FourPaperMachines) {
+  const auto machines = PaperMachines();
+  ASSERT_EQ(machines.size(), 4u);
+  EXPECT_EQ(machines[0].llc_bytes, 12u << 20);
+  EXPECT_EQ(machines[1].llc_bytes, 4u << 20);
+  EXPECT_EQ(machines[2].llc_bytes, 1u << 20);
+  EXPECT_EQ(machines[3].llc_bytes, 8u << 20);
+}
+
+TEST(MachineSimTest, FissionWinsOnlyForLargeFilters) {
+  for (const auto& m : PaperMachines()) {
+    // Small filter: fused is at least as good (fission <= ~1).
+    EXPECT_LE(PredictBloomFissionSpeedup(m, 4 * 1024), 1.0) << m.name;
+    // Huge filter: fission clearly wins.
+    EXPECT_GT(PredictBloomFissionSpeedup(m, 512u << 20), 1.3) << m.name;
+  }
+}
+
+TEST(MachineSimTest, FissionCrossoverTracksCacheSize) {
+  // The cross-over moves right with bigger LLC (paper: machine 3 at
+  // ~1MB-ish, machine 1/4 in the MBs) — find first size where fission
+  // wins and check ordering by cache size.
+  const auto machines = PaperMachines();
+  auto crossover = [](const MachineModel& m) {
+    for (u64 size = 4 << 10; size <= (1u << 30); size <<= 1) {
+      if (PredictBloomFissionSpeedup(m, size) > 1.0) return size;
+    }
+    return u64{1} << 31;
+  };
+  EXPECT_LT(crossover(machines[2]), crossover(machines[1]));  // 1MB < 4MB
+  EXPECT_LT(crossover(machines[1]), crossover(machines[0]));  // 4MB < 12MB
+}
+
+TEST(MachineSimTest, SelectionCostShape) {
+  const auto m = PaperMachines()[0];
+  // Branching beats no-branching at the extremes, loses mid-range
+  // (Figure 1).
+  EXPECT_LT(PredictSelectionCost(m, 0.0, true),
+            PredictSelectionCost(m, 0.0, false));
+  EXPECT_GT(PredictSelectionCost(m, 0.5, true),
+            PredictSelectionCost(m, 0.5, false));
+  // No-branching is flat.
+  EXPECT_DOUBLE_EQ(PredictSelectionCost(m, 0.1, false),
+                   PredictSelectionCost(m, 0.9, false));
+  // Branching peaks at 50%.
+  EXPECT_GT(PredictSelectionCost(m, 0.5, true),
+            PredictSelectionCost(m, 0.2, true));
+}
+
+TEST(MachineSimTest, FullComputeSpeedupGrowsWithDensity) {
+  const auto m = PaperMachines()[0];
+  EXPECT_LT(PredictFullComputeSpeedup(m, 0.05, 4), 1.0);
+  EXPECT_GT(PredictFullComputeSpeedup(m, 0.9, 4),
+            PredictFullComputeSpeedup(m, 0.4, 4));
+}
+
+TEST(MachineSimTest, FullComputeBenefitLargerForNarrowTypes) {
+  // Figure 8: short (2B) benefits earlier/stronger than long (8B).
+  const auto m = PaperMachines()[0];
+  EXPECT_GT(PredictFullComputeSpeedup(m, 0.6, 2),
+            PredictFullComputeSpeedup(m, 0.6, 4));
+  EXPECT_GT(PredictFullComputeSpeedup(m, 0.6, 4),
+            PredictFullComputeSpeedup(m, 0.6, 8));
+}
+
+TEST(MachineSimTest, MergeJoinBestStyleDependsOnMachine) {
+  // Figure 5's claim: no single style wins on every machine.
+  const auto machines = PaperMachines();
+  int best[4];
+  for (int mi = 0; mi < 4; ++mi) {
+    f64 best_cost = 1e30;
+    for (int s = 0; s < 3; ++s) {
+      const f64 c = PredictMergeJoinCost(machines[mi], s);
+      if (c < best_cost) {
+        best_cost = c;
+        best[mi] = s;
+      }
+    }
+  }
+  bool all_same = true;
+  for (int mi = 1; mi < 4; ++mi) all_same &= (best[mi] == best[0]);
+  EXPECT_FALSE(all_same);
+}
+
+}  // namespace
+}  // namespace ma

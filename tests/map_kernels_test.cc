@@ -1,0 +1,189 @@
+// Map kernel correctness: every flavor of a map primitive must produce
+// identical results on the live positions — the defining property of a
+// flavor set ("functionally equivalent: they always produce the same
+// result").
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "prim/map_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+class MapFlavorEquivalenceTest
+    : public ::testing::TestWithParam<std::string> {};
+
+std::vector<std::string> AllMapSignatures() {
+  std::vector<std::string> sigs;
+  for (const std::string& s : PrimitiveDictionary::Global().Signatures()) {
+    if (s.rfind("map_add", 0) == 0 || s.rfind("map_sub", 0) == 0 ||
+        s.rfind("map_mul", 0) == 0 || s.rfind("map_div", 0) == 0) {
+      sigs.push_back(s);
+    }
+  }
+  return sigs;
+}
+
+template <typename T>
+void CheckSignature(const FlavorEntry& entry, bool second_is_val) {
+  constexpr size_t kN = 1000;
+  Rng rng(99);
+  std::vector<T> a(kN), b(second_is_val ? 1 : kN);
+  for (auto& x : a) x = static_cast<T>(rng.NextRange(-100, 100));
+  for (auto& x : b) x = static_cast<T>(rng.NextRange(-100, 100));
+
+  // A sparse selection vector (~50%).
+  std::vector<sel_t> sel;
+  for (size_t i = 0; i < kN; ++i) {
+    if (rng.NextBool(0.5)) sel.push_back(static_cast<sel_t>(i));
+  }
+
+  for (const bool with_sel : {false, true}) {
+    std::vector<std::vector<T>> results;
+    for (const FlavorInfo& flavor : entry.flavors) {
+      std::vector<T> res(kN, T{});
+      PrimCall c;
+      c.n = kN;
+      c.res = res.data();
+      c.in1 = a.data();
+      c.in2 = b.data();
+      if (with_sel) {
+        c.sel = sel.data();
+        c.sel_n = sel.size();
+      }
+      const size_t produced = flavor.fn(c);
+      EXPECT_EQ(produced, with_sel ? sel.size() : kN)
+          << entry.signature << " flavor " << flavor.name;
+      results.push_back(std::move(res));
+    }
+    // Compare all flavors against flavor 0 on live positions only.
+    for (size_t f = 1; f < results.size(); ++f) {
+      if (with_sel) {
+        for (const sel_t i : sel) {
+          EXPECT_EQ(results[f][i], results[0][i])
+              << entry.signature << " flavor "
+              << entry.flavors[f].name << " at " << i;
+        }
+      } else {
+        EXPECT_EQ(results[f], results[0])
+            << entry.signature << " flavor " << entry.flavors[f].name;
+      }
+    }
+  }
+}
+
+TEST_P(MapFlavorEquivalenceTest, AllFlavorsAgree) {
+  const std::string& sig = GetParam();
+  const FlavorEntry* entry = PrimitiveDictionary::Global().Find(sig);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_GE(entry->flavors.size(), 2u) << sig;
+  const bool second_is_val = sig.ends_with("_val");
+  if (sig.find("_i16_") != std::string::npos) {
+    CheckSignature<i16>(*entry, second_is_val);
+  } else if (sig.find("_i32_") != std::string::npos) {
+    CheckSignature<i32>(*entry, second_is_val);
+  } else if (sig.find("_i64_") != std::string::npos) {
+    CheckSignature<i64>(*entry, second_is_val);
+  } else {
+    CheckSignature<f64>(*entry, second_is_val);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMapPrimitives, MapFlavorEquivalenceTest,
+                         ::testing::ValuesIn(AllMapSignatures()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n) {
+                             if (!isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(MapKernelsTest, SignatureFormat) {
+  EXPECT_EQ(MapSignature("mul", PhysicalType::kI32, false),
+            "map_mul_i32_col_i32_col");
+  EXPECT_EQ(MapSignature("add", PhysicalType::kF64, true),
+            "map_add_f64_col_f64_val");
+}
+
+TEST(MapKernelsTest, FullComputationWritesUnselectedPositions) {
+  constexpr size_t kN = 8;
+  std::vector<i32> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<i32> b{10, 10, 10, 10, 10, 10, 10, 10};
+  std::vector<i32> res(kN, -1);
+  std::vector<sel_t> sel{1, 3};
+  PrimCall c;
+  c.n = kN;
+  c.res = res.data();
+  c.in1 = a.data();
+  c.in2 = b.data();
+  c.sel = sel.data();
+  c.sel_n = sel.size();
+  const size_t produced = map_detail::MapFull<i32, OpMul, false>(c);
+  EXPECT_EQ(produced, 2u);       // reports live count
+  EXPECT_EQ(res[0], 10);         // computed although unselected
+  EXPECT_EQ(res[1], 20);
+  EXPECT_EQ(res[7], 80);
+}
+
+TEST(MapKernelsTest, SelectiveComputationLeavesUnselectedUntouched) {
+  constexpr size_t kN = 8;
+  std::vector<i32> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<i32> b(kN, 10);
+  std::vector<i32> res(kN, -1);
+  std::vector<sel_t> sel{1, 3};
+  PrimCall c;
+  c.n = kN;
+  c.res = res.data();
+  c.in1 = a.data();
+  c.in2 = b.data();
+  c.sel = sel.data();
+  c.sel_n = sel.size();
+  map_detail::MapSelective<i32, OpMul, false>(c);
+  EXPECT_EQ(res[0], -1);  // untouched
+  EXPECT_EQ(res[1], 20);
+  EXPECT_EQ(res[3], 40);
+  EXPECT_EQ(res[7], -1);
+}
+
+TEST(MapKernelsTest, DivGuardsZeroDivisor) {
+  std::vector<i64> a{10, 20};
+  std::vector<i64> b{2, 0};
+  std::vector<i64> res(2);
+  PrimCall c;
+  c.n = 2;
+  c.res = res.data();
+  c.in1 = a.data();
+  c.in2 = b.data();
+  map_detail::MapSelective<i64, OpDiv, false>(c);
+  EXPECT_EQ(res[0], 5);
+  EXPECT_EQ(res[1], 0);
+}
+
+TEST(MapKernelsTest, UnrolledHandlesNonMultipleOf8) {
+  for (const size_t n : {1u, 7u, 8u, 9u, 15u, 1000u}) {
+    std::vector<i32> a(n), b(n), res(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<i32>(i);
+      b[i] = 2;
+    }
+    PrimCall c;
+    c.n = n;
+    c.res = res.data();
+    c.in1 = a.data();
+    c.in2 = b.data();
+    map_detail::MapSelectiveUnroll8<i32, OpMul, false>(c);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(res[i], static_cast<i32>(2 * i)) << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ma

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "prim/mergejoin_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+struct JoinResult {
+  std::vector<u64> left, right;
+  bool operator==(const JoinResult&) const = default;
+};
+
+JoinResult RunMergeJoin(PrimFn fn, const std::vector<i64>& lk,
+                        const std::vector<i64>& rk, size_t out_cap = 8) {
+  std::vector<u64> ol(out_cap), orr(out_cap);
+  MergeJoinState st;
+  st.left_n = lk.size();
+  st.right_n = rk.size();
+  st.out_left = ol.data();
+  st.out_right = orr.data();
+  st.out_capacity = out_cap;
+  PrimCall c;
+  c.in1 = lk.data();
+  c.in2 = rk.data();
+  c.state = &st;
+  JoinResult res;
+  int guard = 0;
+  for (;;) {
+    const size_t m = fn(c);
+    for (size_t i = 0; i < m; ++i) {
+      res.left.push_back(ol[i]);
+      res.right.push_back(orr[i]);
+    }
+    if (st.done || m == 0) break;
+    MA_CHECK(++guard < 100000);
+  }
+  return res;
+}
+
+JoinResult ReferenceJoin(const std::vector<i64>& lk,
+                         const std::vector<i64>& rk) {
+  JoinResult res;
+  for (size_t r = 0; r < rk.size(); ++r) {
+    for (size_t l = 0; l < lk.size(); ++l) {
+      if (lk[l] == rk[r]) {
+        res.left.push_back(l);
+        res.right.push_back(r);
+      }
+    }
+  }
+  return res;
+}
+
+TEST(MergeJoinTest, BasicMatch) {
+  const std::vector<i64> lk{1, 3, 5};
+  const std::vector<i64> rk{2, 3, 3, 5, 6};
+  const auto got = RunMergeJoin(&mergejoin_detail::MergeJoin, lk, rk);
+  EXPECT_EQ(got.left, (std::vector<u64>{1, 1, 2}));
+  EXPECT_EQ(got.right, (std::vector<u64>{1, 2, 3}));
+}
+
+TEST(MergeJoinTest, NoMatches) {
+  const auto got = RunMergeJoin(&mergejoin_detail::MergeJoin, {1, 2, 3},
+                                {4, 5, 6});
+  EXPECT_TRUE(got.left.empty());
+}
+
+TEST(MergeJoinTest, EmptyInputs) {
+  const auto got =
+      RunMergeJoin(&mergejoin_detail::MergeJoin, {}, {1, 2, 3});
+  EXPECT_TRUE(got.left.empty());
+}
+
+TEST(MergeJoinTest, ResumesAcrossSmallOutputBuffer) {
+  std::vector<i64> lk, rk;
+  for (i64 i = 0; i < 100; ++i) lk.push_back(i);
+  for (i64 i = 0; i < 100; ++i) {
+    rk.push_back(i);
+    rk.push_back(i);  // two matches per key
+  }
+  const auto got =
+      RunMergeJoin(&mergejoin_detail::MergeJoin, lk, rk, /*out_cap=*/7);
+  EXPECT_EQ(got.left.size(), 200u);
+}
+
+class MergeJoinFlavorTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MergeJoinFlavorTest, GallopMatchesLinearOnRandomData) {
+  Rng rng(GetParam());
+  std::vector<i64> lk, rk;
+  i64 v = 0;
+  const size_t ln = 50 + rng.NextBounded(200);
+  for (size_t i = 0; i < ln; ++i) {
+    v += 1 + static_cast<i64>(rng.NextBounded(5));
+    lk.push_back(v);  // unique sorted
+  }
+  v = 0;
+  const size_t rn = 50 + rng.NextBounded(400);
+  for (size_t i = 0; i < rn; ++i) {
+    v += static_cast<i64>(rng.NextBounded(4));  // may repeat
+    rk.push_back(v);
+  }
+  const auto linear = RunMergeJoin(&mergejoin_detail::MergeJoin, lk, rk);
+  const auto gallop =
+      RunMergeJoin(&mergejoin_detail::MergeJoinGallop, lk, rk);
+  const auto ref = ReferenceJoin(lk, rk);
+  EXPECT_EQ(linear, ref);
+  EXPECT_EQ(gallop, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MergeJoinFlavorTest,
+                         ::testing::Range<u64>(0, 20));
+
+TEST(MergeJoinTest, CompilerFlavorsRegistered) {
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find("mergejoin_i64_col_i64_col");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GE(entry->FindFlavor("gcc"), 0);
+  EXPECT_GE(entry->FindFlavor("icc"), 0);
+  EXPECT_GE(entry->FindFlavor("clang"), 0);
+}
+
+}  // namespace
+}  // namespace ma

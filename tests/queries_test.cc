@@ -1,0 +1,281 @@
+// End-to-end TPC-H query tests: every query runs under every execution
+// mode and produces identical results (Micro Adaptivity must not change
+// semantics), plus per-query sanity checks against independently
+// computed references on the generated data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "tpch/queries.h"
+#include "tpch/text_pool.h"
+#include "tpch/workload.h"
+
+namespace ma::tpch {
+namespace {
+
+class QueriesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.01;
+    data_ = Generate(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static RunResult Run(int q, const EngineConfig& cfg) {
+    Engine engine(cfg);
+    return RunQuery(&engine, *data_, q);
+  }
+
+  static TpchData* data_;
+};
+
+TpchData* QueriesTest::data_ = nullptr;
+
+// --- semantic spot checks ---
+
+TEST_F(QueriesTest, Q1MatchesReference) {
+  const RunResult r = Run(1, DefaultConfig());
+  // Reference: group by (flag, status) over the date filter.
+  const Table* l = data_->lineitem;
+  const i64* ship = l->FindColumn("l_shipdate")->Data<i64>();
+  const i64* qty = l->FindColumn("l_quantity")->Data<i64>();
+  const StrRef* flag = l->FindColumn("l_returnflag")->Data<StrRef>();
+  const StrRef* status = l->FindColumn("l_linestatus")->Data<StrRef>();
+  const i64 cutoff = Date(1998, 12, 1) - 90;
+  std::map<std::pair<std::string, std::string>, std::pair<i64, i64>> ref;
+  for (size_t i = 0; i < l->row_count(); ++i) {
+    if (ship[i] > cutoff) continue;
+    auto& [sum, cnt] = ref[{std::string(flag[i].view()),
+                            std::string(status[i].view())}];
+    sum += qty[i];
+    cnt += 1;
+  }
+  ASSERT_EQ(r.table->row_count(), ref.size());
+  const Column* rf = r.table->FindColumn("l_returnflag");
+  const Column* ls = r.table->FindColumn("l_linestatus");
+  const Column* sq = r.table->FindColumn("sum_qty");
+  const Column* co = r.table->FindColumn("count_order");
+  for (size_t i = 0; i < r.table->row_count(); ++i) {
+    const auto key = std::make_pair(std::string(rf->Data<StrRef>()[i].view()),
+                                    std::string(ls->Data<StrRef>()[i].view()));
+    ASSERT_TRUE(ref.count(key));
+    EXPECT_EQ(sq->Data<i64>()[i], ref[key].first);
+    EXPECT_EQ(co->Data<i64>()[i], ref[key].second);
+  }
+  // Sorted by flag, status.
+  for (size_t i = 1; i < r.table->row_count(); ++i) {
+    EXPECT_LE(rf->Data<StrRef>()[i - 1].view(),
+              rf->Data<StrRef>()[i].view());
+  }
+}
+
+TEST_F(QueriesTest, Q6MatchesReference) {
+  const RunResult r = Run(6, DefaultConfig());
+  const Table* l = data_->lineitem;
+  const i64* ship = l->FindColumn("l_shipdate")->Data<i64>();
+  const f64* disc = l->FindColumn("l_discount")->Data<f64>();
+  const i64* qty = l->FindColumn("l_quantity")->Data<i64>();
+  const f64* ep = l->FindColumn("l_extendedprice")->Data<f64>();
+  f64 revenue = 0;
+  for (size_t i = 0; i < l->row_count(); ++i) {
+    if (ship[i] >= Date(1994, 1, 1) && ship[i] < Date(1995, 1, 1) &&
+        disc[i] >= 0.05 && disc[i] <= 0.07 && qty[i] < 24) {
+      revenue += ep[i] * disc[i];
+    }
+  }
+  ASSERT_EQ(r.table->row_count(), 1u);
+  EXPECT_NEAR(r.table->FindColumn("revenue")->Data<f64>()[0], revenue,
+              std::abs(revenue) * 1e-9);
+}
+
+TEST_F(QueriesTest, Q4CountsOrdersWithLateLines) {
+  const RunResult r = Run(4, DefaultConfig());
+  // 5 priorities at most; counts positive; total <= orders in range.
+  ASSERT_LE(r.table->row_count(), 5u);
+  ASSERT_GE(r.table->row_count(), 1u);
+  const Column* cnt = r.table->FindColumn("order_count");
+  for (size_t i = 0; i < r.table->row_count(); ++i) {
+    EXPECT_GT(cnt->Data<i64>()[i], 0);
+  }
+}
+
+TEST_F(QueriesTest, Q12MatchesReference) {
+  const RunResult r = Run(12, DefaultConfig());
+  // Reference: orders joined on key (always exists), count by shipmode.
+  const Table* l = data_->lineitem;
+  const Table* o = data_->orders;
+  std::vector<i64> order_prio(o->row_count() + 1);
+  const i64* ok = o->FindColumn("o_orderkey")->Data<i64>();
+  const i64* opc = o->FindColumn("o_orderpriority_code")->Data<i64>();
+  for (size_t i = 0; i < o->row_count(); ++i) order_prio[ok[i]] = opc[i];
+  const i64* lok = l->FindColumn("l_orderkey")->Data<i64>();
+  const i64* smc = l->FindColumn("l_shipmode_code")->Data<i64>();
+  const i64* sd = l->FindColumn("l_shipdate")->Data<i64>();
+  const i64* cd = l->FindColumn("l_commitdate")->Data<i64>();
+  const i64* rd = l->FindColumn("l_receiptdate")->Data<i64>();
+  const i64 mail = CodeOf(ShipModes(), "MAIL");
+  const i64 shipm = CodeOf(ShipModes(), "SHIP");
+  std::map<i64, std::pair<i64, i64>> ref;  // code -> (high, low)
+  for (size_t i = 0; i < l->row_count(); ++i) {
+    if ((smc[i] != mail && smc[i] != shipm) || cd[i] >= rd[i] ||
+        sd[i] >= cd[i] || rd[i] < Date(1994, 1, 1) ||
+        rd[i] >= Date(1995, 1, 1)) {
+      continue;
+    }
+    auto& [high, low] = ref[smc[i]];
+    (order_prio[lok[i]] <= 1 ? high : low) += 1;
+  }
+  ASSERT_EQ(r.table->row_count(), ref.size());
+  const Column* sm = r.table->FindColumn("l_shipmode");
+  const Column* high = r.table->FindColumn("high_line_count");
+  const Column* low = r.table->FindColumn("low_line_count");
+  for (size_t i = 0; i < r.table->row_count(); ++i) {
+    const i64 code = CodeOf(ShipModes(),
+                            std::string(sm->Data<StrRef>()[i].view()));
+    ASSERT_TRUE(ref.count(code));
+    EXPECT_EQ(high->Data<i64>()[i], ref[code].first);
+    EXPECT_EQ(low->Data<i64>()[i], ref[code].second);
+  }
+}
+
+TEST_F(QueriesTest, Q15TopSupplierIsArgmax) {
+  const RunResult r = Run(15, DefaultConfig());
+  ASSERT_GE(r.table->row_count(), 1u);
+  // All rows share the same (maximal) revenue.
+  const Column* rev = r.table->FindColumn("total_revenue");
+  for (size_t i = 1; i < r.table->row_count(); ++i) {
+    EXPECT_DOUBLE_EQ(rev->Data<f64>()[i], rev->Data<f64>()[0]);
+  }
+}
+
+TEST_F(QueriesTest, Q18AllRowsExceedQuantityThreshold) {
+  const RunResult r = Run(18, DefaultConfig());
+  const Column* sq = r.table->FindColumn("sum_qty");
+  for (size_t i = 0; i < r.table->row_count(); ++i) {
+    EXPECT_GT(sq->Data<i64>()[i], 300);
+  }
+}
+
+TEST_F(QueriesTest, Q22NoSelectedCustomerHasOrders) {
+  const RunResult r = Run(22, DefaultConfig());
+  // Counts are positive and country codes are from the filter list.
+  const Column* cc = r.table->FindColumn("c_cntrycode");
+  const Column* nc = r.table->FindColumn("numcust");
+  for (size_t i = 0; i < r.table->row_count(); ++i) {
+    EXPECT_GT(nc->Data<i64>()[i], 0);
+    const std::string code(cc->Data<StrRef>()[i].view());
+    EXPECT_TRUE(code == "13" || code == "31" || code == "23" ||
+                code == "29" || code == "30" || code == "18" ||
+                code == "17")
+        << code;
+  }
+}
+
+// --- every query, every mode, identical results ---
+
+struct QueryModeCase {
+  int query;
+};
+
+class AllQueriesAllModesTest
+    : public ::testing::TestWithParam<int> {};
+
+std::string TableFingerprint(const Table& t) {
+  // Order-insensitive fingerprint of numeric cells with rounding, plus
+  // row/column counts. Different modes may tie-break sort orders
+  // differently only if the plans were nondeterministic — they are not —
+  // but float summation order inside aggregates is identical too, so
+  // exact content must match.
+  u64 h = 1469598103934665603ULL;
+  auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(t.row_count());
+  mix(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const Column* col = t.column(c);
+    for (size_t i = 0; i < col->size(); ++i) {
+      switch (col->type()) {
+        case PhysicalType::kI64:
+          mix(static_cast<u64>(col->Data<i64>()[i]));
+          break;
+        case PhysicalType::kF64: {
+          // Round to 1e-6 to absorb harmless last-bit noise.
+          const f64 v = col->Data<f64>()[i];
+          mix(static_cast<u64>(std::llround(v * 1e6)));
+          break;
+        }
+        case PhysicalType::kStr: {
+          for (const char ch : col->Data<StrRef>()[i].view()) {
+            mix(static_cast<u8>(ch));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return std::to_string(h);
+}
+
+TEST_P(AllQueriesAllModesTest, ResultsIdenticalAcrossModes) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.005;
+  static const TpchData* data = Generate(cfg).release();
+  const int q = GetParam();
+
+  std::string reference;
+  for (const auto& [name, ecfg] :
+       std::vector<std::pair<std::string, EngineConfig>>{
+           {"default", DefaultConfig()},
+           {"nobranching", ForcedConfig("nobranching")},
+           {"fission", ForcedConfig("fission")},
+           {"heuristic", HeuristicConfig()},
+           {"adaptive", AdaptiveConfig()}}) {
+    Engine engine(ecfg);
+    const RunResult r = RunQuery(&engine, *data, q);
+    ASSERT_NE(r.table, nullptr) << name;
+    const std::string fp = TableFingerprint(*r.table);
+    if (reference.empty()) {
+      reference = fp;
+    } else {
+      EXPECT_EQ(fp, reference) << "mode " << name << " diverged on Q" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, AllQueriesAllModesTest,
+                         ::testing::Range(1, kNumQueries + 1),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+// --- workload driver ---
+
+TEST_F(QueriesTest, WorkloadRunProducesProfiles) {
+  EngineConfig cfg = AdaptiveConfig();
+  TpchConfig small;
+  small.scale_factor = 0.002;
+  auto data = Generate(small);
+  const ModeRun run = RunAllQueries(cfg, *data, "adaptive");
+  ASSERT_EQ(run.query_seconds.size(), 22u);
+  ASSERT_EQ(run.instances.size(), 22u);
+  EXPECT_GT(run.TotalPrimitiveCycles(), 0u);
+  // Branch-affected primitives exist (selections are everywhere).
+  EXPECT_GT(run.AffectedCycles(FlavorSetId::kBranch), 0u);
+  EXPECT_GT(run.GeoMeanSeconds(), 0.0);
+  // The workload contains a healthy number of primitive instances.
+  size_t total_instances = 0;
+  for (const auto& q : run.instances) total_instances += q.size();
+  EXPECT_GT(total_instances, 200u);
+}
+
+}  // namespace
+}  // namespace ma::tpch

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "prim/prim_call.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+size_t DummyFn(const PrimCall&) { return 0; }
+size_t DummyFn2(const PrimCall&) { return 1; }
+
+TEST(PrimitiveDictionaryTest, RegisterAndFind) {
+  PrimitiveDictionary dict;
+  EXPECT_TRUE(dict.Register("sig_a",
+                            FlavorInfo{"one", FlavorSetId::kDefault,
+                                       &DummyFn},
+                            true)
+                  .ok());
+  const FlavorEntry* e = dict.Find("sig_a");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->flavors.size(), 1u);
+  EXPECT_EQ(e->signature, "sig_a");
+  EXPECT_EQ(dict.Find("missing"), nullptr);
+}
+
+TEST(PrimitiveDictionaryTest, MultipleFlavorsOneSignature) {
+  PrimitiveDictionary dict;
+  ASSERT_TRUE(dict.Register("s", FlavorInfo{"a", FlavorSetId::kDefault,
+                                            &DummyFn})
+                  .ok());
+  ASSERT_TRUE(dict.Register("s", FlavorInfo{"b", FlavorSetId::kBranch,
+                                            &DummyFn2},
+                            /*is_default=*/true)
+                  .ok());
+  const FlavorEntry* e = dict.Find("s");
+  EXPECT_EQ(e->flavors.size(), 2u);
+  EXPECT_EQ(e->default_index, 1);
+  EXPECT_EQ(e->FindFlavor("a"), 0);
+  EXPECT_EQ(e->FindFlavor("b"), 1);
+  EXPECT_EQ(e->FindFlavor("c"), -1);
+}
+
+TEST(PrimitiveDictionaryTest, DuplicateFlavorNameRejected) {
+  PrimitiveDictionary dict;
+  ASSERT_TRUE(dict.Register("s", FlavorInfo{"a", FlavorSetId::kDefault,
+                                            &DummyFn})
+                  .ok());
+  const Status st =
+      dict.Register("s", FlavorInfo{"a", FlavorSetId::kBranch, &DummyFn2});
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PrimitiveDictionaryTest, RejectsBadInput) {
+  PrimitiveDictionary dict;
+  EXPECT_EQ(dict.Register("", FlavorInfo{"a", FlavorSetId::kDefault,
+                                         &DummyFn})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dict.Register("s", FlavorInfo{"a", FlavorSetId::kDefault,
+                                          nullptr})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GlobalDictionaryTest, BuiltinsRegistered) {
+  const auto& dict = PrimitiveDictionary::Global();
+  // The engine registers hundreds of signatures; spot-check families.
+  EXPECT_GT(dict.num_signatures(), 100u);
+  EXPECT_GT(dict.num_flavors(), 300u);
+  EXPECT_NE(dict.Find("map_mul_i32_col_i32_col"), nullptr);
+  EXPECT_NE(dict.Find("sel_lt_i32_col_i32_val"), nullptr);
+  EXPECT_NE(dict.Find("aggr_sum_i64_col"), nullptr);
+  EXPECT_NE(dict.Find("sel_bloomfilter_i64_col"), nullptr);
+  EXPECT_NE(dict.Find("map_fetch_u64_col_i64_col"), nullptr);
+  EXPECT_NE(dict.Find("mergejoin_i64_col_i64_col"), nullptr);
+  EXPECT_NE(dict.Find("ht_insertcheck_i64_col"), nullptr);
+}
+
+TEST(GlobalDictionaryTest, FlavorSetsPresent) {
+  const auto& dict = PrimitiveDictionary::Global();
+  const FlavorEntry* sel = dict.Find("sel_lt_i32_col_i32_val");
+  ASSERT_NE(sel, nullptr);
+  EXPECT_GE(sel->FindFlavor("branching"), 0);
+  EXPECT_GE(sel->FindFlavor("nobranching"), 0);
+  EXPECT_GE(sel->FindFlavor("gcc"), 0);
+  EXPECT_GE(sel->FindFlavor("icc"), 0);
+  EXPECT_GE(sel->FindFlavor("clang"), 0);
+
+  const FlavorEntry* map = dict.Find("map_mul_i32_col_i32_col");
+  ASSERT_NE(map, nullptr);
+  EXPECT_GE(map->FindFlavor("default"), 0);
+  EXPECT_GE(map->FindFlavor("nounroll"), 0);
+  EXPECT_GE(map->FindFlavor("full"), 0);
+  EXPECT_GE(map->FindFlavor("full_nounroll"), 0);
+}
+
+TEST(GlobalDictionaryTest, DivHasNoFullComputationFlavor) {
+  const FlavorEntry* div =
+      PrimitiveDictionary::Global().Find("map_div_i64_col_i64_col");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->FindFlavor("full"), -1);
+}
+
+TEST(GlobalDictionaryTest, DefaultIndexIsDefaultSet) {
+  const auto& dict = PrimitiveDictionary::Global();
+  for (const std::string& sig : dict.Signatures()) {
+    const FlavorEntry* e = dict.Find(sig);
+    ASSERT_NE(e, nullptr);
+    ASSERT_GE(e->default_index, 0);
+    ASSERT_LT(static_cast<size_t>(e->default_index), e->flavors.size());
+    EXPECT_EQ(e->flavors[e->default_index].set, FlavorSetId::kDefault)
+        << sig;
+  }
+}
+
+TEST(FlavorSetTest, Names) {
+  EXPECT_STREQ(FlavorSetName(FlavorSetId::kDefault), "default");
+  EXPECT_STREQ(FlavorSetName(FlavorSetId::kBranch), "branch");
+  EXPECT_STREQ(FlavorSetName(FlavorSetId::kCompiler), "compiler");
+  EXPECT_STREQ(FlavorSetName(FlavorSetId::kFission), "fission");
+  EXPECT_STREQ(FlavorSetName(FlavorSetId::kFullCompute), "fullcompute");
+  EXPECT_STREQ(FlavorSetName(FlavorSetId::kUnroll), "unroll");
+}
+
+}  // namespace
+}  // namespace ma

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace ma {
+namespace {
+
+TEST(ColumnTest, TypedAppendAndRead) {
+  Column c(PhysicalType::kI64);
+  c.Append<i64>(10);
+  c.Append<i64>(-20);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Get<i64>(0), 10);
+  EXPECT_EQ(c.Data<i64>()[1], -20);
+}
+
+TEST(ColumnTest, StringColumnOwnsData) {
+  Column c(PhysicalType::kStr);
+  {
+    std::string temp = "transient";
+    c.AppendString(temp);
+    temp = "clobbered";
+  }
+  EXPECT_EQ(c.Get<StrRef>(0).view(), "transient");
+}
+
+TEST(TableTest, AddAndFindColumns) {
+  Table t("orders");
+  Column* k = t.AddColumn("o_orderkey", PhysicalType::kI64);
+  t.AddColumn("o_comment", PhysicalType::kStr);
+  k->Append<i64>(1);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.FindColumn("o_orderkey"), t.column(0));
+  EXPECT_EQ(t.FindColumn("nope"), nullptr);
+}
+
+TEST(TableTest, ValidateCatchesLengthMismatch) {
+  Table t("t");
+  t.AddColumn("a", PhysicalType::kI32)->Append<i32>(1);
+  t.AddColumn("b", PhysicalType::kI32);
+  t.set_row_count(1);
+  EXPECT_FALSE(t.Validate().ok());
+  t.FindMutableColumn("b")->Append<i32>(2);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TableTest, DictEncodeAssignsDenseCodes) {
+  Table t("lineitem");
+  Column* flag = t.AddColumn("l_returnflag", PhysicalType::kStr);
+  for (const char* s : {"A", "N", "R", "A", "N", "A"}) {
+    flag->AppendString(s);
+  }
+  t.set_row_count(6);
+  const size_t distinct = t.DictEncode("l_returnflag");
+  EXPECT_EQ(distinct, 3u);
+  const Column* code = t.FindColumn("l_returnflag_code");
+  ASSERT_NE(code, nullptr);
+  EXPECT_EQ(code->type(), PhysicalType::kI64);
+  const i64* d = code->Data<i64>();
+  EXPECT_EQ(d[0], 0);  // A
+  EXPECT_EQ(d[1], 1);  // N
+  EXPECT_EQ(d[2], 2);  // R
+  EXPECT_EQ(d[3], 0);
+  EXPECT_EQ(d[4], 1);
+  EXPECT_EQ(d[5], 0);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(CatalogTest, OwnsTables) {
+  Catalog cat;
+  auto t = std::make_unique<Table>("region");
+  t->AddColumn("r_name", PhysicalType::kStr);
+  Table* raw = cat.AddTable(std::move(t));
+  EXPECT_EQ(cat.Find("region"), raw);
+  EXPECT_EQ(cat.Find("nope"), nullptr);
+  EXPECT_EQ(cat.num_tables(), 1u);
+}
+
+}  // namespace
+}  // namespace ma

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/string_heap.h"
+#include "prim/string_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+class StringKernelTest : public ::testing::Test {
+ protected:
+  StrRef S(const std::string& s) { return heap_.Add(s); }
+
+  std::vector<sel_t> Run(PrimFn fn, const std::vector<StrRef>& col,
+                         StrRef val) {
+    std::vector<sel_t> out(col.size());
+    PrimCall c;
+    c.n = col.size();
+    c.res_sel = out.data();
+    c.in1 = col.data();
+    c.in2 = &val;
+    out.resize(fn(c));
+    return out;
+  }
+
+  StringHeap heap_;
+};
+
+TEST_F(StringKernelTest, EqBranchingAndNoBranchingAgree) {
+  std::vector<StrRef> col{S("AIR"), S("MAIL"), S("AIR"), S("SHIP"),
+                          S("AIRX")};
+  const auto a =
+      Run(&string_detail::SelStrEqBranching, col, S("AIR"));
+  const auto b =
+      Run(&string_detail::SelStrEqNoBranching, col, S("AIR"));
+  EXPECT_EQ(a, (std::vector<sel_t>{0, 2}));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(StringKernelTest, NeSemantics) {
+  std::vector<StrRef> col{S("a"), S("b"), S("a")};
+  EXPECT_EQ(Run(&string_detail::SelStrNeBranching, col, S("a")),
+            (std::vector<sel_t>{1}));
+}
+
+TEST_F(StringKernelTest, PrefixLike) {
+  // p_name LIKE 'forest%'
+  std::vector<StrRef> col{S("forest green"), S("green forest"),
+                          S("forest"), S("fore")};
+  EXPECT_EQ(Run(&string_detail::SelStrPrefix, col, S("forest")),
+            (std::vector<sel_t>{0, 2}));
+  EXPECT_EQ(Run(&string_detail::SelStrNotPrefix, col, S("forest")),
+            (std::vector<sel_t>{1, 3}));
+}
+
+TEST_F(StringKernelTest, SuffixLike) {
+  // p_type LIKE '%BRASS'
+  std::vector<StrRef> col{S("SMALL PLATED BRASS"), S("BRASS SMALL"),
+                          S("LARGE BRASS")};
+  EXPECT_EQ(Run(&string_detail::SelStrSuffix, col, S("BRASS")),
+            (std::vector<sel_t>{0, 2}));
+}
+
+TEST_F(StringKernelTest, ContainsLike) {
+  // p_name LIKE '%green%'
+  std::vector<StrRef> col{S("dark green lace"), S("red blue"),
+                          S("green"), S("gree n")};
+  EXPECT_EQ(Run(&string_detail::SelStrContains, col, S("green")),
+            (std::vector<sel_t>{0, 2}));
+  EXPECT_EQ(Run(&string_detail::SelStrNotContains, col, S("green")),
+            (std::vector<sel_t>{1, 3}));
+}
+
+TEST_F(StringKernelTest, ContainsEdgeCases) {
+  EXPECT_TRUE(string_detail::StrContains(S("abc"), S("")));
+  EXPECT_FALSE(string_detail::StrContains(S("ab"), S("abc")));
+  EXPECT_TRUE(string_detail::StrContains(S("aaab"), S("aab")));
+}
+
+TEST_F(StringKernelTest, EmptyColumn) {
+  std::vector<StrRef> col;
+  EXPECT_TRUE(Run(&string_detail::SelStrEqBranching, col, S("x")).empty());
+}
+
+TEST_F(StringKernelTest, SelectionVectorComposes) {
+  std::vector<StrRef> col{S("x"), S("y"), S("x"), S("y")};
+  std::vector<sel_t> sel{2, 3};
+  std::vector<sel_t> out(4);
+  StrRef val = S("x");
+  PrimCall c;
+  c.n = col.size();
+  c.res_sel = out.data();
+  c.in1 = col.data();
+  c.in2 = &val;
+  c.sel = sel.data();
+  c.sel_n = sel.size();
+  out.resize(string_detail::SelStrEqBranching(c));
+  EXPECT_EQ(out, (std::vector<sel_t>{2}));
+}
+
+TEST_F(StringKernelTest, RegisteredInDictionary) {
+  const auto& dict = PrimitiveDictionary::Global();
+  EXPECT_NE(dict.Find("sel_eq_str_col_str_val"), nullptr);
+  EXPECT_NE(dict.Find("sel_contains_str_col_str_val"), nullptr);
+  const FlavorEntry* eq = dict.Find("sel_eq_str_col_str_val");
+  EXPECT_GE(eq->FindFlavor("nobranching"), 0);
+}
+
+}  // namespace
+}  // namespace ma

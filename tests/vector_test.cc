@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "vector/batch.h"
+#include "vector/selvector.h"
+#include "vector/vector.h"
+
+namespace ma {
+namespace {
+
+TEST(VectorTest, TypedAccess) {
+  Vector v(PhysicalType::kI32, 16);
+  i32* d = v.Data<i32>();
+  for (int i = 0; i < 16; ++i) d[i] = i * i;
+  v.set_size(16);
+  EXPECT_EQ(v.Get<i32>(5), 25);
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_EQ(v.capacity(), 16u);
+}
+
+TEST(VectorTest, AlignedTo64Bytes) {
+  for (int i = 0; i < 8; ++i) {
+    Vector v(PhysicalType::kF64, 1024);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.raw_data()) % 64, 0u);
+  }
+}
+
+TEST(VectorTest, DefaultCapacityIsVectorSize) {
+  Vector v(PhysicalType::kI64);
+  EXPECT_EQ(v.capacity(), kDefaultVectorSize);
+}
+
+TEST(VectorTest, StrRefVector) {
+  Vector v(PhysicalType::kStr, 4);
+  StrRef* d = v.Data<StrRef>();
+  d[0] = StrRef{"abc", 3};
+  v.set_size(1);
+  EXPECT_EQ(v.Get<StrRef>(0).view(), "abc");
+}
+
+TEST(VectorTest, MoveTransfersOwnership) {
+  Vector a(PhysicalType::kI32, 8);
+  a.Data<i32>()[0] = 42;
+  a.set_size(1);
+  Vector b = std::move(a);
+  EXPECT_EQ(b.Get<i32>(0), 42);
+}
+
+TEST(SelVectorTest, Identity) {
+  SelVector s(128);
+  s.SetIdentity(100);
+  EXPECT_EQ(s.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(s[i], i);
+  EXPECT_TRUE(s.IsSorted());
+}
+
+TEST(SelVectorTest, CopyFrom) {
+  SelVector a(16), b(16);
+  a.SetIdentity(5);
+  b.CopyFrom(a);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[4], 4u);
+}
+
+TEST(SelVectorTest, SortednessDetectsDuplicates) {
+  SelVector s(4);
+  s.data()[0] = 1;
+  s.data()[1] = 1;
+  s.set_size(2);
+  EXPECT_FALSE(s.IsSorted());
+}
+
+TEST(BatchTest, ColumnsByName) {
+  Batch b;
+  auto v1 = std::make_shared<Vector>(PhysicalType::kI32);
+  auto v2 = std::make_shared<Vector>(PhysicalType::kF64);
+  b.AddColumn("a", v1);
+  b.AddColumn("b", v2);
+  EXPECT_EQ(b.num_columns(), 2u);
+  EXPECT_EQ(b.FindColumn("b"), 1);
+  EXPECT_EQ(b.FindColumn("missing"), -1);
+  EXPECT_EQ(&b.column(0), v1.get());
+}
+
+TEST(BatchTest, LiveCountFollowsSelection) {
+  Batch b;
+  b.set_row_count(1000);
+  EXPECT_EQ(b.live_count(), 1000u);
+  b.mutable_sel().SetIdentity(10);
+  b.set_sel_active(true);
+  EXPECT_EQ(b.live_count(), 10u);
+  b.set_sel_active(false);
+  EXPECT_EQ(b.live_count(), 1000u);
+}
+
+TEST(BatchTest, ClearDropsColumnsKeepsReuse) {
+  Batch b;
+  b.AddColumn("a", std::make_shared<Vector>(PhysicalType::kI32));
+  b.set_row_count(10);
+  b.mutable_sel().SetIdentity(3);
+  b.set_sel_active(true);
+  b.Clear();
+  EXPECT_EQ(b.num_columns(), 0u);
+  EXPECT_EQ(b.row_count(), 0u);
+  EXPECT_FALSE(b.has_sel());
+}
+
+}  // namespace
+}  // namespace ma

@@ -1,0 +1,101 @@
+// Workload driver: mode configs, per-set cycle accounting, OPT
+// aggregation across aligned runs.
+#include <gtest/gtest.h>
+
+#include "tpch/workload.h"
+
+namespace ma::tpch {
+namespace {
+
+TEST(WorkloadConfigTest, ModesConfigured) {
+  EXPECT_EQ(DefaultConfig().adaptive.mode, ExecMode::kDefault);
+  EXPECT_EQ(ForcedConfig("fission").adaptive.mode,
+            ExecMode::kForcedFlavor);
+  EXPECT_EQ(ForcedConfig("fission").adaptive.forced_flavor, "fission");
+  EXPECT_EQ(HeuristicConfig().adaptive.mode, ExecMode::kHeuristic);
+  const EngineConfig a =
+      AdaptiveConfig(FlavorSetBit(FlavorSetId::kBranch));
+  EXPECT_EQ(a.adaptive.mode, ExecMode::kAdaptive);
+  EXPECT_EQ(a.adaptive.enabled_sets, FlavorSetBit(FlavorSetId::kBranch));
+}
+
+class WorkloadRunTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.002;
+    data_ = Generate(cfg).release();
+    base_ = new ModeRun(RunAllQueries(DefaultConfig(), *data_, "base"));
+    forced_ = new ModeRun(
+        RunAllQueries(ForcedConfig("nobranching"), *data_, "nb"));
+  }
+  static void TearDownTestSuite() {
+    delete base_;
+    delete forced_;
+    delete data_;
+  }
+  static TpchData* data_;
+  static ModeRun* base_;
+  static ModeRun* forced_;
+};
+
+TpchData* WorkloadRunTest::data_ = nullptr;
+ModeRun* WorkloadRunTest::base_ = nullptr;
+ModeRun* WorkloadRunTest::forced_ = nullptr;
+
+TEST_F(WorkloadRunTest, InstanceAlignmentAcrossModes) {
+  // Same plans + same data => same instance list per query in every
+  // mode (the property the OPT computation relies on).
+  ASSERT_EQ(base_->instances.size(), forced_->instances.size());
+  for (size_t q = 0; q < base_->instances.size(); ++q) {
+    ASSERT_EQ(base_->instances[q].size(), forced_->instances[q].size())
+        << "Q" << q + 1;
+    for (size_t i = 0; i < base_->instances[q].size(); ++i) {
+      EXPECT_EQ(base_->instances[q][i].label,
+                forced_->instances[q][i].label);
+      EXPECT_EQ(base_->instances[q][i].calls,
+                forced_->instances[q][i].calls);
+      EXPECT_EQ(base_->instances[q][i].tuples,
+                forced_->instances[q][i].tuples);
+    }
+  }
+}
+
+TEST_F(WorkloadRunTest, AffectedCyclesPartitionConsistently) {
+  const u64 total = base_->TotalPrimitiveCycles();
+  EXPECT_GT(total, 0u);
+  // Every affected-set slice is a subset of the total.
+  for (int s = 1; s < static_cast<int>(FlavorSetId::kNumSets); ++s) {
+    EXPECT_LE(base_->AffectedCycles(static_cast<FlavorSetId>(s)), total);
+  }
+  // Branch + compiler sets overlap heavily with selections, so their
+  // union is not disjoint — but both must be nonzero on TPC-H.
+  EXPECT_GT(base_->AffectedCycles(FlavorSetId::kBranch), 0u);
+  EXPECT_GT(base_->AffectedCycles(FlavorSetId::kCompiler), 0u);
+  EXPECT_GT(base_->AffectedCycles(FlavorSetId::kUnroll), 0u);
+}
+
+TEST_F(WorkloadRunTest, OptNeverWorseThanAnyRun) {
+  for (const FlavorSetId set :
+       {FlavorSetId::kBranch, FlavorSetId::kUnroll}) {
+    const u64 opt = OptAffectedCycles({base_, forced_}, set);
+    EXPECT_LE(opt, base_->AffectedCycles(set)) << FlavorSetName(set);
+    EXPECT_LE(opt, forced_->AffectedCycles(set)) << FlavorSetName(set);
+    EXPECT_GT(opt, 0u);
+  }
+}
+
+TEST_F(WorkloadRunTest, OptOfSingleRunIsItself) {
+  const u64 opt = OptAffectedCycles({base_}, FlavorSetId::kBranch);
+  EXPECT_EQ(opt, base_->AffectedCycles(FlavorSetId::kBranch));
+}
+
+TEST_F(WorkloadRunTest, QuerySecondsPositive) {
+  for (int q = 0; q < kNumQueries; ++q) {
+    EXPECT_GT(base_->query_seconds[q], 0.0) << "Q" << q + 1;
+  }
+  EXPECT_GT(base_->GeoMeanSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ma::tpch
