@@ -1,10 +1,16 @@
 // Figure 1: (No-)Branching selection primitive cost vs. selectivity.
 // Branching wins at the extremes (predictable branch), loses mid-range
-// (mispredictions); no-branching is flat.
+// (mispredictions); no-branching is flat. Extended beyond the paper with
+// the SIMD flavor family: the AVX2/SSE4 movemask+LUT kernels are flat
+// like no-branching but several times cheaper — the flavor set the
+// bandit exploits hardest on modern machines.
+//
+// Emits BENCH_fig1.json (cycles/tuple per flavor and selectivity).
 #include <vector>
 
 #include "bench_util.h"
 #include "prim/sel_kernels.h"
+#include "prim/simd.h"
 #include "registry/primitive_dictionary.h"
 
 namespace ma {
@@ -15,16 +21,26 @@ void Run() {
   const FlavorEntry* entry =
       PrimitiveDictionary::Global().Find("sel_lt_i32_col_i32_val");
   MA_CHECK(entry != nullptr);
-  const int branching = entry->FindFlavor("branching");
-  const int nobranching = entry->FindFlavor("nobranching");
+  // Scalar baselines plus whatever SIMD tier CPUID enabled.
+  std::vector<std::pair<std::string, int>> flavors;
+  for (const char* name : {"branching", "nobranching", "nobranch_unroll4",
+                           "sse4", "avx2"}) {
+    const int idx = entry->FindFlavor(name);
+    if (idx >= 0) flavors.emplace_back(name, idx);
+  }
 
   bench::PrintHeader(
       "Figure 1: selection primitive cost vs selectivity (cycles/tuple)",
       "select_lt_i32_col_i32_val over 1024-value vectors; value domain "
-      "arranged so `v < bound` holds with the given probability.");
-  std::printf("%12s %12s %14s\n", "selectivity%", "branching",
-              "no-branching");
+      "arranged so `v < bound` holds with the given probability. SIMD "
+      "level: " + std::string(SimdLevelName(DetectSimdLevel())) + ".");
+  std::printf("%12s", "selectivity%");
+  for (const auto& [name, idx] : flavors) {
+    std::printf(" %16s", name.c_str());
+  }
+  std::printf("\n");
 
+  bench::BenchJson json("fig1");
   Rng rng(42);
   for (int pct = 0; pct <= 100; pct += 5) {
     // Values uniform in [0,1000); bound = 10*pct gives ~pct% selectivity
@@ -38,15 +54,23 @@ void Run() {
     c.res_sel = out.data();
     c.in1 = col.data();
     c.in2 = &bound;
-    const f64 cb = bench::MeasureCyclesPerTuple(
-        entry->flavors[branching].fn, c, kN, 301);
-    const f64 cn = bench::MeasureCyclesPerTuple(
-        entry->flavors[nobranching].fn, c, kN, 301);
-    std::printf("%12d %12.2f %14.2f\n", pct, cb, cn);
+    std::printf("%12d", pct);
+    for (const auto& [name, idx] : flavors) {
+      const f64 cpt = bench::MeasureCyclesPerTuple(
+          entry->flavors[idx].fn, c, kN, 301);
+      std::printf(" %16.2f", cpt);
+      json.AddRow()
+          .Num("selectivity_pct", pct)
+          .Str("flavor", name)
+          .Num("cycles_per_tuple", cpt);
+    }
+    std::printf("\n");
   }
+  json.Write();
   std::printf(
       "\nExpected shape (paper): branching cheapest near 0%% and 100%%,\n"
-      "a hump in between; no-branching roughly constant.\n");
+      "a hump in between; no-branching roughly constant; the SIMD\n"
+      "flavors flat and well below both.\n");
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "bench_util.h"
+#include "prim/simd.h"
 #include "tpch/workload.h"
 
 namespace ma::tpch {
@@ -28,7 +29,7 @@ void Run() {
               cfg.scale_factor, data->lineitem->row_count(),
               data->orders->row_count());
 
-  const std::vector<SetSpec> specs = {
+  std::vector<SetSpec> specs = {
       {FlavorSetId::kBranch, "Table 6 ((No-)Branching selections)",
        "Always Branching", {"nobranching"},
        FlavorSetBit(FlavorSetId::kBranch)},
@@ -43,6 +44,16 @@ void Run() {
       {FlavorSetId::kUnroll, "Table 10 (Hand-Unrolling)", "unroll 8",
        {"nounroll"}, FlavorSetBit(FlavorSetId::kUnroll)},
   };
+  // Beyond the paper: the CPUID-gated SIMD flavor family (selection
+  // compaction, hash/bloom gather probes, one-group aggregates).
+  if (DetectSimdLevel() != SimdLevel::kScalar) {
+    specs.push_back({FlavorSetId::kSimd, "Table 10b (SIMD flavors)",
+                     "scalar flavors only",
+                     DetectSimdLevel() >= SimdLevel::kAvx2
+                         ? std::vector<const char*>{"avx2", "sse4"}
+                         : std::vector<const char*>{"sse4"},
+                     FlavorSetBit(FlavorSetId::kSimd)});
+  }
 
   // Per set: run baseline, each forced flavor and the adaptive mode
   // twice, interleaved, and keep the cheaper cycle totals per mode —

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "common/cycleclock.h"
@@ -47,6 +48,74 @@ inline std::vector<sel_t> MakeSel(size_t n, f64 density, Rng* rng) {
   }
   return sel;
 }
+
+/// Machine-readable benchmark output: collects flat rows of string/number
+/// fields and writes them as `BENCH_<name>.json` in the working
+/// directory, so the perf trajectory of a kernel can be tracked across
+/// PRs by diffing or plotting the files.
+///
+///   bench::BenchJson json("fig1");
+///   json.AddRow().Num("selectivity", 50).Str("flavor", "avx2")
+///       .Num("cycles_per_tuple", 0.29);
+///   json.Write();   // -> BENCH_fig1.json
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  class Row {
+   public:
+    Row& Str(const char* key, std::string v) {
+      fields_.emplace_back(key, std::move(v));
+      return *this;
+    }
+    Row& Num(const char* key, f64 v) {
+      fields_.emplace_back(key, v);
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    std::vector<std::pair<std::string, std::variant<std::string, f64>>>
+        fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<name>.json; prints the path so runs are discoverable.
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", name_.c_str());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
+      const auto& fields = rows_[r].fields_;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": ", i == 0 ? "" : ", ",
+                     fields[i].first.c_str());
+        if (const auto* s = std::get_if<std::string>(&fields[i].second)) {
+          std::fprintf(f, "\"%s\"", s->c_str());
+        } else {
+          std::fprintf(f, "%.6g", std::get<f64>(fields[i].second));
+        }
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace ma::bench
 

@@ -60,6 +60,18 @@ class BanditPolicy {
   /// last Choose().
   virtual void Update(u64 tuples, u64 cycles) = 0;
 
+  /// True when the policy is exploiting a settled choice AND its next
+  /// Choose() would return `flavor` — i.e. repeating `flavor` without
+  /// timing it or feeding back an observation cannot disturb learning.
+  /// Chunked dispatch (AdaptiveConfig::chunk_size) consults this after
+  /// every decision call with the flavor that call ran; the flavor
+  /// argument matters because Update() may have just rotated the policy
+  /// into a new phase (e.g. vw-greedy finishing an exploration), in
+  /// which case replaying the *previous* call's flavor would be wrong.
+  /// Policies that need every call observed (round-robin, active
+  /// exploration phases) return false.
+  virtual bool ExploitationStable(int /*flavor*/) const { return false; }
+
   virtual void Reset() = 0;
   virtual std::string name() const = 0;
   int num_flavors() const { return num_flavors_; }
@@ -83,6 +95,9 @@ class FixedPolicy : public BanditPolicy {
       : BanditPolicy(num_flavors), index_(index) {}
   int Choose() override { return index_; }
   void Update(u64, u64) override {}
+  bool ExploitationStable(int flavor) const override {
+    return flavor == index_;
+  }
   void Reset() override {}
   std::string name() const override { return "fixed"; }
 
@@ -112,6 +127,9 @@ class VwGreedyPolicy : public BanditPolicy {
 
   int Choose() override { return flavor_; }
   void Update(u64 tuples, u64 cycles) override;
+  bool ExploitationStable(int flavor) const override {
+    return !exploring_ && flavor == flavor_;
+  }
   void Reset() override;
   std::string name() const override;
 
@@ -152,6 +170,9 @@ class EpsPolicy : public BanditPolicy {
 
   int Choose() override;
   void Update(u64 tuples, u64 cycles) override;
+  bool ExploitationStable(int flavor) const override {
+    return last_was_greedy_ && flavor == last_;
+  }
   void Reset() override;
   std::string name() const override;
 
@@ -163,6 +184,7 @@ class EpsPolicy : public BanditPolicy {
   Rng rng_;
   u64 t_ = 0;
   int last_ = 0;
+  bool last_was_greedy_ = false;
   std::vector<u64> cycles_;
   std::vector<u64> tuples_;
   std::vector<u64> pulls_;

@@ -18,6 +18,7 @@ EpsPolicy::EpsPolicy(Variant variant, int num_flavors,
 void EpsPolicy::Reset() {
   t_ = 0;
   last_ = 0;
+  last_was_greedy_ = false;
   cycles_.assign(num_flavors_, 0);
   tuples_.assign(num_flavors_, 0);
   pulls_.assign(num_flavors_, 0);
@@ -57,6 +58,7 @@ int EpsPolicy::Choose() {
       break;
     }
   }
+  last_was_greedy_ = !explore;
   last_ = explore ? static_cast<int>(rng_.NextBounded(num_flavors_))
                   : BestFlavor();
   return last_;

@@ -2,26 +2,46 @@
 
 namespace ma {
 
+// The hooks are capture-less lambdas (plain function pointers); their
+// tuned parameters live in the instance-owned HeuristicParams block, so
+// installing a heuristic allocates nothing and the per-call dispatch
+// stays a raw indirect call.
+
 void InstallBranchHeuristic(PrimitiveInstance* inst,
                             const HeuristicThresholds& th) {
   const int nb = inst->FindFlavor("nobranching");
   if (nb < 0) return;
-  const PrimitiveInstance* self = inst;
-  inst->set_heuristic([self, nb, th](const PrimCall&) {
-    const f64 s = self->last_output_selectivity();
-    return (s >= th.branch_lo && s <= th.branch_hi) ? nb : 0;
-  });
+  auto& p = inst->heuristic_params();
+  p.flavor = nb;
+  p.lo = th.branch_lo;
+  p.hi = th.branch_hi;
+  inst->set_heuristic(
+      [](const void* ctx, const PrimitiveInstance& self, const PrimCall&) {
+        const auto* hp =
+            static_cast<const PrimitiveInstance::HeuristicParams*>(ctx);
+        const f64 s = self.last_output_selectivity();
+        return (s >= hp->lo && s <= hp->hi) ? hp->flavor : 0;
+      },
+      &p);
 }
 
 void InstallFullComputeHeuristic(PrimitiveInstance* inst,
                                  const HeuristicThresholds& th) {
   const int full = inst->FindFlavor("full");
   if (full < 0) return;
-  inst->set_heuristic([full, th](const PrimCall& c) {
-    if (c.sel == nullptr || c.n == 0) return 0;  // dense: default path
-    const f64 density = static_cast<f64>(c.sel_n) / static_cast<f64>(c.n);
-    return density >= th.full_compute_min ? full : 0;
-  });
+  auto& p = inst->heuristic_params();
+  p.flavor = full;
+  p.lo = th.full_compute_min;
+  inst->set_heuristic(
+      [](const void* ctx, const PrimitiveInstance&, const PrimCall& c) {
+        const auto* hp =
+            static_cast<const PrimitiveInstance::HeuristicParams*>(ctx);
+        if (c.sel == nullptr || c.n == 0) return 0;  // dense: default path
+        const f64 density =
+            static_cast<f64>(c.sel_n) / static_cast<f64>(c.n);
+        return density >= hp->lo ? hp->flavor : 0;
+      },
+      &p);
 }
 
 void InstallFissionHeuristic(PrimitiveInstance* inst,
@@ -29,8 +49,14 @@ void InstallFissionHeuristic(PrimitiveInstance* inst,
                              u64 bloom_bytes) {
   const int fission = inst->FindFlavor("fission");
   if (fission < 0) return;
-  const int choice = bloom_bytes >= th.fission_min_bytes ? fission : 0;
-  inst->set_heuristic([choice](const PrimCall&) { return choice; });
+  auto& p = inst->heuristic_params();
+  p.flavor = bloom_bytes >= th.fission_min_bytes ? fission : 0;
+  inst->set_heuristic(
+      [](const void* ctx, const PrimitiveInstance&, const PrimCall&) {
+        return static_cast<const PrimitiveInstance::HeuristicParams*>(ctx)
+            ->flavor;
+      },
+      &p);
 }
 
 void InstallHeuristics(PrimitiveInstance* inst,

@@ -19,6 +19,13 @@ PrimitiveInstance::PrimitiveInstance(const FlavorEntry* entry,
     if (&f == def) continue;
     if (config.enabled_sets & FlavorSetBit(f.set)) flavors_.push_back(&f);
   }
+  // Pre-resolve everything the hot path (or per-call introspection)
+  // would otherwise chase pointers for.
+  fns_.reserve(flavors_.size());
+  for (const FlavorInfo* f : flavors_) fns_.push_back(f->fn);
+  for (const FlavorInfo& f : entry_->flavors) {
+    affected_sets_ |= FlavorSetBit(f.set);
+  }
 
   switch (mode_) {
     case ExecMode::kDefault:
@@ -37,6 +44,7 @@ PrimitiveInstance::PrimitiveInstance(const FlavorEntry* entry,
         policy_ = MakePolicy(config.policy,
                              static_cast<int>(flavors_.size()),
                              config.params);
+        chunk_size_ = config.chunk_size > 0 ? config.chunk_size : 1;
       }
       fixed_index_ = 0;
       break;
@@ -52,20 +60,14 @@ int PrimitiveInstance::FindFlavor(std::string_view name) const {
   return -1;
 }
 
-bool PrimitiveInstance::AffectedBy(FlavorSetId set) const {
-  for (const FlavorInfo& f : entry_->flavors) {
-    if (f.set == set) return true;
-  }
-  return false;
-}
-
 int PrimitiveInstance::PickFlavor(const PrimCall& call) {
   switch (mode_) {
     case ExecMode::kDefault:
     case ExecMode::kForcedFlavor:
       return fixed_index_;
     case ExecMode::kHeuristic:
-      return heuristic_ ? heuristic_(call) : fixed_index_;
+      return heuristic_ != nullptr ? heuristic_(heuristic_ctx_, *this, call)
+                                   : fixed_index_;
     case ExecMode::kAdaptive:
       return policy_ ? policy_->Choose() : fixed_index_;
   }
@@ -77,10 +79,19 @@ size_t PrimitiveInstance::Call(PrimCall& call) {
 }
 
 size_t PrimitiveInstance::CallN(PrimCall& call, u64 tuples) {
+  if (chunk_left_ > 0) {
+    // Chunked exploitation: re-run the settled flavor, skip the rdtsc
+    // pair and the policy round-trip entirely.
+    --chunk_left_;
+    const int f = last_flavor_;
+    const size_t produced = fns_[f](call);
+    RecordUntimed(f, produced, tuples);
+    return produced;
+  }
   const int f = PickFlavor(call);
   last_flavor_ = f;
   const u64 t0 = CycleClock::Now();
-  const size_t produced = flavors_[f]->fn(call);
+  const size_t produced = fns_[f](call);
   const u64 dt = CycleClock::Now() - t0;
   Record(f, produced, tuples, dt);
   return produced;
@@ -88,15 +99,35 @@ size_t PrimitiveInstance::CallN(PrimCall& call, u64 tuples) {
 
 void PrimitiveInstance::Record(int flavor, size_t produced, u64 tuples,
                                u64 cycles) {
-  if (policy_ != nullptr) policy_->Update(tuples, cycles);
+  if (policy_ != nullptr) {
+    policy_->Update(tuples, cycles);
+    // Replay-safety: the chunk re-runs `flavor` (== last_flavor_), so it
+    // only starts when the policy — in its post-Update state — would
+    // itself keep choosing that flavor.
+    if (chunk_size_ > 1 && policy_->ExploitationStable(flavor)) {
+      chunk_left_ = chunk_size_ - 1;
+    }
+  }
   ++calls_;
   tuples_ += tuples;
   cycles_ += cycles;
+  timed_tuples_ += tuples;
   usage_[flavor].calls += 1;
   usage_[flavor].tuples += tuples;
   usage_[flavor].cycles += cycles;
   flavors_[flavor]->times_used += 1;
   if (aph_) aph_->Add(tuples, cycles);
+  last_produced_ = produced;
+  last_live_ = tuples;
+}
+
+void PrimitiveInstance::RecordUntimed(int flavor, size_t produced,
+                                      u64 tuples) {
+  ++calls_;
+  tuples_ += tuples;
+  usage_[flavor].calls += 1;
+  usage_[flavor].tuples += tuples;
+  flavors_[flavor]->times_used += 1;
   last_produced_ = produced;
   last_live_ = tuples;
 }

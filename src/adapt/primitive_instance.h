@@ -6,10 +6,18 @@
 // operators alike — go through PrimitiveInstance::Call, which is where
 // Micro Adaptivity happens: choose a flavor, time the call with rdtsc,
 // feed the observation back to the policy.
+//
+// The dispatch path is kept flat and branch-light: eligible flavors are
+// resolved once at construction into a bare function-pointer table, the
+// heuristic hook is a raw function pointer (no std::function), and in
+// chunked mode (AdaptiveConfig::chunk_size > 1) exploitation calls re-run
+// the last-chosen flavor without the rdtsc pair or policy round-trip —
+// only decision calls are timed, amortizing adaptivity overhead across
+// the chunk (the paper's §3.2 argument that profiling must cost well
+// under the work it steers).
 #ifndef MA_ADAPT_PRIMITIVE_INSTANCE_H_
 #define MA_ADAPT_PRIMITIVE_INSTANCE_H_
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,13 +55,29 @@ struct AdaptiveConfig {
   u32 enabled_sets = kAllFlavorSets;
   bool keep_aph = true;
   size_t aph_buckets = 512;
+  /// Chunked exploitation (kAdaptive only): after a timed decision call
+  /// whose policy reports a settled exploitation phase, re-run the same
+  /// flavor untimed for chunk_size-1 calls before consulting the policy
+  /// again. 1 = classic per-call adaptivity.
+  u64 chunk_size = 1;
 };
 
 class PrimitiveInstance {
  public:
+  /// POD parameter block for heuristic hooks, owned by the instance so
+  /// installers need neither allocation nor captures. Field meaning is
+  /// up to the installed heuristic (see adapt/heuristics.cc).
+  struct HeuristicParams {
+    int flavor = 0;
+    f64 lo = 0;
+    f64 hi = 0;
+  };
+
   /// Per-call heuristic hook: returns the index into `flavors()` to use
-  /// for this call. Installed by operators when mode is kHeuristic.
-  using HeuristicFn = std::function<int(const PrimCall&)>;
+  /// for this call. A raw function pointer plus context — installed by
+  /// operators when mode is kHeuristic.
+  using HeuristicFn = int (*)(const void* ctx, const PrimitiveInstance& self,
+                              const PrimCall& call);
 
   PrimitiveInstance(const FlavorEntry* entry, const AdaptiveConfig& config,
                     std::string label);
@@ -71,16 +95,27 @@ class PrimitiveInstance {
   /// the work done is only known once the call returns).
   template <typename F>
   size_t CallDeferred(PrimCall& call, F&& tuples_of_produced) {
+    if (chunk_left_ > 0) {
+      --chunk_left_;
+      const int f = last_flavor_;
+      const size_t produced = fns_[f](call);
+      RecordUntimed(f, produced, tuples_of_produced(produced));
+      return produced;
+    }
     const int f = PickFlavor(call);
     last_flavor_ = f;
     const u64 t0 = CycleClock::Now();
-    const size_t produced = flavors_[f]->fn(call);
+    const size_t produced = fns_[f](call);
     const u64 dt = CycleClock::Now() - t0;
     Record(f, produced, tuples_of_produced(produced), dt);
     return produced;
   }
 
-  void set_heuristic(HeuristicFn fn) { heuristic_ = std::move(fn); }
+  void set_heuristic(HeuristicFn fn, const void* ctx = nullptr) {
+    heuristic_ = fn;
+    heuristic_ctx_ = ctx;
+  }
+  HeuristicParams& heuristic_params() { return heuristic_params_; }
 
   // --- introspection ---
   const std::string& label() const { return label_; }
@@ -101,9 +136,15 @@ class PrimitiveInstance {
 
   u64 calls() const { return calls_; }
   u64 tuples() const { return tuples_; }
+  /// Cycles measured inside primitive calls. In chunked mode only the
+  /// decision calls are timed, so this is a sample, not a census;
+  /// MeanCostPerTuple stays unbiased by dividing through the tuples of
+  /// exactly those timed calls.
   u64 cycles() const { return cycles_; }
   f64 MeanCostPerTuple() const {
-    return tuples_ == 0 ? 0.0 : static_cast<f64>(cycles_) / tuples_;
+    return timed_tuples_ == 0
+               ? 0.0
+               : static_cast<f64>(cycles_) / timed_tuples_;
   }
   const Aph* aph() const { return aph_.get(); }
   /// Per-eligible-flavor cumulative (calls, tuples, cycles).
@@ -116,22 +157,36 @@ class PrimitiveInstance {
 
   /// True if any registered flavor of this primitive belongs to `set` —
   /// i.e. this instance is "affected by" the flavor set in the sense of
-  /// Tables 6-10.
-  bool AffectedBy(FlavorSetId set) const;
+  /// Tables 6-10. Mask precomputed at construction.
+  bool AffectedBy(FlavorSetId set) const {
+    return (affected_sets_ & FlavorSetBit(set)) != 0;
+  }
 
   BanditPolicy* policy() { return policy_.get(); }
 
  private:
   int PickFlavor(const PrimCall& call);
   void Record(int flavor, size_t produced, u64 tuples, u64 cycles);
+  /// Bookkeeping for chunked exploitation calls (no timing, no policy
+  /// feedback, no APH sample).
+  void RecordUntimed(int flavor, size_t produced, u64 tuples);
 
   const FlavorEntry* entry_;
   std::string label_;
   ExecMode mode_;
   std::vector<const FlavorInfo*> flavors_;
+  /// Flat dispatch table: fns_[i] == flavors_[i]->fn. The hot path
+  /// touches only this contiguous array.
+  std::vector<PrimFn> fns_;
+  u32 affected_sets_ = 0;
   int fixed_index_ = 0;
   std::unique_ptr<BanditPolicy> policy_;
-  HeuristicFn heuristic_;
+  HeuristicFn heuristic_ = nullptr;
+  const void* heuristic_ctx_ = nullptr;
+  HeuristicParams heuristic_params_;
+
+  u64 chunk_size_ = 1;
+  u64 chunk_left_ = 0;
 
   int last_flavor_ = 0;
   u64 last_produced_ = 0;
@@ -139,6 +194,7 @@ class PrimitiveInstance {
   u64 calls_ = 0;
   u64 tuples_ = 0;
   u64 cycles_ = 0;
+  u64 timed_tuples_ = 0;
   std::unique_ptr<Aph> aph_;
   std::vector<FlavorUsage> usage_;
 };

@@ -130,39 +130,50 @@ Status ExprEvaluator::EvaluatePredicate(const Expr& expr, Batch& batch) {
     }
     case Expr::Kind::kOr: {
       // Evaluate each branch against the same input selection and union
-      // the results (sorted merge; branches may overlap).
-      or_input_.clear();
+      // the results (sorted merge; branches may overlap). Scratch is
+      // pooled per OR-nesting depth: recursion into a nested kOr grabs
+      // the next depth's buffers instead of clobbering ours.
+      if (or_depth_ == or_scratch_.size()) {
+        or_scratch_.push_back(std::make_unique<OrScratch>());
+      }
+      OrScratch& s = *or_scratch_[or_depth_];
+      ++or_depth_;
+      struct DepthGuard {
+        size_t& depth;
+        ~DepthGuard() { --depth; }
+      } guard{or_depth_};
+
+      s.input.clear();
       if (batch.has_sel()) {
-        or_input_.assign(batch.sel().data(),
-                         batch.sel().data() + batch.sel().size());
+        s.input.assign(batch.sel().data(),
+                       batch.sel().data() + batch.sel().size());
       }
       const bool had_sel = batch.has_sel();
-      or_accum_.clear();
-      std::vector<sel_t> merged;
+      s.accum.clear();
       for (const ExprPtr& child : expr.children) {
         // Restore the input selection for this branch.
         if (had_sel) {
           SelVector& sel = batch.mutable_sel();
-          std::copy(or_input_.begin(), or_input_.end(), sel.data());
-          sel.set_size(or_input_.size());
+          std::copy(s.input.begin(), s.input.end(), sel.data());
+          sel.set_size(s.input.size());
           batch.set_sel_active(true);
         } else {
           batch.set_sel_active(false);
         }
         MA_RETURN_IF_ERROR(EvaluatePredicate(*child, batch));
-        // Union into or_accum_.
+        // Union into the accumulator.
         const SelVector& sel = batch.sel();
-        merged.clear();
-        merged.reserve(or_accum_.size() + sel.size());
-        std::set_union(or_accum_.begin(), or_accum_.end(), sel.data(),
+        s.merged.clear();
+        s.merged.reserve(s.accum.size() + sel.size());
+        std::set_union(s.accum.begin(), s.accum.end(), sel.data(),
                        sel.data() + sel.size(),
-                       std::back_inserter(merged));
-        or_accum_.swap(merged);
+                       std::back_inserter(s.merged));
+        s.accum.swap(s.merged);
       }
       SelVector& sel = batch.mutable_sel();
-      MA_CHECK(or_accum_.size() <= sel.capacity());
-      std::copy(or_accum_.begin(), or_accum_.end(), sel.data());
-      sel.set_size(or_accum_.size());
+      MA_CHECK(s.accum.size() <= sel.capacity());
+      std::copy(s.accum.begin(), s.accum.end(), sel.data());
+      sel.set_size(s.accum.size());
       batch.set_sel_active(true);
       return Status::OK();
     }

@@ -59,9 +59,16 @@ class ExprEvaluator {
   Engine* engine_;
   std::string label_prefix_;
   std::unordered_map<const Expr*, NodeState> states_;
-  /// Scratch for kOr selection union.
-  std::vector<sel_t> or_accum_;
-  std::vector<sel_t> or_input_;
+  /// Scratch for kOr selection union, pooled across calls and allocated
+  /// per OR-nesting depth so nested ORs don't clobber each other's
+  /// in-progress unions (unique_ptr: stable addresses across growth).
+  struct OrScratch {
+    std::vector<sel_t> input;
+    std::vector<sel_t> accum;
+    std::vector<sel_t> merged;
+  };
+  std::vector<std::unique_ptr<OrScratch>> or_scratch_;
+  size_t or_depth_ = 0;
 };
 
 }  // namespace ma

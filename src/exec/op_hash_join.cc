@@ -88,6 +88,8 @@ Status HashJoinOperator::Open() {
   }
   fetch_build_.assign(spec_.build_outputs.size(), nullptr);
   fetch_probe_.assign(spec_.probe_outputs.size(), nullptr);
+  out_build_vecs_.assign(spec_.build_outputs.size(), nullptr);
+  out_probe_vecs_.assign(spec_.probe_outputs.size(), nullptr);
   match_pos_.resize(kMaxVectorSize);
   match_row_.resize(kMaxVectorSize);
   match_pos64_.resize(kMaxVectorSize);
@@ -202,7 +204,11 @@ bool HashJoinOperator::NextInner(Batch* out) {
             FetchSignature(src.type()),
             label_ + "/fetch_probe_" + spec_.probe_outputs[p]);
       }
-      auto dst = std::make_shared<Vector>(src.type(), kMaxVectorSize);
+      if (out_probe_vecs_[p] == nullptr) {
+        out_probe_vecs_[p] =
+            std::make_shared<Vector>(src.type(), kMaxVectorSize);
+      }
+      const auto& dst = out_probe_vecs_[p];
       PrimCall fc;
       fc.n = matches;
       fc.res = dst->raw_data();
@@ -210,7 +216,7 @@ bool HashJoinOperator::NextInner(Batch* out) {
       fc.state = const_cast<void*>(src.raw_data());
       fetch_probe_[p]->CallN(fc, matches);
       dst->set_size(matches);
-      out->AddColumn(spec_.probe_outputs[p], std::move(dst));
+      out->AddColumn(spec_.probe_outputs[p], dst);
     }
     for (size_t b = 0; b < spec_.build_outputs.size(); ++b) {
       const Column* src = build_cols_[b].get();
@@ -219,7 +225,11 @@ bool HashJoinOperator::NextInner(Batch* out) {
             FetchSignature(src->type()),
             label_ + "/fetch_build_" + spec_.build_outputs[b].second);
       }
-      auto dst = std::make_shared<Vector>(src->type(), kMaxVectorSize);
+      if (out_build_vecs_[b] == nullptr) {
+        out_build_vecs_[b] =
+            std::make_shared<Vector>(src->type(), kMaxVectorSize);
+      }
+      const auto& dst = out_build_vecs_[b];
       PrimCall fc;
       fc.n = matches;
       fc.res = dst->raw_data();
@@ -227,7 +237,7 @@ bool HashJoinOperator::NextInner(Batch* out) {
       fc.state = const_cast<void*>(src->RawData());
       fetch_build_[b]->CallN(fc, matches);
       dst->set_size(matches);
-      out->AddColumn(spec_.build_outputs[b].second, std::move(dst));
+      out->AddColumn(spec_.build_outputs[b].second, dst);
     }
     out->set_row_count(matches);
     return true;

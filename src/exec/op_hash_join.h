@@ -78,6 +78,10 @@ class HashJoinOperator : public Operator {
   std::vector<u64> match_row_;
   std::vector<u64> match_pos64_;
   std::vector<i64> key_scratch_;
+  /// Pooled output vectors (per probe/build output column), reused every
+  /// batch instead of allocating fresh kMaxVectorSize buffers.
+  std::vector<std::shared_ptr<Vector>> out_probe_vecs_;
+  std::vector<std::shared_ptr<Vector>> out_build_vecs_;
 };
 
 }  // namespace ma

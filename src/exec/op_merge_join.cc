@@ -72,6 +72,8 @@ Status MergeJoinOperator::Open() {
                                     label_ + "/mergejoin");
   fetch_left_.assign(spec_.left_outputs.size(), nullptr);
   fetch_right_.assign(spec_.right_outputs.size(), nullptr);
+  out_left_vecs_.assign(spec_.left_outputs.size(), nullptr);
+  out_right_vecs_.assign(spec_.right_outputs.size(), nullptr);
   done_ = false;
   return Status::OK();
 }
@@ -104,6 +106,7 @@ bool MergeJoinOperator::Next(Batch* out) {
   auto emit = [&](const std::vector<std::pair<std::string, std::string>>&
                       outs,
                   const Side& side, std::vector<PrimitiveInstance*>& insts,
+                  std::vector<std::shared_ptr<Vector>>& vecs,
                   const std::vector<u64>& rows, const char* tag) {
     for (size_t i = 0; i < outs.size(); ++i) {
       const Column* src = side.cols[i].get();
@@ -112,7 +115,10 @@ bool MergeJoinOperator::Next(Batch* out) {
             FetchSignature(src->type()),
             label_ + "/fetch_" + tag + "_" + outs[i].second);
       }
-      auto dst = std::make_shared<Vector>(src->type(), kMaxVectorSize);
+      if (vecs[i] == nullptr) {
+        vecs[i] = std::make_shared<Vector>(src->type(), kMaxVectorSize);
+      }
+      const auto& dst = vecs[i];
       PrimCall fc;
       fc.n = matches;
       fc.res = dst->raw_data();
@@ -120,11 +126,12 @@ bool MergeJoinOperator::Next(Batch* out) {
       fc.state = const_cast<void*>(src->RawData());
       insts[i]->CallN(fc, matches);
       dst->set_size(matches);
-      out->AddColumn(outs[i].second, std::move(dst));
+      out->AddColumn(outs[i].second, dst);
     }
   };
-  emit(spec_.left_outputs, lhs_, fetch_left_, out_left_, "l");
-  emit(spec_.right_outputs, rhs_, fetch_right_, out_right_, "r");
+  emit(spec_.left_outputs, lhs_, fetch_left_, out_left_vecs_, out_left_, "l");
+  emit(spec_.right_outputs, rhs_, fetch_right_, out_right_vecs_, out_right_,
+       "r");
   out->set_row_count(matches);
   return true;
 }

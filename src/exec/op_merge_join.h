@@ -51,6 +51,8 @@ class MergeJoinOperator : public Operator {
   std::vector<u64> out_left_, out_right_;
   PrimitiveInstance* join_inst_ = nullptr;
   std::vector<PrimitiveInstance*> fetch_left_, fetch_right_;
+  /// Pooled output vectors, reused across batches (see HashJoinOperator).
+  std::vector<std::shared_ptr<Vector>> out_left_vecs_, out_right_vecs_;
   bool done_ = false;
 };
 

@@ -15,6 +15,7 @@ ScanOperator::ScanOperator(Engine* engine, const Table* table,
 
 Status ScanOperator::Open() {
   columns_.clear();
+  views_.clear();
   pos_ = 0;
   if (table_->row_count() == 0) {
     // Empty tables (including columnless intermediate results) emit no
@@ -36,12 +37,19 @@ bool ScanOperator::Next(Batch* out) {
   if (pos_ >= table_->row_count()) return false;
   const size_t n =
       std::min(engine_->vector_size(), table_->row_count() - pos_);
+  // One pooled view per column, repointed at the current slice each
+  // batch — the scan hot loop allocates nothing.
+  if (views_.empty()) {
+    views_.reserve(columns_.size());
+    for (const Column* col : columns_) {
+      views_.push_back(Vector::View(col->type(), col->RawData(), 0));
+    }
+  }
   for (size_t i = 0; i < columns_.size(); ++i) {
     const Column* col = columns_[i];
     const char* base = static_cast<const char*>(col->RawData());
-    out->AddColumn(column_names_[i],
-                   Vector::View(col->type(),
-                                base + pos_ * TypeWidth(col->type()), n));
+    views_[i]->ResetView(base + pos_ * TypeWidth(col->type()), n);
+    out->AddColumn(column_names_[i], views_[i]);
   }
   out->set_row_count(n);
   pos_ += n;

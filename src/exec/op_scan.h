@@ -27,6 +27,8 @@ class ScanOperator : public Operator {
   const Table* table_;
   std::vector<std::string> column_names_;
   std::vector<const Column*> columns_;
+  /// Pooled zero-copy views, one per scanned column, repointed per batch.
+  std::vector<std::shared_ptr<Vector>> views_;
   size_t pos_ = 0;
 };
 

@@ -1,0 +1,118 @@
+// AVX2 aggregate-update flavor ("simd_onegroup"). Grouped scatter-update
+// cannot be vectorized safely on AVX2 (no conflict detection), but the
+// overwhelmingly common special case can: a vector whose group ids are
+// all equal — every global aggregate, and grouped aggregates over
+// clustered keys. The kernel SIMD-checks that case and, when it holds,
+// reduces the whole vector into one accumulator with lane-parallel adds;
+// otherwise it falls back to the scalar update loop. The bandit keeps it
+// only where the check keeps passing.
+#include "prim/aggr_kernels.h"
+#include "prim/simd.h"
+#include "prim/simd_avx2.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+using namespace simd_detail;
+
+/// True if gid[0..n) are all equal (n > 0). SIMD compare with early exit
+/// every 32 ids.
+inline bool AllSameGroup(const u32* gid, size_t n) {
+  const __m256i first = _mm256_set1_epi32(static_cast<i32>(gid[0]));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i g =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(gid + i));
+    if (_mm256_movemask_ps(_mm256_castsi256_ps(
+            _mm256_cmpeq_epi32(g, first))) != 0xff) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (gid[i] != gid[0]) return false;
+  }
+  return true;
+}
+
+inline i64 HSum64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return _mm_cvtsi128_si64(_mm_add_epi64(s, _mm_unpackhi_epi64(s, s)));
+}
+
+inline f64 HSumPd(__m256d v) {
+  const __m128d s =
+      _mm_add_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd(v, 1));
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+template <typename T>
+size_t AggrSumOneGroup(const PrimCall& c) {
+  using Acc = typename aggr_detail::AccOf<T>::type;
+  const T* v = static_cast<const T*>(c.in1);
+  const u32* gid = static_cast<const u32*>(c.in2);
+  Acc* acc = static_cast<Acc*>(c.state);
+  if (c.sel == nullptr && c.n > 0 && AllSameGroup(gid, c.n)) {
+    size_t i = 0;
+    if constexpr (std::is_same_v<T, f64>) {
+      __m256d sum = _mm256_setzero_pd();
+      for (; i + 4 <= c.n; i += 4) {
+        sum = _mm256_add_pd(sum, _mm256_loadu_pd(v + i));
+      }
+      f64 total = HSumPd(sum);
+      for (; i < c.n; ++i) total += v[i];
+      acc[gid[0]] += total;
+    } else {
+      __m256i sum = _mm256_setzero_si256();
+      if constexpr (std::is_same_v<T, i64>) {
+        for (; i + 4 <= c.n; i += 4) {
+          sum = _mm256_add_epi64(
+              sum, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+        }
+      } else {
+        static_assert(std::is_same_v<T, i32>);
+        for (; i + 4 <= c.n; i += 4) {
+          // Widen to 64-bit lanes so vector-local sums cannot overflow.
+          sum = _mm256_add_epi64(
+              sum, _mm256_cvtepi32_epi64(_mm_loadu_si128(
+                       reinterpret_cast<const __m128i*>(v + i))));
+        }
+      }
+      i64 total = HSum64(sum);
+      for (; i < c.n; ++i) total += static_cast<i64>(v[i]);
+      acc[gid[0]] += total;
+    }
+    return c.n;
+  }
+  // Mixed groups or sparse input: scalar grouped update.
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) {
+      const sel_t i = c.sel[j];
+      AggSum::Update(acc[gid[i]], v[i]);
+    }
+    return c.sel_n;
+  }
+  for (size_t i = 0; i < c.n; ++i) AggSum::Update(acc[gid[i]], v[i]);
+  return c.n;
+}
+
+}  // namespace
+
+void RegisterAggrKernelsAvx2(PrimitiveDictionary* dict) {
+  // Integer sums only: lane-parallel f64 summation reassociates the
+  // adds, so its rounding can differ from the scalar flavor's — flavors
+  // must be bit-equivalent or the bandit makes query results depend on
+  // its choices. A pairwise/compensated f64 variant is a ROADMAP item.
+  MA_CHECK(dict->Register(AggrSignature(AggSum::kName, PhysicalType::kI32),
+                          FlavorInfo{"simd_onegroup", FlavorSetId::kSimd,
+                                     &AggrSumOneGroup<i32>})
+               .ok());
+  MA_CHECK(dict->Register(AggrSignature(AggSum::kName, PhysicalType::kI64),
+                          FlavorInfo{"simd_onegroup", FlavorSetId::kSimd,
+                                     &AggrSumOneGroup<i64>})
+               .ok());
+}
+
+}  // namespace ma

@@ -1,0 +1,109 @@
+// AVX2 projection flavors. These are full-computation kernels (they
+// ignore the input selection vector, like map_detail::MapFull) — dense
+// SIMD arithmetic over the whole vector is exactly the case where full
+// computation pays, so the two ideas are one flavor here. Registered for
+// the operations whose full computation is safe (add/sub/mul; division
+// keeps its per-element zero guard and stays out, as in the scalar set).
+#include "prim/map_kernels.h"
+#include "prim/simd.h"
+#include "prim/simd_avx2.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+using namespace simd_detail;
+
+template <typename T, typename OP>
+inline __m256i ApplyEpi(__m256i a, __m256i b) {
+  if constexpr (std::is_same_v<T, i16>) {
+    if constexpr (std::is_same_v<OP, OpAdd>) return _mm256_add_epi16(a, b);
+    if constexpr (std::is_same_v<OP, OpSub>) return _mm256_sub_epi16(a, b);
+    if constexpr (std::is_same_v<OP, OpMul>) return _mm256_mullo_epi16(a, b);
+  } else if constexpr (std::is_same_v<T, i32>) {
+    if constexpr (std::is_same_v<OP, OpAdd>) return _mm256_add_epi32(a, b);
+    if constexpr (std::is_same_v<OP, OpSub>) return _mm256_sub_epi32(a, b);
+    if constexpr (std::is_same_v<OP, OpMul>) return _mm256_mullo_epi32(a, b);
+  } else {
+    static_assert(std::is_same_v<T, i64>);
+    if constexpr (std::is_same_v<OP, OpAdd>) return _mm256_add_epi64(a, b);
+    if constexpr (std::is_same_v<OP, OpSub>) return _mm256_sub_epi64(a, b);
+    // i64 multiply has no AVX2 mullo; not registered for that shape.
+  }
+}
+
+template <typename OP>
+inline __m256d ApplyPd(__m256d a, __m256d b) {
+  if constexpr (std::is_same_v<OP, OpAdd>) return _mm256_add_pd(a, b);
+  if constexpr (std::is_same_v<OP, OpSub>) return _mm256_sub_pd(a, b);
+  if constexpr (std::is_same_v<OP, OpMul>) return _mm256_mul_pd(a, b);
+}
+
+template <typename T, typename OP, bool VAL>
+size_t MapAvx2(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  T* r = static_cast<T*>(c.res);
+  if (c.n == 0) return 0;
+  size_t i = 0;
+  if constexpr (std::is_same_v<T, f64>) {
+    const __m256d bval = _mm256_set1_pd(b[0]);
+    for (; i + 4 <= c.n; i += 4) {
+      const __m256d bv = VAL ? bval : _mm256_loadu_pd(b + i);
+      _mm256_storeu_pd(r + i, ApplyPd<OP>(_mm256_loadu_pd(a + i), bv));
+    }
+  } else {
+    constexpr size_t kLanes = 32 / sizeof(T);
+    __m256i bval;
+    if constexpr (std::is_same_v<T, i16>) {
+      bval = _mm256_set1_epi16(b[0]);
+    } else if constexpr (std::is_same_v<T, i32>) {
+      bval = _mm256_set1_epi32(b[0]);
+    } else {
+      bval = _mm256_set1_epi64x(b[0]);
+    }
+    for (; i + kLanes <= c.n; i += kLanes) {
+      const __m256i av =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i bv =
+          VAL ? bval
+              : _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + i),
+                          ApplyEpi<T, OP>(av, bv));
+    }
+  }
+  for (; i < c.n; ++i) r[i] = OP::Apply(a[i], VAL ? b[0] : b[i]);
+  return c.sel != nullptr ? c.sel_n : c.n;
+}
+
+template <typename T, typename OP>
+void RegisterShapes(PrimitiveDictionary* dict) {
+  MA_CHECK(dict->Register(MapSignature(OP::kName, TypeTag<T>::value, true),
+                          FlavorInfo{"avx2", FlavorSetId::kSimd,
+                                     &MapAvx2<T, OP, true>})
+               .ok());
+  MA_CHECK(dict->Register(MapSignature(OP::kName, TypeTag<T>::value, false),
+                          FlavorInfo{"avx2", FlavorSetId::kSimd,
+                                     &MapAvx2<T, OP, false>})
+               .ok());
+}
+
+template <typename T>
+void RegisterType(PrimitiveDictionary* dict) {
+  RegisterShapes<T, OpAdd>(dict);
+  RegisterShapes<T, OpSub>(dict);
+  if constexpr (!std::is_same_v<T, i64>) {
+    RegisterShapes<T, OpMul>(dict);
+  }
+}
+
+}  // namespace
+
+void RegisterMapKernelsAvx2(PrimitiveDictionary* dict) {
+  RegisterType<i16>(dict);
+  RegisterType<i32>(dict);
+  RegisterType<i64>(dict);
+  RegisterType<f64>(dict);
+}
+
+}  // namespace ma

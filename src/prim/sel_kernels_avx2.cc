@@ -1,0 +1,125 @@
+// AVX2 selection flavors: compare 8 (32-bit) or 4 (64-bit) lanes at a
+// time, movemask the predicate into a lane bitmask, and compact the
+// qualifying positions into the selection vector with a LUT-driven
+// permute — the classic SIMD selection-vector technique. i16 columns are
+// widened to 32-bit lanes so all integer types share the 8-lane path.
+//
+// Compiled with -mavx2 (see CMakeLists.txt); registered only on AVX2
+// machines (simd.cc).
+//
+// With an input selection vector the data stream is sparse and gathers
+// lose to plain loads, so that path runs the scalar no-branching loop —
+// the flavor stays correct everywhere and the bandit simply learns it
+// offers no edge on sparse inputs.
+#include "prim/sel_kernels.h"
+#include "prim/simd.h"
+#include "prim/simd_avx2.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+using namespace simd_detail;
+
+template <typename T, typename CMP, bool VAL>
+size_t SelAvx2(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  sel_t* out = c.res_sel;
+  size_t k = 0;
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) {
+      const sel_t i = c.sel[j];
+      out[k] = i;
+      k += CMP::Apply(a[i], VAL ? b[0] : b[i]) ? 1 : 0;
+    }
+    return k;
+  }
+  if (c.n == 0) return 0;  // the broadcast below would read b[0]
+  size_t i = 0;
+  // The compaction stores write a full register at out+k; since k <= i
+  // and the loops guarantee i+lanes <= n, the over-store stays inside the
+  // n-element output buffer and is overwritten or ignored afterwards.
+  if constexpr (std::is_same_v<T, i32>) {
+    const __m256i bval = _mm256_set1_epi32(b[0]);
+    for (; i + 8 <= c.n; i += 8) {
+      const __m256i av =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i bv =
+          VAL ? bval
+              : _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      k += CompactStore8(out + k, MaskEpi32<CMP>(av, bv),
+                         static_cast<u32>(i));
+    }
+  } else if constexpr (std::is_same_v<T, i16>) {
+    const __m256i bval = _mm256_set1_epi32(b[0]);
+    for (; i + 8 <= c.n; i += 8) {
+      const __m256i av = _mm256_cvtepi16_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+      const __m256i bv =
+          VAL ? bval
+              : _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(b + i)));
+      k += CompactStore8(out + k, MaskEpi32<CMP>(av, bv),
+                         static_cast<u32>(i));
+    }
+  } else if constexpr (std::is_same_v<T, i64>) {
+    const __m256i bval = _mm256_set1_epi64x(b[0]);
+    for (; i + 4 <= c.n; i += 4) {
+      const __m256i av =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i bv =
+          VAL ? bval
+              : _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      k += CompactStore4(out + k, MaskEpi64<CMP>(av, bv),
+                         static_cast<u32>(i));
+    }
+  } else {
+    static_assert(std::is_same_v<T, f64>);
+    const __m256d bval = _mm256_set1_pd(b[0]);
+    for (; i + 4 <= c.n; i += 4) {
+      const __m256d av = _mm256_loadu_pd(a + i);
+      const __m256d bv = VAL ? bval : _mm256_loadu_pd(b + i);
+      k += CompactStore4(out + k, MaskPd<CMP>(av, bv),
+                         static_cast<u32>(i));
+    }
+  }
+  for (; i < c.n; ++i) {
+    out[k] = static_cast<sel_t>(i);
+    k += CMP::Apply(a[i], VAL ? b[0] : b[i]) ? 1 : 0;
+  }
+  return k;
+}
+
+template <typename T, typename CMP>
+void RegisterShapes(PrimitiveDictionary* dict) {
+  MA_CHECK(dict->Register(SelSignature(CMP::kName, TypeTag<T>::value, true),
+                          FlavorInfo{"avx2", FlavorSetId::kSimd,
+                                     &SelAvx2<T, CMP, true>})
+               .ok());
+  MA_CHECK(dict->Register(SelSignature(CMP::kName, TypeTag<T>::value, false),
+                          FlavorInfo{"avx2", FlavorSetId::kSimd,
+                                     &SelAvx2<T, CMP, false>})
+               .ok());
+}
+
+template <typename T>
+void RegisterType(PrimitiveDictionary* dict) {
+  RegisterShapes<T, CmpLt>(dict);
+  RegisterShapes<T, CmpLe>(dict);
+  RegisterShapes<T, CmpGt>(dict);
+  RegisterShapes<T, CmpGe>(dict);
+  RegisterShapes<T, CmpEq>(dict);
+  RegisterShapes<T, CmpNe>(dict);
+}
+
+}  // namespace
+
+void RegisterSelKernelsAvx2(PrimitiveDictionary* dict) {
+  RegisterType<i16>(dict);
+  RegisterType<i32>(dict);
+  RegisterType<i64>(dict);
+  RegisterType<f64>(dict);
+}
+
+}  // namespace ma

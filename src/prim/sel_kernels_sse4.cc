@@ -1,0 +1,178 @@
+// SSE4.2 selection flavors — the fallback tier of the SIMD flavor family
+// for pre-AVX2 machines (and one more arm for the bandit everywhere).
+// Same movemask+LUT compaction as the AVX2 TU at half the width: 4 lanes
+// for 32-bit comparisons, 2 for 64-bit. Compiled with -msse4.2.
+#include <nmmintrin.h>
+#include <smmintrin.h>
+
+#include <type_traits>
+
+#include "prim/sel_kernels.h"
+#include "prim/simd.h"
+#include "prim/simd_sse41.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+namespace {
+
+using namespace simd_detail;
+
+template <typename CMP>
+inline u32 MaskEpi32Sse(__m128i a, __m128i b) {
+  if constexpr (std::is_same_v<CMP, CmpLt>) {
+    return static_cast<u32>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(b, a))));
+  } else if constexpr (std::is_same_v<CMP, CmpGt>) {
+    return static_cast<u32>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(a, b))));
+  } else if constexpr (std::is_same_v<CMP, CmpGe>) {
+    return MaskEpi32Sse<CmpLt>(a, b) ^ 0xfu;
+  } else if constexpr (std::is_same_v<CMP, CmpLe>) {
+    return MaskEpi32Sse<CmpGt>(a, b) ^ 0xfu;
+  } else if constexpr (std::is_same_v<CMP, CmpEq>) {
+    return static_cast<u32>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(a, b))));
+  } else {
+    static_assert(std::is_same_v<CMP, CmpNe>);
+    return MaskEpi32Sse<CmpEq>(a, b) ^ 0xfu;
+  }
+}
+
+template <typename CMP>
+inline u32 MaskEpi64Sse(__m128i a, __m128i b) {
+  if constexpr (std::is_same_v<CMP, CmpLt>) {
+    return static_cast<u32>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(b, a))));
+  } else if constexpr (std::is_same_v<CMP, CmpGt>) {
+    return static_cast<u32>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(a, b))));
+  } else if constexpr (std::is_same_v<CMP, CmpGe>) {
+    return MaskEpi64Sse<CmpLt>(a, b) ^ 0x3u;
+  } else if constexpr (std::is_same_v<CMP, CmpLe>) {
+    return MaskEpi64Sse<CmpGt>(a, b) ^ 0x3u;
+  } else if constexpr (std::is_same_v<CMP, CmpEq>) {
+    return static_cast<u32>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(a, b))));
+  } else {
+    static_assert(std::is_same_v<CMP, CmpNe>);
+    return MaskEpi64Sse<CmpEq>(a, b) ^ 0x3u;
+  }
+}
+
+template <typename CMP>
+inline u32 MaskPdSse(__m128d a, __m128d b) {
+  __m128d m;
+  if constexpr (std::is_same_v<CMP, CmpLt>) {
+    m = _mm_cmplt_pd(a, b);
+  } else if constexpr (std::is_same_v<CMP, CmpLe>) {
+    m = _mm_cmple_pd(a, b);
+  } else if constexpr (std::is_same_v<CMP, CmpGt>) {
+    m = _mm_cmpgt_pd(a, b);
+  } else if constexpr (std::is_same_v<CMP, CmpGe>) {
+    m = _mm_cmpge_pd(a, b);
+  } else if constexpr (std::is_same_v<CMP, CmpEq>) {
+    m = _mm_cmpeq_pd(a, b);
+  } else {
+    static_assert(std::is_same_v<CMP, CmpNe>);
+    m = _mm_cmpneq_pd(a, b);
+  }
+  return static_cast<u32>(_mm_movemask_pd(m));
+}
+
+template <typename T, typename CMP, bool VAL>
+size_t SelSse4(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  sel_t* out = c.res_sel;
+  size_t k = 0;
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) {
+      const sel_t i = c.sel[j];
+      out[k] = i;
+      k += CMP::Apply(a[i], VAL ? b[0] : b[i]) ? 1 : 0;
+    }
+    return k;
+  }
+  if (c.n == 0) return 0;
+  size_t i = 0;
+  if constexpr (std::is_same_v<T, i32>) {
+    const __m128i bval = _mm_set1_epi32(b[0]);
+    for (; i + 4 <= c.n; i += 4) {
+      const __m128i av =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      const __m128i bv =
+          VAL ? bval : _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+      k += CompactStore4(out + k, MaskEpi32Sse<CMP>(av, bv),
+                            static_cast<u32>(i));
+    }
+  } else if constexpr (std::is_same_v<T, i16>) {
+    const __m128i bval = _mm_set1_epi32(b[0]);
+    for (; i + 4 <= c.n; i += 4) {
+      const __m128i av = _mm_cvtepi16_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i)));
+      const __m128i bv =
+          VAL ? bval
+              : _mm_cvtepi16_epi32(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i*>(b + i)));
+      k += CompactStore4(out + k, MaskEpi32Sse<CMP>(av, bv),
+                            static_cast<u32>(i));
+    }
+  } else if constexpr (std::is_same_v<T, i64>) {
+    const __m128i bval = _mm_set1_epi64x(b[0]);
+    for (; i + 2 <= c.n; i += 2) {
+      const __m128i av =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      const __m128i bv =
+          VAL ? bval : _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+      k += CompactStore2(out + k, MaskEpi64Sse<CMP>(av, bv),
+                            static_cast<u32>(i));
+    }
+  } else {
+    static_assert(std::is_same_v<T, f64>);
+    const __m128d bval = _mm_set1_pd(b[0]);
+    for (; i + 2 <= c.n; i += 2) {
+      const __m128d av = _mm_loadu_pd(a + i);
+      const __m128d bv = VAL ? bval : _mm_loadu_pd(b + i);
+      k += CompactStore2(out + k, MaskPdSse<CMP>(av, bv),
+                            static_cast<u32>(i));
+    }
+  }
+  for (; i < c.n; ++i) {
+    out[k] = static_cast<sel_t>(i);
+    k += CMP::Apply(a[i], VAL ? b[0] : b[i]) ? 1 : 0;
+  }
+  return k;
+}
+
+template <typename T, typename CMP>
+void RegisterShapes(PrimitiveDictionary* dict) {
+  MA_CHECK(dict->Register(SelSignature(CMP::kName, TypeTag<T>::value, true),
+                          FlavorInfo{"sse4", FlavorSetId::kSimd,
+                                     &SelSse4<T, CMP, true>})
+               .ok());
+  MA_CHECK(dict->Register(SelSignature(CMP::kName, TypeTag<T>::value, false),
+                          FlavorInfo{"sse4", FlavorSetId::kSimd,
+                                     &SelSse4<T, CMP, false>})
+               .ok());
+}
+
+template <typename T>
+void RegisterType(PrimitiveDictionary* dict) {
+  RegisterShapes<T, CmpLt>(dict);
+  RegisterShapes<T, CmpLe>(dict);
+  RegisterShapes<T, CmpGt>(dict);
+  RegisterShapes<T, CmpGe>(dict);
+  RegisterShapes<T, CmpEq>(dict);
+  RegisterShapes<T, CmpNe>(dict);
+}
+
+}  // namespace
+
+void RegisterSelKernelsSse4(PrimitiveDictionary* dict) {
+  RegisterType<i16>(dict);
+  RegisterType<i32>(dict);
+  RegisterType<i64>(dict);
+  RegisterType<f64>(dict);
+}
+
+}  // namespace ma

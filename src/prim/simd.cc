@@ -1,0 +1,119 @@
+#include "prim/simd.h"
+
+#include "prim/sel_kernels.h"
+#include "registry/primitive_dictionary.h"
+
+namespace ma {
+
+SimdLevel DetectSimdLevel() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const SimdLevel level = [] {
+    __builtin_cpu_init();
+    // The AVX2 kernels also use BMI2/popcnt; every AVX2 part ships both,
+    // but check anyway so a hypothetical odd machine degrades cleanly.
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi2")) {
+      return SimdLevel::kAvx2;
+    }
+    if (__builtin_cpu_supports("sse4.2") &&
+        __builtin_cpu_supports("popcnt")) {
+      return SimdLevel::kSse4;
+    }
+    return SimdLevel::kScalar;
+  }();
+  return level;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse4:
+      return "sse4";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Scalar no-branching selection, hand-unrolled by 4 — the SIMD set's
+/// lowest tier, so the flavor-set experiments always have a third
+/// selection arm even on pre-SSE4 hardware.
+template <typename T, typename CMP, bool VAL>
+size_t SelNoBranchUnroll4(const PrimCall& c) {
+  const T* a = static_cast<const T*>(c.in1);
+  const T* b = static_cast<const T*>(c.in2);
+  sel_t* out = c.res_sel;
+  size_t k = 0;
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) {
+      const sel_t i = c.sel[j];
+      out[k] = i;
+      k += CMP::Apply(a[i], VAL ? b[0] : b[i]) ? 1 : 0;
+    }
+    return k;
+  }
+  size_t i = 0;
+#define MA_BODY(I)                                      \
+  out[k] = static_cast<sel_t>(I);                       \
+  k += CMP::Apply(a[(I)], VAL ? b[0] : b[(I)]) ? 1 : 0;
+  for (; i + 4 <= c.n; i += 4) {
+    MA_BODY(i + 0) MA_BODY(i + 1) MA_BODY(i + 2) MA_BODY(i + 3)
+  }
+  for (; i < c.n; ++i) { MA_BODY(i) }
+#undef MA_BODY
+  return k;
+}
+
+template <typename T, typename CMP>
+void RegisterUnrolledShapes(PrimitiveDictionary* dict) {
+  MA_CHECK(dict->Register(SelSignature(CMP::kName, TypeTag<T>::value, true),
+                          FlavorInfo{"nobranch_unroll4", FlavorSetId::kSimd,
+                                     &SelNoBranchUnroll4<T, CMP, true>})
+               .ok());
+  MA_CHECK(dict->Register(SelSignature(CMP::kName, TypeTag<T>::value, false),
+                          FlavorInfo{"nobranch_unroll4", FlavorSetId::kSimd,
+                                     &SelNoBranchUnroll4<T, CMP, false>})
+               .ok());
+}
+
+template <typename T>
+void RegisterUnrolledType(PrimitiveDictionary* dict) {
+  RegisterUnrolledShapes<T, CmpLt>(dict);
+  RegisterUnrolledShapes<T, CmpLe>(dict);
+  RegisterUnrolledShapes<T, CmpGt>(dict);
+  RegisterUnrolledShapes<T, CmpGe>(dict);
+  RegisterUnrolledShapes<T, CmpEq>(dict);
+  RegisterUnrolledShapes<T, CmpNe>(dict);
+}
+
+}  // namespace
+
+void RegisterSelKernelsUnrolled(PrimitiveDictionary* dict) {
+  RegisterUnrolledType<i16>(dict);
+  RegisterUnrolledType<i32>(dict);
+  RegisterUnrolledType<i64>(dict);
+  RegisterUnrolledType<f64>(dict);
+}
+
+void RegisterSimdFlavors(PrimitiveDictionary* dict) {
+  const SimdLevel level = DetectSimdLevel();
+  if (level >= SimdLevel::kAvx2) {
+    RegisterSelKernelsAvx2(dict);
+    RegisterMapKernelsAvx2(dict);
+    RegisterHashKernelsAvx2(dict);
+    RegisterBloomKernelsAvx2(dict);
+    RegisterAggrKernelsAvx2(dict);
+  }
+  if (level >= SimdLevel::kSse4) {
+    RegisterSelKernelsSse4(dict);
+  } else {
+    RegisterSelKernelsUnrolled(dict);
+  }
+}
+
+}  // namespace ma

@@ -1,0 +1,52 @@
+// Runtime CPU dispatch for the SIMD flavor family (FlavorSetId::kSimd).
+//
+// The SIMD kernels live in *_avx2.cc / *_sse4.cc translation units that
+// are compiled with explicit ISA flags (see CMakeLists.txt). Nothing in
+// those TUs runs unless RegisterSimdFlavors decides, via CPUID, that the
+// host supports the ISA — so the binary stays runnable on any x86_64 and
+// the Primitive Dictionary only ever offers flavors the machine can
+// execute. This mirrors the paper's flavor-library loading (§3.1): the
+// dictionary is populated at startup with whatever implementations make
+// sense for the current hardware, and the bandit does the rest.
+#ifndef MA_PRIM_SIMD_H_
+#define MA_PRIM_SIMD_H_
+
+#include "common/types.h"
+
+namespace ma {
+
+class PrimitiveDictionary;
+
+/// Highest SIMD kernel tier this CPU can run.
+enum class SimdLevel : u8 {
+  kScalar = 0,
+  kSse4,   // SSE4.2
+  kAvx2,   // AVX2 (+BMI2 for the compaction kernels)
+};
+
+/// CPUID-based detection; result cached after the first call.
+SimdLevel DetectSimdLevel();
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Registers every SIMD flavor the current CPU supports. Called by
+/// RegisterBuiltinFlavors; safe to call on private dictionaries too.
+void RegisterSimdFlavors(PrimitiveDictionary* dict);
+
+// Per-family entry points, each defined in a TU compiled with the
+// matching ISA flags. Call only when DetectSimdLevel() allows it.
+void RegisterSelKernelsAvx2(PrimitiveDictionary* dict);
+void RegisterMapKernelsAvx2(PrimitiveDictionary* dict);
+void RegisterHashKernelsAvx2(PrimitiveDictionary* dict);
+void RegisterBloomKernelsAvx2(PrimitiveDictionary* dict);
+void RegisterAggrKernelsAvx2(PrimitiveDictionary* dict);
+void RegisterSelKernelsSse4(PrimitiveDictionary* dict);
+
+/// Scalar-unrolled selection fallback, registered (into the kSimd set)
+/// only when neither AVX2 nor SSE4.2 is available so every machine gets
+/// at least one extra selection flavor beyond branching/no-branching.
+void RegisterSelKernelsUnrolled(PrimitiveDictionary* dict);
+
+}  // namespace ma
+
+#endif  // MA_PRIM_SIMD_H_

@@ -1,0 +1,131 @@
+// AVX2 helpers shared by the *_avx2.cc kernel TUs. Include ONLY from
+// translation units compiled with -mavx2 (the intrinsics here are
+// unguarded); runtime gating happens in simd.cc via CPUID.
+#ifndef MA_PRIM_SIMD_AVX2_H_
+#define MA_PRIM_SIMD_AVX2_H_
+
+#include <immintrin.h>
+
+#include <type_traits>
+
+#include "prim/ops.h"
+#include "prim/simd_luts.h"
+#include "prim/simd_sse41.h"
+
+namespace ma::simd_detail {
+
+// ---------------------------------------------------------------------
+// Comparison masks: one bit per lane, lane order = memory order.
+// AVX2 integers only provide cmpgt/cmpeq, so the remaining predicates
+// are derived by swapping operands / complementing the bitmask.
+// ---------------------------------------------------------------------
+
+template <typename CMP>
+inline u32 MaskEpi32(__m256i a, __m256i b) {
+  if constexpr (std::is_same_v<CMP, CmpLt>) {
+    return static_cast<u32>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(b, a))));
+  } else if constexpr (std::is_same_v<CMP, CmpGt>) {
+    return static_cast<u32>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(a, b))));
+  } else if constexpr (std::is_same_v<CMP, CmpGe>) {
+    return MaskEpi32<CmpLt>(a, b) ^ 0xffu;
+  } else if constexpr (std::is_same_v<CMP, CmpLe>) {
+    return MaskEpi32<CmpGt>(a, b) ^ 0xffu;
+  } else if constexpr (std::is_same_v<CMP, CmpEq>) {
+    return static_cast<u32>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(a, b))));
+  } else {
+    static_assert(std::is_same_v<CMP, CmpNe>);
+    return MaskEpi32<CmpEq>(a, b) ^ 0xffu;
+  }
+}
+
+template <typename CMP>
+inline u32 MaskEpi64(__m256i a, __m256i b) {
+  if constexpr (std::is_same_v<CMP, CmpLt>) {
+    return static_cast<u32>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(b, a))));
+  } else if constexpr (std::is_same_v<CMP, CmpGt>) {
+    return static_cast<u32>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(a, b))));
+  } else if constexpr (std::is_same_v<CMP, CmpGe>) {
+    return MaskEpi64<CmpLt>(a, b) ^ 0xfu;
+  } else if constexpr (std::is_same_v<CMP, CmpLe>) {
+    return MaskEpi64<CmpGt>(a, b) ^ 0xfu;
+  } else if constexpr (std::is_same_v<CMP, CmpEq>) {
+    return static_cast<u32>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(a, b))));
+  } else {
+    static_assert(std::is_same_v<CMP, CmpNe>);
+    return MaskEpi64<CmpEq>(a, b) ^ 0xfu;
+  }
+}
+
+/// Ordered compares (false on NaN) except NE, which is unordered — the
+/// exact semantics of the scalar <, <=, ==, != operators.
+template <typename CMP>
+inline u32 MaskPd(__m256d a, __m256d b) {
+  __m256d m;
+  if constexpr (std::is_same_v<CMP, CmpLt>) {
+    m = _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+  } else if constexpr (std::is_same_v<CMP, CmpLe>) {
+    m = _mm256_cmp_pd(a, b, _CMP_LE_OQ);
+  } else if constexpr (std::is_same_v<CMP, CmpGt>) {
+    m = _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+  } else if constexpr (std::is_same_v<CMP, CmpGe>) {
+    m = _mm256_cmp_pd(a, b, _CMP_GE_OQ);
+  } else if constexpr (std::is_same_v<CMP, CmpEq>) {
+    m = _mm256_cmp_pd(a, b, _CMP_EQ_OQ);
+  } else {
+    static_assert(std::is_same_v<CMP, CmpNe>);
+    m = _mm256_cmp_pd(a, b, _CMP_NEQ_UQ);
+  }
+  return static_cast<u32>(_mm256_movemask_pd(m));
+}
+
+// ---------------------------------------------------------------------
+// Selection-vector compaction: store the positions of set mask bits,
+// front-packed, at `out`. Over-stores full registers — callers guarantee
+// out has room for a whole stripe past the compacted count. The 4- and
+// 2-lane variants are SSE-level and live in simd_sse41.h, shared with
+// the SSE4 TU.
+// ---------------------------------------------------------------------
+
+/// 8-lane mask, positions = base+lane. Returns the number of positions.
+inline size_t CompactStore8(sel_t* out, u32 mask, u32 base) {
+  const __m128i lanes = _mm_loadl_epi64(
+      reinterpret_cast<const __m128i*>(kLaneLut8.idx[mask]));
+  const __m256i pos = _mm256_add_epi32(_mm256_cvtepu8_epi32(lanes),
+                                       _mm256_set1_epi32(static_cast<i32>(base)));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), pos);
+  return static_cast<size_t>(_mm_popcnt_u32(mask));
+}
+
+// ---------------------------------------------------------------------
+// 64-bit arithmetic building blocks.
+// ---------------------------------------------------------------------
+
+/// Lane-wise 64x64->low-64 multiply by a constant (AVX2 has no mullo
+/// for 64-bit lanes; composed from three 32x32 multiplies).
+inline __m256i MulLo64(__m256i a, u64 c) {
+  const __m256i b = _mm256_set1_epi64x(static_cast<i64>(c));
+  const __m256i lo = _mm256_mul_epu32(a, b);  // a_lo * c_lo, full 64 bits
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Four lanes of HashKey (the Murmur3 finalizer in hash_table.h).
+inline __m256i HashKey4(__m256i k) {
+  __m256i h = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  h = MulLo64(h, 0xff51afd7ed558ccdULL);
+  h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+  h = MulLo64(h, 0xc4ceb9fe1a85ec53ULL);
+  return _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+}
+
+}  // namespace ma::simd_detail
+
+#endif  // MA_PRIM_SIMD_AVX2_H_

@@ -1,0 +1,77 @@
+// Compile-time lookup tables shared by the SIMD selection/probe kernels.
+// A compare produces a lane bitmask; these tables turn the bitmask into
+// the lane indices (or byte shuffles) that compact qualifying lanes to
+// the front of the output — the movemask+LUT selection-vector technique.
+// Plain data, no intrinsics: safe to include from any TU.
+#ifndef MA_PRIM_SIMD_LUTS_H_
+#define MA_PRIM_SIMD_LUTS_H_
+
+#include "common/types.h"
+
+namespace ma::simd_detail {
+
+/// kLaneLut8.idx[m] lists, front-packed, the positions of the set bits of
+/// the 8-bit mask m. Unused slots stay 0 (their stores are overwritten by
+/// the next iteration or ignored past the returned count).
+struct LaneLut8 {
+  u8 idx[256][8];
+};
+
+constexpr LaneLut8 MakeLaneLut8() {
+  LaneLut8 lut{};
+  for (int m = 0; m < 256; ++m) {
+    int k = 0;
+    for (int b = 0; b < 8; ++b) {
+      if ((m >> b) & 1) lut.idx[m][k++] = static_cast<u8>(b);
+    }
+  }
+  return lut;
+}
+
+inline constexpr LaneLut8 kLaneLut8 = MakeLaneLut8();
+
+/// Same for 4-lane masks (i64/f64 kernels).
+struct LaneLut4 {
+  u8 idx[16][4];
+};
+
+constexpr LaneLut4 MakeLaneLut4() {
+  LaneLut4 lut{};
+  for (int m = 0; m < 16; ++m) {
+    int k = 0;
+    for (int b = 0; b < 4; ++b) {
+      if ((m >> b) & 1) lut.idx[m][k++] = static_cast<u8>(b);
+    }
+  }
+  return lut;
+}
+
+inline constexpr LaneLut4 kLaneLut4 = MakeLaneLut4();
+
+/// Byte-shuffle table for compacting four 32-bit lanes of a 128-bit
+/// register by a 4-bit mask (pshufb control bytes; 0x80 zeroes a byte).
+struct ShuffleLut4x32 {
+  u8 bytes[16][16];
+};
+
+constexpr ShuffleLut4x32 MakeShuffleLut4x32() {
+  ShuffleLut4x32 lut{};
+  for (int m = 0; m < 16; ++m) {
+    int k = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if (!((m >> lane) & 1)) continue;
+      for (int b = 0; b < 4; ++b) {
+        lut.bytes[m][k * 4 + b] = static_cast<u8>(lane * 4 + b);
+      }
+      ++k;
+    }
+    for (int b = k * 4; b < 16; ++b) lut.bytes[m][b] = 0x80;
+  }
+  return lut;
+}
+
+inline constexpr ShuffleLut4x32 kShuffleLut4x32 = MakeShuffleLut4x32();
+
+}  // namespace ma::simd_detail
+
+#endif  // MA_PRIM_SIMD_LUTS_H_

@@ -1,0 +1,50 @@
+// SSE4.1-level selection-vector compaction helpers, shared by the SSE4
+// and AVX2 kernel TUs (AVX2 kernels use them for their 4-lane 64-bit
+// paths). Include ONLY from TUs compiled with at least -msse4.2 -mpopcnt;
+// runtime gating happens in simd.cc via CPUID.
+//
+// All stores write a full register's worth of positions at `out` and
+// return how many are valid — callers guarantee the output buffer has
+// room for a whole stripe past the compacted count (k <= i and
+// i + lanes <= n makes the over-store land inside the n-element buffer).
+#ifndef MA_PRIM_SIMD_SSE41_H_
+#define MA_PRIM_SIMD_SSE41_H_
+
+#include <nmmintrin.h>
+#include <smmintrin.h>
+
+#include "prim/simd_luts.h"
+
+namespace ma::simd_detail {
+
+/// 4-lane mask, positions = base+lane.
+inline size_t CompactStore4(sel_t* out, u32 mask, u32 base) {
+  i32 packed;
+  __builtin_memcpy(&packed, kLaneLut4.idx[mask], sizeof(packed));
+  const __m128i pos =
+      _mm_add_epi32(_mm_cvtepu8_epi32(_mm_cvtsi32_si128(packed)),
+                    _mm_set1_epi32(static_cast<i32>(base)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), pos);
+  return static_cast<size_t>(_mm_popcnt_u32(mask));
+}
+
+/// 4-lane mask over arbitrary 32-bit positions held in `pos` (e.g.
+/// loaded from an input selection vector).
+inline size_t CompactStorePos4(sel_t* out, u32 mask, __m128i pos) {
+  const __m128i ctrl = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(kShuffleLut4x32.bytes[mask]));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm_shuffle_epi8(pos, ctrl));
+  return static_cast<size_t>(_mm_popcnt_u32(mask));
+}
+
+/// 2-lane mask, positions = base+lane.
+inline size_t CompactStore2(sel_t* out, u32 mask, u32 base) {
+  out[0] = base + kLaneLut4.idx[mask][0];
+  out[1] = base + kLaneLut4.idx[mask][1];
+  return static_cast<size_t>(_mm_popcnt_u32(mask));
+}
+
+}  // namespace ma::simd_detail
+
+#endif  // MA_PRIM_SIMD_SSE41_H_

@@ -6,6 +6,7 @@
 #include "prim/map_kernels.h"
 #include "prim/mergejoin_kernels.h"
 #include "prim/sel_kernels.h"
+#include "prim/simd.h"
 #include "prim/string_kernels.h"
 #include "registry/primitive_dictionary.h"
 
@@ -23,6 +24,9 @@ void RegisterBuiltinFlavors(PrimitiveDictionary* dict) {
   RegisterCompilerFlavorsGcc(dict);
   RegisterCompilerFlavorsIcc(dict);
   RegisterCompilerFlavorsClang(dict);
+  // Last: consults CPUID, so the dictionary only carries SIMD flavors the
+  // host can execute.
+  RegisterSimdFlavors(dict);
 }
 
 }  // namespace ma

@@ -16,6 +16,8 @@ const char* FlavorSetName(FlavorSetId id) {
       return "fullcompute";
     case FlavorSetId::kUnroll:
       return "unroll";
+    case FlavorSetId::kSimd:
+      return "simd";
     case FlavorSetId::kNumSets:
       break;
   }

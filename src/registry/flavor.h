@@ -20,6 +20,7 @@ enum class FlavorSetId : u8 {
   kFission,       // loop fission in bloom-filter probe (§2)
   kFullCompute,   // full vs selective computation (§2)
   kUnroll,        // hand loop unrolling (§2)
+  kSimd,          // explicit AVX2/SSE4 kernels, runtime CPUID-detected
   kNumSets,
 };
 

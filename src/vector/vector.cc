@@ -60,4 +60,13 @@ std::shared_ptr<Vector> Vector::View(PhysicalType type, const void* data,
   return std::shared_ptr<Vector>(new Vector(ViewTag{}, type, data, n));
 }
 
+void Vector::ResetView(const void* data, size_t n) {
+  MA_CHECK(!data_.get_deleter().owned);
+  data_.release();
+  data_ = std::unique_ptr<void, MaybeFreeDeleter>(const_cast<void*>(data),
+                                                  MaybeFreeDeleter{false});
+  capacity_ = n;
+  size_ = n;
+}
+
 }  // namespace ma

@@ -26,6 +26,13 @@ class Vector {
   static std::shared_ptr<Vector> View(PhysicalType type, const void* data,
                                       size_t n);
 
+  /// Repoints a view at a different slice (views only; aborts on owning
+  /// vectors). Lets scans reuse one Vector object per column for the
+  /// whole table instead of allocating a fresh view every batch. Any
+  /// reference retained across the producer's Next() observes the new
+  /// slice — the usual vector-at-a-time lifetime contract.
+  void ResetView(const void* data, size_t n);
+
   Vector(const Vector&) = delete;
   Vector& operator=(const Vector&) = delete;
   Vector(Vector&&) = default;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "adapt/aph.h"
+#include "adapt/primitive_instance.h"
+#include "registry/primitive_dictionary.h"
 
 namespace ma {
 namespace {
@@ -110,6 +112,36 @@ TEST(AphTest, ZeroTupleCallsDoNotPoisonCost) {
   aph.Add(0, 100);
   EXPECT_DOUBLE_EQ(aph.buckets()[0].CostPerTuple(), 0.0);
   EXPECT_DOUBLE_EQ(aph.MeanCostPerTuple(), 0.0);
+}
+
+TEST(AphTest, ChunkedDispatchSamplesOneCallPerChunk) {
+  // With a fixed policy (exploitation is always stable) and chunk size
+  // K, exactly every K-th call is a timed decision call, so the APH —
+  // which only receives timed observations — holds calls/K samples.
+  // Stats that need a census (calls, tuples) still count every call.
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find("sel_lt_i32_col_i32_val");
+  ASSERT_NE(entry, nullptr);
+  AdaptiveConfig cfg;
+  cfg.mode = ExecMode::kAdaptive;
+  cfg.policy = PolicyKind::kFixed;
+  cfg.chunk_size = 8;
+  PrimitiveInstance inst(entry, cfg, "aph_chunk");
+
+  std::vector<i32> col(100, 1);
+  const i32 bound = 50;
+  std::vector<sel_t> out(100);
+  for (int i = 0; i < 200; ++i) {
+    PrimCall c;
+    c.n = col.size();
+    c.res_sel = out.data();
+    c.in1 = col.data();
+    c.in2 = &bound;
+    inst.Call(c);
+  }
+  EXPECT_EQ(inst.calls(), 200u);
+  EXPECT_EQ(inst.tuples(), 200u * 100);
+  EXPECT_EQ(inst.aph()->total_calls(), 200u / 8);
 }
 
 }  // namespace

@@ -248,7 +248,10 @@ TEST(PrimitiveInstanceTest, EnabledSetsFilterFlavors) {
 
   cfg.enabled_sets = kAllFlavorSets;
   PrimitiveInstance all(entry, cfg, "all");
-  EXPECT_EQ(all.num_flavors(), 5);  // branching+nobranching+3 compilers
+  // Every registered flavor is eligible: branching+nobranching+3
+  // compilers, plus whatever SIMD tier CPUID enabled on this machine.
+  EXPECT_EQ(all.num_flavors(), static_cast<int>(entry->flavors.size()));
+  EXPECT_GE(all.num_flavors(), 5);
 }
 
 TEST(PrimitiveInstanceTest, ForcedFlavorMode) {
@@ -292,6 +295,89 @@ TEST(PrimitiveInstanceTest, AffectedByReflectsRegisteredSets) {
   EXPECT_FALSE(bloom.AffectedBy(FlavorSetId::kBranch));
 }
 
+// ---------------------------------------------------------------------
+// Chunked dispatch. Synthetic flavors with a massive real cost gap make
+// the timing-based convergence deterministic enough for CI.
+// ---------------------------------------------------------------------
+
+size_t SyntheticFastPrim(const PrimCall& c) { return c.n; }
+
+size_t SyntheticSlowPrim(const PrimCall& c) {
+  volatile u64 sink = 0;
+  for (int i = 0; i < 20000; ++i) sink += static_cast<u64>(i);
+  return c.n;
+}
+
+FlavorEntry SyntheticEntry() {
+  FlavorEntry e;
+  e.signature = "synthetic_sel";
+  // Slow flavor is the default: convergence must actively move away.
+  e.flavors.push_back(
+      FlavorInfo{"slow", FlavorSetId::kDefault, &SyntheticSlowPrim});
+  e.flavors.push_back(
+      FlavorInfo{"fast", FlavorSetId::kBranch, &SyntheticFastPrim});
+  e.default_index = 0;
+  return e;
+}
+
+TEST(PrimitiveInstanceTest, ChunkedDispatchStillConvergesToBestFlavor) {
+  const FlavorEntry entry = SyntheticEntry();
+  AdaptiveConfig cfg;
+  cfg.mode = ExecMode::kAdaptive;
+  cfg.chunk_size = 64;
+  cfg.params.explore_period = 64;
+  cfg.params.exploit_period = 8;
+  cfg.params.explore_length = 4;
+  PrimitiveInstance inst(&entry, cfg, "chunked");
+  const int fast = inst.FindFlavor("fast");
+  ASSERT_GE(fast, 0);
+
+  constexpr int kCalls = 4096;
+  PrimCall c;
+  c.n = 1000;
+  for (int i = 0; i < kCalls; ++i) inst.Call(c);
+
+  EXPECT_EQ(inst.calls(), static_cast<u64>(kCalls));
+  EXPECT_EQ(inst.tuples(), static_cast<u64>(kCalls) * 1000);
+  // The overwhelming majority of calls must land on the fast flavor.
+  EXPECT_GT(inst.usage()[fast].calls, static_cast<u64>(kCalls) * 8 / 10);
+  // Chunked mode times only decision calls: far fewer APH samples than
+  // calls, but more than zero.
+  ASSERT_NE(inst.aph(), nullptr);
+  EXPECT_GT(inst.aph()->total_calls(), 0u);
+  EXPECT_LT(inst.aph()->total_calls(), static_cast<u64>(kCalls) / 4);
+}
+
+TEST(PrimitiveInstanceTest, ChunkSizeOneMatchesClassicBehavior) {
+  const FlavorEntry entry = SyntheticEntry();
+  AdaptiveConfig cfg;
+  cfg.mode = ExecMode::kAdaptive;
+  cfg.chunk_size = 1;
+  PrimitiveInstance inst(&entry, cfg, "classic");
+  PrimCall c;
+  c.n = 100;
+  for (int i = 0; i < 50; ++i) inst.Call(c);
+  // Every call is a timed decision call.
+  EXPECT_EQ(inst.aph()->total_calls(), 50u);
+}
+
+TEST(PrimitiveInstanceTest, ChunkedDispatchKeepsExploringAfterConvergence) {
+  const FlavorEntry entry = SyntheticEntry();
+  AdaptiveConfig cfg;
+  cfg.mode = ExecMode::kAdaptive;
+  cfg.chunk_size = 16;
+  cfg.params.explore_period = 64;
+  cfg.params.exploit_period = 8;
+  cfg.params.explore_length = 2;
+  PrimitiveInstance inst(&entry, cfg, "explore");
+  const int slow = inst.FindFlavor("slow");
+  PrimCall c;
+  c.n = 1000;
+  for (int i = 0; i < 4096; ++i) inst.Call(c);
+  // vw-greedy's periodic exploration must still sample the loser.
+  EXPECT_GT(inst.usage()[slow].calls, 10u);
+}
+
 TEST(PrimitiveInstanceTest, HeuristicModeUsesHook) {
   const FlavorEntry* entry =
       PrimitiveDictionary::Global().Find("sel_lt_i32_col_i32_val");
@@ -301,7 +387,13 @@ TEST(PrimitiveInstanceTest, HeuristicModeUsesHook) {
   PrimitiveInstance inst(entry, cfg, "h");
   const int nb = inst.FindFlavor("nobranching");
   ASSERT_GE(nb, 0);
-  inst.set_heuristic([nb](const PrimCall&) { return nb; });
+  inst.heuristic_params().flavor = nb;
+  inst.set_heuristic(
+      [](const void* ctx, const PrimitiveInstance&, const PrimCall&) {
+        return static_cast<const PrimitiveInstance::HeuristicParams*>(ctx)
+            ->flavor;
+      },
+      &inst.heuristic_params());
   std::vector<i32> col{5};
   const i32 bound = 10;
   std::vector<sel_t> out(1);

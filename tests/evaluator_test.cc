@@ -91,6 +91,25 @@ TEST_F(EvaluatorTest, NestedAndOrPredicates) {
   EXPECT_TRUE(batch_.sel().IsSorted());
 }
 
+TEST_F(EvaluatorTest, OrNestedInsideOrKeepsOuterBranches) {
+  ExprEvaluator eval(&engine_, "t");
+  // (a == 0) or ((a == 2) or (a == 4)) -> rows {0,2,4}. The inner OR
+  // recursion must not clobber the outer union's scratch: a regression
+  // here drops the rows matched only by the outer first branch (row 0).
+  std::vector<ExprPtr> inner;
+  inner.push_back(Eq(Col("a"), Lit(2)));
+  inner.push_back(Eq(Col("a"), Lit(4)));
+  std::vector<ExprPtr> outer;
+  outer.push_back(Eq(Col("a"), Lit(0)));
+  outer.push_back(OrAny(std::move(inner)));
+  ASSERT_TRUE(eval.EvaluatePredicate(*OrAny(std::move(outer)), batch_)
+                  .ok());
+  ASSERT_EQ(batch_.sel().size(), 3u);
+  EXPECT_EQ(batch_.sel()[0], 0u);
+  EXPECT_EQ(batch_.sel()[1], 2u);
+  EXPECT_EQ(batch_.sel()[2], 4u);
+}
+
 TEST_F(EvaluatorTest, OrBranchesOverlapDeduplicated) {
   ExprEvaluator eval(&engine_, "t");
   // (a < 4) or (a < 2): union must not duplicate 0,1.

@@ -232,6 +232,92 @@ TEST(ProbeKernelTest, SelectionVectorRestrictsProbes) {
   EXPECT_EQ(out_row[0], 1u);
 }
 
+TEST(MapHashKernelTest, SimdParityAcrossLengthsAndSelections) {
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find("map_hash_i64_col");
+  ASSERT_NE(entry, nullptr);
+  const int avx2 = entry->FindFlavor("avx2");
+  if (avx2 < 0) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(31);
+  for (const size_t n : {1u, 3u, 4u, 5u, 7u, 8u, 9u, 100u, 1000u, 1023u}) {
+    std::vector<i64> keys(n);
+    for (auto& k : keys) k = static_cast<i64>(rng.Next());
+    std::vector<sel_t> sel;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(0.4)) sel.push_back(static_cast<sel_t>(i));
+    }
+    std::vector<u64> ref(n, 0), got(n, 0);
+    for (const bool with_sel : {false, true}) {
+      PrimCall c;
+      c.n = n;
+      c.in1 = keys.data();
+      if (with_sel) {
+        c.sel = sel.data();
+        c.sel_n = sel.size();
+      }
+      c.res = ref.data();
+      entry->flavors[0].fn(c);
+      c.res = got.data();
+      entry->flavors[avx2].fn(c);
+      if (with_sel) {
+        for (const sel_t i : sel) {
+          ASSERT_EQ(got[i], ref[i]) << "n=" << n << " i=" << i;
+        }
+      } else {
+        ASSERT_EQ(got, ref) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SemiAntiJoinKernelTest, SimdParity) {
+  for (const char* sig : {"ht_semijoin_i64_col", "ht_antijoin_i64_col"}) {
+    const FlavorEntry* entry = PrimitiveDictionary::Global().Find(sig);
+    ASSERT_NE(entry, nullptr) << sig;
+    const int avx2 = entry->FindFlavor("avx2");
+    if (avx2 < 0) GTEST_SKIP() << "no AVX2 on this machine";
+    const int branching = entry->FindFlavor("branching");
+    ASSERT_GE(branching, 0);
+
+    JoinHashTable ht;
+    Rng rng(47);
+    std::vector<i64> build;
+    for (int i = 0; i < 500; ++i) {
+      build.push_back(static_cast<i64>(rng.NextBounded(2000)));
+    }
+    ht.Append(build.data(), build.size(), nullptr, 0, 0);
+    ht.Finalize();
+
+    for (const size_t n : {1u, 3u, 4u, 5u, 9u, 100u, 1000u}) {
+      std::vector<i64> probe(n);
+      for (auto& k : probe) k = static_cast<i64>(rng.NextBounded(4000));
+      std::vector<sel_t> sel;
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextBool(0.6)) sel.push_back(static_cast<sel_t>(i));
+      }
+      for (const bool with_sel : {false, true}) {
+        std::vector<sel_t> ref(n), got(n);
+        PrimCall c;
+        c.n = n;
+        c.in1 = probe.data();
+        c.state = &ht;
+        if (with_sel) {
+          c.sel = sel.data();
+          c.sel_n = sel.size();
+        }
+        c.res_sel = ref.data();
+        ref.resize(entry->flavors[branching].fn(c));
+        c.res_sel = got.data();
+        got.resize(entry->flavors[avx2].fn(c));
+        ASSERT_EQ(got, ref) << sig << " n=" << n
+                            << " sel=" << with_sel;
+        ref.resize(n);
+        got.resize(n);
+      }
+    }
+  }
+}
+
 TEST(MapHashKernelTest, FlavorsAgree) {
   const FlavorEntry* entry =
       PrimitiveDictionary::Global().Find("map_hash_i64_col");

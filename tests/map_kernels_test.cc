@@ -166,6 +166,50 @@ TEST(MapKernelsTest, DivGuardsZeroDivisor) {
   EXPECT_EQ(res[1], 0);
 }
 
+TEST(MapSimdTest, Avx2HandlesUnalignedLengthsAndValShape) {
+  // The AVX2 map flavors are full-computation kernels; on dense input
+  // they must match the scalar flavor exactly at every length around the
+  // lane-count boundaries.
+  for (const char* sig : {"map_add_i32_col_i32_val", "map_mul_i16_col_i16_col",
+                          "map_sub_i64_col_i64_col", "map_mul_f64_col_f64_val"}) {
+    const FlavorEntry* entry = PrimitiveDictionary::Global().Find(sig);
+    ASSERT_NE(entry, nullptr) << sig;
+    const int avx2 = entry->FindFlavor("avx2");
+    if (avx2 < 0) GTEST_SKIP() << "no AVX2 on this machine";
+    const bool is_val = std::string(sig).ends_with("_val");
+    auto check = [&](auto tag) {
+      using T = decltype(tag);
+      Rng rng(23);
+      for (const size_t n :
+           {1u, 3u, 4u, 5u, 8u, 9u, 15u, 16u, 17u, 33u, 100u, 1000u}) {
+        std::vector<T> a(n), b(is_val ? 1 : n);
+        for (auto& x : a) x = static_cast<T>(rng.NextRange(-40, 40));
+        for (auto& x : b) x = static_cast<T>(rng.NextRange(-40, 40));
+        std::vector<T> ref(n), got(n);
+        PrimCall c;
+        c.n = n;
+        c.in1 = a.data();
+        c.in2 = b.data();
+        c.res = ref.data();
+        entry->flavors[0].fn(c);
+        c.res = got.data();
+        const size_t produced = entry->flavors[avx2].fn(c);
+        EXPECT_EQ(produced, n) << sig;
+        EXPECT_EQ(got, ref) << sig << " n=" << n;
+      }
+    };
+    if (std::string(sig).find("_i16_") != std::string::npos) {
+      check(i16{});
+    } else if (std::string(sig).find("_i32_") != std::string::npos) {
+      check(i32{});
+    } else if (std::string(sig).find("_i64_") != std::string::npos) {
+      check(i64{});
+    } else {
+      check(f64{});
+    }
+  }
+}
+
 TEST(MapKernelsTest, UnrolledHandlesNonMultipleOf8) {
   for (const size_t n : {1u, 7u, 8u, 9u, 15u, 1000u}) {
     std::vector<i32> a(n), b(n), res(n);

@@ -146,6 +146,86 @@ TEST(SelKernelsTest, ComposesWithInputSelection) {
   EXPECT_TRUE(out2.empty());
 }
 
+// ---------------------------------------------------------------------
+// SIMD flavor parity. The equivalence suite above already runs every
+// registered flavor at one shape; this hammers the SIMD kernels where
+// they can break: selectivity extremes (mask 0x00/0xff paths), vector
+// lengths that are not multiples of the lane count (tail loops), and
+// input selection vectors (the sparse fallback path).
+// ---------------------------------------------------------------------
+
+template <typename T>
+void CheckSimdParity(const std::string& sig) {
+  const FlavorEntry* entry = PrimitiveDictionary::Global().Find(sig);
+  ASSERT_NE(entry, nullptr) << sig;
+  std::vector<int> simd_flavors;
+  for (const char* name : {"avx2", "sse4", "nobranch_unroll4"}) {
+    const int idx = entry->FindFlavor(name);
+    if (idx >= 0) simd_flavors.push_back(idx);
+  }
+  ASSERT_FALSE(simd_flavors.empty())
+      << sig << ": no SIMD-set flavor registered on this machine";
+
+  Rng rng(7);
+  for (const int pct : {0, 25, 50, 75, 100}) {
+    for (const size_t n : {1u, 3u, 7u, 8u, 9u, 15u, 17u, 31u, 33u, 63u,
+                           100u, 255u, 1000u, 1024u}) {
+      std::vector<T> col(n);
+      for (auto& x : col) x = static_cast<T>(rng.NextBounded(100));
+      const T val = static_cast<T>(pct);  // ~pct% of values below `pct`
+      std::vector<sel_t> some_sel;
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextBool(0.5)) some_sel.push_back(static_cast<sel_t>(i));
+      }
+      const std::vector<sel_t>* sel_options[] = {nullptr, &some_sel};
+      for (const std::vector<sel_t>* sel : sel_options) {
+        const auto reference =
+            RunSel<T>(entry->flavors[0].fn, col, val, sel);
+        for (const int f : simd_flavors) {
+          ASSERT_EQ(RunSel<T>(entry->flavors[f].fn, col, val, sel),
+                    reference)
+              << sig << " flavor " << entry->flavors[f].name << " n=" << n
+              << " pct=" << pct << " sel=" << (sel != nullptr);
+        }
+      }
+    }
+  }
+}
+
+TEST(SelSimdParityTest, I16) { CheckSimdParity<i16>("sel_lt_i16_col_i16_val"); }
+TEST(SelSimdParityTest, I32) { CheckSimdParity<i32>("sel_lt_i32_col_i32_val"); }
+TEST(SelSimdParityTest, I64) { CheckSimdParity<i64>("sel_ge_i64_col_i64_val"); }
+TEST(SelSimdParityTest, F64) { CheckSimdParity<f64>("sel_ne_f64_col_f64_val"); }
+
+TEST(SelSimdParityTest, ColColShape) {
+  const FlavorEntry* entry =
+      PrimitiveDictionary::Global().Find("sel_le_i32_col_i32_col");
+  ASSERT_NE(entry, nullptr);
+  Rng rng(11);
+  for (const size_t n : {9u, 100u, 1000u}) {
+    std::vector<i32> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<i32>(rng.NextBounded(50));
+      b[i] = static_cast<i32>(rng.NextBounded(50));
+    }
+    std::vector<sel_t> ref(n), got(n);
+    PrimCall c;
+    c.n = n;
+    c.in1 = a.data();
+    c.in2 = b.data();
+    c.res_sel = ref.data();
+    ref.resize(entry->flavors[0].fn(c));
+    for (const char* name : {"avx2", "sse4", "nobranch_unroll4"}) {
+      const int f = entry->FindFlavor(name);
+      if (f < 0) continue;
+      got.assign(n, 0);
+      c.res_sel = got.data();
+      got.resize(entry->flavors[f].fn(c));
+      EXPECT_EQ(got, ref) << name << " n=" << n;
+    }
+  }
+}
+
 TEST(SelKernelsTest, ColColShape) {
   const FlavorEntry* entry =
       PrimitiveDictionary::Global().Find("sel_gt_i64_col_i64_col");
