@@ -1,0 +1,136 @@
+// Morsel-driven scaling on the Table-1 query:
+//   SELECT l_orderkey FROM lineitem WHERE l_quantity < 40
+// run through the ParallelExecutor at 1/2/4/8 worker threads. Each
+// worker owns its PrimitiveInstances (thread-local bandits, per-thread
+// adaptive chunk K), the only shared mutable state is the morsel queue,
+// and per-morsel outputs merge in morsel order — so besides the speedup
+// we assert the merged result is byte-identical across thread counts.
+//
+// Expected: near-linear scaling up to the physical core count (>= 2.5x
+// at 4 threads on a 4+-core host); on smaller hosts the curve flattens
+// at #cores and the JSON records the host's core count so the reader
+// can tell saturation from regression. Emits BENCH_scaling.json.
+#include <cstring>
+#include <thread>
+
+#include "bench_util.h"
+#include "exec/op_project.h"
+#include "exec/op_select.h"
+#include "exec/parallel/parallel_executor.h"
+#include "tpch/dbgen.h"
+
+namespace ma {
+namespace {
+
+ParallelExecutor::PipelineFactory Table1Factory() {
+  return [](Engine* engine, OperatorPtr scan) -> OperatorPtr {
+    auto select = std::make_unique<SelectOperator>(
+        engine, std::move(scan), Lt(Col("l_quantity"), Lit(40)),
+        "t1/select");
+    std::vector<ProjectOperator::Output> outs;
+    outs.push_back({"l_orderkey", Col("l_orderkey")});
+    return std::make_unique<ProjectOperator>(engine, std::move(select),
+                                             std::move(outs),
+                                             "t1/project");
+  };
+}
+
+u64 ResultFingerprint(const Table& t) {
+  u64 h = 1469598103934665603ULL;
+  auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(t.row_count());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const Column* col = t.column(c);
+    for (size_t i = 0; i < col->size(); ++i) {
+      mix(static_cast<u64>(col->Get<i64>(i)));
+    }
+  }
+  return h;
+}
+
+int Run() {
+  tpch::TpchConfig cfg;
+  cfg.scale_factor = 0.1;
+  auto data = tpch::Generate(cfg);
+  const Table* lineitem = data->lineitem;
+
+  const int cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  bench::PrintHeader(
+      "Morsel-driven scaling: Table-1 query at 1/2/4/8 threads",
+      "SELECT l_orderkey FROM lineitem WHERE l_quantity < 40 at SF 0.1 "
+      "(" + std::to_string(lineitem->row_count()) + " rows, host has " +
+      std::to_string(cores) + " cores). Per-thread adaptive "
+      "PrimitiveInstances; merged output must be byte-identical.");
+
+  bench::BenchJson json("scaling");
+  std::printf("%-8s %12s %10s %10s %10s\n", "threads", "seconds",
+              "speedup", "rows", "identical");
+
+  f64 base_seconds = 0;
+  u64 base_fingerprint = 0;
+  u64 base_rows = 0;
+  bool all_identical = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    EngineConfig ecfg;
+    ecfg.adaptive.mode = ExecMode::kAdaptive;
+    ecfg.adaptive.chunk_max = 64;
+    ParallelConfig pcfg;
+    pcfg.num_threads = threads;
+    ParallelExecutor exec{ecfg, pcfg};
+
+    // Median wall seconds over 5 runs after one warmup.
+    RunResult result =
+        exec.RunPipeline(lineitem, {"l_orderkey", "l_quantity"},
+                         Table1Factory());
+    std::vector<f64> samples;
+    for (int rep = 0; rep < 5; ++rep) {
+      result = exec.RunPipeline(lineitem, {"l_orderkey", "l_quantity"},
+                                Table1Factory());
+      samples.push_back(result.seconds);
+    }
+    std::nth_element(samples.begin(), samples.begin() + 2, samples.end());
+    const f64 seconds = samples[2];
+    const u64 fingerprint = ResultFingerprint(*result.table);
+
+    if (threads == 1) {
+      base_seconds = seconds;
+      base_fingerprint = fingerprint;
+      base_rows = result.rows_emitted;
+    }
+    const f64 speedup = base_seconds / seconds;
+    const bool identical = fingerprint == base_fingerprint &&
+                           result.rows_emitted == base_rows;
+    all_identical = all_identical && identical;
+    std::printf("%-8d %12.6f %9.2fx %10llu %10s\n", threads, seconds,
+                speedup,
+                static_cast<unsigned long long>(result.rows_emitted),
+                identical ? "yes" : "NO");
+    json.AddRow()
+        .Num("threads", threads)
+        .Num("host_cores", cores)
+        .Num("seconds", seconds)
+        .Num("speedup_vs_1", speedup)
+        .Num("rows", static_cast<f64>(result.rows_emitted))
+        .Num("identical_to_1thread", identical ? 1 : 0);
+  }
+  std::printf(
+      "\nExpected: >= 2.5x at 4 threads on a 4+-core host; the curve\n"
+      "saturates at the physical core count (host_cores in the JSON).\n"
+      "The identical column must read yes at every thread count.\n");
+  json.Write();
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: multi-thread result diverged from 1-thread\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ma
+
+int main() { return ma::Run(); }

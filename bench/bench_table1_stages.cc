@@ -91,10 +91,10 @@ void Run() {
 
   EngineConfig adaptive1;
   adaptive1.adaptive.mode = ExecMode::kAdaptive;
-  adaptive1.adaptive.chunk_size = 1;
+  adaptive1.adaptive.chunk_max = 1;
 
   EngineConfig adaptive64 = adaptive1;
-  adaptive64.adaptive.chunk_size = 64;
+  adaptive64.adaptive.chunk_max = 64;  // adaptive K, growing up to 64
 
   const u64 c_forced = MedianExecuteCycles(*data, forced);
   const u64 c_k1 = MedianExecuteCycles(*data, adaptive1);

@@ -75,8 +75,8 @@ int main() {
   // Chunked exploitation: only decision calls pay the timing + policy
   // overhead, so adaptivity costs almost nothing once converged.
   EngineConfig chunked = adaptive;
-  chunked.adaptive.chunk_size = 64;
-  const u64 ck = RunOnce(table, chunked, "micro adaptive (K=64)");
+  chunked.adaptive.chunk_max = 64;
+  const u64 ck = RunOnce(table, chunked, "micro adaptive (K<=64)");
 
   std::printf("\nmicro adaptive vs best static flavor: %.2fx (K=64: %.2fx)\n",
               static_cast<f64>(std::min(b, nb)) / static_cast<f64>(a),

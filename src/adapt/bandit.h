@@ -63,7 +63,7 @@ class BanditPolicy {
   /// True when the policy is exploiting a settled choice AND its next
   /// Choose() would return `flavor` — i.e. repeating `flavor` without
   /// timing it or feeding back an observation cannot disturb learning.
-  /// Chunked dispatch (AdaptiveConfig::chunk_size) consults this after
+  /// Chunked dispatch (AdaptiveConfig::chunk_max) consults this after
   /// every decision call with the flavor that call ran; the flavor
   /// argument matters because Update() may have just rotated the policy
   /// into a new phase (e.g. vw-greedy finishing an exploration), in

@@ -1,5 +1,7 @@
 #include "adapt/primitive_instance.h"
 
+#include <algorithm>
+
 #include "common/cycleclock.h"
 #include "common/status.h"
 
@@ -44,7 +46,8 @@ PrimitiveInstance::PrimitiveInstance(const FlavorEntry* entry,
         policy_ = MakePolicy(config.policy,
                              static_cast<int>(flavors_.size()),
                              config.params);
-        chunk_size_ = config.chunk_size > 0 ? config.chunk_size : 1;
+        chunk_max_ = config.chunk_max > 0 ? config.chunk_max : 1;
+        chunk_adaptive_ = config.chunk_adaptive;
       }
       fixed_index_ = 0;
       break;
@@ -104,8 +107,26 @@ void PrimitiveInstance::Record(int flavor, size_t produced, u64 tuples,
     // Replay-safety: the chunk re-runs `flavor` (== last_flavor_), so it
     // only starts when the policy — in its post-Update state — would
     // itself keep choosing that flavor.
-    if (chunk_size_ > 1 && policy_->ExploitationStable(flavor)) {
-      chunk_left_ = chunk_size_ - 1;
+    if (chunk_max_ > 1) {
+      if (policy_->ExploitationStable(flavor)) {
+        if (!chunk_adaptive_) {
+          chunk_k_ = chunk_max_;
+        } else if (flavor == last_decision_flavor_) {
+          // Same winner re-elected while stable: the regime is calm,
+          // double the untimed stretch (up to the cap).
+          chunk_k_ = std::min(chunk_k_ * 2, chunk_max_);
+        } else {
+          // Fresh winner: start with a short chunk so a mistake costs
+          // little before the next timed decision.
+          chunk_k_ = 2;
+        }
+        chunk_left_ = chunk_k_ - 1;
+      } else {
+        // Regime change or active exploration: every call must be a
+        // timed decision again until the policy re-settles.
+        chunk_k_ = 1;
+      }
+      last_decision_flavor_ = flavor;
     }
   }
   ++calls_;
@@ -115,7 +136,6 @@ void PrimitiveInstance::Record(int flavor, size_t produced, u64 tuples,
   usage_[flavor].calls += 1;
   usage_[flavor].tuples += tuples;
   usage_[flavor].cycles += cycles;
-  flavors_[flavor]->times_used += 1;
   if (aph_) aph_->Add(tuples, cycles);
   last_produced_ = produced;
   last_live_ = tuples;
@@ -127,7 +147,6 @@ void PrimitiveInstance::RecordUntimed(int flavor, size_t produced,
   tuples_ += tuples;
   usage_[flavor].calls += 1;
   usage_[flavor].tuples += tuples;
-  flavors_[flavor]->times_used += 1;
   last_produced_ = produced;
   last_live_ = tuples;
 }

@@ -10,11 +10,18 @@
 // The dispatch path is kept flat and branch-light: eligible flavors are
 // resolved once at construction into a bare function-pointer table, the
 // heuristic hook is a raw function pointer (no std::function), and in
-// chunked mode (AdaptiveConfig::chunk_size > 1) exploitation calls re-run
+// chunked mode (AdaptiveConfig::chunk_max > 1) exploitation calls re-run
 // the last-chosen flavor without the rdtsc pair or policy round-trip —
 // only decision calls are timed, amortizing adaptivity overhead across
 // the chunk (the paper's §3.2 argument that profiling must cost well
-// under the work it steers).
+// under the work it steers). The chunk length K itself adapts: doubling
+// while consecutive stable decisions keep electing the same flavor,
+// snapping back to 1 when the winner changes or exploration resumes.
+//
+// Instances are deliberately thread-confined: all bandit state, chunk
+// state and usage counters live in the instance, and nothing here writes
+// shared memory — morsel-driven parallelism gives each worker thread its
+// own instance set and merges the profiles afterwards.
 #ifndef MA_ADAPT_PRIMITIVE_INSTANCE_H_
 #define MA_ADAPT_PRIMITIVE_INSTANCE_H_
 
@@ -57,9 +64,17 @@ struct AdaptiveConfig {
   size_t aph_buckets = 512;
   /// Chunked exploitation (kAdaptive only): after a timed decision call
   /// whose policy reports a settled exploitation phase, re-run the same
-  /// flavor untimed for chunk_size-1 calls before consulting the policy
-  /// again. 1 = classic per-call adaptivity.
-  u64 chunk_size = 1;
+  /// flavor untimed for K-1 calls before consulting the policy again.
+  /// K adapts per instance: it starts small, doubles on every
+  /// consecutive stable decision that re-elects the same flavor (up to
+  /// chunk_max), and collapses back to per-call dispatch the moment the
+  /// winner changes or the policy re-enters exploration — so long
+  /// chunks only ever cover calm regimes. chunk_max = 1 disables
+  /// chunking (classic per-call adaptivity).
+  u64 chunk_max = 1;
+  /// false pins K at chunk_max whenever the policy is stable (the fixed-K
+  /// behavior), for experiments that need an exact timing cadence.
+  bool chunk_adaptive = true;
 };
 
 class PrimitiveInstance {
@@ -155,6 +170,10 @@ class PrimitiveInstance {
   };
   const std::vector<FlavorUsage>& usage() const { return usage_; }
 
+  /// Current chunked-dispatch length K (1 = per-call dispatch). Grows
+  /// while the winning flavor is stable, shrinks on regime change.
+  u64 current_chunk_k() const { return chunk_k_; }
+
   /// True if any registered flavor of this primitive belongs to `set` —
   /// i.e. this instance is "affected by" the flavor set in the sense of
   /// Tables 6-10. Mask precomputed at construction.
@@ -185,8 +204,13 @@ class PrimitiveInstance {
   const void* heuristic_ctx_ = nullptr;
   HeuristicParams heuristic_params_;
 
-  u64 chunk_size_ = 1;
+  u64 chunk_max_ = 1;
+  bool chunk_adaptive_ = true;
+  /// Current chunk length K; grows geometrically while the same flavor
+  /// keeps winning stable decisions, resets to 1 on a regime change.
+  u64 chunk_k_ = 1;
   u64 chunk_left_ = 0;
+  int last_decision_flavor_ = -1;
 
   int last_flavor_ = 0;
   u64 last_produced_ = 0;

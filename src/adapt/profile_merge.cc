@@ -1,0 +1,68 @@
+#include "adapt/profile_merge.h"
+
+#include <unordered_map>
+
+namespace ma {
+
+namespace {
+
+const std::string kNoFlavor;
+
+/// Index of `name` in `flavors`, appending a new row if absent.
+size_t FlavorRow(std::vector<FlavorUsageProfile>* flavors,
+                 const std::string& name) {
+  for (size_t i = 0; i < flavors->size(); ++i) {
+    if ((*flavors)[i].flavor == name) return i;
+  }
+  flavors->push_back(FlavorUsageProfile{name, 0, 0, 0});
+  return flavors->size() - 1;
+}
+
+}  // namespace
+
+const std::string& InstanceProfile::MostUsedFlavor() const {
+  const FlavorUsageProfile* best = nullptr;
+  for (const FlavorUsageProfile& f : flavors) {
+    if (best == nullptr || f.calls > best->calls) best = &f;
+  }
+  return best != nullptr && best->calls > 0 ? best->flavor : kNoFlavor;
+}
+
+std::vector<InstanceProfile> MergeInstanceProfiles(
+    const std::vector<const PrimitiveInstance*>& instances) {
+  std::vector<InstanceProfile> merged;
+  std::unordered_map<std::string, size_t> by_label;
+  for (const PrimitiveInstance* inst : instances) {
+    if (inst == nullptr) continue;
+    auto [it, fresh] = by_label.try_emplace(inst->label(), merged.size());
+    if (fresh) {
+      merged.emplace_back();
+      merged.back().label = inst->label();
+      merged.back().signature = inst->entry()->signature;
+    }
+    InstanceProfile& row = merged[it->second];
+    row.instances += 1;
+    row.calls += inst->calls();
+    row.tuples += inst->tuples();
+    row.cycles += inst->cycles();
+    const PrimitiveInstance::FlavorUsage* best_usage = nullptr;
+    const std::string* best_name = &kNoFlavor;
+    for (int f = 0; f < inst->num_flavors(); ++f) {
+      const PrimitiveInstance::FlavorUsage& u = inst->usage()[f];
+      if (u.calls == 0 && u.tuples == 0 && u.cycles == 0) continue;
+      const std::string& name = inst->flavors()[f]->name;
+      FlavorUsageProfile& agg = row.flavors[FlavorRow(&row.flavors, name)];
+      agg.calls += u.calls;
+      agg.tuples += u.tuples;
+      agg.cycles += u.cycles;
+      if (best_usage == nullptr || u.calls > best_usage->calls) {
+        best_usage = &u;
+        best_name = &name;
+      }
+    }
+    row.winner_per_thread.push_back(*best_name);
+  }
+  return merged;
+}
+
+}  // namespace ma

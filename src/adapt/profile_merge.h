@@ -1,0 +1,56 @@
+// Merging thread-local primitive-instance profiles into one per-query
+// report. Under morsel-driven parallelism every worker owns its own
+// PrimitiveInstance for the same plan site (same label), each with an
+// independent bandit — the paper's thread-local profiling by design.
+// Nothing is shared during execution; at pipeline end the executor
+// hands all instances here and gets back one aggregated profile per
+// label, with per-flavor usage summed across threads.
+//
+// The per-thread winners are deliberately preserved too (winner_per
+// thread): under asymmetric load different threads may legitimately
+// converge to different flavors, and that divergence is an experiment
+// output, not noise to be averaged away.
+#ifndef MA_ADAPT_PROFILE_MERGE_H_
+#define MA_ADAPT_PROFILE_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "adapt/primitive_instance.h"
+
+namespace ma {
+
+struct FlavorUsageProfile {
+  std::string flavor;
+  u64 calls = 0;
+  u64 tuples = 0;
+  u64 cycles = 0;
+};
+
+struct InstanceProfile {
+  std::string label;
+  std::string signature;
+  /// How many per-thread instances were merged into this row.
+  int instances = 0;
+  u64 calls = 0;
+  u64 tuples = 0;
+  u64 cycles = 0;
+  /// Usage aggregated by flavor name across all merged instances.
+  std::vector<FlavorUsageProfile> flavors;
+  /// Most-used flavor (by calls) of each merged instance, in merge
+  /// order — the per-thread winners.
+  std::vector<std::string> winner_per_thread;
+
+  /// Aggregate most-used flavor by calls ("" when never called).
+  const std::string& MostUsedFlavor() const;
+};
+
+/// Aggregates instances by label (same label = same plan site across
+/// worker threads). Input order defines row order (first appearance)
+/// and the order of winner_per_thread entries.
+std::vector<InstanceProfile> MergeInstanceProfiles(
+    const std::vector<const PrimitiveInstance*>& instances);
+
+}  // namespace ma
+
+#endif  // MA_ADAPT_PROFILE_MERGE_H_

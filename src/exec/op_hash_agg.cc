@@ -225,6 +225,25 @@ void HashAggOperator::ConsumeBatch(Batch& batch) {
   }
 }
 
+HashAggOperator::Partial HashAggOperator::partial() const {
+  MA_CHECK(input_done_);
+  Partial p;
+  p.groups = &table_;
+  p.group_out_cols = &group_out_cols_;
+  for (const AggState& st : aggs_) {
+    Partial::Agg a;
+    a.fn = &st.spec.fn;
+    a.out_name = &st.spec.out_name;
+    a.is_float = st.is_float();
+    a.typed_from_data = st.update != nullptr;
+    a.acc_i = &st.acc_i;
+    a.acc_f = &st.acc_f;
+    a.count = &st.count;
+    p.aggs.push_back(a);
+  }
+  return p;
+}
+
 bool HashAggOperator::Next(Batch* out) {
   MA_CHECK(input_done_);
   const u32 groups = table_.num_groups();

@@ -50,6 +50,32 @@ class HashAggOperator : public Operator {
 
   u32 num_groups() const { return table_.num_groups(); }
 
+  /// Read-only view of the pre-aggregation state once Open() has
+  /// drained the input — what a morsel-driven parallel executor merges
+  /// across worker threads ("thread-local pre-aggregation"). Sums,
+  /// counts, mins and maxes merge exactly; avg merges from its sum and
+  /// count parts (which is why the view exposes them separately rather
+  /// than the emitted ratio).
+  struct Partial {
+    struct Agg {
+      const std::string* fn = nullptr;        // "sum" | ... | "avg"
+      const std::string* out_name = nullptr;
+      bool is_float = false;
+      /// True when is_float was inferred from actual input data; false
+      /// when this operator drained nothing and fell back to the
+      /// type_hint. Mergers must trust a data-typed partial over a
+      /// hint-typed one (a starved worker's hint may disagree).
+      bool typed_from_data = false;
+      const std::vector<i64>* acc_i = nullptr;  // indexed by gid
+      const std::vector<f64>* acc_f = nullptr;
+      const std::vector<i64>* count = nullptr;  // avg only
+    };
+    const GroupTable* groups = nullptr;  // packed key per dense gid
+    std::vector<Agg> aggs;
+    const std::vector<std::unique_ptr<Column>>* group_out_cols = nullptr;
+  };
+  Partial partial() const;
+
  private:
   struct AggState {
     AggSpec spec;

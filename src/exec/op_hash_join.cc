@@ -13,63 +13,86 @@ HashJoinOperator::HashJoinOperator(Engine* engine, OperatorPtr build,
       spec_(std::move(spec)),
       label_(std::move(label)) {}
 
+HashJoinOperator::HashJoinOperator(Engine* engine,
+                                   const SharedJoinBuild* shared,
+                                   OperatorPtr probe, HashJoinSpec spec,
+                                   std::string label)
+    : Operator(engine),
+      probe_(std::move(probe)),
+      spec_(std::move(spec)),
+      label_(std::move(label)),
+      shared_(shared) {
+  MA_CHECK(shared_ != nullptr && shared_->ht.finalized());
+  MA_CHECK(shared_->cols.size() == spec_.build_outputs.size());
+}
+
 Status HashJoinOperator::Open() {
-  MA_RETURN_IF_ERROR(build_->Open());
+  if (shared_ == nullptr) {
+    MA_RETURN_IF_ERROR(build_->Open());
+  }
   MA_RETURN_IF_ERROR(probe_->Open());
 
-  // Drain the build side: compact live keys + output columns.
-  build_cols_.clear();
-  Batch batch;
-  std::vector<i64> dense_keys;
-  u64 materialized = 0;
-  // A rough pre-pass is impossible (pull model), so the bloom filter is
-  // sized after the build drain and filled from the table's keys.
-  for (;;) {
-    batch.Clear();
-    if (!build_->Next(&batch)) break;
-    if (batch.live_count() == 0) continue;
-    const int key_idx = batch.FindColumn(spec_.build_key);
-    MA_CHECK(key_idx >= 0);
-    const i64* keys = batch.column(key_idx).Data<i64>();
-    dense_keys.clear();
-    if (batch.has_sel()) {
-      const SelVector& sel = batch.sel();
-      for (size_t j = 0; j < sel.size(); ++j) {
-        dense_keys.push_back(keys[sel[j]]);
+  if (shared_ == nullptr) {
+    // Drain the build side: compact live keys + output columns.
+    build_cols_.clear();
+    Batch batch;
+    std::vector<i64> dense_keys;
+    u64 materialized = 0;
+    // A rough pre-pass is impossible (pull model), so the bloom filter
+    // is sized after the build drain and filled from the table's keys.
+    for (;;) {
+      batch.Clear();
+      if (!build_->Next(&batch)) break;
+      if (batch.live_count() == 0) continue;
+      const int key_idx = batch.FindColumn(spec_.build_key);
+      MA_CHECK(key_idx >= 0);
+      const i64* keys = batch.column(key_idx).Data<i64>();
+      dense_keys.clear();
+      if (batch.has_sel()) {
+        const SelVector& sel = batch.sel();
+        for (size_t j = 0; j < sel.size(); ++j) {
+          dense_keys.push_back(keys[sel[j]]);
+        }
+      } else {
+        dense_keys.assign(keys, keys + batch.row_count());
       }
-    } else {
-      dense_keys.assign(keys, keys + batch.row_count());
-    }
-    ht_.Append(dense_keys.data(), dense_keys.size(), nullptr, 0,
-               materialized);
-    materialized += dense_keys.size();
+      ht_.Append(dense_keys.data(), dense_keys.size(), nullptr, 0,
+                 materialized);
+      materialized += dense_keys.size();
 
-    if (build_cols_.empty()) {
-      for (const auto& [src, out_name] : spec_.build_outputs) {
-        const int idx = batch.FindColumn(src);
-        MA_CHECK(idx >= 0);
-        build_cols_.push_back(
-            std::make_unique<Column>(batch.column(idx).type()));
+      if (build_cols_.empty()) {
+        for (const auto& [src, out_name] : spec_.build_outputs) {
+          const int idx = batch.FindColumn(src);
+          MA_CHECK(idx >= 0);
+          build_cols_.push_back(
+              std::make_unique<Column>(batch.column(idx).type()));
+        }
+      }
+      for (size_t i = 0; i < spec_.build_outputs.size(); ++i) {
+        const int idx = batch.FindColumn(spec_.build_outputs[i].first);
+        AppendLive(batch.column(idx), batch, build_cols_[i].get());
       }
     }
-    for (size_t i = 0; i < spec_.build_outputs.size(); ++i) {
-      const int idx = batch.FindColumn(spec_.build_outputs[i].first);
-      AppendLive(batch.column(idx), batch, build_cols_[i].get());
+    ht_.Finalize();
+
+    if (spec_.use_bloom && engine_->config().join_bloom_filters) {
+      bloom_ = std::make_unique<BloomFilter>(
+          BloomFilter::ForKeys(ht_.num_rows() + 1));
+      const JoinHashTable::View v = ht_.view();
+      for (size_t i = 0; i < ht_.num_rows(); ++i) {
+        bloom_->Insert(v.keys[i]);
+      }
     }
   }
-  ht_.Finalize();
 
-  if (spec_.use_bloom && engine_->config().join_bloom_filters) {
-    bloom_ = std::make_unique<BloomFilter>(
-        BloomFilter::ForKeys(ht_.num_rows() + 1));
-    const JoinHashTable::View v = ht_.view();
-    for (size_t i = 0; i < ht_.num_rows(); ++i) bloom_->Insert(v.keys[i]);
+  if (bloom_filter() != nullptr && spec_.use_bloom &&
+      engine_->config().join_bloom_filters) {
     bloom_tmp_.resize(kMaxVectorSize);
-    bloom_state_.filter = bloom_.get();
+    bloom_state_.filter = bloom_filter();
     bloom_state_.tmp = bloom_tmp_.data();
     bloom_inst_ = engine_->NewInstance("sel_bloomfilter_i64_col",
                                        label_ + "/bloom",
-                                       bloom_->size_bytes());
+                                       bloom_filter()->size_bytes());
   }
 
   switch (spec_.kind) {
@@ -133,7 +156,7 @@ bool HashJoinOperator::NextSemiAnti(Batch* out) {
     SelVector& sel = out->mutable_sel();
     c.res_sel = sel.data();
     c.in1 = out->column(key_idx).raw_data();
-    c.state = const_cast<JoinHashTable*>(&ht_);
+    c.state = const_cast<JoinHashTable*>(&ht());
     if (out->has_sel()) {
       c.sel = sel.data();
       c.sel_n = sel.size();
@@ -168,7 +191,7 @@ bool HashJoinOperator::NextInner(Batch* out) {
         if (probe_batch_.live_count() == 0) continue;
       }
       probe_state_ = ProbeState{};
-      probe_state_.table = &ht_;
+      probe_state_.table = &ht();
       probe_state_.cursor = ProbeCursor{0, JoinHashTable::kNil, false};
       probe_batch_valid_ = true;
     }
@@ -219,7 +242,7 @@ bool HashJoinOperator::NextInner(Batch* out) {
       out->AddColumn(spec_.probe_outputs[p], dst);
     }
     for (size_t b = 0; b < spec_.build_outputs.size(); ++b) {
-      const Column* src = build_cols_[b].get();
+      const Column* src = build_col(b);
       if (fetch_build_[b] == nullptr) {
         fetch_build_[b] = engine_->NewInstance(
             FetchSignature(src->type()),

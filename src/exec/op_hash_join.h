@@ -21,6 +21,21 @@
 
 namespace ma {
 
+/// Build-side state shared by per-thread probe pipelines in morsel-
+/// driven parallel joins. A parallel executor fills it during the build
+/// phase (workers scan build morsels into per-morsel buffers which are
+/// concatenated in morsel order, so build row ids are deterministic);
+/// once finalized it is immutable, and any number of HashJoinOperators
+/// can probe it concurrently without synchronization. Per-probe scratch
+/// (bloom temporaries, cursors, output vectors) stays in the operators.
+struct SharedJoinBuild {
+  JoinHashTable ht;
+  /// Materialized build output columns, parallel to
+  /// HashJoinSpec::build_outputs.
+  std::vector<std::unique_ptr<Column>> cols;
+  std::unique_ptr<BloomFilter> bloom;  // null when the join skips bloom
+};
+
 struct HashJoinSpec {
   enum class Kind : u8 { kInner, kSemi, kAnti };
 
@@ -42,24 +57,45 @@ class HashJoinOperator : public Operator {
   HashJoinOperator(Engine* engine, OperatorPtr build, OperatorPtr probe,
                    HashJoinSpec spec, std::string label = "hashjoin");
 
+  /// Probe-only operator over a prebuilt, shared (read-only) build side.
+  /// Open() skips the build drain; primitive instances are still created
+  /// in this operator's engine, so each worker thread keeps its own
+  /// bandit state while probing the same table.
+  HashJoinOperator(Engine* engine, const SharedJoinBuild* shared,
+                   OperatorPtr probe, HashJoinSpec spec,
+                   std::string label = "hashjoin");
+
   Status Open() override;
   bool Next(Batch* out) override;
 
-  size_t build_rows() const { return ht_.num_rows(); }
+  size_t build_rows() const { return ht().num_rows(); }
 
  private:
   bool NextInner(Batch* out);
   bool NextSemiAnti(Batch* out);
+
+  const JoinHashTable& ht() const {
+    return shared_ != nullptr ? shared_->ht : ht_;
+  }
+  const Column* build_col(size_t i) const {
+    return shared_ != nullptr ? shared_->cols[i].get()
+                              : build_cols_[i].get();
+  }
+  const BloomFilter* bloom_filter() const {
+    return shared_ != nullptr ? shared_->bloom.get() : bloom_.get();
+  }
 
   OperatorPtr build_;
   OperatorPtr probe_;
   HashJoinSpec spec_;
   std::string label_;
 
-  // Build-side state.
+  // Build-side state (unused when probing a shared build).
+  const SharedJoinBuild* shared_ = nullptr;
   JoinHashTable ht_;
   std::vector<std::unique_ptr<Column>> build_cols_;  // parallel to spec
   std::unique_ptr<BloomFilter> bloom_;
+  // Per-operator bloom scratch (thread-local even over a shared filter).
   std::vector<u8> bloom_tmp_;
   BloomProbeState bloom_state_;
 

@@ -1,0 +1,80 @@
+#include "exec/parallel/morsel.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace ma {
+
+MorselQueue::MorselQueue(u64 num_rows, u64 morsel_size, int num_workers,
+                         bool stealing)
+    : num_rows_(num_rows),
+      morsel_size_(morsel_size > 0 ? morsel_size : 1),
+      stealing_(stealing) {
+  MA_CHECK(num_workers >= 1);
+  num_morsels_ =
+      static_cast<size_t>((num_rows_ + morsel_size_ - 1) / morsel_size_);
+  // Contiguous block partitioning: worker w owns morsels
+  // [w * per + min(w, extra) ...), where the first `extra` workers get
+  // one morsel more.
+  const size_t per = num_morsels_ / static_cast<size_t>(num_workers);
+  const size_t extra = num_morsels_ % static_cast<size_t>(num_workers);
+  size_t next = 0;
+  parts_.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    auto p = std::make_unique<Partition>();
+    p->lo = next;
+    next += per + (static_cast<size_t>(w) < extra ? 1 : 0);
+    p->hi = next;
+    parts_.push_back(std::move(p));
+  }
+  MA_CHECK(next == num_morsels_);
+}
+
+Morsel MorselQueue::MakeMorsel(size_t index) const {
+  Morsel m;
+  m.index = index;
+  m.begin = static_cast<u64>(index) * morsel_size_;
+  m.end = std::min(num_rows_, m.begin + morsel_size_);
+  return m;
+}
+
+bool MorselQueue::TryTake(Partition* p, bool from_back, size_t* index) {
+  std::lock_guard<std::mutex> lock(p->mu);
+  if (p->lo >= p->hi) return false;
+  *index = from_back ? --p->hi : p->lo++;
+  return true;
+}
+
+bool MorselQueue::Next(int worker, Morsel* out) {
+  MA_CHECK(worker >= 0 && static_cast<size_t>(worker) < parts_.size());
+  size_t index;
+  if (TryTake(parts_[worker].get(), /*from_back=*/false, &index)) {
+    *out = MakeMorsel(index);
+    return true;
+  }
+  if (!stealing_) return false;
+  // Steal from the richest victim; retry while any partition has work
+  // (a loser of a race simply picks the next victim).
+  for (;;) {
+    int victim = -1;
+    size_t best_left = 0;
+    for (size_t w = 0; w < parts_.size(); ++w) {
+      if (static_cast<int>(w) == worker) continue;
+      Partition* p = parts_[w].get();
+      std::lock_guard<std::mutex> lock(p->mu);
+      const size_t left = p->hi - p->lo;
+      if (left > best_left) {
+        best_left = left;
+        victim = static_cast<int>(w);
+      }
+    }
+    if (victim < 0) return false;
+    if (TryTake(parts_[victim].get(), /*from_back=*/true, &index)) {
+      *out = MakeMorsel(index);
+      return true;
+    }
+  }
+}
+
+}  // namespace ma

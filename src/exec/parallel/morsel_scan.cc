@@ -1,0 +1,67 @@
+#include "exec/parallel/morsel_scan.h"
+
+#include <algorithm>
+
+namespace ma {
+
+MorselScanOperator::MorselScanOperator(Engine* engine, const Table* table,
+                                       std::vector<std::string> columns,
+                                       MorselQueue* queue, int worker)
+    : Operator(engine),
+      table_(table),
+      column_names_(std::move(columns)),
+      queue_(queue),
+      worker_(worker) {
+  MA_CHECK(table_ != nullptr && queue_ != nullptr);
+  if (column_names_.empty()) {
+    for (size_t i = 0; i < table_->num_columns(); ++i) {
+      column_names_.push_back(table_->column_name(i));
+    }
+  }
+}
+
+Status MorselScanOperator::Open() {
+  columns_.clear();
+  views_.clear();
+  in_morsel_ = false;
+  if (table_->row_count() == 0) return Status::OK();
+  for (const std::string& name : column_names_) {
+    const Column* col = table_->FindColumn(name);
+    if (col == nullptr) {
+      return Status::NotFound("column " + name + " in table " +
+                              table_->name());
+    }
+    columns_.push_back(col);
+  }
+  return Status::OK();
+}
+
+bool MorselScanOperator::Next(Batch* out) {
+  if (!in_morsel_ || pos_ >= cur_.end) {
+    if (!queue_->Next(worker_, &cur_)) {
+      in_morsel_ = false;
+      return false;
+    }
+    pos_ = cur_.begin;
+    in_morsel_ = true;
+  }
+  const size_t n = static_cast<size_t>(
+      std::min<u64>(engine_->vector_size(), cur_.end - pos_));
+  if (views_.empty()) {
+    views_.reserve(columns_.size());
+    for (const Column* col : columns_) {
+      views_.push_back(Vector::View(col->type(), col->RawData(), 0));
+    }
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column* col = columns_[i];
+    const char* base = static_cast<const char*>(col->RawData());
+    views_[i]->ResetView(base + pos_ * TypeWidth(col->type()), n);
+    out->AddColumn(column_names_[i], views_[i]);
+  }
+  out->set_row_count(n);
+  pos_ += n;
+  return true;
+}
+
+}  // namespace ma

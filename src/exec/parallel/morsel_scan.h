@@ -1,0 +1,56 @@
+// MorselScanOperator: the leaf of a per-thread pipeline instance. Like
+// ScanOperator it emits zero-copy column views vector-at-a-time, but
+// instead of walking the whole table it claims morsels from a shared
+// MorselQueue and walks those. All workers' pipelines share one queue;
+// everything above the queue — operators, primitive instances, bandit
+// state, scratch vectors — is owned by the worker's own Engine.
+//
+// current_morsel() identifies the morsel of the batch emitted last.
+// Because the pipeline above is pull-based and processes one batch to
+// completion before pulling the next, the executor can attribute any
+// output batch to that morsel and merge per-morsel results in index
+// order — making merged output independent of thread count and of which
+// worker stole what.
+#ifndef MA_EXEC_PARALLEL_MORSEL_SCAN_H_
+#define MA_EXEC_PARALLEL_MORSEL_SCAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/parallel/morsel.h"
+#include "storage/table.h"
+
+namespace ma {
+
+class MorselScanOperator : public Operator {
+ public:
+  /// Scans `columns` of `table` (empty = every column), pulling morsels
+  /// from `queue` as worker `worker`.
+  MorselScanOperator(Engine* engine, const Table* table,
+                     std::vector<std::string> columns, MorselQueue* queue,
+                     int worker);
+
+  Status Open() override;
+  bool Next(Batch* out) override;
+
+  /// Morsel index of the most recently emitted batch.
+  size_t current_morsel() const { return cur_.index; }
+
+ private:
+  const Table* table_;
+  std::vector<std::string> column_names_;
+  std::vector<const Column*> columns_;
+  /// Pooled zero-copy views, one per scanned column, repointed per batch.
+  std::vector<std::shared_ptr<Vector>> views_;
+  MorselQueue* queue_;
+  int worker_;
+  Morsel cur_;
+  u64 pos_ = 0;
+  bool in_morsel_ = false;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_PARALLEL_MORSEL_SCAN_H_

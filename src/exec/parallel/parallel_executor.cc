@@ -1,0 +1,471 @@
+#include "exec/parallel/parallel_executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/cycleclock.h"
+#include "prim/bloom.h"
+
+namespace ma {
+namespace {
+
+/// Appends every row of `src` to `dst` (same physical type).
+void AppendColumnRows(const Column& src, Column* dst) {
+  const size_t n = src.size();
+  switch (src.type()) {
+    case PhysicalType::kI8:
+      dst->AppendBulk<i8>(src.Data<i8>(), n);
+      break;
+    case PhysicalType::kI16:
+      dst->AppendBulk<i16>(src.Data<i16>(), n);
+      break;
+    case PhysicalType::kI32:
+      dst->AppendBulk<i32>(src.Data<i32>(), n);
+      break;
+    case PhysicalType::kI64:
+      dst->AppendBulk<i64>(src.Data<i64>(), n);
+      break;
+    case PhysicalType::kF64:
+      dst->AppendBulk<f64>(src.Data<f64>(), n);
+      break;
+    case PhysicalType::kStr:
+      // Strings are copied into dst's own heap; the per-morsel partial
+      // tables are freed after the merge.
+      for (size_t i = 0; i < n; ++i) {
+        dst->AppendString(src.Data<StrRef>()[i].view());
+      }
+      break;
+  }
+}
+
+/// Appends all rows of `src` to `dst`, creating columns on first use.
+void AppendTableRows(const Table& src, Table* dst) {
+  for (size_t i = 0; i < src.num_columns(); ++i) {
+    Column* dst_col = dst->FindMutableColumn(src.column_name(i));
+    if (dst_col == nullptr) {
+      dst_col = dst->AddColumn(src.column_name(i), src.column(i)->type());
+    }
+    AppendColumnRows(*src.column(i), dst_col);
+  }
+  dst->set_row_count(dst->row_count() + src.row_count());
+}
+
+/// Copies one cell from `src` to the end of `dst`.
+void AppendCell(const Column& src, size_t row, Column* dst) {
+  switch (src.type()) {
+    case PhysicalType::kI8:
+      dst->Append<i8>(src.Get<i8>(row));
+      break;
+    case PhysicalType::kI16:
+      dst->Append<i16>(src.Get<i16>(row));
+      break;
+    case PhysicalType::kI32:
+      dst->Append<i32>(src.Get<i32>(row));
+      break;
+    case PhysicalType::kI64:
+      dst->Append<i64>(src.Get<i64>(row));
+      break;
+    case PhysicalType::kF64:
+      dst->Append<f64>(src.Get<f64>(row));
+      break;
+    case PhysicalType::kStr:
+      dst->AppendString(src.Get<StrRef>(row).view());
+      break;
+  }
+}
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(EngineConfig engine_config,
+                                   ParallelConfig parallel_config,
+                                   PrimitiveDictionary* dict)
+    : engine_config_(std::move(engine_config)),
+      parallel_config_(parallel_config),
+      dict_(dict) {
+  int threads = parallel_config_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+  // Prime lazily-initialized singletons on this thread so the parallel
+  // regions neither race on first-touch nor absorb the ~20ms frequency
+  // calibration into a timed section.
+  CycleClock::FrequencyHz();
+}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+void ParallelExecutor::ResetEngines() {
+  engines_.clear();
+  for (int w = 0; w < num_threads(); ++w) {
+    engines_.push_back(std::make_unique<Engine>(engine_config_, dict_));
+  }
+}
+
+u64 ParallelExecutor::TotalPrimitiveCycles() const {
+  u64 total = 0;
+  for (const auto& eng : engines_) total += eng->TotalPrimitiveCycles();
+  return total;
+}
+
+std::vector<InstanceProfile> ParallelExecutor::MergedProfile() const {
+  std::vector<const PrimitiveInstance*> instances;
+  for (const auto& eng : engines_) {
+    for (const auto& inst : eng->instances()) instances.push_back(inst.get());
+  }
+  return MergeInstanceProfiles(instances);
+}
+
+RunResult ParallelExecutor::RunPipeline(
+    const Table* table, std::vector<std::string> scan_columns,
+    const PipelineFactory& factory) {
+  MA_CHECK(table != nullptr);
+  ResetEngines();
+  const u64 t0 = CycleClock::Now();
+
+  MorselQueue queue(table->row_count(), parallel_config_.morsel_size,
+                    num_threads(), parallel_config_.work_stealing);
+  // One output slot per morsel; a morsel is processed by exactly one
+  // worker, so workers never write the same slot. Merging the slots in
+  // index order afterwards makes the result independent of thread count
+  // and stealing.
+  std::vector<std::unique_ptr<Table>> morsel_out(queue.num_morsels());
+  std::vector<Status> status(num_threads(), Status::OK());
+
+  pool_->Run([&](int w) {
+    Engine* engine = engines_[w].get();
+    auto scan = std::make_unique<MorselScanOperator>(
+        engine, table, scan_columns, &queue, w);
+    MorselScanOperator* scan_leaf = scan.get();
+    OperatorPtr root = factory(engine, std::move(scan));
+    status[w] = root->Open();
+    if (!status[w].ok()) return;
+    Batch batch;
+    for (;;) {
+      batch.Clear();
+      if (!root->Next(&batch)) break;
+      if (batch.live_count() == 0) continue;
+      // The pipeline is pull-based and holds no batches back, so this
+      // output belongs to the morsel the scan leaf emitted last.
+      const size_t m = scan_leaf->current_morsel();
+      if (morsel_out[m] == nullptr) {
+        morsel_out[m] = std::make_unique<Table>("morsel");
+      }
+      AppendBatchToTable(batch, morsel_out[m].get());
+    }
+  });
+  for (const Status& s : status) MA_CHECK(s.ok());
+  const u64 t_exec = CycleClock::Now();
+
+  RunResult result;
+  result.table = std::make_unique<Table>("result");
+  for (const auto& part : morsel_out) {
+    if (part != nullptr) AppendTableRows(*part, result.table.get());
+  }
+  result.rows_emitted = result.table->row_count();
+
+  const u64 t_end = CycleClock::Now();
+  result.stages.execute = t_exec - t0;
+  result.stages.primitives = TotalPrimitiveCycles();
+  result.stages.postprocess = t_end - t_exec;
+  result.total_cycles = t_end - t0;
+  result.seconds =
+      static_cast<f64>(result.total_cycles) / CycleClock::FrequencyHz();
+  return result;
+}
+
+std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
+    const Table* build_table, std::vector<std::string> scan_columns,
+    const PipelineFactory& factory, const HashJoinSpec& spec) {
+  MA_CHECK(build_table != nullptr);
+  ResetEngines();
+
+  MorselQueue queue(build_table->row_count(), parallel_config_.morsel_size,
+                    num_threads(), parallel_config_.work_stealing);
+  struct BuildPartial {
+    std::vector<i64> keys;
+    std::vector<std::unique_ptr<Column>> cols;
+  };
+  std::vector<BuildPartial> partials(queue.num_morsels());
+  std::vector<Status> status(num_threads(), Status::OK());
+
+  pool_->Run([&](int w) {
+    Engine* engine = engines_[w].get();
+    auto scan = std::make_unique<MorselScanOperator>(
+        engine, build_table, scan_columns, &queue, w);
+    MorselScanOperator* scan_leaf = scan.get();
+    OperatorPtr root = factory(engine, std::move(scan));
+    status[w] = root->Open();
+    if (!status[w].ok()) return;
+    Batch batch;
+    for (;;) {
+      batch.Clear();
+      if (!root->Next(&batch)) break;
+      if (batch.live_count() == 0) continue;
+      BuildPartial& part = partials[scan_leaf->current_morsel()];
+      const int key_idx = batch.FindColumn(spec.build_key);
+      MA_CHECK(key_idx >= 0);
+      const i64* keys = batch.column(key_idx).Data<i64>();
+      if (batch.has_sel()) {
+        const SelVector& sel = batch.sel();
+        for (size_t j = 0; j < sel.size(); ++j) {
+          part.keys.push_back(keys[sel[j]]);
+        }
+      } else {
+        part.keys.insert(part.keys.end(), keys,
+                         keys + batch.row_count());
+      }
+      if (part.cols.empty()) {
+        for (const auto& [src, out_name] : spec.build_outputs) {
+          const int idx = batch.FindColumn(src);
+          MA_CHECK(idx >= 0);
+          part.cols.push_back(
+              std::make_unique<Column>(batch.column(idx).type()));
+        }
+      }
+      for (size_t i = 0; i < spec.build_outputs.size(); ++i) {
+        const int idx = batch.FindColumn(spec.build_outputs[i].first);
+        AppendLive(batch.column(idx), batch, part.cols[i].get());
+      }
+    }
+  });
+  for (const Status& s : status) MA_CHECK(s.ok());
+
+  // Concatenate partials in morsel order: build row ids come out
+  // exactly as a single-threaded drain would produce them.
+  auto shared = std::make_unique<SharedJoinBuild>();
+  for (size_t i = 0; i < spec.build_outputs.size(); ++i) {
+    PhysicalType type = PhysicalType::kI64;
+    bool found = false;
+    for (const BuildPartial& part : partials) {
+      if (i < part.cols.size()) {
+        type = part.cols[i]->type();
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Nothing survived the build-side filter; fall back to the source
+      // column's type where it names a stored column.
+      const Column* src =
+          build_table->FindColumn(spec.build_outputs[i].first);
+      if (src != nullptr) type = src->type();
+    }
+    shared->cols.push_back(std::make_unique<Column>(type));
+  }
+  u64 row0 = 0;
+  for (const BuildPartial& part : partials) {
+    if (!part.keys.empty()) {
+      shared->ht.Append(part.keys.data(), part.keys.size(), nullptr, 0,
+                        row0);
+      row0 += part.keys.size();
+    }
+    for (size_t i = 0; i < part.cols.size(); ++i) {
+      AppendColumnRows(*part.cols[i], shared->cols[i].get());
+    }
+  }
+  shared->ht.Finalize();
+
+  if (spec.use_bloom && engine_config_.join_bloom_filters) {
+    shared->bloom = std::make_unique<BloomFilter>(
+        BloomFilter::ForKeys(shared->ht.num_rows() + 1));
+    const JoinHashTable::View v = shared->ht.view();
+    for (size_t i = 0; i < shared->ht.num_rows(); ++i) {
+      shared->bloom->Insert(v.keys[i]);
+    }
+  }
+  return shared;
+}
+
+RunResult ParallelExecutor::RunAgg(const Table* table,
+                                   std::vector<std::string> scan_columns,
+                                   const PipelineFactory& factory,
+                                   const AggPlan& plan) {
+  MA_CHECK(table != nullptr);
+  ResetEngines();
+  const u64 t0 = CycleClock::Now();
+
+  MorselQueue queue(table->row_count(), parallel_config_.morsel_size,
+                    num_threads(), parallel_config_.work_stealing);
+  std::vector<std::unique_ptr<HashAggOperator>> aggs(num_threads());
+  std::vector<Status> status(num_threads(), Status::OK());
+
+  pool_->Run([&](int w) {
+    Engine* engine = engines_[w].get();
+    auto scan = std::make_unique<MorselScanOperator>(
+        engine, table, scan_columns, &queue, w);
+    OperatorPtr child = factory(engine, std::move(scan));
+    // Clone the plan: AggSpec holds expression trees, and each worker
+    // must own its own (expression nodes anchor primitive instances).
+    std::vector<HashAggOperator::AggSpec> specs;
+    for (const HashAggOperator::AggSpec& a : plan.aggs) {
+      HashAggOperator::AggSpec s;
+      s.fn = a.fn;
+      s.arg = a.arg != nullptr ? a.arg->Clone() : nullptr;
+      s.out_name = a.out_name;
+      s.type_hint = a.type_hint;
+      specs.push_back(std::move(s));
+    }
+    aggs[w] = std::make_unique<HashAggOperator>(
+        engine, std::move(child), plan.group_keys, plan.group_outputs,
+        std::move(specs), "parallel/agg");
+    // Open() drains this worker's share of the morsels — the
+    // thread-local pre-aggregation.
+    status[w] = aggs[w]->Open();
+  });
+  for (const Status& s : status) MA_CHECK(s.ok());
+  const u64 t_exec = CycleClock::Now();
+
+  // --- Merge the thread-local partials -------------------------------
+  std::vector<HashAggOperator::Partial> parts;
+  for (const auto& agg : aggs) parts.push_back(agg->partial());
+
+  // Union of group keys, emitted in packed-key order so the output is
+  // independent of which worker saw which group first.
+  std::vector<i64> keys;
+  const bool grouped = !plan.group_keys.empty();
+  if (grouped) {
+    for (const auto& part : parts) {
+      for (u32 g = 0; g < part.groups->num_groups(); ++g) {
+        keys.push_back(part.groups->KeyOfGroup(g));
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  } else {
+    keys.push_back(0);  // the single global group
+  }
+
+  RunResult result;
+  result.table = std::make_unique<Table>("result");
+
+  // Group outputs: first-seen row values, taken from the first worker
+  // (in id order) holding the group. These columns are functionally
+  // dependent on the group key in every query here, so any worker's
+  // copy is the same value.
+  for (size_t g = 0; g < plan.group_outputs.size(); ++g) {
+    PhysicalType type = PhysicalType::kI64;
+    for (const auto& part : parts) {
+      if (g < part.group_out_cols->size()) {
+        type = (*part.group_out_cols)[g]->type();
+        break;
+      }
+    }
+    Column* dst = result.table->AddColumn(plan.group_outputs[g], type);
+    for (const i64 key : keys) {
+      for (const auto& part : parts) {
+        if (g >= part.group_out_cols->size()) continue;
+        const i64 gid = part.groups->Find(key);
+        if (gid < 0) continue;
+        AppendCell(*(*part.group_out_cols)[g],
+                   static_cast<size_t>(gid), dst);
+        break;
+      }
+    }
+  }
+
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    const std::string& fn = plan.aggs[a].fn;
+    const std::string& out_name = plan.aggs[a].out_name;
+    // Accumulator type: trust a partial that inferred it from real
+    // input over one that fell back to the type_hint — a worker starved
+    // by stealing drains nothing and its hint may disagree with what
+    // the busy workers saw. A hint-typed partial holds no data, so
+    // skipping its (differently-typed) accumulators in the fold below
+    // loses nothing.
+    bool is_float = parts.empty() ? false : parts[0].aggs[a].is_float;
+    for (const auto& part : parts) {
+      if (part.aggs[a].typed_from_data) {
+        is_float = part.aggs[a].is_float;
+        break;
+      }
+    }
+    // Per-key fold over the partials in worker order.
+    using CombineI = i64 (*)(i64, i64);
+    using CombineF = f64 (*)(f64, f64);
+    struct Folded {
+      f64 f;
+      i64 i;
+      i64 count;
+    };
+    auto fold = [&](i64 key, i64 init_i, f64 init_f, CombineI ci,
+                    CombineF cf) -> Folded {
+      Folded r{init_f, init_i, 0};
+      for (const auto& part : parts) {
+        const i64 gid = grouped ? part.groups->Find(key)
+                                : (part.groups->num_groups() > 0 ? 0 : -1);
+        if (gid < 0) continue;
+        const auto& pa = part.aggs[a];
+        const size_t g = static_cast<size_t>(gid);
+        if (is_float) {
+          if (g < pa.acc_f->size()) r.f = cf(r.f, (*pa.acc_f)[g]);
+        } else {
+          if (g < pa.acc_i->size()) r.i = ci(r.i, (*pa.acc_i)[g]);
+        }
+        if (pa.count != nullptr && g < pa.count->size()) {
+          r.count += (*pa.count)[g];
+        }
+      }
+      return r;
+    };
+
+    const CombineI add_i = +[](i64 x, i64 y) { return x + y; };
+    const CombineF add_f = +[](f64 x, f64 y) { return x + y; };
+    const CombineI min_i = +[](i64 x, i64 y) { return std::min(x, y); };
+    const CombineF min_f = +[](f64 x, f64 y) { return std::min(x, y); };
+    const CombineI max_i = +[](i64 x, i64 y) { return std::max(x, y); };
+    const CombineF max_f = +[](f64 x, f64 y) { return std::max(x, y); };
+
+    if (fn == "avg") {
+      Column* dst = result.table->AddColumn(out_name, PhysicalType::kF64);
+      for (const i64 key : keys) {
+        const Folded r = fold(key, 0, 0.0, add_i, add_f);
+        const f64 sum = is_float ? r.f : static_cast<f64>(r.i);
+        dst->Append<f64>(r.count == 0 ? 0.0 : sum / r.count);
+      }
+    } else if (fn == "min" || fn == "max") {
+      const bool is_min = fn == "min";
+      Column* dst = result.table->AddColumn(
+          out_name, is_float ? PhysicalType::kF64 : PhysicalType::kI64);
+      const i64 init_i = is_min ? std::numeric_limits<i64>::max()
+                                : std::numeric_limits<i64>::min();
+      const f64 init_f = is_min ? std::numeric_limits<f64>::infinity()
+                                : -std::numeric_limits<f64>::infinity();
+      for (const i64 key : keys) {
+        const Folded r = fold(key, init_i, init_f, is_min ? min_i : max_i,
+                              is_min ? min_f : max_f);
+        if (is_float) {
+          dst->Append<f64>(r.f);
+        } else {
+          dst->Append<i64>(r.i);
+        }
+      }
+    } else {  // sum, count
+      Column* dst = result.table->AddColumn(
+          out_name, is_float ? PhysicalType::kF64 : PhysicalType::kI64);
+      for (const i64 key : keys) {
+        const Folded r = fold(key, 0, 0.0, add_i, add_f);
+        if (is_float) {
+          dst->Append<f64>(r.f);
+        } else {
+          dst->Append<i64>(r.i);
+        }
+      }
+    }
+  }
+  result.table->set_row_count(keys.size());
+  result.rows_emitted = keys.size();
+
+  const u64 t_end = CycleClock::Now();
+  result.stages.execute = t_exec - t0;
+  result.stages.primitives = TotalPrimitiveCycles();
+  result.stages.postprocess = t_end - t_exec;
+  result.total_cycles = t_end - t0;
+  result.seconds =
+      static_cast<f64>(result.total_cycles) / CycleClock::FrequencyHz();
+  return result;
+}
+
+}  // namespace ma

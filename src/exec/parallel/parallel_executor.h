@@ -1,0 +1,136 @@
+// ParallelExecutor: morsel-driven parallel query execution with
+// thread-local Micro Adaptivity.
+//
+// The paper's profiling is thread-local by design (§3.2): a flavor's
+// cost is measured with rdtsc on the core that ran it, so bandit state
+// must never be shared between cores. This executor takes that
+// seriously: every worker owns a full Engine — its own
+// PrimitiveInstances, bandit policies, adaptive chunk state, APHs and
+// scratch vectors — and builds its own operator-tree instance of the
+// pipeline over a MorselScanOperator leaf. The only shared, mutable
+// object during execution is the morsel queue (one mutex interaction
+// per ~64 vectors); kernel dispatch stays free of atomics and locks.
+// After a phase the per-thread profiles are merged into one report
+// (adapt/profile_merge.h), preserving per-thread winners — under
+// asymmetric load, threads legitimately converge to different flavors.
+//
+// Determinism: streaming pipelines (scan → select → project, and probe
+// pipelines over a shared join build) write their output into
+// per-morsel buffers that are concatenated in morsel-index order, so
+// the merged result is byte-identical no matter how many threads ran or
+// which worker stole which morsel. Join builds are concatenated in
+// morsel order too, making build-side row ids deterministic.
+// Aggregations pre-aggregate thread-locally and merge; groups are
+// emitted in packed-key order. Integer aggregates are exact under any
+// thread count; f64 sums depend on which rows each thread saw (FP
+// addition is not associative), so they are deterministic per run shape
+// but not bit-stable across thread counts.
+#ifndef MA_EXEC_PARALLEL_PARALLEL_EXECUTOR_H_
+#define MA_EXEC_PARALLEL_PARALLEL_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/profile_merge.h"
+#include "exec/engine.h"
+#include "exec/op_hash_agg.h"
+#include "exec/op_hash_join.h"
+#include "exec/parallel/morsel.h"
+#include "exec/parallel/morsel_scan.h"
+#include "exec/parallel/thread_pool.h"
+
+namespace ma {
+
+struct ParallelConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Rows per morsel (64 vectors at the default vector size): large
+  /// enough to amortize the queue mutex over many primitive calls,
+  /// small enough to rebalance skewed pipelines by stealing.
+  u64 morsel_size = 64 * 1024;
+  /// Disable to pin each worker to its contiguous partition — useful
+  /// for experiments that need a known thread-to-data assignment (e.g.
+  /// the per-thread bandit divergence test).
+  bool work_stealing = true;
+};
+
+class ParallelExecutor {
+ public:
+  /// Builds, per worker, the pipeline on top of the morsel scan leaf.
+  /// Called once per worker with that worker's engine; it must create a
+  /// fresh operator/expression tree each time (trees hold per-thread
+  /// state and must never be shared).
+  using PipelineFactory =
+      std::function<OperatorPtr(Engine*, OperatorPtr scan)>;
+
+  /// `engine_config` is cloned into every worker's engine. `dict` lets
+  /// tests run against a private primitive dictionary.
+  explicit ParallelExecutor(
+      EngineConfig engine_config = EngineConfig(),
+      ParallelConfig parallel_config = ParallelConfig(),
+      PrimitiveDictionary* dict = &PrimitiveDictionary::Global());
+  ~ParallelExecutor();
+
+  int num_threads() const { return pool_->size(); }
+
+  /// Runs a streaming pipeline (scan → select/project/probe...) over a
+  /// morsel-partitioned scan of `table`. The merged result table
+  /// concatenates per-morsel outputs in morsel order: byte-identical
+  /// across thread counts.
+  RunResult RunPipeline(const Table* table,
+                        std::vector<std::string> scan_columns,
+                        const PipelineFactory& factory);
+
+  /// Parallel hash-join build: drains per-worker build pipelines over a
+  /// morsel scan of `build_table` into per-morsel buffers, concatenates
+  /// them in morsel order into the shared table (deterministic row
+  /// ids), finalizes, and — when `spec.use_bloom` — fills the shared
+  /// bloom filter. Probe pipelines then mount the result via
+  /// HashJoinOperator's shared-build constructor.
+  std::unique_ptr<SharedJoinBuild> BuildJoin(
+      const Table* build_table, std::vector<std::string> scan_columns,
+      const PipelineFactory& factory, const HashJoinSpec& spec);
+
+  /// Thread-local pre-aggregation + merge. Each worker drains its own
+  /// HashAggOperator over the factory pipeline; partials merge into one
+  /// result table with groups emitted in packed-key order.
+  /// `group_outputs` must be functionally dependent on the group keys
+  /// (the usual dictionary-decode companions): each worker records its
+  /// own first-seen value per group and the merge takes any worker's
+  /// copy, which is only well-defined when all copies agree.
+  struct AggPlan {
+    std::vector<HashAggOperator::GroupKey> group_keys;
+    std::vector<std::string> group_outputs;
+    std::vector<HashAggOperator::AggSpec> aggs;
+  };
+  RunResult RunAgg(const Table* table,
+                   std::vector<std::string> scan_columns,
+                   const PipelineFactory& factory, const AggPlan& plan);
+
+  /// Per-worker engines of the most recent run (index = worker id) —
+  /// each holds that thread's PrimitiveInstances and bandit state.
+  const std::vector<std::unique_ptr<Engine>>& engines() const {
+    return engines_;
+  }
+
+  /// Profiles of the most recent run, merged across workers by label.
+  std::vector<InstanceProfile> MergedProfile() const;
+
+ private:
+  /// Fresh per-worker engines for a new run.
+  void ResetEngines();
+  /// Sum of primitive cycles across all worker engines.
+  u64 TotalPrimitiveCycles() const;
+
+  EngineConfig engine_config_;
+  ParallelConfig parallel_config_;
+  PrimitiveDictionary* dict_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_PARALLEL_PARALLEL_EXECUTOR_H_

@@ -1,0 +1,57 @@
+#include "exec/parallel/thread_pool.h"
+
+#include "common/status.h"
+
+namespace ma {
+
+ThreadPool::ThreadPool(int num_threads) {
+  MA_CHECK(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Run(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  MA_CHECK(pending_ == 0);
+  task_ = &fn;
+  pending_ = size();
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int id) {
+  u64 seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(id);
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --pending_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace ma

@@ -1,0 +1,51 @@
+// ThreadPool: a fixed set of worker threads reused across parallel
+// phases. Each phase hands every worker the same callable with its
+// worker id; workers pull morsels from a MorselQueue inside, so the
+// pool itself needs no queueing beyond "run one task per worker".
+//
+// Synchronization happens only at phase boundaries (one condition
+// variable round-trip per Run call). Nothing here touches the per-vector
+// kernel dispatch path, which stays lock- and atomic-free by design.
+#ifndef MA_EXEC_PARALLEL_THREAD_POOL_H_
+#define MA_EXEC_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ma {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1). Workers idle until Run().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Invokes fn(worker_id) on every worker concurrently and blocks until
+  /// all workers have returned. Not reentrant.
+  void Run(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int id);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;  // valid while pending_ > 0
+  u64 generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ma
+
+#endif  // MA_EXEC_PARALLEL_THREAD_POOL_H_

@@ -10,6 +10,7 @@
 #define MA_PRIM_AGGR_KERNELS_H_
 
 #include <string>
+#include <type_traits>
 
 #include "prim/ops.h"
 #include "prim/prim_call.h"
@@ -33,6 +34,39 @@ struct AccOf<f64> {
   using type = f64;
 };
 
+/// True if gid[0..n) are all equal (n > 0) — the one-group fast path
+/// shared by the scalar and SIMD sum kernels.
+inline bool AggrAllSameGroup(const u32* gid, size_t n) {
+  for (size_t i = 1; i < n; ++i) {
+    if (gid[i] != gid[0]) return false;
+  }
+  return true;
+}
+
+/// Fixed-shape striped summation for f64 one-group vectors: four stripe
+/// accumulators s_l sum v[l], v[l+4], v[l+8], ...; they combine as
+/// (s0 + s2) + (s1 + s3); the <4 tail adds sequentially. This is the
+/// contract every aggr_sum_f64_col flavor implements for the
+/// (dense, one-group) case: a 4-lane SIMD register performs the exact
+/// same IEEE adds per stripe and the same combine tree, so scalar,
+/// compiler-variation and AVX2 flavors all produce bit-identical sums —
+/// SUM(f64) cannot depend on which flavor the bandit picks. (Striping
+/// also breaks the serial FP dependency chain, so the scalar flavors
+/// get faster, not slower.)
+inline f64 OneGroupSumF64(const f64* v, size_t n) {
+  f64 s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += v[i];
+    s1 += v[i + 1];
+    s2 += v[i + 2];
+    s3 += v[i + 3];
+  }
+  f64 total = (s0 + s2) + (s1 + s3);
+  for (; i < n; ++i) total += v[i];
+  return total;
+}
+
 /// Plain grouped-update loop. in1 = values, in2 = group ids, state =
 /// accumulator array.
 template <typename T, typename AGG>
@@ -41,6 +75,12 @@ size_t AggrUpdate(const PrimCall& c) {
   const T* v = static_cast<const T*>(c.in1);
   const u32* gid = static_cast<const u32*>(c.in2);
   Acc* acc = static_cast<Acc*>(c.state);
+  if constexpr (std::is_same_v<T, f64> && std::is_same_v<AGG, AggSum>) {
+    if (c.sel == nullptr && c.n > 0 && AggrAllSameGroup(gid, c.n)) {
+      acc[gid[0]] += OneGroupSumF64(v, c.n);
+      return c.n;
+    }
+  }
   if (c.sel != nullptr) {
     for (size_t j = 0; j < c.sel_n; ++j) {
       const sel_t i = c.sel[j];
@@ -62,6 +102,12 @@ size_t AggrUpdateUnroll8(const PrimCall& c) {
   const T* v = static_cast<const T*>(c.in1);
   const u32* gid = static_cast<const u32*>(c.in2);
   Acc* acc = static_cast<Acc*>(c.state);
+  if constexpr (std::is_same_v<T, f64> && std::is_same_v<AGG, AggSum>) {
+    if (c.sel == nullptr && c.n > 0 && AggrAllSameGroup(gid, c.n)) {
+      acc[gid[0]] += OneGroupSumF64(v, c.n);
+      return c.n;
+    }
+  }
   if (c.sel != nullptr) {
     size_t j = 0;
 #define MA_BODY(J) \

@@ -17,7 +17,11 @@ namespace {
 using namespace simd_detail;
 
 /// True if gid[0..n) are all equal (n > 0). SIMD compare with early exit
-/// every 32 ids.
+/// every 32 ids — the AVX2-accelerated twin of
+/// aggr_detail::AggrAllSameGroup (which the scalar flavors use; they
+/// cannot call SIMD code). The two must answer identically: the f64
+/// bit-stability contract requires every flavor to take the one-group
+/// fast path under exactly the same condition.
 inline bool AllSameGroup(const u32* gid, size_t n) {
   const __m256i first = _mm256_set1_epi32(static_cast<i32>(gid[0]));
   size_t i = 0;
@@ -57,6 +61,11 @@ size_t AggrSumOneGroup(const PrimCall& c) {
   if (c.sel == nullptr && c.n > 0 && AllSameGroup(gid, c.n)) {
     size_t i = 0;
     if constexpr (std::is_same_v<T, f64>) {
+      // Bit-stable by construction: lane l of `sum` performs exactly the
+      // IEEE adds of stripe accumulator s_l in OneGroupSumF64, and
+      // HSumPd combines as (s0 + s2) + (s1 + s3) — the same fixed tree.
+      // The scalar flavors implement the identical order, so SUM(f64)
+      // does not depend on the bandit's flavor choice.
       __m256d sum = _mm256_setzero_pd();
       for (; i + 4 <= c.n; i += 4) {
         sum = _mm256_add_pd(sum, _mm256_loadu_pd(v + i));
@@ -101,10 +110,12 @@ size_t AggrSumOneGroup(const PrimCall& c) {
 }  // namespace
 
 void RegisterAggrKernelsAvx2(PrimitiveDictionary* dict) {
-  // Integer sums only: lane-parallel f64 summation reassociates the
-  // adds, so its rounding can differ from the scalar flavor's — flavors
-  // must be bit-equivalent or the bandit makes query results depend on
-  // its choices. A pairwise/compensated f64 variant is a ROADMAP item.
+  // Flavors must be bit-equivalent or the bandit makes query results
+  // depend on its choices. Integer sums are exact; the f64 sum is
+  // registrable because every aggr_sum_f64_col flavor now implements
+  // the same fixed-shape striped summation for the one-group case (see
+  // OneGroupSumF64 in aggr_kernels.h), which a 4-lane register
+  // reproduces add-for-add.
   MA_CHECK(dict->Register(AggrSignature(AggSum::kName, PhysicalType::kI32),
                           FlavorInfo{"simd_onegroup", FlavorSetId::kSimd,
                                      &AggrSumOneGroup<i32>})
@@ -112,6 +123,10 @@ void RegisterAggrKernelsAvx2(PrimitiveDictionary* dict) {
   MA_CHECK(dict->Register(AggrSignature(AggSum::kName, PhysicalType::kI64),
                           FlavorInfo{"simd_onegroup", FlavorSetId::kSimd,
                                      &AggrSumOneGroup<i64>})
+               .ok());
+  MA_CHECK(dict->Register(AggrSignature(AggSum::kName, PhysicalType::kF64),
+                          FlavorInfo{"simd_onegroup", FlavorSetId::kSimd,
+                                     &AggrSumOneGroup<f64>})
                .ok());
 }
 

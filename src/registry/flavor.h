@@ -1,6 +1,12 @@
 // Flavor metadata. A "flavor" is one concrete implementation of a logical
 // primitive; the Primitive Dictionary maps a signature string to the set
 // of flavors registered for it (paper §3.1).
+//
+// Flavor entries are immutable once registered: PrimitiveInstances
+// snapshot the function pointers at construction and keep all usage
+// accounting thread-local, so any number of worker threads can dispatch
+// through the same dictionary without synchronization (morsel-driven
+// parallelism relies on this).
 #ifndef MA_REGISTRY_FLAVOR_H_
 #define MA_REGISTRY_FLAVOR_H_
 
@@ -33,9 +39,6 @@ struct FlavorInfo {
   FlavorSetId set = FlavorSetId::kDefault;
   /// The implementation.
   PrimFn fn = nullptr;
-  /// Lifetime usage counter (calls across all instances); maintained by
-  /// the evaluator, interesting for diagnostics only.
-  mutable u64 times_used = 0;
 };
 
 /// All flavors registered under one primitive signature.

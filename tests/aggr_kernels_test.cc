@@ -151,5 +151,39 @@ INSTANTIATE_TEST_SUITE_P(AllAggrPrimitives, AggrFlavorEquivalenceTest,
                            return n;
                          });
 
+// Every aggr_sum_f64_col flavor (scalar default/nounroll, the three
+// compiler-variation builds, and simd_onegroup where the CPU has AVX2)
+// must produce bit-identical sums in the dense one-group case — the
+// contract that makes SUM(f64) independent of the bandit's choices.
+TEST(AggrKernelsTest, OneGroupF64SumIsBitStableAcrossFlavors) {
+  const FlavorEntry* entry = PrimitiveDictionary::Global().Find(
+      AggrSignature(AggSum::kName, PhysicalType::kF64));
+  ASSERT_NE(entry, nullptr);
+  Rng rng(23);
+  // Odd length so the sequential <4 tail is exercised too.
+  constexpr size_t kN = 1003;
+  std::vector<f64> vals(kN);
+  for (f64& v : vals) {
+    // Mixed magnitudes so summation order actually changes rounding:
+    // a naive reassociation would not pass the exact comparison below.
+    v = (rng.NextBool(0.1) ? 1e12 : 1e-3) *
+        (static_cast<f64>(rng.NextRange(-1000, 1000)) / 7.0);
+  }
+  std::vector<u32> gids(kN, 3);
+
+  const f64 reference = aggr_detail::OneGroupSumF64(vals.data(), kN);
+  for (const FlavorInfo& flavor : entry->flavors) {
+    std::vector<f64> acc(4, 0.0);
+    PrimCall c;
+    c.n = kN;
+    c.in1 = vals.data();
+    c.in2 = gids.data();
+    c.state = acc.data();
+    flavor.fn(c);
+    EXPECT_EQ(acc[3], reference) << "flavor " << flavor.name;
+    EXPECT_EQ(acc[0], 0.0) << "flavor " << flavor.name;
+  }
+}
+
 }  // namespace
 }  // namespace ma

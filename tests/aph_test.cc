@@ -125,7 +125,8 @@ TEST(AphTest, ChunkedDispatchSamplesOneCallPerChunk) {
   AdaptiveConfig cfg;
   cfg.mode = ExecMode::kAdaptive;
   cfg.policy = PolicyKind::kFixed;
-  cfg.chunk_size = 8;
+  cfg.chunk_max = 8;
+  cfg.chunk_adaptive = false;  // pin K so the sampling cadence is exact
   PrimitiveInstance inst(entry, cfg, "aph_chunk");
 
   std::vector<i32> col(100, 1);

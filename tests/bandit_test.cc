@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -324,7 +325,7 @@ TEST(PrimitiveInstanceTest, ChunkedDispatchStillConvergesToBestFlavor) {
   const FlavorEntry entry = SyntheticEntry();
   AdaptiveConfig cfg;
   cfg.mode = ExecMode::kAdaptive;
-  cfg.chunk_size = 64;
+  cfg.chunk_max = 64;
   cfg.params.explore_period = 64;
   cfg.params.exploit_period = 8;
   cfg.params.explore_length = 4;
@@ -352,7 +353,7 @@ TEST(PrimitiveInstanceTest, ChunkSizeOneMatchesClassicBehavior) {
   const FlavorEntry entry = SyntheticEntry();
   AdaptiveConfig cfg;
   cfg.mode = ExecMode::kAdaptive;
-  cfg.chunk_size = 1;
+  cfg.chunk_max = 1;
   PrimitiveInstance inst(&entry, cfg, "classic");
   PrimCall c;
   c.n = 100;
@@ -365,7 +366,7 @@ TEST(PrimitiveInstanceTest, ChunkedDispatchKeepsExploringAfterConvergence) {
   const FlavorEntry entry = SyntheticEntry();
   AdaptiveConfig cfg;
   cfg.mode = ExecMode::kAdaptive;
-  cfg.chunk_size = 16;
+  cfg.chunk_max = 16;
   cfg.params.explore_period = 64;
   cfg.params.exploit_period = 8;
   cfg.params.explore_length = 2;
@@ -376,6 +377,59 @@ TEST(PrimitiveInstanceTest, ChunkedDispatchKeepsExploringAfterConvergence) {
   for (int i = 0; i < 4096; ++i) inst.Call(c);
   // vw-greedy's periodic exploration must still sample the loser.
   EXPECT_GT(inst.usage()[slow].calls, 10u);
+}
+
+TEST(PrimitiveInstanceTest, AdaptiveChunkGrowsWhileWinnerIsStable) {
+  // A fixed policy is permanently stable on one flavor, so K must double
+  // every decision call (2, 4, 8, 16) and then saturate at chunk_max.
+  const FlavorEntry entry = SyntheticEntry();
+  AdaptiveConfig cfg;
+  cfg.mode = ExecMode::kAdaptive;
+  cfg.policy = PolicyKind::kFixed;
+  cfg.chunk_max = 16;
+  PrimitiveInstance inst(&entry, cfg, "grow");
+  PrimCall c;
+  c.n = 100;
+  u64 max_k = 0;
+  for (int i = 0; i < 200; ++i) {
+    inst.Call(c);
+    max_k = std::max(max_k, inst.current_chunk_k());
+  }
+  EXPECT_EQ(max_k, 16u);
+  // Decision calls: 4 doubling steps (after calls 1, 3, 7, 15), then one
+  // per 16 calls. Far fewer timed samples than the 200 calls made.
+  EXPECT_EQ(inst.calls(), 200u);
+  const u64 timed = inst.aph()->total_calls();
+  EXPECT_GE(timed, 10u);
+  EXPECT_LE(timed, 20u);
+}
+
+TEST(PrimitiveInstanceTest, AdaptiveChunkShrinksOnRegimeChange) {
+  // vw-greedy periodically re-explores; exploration decisions are not
+  // stable, so K must collapse back to 1 and then regrow — both states
+  // must be observable over a few exploration periods.
+  const FlavorEntry entry = SyntheticEntry();
+  AdaptiveConfig cfg;
+  cfg.mode = ExecMode::kAdaptive;
+  cfg.chunk_max = 16;
+  // Short periods: the policy clock only advances on decision calls, and
+  // chunked replays make those ~chunk_max times rarer than Call()s.
+  cfg.params.explore_period = 16;
+  cfg.params.exploit_period = 8;
+  cfg.params.explore_length = 2;
+  PrimitiveInstance inst(&entry, cfg, "shrink");
+  PrimCall c;
+  c.n = 1000;
+  bool grew = false;
+  bool shrank_after_growth = false;
+  for (int i = 0; i < 2048; ++i) {
+    inst.Call(c);
+    const u64 k = inst.current_chunk_k();
+    if (k >= 4) grew = true;
+    if (grew && k == 1) shrank_after_growth = true;
+  }
+  EXPECT_TRUE(grew);
+  EXPECT_TRUE(shrank_after_growth);
 }
 
 TEST(PrimitiveInstanceTest, HeuristicModeUsesHook) {
