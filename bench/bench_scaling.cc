@@ -1,10 +1,20 @@
-// Morsel-driven scaling on the Table-1 query:
-//   SELECT l_orderkey FROM lineitem WHERE l_quantity < 40
-// run through the ParallelExecutor at 1/2/4/8 worker threads. Each
-// worker owns its PrimitiveInstances (thread-local bandits, per-thread
-// adaptive chunk K), the only shared mutable state is the morsel queue,
-// and per-morsel outputs merge in morsel order — so besides the speedup
-// we assert the merged result is byte-identical across thread counts.
+// Morsel-driven scaling, two sections into BENCH_scaling.json:
+//
+// 1. The Table-1 query
+//      SELECT l_orderkey FROM lineitem WHERE l_quantity < 40
+//    run through the raw ParallelExecutor at 1/2/4/8 worker threads.
+//    Each worker owns its PrimitiveInstances (thread-local bandits,
+//    per-thread adaptive chunk K), the only shared mutable state is the
+//    morsel queue, and per-morsel outputs merge in morsel order — so
+//    besides the speedup we assert the merged result is byte-identical
+//    across thread counts.
+//
+// 2. TPC-H Q1 and Q6 written once as logical plans (tpch/plans.h) and
+//    run through plan::QuerySession — serial vs parallel at 1/2/4/N
+//    threads (N = host cores). The plan layer's determinism contract is
+//    asserted at full bit strictness: every parallel run must equal the
+//    serial table byte for byte (f64 aggregates included, courtesy of
+//    the fixed-point SUM accumulator).
 //
 // Expected: near-linear scaling up to the physical core count (>= 2.5x
 // at 4 threads on a 4+-core host); on smaller hosts the curve flattens
@@ -17,7 +27,9 @@
 #include "exec/op_project.h"
 #include "exec/op_select.h"
 #include "exec/parallel/parallel_executor.h"
+#include "plan/query_session.h"
 #include "tpch/dbgen.h"
+#include "tpch/plans.h"
 
 namespace ma {
 namespace {
@@ -49,6 +61,127 @@ u64 ResultFingerprint(const Table& t) {
     }
   }
   return h;
+}
+
+/// Bit-exact fingerprint over all column types (f64 by bit pattern) for
+/// the plan-layer section, where full byte identity is the contract.
+u64 BitFingerprint(const Table& t) {
+  u64 h = 1469598103934665603ULL;
+  auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(t.row_count());
+  mix(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const Column* col = t.column(c);
+    for (size_t i = 0; i < col->size(); ++i) {
+      switch (col->type()) {
+        case PhysicalType::kI64:
+          mix(static_cast<u64>(col->Get<i64>(i)));
+          break;
+        case PhysicalType::kF64: {
+          const f64 v = col->Get<f64>(i);
+          u64 bits;
+          std::memcpy(&bits, &v, sizeof(bits));
+          mix(bits);
+          break;
+        }
+        case PhysicalType::kStr:
+          for (const char ch : col->Get<StrRef>(i).view()) {
+            mix(static_cast<u8>(ch));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return h;
+}
+
+/// Median seconds over `reps` runs after one warmup.
+template <typename F>
+f64 MedianSeconds(F&& run, int reps = 5) {
+  run();  // warmup
+  std::vector<f64> samples;
+  for (int r = 0; r < reps; ++r) samples.push_back(run());
+  std::nth_element(samples.begin(), samples.begin() + reps / 2,
+                   samples.end());
+  return samples[static_cast<size_t>(reps / 2)];
+}
+
+/// Section 2: logical-plan queries, serial vs 1/2/4/N worker threads.
+bool RunPlanQueries(const tpch::TpchData& data, int cores,
+                    bench::BenchJson* json) {
+  struct NamedPlan {
+    const char* name;
+    plan::LogicalPlan plan;
+  };
+  NamedPlan queries[] = {{"q1", tpch::Q1Plan(data)},
+                         {"q6", tpch::Q6Plan(data)}};
+
+  std::printf("\n%-6s %-8s %12s %10s %10s %10s\n", "query", "mode",
+              "seconds", "speedup", "rows", "identical");
+  bool all_identical = true;
+  for (NamedPlan& q : queries) {
+    MA_CHECK(q.plan.ok());
+    plan::SessionConfig serial_cfg;
+    serial_cfg.engine.adaptive.mode = ExecMode::kAdaptive;
+    plan::QuerySession serial_session{serial_cfg};
+    RunResult serial_result;
+    const f64 serial_seconds = MedianSeconds([&] {
+      serial_result =
+          serial_session.Run(q.plan, plan::ExecMode::kSerial);
+      return serial_result.seconds;
+    });
+    const u64 serial_fp = BitFingerprint(*serial_result.table);
+    std::printf("%-6s %-8s %12.6f %9.2fx %10llu %10s\n", q.name, "serial",
+                serial_seconds, 1.0,
+                static_cast<unsigned long long>(serial_result.rows_emitted),
+                "-");
+    json->AddRow()
+        .Str("query", q.name)
+        .Str("mode", "serial")
+        .Num("threads", 0)
+        .Num("host_cores", cores)
+        .Num("seconds", serial_seconds)
+        .Num("rows", static_cast<f64>(serial_result.rows_emitted));
+
+    std::vector<int> thread_counts = {1, 2, 4};
+    if (cores > 4) thread_counts.push_back(cores);
+    for (const int threads : thread_counts) {
+      plan::SessionConfig cfg;
+      cfg.engine.adaptive.mode = ExecMode::kAdaptive;
+      cfg.parallel.num_threads = threads;
+      plan::QuerySession session{cfg};
+      RunResult result;
+      const f64 seconds = MedianSeconds([&] {
+        result = session.Run(q.plan, plan::ExecMode::kParallel);
+        return result.seconds;
+      });
+      MA_CHECK(session.last_run_parallel());
+      const bool identical =
+          BitFingerprint(*result.table) == serial_fp &&
+          result.rows_emitted == serial_result.rows_emitted;
+      all_identical = all_identical && identical;
+      const f64 speedup = serial_seconds / seconds;
+      std::printf("%-6s %dt %16.6f %9.2fx %10llu %10s\n", q.name,
+                  threads, seconds, speedup,
+                  static_cast<unsigned long long>(result.rows_emitted),
+                  identical ? "yes" : "NO");
+      json->AddRow()
+          .Str("query", q.name)
+          .Str("mode", "parallel")
+          .Num("threads", threads)
+          .Num("host_cores", cores)
+          .Num("seconds", seconds)
+          .Num("speedup_vs_serial", speedup)
+          .Num("rows", static_cast<f64>(result.rows_emitted))
+          .Num("identical_to_serial", identical ? 1 : 0);
+    }
+  }
+  return all_identical;
 }
 
 int Run() {
@@ -117,6 +250,14 @@ int Run() {
         .Num("rows", static_cast<f64>(result.rows_emitted))
         .Num("identical_to_1thread", identical ? 1 : 0);
   }
+  bench::PrintHeader(
+      "Logical-plan queries: TPC-H Q1 + Q6, serial vs 1/2/4/N threads",
+      "One PlanBuilder plan per query (tpch/plans.h), compiled per "
+      "executor by plan::QuerySession. The identical column is a "
+      "bit-exact table comparison against the serial run — f64 "
+      "aggregates included.");
+  const bool plans_identical = RunPlanQueries(*data, cores, &json);
+
   std::printf(
       "\nExpected: >= 2.5x at 4 threads on a 4+-core host; the curve\n"
       "saturates at the physical core count (host_cores in the JSON).\n"
@@ -125,6 +266,11 @@ int Run() {
   if (!all_identical) {
     std::fprintf(stderr,
                  "FAIL: multi-thread result diverged from 1-thread\n");
+    return 1;
+  }
+  if (!plans_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel plan result diverged from serial\n");
     return 1;
   }
   return 0;

@@ -1,12 +1,12 @@
-// Quickstart: build a small table, run an adaptive query, inspect the
-// per-primitive profile. Shows the three core concepts: primitive
-// flavors, the vw-greedy policy choosing between them per call, and the
-// Approximated Performance History recording what happened.
+// Quickstart: declare a query once as a logical plan, run it serially
+// and morsel-parallel through QuerySession, and inspect the adaptive
+// per-primitive profile. Shows the core concepts: the PlanBuilder API,
+// one plan compiling to either executor, primitive flavors, and the
+// vw-greedy policy choosing between them per call.
 #include <cstdio>
 
-#include "exec/op_project.h"
-#include "exec/op_scan.h"
-#include "exec/op_select.h"
+#include "plan/plan_builder.h"
+#include "plan/query_session.h"
 
 using namespace ma;
 
@@ -26,49 +26,59 @@ int main() {
   }
   table.set_row_count(1000000);
 
-  // 2. An engine with Micro Adaptivity on (vw-greedy bandit, all flavor
-  //    sets eligible).
-  EngineConfig config;
-  config.adaptive.mode = ExecMode::kAdaptive;
-  config.adaptive.policy = PolicyKind::kVwGreedy;
-  Engine engine(config);
-
-  // 3. A plan: scan -> select value < 100 -> project value * 2.
-  auto scan = std::make_unique<ScanOperator>(&engine, &table);
-  auto select = std::make_unique<SelectOperator>(
-      &engine, std::move(scan), Lt(Col("value"), Lit(100)));
+  // 2. The query, written once: scan -> filter value < 100 -> project
+  //    value * 2. No engine, no operators — just the description.
   std::vector<ProjectOperator::Output> outputs;
   outputs.push_back({"id", Col("id")});
   outputs.push_back({"doubled", Mul(Col("value"), Lit(2))});
-  ProjectOperator project(&engine, std::move(select),
-                          std::move(outputs));
+  const plan::LogicalPlan query =
+      plan::PlanBuilder::Scan(&table, {"id", "value"})
+          .Filter(Lt(Col("value"), Lit(100)))
+          .Project(std::move(outputs))
+          .Build();
+  if (!query.ok()) {
+    std::fprintf(stderr, "plan error: %s\n", query.status.message().c_str());
+    return 1;
+  }
+  std::printf("plan:\n%s\n", query.Describe().c_str());
 
-  const RunResult result = engine.Run(project);
-  std::printf("query produced %zu rows in %.3f ms (%llu cycles)\n",
-              result.table->row_count(), result.seconds * 1e3,
-              static_cast<unsigned long long>(result.total_cycles));
-  std::printf("stage breakdown: preprocess=%llu execute=%llu "
-              "primitives=%llu postprocess=%llu\n",
-              static_cast<unsigned long long>(result.stages.preprocess),
-              static_cast<unsigned long long>(result.stages.execute),
-              static_cast<unsigned long long>(result.stages.primitives),
-              static_cast<unsigned long long>(result.stages.postprocess));
+  // 3. A session with Micro Adaptivity on (vw-greedy bandit, all
+  //    flavor sets eligible). kSerial compiles one operator tree;
+  //    kParallel compiles one pipeline per worker thread. Either way
+  //    the result table is byte-identical.
+  plan::SessionConfig config;
+  config.engine.adaptive.mode = ExecMode::kAdaptive;
+  config.engine.adaptive.policy = PolicyKind::kVwGreedy;
+  plan::QuerySession session(config);
 
-  // 4. The profile: one PrimitiveInstance per expression node, each with
-  //    its own flavor statistics.
-  std::printf("\nper-primitive-instance profile:\n");
-  for (const auto& inst : engine.instances()) {
-    std::printf("  %-28s %-28s calls=%-6llu cycles/tuple=%.2f\n",
-                inst->label().c_str(), inst->entry()->signature.c_str(),
-                static_cast<unsigned long long>(inst->calls()),
-                inst->MeanCostPerTuple());
-    for (int f = 0; f < inst->num_flavors(); ++f) {
-      const auto& usage = inst->usage()[f];
-      if (usage.calls == 0) continue;
+  const RunResult serial = session.Run(query, plan::ExecMode::kSerial);
+  std::printf("serial:   %llu rows in %.3f ms\n",
+              static_cast<unsigned long long>(serial.rows_emitted),
+              serial.seconds * 1e3);
+
+  const RunResult parallel = session.Run(query, plan::ExecMode::kParallel);
+  const int workers = session.last_run_parallel()
+                          ? session.parallel_executor()->num_threads()
+                          : 1;
+  std::printf("parallel: %llu rows in %.3f ms (%d worker threads, %s)\n",
+              static_cast<unsigned long long>(parallel.rows_emitted),
+              parallel.seconds * 1e3, workers,
+              session.last_run_parallel() ? "per-worker pipelines"
+                                          : "serial fallback");
+
+  // 4. The profile: one row per plan site, merged across the worker
+  //    threads, each worker having run its own bandit.
+  std::printf("\nper-primitive-instance profile (parallel run):\n");
+  for (const InstanceProfile& p : session.Profile()) {
+    std::printf("  %-34s %-26s threads=%-2d calls=%-6llu\n",
+                p.label.c_str(), p.signature.c_str(), p.instances,
+                static_cast<unsigned long long>(p.calls));
+    for (const FlavorUsageProfile& f : p.flavors) {
+      if (f.calls == 0) continue;
       std::printf("      flavor %-14s used %6llu calls (%5.1f%%)\n",
-                  inst->flavors()[f]->name.c_str(),
-                  static_cast<unsigned long long>(usage.calls),
-                  100.0 * usage.calls / inst->calls());
+                  f.flavor.c_str(),
+                  static_cast<unsigned long long>(f.calls),
+                  p.calls > 0 ? 100.0 * f.calls / p.calls : 0.0);
     }
   }
   return 0;

@@ -22,6 +22,10 @@ using u64 = uint64_t;
 using f32 = float;
 using f64 = double;
 
+/// 128-bit signed integer (GCC/Clang builtin), used as the fixed-point
+/// accumulator of the order-independent f64 SUM (see aggr_kernels.h).
+using i128 = __int128;
+
 /// Index type used inside selection vectors. Vectorwise uses positions
 /// within a vector, so 32 bits is ample (vectors are ~1K values).
 using sel_t = u32;

@@ -1,0 +1,67 @@
+#include "exec/append.h"
+
+namespace ma {
+
+void AppendLive(const Vector& src, const Batch& batch, Column* dst) {
+  const size_t n = batch.row_count();
+  ForPhysicalType(src.type(), [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_same_v<T, StrRef>) {
+      const StrRef* d = src.Data<StrRef>();
+      if (batch.has_sel()) {
+        const SelVector& sel = batch.sel();
+        for (size_t j = 0; j < sel.size(); ++j) {
+          dst->AppendString(d[sel[j]].view());
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) dst->AppendString(d[i].view());
+      }
+    } else {
+      const T* d = src.Data<T>();
+      if (batch.has_sel()) {
+        const SelVector& sel = batch.sel();
+        dst->AppendGather<T>(d, sel.data(), sel.size());
+      } else {
+        dst->AppendBulk<T>(d, n);
+      }
+    }
+  });
+}
+
+void AppendColumnRows(const Column& src, Column* dst) {
+  const size_t n = src.size();
+  ForPhysicalType(src.type(), [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_same_v<T, StrRef>) {
+      for (size_t i = 0; i < n; ++i) {
+        dst->AppendString(src.Data<StrRef>()[i].view());
+      }
+    } else {
+      dst->AppendBulk<T>(src.Data<T>(), n);
+    }
+  });
+}
+
+void AppendCell(const Column& src, size_t row, Column* dst) {
+  ForPhysicalType(src.type(), [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_same_v<T, StrRef>) {
+      dst->AppendString(src.Get<StrRef>(row).view());
+    } else {
+      dst->Append<T>(src.Get<T>(row));
+    }
+  });
+}
+
+void AppendVectorCell(const Vector& src, size_t row, Column* dst) {
+  ForPhysicalType(src.type(), [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_same_v<T, StrRef>) {
+      dst->AppendString(src.Data<StrRef>()[row].view());
+    } else {
+      dst->Append<T>(src.Data<T>()[row]);
+    }
+  });
+}
+
+}  // namespace ma

@@ -1,5 +1,6 @@
 #include "exec/op_hash_agg.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "prim/aggr_kernels.h"
@@ -38,6 +39,7 @@ Status HashAggOperator::Open() {
     st.spec.arg = spec.arg ? spec.arg->Clone() : nullptr;
     st.spec.out_name = spec.out_name;
     st.spec.type_hint = spec.type_hint;
+    st.spec.exact_f64_sum = spec.exact_f64_sum;
     aggs_.push_back(std::move(st));
   }
   key_scratch_.resize(kMaxVectorSize, 0);
@@ -64,6 +66,15 @@ Status HashAggOperator::Open() {
     }
   }
   ResizeAccumulators();
+  emit_order_.clear();
+  if (emit_key_sorted_ && !group_keys_.empty() && table_.num_groups() > 1) {
+    emit_order_.resize(table_.num_groups());
+    for (u32 g = 0; g < table_.num_groups(); ++g) emit_order_[g] = g;
+    std::sort(emit_order_.begin(), emit_order_.end(),
+              [this](u32 a, u32 b) {
+                return table_.KeyOfGroup(a) < table_.KeyOfGroup(b);
+              });
+  }
   return Status::OK();
 }
 
@@ -72,7 +83,9 @@ void HashAggOperator::ResizeAccumulators() {
   for (AggState& st : aggs_) {
     const bool is_min = st.spec.fn == "min";
     const bool is_max = st.spec.fn == "max";
-    if (st.is_float()) {
+    if (st.exact()) {
+      st.acc_fx.resize(groups, 0);
+    } else if (st.is_float()) {
       const f64 init =
           is_min ? std::numeric_limits<f64>::infinity()
                  : (is_max ? -std::numeric_limits<f64>::infinity() : 0.0);
@@ -145,27 +158,7 @@ void HashAggOperator::ConsumeBatch(Batch& batch) {
         MA_CHECK(gid_scratch_[i] == stored);
         for (size_t g = 0; g < group_output_names_.size(); ++g) {
           const int idx = batch.FindColumn(group_output_names_[g]);
-          const Vector& src = batch.column(idx);
-          Column* dst = group_out_cols_[g].get();
-          switch (src.type()) {
-            case PhysicalType::kI64:
-              dst->Append<i64>(src.Data<i64>()[i]);
-              break;
-            case PhysicalType::kI32:
-              dst->Append<i32>(src.Data<i32>()[i]);
-              break;
-            case PhysicalType::kI16:
-              dst->Append<i16>(src.Data<i16>()[i]);
-              break;
-            case PhysicalType::kF64:
-              dst->Append<f64>(src.Data<f64>()[i]);
-              break;
-            case PhysicalType::kStr:
-              dst->AppendString(src.Data<StrRef>()[i].view());
-              break;
-            default:
-              MA_CHECK(false);
-          }
+          AppendVectorCell(batch.column(idx), i, group_out_cols_[g].get());
         }
         ++stored;
       };
@@ -191,6 +184,7 @@ void HashAggOperator::ConsumeBatch(Batch& batch) {
       st.arg_type = vt;
       const char* fn = st.spec.fn == "avg" ? "sum" : st.spec.fn.c_str();
       const char* kernel_fn = st.spec.arg == nullptr ? "count" : fn;
+      if (st.exact()) kernel_fn = "sumfix";
       st.update = engine_->NewInstance(
           AggrSignature(kernel_fn, vt),
           label_ + "/aggr_" + st.spec.fn + "_" + st.spec.out_name);
@@ -209,8 +203,10 @@ void HashAggOperator::ConsumeBatch(Batch& batch) {
     c.n = n;
     c.in1 = values;
     c.in2 = gid_scratch_.data();
-    c.state = st.is_float() ? static_cast<void*>(st.acc_f.data())
-                            : static_cast<void*>(st.acc_i.data());
+    c.state = st.exact()
+                  ? static_cast<void*>(st.acc_fx.data())
+                  : (st.is_float() ? static_cast<void*>(st.acc_f.data())
+                                   : static_cast<void*>(st.acc_i.data()));
     if (sel != nullptr) {
       c.sel = sel;
       c.sel_n = live;
@@ -236,8 +232,10 @@ HashAggOperator::Partial HashAggOperator::partial() const {
     a.out_name = &st.spec.out_name;
     a.is_float = st.is_float();
     a.typed_from_data = st.update != nullptr;
+    a.exact = st.exact();
     a.acc_i = &st.acc_i;
     a.acc_f = &st.acc_f;
+    a.acc_fx = &st.acc_fx;
     a.count = &st.count;
     p.aggs.push_back(a);
   }
@@ -252,23 +250,44 @@ bool HashAggOperator::Next(Batch* out) {
   // global aggregation always has its one group.
   const size_t n =
       std::min<size_t>(engine_->vector_size(), groups - emit_pos_);
+  const bool reorder = !emit_order_.empty();
+  // Dense group id of output row i of this batch.
+  auto gid = [&](size_t i) {
+    const u32 row = emit_pos_ + static_cast<u32>(i);
+    return reorder ? emit_order_[row] : row;
+  };
 
   for (size_t g = 0; g < group_out_cols_.size(); ++g) {
     const Column* col = group_out_cols_[g].get();
-    const char* base = static_cast<const char*>(col->RawData());
-    out->AddColumn(group_output_names_[g],
-                   Vector::View(col->type(),
-                                base + emit_pos_ * TypeWidth(col->type()),
-                                n));
+    if (!reorder) {
+      const char* base = static_cast<const char*>(col->RawData());
+      out->AddColumn(
+          group_output_names_[g],
+          Vector::View(col->type(),
+                       base + emit_pos_ * TypeWidth(col->type()), n));
+    } else {
+      auto v = std::make_shared<Vector>(col->type(), n);
+      ForPhysicalType(col->type(), [&](auto tag) {
+        using T = decltype(tag);
+        T* d = v->Data<T>();
+        const T* s = col->Data<T>();
+        for (size_t i = 0; i < n; ++i) d[i] = s[gid(i)];
+      });
+      v->set_size(n);
+      out->AddColumn(group_output_names_[g], std::move(v));
+    }
   }
   for (AggState& st : aggs_) {
     if (st.spec.fn == "avg") {
       auto v = std::make_shared<Vector>(PhysicalType::kF64, n);
       f64* d = v->Data<f64>();
       for (size_t i = 0; i < n; ++i) {
-        const u32 g = emit_pos_ + static_cast<u32>(i);
-        const f64 sum = st.is_float() ? st.acc_f[g]
-                                      : static_cast<f64>(st.acc_i[g]);
+        const u32 g = gid(i);
+        const f64 sum = st.exact()
+                            ? FixToF64(st.acc_fx[g])
+                            : (st.is_float()
+                                   ? st.acc_f[g]
+                                   : static_cast<f64>(st.acc_i[g]));
         d[i] = st.count[g] == 0 ? 0.0 : sum / st.count[g];
       }
       v->set_size(n);
@@ -276,13 +295,17 @@ bool HashAggOperator::Next(Batch* out) {
     } else if (st.is_float()) {
       auto v = std::make_shared<Vector>(PhysicalType::kF64, n);
       f64* d = v->Data<f64>();
-      for (size_t i = 0; i < n; ++i) d[i] = st.acc_f[emit_pos_ + i];
+      if (st.exact()) {
+        for (size_t i = 0; i < n; ++i) d[i] = FixToF64(st.acc_fx[gid(i)]);
+      } else {
+        for (size_t i = 0; i < n; ++i) d[i] = st.acc_f[gid(i)];
+      }
       v->set_size(n);
       out->AddColumn(st.spec.out_name, std::move(v));
     } else {
       auto v = std::make_shared<Vector>(PhysicalType::kI64, n);
       i64* d = v->Data<i64>();
-      for (size_t i = 0; i < n; ++i) d[i] = st.acc_i[emit_pos_ + i];
+      for (size_t i = 0; i < n; ++i) d[i] = st.acc_i[gid(i)];
       v->set_size(n);
       out->AddColumn(st.spec.out_name, std::move(v));
     }

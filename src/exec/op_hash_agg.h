@@ -35,6 +35,12 @@ class HashAggOperator : public Operator {
     /// from), so the output column type is stable. Most TPC-H aggregates
     /// are over f64 measures; integer sums must say so.
     PhysicalType type_hint = PhysicalType::kF64;
+    /// Accumulate f64 sums (and the sum half of avg) in 128-bit fixed
+    /// point (aggr_sumfix_f64_col): order-independent, so the emitted
+    /// value is bit-identical no matter how rows were batched or split
+    /// across threads. Set by the plan compiler; hand-built trees keep
+    /// the classic rounded-f64 accumulator.
+    bool exact_f64_sum = false;
   };
 
   /// `group_outputs`: child columns materialized per group (first-seen
@@ -49,6 +55,13 @@ class HashAggOperator : public Operator {
   bool Next(Batch* out) override;
 
   u32 num_groups() const { return table_.num_groups(); }
+
+  /// Emit groups in ascending packed-key order instead of first-seen
+  /// order. The plan compiler sets this on serially-compiled GroupBy
+  /// nodes so a plan's result row order matches the parallel merge
+  /// (which unions per-worker groups by sorted key) even without a
+  /// Sort above the aggregation. Call before Open().
+  void set_emit_key_sorted(bool sorted) { emit_key_sorted_ = sorted; }
 
   /// Read-only view of the pre-aggregation state once Open() has
   /// drained the input — what a morsel-driven parallel executor merges
@@ -66,9 +79,13 @@ class HashAggOperator : public Operator {
       /// type_hint. Mergers must trust a data-typed partial over a
       /// hint-typed one (a starved worker's hint may disagree).
       bool typed_from_data = false;
+      /// True when this aggregate accumulates in fixed point (acc_fx);
+      /// mergers must then fold acc_fx, not acc_f.
+      bool exact = false;
       const std::vector<i64>* acc_i = nullptr;  // indexed by gid
       const std::vector<f64>* acc_f = nullptr;
-      const std::vector<i64>* count = nullptr;  // avg only
+      const std::vector<i128>* acc_fx = nullptr;  // exact f64 sums
+      const std::vector<i64>* count = nullptr;    // avg only
     };
     const GroupTable* groups = nullptr;  // packed key per dense gid
     std::vector<Agg> aggs;
@@ -84,8 +101,13 @@ class HashAggOperator : public Operator {
     PrimitiveInstance* count_update = nullptr;  // for avg
     std::vector<i64> acc_i;
     std::vector<f64> acc_f;
-    std::vector<i64> count;  // avg denominator
+    std::vector<i128> acc_fx;  // fixed-point f64 sums (exact mode)
+    std::vector<i64> count;    // avg denominator
     bool is_float() const { return arg_type == PhysicalType::kF64; }
+    bool exact() const {
+      return spec.exact_f64_sum && is_float() &&
+             (spec.fn == "sum" || spec.fn == "avg");
+    }
   };
 
   void ConsumeBatch(Batch& batch);
@@ -108,6 +130,10 @@ class HashAggOperator : public Operator {
   std::vector<u32> gid_scratch_;
   u32 emit_pos_ = 0;
   bool input_done_ = false;
+  bool emit_key_sorted_ = false;
+  /// Emission order (gid per output row) when emit_key_sorted_; empty
+  /// means first-seen order (the contiguous fast path).
+  std::vector<u32> emit_order_;
 };
 
 }  // namespace ma

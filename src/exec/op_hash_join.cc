@@ -26,6 +26,31 @@ HashJoinOperator::HashJoinOperator(Engine* engine,
   MA_CHECK(shared_->cols.size() == spec_.build_outputs.size());
 }
 
+void HashJoinOperator::DrainBuildBatch(
+    const Batch& batch, const HashJoinSpec& spec, std::vector<i64>* keys,
+    std::vector<std::unique_ptr<Column>>* cols) {
+  const int key_idx = batch.FindColumn(spec.build_key);
+  MA_CHECK(key_idx >= 0);
+  const i64* k = batch.column(key_idx).Data<i64>();
+  if (batch.has_sel()) {
+    const SelVector& sel = batch.sel();
+    for (size_t j = 0; j < sel.size(); ++j) keys->push_back(k[sel[j]]);
+  } else {
+    keys->insert(keys->end(), k, k + batch.row_count());
+  }
+  if (cols->empty()) {
+    for (const auto& [src, out_name] : spec.build_outputs) {
+      const int idx = batch.FindColumn(src);
+      MA_CHECK(idx >= 0);
+      cols->push_back(std::make_unique<Column>(batch.column(idx).type()));
+    }
+  }
+  for (size_t i = 0; i < spec.build_outputs.size(); ++i) {
+    const int idx = batch.FindColumn(spec.build_outputs[i].first);
+    AppendLive(batch.column(idx), batch, (*cols)[i].get());
+  }
+}
+
 Status HashJoinOperator::Open() {
   if (shared_ == nullptr) {
     MA_RETURN_IF_ERROR(build_->Open());
@@ -34,44 +59,23 @@ Status HashJoinOperator::Open() {
 
   if (shared_ == nullptr) {
     // Drain the build side: compact live keys + output columns.
+    // A rough pre-pass is impossible (pull model), so the bloom filter
+    // is sized after the build drain and filled from the table's keys.
     build_cols_.clear();
     Batch batch;
     std::vector<i64> dense_keys;
     u64 materialized = 0;
-    // A rough pre-pass is impossible (pull model), so the bloom filter
-    // is sized after the build drain and filled from the table's keys.
     for (;;) {
       batch.Clear();
       if (!build_->Next(&batch)) break;
       if (batch.live_count() == 0) continue;
-      const int key_idx = batch.FindColumn(spec_.build_key);
-      MA_CHECK(key_idx >= 0);
-      const i64* keys = batch.column(key_idx).Data<i64>();
+      // Per batch: dense_keys stays one batch deep, the hash table
+      // grows incrementally (no second full copy of the key column).
       dense_keys.clear();
-      if (batch.has_sel()) {
-        const SelVector& sel = batch.sel();
-        for (size_t j = 0; j < sel.size(); ++j) {
-          dense_keys.push_back(keys[sel[j]]);
-        }
-      } else {
-        dense_keys.assign(keys, keys + batch.row_count());
-      }
+      DrainBuildBatch(batch, spec_, &dense_keys, &build_cols_);
       ht_.Append(dense_keys.data(), dense_keys.size(), nullptr, 0,
                  materialized);
       materialized += dense_keys.size();
-
-      if (build_cols_.empty()) {
-        for (const auto& [src, out_name] : spec_.build_outputs) {
-          const int idx = batch.FindColumn(src);
-          MA_CHECK(idx >= 0);
-          build_cols_.push_back(
-              std::make_unique<Column>(batch.column(idx).type()));
-        }
-      }
-      for (size_t i = 0; i < spec_.build_outputs.size(); ++i) {
-        const int idx = batch.FindColumn(spec_.build_outputs[i].first);
-        AppendLive(batch.column(idx), batch, build_cols_[i].get());
-      }
     }
     ht_.Finalize();
 

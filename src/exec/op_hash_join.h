@@ -70,6 +70,14 @@ class HashJoinOperator : public Operator {
 
   size_t build_rows() const { return ht().num_rows(); }
 
+  /// Consumes one build-side batch: appends its live keys densely to
+  /// `keys` and its build-output columns to `cols` (created on first
+  /// use) — the build-drain body shared by the serial Open() drain and
+  /// ParallelExecutor::BuildJoin's per-morsel workers.
+  static void DrainBuildBatch(const Batch& batch, const HashJoinSpec& spec,
+                              std::vector<i64>* keys,
+                              std::vector<std::unique_ptr<Column>>* cols);
+
  private:
   bool NextInner(Batch* out);
   bool NextSemiAnti(Batch* out);

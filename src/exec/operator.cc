@@ -2,49 +2,6 @@
 
 namespace ma {
 
-void AppendLive(const Vector& src, const Batch& batch, Column* dst) {
-  const size_t n = batch.row_count();
-  auto append_typed = [&](auto tag) {
-    using T = decltype(tag);
-    const T* d = src.Data<T>();
-    if (batch.has_sel()) {
-      const SelVector& sel = batch.sel();
-      dst->AppendGather<T>(d, sel.data(), sel.size());
-    } else {
-      dst->AppendBulk<T>(d, n);
-    }
-  };
-  switch (src.type()) {
-    case PhysicalType::kI8:
-      append_typed(i8{});
-      break;
-    case PhysicalType::kI16:
-      append_typed(i16{});
-      break;
-    case PhysicalType::kI32:
-      append_typed(i32{});
-      break;
-    case PhysicalType::kI64:
-      append_typed(i64{});
-      break;
-    case PhysicalType::kF64:
-      append_typed(f64{});
-      break;
-    case PhysicalType::kStr: {
-      const StrRef* d = src.Data<StrRef>();
-      if (batch.has_sel()) {
-        const SelVector& sel = batch.sel();
-        for (size_t j = 0; j < sel.size(); ++j) {
-          dst->AppendString(d[sel[j]].view());
-        }
-      } else {
-        for (size_t i = 0; i < n; ++i) dst->AppendString(d[i].view());
-      }
-      break;
-    }
-  }
-}
-
 void AppendBatchToTable(const Batch& batch, Table* table) {
   for (size_t i = 0; i < batch.num_columns(); ++i) {
     Column* dst = table->FindMutableColumn(batch.name(i));

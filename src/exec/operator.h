@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/append.h"
 #include "exec/engine.h"
 #include "vector/batch.h"
 
@@ -37,11 +38,8 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Appends the live rows of `src` (honoring the batch's selection) to a
-/// storage column.
-void AppendLive(const Vector& src, const Batch& batch, Column* dst);
-
 /// Appends a batch's live rows to `table`, creating columns on first use.
+/// (Per-column appends live in exec/append.h.)
 void AppendBatchToTable(const Batch& batch, Table* table);
 
 }  // namespace ma

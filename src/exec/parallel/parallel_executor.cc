@@ -5,41 +5,16 @@
 #include <thread>
 
 #include "common/cycleclock.h"
+#include "exec/append.h"
+#include "prim/aggr_kernels.h"
 #include "prim/bloom.h"
 
 namespace ma {
 namespace {
 
-/// Appends every row of `src` to `dst` (same physical type).
-void AppendColumnRows(const Column& src, Column* dst) {
-  const size_t n = src.size();
-  switch (src.type()) {
-    case PhysicalType::kI8:
-      dst->AppendBulk<i8>(src.Data<i8>(), n);
-      break;
-    case PhysicalType::kI16:
-      dst->AppendBulk<i16>(src.Data<i16>(), n);
-      break;
-    case PhysicalType::kI32:
-      dst->AppendBulk<i32>(src.Data<i32>(), n);
-      break;
-    case PhysicalType::kI64:
-      dst->AppendBulk<i64>(src.Data<i64>(), n);
-      break;
-    case PhysicalType::kF64:
-      dst->AppendBulk<f64>(src.Data<f64>(), n);
-      break;
-    case PhysicalType::kStr:
-      // Strings are copied into dst's own heap; the per-morsel partial
-      // tables are freed after the merge.
-      for (size_t i = 0; i < n; ++i) {
-        dst->AppendString(src.Data<StrRef>()[i].view());
-      }
-      break;
-  }
-}
-
 /// Appends all rows of `src` to `dst`, creating columns on first use.
+/// (Strings are copied into dst's own heap; the per-morsel partial
+/// tables are freed after the merge.)
 void AppendTableRows(const Table& src, Table* dst) {
   for (size_t i = 0; i < src.num_columns(); ++i) {
     Column* dst_col = dst->FindMutableColumn(src.column_name(i));
@@ -49,30 +24,6 @@ void AppendTableRows(const Table& src, Table* dst) {
     AppendColumnRows(*src.column(i), dst_col);
   }
   dst->set_row_count(dst->row_count() + src.row_count());
-}
-
-/// Copies one cell from `src` to the end of `dst`.
-void AppendCell(const Column& src, size_t row, Column* dst) {
-  switch (src.type()) {
-    case PhysicalType::kI8:
-      dst->Append<i8>(src.Get<i8>(row));
-      break;
-    case PhysicalType::kI16:
-      dst->Append<i16>(src.Get<i16>(row));
-      break;
-    case PhysicalType::kI32:
-      dst->Append<i32>(src.Get<i32>(row));
-      break;
-    case PhysicalType::kI64:
-      dst->Append<i64>(src.Get<i64>(row));
-      break;
-    case PhysicalType::kF64:
-      dst->Append<f64>(src.Get<f64>(row));
-      break;
-    case PhysicalType::kStr:
-      dst->AppendString(src.Get<StrRef>(row).view());
-      break;
-  }
 }
 
 }  // namespace
@@ -205,30 +156,8 @@ std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
       if (!root->Next(&batch)) break;
       if (batch.live_count() == 0) continue;
       BuildPartial& part = partials[scan_leaf->current_morsel()];
-      const int key_idx = batch.FindColumn(spec.build_key);
-      MA_CHECK(key_idx >= 0);
-      const i64* keys = batch.column(key_idx).Data<i64>();
-      if (batch.has_sel()) {
-        const SelVector& sel = batch.sel();
-        for (size_t j = 0; j < sel.size(); ++j) {
-          part.keys.push_back(keys[sel[j]]);
-        }
-      } else {
-        part.keys.insert(part.keys.end(), keys,
-                         keys + batch.row_count());
-      }
-      if (part.cols.empty()) {
-        for (const auto& [src, out_name] : spec.build_outputs) {
-          const int idx = batch.FindColumn(src);
-          MA_CHECK(idx >= 0);
-          part.cols.push_back(
-              std::make_unique<Column>(batch.column(idx).type()));
-        }
-      }
-      for (size_t i = 0; i < spec.build_outputs.size(); ++i) {
-        const int idx = batch.FindColumn(spec.build_outputs[i].first);
-        AppendLive(batch.column(idx), batch, part.cols[i].get());
-      }
+      HashJoinOperator::DrainBuildBatch(batch, spec, &part.keys,
+                                        &part.cols);
     }
   });
   for (const Status& s : status) MA_CHECK(s.ok());
@@ -306,6 +235,7 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
       s.arg = a.arg != nullptr ? a.arg->Clone() : nullptr;
       s.out_name = a.out_name;
       s.type_hint = a.type_hint;
+      s.exact_f64_sum = a.exact_f64_sum;
       specs.push_back(std::move(s));
     }
     aggs[w] = std::make_unique<HashAggOperator>(
@@ -376,30 +306,38 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
     // skipping its (differently-typed) accumulators in the fold below
     // loses nothing.
     bool is_float = parts.empty() ? false : parts[0].aggs[a].is_float;
+    bool exact = parts.empty() ? false : parts[0].aggs[a].exact;
     for (const auto& part : parts) {
       if (part.aggs[a].typed_from_data) {
         is_float = part.aggs[a].is_float;
+        exact = part.aggs[a].exact;
         break;
       }
     }
-    // Per-key fold over the partials in worker order.
+    // Per-key fold over the partials in worker order. Exact (fixed-
+    // point) f64 sums fold in i128 — integer adds, so the total is
+    // independent of worker count and row distribution; the single
+    // rounding to f64 happens at emit below.
     using CombineI = i64 (*)(i64, i64);
     using CombineF = f64 (*)(f64, f64);
     struct Folded {
       f64 f;
       i64 i;
+      i128 fx;
       i64 count;
     };
     auto fold = [&](i64 key, i64 init_i, f64 init_f, CombineI ci,
                     CombineF cf) -> Folded {
-      Folded r{init_f, init_i, 0};
+      Folded r{init_f, init_i, 0, 0};
       for (const auto& part : parts) {
         const i64 gid = grouped ? part.groups->Find(key)
                                 : (part.groups->num_groups() > 0 ? 0 : -1);
         if (gid < 0) continue;
         const auto& pa = part.aggs[a];
         const size_t g = static_cast<size_t>(gid);
-        if (is_float) {
+        if (exact) {
+          if (g < pa.acc_fx->size()) r.fx += (*pa.acc_fx)[g];
+        } else if (is_float) {
           if (g < pa.acc_f->size()) r.f = cf(r.f, (*pa.acc_f)[g]);
         } else {
           if (g < pa.acc_i->size()) r.i = ci(r.i, (*pa.acc_i)[g]);
@@ -422,7 +360,8 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
       Column* dst = result.table->AddColumn(out_name, PhysicalType::kF64);
       for (const i64 key : keys) {
         const Folded r = fold(key, 0, 0.0, add_i, add_f);
-        const f64 sum = is_float ? r.f : static_cast<f64>(r.i);
+        const f64 sum = exact ? FixToF64(r.fx)
+                              : (is_float ? r.f : static_cast<f64>(r.i));
         dst->Append<f64>(r.count == 0 ? 0.0 : sum / r.count);
       }
     } else if (fn == "min" || fn == "max") {
@@ -448,7 +387,7 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
       for (const i64 key : keys) {
         const Folded r = fold(key, 0, 0.0, add_i, add_f);
         if (is_float) {
-          dst->Append<f64>(r.f);
+          dst->Append<f64>(exact ? FixToF64(r.fx) : r.f);
         } else {
           dst->Append<i64>(r.i);
         }

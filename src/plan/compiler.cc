@@ -1,0 +1,246 @@
+#include "plan/compiler.h"
+
+#include <algorithm>
+
+#include "exec/op_scan.h"
+#include "exec/op_select.h"
+#include "exec/op_sort.h"
+
+namespace ma::plan {
+namespace {
+
+std::vector<ProjectOperator::Output> CloneOutputs(
+    const std::vector<ProjectOperator::Output>& outputs) {
+  std::vector<ProjectOperator::Output> cloned;
+  cloned.reserve(outputs.size());
+  for (const auto& o : outputs) cloned.push_back({o.name, o.expr->Clone()});
+  return cloned;
+}
+
+std::vector<HashAggOperator::AggSpec> CloneAggs(
+    const std::vector<HashAggOperator::AggSpec>& aggs) {
+  std::vector<HashAggOperator::AggSpec> cloned;
+  cloned.reserve(aggs.size());
+  for (const auto& a : aggs) {
+    HashAggOperator::AggSpec s;
+    s.fn = a.fn;
+    s.arg = a.arg != nullptr ? a.arg->Clone() : nullptr;
+    s.out_name = a.out_name;
+    s.type_hint = a.type_hint;
+    s.exact_f64_sum = a.exact_f64_sum;
+    cloned.push_back(std::move(s));
+  }
+  return cloned;
+}
+
+/// True when the subtree contains a pipeline breaker (join build sides
+/// do not count: they break the plan into phases on their own).
+bool ContainsBreaker(const PlanNode* node) {
+  switch (node->kind) {
+    case NodeKind::kGroupBy:
+    case NodeKind::kSort:
+    case NodeKind::kLimit:
+    case NodeKind::kMergeJoin:
+      return true;
+    case NodeKind::kHashJoin:
+      return ContainsBreaker(node->children[1].get());
+    case NodeKind::kFilter:
+    case NodeKind::kProject:
+      return ContainsBreaker(node->children[0].get());
+    case NodeKind::kScan:
+      return false;
+  }
+  return false;
+}
+
+/// Validates that `node` is a streaming fragment (scan leaf + filters,
+/// projects and hash-join probes); records the scan leaf and appends a
+/// build phase per join, build sides first (they must exist before the
+/// pipeline that probes them runs).
+Status CollectFragment(const PlanNode* node, const PlanNode** scan,
+                       std::vector<Compiler::JoinBuildPhase>* builds) {
+  switch (node->kind) {
+    case NodeKind::kScan:
+      if (*scan != nullptr) {
+        return Status::Internal("fragment with two scan leaves");
+      }
+      *scan = node;
+      return Status::OK();
+    case NodeKind::kFilter:
+    case NodeKind::kProject:
+      return CollectFragment(node->children[0].get(), scan, builds);
+    case NodeKind::kHashJoin: {
+      Compiler::JoinBuildPhase phase;
+      phase.join = node;
+      phase.root = node->children[0].get();
+      // The build subtree is its own fragment: its nested joins phase
+      // in before it, so execution order below stays dependency-safe.
+      MA_RETURN_IF_ERROR(
+          CollectFragment(phase.root, &phase.scan, builds));
+      builds->push_back(phase);
+      return CollectFragment(node->children[1].get(), scan, builds);
+    }
+    default:
+      return Status::Unimplemented(
+          std::string("parallel compilation does not support ") +
+          NodeKindName(node->kind) + " inside a streaming pipeline");
+  }
+}
+
+}  // namespace
+
+OperatorPtr Compiler::Lower(const PlanNode* node, Engine* engine) {
+  switch (node->kind) {
+    case NodeKind::kScan:
+      return std::make_unique<ScanOperator>(engine, node->table,
+                                            node->columns);
+    case NodeKind::kFilter:
+      return std::make_unique<SelectOperator>(
+          engine, Lower(node->children[0].get(), engine),
+          node->predicate->Clone(), node->label);
+    case NodeKind::kProject:
+      return std::make_unique<ProjectOperator>(
+          engine, Lower(node->children[0].get(), engine),
+          CloneOutputs(node->outputs), node->label);
+    case NodeKind::kHashJoin:
+      return std::make_unique<HashJoinOperator>(
+          engine, Lower(node->children[0].get(), engine),
+          Lower(node->children[1].get(), engine), node->hash_spec,
+          node->label);
+    case NodeKind::kMergeJoin:
+      return std::make_unique<MergeJoinOperator>(
+          engine, Lower(node->children[0].get(), engine),
+          Lower(node->children[1].get(), engine), node->merge_spec,
+          node->label);
+    case NodeKind::kGroupBy: {
+      auto agg = std::make_unique<HashAggOperator>(
+          engine, Lower(node->children[0].get(), engine),
+          node->group_keys, node->group_outputs, CloneAggs(node->aggs),
+          node->label);
+      // Plan contract: groups emit in packed-key order, matching the
+      // parallel merge, so serial and parallel row order agree even
+      // without a Sort above the aggregation.
+      agg->set_emit_key_sorted(true);
+      return agg;
+    }
+    case NodeKind::kSort:
+      return std::make_unique<SortOperator>(
+          engine, Lower(node->children[0].get(), engine), node->sort_keys,
+          node->limit);
+    case NodeKind::kLimit:
+      // A sort with no keys keeps input order; partial_sort then just
+      // cuts off after `limit` rows.
+      return std::make_unique<SortOperator>(
+          engine, Lower(node->children[0].get(), engine),
+          std::vector<SortKey>{}, node->limit);
+  }
+  MA_CHECK(false);
+  return nullptr;
+}
+
+OperatorPtr Compiler::CompileSerial(const LogicalPlan& plan,
+                                    Engine* engine) {
+  MA_CHECK(plan.ok());
+  return Lower(plan.root.get(), engine);
+}
+
+Status Compiler::Fragment(const LogicalPlan& plan, Fragmentation* out) {
+  if (!plan.ok()) {
+    return plan.status.ok() ? Status::InvalidArgument("empty plan")
+                            : plan.status;
+  }
+  *out = Fragmentation();
+  const PlanNode* node = plan.root.get();
+
+  // Peel the tail: sorts and limits always run post-merge; filters and
+  // projects join them only while a breaker is still below (otherwise
+  // they belong to the streaming pipeline itself).
+  for (;;) {
+    if (node->kind == NodeKind::kSort || node->kind == NodeKind::kLimit) {
+      out->tail.push_back(node);
+      node = node->children[0].get();
+      continue;
+    }
+    if ((node->kind == NodeKind::kFilter ||
+         node->kind == NodeKind::kProject) &&
+        ContainsBreaker(node->children[0].get())) {
+      out->tail.push_back(node);
+      node = node->children[0].get();
+      continue;
+    }
+    break;
+  }
+  // Innermost tail node first: that is the order they stack over the
+  // merged result.
+  std::reverse(out->tail.begin(), out->tail.end());
+
+  if (node->kind == NodeKind::kGroupBy) {
+    out->agg = node;
+    node = node->children[0].get();
+  }
+  out->pipeline_root = node;
+  MA_RETURN_IF_ERROR(
+      CollectFragment(node, &out->pipeline_scan, &out->builds));
+  if (out->pipeline_scan == nullptr) {
+    return Status::Internal("pipeline without a scan leaf");
+  }
+  return Status::OK();
+}
+
+OperatorPtr Compiler::CompileFragment(const PlanNode* node,
+                                      const PlanNode* stop, Engine* engine,
+                                      OperatorPtr leaf,
+                                      const BuildMap& builds) {
+  if (node == stop) return leaf;
+  switch (node->kind) {
+    case NodeKind::kFilter:
+      return std::make_unique<SelectOperator>(
+          engine,
+          CompileFragment(node->children[0].get(), stop, engine,
+                          std::move(leaf), builds),
+          node->predicate->Clone(), node->label);
+    case NodeKind::kProject:
+      return std::make_unique<ProjectOperator>(
+          engine,
+          CompileFragment(node->children[0].get(), stop, engine,
+                          std::move(leaf), builds),
+          CloneOutputs(node->outputs), node->label);
+    case NodeKind::kHashJoin: {
+      const auto it = builds.find(node);
+      MA_CHECK(it != builds.end());
+      return std::make_unique<HashJoinOperator>(
+          engine, it->second,
+          CompileFragment(node->children[1].get(), stop, engine,
+                          std::move(leaf), builds),
+          node->hash_spec, node->label);
+    }
+    default:
+      MA_CHECK(false);  // Fragment() admits no other kinds
+      return nullptr;
+  }
+}
+
+OperatorPtr Compiler::CompileTailNode(const PlanNode* node, Engine* engine,
+                                      OperatorPtr child) {
+  switch (node->kind) {
+    case NodeKind::kSort:
+      return std::make_unique<SortOperator>(engine, std::move(child),
+                                            node->sort_keys, node->limit);
+    case NodeKind::kLimit:
+      return std::make_unique<SortOperator>(
+          engine, std::move(child), std::vector<SortKey>{}, node->limit);
+    case NodeKind::kFilter:
+      return std::make_unique<SelectOperator>(engine, std::move(child),
+                                              node->predicate->Clone(),
+                                              node->label);
+    case NodeKind::kProject:
+      return std::make_unique<ProjectOperator>(engine, std::move(child),
+                                               CloneOutputs(node->outputs),
+                                               node->label);
+    default:
+      MA_CHECK(false);
+      return nullptr;
+  }
+}
+
+}  // namespace ma::plan

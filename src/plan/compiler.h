@@ -1,0 +1,93 @@
+// Compiler: lowers a LogicalPlan onto an executor.
+//
+// Serial: CompileSerial() produces one fresh operator tree bound to an
+// Engine, ready for Engine::Run. Expressions are cloned, so the same
+// plan can be compiled any number of times (across engines, modes and
+// repetitions).
+//
+// Parallel: Fragment() splits the plan at its pipeline breakers into
+// the phase structure ParallelExecutor understands:
+//   - every hash-join build side becomes a JoinBuild phase (executed
+//     bottom-up; a build pipeline may itself probe earlier builds),
+//   - a single GroupBy on the probe spine becomes the RunAgg phase
+//     (thread-local pre-aggregation via HashAggOperator::partial() +
+//     merge),
+//   - everything below the breaker forms the streaming pipeline, whose
+//     per-worker operator trees are instantiated by a PipelineFactory
+//     (one fresh tree per worker, as the factory contract demands),
+//   - sorts/limits (and filters/projects above the aggregation) form
+//     the tail, compiled serially over the merged — small — result.
+// Plans the morsel executor cannot run (merge joins, aggregations
+// feeding joins, multiple aggregations on the spine) are reported via
+// Status; QuerySession then falls back to serial execution.
+#ifndef MA_PLAN_COMPILER_H_
+#define MA_PLAN_COMPILER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/engine.h"
+#include "exec/operator.h"
+#include "exec/parallel/parallel_executor.h"
+#include "plan/logical_plan.h"
+
+namespace ma::plan {
+
+class Compiler {
+ public:
+  /// Map from a kHashJoin plan node to the shared build the executor
+  /// produced for it (filled phase by phase during a parallel run).
+  using BuildMap =
+      std::unordered_map<const PlanNode*, const SharedJoinBuild*>;
+
+  /// Lowers the whole plan into a serial operator tree on `engine`.
+  /// The plan must be ok().
+  static OperatorPtr CompileSerial(const LogicalPlan& plan, Engine* engine);
+
+  struct JoinBuildPhase {
+    const PlanNode* join = nullptr;  // the kHashJoin node
+    const PlanNode* root = nullptr;  // build subtree (join->children[0])
+    const PlanNode* scan = nullptr;  // base-table scan leaf of `root`
+  };
+
+  struct Fragmentation {
+    /// Join build phases in execution order: a phase only probes builds
+    /// of earlier phases.
+    std::vector<JoinBuildPhase> builds;
+    /// Streaming segment (scan/filter/project/probe chain).
+    const PlanNode* pipeline_root = nullptr;
+    const PlanNode* pipeline_scan = nullptr;
+    /// The aggregation breaker fed by the pipeline, or null for a pure
+    /// streaming plan.
+    const PlanNode* agg = nullptr;
+    /// Nodes above the breaker, innermost first; compiled serially over
+    /// the merged result.
+    std::vector<const PlanNode*> tail;
+  };
+
+  /// Splits `plan` at its pipeline breakers. Returns Unimplemented when
+  /// the plan cannot run on the morsel-driven executor.
+  static Status Fragment(const LogicalPlan& plan, Fragmentation* out);
+
+  /// Lowers the fragment rooted at `node` for one worker: recursion
+  /// stops at `stop` (the fragment's scan leaf), which is replaced by
+  /// `leaf` (the worker's MorselScanOperator); kHashJoin nodes probe
+  /// their shared build from `builds`.
+  static OperatorPtr CompileFragment(const PlanNode* node,
+                                     const PlanNode* stop, Engine* engine,
+                                     OperatorPtr leaf,
+                                     const BuildMap& builds);
+
+  /// Lowers one tail node (sort/limit/filter/project) on top of
+  /// `child`, for the serial post-merge stage of a parallel run.
+  static OperatorPtr CompileTailNode(const PlanNode* node, Engine* engine,
+                                     OperatorPtr child);
+
+ private:
+  static OperatorPtr Lower(const PlanNode* node, Engine* engine);
+};
+
+}  // namespace ma::plan
+
+#endif  // MA_PLAN_COMPILER_H_

@@ -1,0 +1,94 @@
+#include "plan/logical_plan.h"
+
+namespace ma::plan {
+
+const char* NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kScan:
+      return "scan";
+    case NodeKind::kFilter:
+      return "filter";
+    case NodeKind::kProject:
+      return "project";
+    case NodeKind::kHashJoin:
+      return "hash_join";
+    case NodeKind::kMergeJoin:
+      return "merge_join";
+    case NodeKind::kGroupBy:
+      return "group_by";
+    case NodeKind::kSort:
+      return "sort";
+    case NodeKind::kLimit:
+      return "limit";
+  }
+  return "?";
+}
+
+const ColumnInfo* PlanNode::FindColumn(std::string_view name) const {
+  for (const ColumnInfo& c : schema) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void DescribeNode(const PlanNode& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(NodeKindName(n.kind));
+  switch (n.kind) {
+    case NodeKind::kScan:
+      out->append(" ").append(n.table != nullptr ? n.table->name() : "?");
+      break;
+    case NodeKind::kFilter:
+      out->append(" ").append(n.predicate->ToString());
+      break;
+    case NodeKind::kProject:
+      for (const auto& o : n.outputs) out->append(" ").append(o.name);
+      break;
+    case NodeKind::kHashJoin:
+      out->append(" ")
+          .append(n.hash_spec.build_key)
+          .append("=")
+          .append(n.hash_spec.probe_key);
+      break;
+    case NodeKind::kMergeJoin:
+      out->append(" ")
+          .append(n.merge_spec.left_key)
+          .append("=")
+          .append(n.merge_spec.right_key);
+      break;
+    case NodeKind::kGroupBy:
+      for (const auto& k : n.group_keys) out->append(" ").append(k.column);
+      for (const auto& a : n.aggs) {
+        out->append(" ").append(a.fn).append(":").append(a.out_name);
+      }
+      break;
+    case NodeKind::kSort:
+      for (const auto& k : n.sort_keys) {
+        out->append(" ").append(k.column).append(k.desc ? " desc" : "");
+      }
+      if (n.limit > 0) {
+        out->append(" limit ").append(std::to_string(n.limit));
+      }
+      break;
+    case NodeKind::kLimit:
+      out->append(" ").append(std::to_string(n.limit));
+      break;
+  }
+  if (!n.label.empty()) out->append("  [").append(n.label).append("]");
+  out->append("\n");
+  for (const auto& c : n.children) DescribeNode(*c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string LogicalPlan::Describe() const {
+  if (!status.ok()) return "invalid plan: " + status.message();
+  if (root == nullptr) return "empty plan";
+  std::string out;
+  DescribeNode(*root, 0, &out);
+  return out;
+}
+
+}  // namespace ma::plan

@@ -1,0 +1,88 @@
+// Logical query plans: a declarative description of scans, filters,
+// projections, joins, aggregations and sorts, with no Engine* and no
+// operator state. A LogicalPlan is written once (via PlanBuilder) and
+// compiled per executor (plan/compiler.h): into one serial operator
+// tree for Engine::Run, or into pipeline fragments — fresh operator
+// trees per worker thread — for ParallelExecutor. Keeping plan
+// description and execution strategy apart is what lets every query
+// run serially or morsel-parallel without being rewritten.
+#ifndef MA_PLAN_LOGICAL_PLAN_H_
+#define MA_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/op_hash_agg.h"
+#include "exec/op_hash_join.h"
+#include "exec/op_merge_join.h"
+#include "exec/op_project.h"
+#include "exec/op_sort.h"
+
+namespace ma::plan {
+
+enum class NodeKind : u8 {
+  kScan,       // leaf: columns of an in-memory table
+  kFilter,     // predicate over the child's schema
+  kProject,    // named value expressions
+  kHashJoin,   // children[0] = build, children[1] = probe
+  kMergeJoin,  // children[0] = left (unique key), children[1] = right
+  kGroupBy,    // hash aggregation (pipeline breaker)
+  kSort,       // order by + optional limit (pipeline breaker)
+  kLimit,      // first-n in input order
+};
+
+const char* NodeKindName(NodeKind k);
+
+struct ColumnInfo {
+  std::string name;
+  PhysicalType type;
+};
+
+struct PlanNode {
+  NodeKind kind;
+  /// Prefix for primitive-instance labels of operators compiled from
+  /// this node (e.g. "q1/select").
+  std::string label;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // kScan
+  const Table* table = nullptr;
+  std::vector<std::string> columns;  // empty = every column
+  // kFilter
+  ExprPtr predicate;
+  // kProject
+  std::vector<ProjectOperator::Output> outputs;
+  // kHashJoin
+  HashJoinSpec hash_spec;
+  // kMergeJoin
+  MergeJoinSpec merge_spec;
+  // kGroupBy
+  std::vector<HashAggOperator::GroupKey> group_keys;
+  std::vector<std::string> group_outputs;
+  std::vector<HashAggOperator::AggSpec> aggs;
+  // kSort / kLimit
+  std::vector<SortKey> sort_keys;
+  size_t limit = 0;
+
+  /// Output schema, computed by the builder as the node is added.
+  std::vector<ColumnInfo> schema;
+
+  const ColumnInfo* FindColumn(std::string_view name) const;
+};
+
+/// A built plan. `status` carries the first builder validation error;
+/// compilation and QuerySession::Run refuse plans with !ok().
+struct LogicalPlan {
+  std::unique_ptr<PlanNode> root;
+  Status status;
+
+  bool ok() const { return status.ok() && root != nullptr; }
+
+  /// Indented tree rendering for diagnostics and docs.
+  std::string Describe() const;
+};
+
+}  // namespace ma::plan
+
+#endif  // MA_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,460 @@
+#include "plan/plan_builder.h"
+
+namespace ma::plan {
+namespace {
+
+const ColumnInfo* Find(const std::vector<ColumnInfo>& schema,
+                       std::string_view name) {
+  for (const ColumnInfo& c : schema) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+Status UnknownColumn(std::string_view name) {
+  return Status::InvalidArgument("unknown column '" + std::string(name) +
+                                 "'");
+}
+
+}  // namespace
+
+Status InferValueType(const Expr& expr,
+                      const std::vector<ColumnInfo>& schema,
+                      PhysicalType* out) {
+  switch (expr.kind) {
+    case Expr::Kind::kColumn: {
+      const ColumnInfo* c = Find(schema, expr.column);
+      if (c == nullptr) return UnknownColumn(expr.column);
+      *out = c->type;
+      return Status::OK();
+    }
+    case Expr::Kind::kLiteral:
+      *out = expr.lit_type;
+      return Status::OK();
+    case Expr::Kind::kArith: {
+      const Expr& l = *expr.children[0];
+      const Expr& r = *expr.children[1];
+      if (l.kind == Expr::Kind::kLiteral) {
+        return Status::InvalidArgument(
+            "left operand of '" + expr.op +
+            "' must not be a literal: " + expr.ToString());
+      }
+      PhysicalType lt;
+      MA_RETURN_IF_ERROR(InferValueType(l, schema, &lt));
+      if (lt == PhysicalType::kStr) {
+        return Status::InvalidArgument("arithmetic over string column: " +
+                                       expr.ToString());
+      }
+      if (r.kind != Expr::Kind::kLiteral) {
+        PhysicalType rt;
+        MA_RETURN_IF_ERROR(InferValueType(r, schema, &rt));
+        if (rt != lt) {
+          return Status::InvalidArgument(
+              "type mismatch in '" + expr.ToString() + "': " +
+              TypeName(lt) + " vs " + TypeName(rt));
+        }
+      }
+      *out = lt;  // literals coerce to the non-literal side
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("not a value expression: " +
+                                     expr.ToString());
+  }
+}
+
+Status CheckPredicate(const Expr& expr,
+                      const std::vector<ColumnInfo>& schema) {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      if (expr.children.empty()) {
+        return Status::InvalidArgument("empty AND/OR predicate");
+      }
+      for (const ExprPtr& child : expr.children) {
+        MA_RETURN_IF_ERROR(CheckPredicate(*child, schema));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kCompare: {
+      const Expr& l = *expr.children[0];
+      const Expr& r = *expr.children[1];
+      if (l.kind == Expr::Kind::kLiteral) {
+        return Status::InvalidArgument(
+            "left operand of '" + expr.op +
+            "' must not be a literal: " + expr.ToString());
+      }
+      PhysicalType lt;
+      MA_RETURN_IF_ERROR(InferValueType(l, schema, &lt));
+      if (r.kind != Expr::Kind::kLiteral) {
+        PhysicalType rt;
+        MA_RETURN_IF_ERROR(InferValueType(r, schema, &rt));
+        if (rt != lt) {
+          return Status::InvalidArgument(
+              "type mismatch in '" + expr.ToString() + "': " +
+              TypeName(lt) + " vs " + TypeName(rt));
+        }
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kStrPred: {
+      const Expr& col = *expr.children[0];
+      if (col.kind != Expr::Kind::kColumn) {
+        return Status::InvalidArgument(
+            "string predicate requires a column operand: " +
+            expr.ToString());
+      }
+      const ColumnInfo* c = Find(schema, col.column);
+      if (c == nullptr) return UnknownColumn(col.column);
+      if (c->type != PhysicalType::kStr) {
+        return Status::InvalidArgument("string predicate over " +
+                                       std::string(TypeName(c->type)) +
+                                       " column '" + col.column + "'");
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("not a predicate: " +
+                                     expr.ToString());
+  }
+}
+
+void PlanBuilder::Fail(std::string message) {
+  if (status_.ok()) {
+    status_ = Status::InvalidArgument(std::move(message));
+  }
+  root_.reset();
+}
+
+PlanNode* PlanBuilder::Push(NodeKind kind, std::string label) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->label = std::move(label);
+  if (root_ != nullptr) node->children.push_back(std::move(root_));
+  root_ = std::move(node);
+  return root_.get();
+}
+
+const std::vector<ColumnInfo>& PlanBuilder::schema() const {
+  static const std::vector<ColumnInfo> kEmpty;
+  return root_ != nullptr ? root_->schema : kEmpty;
+}
+
+PlanBuilder PlanBuilder::Scan(const Table* table,
+                              std::vector<std::string> columns,
+                              std::string label) {
+  PlanBuilder b;
+  if (table == nullptr) {
+    b.status_ = Status::InvalidArgument("scan of null table");
+    return b;
+  }
+  PlanNode* n = b.Push(NodeKind::kScan, std::move(label));
+  n->table = table;
+  if (columns.empty()) {
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      n->schema.push_back(
+          {table->column_name(i), table->column(i)->type()});
+    }
+  } else {
+    for (const std::string& name : columns) {
+      const Column* c = table->FindColumn(name);
+      if (c == nullptr) {
+        b.Fail("unknown column '" + name + "' in table '" +
+               table->name() + "'");
+        return b;
+      }
+      n->schema.push_back({name, c->type()});
+    }
+  }
+  n->columns = std::move(columns);
+  return b;
+}
+
+PlanBuilder& PlanBuilder::Filter(ExprPtr predicate, std::string label) {
+  if (!Active()) return *this;
+  if (predicate == nullptr) {
+    Fail("filter with null predicate");
+    return *this;
+  }
+  const Status s = CheckPredicate(*predicate, root_->schema);
+  if (!s.ok()) {
+    Fail(s.message());
+    return *this;
+  }
+  std::vector<ColumnInfo> schema = root_->schema;  // selection only
+  PlanNode* n = Push(NodeKind::kFilter, std::move(label));
+  n->predicate = std::move(predicate);
+  n->schema = std::move(schema);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Project(
+    std::vector<ProjectOperator::Output> outputs, std::string label) {
+  if (!Active()) return *this;
+  if (outputs.empty()) {
+    Fail("project with no outputs");
+    return *this;
+  }
+  std::vector<ColumnInfo> schema;
+  for (const auto& o : outputs) {
+    if (o.expr == nullptr) {
+      Fail("project output '" + o.name + "' has no expression");
+      return *this;
+    }
+    if (o.expr->kind != Expr::Kind::kColumn &&
+        o.expr->kind != Expr::Kind::kArith) {
+      Fail("project output '" + o.name +
+           "' must be a column or arithmetic expression");
+      return *this;
+    }
+    PhysicalType t;
+    const Status s = InferValueType(*o.expr, root_->schema, &t);
+    if (!s.ok()) {
+      Fail(s.message());
+      return *this;
+    }
+    schema.push_back({o.name, t});
+  }
+  PlanNode* n = Push(NodeKind::kProject, std::move(label));
+  n->outputs = std::move(outputs);
+  n->schema = std::move(schema);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::HashJoin(PlanBuilder build, HashJoinSpec spec,
+                                   std::string label) {
+  if (!Active()) return *this;
+  if (!build.status_.ok() || build.root_ == nullptr) {
+    Fail(build.status_.ok() ? "hash join with empty build side"
+                            : build.status_.message());
+    return *this;
+  }
+  const std::vector<ColumnInfo>& bs = build.root_->schema;
+  const std::vector<ColumnInfo>& ps = root_->schema;
+  const ColumnInfo* bk = Find(bs, spec.build_key);
+  if (bk == nullptr) {
+    Fail("unknown column '" + spec.build_key + "' (build key)");
+    return *this;
+  }
+  const ColumnInfo* pk = Find(ps, spec.probe_key);
+  if (pk == nullptr) {
+    Fail("unknown column '" + spec.probe_key + "' (probe key)");
+    return *this;
+  }
+  if (bk->type != PhysicalType::kI64 || pk->type != PhysicalType::kI64) {
+    Fail("hash join keys must be i64: " + spec.build_key + "=" +
+         spec.probe_key);
+    return *this;
+  }
+  std::vector<ColumnInfo> schema;
+  if (spec.kind == HashJoinSpec::Kind::kInner) {
+    for (const std::string& name : spec.probe_outputs) {
+      const ColumnInfo* c = Find(ps, name);
+      if (c == nullptr) {
+        Fail("unknown column '" + name + "' (probe output)");
+        return *this;
+      }
+      schema.push_back({name, c->type});
+    }
+    for (const auto& [src, out_name] : spec.build_outputs) {
+      const ColumnInfo* c = Find(bs, src);
+      if (c == nullptr) {
+        Fail("unknown column '" + src + "' (build output)");
+        return *this;
+      }
+      schema.push_back({out_name, c->type});
+    }
+  } else {
+    // Semi/anti joins narrow the probe selection; build outputs would
+    // be meaningless and probe_outputs are ignored by the operator.
+    if (!spec.build_outputs.empty()) {
+      Fail("semi/anti hash join cannot materialize build outputs");
+      return *this;
+    }
+    schema = ps;
+  }
+  PlanNode* probe = root_.release();
+  PlanNode* n = Push(NodeKind::kHashJoin, std::move(label));
+  n->children.clear();
+  n->children.emplace_back(std::move(build.root_));
+  n->children.emplace_back(probe);
+  n->hash_spec = std::move(spec);
+  n->schema = std::move(schema);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::MergeJoin(PlanBuilder right, MergeJoinSpec spec,
+                                    std::string label) {
+  if (!Active()) return *this;
+  if (!right.status_.ok() || right.root_ == nullptr) {
+    Fail(right.status_.ok() ? "merge join with empty right side"
+                            : right.status_.message());
+    return *this;
+  }
+  const std::vector<ColumnInfo>& ls = root_->schema;
+  const std::vector<ColumnInfo>& rs = right.root_->schema;
+  const ColumnInfo* lk = Find(ls, spec.left_key);
+  const ColumnInfo* rk = Find(rs, spec.right_key);
+  if (lk == nullptr || rk == nullptr) {
+    Fail("unknown column '" +
+         (lk == nullptr ? spec.left_key : spec.right_key) +
+         "' (merge join key)");
+    return *this;
+  }
+  if (lk->type != PhysicalType::kI64 || rk->type != PhysicalType::kI64) {
+    Fail("merge join keys must be i64: " + spec.left_key + "=" +
+         spec.right_key);
+    return *this;
+  }
+  std::vector<ColumnInfo> schema;
+  for (const auto& [src, out_name] : spec.left_outputs) {
+    const ColumnInfo* c = Find(ls, src);
+    if (c == nullptr) {
+      Fail("unknown column '" + src + "' (merge join left output)");
+      return *this;
+    }
+    schema.push_back({out_name, c->type});
+  }
+  for (const auto& [src, out_name] : spec.right_outputs) {
+    const ColumnInfo* c = Find(rs, src);
+    if (c == nullptr) {
+      Fail("unknown column '" + src + "' (merge join right output)");
+      return *this;
+    }
+    schema.push_back({out_name, c->type});
+  }
+  PlanNode* left = root_.release();
+  PlanNode* n = Push(NodeKind::kMergeJoin, std::move(label));
+  n->children.clear();
+  n->children.emplace_back(left);
+  n->children.emplace_back(std::move(right.root_));
+  n->merge_spec = std::move(spec);
+  n->schema = std::move(schema);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::GroupBy(
+    std::vector<HashAggOperator::GroupKey> group_keys,
+    std::vector<std::string> group_outputs,
+    std::vector<HashAggOperator::AggSpec> aggs, std::string label) {
+  if (!Active()) return *this;
+  int total_bits = 0;
+  for (const auto& k : group_keys) {
+    const ColumnInfo* c = Find(root_->schema, k.column);
+    if (c == nullptr) {
+      Fail("unknown column '" + k.column + "' (group key)");
+      return *this;
+    }
+    if (c->type != PhysicalType::kI64) {
+      Fail("group key '" + k.column + "' must be i64, got " +
+           TypeName(c->type));
+      return *this;
+    }
+    if (k.bits <= 0 || k.bits > 63) {
+      Fail("group key '" + k.column + "' has invalid bit width");
+      return *this;
+    }
+    total_bits += k.bits;
+  }
+  if (total_bits > 63) {
+    Fail("group key bit widths exceed 63 bits total");
+    return *this;
+  }
+  std::vector<ColumnInfo> schema;
+  for (const std::string& name : group_outputs) {
+    const ColumnInfo* c = Find(root_->schema, name);
+    if (c == nullptr) {
+      Fail("unknown column '" + name + "' (group output)");
+      return *this;
+    }
+    schema.push_back({name, c->type});
+  }
+  for (auto& a : aggs) {
+    if (a.fn != "sum" && a.fn != "min" && a.fn != "max" &&
+        a.fn != "count" && a.fn != "avg") {
+      Fail("unknown aggregate function '" + a.fn + "'");
+      return *this;
+    }
+    PhysicalType arg_type = PhysicalType::kI64;
+    if (a.arg != nullptr) {
+      const Status s = InferValueType(*a.arg, root_->schema, &arg_type);
+      if (!s.ok()) {
+        Fail(s.message());
+        return *this;
+      }
+      if (arg_type == PhysicalType::kStr ||
+          arg_type == PhysicalType::kI8) {
+        Fail("aggregate '" + a.out_name + "' over unsupported type " +
+             TypeName(arg_type));
+        return *this;
+      }
+    } else if (a.fn != "count") {
+      Fail("aggregate '" + a.fn + "' requires an argument");
+      return *this;
+    }
+    // Pin the hint to the inferred type so an executor that never sees
+    // a row (a starved parallel worker) still types its accumulator
+    // like every other one, and make f64 sums order-independent — the
+    // plan contract that serial and parallel execution agree
+    // bit-for-bit.
+    a.type_hint = arg_type;
+    a.exact_f64_sum = true;
+    const PhysicalType out_type =
+        a.fn == "avg"
+            ? PhysicalType::kF64
+            : (a.fn == "count"
+                   ? PhysicalType::kI64
+                   : (arg_type == PhysicalType::kF64 ? PhysicalType::kF64
+                                                     : PhysicalType::kI64));
+    schema.push_back({a.out_name, out_type});
+  }
+  PlanNode* n = Push(NodeKind::kGroupBy, std::move(label));
+  n->group_keys = std::move(group_keys);
+  n->group_outputs = std::move(group_outputs);
+  n->aggs = std::move(aggs);
+  n->schema = std::move(schema);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Sort(std::vector<SortKey> keys, size_t limit,
+                               std::string label) {
+  if (!Active()) return *this;
+  for (const SortKey& k : keys) {
+    const ColumnInfo* c = Find(root_->schema, k.column);
+    if (c == nullptr) {
+      Fail("unknown column '" + k.column + "' (sort key)");
+      return *this;
+    }
+    if (c->type == PhysicalType::kI8) {
+      Fail("sort key '" + k.column + "' has unsupported type i8");
+      return *this;
+    }
+  }
+  std::vector<ColumnInfo> schema = root_->schema;
+  PlanNode* n = Push(NodeKind::kSort, std::move(label));
+  n->sort_keys = std::move(keys);
+  n->limit = limit;
+  n->schema = std::move(schema);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Limit(size_t n_rows, std::string label) {
+  if (!Active()) return *this;
+  std::vector<ColumnInfo> schema = root_->schema;
+  PlanNode* n = Push(NodeKind::kLimit, std::move(label));
+  n->limit = n_rows;
+  n->schema = std::move(schema);
+  return *this;
+}
+
+LogicalPlan PlanBuilder::Build() {
+  LogicalPlan plan;
+  plan.status = status_;
+  if (status_.ok() && root_ == nullptr) {
+    plan.status = Status::InvalidArgument("empty plan");
+  }
+  plan.root = std::move(root_);
+  return plan;
+}
+
+}  // namespace ma::plan

@@ -1,0 +1,111 @@
+// PlanBuilder: fluent construction of LogicalPlans with eager schema
+// validation. Every step checks column references and expression types
+// against the running output schema; the first failure sticks (later
+// calls become no-ops) and surfaces through status() / the built plan's
+// status, so a malformed query is rejected before any operator exists.
+//
+//   std::vector<ProjectOperator::Output> outs;
+//   outs.push_back({"l_orderkey", Col("l_orderkey")});
+//   auto plan = PlanBuilder::Scan(lineitem, {"l_quantity", "l_orderkey"})
+//                   .Filter(Lt(Col("l_quantity"), Lit(24)))
+//                   .Project(std::move(outs))
+//                   .Build();
+#ifndef MA_PLAN_PLAN_BUILDER_H_
+#define MA_PLAN_PLAN_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace ma::plan {
+
+class PlanBuilder {
+ public:
+  /// Starts a plan at a table scan. An empty column list scans every
+  /// column.
+  static PlanBuilder Scan(const Table* table,
+                          std::vector<std::string> columns = {},
+                          std::string label = "scan");
+
+  /// Keeps rows satisfying `predicate` (a comparison, string predicate,
+  /// AND or OR over the current schema).
+  PlanBuilder& Filter(ExprPtr predicate, std::string label = "filter");
+
+  /// Replaces the schema with the named value expressions.
+  PlanBuilder& Project(std::vector<ProjectOperator::Output> outputs,
+                       std::string label = "project");
+
+  /// Hash-joins `build` (consumed) against this plan as the probe side.
+  /// Inner joins emit spec.probe_outputs then spec.build_outputs; semi
+  /// and anti joins keep the probe schema unchanged.
+  PlanBuilder& HashJoin(PlanBuilder build, HashJoinSpec spec,
+                        std::string label = "hashjoin");
+
+  /// Merge-joins this plan (the unique-key left side) with `right`
+  /// (consumed); both must already be sorted ascending on their keys.
+  /// Emits spec.left_outputs then spec.right_outputs.
+  PlanBuilder& MergeJoin(PlanBuilder right, MergeJoinSpec spec,
+                         std::string label = "mergejoin");
+
+  /// Hash aggregation. Group keys must be i64 columns with declared bit
+  /// widths summing to <= 63. Emits `group_outputs` (first-seen values
+  /// per group) then one column per aggregate. f64 SUM/AVG aggregates
+  /// accumulate in 128-bit fixed point (order-independent), so compiled
+  /// plans produce bit-identical results under serial and parallel
+  /// execution at any thread count.
+  PlanBuilder& GroupBy(std::vector<HashAggOperator::GroupKey> group_keys,
+                       std::vector<std::string> group_outputs,
+                       std::vector<HashAggOperator::AggSpec> aggs,
+                       std::string label = "agg");
+
+  /// Sorts by `keys`; limit = 0 keeps every row.
+  PlanBuilder& Sort(std::vector<SortKey> keys, size_t limit = 0,
+                    std::string label = "sort");
+
+  /// Keeps the first `n` rows in input order.
+  PlanBuilder& Limit(size_t n, std::string label = "limit");
+
+  /// First validation error, or OK.
+  const Status& status() const { return status_; }
+
+  /// Output schema of the plan built so far (empty after an error).
+  const std::vector<ColumnInfo>& schema() const;
+
+  /// Finishes the plan. The returned LogicalPlan carries the builder's
+  /// status; callers must check plan.ok() before compiling.
+  LogicalPlan Build();
+
+ private:
+  PlanBuilder() = default;
+
+  /// True when building may continue (no prior error, root exists).
+  bool Active() { return status_.ok() && root_ != nullptr; }
+  void Fail(std::string message);
+  /// Pushes `node` (owning the current root as its last child).
+  PlanNode* Push(NodeKind kind, std::string label);
+
+  std::unique_ptr<PlanNode> root_;
+  Status status_;
+};
+
+// --- Expression checking against a schema (shared with tests) --------------
+
+/// Infers the type of a value expression (column, literal or
+/// arithmetic) against `schema`, mirroring ExprEvaluator's rules:
+/// literals coerce to the non-literal side, otherwise operand types
+/// must match exactly, and the left operand must not be a literal.
+Status InferValueType(const Expr& expr,
+                      const std::vector<ColumnInfo>& schema,
+                      PhysicalType* out);
+
+/// Checks a predicate expression (comparison, string predicate, AND,
+/// OR) against `schema`.
+Status CheckPredicate(const Expr& expr,
+                      const std::vector<ColumnInfo>& schema);
+
+}  // namespace ma::plan
+
+#endif  // MA_PLAN_PLAN_BUILDER_H_

@@ -1,0 +1,132 @@
+#include "plan/query_session.h"
+
+#include <thread>
+
+#include "common/cycleclock.h"
+#include "exec/op_scan.h"
+
+namespace ma::plan {
+
+QuerySession::QuerySession(SessionConfig config, PrimitiveDictionary* dict)
+    : config_(std::move(config)),
+      dict_(dict),
+      engine_(config_.engine, dict) {}
+
+RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode) {
+  MA_CHECK(plan.ok());
+  last_run_parallel_ = false;
+  if (mode != ExecMode::kSerial) {
+    Compiler::Fragmentation frag;
+    const Status s = Compiler::Fragment(plan, &frag);
+    bool parallel = s.ok();
+    if (parallel && mode == ExecMode::kAuto) {
+      const int threads =
+          config_.parallel.num_threads > 0
+              ? config_.parallel.num_threads
+              : static_cast<int>(std::thread::hardware_concurrency());
+      parallel = threads > 1 &&
+                 frag.pipeline_scan->table->row_count() >=
+                     config_.min_parallel_rows;
+    }
+    if (parallel) {
+      last_run_parallel_ = true;
+      return RunParallel(frag);
+    }
+  }
+  return RunSerial(plan);
+}
+
+RunResult QuerySession::RunSerial(const LogicalPlan& plan) {
+  engine_.ResetProfile();
+  OperatorPtr root = Compiler::CompileSerial(plan, &engine_);
+  return engine_.Run(*root);
+}
+
+RunResult QuerySession::RunParallel(const Compiler::Fragmentation& frag) {
+  if (parallel_ == nullptr) {
+    parallel_ = std::make_unique<ParallelExecutor>(
+        config_.engine, config_.parallel, dict_);
+  }
+  engine_.ResetProfile();  // the tail runs on the serial engine
+  const u64 t0 = CycleClock::Now();
+
+  // Phase 1..k: shared join builds, dependency order (a build pipeline
+  // may probe builds of earlier phases).
+  Compiler::BuildMap builds;
+  std::vector<std::unique_ptr<SharedJoinBuild>> owned;
+  for (const Compiler::JoinBuildPhase& phase : frag.builds) {
+    auto factory = [&phase, &builds](Engine* engine,
+                                     OperatorPtr scan) -> OperatorPtr {
+      return Compiler::CompileFragment(phase.root, phase.scan, engine,
+                                       std::move(scan), builds);
+    };
+    owned.push_back(parallel_->BuildJoin(phase.scan->table,
+                                         phase.scan->columns, factory,
+                                         phase.join->hash_spec));
+    builds[phase.join] = owned.back().get();
+  }
+
+  // Phase k+1: the streaming pipeline — straight merge, or thread-local
+  // pre-aggregation + merge when the spine ends in a GroupBy.
+  auto factory = [&frag, &builds](Engine* engine,
+                                  OperatorPtr scan) -> OperatorPtr {
+    return Compiler::CompileFragment(frag.pipeline_root,
+                                     frag.pipeline_scan, engine,
+                                     std::move(scan), builds);
+  };
+  RunResult result;
+  if (frag.agg != nullptr) {
+    ParallelExecutor::AggPlan agg_plan;
+    agg_plan.group_keys = frag.agg->group_keys;
+    agg_plan.group_outputs = frag.agg->group_outputs;
+    for (const HashAggOperator::AggSpec& a : frag.agg->aggs) {
+      HashAggOperator::AggSpec s;
+      s.fn = a.fn;
+      s.arg = a.arg != nullptr ? a.arg->Clone() : nullptr;
+      s.out_name = a.out_name;
+      s.type_hint = a.type_hint;
+      s.exact_f64_sum = a.exact_f64_sum;
+      agg_plan.aggs.push_back(std::move(s));
+    }
+    result = parallel_->RunAgg(frag.pipeline_scan->table,
+                               frag.pipeline_scan->columns, factory,
+                               agg_plan);
+  } else {
+    result = parallel_->RunPipeline(frag.pipeline_scan->table,
+                                    frag.pipeline_scan->columns, factory);
+  }
+
+  // Tail: sorts/limits (and post-aggregation filters/projects) over the
+  // merged — small — result, serially.
+  if (!frag.tail.empty()) {
+    std::unique_ptr<Table> merged = std::move(result.table);
+    OperatorPtr op = std::make_unique<ScanOperator>(&engine_, merged.get());
+    for (const PlanNode* node : frag.tail) {
+      op = Compiler::CompileTailNode(node, &engine_, std::move(op));
+    }
+    RunResult tail_result = engine_.Run(*op);
+    tail_result.stages.execute += result.stages.execute;
+    tail_result.stages.primitives += result.stages.primitives;
+    tail_result.stages.postprocess += result.stages.postprocess;
+    result = std::move(tail_result);
+  }
+
+  // Wall clock over every phase (join builds included).
+  result.total_cycles = CycleClock::Now() - t0;
+  result.seconds = static_cast<f64>(result.total_cycles) /
+                   CycleClock::FrequencyHz();
+  return result;
+}
+
+std::vector<InstanceProfile> QuerySession::Profile() const {
+  if (last_run_parallel_ && parallel_ != nullptr) {
+    return parallel_->MergedProfile();
+  }
+  std::vector<const PrimitiveInstance*> instances;
+  for (const auto& inst : engine_.instances()) {
+    instances.push_back(inst.get());
+  }
+  return MergeInstanceProfiles(instances);
+}
+
+}  // namespace ma::plan

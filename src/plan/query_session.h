@@ -1,0 +1,86 @@
+// QuerySession: the one entry point for running LogicalPlans. A session
+// owns a serial Engine and (lazily) a morsel-driven ParallelExecutor
+// built from the same EngineConfig; Run() compiles the plan for the
+// requested execution mode and returns the usual RunResult.
+//
+//   plan::QuerySession session;
+//   RunResult r = session.Run(plan, plan::ExecMode::kAuto);
+//
+// Determinism contract: a plan produces byte-identical result tables
+// under kSerial and kParallel at any thread count — streaming output
+// merges in morsel order, aggregation group outputs emit in packed-key
+// order with f64 sums accumulated order-independently (fixed point),
+// and tail sorts run serially over the merged result either way.
+#ifndef MA_PLAN_QUERY_SESSION_H_
+#define MA_PLAN_QUERY_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "adapt/profile_merge.h"
+#include "exec/engine.h"
+#include "exec/parallel/parallel_executor.h"
+#include "plan/compiler.h"
+#include "plan/logical_plan.h"
+
+namespace ma::plan {
+
+/// How Run() executes a plan. (Distinct from ma::ExecMode, which picks
+/// the flavor-dispatch policy inside an engine.)
+enum class ExecMode : u8 {
+  kSerial,    // one operator tree, Engine::Run
+  kParallel,  // morsel-driven pipeline fragments; falls back to serial
+              // when the plan cannot be fragmented (check
+              // last_run_parallel())
+  kAuto,      // parallel when fragmentable and the driving table is
+              // large enough to amortize the fan-out
+};
+
+struct SessionConfig {
+  EngineConfig engine;
+  ParallelConfig parallel;
+  /// kAuto uses the parallel path only when the pipeline's driving
+  /// table has at least this many rows.
+  u64 min_parallel_rows = 64 * 1024;
+};
+
+class QuerySession {
+ public:
+  explicit QuerySession(SessionConfig config = SessionConfig(),
+                        PrimitiveDictionary* dict =
+                            &PrimitiveDictionary::Global());
+
+  /// Compiles and runs `plan` (which must be ok()) to a materialized
+  /// result table.
+  RunResult Run(const LogicalPlan& plan, ExecMode mode = ExecMode::kAuto);
+
+  /// True when the previous Run() went through per-worker compiled
+  /// pipelines (kParallel/kAuto may fall back to serial).
+  bool last_run_parallel() const { return last_run_parallel_; }
+
+  /// The serial engine (also runs parallel tails); holds the
+  /// primitive-instance profile of serial runs.
+  Engine* engine() { return &engine_; }
+
+  /// The parallel executor, or null before the first parallel run.
+  ParallelExecutor* parallel_executor() { return parallel_.get(); }
+
+  /// Per-plan-site profile of the last run: merged across worker
+  /// threads after a parallel run (per-thread winners preserved),
+  /// straight from the engine after a serial run.
+  std::vector<InstanceProfile> Profile() const;
+
+ private:
+  RunResult RunSerial(const LogicalPlan& plan);
+  RunResult RunParallel(const Compiler::Fragmentation& frag);
+
+  SessionConfig config_;
+  PrimitiveDictionary* dict_;
+  Engine engine_;
+  std::unique_ptr<ParallelExecutor> parallel_;
+  bool last_run_parallel_ = false;
+};
+
+}  // namespace ma::plan
+
+#endif  // MA_PLAN_QUERY_SESSION_H_

@@ -45,6 +45,18 @@ void RegisterAggrKernels(PrimitiveDictionary* dict) {
   RegisterType<i32>(dict);
   RegisterType<i64>(dict);
   RegisterType<f64>(dict);
+  // Order-independent fixed-point f64 sum used by plan-layer aggregates
+  // (both flavors produce bit-identical accumulators by construction;
+  // they differ only in accumulation-loop shape).
+  MA_CHECK(dict->Register("aggr_sumfix_f64_col",
+                          FlavorInfo{"default", FlavorSetId::kDefault,
+                                     &AggrSumFixF64<4>},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register("aggr_sumfix_f64_col",
+                          FlavorInfo{"nounroll", FlavorSetId::kUnroll,
+                                     &AggrSumFixF64<1>})
+               .ok());
 }
 
 }  // namespace ma

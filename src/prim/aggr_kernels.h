@@ -9,9 +9,12 @@
 #ifndef MA_PRIM_AGGR_KERNELS_H_
 #define MA_PRIM_AGGR_KERNELS_H_
 
+#include <cmath>
+#include <cstring>
 #include <string>
 #include <type_traits>
 
+#include "common/status.h"
 #include "prim/ops.h"
 #include "prim/prim_call.h"
 
@@ -22,6 +25,68 @@ class PrimitiveDictionary;
 std::string AggrSignature(const char* fn_name, PhysicalType t);
 
 void RegisterAggrKernels(PrimitiveDictionary* dict);
+
+// --- Order-independent f64 summation (aggr_sumfix_f64_col) -----------------
+//
+// Floating-point addition is not associative, so a SUM(f64) computed by
+// merging per-thread partial sums depends on how rows were split across
+// threads. The plan layer (src/plan) demands byte-identical results
+// between serial execution and parallel execution at any thread count,
+// which a rounded f64 accumulator cannot deliver. The sumfix kernels
+// instead accumulate into a 128-bit fixed-point integer with the binary
+// point at bit 64: every addend is converted exactly (values whose
+// lowest mantissa bit sits below 2^-64 — |v| < ~2^-12 with full 53-bit
+// precision — are quantized to the nearest multiple of 2^-64, a
+// deterministic per-value rounding), integer addition is exact and
+// associative, and the total is rounded to f64 once at emit time.
+//
+// Contract (checked): addends must be finite with |v| < 2^62 — any
+// database measure is — and the running sum of |v| must stay below
+// 2^63 so the scaled accumulator cannot leave i128. Non-finite input
+// (inf/NaN) aborts rather than silently corrupting the aggregate; a
+// query whose measures can be non-finite does not belong on the
+// fixed-point path (clear AggSpec::exact_f64_sum).
+
+/// Exact fixed-point encoding of `v` at scale 2^64 (round-to-nearest,
+/// ties away from zero, for the sub-2^-64 quantization case).
+inline i128 F64ToFix(f64 v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const u64 mant = bits & ((u64{1} << 52) - 1);
+  const int biased = static_cast<int>((bits >> 52) & 0x7ff);
+  // 0x43d = biased exponent of 2^62; also catches inf/NaN (0x7ff).
+  // Beyond it the shift below would be undefined, so this is a hard
+  // contract check, not a recoverable path.
+  MA_CHECK(biased < 0x43d &&
+           "aggr sumfix addend non-finite or |v| >= 2^62");
+  // v = m * 2^e with m an integer of at most 53 bits.
+  u64 m;
+  int e;
+  if (biased == 0) {  // zero or subnormal
+    m = mant;
+    e = -1074;
+  } else {
+    m = mant | (u64{1} << 52);
+    e = biased - 1075;
+  }
+  const int shift = e + 64;  // <= 74, by the exponent check above
+  using u128 = unsigned __int128;
+  u128 fx;
+  if (shift >= 0) {
+    fx = static_cast<u128>(m) << shift;
+  } else if (shift > -64) {
+    const int k = -shift;
+    fx = (static_cast<u128>(m) + (u128{1} << (k - 1))) >> k;
+  } else {
+    fx = 0;  // below half of one fixed-point ulp
+  }
+  return (bits >> 63) != 0 ? -static_cast<i128>(fx) : static_cast<i128>(fx);
+}
+
+/// Rounds a fixed-point accumulator back to f64 (one rounding total).
+inline f64 FixToF64(i128 fx) {
+  return std::ldexp(static_cast<f64>(fx), -64);
+}
 
 namespace aggr_detail {
 
@@ -128,6 +193,43 @@ size_t AggrUpdateUnroll8(const PrimCall& c) {
   }
   for (; i < c.n; ++i) MA_BODY(i)
 #undef MA_BODY
+  return c.n;
+}
+
+/// Fixed-point f64 sum update (see F64ToFix above). in1 = f64 values,
+/// in2 = group ids, state = i128 accumulator array. Integer adds are
+/// associative, so flavor choice, batching and thread partitioning can
+/// never change the result.
+template <int UNROLL>
+size_t AggrSumFixF64(const PrimCall& c) {
+  const f64* v = static_cast<const f64*>(c.in1);
+  const u32* gid = static_cast<const u32*>(c.in2);
+  i128* acc = static_cast<i128*>(c.state);
+  if (c.sel == nullptr && c.n > 0 && AggrAllSameGroup(gid, c.n)) {
+    i128 local = 0;
+    size_t i = 0;
+    if constexpr (UNROLL > 1) {
+      i128 l0 = 0, l1 = 0, l2 = 0, l3 = 0;
+      for (; i + 4 <= c.n; i += 4) {
+        l0 += F64ToFix(v[i]);
+        l1 += F64ToFix(v[i + 1]);
+        l2 += F64ToFix(v[i + 2]);
+        l3 += F64ToFix(v[i + 3]);
+      }
+      local = (l0 + l2) + (l1 + l3);
+    }
+    for (; i < c.n; ++i) local += F64ToFix(v[i]);
+    acc[gid[0]] += local;
+    return c.n;
+  }
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) {
+      const sel_t i = c.sel[j];
+      acc[gid[i]] += F64ToFix(v[i]);
+    }
+    return c.sel_n;
+  }
+  for (size_t i = 0; i < c.n; ++i) acc[gid[i]] += F64ToFix(v[i]);
   return c.n;
 }
 

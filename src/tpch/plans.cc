@@ -1,0 +1,97 @@
+#include "tpch/plans.h"
+
+#include "plan/plan_builder.h"
+
+namespace ma::tpch {
+namespace {
+
+using plan::PlanBuilder;
+using Out = ProjectOperator::Output;
+using Agg = HashAggOperator::AggSpec;
+using GK = HashAggOperator::GroupKey;
+
+/// revenue = l_extendedprice * (1 - l_discount), written without a
+/// literal on the left: ep - ep*disc.
+ExprPtr Revenue() {
+  return Sub(Col("l_extendedprice"),
+             Mul(Col("l_extendedprice"), Col("l_discount")));
+}
+
+Agg MakeAgg(const char* fn, ExprPtr arg, const char* out_name) {
+  Agg a;
+  a.fn = fn;
+  a.arg = std::move(arg);
+  a.out_name = out_name;
+  return a;
+}
+
+}  // namespace
+
+plan::LogicalPlan Q1Plan(const TpchData& d) {
+  std::vector<Out> outs;
+  outs.push_back({"l_returnflag", Col("l_returnflag")});
+  outs.push_back({"l_linestatus", Col("l_linestatus")});
+  outs.push_back({"l_returnflag_code", Col("l_returnflag_code")});
+  outs.push_back({"l_linestatus_code", Col("l_linestatus_code")});
+  outs.push_back({"l_quantity", Col("l_quantity")});
+  outs.push_back({"l_quantity_f", Col("l_quantity_f")});
+  outs.push_back({"l_extendedprice", Col("l_extendedprice")});
+  outs.push_back({"l_discount", Col("l_discount")});
+  outs.push_back({"disc_price", Revenue()});
+  // charge = disc_price * (1 + tax) = disc_price + disc_price * tax.
+  auto disc_price = Revenue();
+  outs.push_back(
+      {"charge", Add(Revenue(), Mul(std::move(disc_price), Col("l_tax")))});
+
+  std::vector<Agg> aggs;
+  aggs.push_back(MakeAgg("sum", Col("l_quantity"), "sum_qty"));
+  aggs.push_back(MakeAgg("sum", Col("l_extendedprice"), "sum_base_price"));
+  aggs.push_back(MakeAgg("sum", Col("disc_price"), "sum_disc_price"));
+  aggs.push_back(MakeAgg("sum", Col("charge"), "sum_charge"));
+  aggs.push_back(MakeAgg("avg", Col("l_quantity_f"), "avg_qty"));
+  aggs.push_back(MakeAgg("avg", Col("l_extendedprice"), "avg_price"));
+  aggs.push_back(MakeAgg("avg", Col("l_discount"), "avg_disc"));
+  aggs.push_back(MakeAgg("count", nullptr, "count_order"));
+
+  return PlanBuilder::Scan(d.lineitem,
+                           {"l_quantity", "l_quantity_f",
+                            "l_extendedprice", "l_discount", "l_tax",
+                            "l_returnflag", "l_returnflag_code",
+                            "l_linestatus", "l_linestatus_code",
+                            "l_shipdate"},
+                           "q1/scan")
+      .Filter(Le(Col("l_shipdate"), Lit(Date(1998, 12, 1) - 90)),
+              "q1/select")
+      .Project(std::move(outs), "q1/project")
+      .GroupBy({GK{"l_returnflag_code", 3}, GK{"l_linestatus_code", 2}},
+               {"l_returnflag", "l_linestatus"}, std::move(aggs), "q1/agg")
+      .Sort({{"l_returnflag", false}, {"l_linestatus", false}})
+      .Build();
+}
+
+plan::LogicalPlan Q6Plan(const TpchData& d) {
+  std::vector<ExprPtr> preds;
+  preds.push_back(Ge(Col("l_shipdate"), Lit(Date(1994, 1, 1))));
+  preds.push_back(Lt(Col("l_shipdate"), Lit(Date(1995, 1, 1))));
+  preds.push_back(Ge(Col("l_discount"), Lit(0.05)));
+  preds.push_back(Le(Col("l_discount"), Lit(0.07)));
+  preds.push_back(Lt(Col("l_quantity"), Lit(24)));
+
+  std::vector<Out> outs;
+  outs.push_back(
+      {"revenue", Mul(Col("l_extendedprice"), Col("l_discount"))});
+
+  std::vector<Agg> aggs;
+  aggs.push_back(MakeAgg("sum", Col("revenue"), "revenue"));
+
+  return PlanBuilder::Scan(d.lineitem,
+                           {"l_shipdate", "l_discount", "l_quantity",
+                            "l_extendedprice"},
+                           "q6/scan")
+      .Filter(AndAll(std::move(preds)), "q6/select")
+      .Project(std::move(outs), "q6/project")
+      .GroupBy({}, {}, std::move(aggs), "q6/agg")
+      .Build();
+}
+
+}  // namespace ma::tpch

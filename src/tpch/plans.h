@@ -1,0 +1,25 @@
+// TPC-H queries expressed as logical plans. Written once against
+// PlanBuilder, these run unchanged on the serial Engine and on the
+// morsel-driven ParallelExecutor (plan/query_session.h) — the queries
+// below are the ones whose shape the parallel executor supports end to
+// end today; the hand-built trees in queries.cc cover the rest and
+// migrate here as the fragmenter grows.
+#ifndef MA_TPCH_PLANS_H_
+#define MA_TPCH_PLANS_H_
+
+#include "plan/logical_plan.h"
+#include "tpch/dbgen.h"
+
+namespace ma::tpch {
+
+/// Q1: pricing summary report (scan -> filter -> project -> group-by ->
+/// sort). Parallel: thread-local pre-aggregation + merge.
+plan::LogicalPlan Q1Plan(const TpchData& d);
+
+/// Q6: forecasting revenue change (scan -> filter -> project -> global
+/// aggregate).
+plan::LogicalPlan Q6Plan(const TpchData& d);
+
+}  // namespace ma::tpch
+
+#endif  // MA_TPCH_PLANS_H_

@@ -11,6 +11,8 @@
 #include "exec/op_scan.h"
 #include "exec/op_select.h"
 #include "exec/op_sort.h"
+#include "plan/compiler.h"
+#include "tpch/plans.h"
 #include "tpch/text_pool.h"
 
 namespace ma::tpch {
@@ -93,50 +95,15 @@ OperatorPtr NationsOfRegion(Engine* e, const TpchData& d,
 }
 
 // =====================================================================
-// Q1: Pricing summary report.
+// Q1: Pricing summary report — expressed once as a logical plan
+// (tpch/plans.cc) and lowered onto this engine; the same plan runs
+// morsel-parallel through plan::QuerySession.
 // =====================================================================
 RunResult Q1(Engine* e, const TpchData& d) {
-  auto scan = Scan(e, d.lineitem,
-                   {"l_quantity", "l_quantity_f", "l_extendedprice",
-                    "l_discount", "l_tax", "l_returnflag",
-                    "l_returnflag_code", "l_linestatus",
-                    "l_linestatus_code", "l_shipdate"});
-  auto sel = Sel(e, std::move(scan),
-                 Le(Col("l_shipdate"), Lit(Date(1998, 12, 1) - 90)),
-                 "q1/select");
-  std::vector<Out> outs;
-  outs.push_back({"l_returnflag", Col("l_returnflag")});
-  outs.push_back({"l_linestatus", Col("l_linestatus")});
-  outs.push_back({"l_returnflag_code", Col("l_returnflag_code")});
-  outs.push_back({"l_linestatus_code", Col("l_linestatus_code")});
-  outs.push_back({"l_quantity", Col("l_quantity")});
-  outs.push_back({"l_quantity_f", Col("l_quantity_f")});
-  outs.push_back({"l_extendedprice", Col("l_extendedprice")});
-  outs.push_back({"l_discount", Col("l_discount")});
-  outs.push_back({"disc_price", Revenue()});
-  // charge = disc_price * (1 + tax) = disc_price + disc_price * tax.
-  auto disc_price = Revenue();
-  outs.push_back(
-      {"charge", Add(Revenue(), Mul(std::move(disc_price), Col("l_tax")))});
-  auto proj = Proj(e, std::move(sel), std::move(outs), "q1/project");
-
-  std::vector<Agg> aggs;
-  aggs.push_back({"sum", Col("l_quantity"), "sum_qty", PhysicalType::kI64});
-  aggs.push_back({"sum", Col("l_extendedprice"), "sum_base_price"});
-  aggs.push_back({"sum", Col("disc_price"), "sum_disc_price"});
-  aggs.push_back({"sum", Col("charge"), "sum_charge"});
-  aggs.push_back({"avg", Col("l_quantity_f"), "avg_qty"});
-  aggs.push_back({"avg", Col("l_extendedprice"), "avg_price"});
-  aggs.push_back({"avg", Col("l_discount"), "avg_disc"});
-  aggs.push_back({"count", nullptr, "count_order"});
-  auto agg = std::make_unique<HashAggOperator>(
-      e, std::move(proj),
-      std::vector<GK>{{"l_returnflag_code", 3}, {"l_linestatus_code", 2}},
-      std::vector<std::string>{"l_returnflag", "l_linestatus"},
-      std::move(aggs), "q1/agg");
-  SortOperator sort(e, std::move(agg),
-                    {{"l_returnflag", false}, {"l_linestatus", false}});
-  return e->Run(sort);
+  const plan::LogicalPlan p = Q1Plan(d);
+  MA_CHECK(p.ok());
+  auto root = plan::Compiler::CompileSerial(p, e);
+  return e->Run(*root);
 }
 
 // =====================================================================
@@ -389,28 +356,13 @@ RunResult Q5(Engine* e, const TpchData& d) {
 }
 
 // =====================================================================
-// Q6: Forecasting revenue change.
+// Q6: Forecasting revenue change — via the logical plan (see Q1).
 // =====================================================================
 RunResult Q6(Engine* e, const TpchData& d) {
-  std::vector<ExprPtr> preds;
-  preds.push_back(Ge(Col("l_shipdate"), Lit(Date(1994, 1, 1))));
-  preds.push_back(Lt(Col("l_shipdate"), Lit(Date(1995, 1, 1))));
-  preds.push_back(Ge(Col("l_discount"), Lit(0.05)));
-  preds.push_back(Le(Col("l_discount"), Lit(0.07)));
-  preds.push_back(Lt(Col("l_quantity"), Lit(24)));
-  auto sel = Sel(e, Scan(e, d.lineitem,
-                         {"l_shipdate", "l_discount", "l_quantity",
-                          "l_extendedprice"}),
-                 AndAll(std::move(preds)), "q6/select");
-  std::vector<Out> outs;
-  outs.push_back(
-      {"revenue", Mul(Col("l_extendedprice"), Col("l_discount"))});
-  auto proj = Proj(e, std::move(sel), std::move(outs), "q6/project");
-  std::vector<Agg> aggs;
-  aggs.push_back({"sum", Col("revenue"), "revenue"});
-  HashAggOperator agg(e, std::move(proj), {}, {}, std::move(aggs),
-                      "q6/agg");
-  return e->Run(agg);
+  const plan::LogicalPlan p = Q6Plan(d);
+  MA_CHECK(p.ok());
+  auto root = plan::Compiler::CompileSerial(p, e);
+  return e->Run(*root);
 }
 
 // =====================================================================

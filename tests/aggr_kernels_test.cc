@@ -125,12 +125,51 @@ void CheckAggrFlavors(const FlavorEntry& entry) {
   }
 }
 
+/// aggr_sumfix_f64_col accumulates into i128 fixed point, so it gets
+/// its own harness: flavors must agree bit-for-bit on the accumulator,
+/// and the rounded total must match a long-double reference.
+void CheckSumFixFlavors(const FlavorEntry& entry) {
+  Rng rng(17);
+  constexpr size_t kN = 1000;
+  constexpr u32 kGroups = 16;
+  std::vector<f64> vals(kN);
+  std::vector<u32> gids(kN);
+  std::vector<long double> ref(kGroups, 0.0L);
+  for (size_t i = 0; i < kN; ++i) {
+    vals[i] = static_cast<f64>(rng.NextRange(-5000, 5000)) / 7.0;
+    gids[i] = static_cast<u32>(rng.NextBounded(kGroups));
+    ref[gids[i]] += static_cast<long double>(vals[i]);
+  }
+  std::vector<std::vector<i128>> results;
+  for (const FlavorInfo& flavor : entry.flavors) {
+    std::vector<i128> acc(kGroups, 0);
+    PrimCall c;
+    c.n = kN;
+    c.in1 = vals.data();
+    c.in2 = gids.data();
+    c.state = acc.data();
+    flavor.fn(c);
+    results.push_back(std::move(acc));
+  }
+  for (size_t f = 1; f < results.size(); ++f) {
+    EXPECT_EQ(results[f], results[0])
+        << entry.signature << " flavor " << entry.flavors[f].name;
+  }
+  for (u32 g = 0; g < kGroups; ++g) {
+    EXPECT_NEAR(FixToF64(results[0][g]), static_cast<f64>(ref[g]),
+                1e-9 * (1.0 + std::abs(static_cast<f64>(ref[g]))))
+        << "group " << g;
+  }
+}
+
 TEST_P(AggrFlavorEquivalenceTest, AllFlavorsAgree) {
   const FlavorEntry* entry =
       PrimitiveDictionary::Global().Find(GetParam());
   ASSERT_NE(entry, nullptr);
   const std::string& sig = GetParam();
-  if (sig.find("_i32_") != std::string::npos) {
+  if (sig.find("sumfix") != std::string::npos) {
+    CheckSumFixFlavors(*entry);
+  } else if (sig.find("_i32_") != std::string::npos) {
     CheckAggrFlavors<i32>(*entry);
   } else if (sig.find("_i64_") != std::string::npos) {
     CheckAggrFlavors<i64>(*entry);

@@ -1,0 +1,570 @@
+// The logical-plan layer: builder schema validation, serial/parallel
+// result parity for every node kind, pipeline-breaker fragmentation,
+// and the TPC-H acceptance property — Q1 and Q6 expressed once via
+// PlanBuilder produce byte-identical tables under ExecMode::kSerial and
+// ExecMode::kParallel at 1, 2 and 4 threads, with the parallel runs
+// going through per-worker compiled pipelines (visible as one merged
+// profile row per plan site with `instances` == thread count).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "plan/compiler.h"
+#include "plan/plan_builder.h"
+#include "plan/query_session.h"
+#include "tpch/dbgen.h"
+#include "tpch/plans.h"
+
+namespace ma::plan {
+namespace {
+
+/// Sugar for building move-only output lists inline:
+/// Outs("a", Col("a"), "y", Mul(Col("x"), Lit(2.0))).
+void AddOuts(std::vector<ProjectOperator::Output>&) {}
+template <typename... Rest>
+void AddOuts(std::vector<ProjectOperator::Output>& v, const char* name,
+             ExprPtr expr, Rest&&... rest) {
+  v.push_back({name, std::move(expr)});
+  AddOuts(v, std::forward<Rest>(rest)...);
+}
+template <typename... Args>
+std::vector<ProjectOperator::Output> Outs(Args&&... args) {
+  std::vector<ProjectOperator::Output> v;
+  AddOuts(v, std::forward<Args>(args)...);
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------
+
+/// Order- and bit-sensitive fingerprint: row order, column names/types
+/// and the exact bit pattern of every cell (f64 included) all count.
+u64 ExactFingerprint(const Table& t) {
+  u64 h = 1469598103934665603ULL;
+  auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  auto mix_bytes = [&mix](std::string_view s) {
+    for (const char c : s) mix(static_cast<u8>(c));
+  };
+  mix(t.row_count());
+  mix(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const Column* col = t.column(c);
+    mix_bytes(t.column_name(c));
+    mix(static_cast<u64>(col->type()));
+    for (size_t i = 0; i < col->size(); ++i) {
+      switch (col->type()) {
+        case PhysicalType::kI64:
+          mix(static_cast<u64>(col->Get<i64>(i)));
+          break;
+        case PhysicalType::kI32:
+          mix(static_cast<u64>(col->Get<i32>(i)));
+          break;
+        case PhysicalType::kF64: {
+          const f64 v = col->Get<f64>(i);
+          u64 bits;
+          std::memcpy(&bits, &v, sizeof(bits));
+          mix(bits);
+          break;
+        }
+        case PhysicalType::kStr:
+          mix_bytes(col->Get<StrRef>(i).view());
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return h;
+}
+
+/// Runs `plan` serially and in parallel at several thread counts and
+/// expects byte-identical result tables throughout. Returns the serial
+/// fingerprint.
+u64 ExpectParity(const LogicalPlan& plan, u64 morsel_size = 2048) {
+  SessionConfig cfg;
+  cfg.parallel.num_threads = 1;
+  QuerySession serial_session{cfg};
+  const RunResult ref = serial_session.Run(plan, ExecMode::kSerial);
+  EXPECT_FALSE(serial_session.last_run_parallel());
+  const u64 ref_fp = ExactFingerprint(*ref.table);
+
+  for (const int threads : {1, 2, 4}) {
+    SessionConfig pcfg;
+    pcfg.parallel.num_threads = threads;
+    pcfg.parallel.morsel_size = morsel_size;
+    QuerySession session{pcfg};
+    const RunResult got = session.Run(plan, ExecMode::kParallel);
+    EXPECT_TRUE(session.last_run_parallel()) << threads << " threads";
+    EXPECT_EQ(got.rows_emitted, ref.rows_emitted) << threads << " threads";
+    EXPECT_EQ(ExactFingerprint(*got.table), ref_fp)
+        << threads << " threads";
+  }
+  return ref_fp;
+}
+
+std::unique_ptr<Table> MakeNumbersTable(size_t rows) {
+  Rng rng(77);
+  auto t = std::make_unique<Table>("numbers");
+  Column* a = t->AddColumn("a", PhysicalType::kI64);
+  Column* g = t->AddColumn("g", PhysicalType::kI64);
+  Column* x = t->AddColumn("x", PhysicalType::kF64);
+  Column* s = t->AddColumn("s", PhysicalType::kStr);
+  static const char* kNames[8] = {"alpha", "bravo", "charlie", "delta",
+                                  "echo",  "fox",   "golf",    "hotel"};
+  for (size_t i = 0; i < rows; ++i) {
+    const i64 gi = static_cast<i64>(rng.NextBounded(8));
+    a->Append<i64>(static_cast<i64>(rng.NextBounded(1000)));
+    g->Append<i64>(gi);
+    x->Append<f64>(static_cast<f64>(rng.NextRange(-900, 900)) / 7.0);
+    s->AppendString(kNames[gi]);  // functionally dependent on g
+  }
+  t->set_row_count(rows);
+  return t;
+}
+
+// ---------------------------------------------------------------------
+// Builder validation.
+// ---------------------------------------------------------------------
+
+TEST(PlanBuilderTest, ValidPlanBuildsWithSchema) {
+  auto t = MakeNumbersTable(128);
+  PlanBuilder b = PlanBuilder::Scan(t.get(), {"a", "x"});
+  ASSERT_TRUE(b.status().ok()) << b.status().message();
+  ASSERT_EQ(b.schema().size(), 2u);
+  EXPECT_EQ(b.schema()[0].name, "a");
+  EXPECT_EQ(b.schema()[0].type, PhysicalType::kI64);
+  EXPECT_EQ(b.schema()[1].type, PhysicalType::kF64);
+  b.Filter(Lt(Col("a"), Lit(100)))
+      .Project(Outs("y", Mul(Col("x"), Lit(2.0))));
+  ASSERT_TRUE(b.status().ok()) << b.status().message();
+  ASSERT_EQ(b.schema().size(), 1u);
+  EXPECT_EQ(b.schema()[0].name, "y");
+  EXPECT_EQ(b.schema()[0].type, PhysicalType::kF64);
+  const LogicalPlan plan = b.Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan.Describe().find("project"), std::string::npos);
+}
+
+TEST(PlanBuilderTest, UnknownColumnsAreRejected) {
+  auto t = MakeNumbersTable(16);
+  // In the scan list.
+  EXPECT_NE(PlanBuilder::Scan(t.get(), {"nope"})
+                .status()
+                .message()
+                .find("unknown column"),
+            std::string::npos);
+  // In a filter predicate.
+  PlanBuilder f = PlanBuilder::Scan(t.get());
+  f.Filter(Lt(Col("nope"), Lit(1)));
+  EXPECT_NE(f.status().message().find("unknown column 'nope'"),
+            std::string::npos);
+  // In a sort key; the error sticks through Build().
+  PlanBuilder s = PlanBuilder::Scan(t.get());
+  s.Sort({{"nope", false}});
+  EXPECT_FALSE(s.status().ok());
+  EXPECT_FALSE(s.Build().ok());
+  // In a group key.
+  PlanBuilder g = PlanBuilder::Scan(t.get());
+  g.GroupBy({{"nope", 8}}, {}, {});
+  EXPECT_NE(g.status().message().find("unknown column"),
+            std::string::npos);
+}
+
+TEST(PlanBuilderTest, TypeErrorsAreRejected) {
+  auto t = MakeNumbersTable(16);
+  // i64 + f64 column mismatch.
+  PlanBuilder m = PlanBuilder::Scan(t.get());
+  m.Project(Outs("bad", Add(Col("a"), Col("x"))));
+  EXPECT_NE(m.status().message().find("type mismatch"),
+            std::string::npos);
+  // Literal on the left of arithmetic (the evaluator would abort).
+  PlanBuilder l = PlanBuilder::Scan(t.get());
+  l.Project(Outs("bad", Add(Lit(1), Col("a"))));
+  EXPECT_NE(l.status().message().find("must not be a literal"),
+            std::string::npos);
+  // String predicate over a numeric column.
+  PlanBuilder sp = PlanBuilder::Scan(t.get());
+  sp.Filter(StrEq("a", "alpha"));
+  EXPECT_NE(sp.status().message().find("string predicate"),
+            std::string::npos);
+  // Group key must be i64.
+  PlanBuilder g = PlanBuilder::Scan(t.get());
+  g.GroupBy({{"x", 8}}, {}, {});
+  EXPECT_NE(g.status().message().find("must be i64"), std::string::npos);
+  // Group key widths must pack into 63 bits.
+  PlanBuilder w = PlanBuilder::Scan(t.get());
+  w.GroupBy({{"a", 40}, {"g", 40}}, {}, {});
+  EXPECT_NE(w.status().message().find("exceed 63 bits"),
+            std::string::npos);
+  // A value expression is not a predicate.
+  PlanBuilder p = PlanBuilder::Scan(t.get());
+  p.Filter(Add(Col("a"), Lit(1)));
+  EXPECT_NE(p.status().message().find("not a predicate"),
+            std::string::npos);
+}
+
+TEST(PlanBuilderTest, HashJoinValidation) {
+  auto t = MakeNumbersTable(16);
+  HashJoinSpec spec;
+  spec.build_key = "x";  // f64: not a join key
+  spec.probe_key = "a";
+  PlanBuilder b = PlanBuilder::Scan(t.get());
+  b.HashJoin(PlanBuilder::Scan(t.get()), spec);
+  EXPECT_NE(b.status().message().find("must be i64"), std::string::npos);
+
+  HashJoinSpec semi;
+  semi.build_key = "a";
+  semi.probe_key = "a";
+  semi.kind = HashJoinSpec::Kind::kSemi;
+  semi.build_outputs = {{"x", "x"}};
+  PlanBuilder s = PlanBuilder::Scan(t.get());
+  s.HashJoin(PlanBuilder::Scan(t.get()), semi);
+  EXPECT_NE(s.status().message().find("semi/anti"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Serial/parallel parity per node kind.
+// ---------------------------------------------------------------------
+
+TEST(PlanParityTest, ScanOnly) {
+  auto t = MakeNumbersTable(20 * 1024);
+  ExpectParity(PlanBuilder::Scan(t.get(), {"a", "x"}).Build());
+}
+
+TEST(PlanParityTest, FilterAndProject) {
+  auto t = MakeNumbersTable(20 * 1024);
+  ExpectParity(
+      PlanBuilder::Scan(t.get(), {"a", "x"})
+          .Filter(Lt(Col("a"), Lit(400)))
+          .Project(Outs("a", Col("a"), "y", Mul(Col("x"), Lit(3.0))))
+          .Build());
+}
+
+HashJoinSpec InnerSpec() {
+  HashJoinSpec spec;
+  spec.build_key = "a";
+  spec.probe_key = "a";
+  spec.build_outputs = {{"x", "bx"}};
+  spec.probe_outputs = {"a", "g"};
+  return spec;
+}
+
+TEST(PlanParityTest, InnerHashJoin) {
+  auto probe = MakeNumbersTable(16 * 1024);
+  auto build = MakeNumbersTable(2000);
+  PlanBuilder build_side = PlanBuilder::Scan(build.get(), {"a", "x"});
+  build_side.Filter(Lt(Col("a"), Lit(500)));
+  ExpectParity(PlanBuilder::Scan(probe.get(), {"a", "g"})
+                   .HashJoin(std::move(build_side), InnerSpec())
+                   .Build());
+}
+
+TEST(PlanParityTest, SemiHashJoinWithBloom) {
+  auto probe = MakeNumbersTable(16 * 1024);
+  auto build = MakeNumbersTable(512);
+  HashJoinSpec spec;
+  spec.build_key = "a";
+  spec.probe_key = "a";
+  spec.kind = HashJoinSpec::Kind::kSemi;
+  spec.use_bloom = true;
+  PlanBuilder build_side = PlanBuilder::Scan(build.get(), {"a"});
+  build_side.Filter(Lt(Col("a"), Lit(300)));
+  ExpectParity(PlanBuilder::Scan(probe.get(), {"a", "x"})
+                   .HashJoin(std::move(build_side), spec)
+                   .Build());
+}
+
+TEST(PlanParityTest, GroupByWithStringOutputsAndF64Sums) {
+  auto t = MakeNumbersTable(30 * 1024);
+  std::vector<HashAggOperator::AggSpec> aggs;
+  {
+    HashAggOperator::AggSpec a;
+    a.fn = "sum";
+    a.arg = Col("x");
+    a.out_name = "sum_x";
+    aggs.push_back(std::move(a));
+  }
+  {
+    HashAggOperator::AggSpec a;
+    a.fn = "avg";
+    a.arg = Col("x");
+    a.out_name = "avg_x";
+    aggs.push_back(std::move(a));
+  }
+  {
+    HashAggOperator::AggSpec a;
+    a.fn = "min";
+    a.arg = Col("a");
+    a.out_name = "min_a";
+    aggs.push_back(std::move(a));
+  }
+  {
+    HashAggOperator::AggSpec a;
+    a.fn = "count";
+    a.out_name = "cnt";
+    aggs.push_back(std::move(a));
+  }
+  // The f64 sums make this the hard case: per-thread partial sums are
+  // merged, and only the fixed-point accumulator keeps the result
+  // bit-identical across thread counts — and identical to serial.
+  ExpectParity(PlanBuilder::Scan(t.get(), {"g", "s", "a", "x"})
+                   .GroupBy({{"g", 4}}, {"g", "s"}, std::move(aggs))
+                   .Sort({{"g", false}})
+                   .Build());
+}
+
+TEST(PlanParityTest, GroupByWithoutSortEmitsKeyOrderBothWays) {
+  // Groups are first seen in descending key order, so serial
+  // insertion-order emission would come out reversed relative to the
+  // parallel merge's packed-key order. The plan contract instead pins
+  // both executors to key order — byte identity needs no Sort node.
+  constexpr size_t kRows = 16 * 1024;
+  auto t = std::make_unique<Table>("desc");
+  Column* g = t->AddColumn("g", PhysicalType::kI64);
+  Column* v = t->AddColumn("v", PhysicalType::kI64);
+  for (size_t i = 0; i < kRows; ++i) {
+    g->Append<i64>(7 - static_cast<i64>(i * 8 / kRows));  // 7,7,...,0
+    v->Append<i64>(static_cast<i64>(i % 13));
+  }
+  t->set_row_count(kRows);
+  std::vector<HashAggOperator::AggSpec> aggs;
+  {
+    HashAggOperator::AggSpec a;
+    a.fn = "sum";
+    a.arg = Col("v");
+    a.out_name = "sum_v";
+    aggs.push_back(std::move(a));
+  }
+  ExpectParity(PlanBuilder::Scan(t.get(), {"g", "v"})
+                   .GroupBy({{"g", 4}}, {"g"}, std::move(aggs))
+                   .Build());
+}
+
+TEST(PlanParityTest, SortLimitAndBareLimit) {
+  auto t = MakeNumbersTable(12 * 1024);
+  ExpectParity(PlanBuilder::Scan(t.get(), {"a", "x"})
+                   .Sort({{"a", true}, {"x", false}}, 100)
+                   .Build());
+  ExpectParity(
+      PlanBuilder::Scan(t.get(), {"a"}).Limit(777).Build());
+}
+
+TEST(PlanParityTest, JoinFeedingAggregationWithHavingTail) {
+  auto probe = MakeNumbersTable(24 * 1024);
+  auto build = MakeNumbersTable(1024);
+  std::vector<HashAggOperator::AggSpec> aggs;
+  {
+    HashAggOperator::AggSpec a;
+    a.fn = "sum";
+    a.arg = Col("bx");
+    a.out_name = "sum_bx";
+    aggs.push_back(std::move(a));
+  }
+  {
+    HashAggOperator::AggSpec a;
+    a.fn = "count";
+    a.out_name = "cnt";
+    aggs.push_back(std::move(a));
+  }
+  ExpectParity(PlanBuilder::Scan(probe.get(), {"a", "g"})
+                   .HashJoin(PlanBuilder::Scan(build.get(), {"a", "x"}),
+                             InnerSpec())
+                   .GroupBy({{"g", 4}}, {"g"}, std::move(aggs))
+                   .Filter(Gt(Col("cnt"), Lit(0)))  // post-agg tail
+                   .Sort({{"g", false}})
+                   .Build());
+}
+
+// ---------------------------------------------------------------------
+// Fragmentation.
+// ---------------------------------------------------------------------
+
+TEST(PlanFragmentTest, JoinAggSortSplitsIntoPhases) {
+  auto probe = MakeNumbersTable(4096);
+  auto b1 = MakeNumbersTable(256);
+  auto b2 = MakeNumbersTable(256);
+  auto b3 = MakeNumbersTable(128);
+
+  // Build side of the second join itself probes a third build — the
+  // nested phase must come out *before* the phase that probes it.
+  HashJoinSpec nested;
+  nested.build_key = "a";
+  nested.probe_key = "a";
+  nested.kind = HashJoinSpec::Kind::kSemi;
+  PlanBuilder build2 = PlanBuilder::Scan(b2.get(), {"a", "x"});
+  build2.HashJoin(PlanBuilder::Scan(b3.get(), {"a"}), nested);
+
+  std::vector<HashAggOperator::AggSpec> aggs;
+  {
+    HashAggOperator::AggSpec a;
+    a.fn = "count";
+    a.out_name = "cnt";
+    aggs.push_back(std::move(a));
+  }
+  HashJoinSpec j2 = InnerSpec();
+  j2.build_outputs = {{"x", "b2x"}};
+  j2.probe_outputs = {"a", "g"};
+  PlanBuilder main = PlanBuilder::Scan(probe.get(), {"a", "g"});
+  main.HashJoin(PlanBuilder::Scan(b1.get(), {"a", "x"}), InnerSpec())
+      .HashJoin(std::move(build2), j2)
+      .GroupBy({{"g", 4}}, {"g"}, std::move(aggs))
+      .Sort({{"g", false}});
+  const LogicalPlan plan = main.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status.message();
+
+  Compiler::Fragmentation frag;
+  const Status s = Compiler::Fragment(plan, &frag);
+  ASSERT_TRUE(s.ok()) << s.message();
+
+  // sort -> group_by -> join2 -> join1 -> scan along the spine.
+  const PlanNode* sort = plan.root.get();
+  const PlanNode* agg = sort->children[0].get();
+  const PlanNode* join2 = agg->children[0].get();
+  const PlanNode* join1 = join2->children[1].get();
+  const PlanNode* spine_scan = join1->children[1].get();
+  const PlanNode* nested_join = join2->children[0].get();
+  ASSERT_EQ(nested_join->kind, NodeKind::kHashJoin);
+
+  ASSERT_EQ(frag.builds.size(), 3u);
+  EXPECT_EQ(frag.builds[0].join, nested_join);  // dependency first
+  EXPECT_EQ(frag.builds[1].join, join2);
+  EXPECT_EQ(frag.builds[2].join, join1);
+  EXPECT_EQ(frag.agg, agg);
+  EXPECT_EQ(frag.pipeline_root, join2);
+  EXPECT_EQ(frag.pipeline_scan, spine_scan);
+  ASSERT_EQ(frag.tail.size(), 1u);
+  EXPECT_EQ(frag.tail[0], sort);
+
+  // The parity machinery also runs this shape (small tables, so force
+  // the parallel mode).
+  ExpectParity(plan, /*morsel_size=*/512);
+}
+
+TEST(PlanFragmentTest, MergeJoinFallsBackToSerial) {
+  // Two tables sorted ascending on k; left keys unique.
+  auto left = std::make_unique<Table>("left");
+  Column* lk = left->AddColumn("k", PhysicalType::kI64);
+  Column* lv = left->AddColumn("lv", PhysicalType::kI64);
+  for (i64 i = 0; i < 500; ++i) {
+    lk->Append<i64>(i);
+    lv->Append<i64>(i * 10);
+  }
+  left->set_row_count(500);
+  auto right = std::make_unique<Table>("right");
+  Column* rk = right->AddColumn("k", PhysicalType::kI64);
+  Column* rv = right->AddColumn("rv", PhysicalType::kI64);
+  for (i64 i = 0; i < 2000; ++i) {
+    rk->Append<i64>(i / 4);  // duplicates, still ascending
+    rv->Append<i64>(i);
+  }
+  right->set_row_count(2000);
+
+  MergeJoinSpec spec;
+  spec.left_key = "k";
+  spec.right_key = "k";
+  spec.left_outputs = {{"lv", "lv"}};
+  spec.right_outputs = {{"rv", "rv"}};
+  PlanBuilder b = PlanBuilder::Scan(left.get());
+  b.MergeJoin(PlanBuilder::Scan(right.get()), spec);
+  const LogicalPlan plan = b.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status.message();
+
+  Compiler::Fragmentation frag;
+  EXPECT_FALSE(Compiler::Fragment(plan, &frag).ok());
+
+  // kParallel falls back to serial and still answers correctly.
+  QuerySession session{SessionConfig()};
+  const RunResult serial = session.Run(plan, ExecMode::kSerial);
+  EXPECT_EQ(serial.rows_emitted, 2000u);
+  const RunResult fallback = session.Run(plan, ExecMode::kParallel);
+  EXPECT_FALSE(session.last_run_parallel());
+  EXPECT_EQ(ExactFingerprint(*fallback.table),
+            ExactFingerprint(*serial.table));
+}
+
+TEST(PlanFragmentTest, AutoStaysSerialOnSmallTables) {
+  auto t = MakeNumbersTable(512);  // below min_parallel_rows
+  QuerySession session{SessionConfig()};
+  session.Run(PlanBuilder::Scan(t.get(), {"a"}).Build(),
+              ExecMode::kAuto);
+  EXPECT_FALSE(session.last_run_parallel());
+}
+
+// ---------------------------------------------------------------------
+// TPC-H acceptance: Q1 and Q6, one plan, every executor, same bytes.
+// ---------------------------------------------------------------------
+
+class TpchPlanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::TpchConfig cfg;
+    cfg.scale_factor = 0.01;
+    data_ = tpch::Generate(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static tpch::TpchData* data_;
+};
+
+tpch::TpchData* TpchPlanTest::data_ = nullptr;
+
+void ExpectTpchParity(const LogicalPlan& plan, const char* what,
+                      const std::string& probe_label) {
+  ASSERT_TRUE(plan.ok()) << plan.status.message();
+  SessionConfig scfg;
+  QuerySession serial_session{scfg};
+  const RunResult ref = serial_session.Run(plan, ExecMode::kSerial);
+  ASSERT_NE(ref.table, nullptr);
+  const u64 ref_fp = ExactFingerprint(*ref.table);
+
+  for (const int threads : {1, 2, 4}) {
+    SessionConfig pcfg;
+    pcfg.parallel.num_threads = threads;
+    pcfg.parallel.morsel_size = 4096;
+    // Pinned partitions so every worker provably drains rows: the
+    // profile assertions below need all `threads` pipeline instances to
+    // have bound their primitives. (The PlanParityTest cases cover the
+    // work-stealing path; byte-identity holds either way.)
+    pcfg.parallel.work_stealing = false;
+    QuerySession session{pcfg};
+    const RunResult got = session.Run(plan, ExecMode::kParallel);
+    ASSERT_TRUE(session.last_run_parallel()) << what;
+    EXPECT_EQ(ExactFingerprint(*got.table), ref_fp)
+        << what << " at " << threads << " threads";
+
+    // Per-worker compiled pipelines: the merged profile carries one
+    // instance per thread for the plan's filter site, each with its own
+    // bandit (winner_per_thread has one entry per worker that ran it).
+    const auto profile = session.Profile();
+    const InstanceProfile* site = nullptr;
+    for (const InstanceProfile& p : profile) {
+      if (p.label.rfind(probe_label, 0) == 0) site = &p;
+    }
+    ASSERT_NE(site, nullptr) << what << ": no profile row for "
+                             << probe_label;
+    EXPECT_EQ(site->instances, threads)
+        << what << ": expected one compiled pipeline per worker";
+    EXPECT_EQ(site->winner_per_thread.size(),
+              static_cast<size_t>(threads));
+  }
+}
+
+TEST_F(TpchPlanTest, Q1ByteIdenticalSerialAndParallel) {
+  ExpectTpchParity(tpch::Q1Plan(*data_), "Q1", "q1/select");
+}
+
+TEST_F(TpchPlanTest, Q6ByteIdenticalSerialAndParallel) {
+  ExpectTpchParity(tpch::Q6Plan(*data_), "Q6", "q6/select");
+}
+
+}  // namespace
+}  // namespace ma::plan
