@@ -34,4 +34,41 @@ StrRef StringHeap::Add(std::string_view s) {
   return StrRef{dst, static_cast<u32>(need)};
 }
 
+void StringHeap::AddGather(const StrRef* src, const sel_t* sel, size_t n,
+                           std::vector<StrRef>* out) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += src[sel[i]].len;
+  // No reserve: callers gather many small runs into one vector, and an
+  // exact reserve per run would defeat push_back's geometric growth.
+
+  char* dst;
+  if (total > kChunkSize) {
+    // The whole run gets a dedicated chunk, swapped one position back so
+    // chunk_pos_ keeps pointing at the previous bump chunk (same trick
+    // as Add's oversized path).
+    chunks_.push_back(std::make_unique<char[]>(total));
+    dst = chunks_.back().get();
+    if (chunks_.size() >= 2) {
+      std::swap(chunks_[chunks_.size() - 1], chunks_[chunks_.size() - 2]);
+    } else {
+      chunk_pos_ = kChunkSize;
+    }
+  } else {
+    if (chunks_.empty() || chunk_pos_ + total > kChunkSize) {
+      chunks_.push_back(std::make_unique<char[]>(kChunkSize));
+      chunk_pos_ = 0;
+    }
+    dst = chunks_.back().get() + chunk_pos_;
+    chunk_pos_ += total;
+  }
+  bytes_used_ += total;
+
+  for (size_t i = 0; i < n; ++i) {
+    const StrRef& s = src[sel[i]];
+    std::memcpy(dst, s.data, s.len);
+    out->push_back(StrRef{dst, s.len});
+    dst += s.len;
+  }
+}
+
 }  // namespace ma

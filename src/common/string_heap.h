@@ -25,6 +25,13 @@ class StringHeap {
   /// remain valid for the lifetime of the heap (chunks never move).
   StrRef Add(std::string_view s);
 
+  /// Bulk gather: copies the `n` payloads src[sel[0..n)] into the heap
+  /// as one contiguous block (one capacity decision for the whole run
+  /// instead of one per string) and appends the new references to
+  /// `out`. The fast path for merging string columns run-wise.
+  void AddGather(const StrRef* src, const sel_t* sel, size_t n,
+                 std::vector<StrRef>* out);
+
   /// Total payload bytes currently stored.
   size_t bytes_used() const { return bytes_used_; }
 

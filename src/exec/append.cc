@@ -53,6 +53,18 @@ void AppendCell(const Column& src, size_t row, Column* dst) {
   });
 }
 
+void AppendGatherColumn(const Column& src, const sel_t* sel, size_t n,
+                        Column* dst) {
+  ForPhysicalType(src.type(), [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_same_v<T, StrRef>) {
+      dst->AppendStringGather(src.Data<StrRef>(), sel, n);
+    } else {
+      dst->AppendGather<T>(src.Data<T>(), sel, n);
+    }
+  });
+}
+
 void AppendVectorCell(const Vector& src, size_t row, Column* dst) {
   ForPhysicalType(src.type(), [&](auto tag) {
     using T = decltype(tag);

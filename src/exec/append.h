@@ -50,6 +50,12 @@ void AppendColumnRows(const Column& src, Column* dst);
 /// Copies one cell of a storage column to the end of `dst`.
 void AppendCell(const Column& src, size_t row, Column* dst);
 
+/// Gather-appends `n` cells of `src` (at the `sel` positions) to `dst`:
+/// one bulk move per call — fixed-width types via AppendGather, string
+/// payloads as one contiguous heap block (Column::AppendStringGather).
+void AppendGatherColumn(const Column& src, const sel_t* sel, size_t n,
+                        Column* dst);
+
 /// Copies one cell of a vector to the end of `dst`.
 void AppendVectorCell(const Vector& src, size_t row, Column* dst);
 

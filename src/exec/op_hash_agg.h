@@ -41,6 +41,20 @@ class HashAggOperator : public Operator {
     /// across threads. Set by the plan compiler; hand-built trees keep
     /// the classic rounded-f64 accumulator.
     bool exact_f64_sum = false;
+
+    /// Deep copy (the expression tree cloned) — every executor that
+    /// instantiates per-worker or per-compilation operator trees from
+    /// one spec list goes through here, so a new field added above is
+    /// carried by all of them.
+    AggSpec Clone() const {
+      AggSpec s;
+      s.fn = fn;
+      s.arg = arg != nullptr ? arg->Clone() : nullptr;
+      s.out_name = out_name;
+      s.type_hint = type_hint;
+      s.exact_f64_sum = exact_f64_sum;
+      return s;
+    }
   };
 
   /// `group_outputs`: child columns materialized per group (first-seen

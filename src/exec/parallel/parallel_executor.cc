@@ -72,6 +72,26 @@ std::vector<InstanceProfile> ParallelExecutor::MergedProfile() const {
 RunResult ParallelExecutor::RunPipeline(
     const Table* table, std::vector<std::string> scan_columns,
     const PipelineFactory& factory) {
+  auto sink = std::make_unique<Table>("result");
+  RunResult result =
+      RunPipelineImpl(table, std::move(scan_columns), factory, sink.get());
+  result.table = std::move(sink);
+  return result;
+}
+
+RunResult ParallelExecutor::RunPipelineInto(
+    const Table* table, std::vector<std::string> scan_columns,
+    const PipelineFactory& factory, IntermediateTable* out) {
+  MA_CHECK(out != nullptr);
+  RunResult result = RunPipelineImpl(table, std::move(scan_columns),
+                                     factory, out->mutable_table());
+  out->EnsureSchema();
+  return result;
+}
+
+RunResult ParallelExecutor::RunPipelineImpl(
+    const Table* table, std::vector<std::string> scan_columns,
+    const PipelineFactory& factory, Table* sink) {
   MA_CHECK(table != nullptr);
   ResetEngines();
   const u64 t0 = CycleClock::Now();
@@ -111,11 +131,10 @@ RunResult ParallelExecutor::RunPipeline(
   const u64 t_exec = CycleClock::Now();
 
   RunResult result;
-  result.table = std::make_unique<Table>("result");
   for (const auto& part : morsel_out) {
-    if (part != nullptr) AppendTableRows(*part, result.table.get());
+    if (part != nullptr) AppendTableRows(*part, sink);
   }
-  result.rows_emitted = result.table->row_count();
+  result.rows_emitted = sink->row_count();
 
   const u64 t_end = CycleClock::Now();
   result.stages.execute = t_exec - t0;
@@ -230,13 +249,7 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
     // must own its own (expression nodes anchor primitive instances).
     std::vector<HashAggOperator::AggSpec> specs;
     for (const HashAggOperator::AggSpec& a : plan.aggs) {
-      HashAggOperator::AggSpec s;
-      s.fn = a.fn;
-      s.arg = a.arg != nullptr ? a.arg->Clone() : nullptr;
-      s.out_name = a.out_name;
-      s.type_hint = a.type_hint;
-      s.exact_f64_sum = a.exact_f64_sum;
-      specs.push_back(std::move(s));
+      specs.push_back(a.Clone());
     }
     aggs[w] = std::make_unique<HashAggOperator>(
         engine, std::move(child), plan.group_keys, plan.group_outputs,
@@ -274,7 +287,34 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
   // Group outputs: first-seen row values, taken from the first worker
   // (in id order) holding the group. These columns are functionally
   // dependent on the group key in every query here, so any worker's
-  // copy is the same value.
+  // copy is the same value. The owner of each key is computed once (not
+  // per column), and consecutive keys owned by the same worker merge as
+  // one bulk gather per run — string payloads move as one contiguous
+  // heap block instead of one heap interaction per row.
+  struct GroupOwner {
+    u32 part = 0;
+    sel_t gid = 0;
+  };
+  std::vector<GroupOwner> owners;
+  if (!plan.group_outputs.empty()) {
+    owners.reserve(keys.size());
+    for (const i64 key : keys) {
+      GroupOwner o;
+      bool found = false;
+      for (u32 p = 0; p < parts.size(); ++p) {
+        if (parts[p].group_out_cols->empty()) continue;
+        const i64 gid = parts[p].groups->Find(key);
+        if (gid < 0) continue;
+        o.part = p;
+        o.gid = static_cast<sel_t>(gid);
+        found = true;
+        break;
+      }
+      MA_CHECK(found);  // keys is the union of all workers' groups
+      owners.push_back(o);
+    }
+  }
+  std::vector<sel_t> run;
   for (size_t g = 0; g < plan.group_outputs.size(); ++g) {
     PhysicalType type = PhysicalType::kI64;
     for (const auto& part : parts) {
@@ -284,15 +324,17 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
       }
     }
     Column* dst = result.table->AddColumn(plan.group_outputs[g], type);
-    for (const i64 key : keys) {
-      for (const auto& part : parts) {
-        if (g >= part.group_out_cols->size()) continue;
-        const i64 gid = part.groups->Find(key);
-        if (gid < 0) continue;
-        AppendCell(*(*part.group_out_cols)[g],
-                   static_cast<size_t>(gid), dst);
-        break;
+    for (size_t i = 0; i < owners.size();) {
+      const u32 p = owners[i].part;
+      run.clear();
+      size_t j = i;
+      for (; j < owners.size() && owners[j].part == p; ++j) {
+        run.push_back(owners[j].gid);
       }
+      const auto& cols = *parts[p].group_out_cols;
+      MA_CHECK(g < cols.size());
+      AppendGatherColumn(*cols[g], run.data(), run.size(), dst);
+      i = j;
     }
   }
 

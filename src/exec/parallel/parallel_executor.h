@@ -40,6 +40,7 @@
 #include "exec/parallel/morsel.h"
 #include "exec/parallel/morsel_scan.h"
 #include "exec/parallel/thread_pool.h"
+#include "storage/intermediate.h"
 
 namespace ma {
 
@@ -83,6 +84,17 @@ class ParallelExecutor {
                         std::vector<std::string> scan_columns,
                         const PipelineFactory& factory);
 
+  /// Like RunPipeline, but materializes the merged output into `out`
+  /// (an intermediate a later plan stage scans like a base table): the
+  /// per-morsel partials append in morsel order, and the declared
+  /// schema is instantiated even when no rows survive, so downstream
+  /// scans and build-side type lookups always resolve. The returned
+  /// RunResult carries timings and row counts; its table is null.
+  RunResult RunPipelineInto(const Table* table,
+                            std::vector<std::string> scan_columns,
+                            const PipelineFactory& factory,
+                            IntermediateTable* out);
+
   /// Parallel hash-join build: drains per-worker build pipelines over a
   /// morsel scan of `build_table` into per-morsel buffers, concatenates
   /// them in morsel order into the shared table (deterministic row
@@ -119,6 +131,12 @@ class ParallelExecutor {
   std::vector<InstanceProfile> MergedProfile() const;
 
  private:
+  /// Shared body of RunPipeline / RunPipelineInto: runs the per-worker
+  /// pipelines and appends the per-morsel outputs to `sink` in morsel
+  /// order.
+  RunResult RunPipelineImpl(const Table* table,
+                            std::vector<std::string> scan_columns,
+                            const PipelineFactory& factory, Table* sink);
   /// Fresh per-worker engines for a new run.
   void ResetEngines();
   /// Sum of primitive cycles across all worker engines.

@@ -21,20 +21,12 @@ std::vector<HashAggOperator::AggSpec> CloneAggs(
     const std::vector<HashAggOperator::AggSpec>& aggs) {
   std::vector<HashAggOperator::AggSpec> cloned;
   cloned.reserve(aggs.size());
-  for (const auto& a : aggs) {
-    HashAggOperator::AggSpec s;
-    s.fn = a.fn;
-    s.arg = a.arg != nullptr ? a.arg->Clone() : nullptr;
-    s.out_name = a.out_name;
-    s.type_hint = a.type_hint;
-    s.exact_f64_sum = a.exact_f64_sum;
-    cloned.push_back(std::move(s));
-  }
+  for (const auto& a : aggs) cloned.push_back(a.Clone());
   return cloned;
 }
 
 /// True when the subtree contains a pipeline breaker (join build sides
-/// do not count: they break the plan into phases on their own).
+/// do not count: they become stages of their own).
 bool ContainsBreaker(const PlanNode* node) {
   switch (node->kind) {
     case NodeKind::kGroupBy:
@@ -53,41 +45,287 @@ bool ContainsBreaker(const PlanNode* node) {
   return false;
 }
 
-/// Validates that `node` is a streaming fragment (scan leaf + filters,
-/// projects and hash-join probes); records the scan leaf and appends a
-/// build phase per join, build sides first (they must exist before the
-/// pipeline that probes them runs).
-Status CollectFragment(const PlanNode* node, const PlanNode** scan,
-                       std::vector<Compiler::JoinBuildPhase>* builds) {
-  switch (node->kind) {
-    case NodeKind::kScan:
-      if (*scan != nullptr) {
-        return Status::Internal("fragment with two scan leaves");
+bool IsBreaker(NodeKind k) {
+  return k == NodeKind::kGroupBy || k == NodeKind::kSort ||
+         k == NodeKind::kLimit || k == NodeKind::kMergeJoin;
+}
+
+/// Grows a StagePlan bottom-up: stages are appended children-first, so
+/// the stages vector comes out in topological order by construction.
+class StageBuilder {
+ public:
+  explicit StageBuilder(StagePlan* out) : out_(out) {}
+
+  /// The leaf of a streaming fragment: a base-table scan or the
+  /// materialized output of a breaker stage, plus the node the leaf
+  /// operator replaces and the stages the fragment depends on.
+  struct PipelineLeaf {
+    StageInput input;
+    const PlanNode* stop = nullptr;
+    std::vector<int> deps;
+  };
+
+  /// Walks a streaming fragment (filters, projects, hash-join probes)
+  /// down to its leaf. Join build sides become kJoinBuild stages; a
+  /// breaker below becomes a materializing stage whose output the
+  /// fragment scans.
+  Status CollectPipeline(const PlanNode* node, PipelineLeaf* leaf) {
+    switch (node->kind) {
+      case NodeKind::kScan:
+        if (leaf->input.scan != nullptr || leaf->input.from_stage()) {
+          return Status::Internal("fragment with two scan leaves");
+        }
+        leaf->input.scan = node;
+        leaf->stop = node;
+        return Status::OK();
+      case NodeKind::kFilter:
+      case NodeKind::kProject:
+        return CollectPipeline(node->children[0].get(), leaf);
+      case NodeKind::kHashJoin: {
+        // The build side becomes its own stage chain, appended before
+        // this fragment's stage so execution order stays dependency-safe.
+        int build_id = -1;
+        MA_RETURN_IF_ERROR(AddJoinBuild(node, &build_id));
+        leaf->deps.push_back(build_id);
+        return CollectPipeline(node->children[1].get(), leaf);
       }
-      *scan = node;
-      return Status::OK();
-    case NodeKind::kFilter:
-    case NodeKind::kProject:
-      return CollectFragment(node->children[0].get(), scan, builds);
-    case NodeKind::kHashJoin: {
-      Compiler::JoinBuildPhase phase;
-      phase.join = node;
-      phase.root = node->children[0].get();
-      // The build subtree is its own fragment: its nested joins phase
-      // in before it, so execution order below stays dependency-safe.
-      MA_RETURN_IF_ERROR(
-          CollectFragment(phase.root, &phase.scan, builds));
-      builds->push_back(phase);
-      return CollectFragment(node->children[1].get(), scan, builds);
+      case NodeKind::kGroupBy:
+      case NodeKind::kSort:
+      case NodeKind::kLimit:
+      case NodeKind::kMergeJoin: {
+        int stage_id = -1;
+        MA_RETURN_IF_ERROR(MaterializeNode(node, &stage_id));
+        leaf->input.stage = stage_id;
+        leaf->stop = node;
+        leaf->deps.push_back(stage_id);
+        return Status::OK();
+      }
     }
-    default:
-      return Status::Unimplemented(
-          std::string("parallel compilation does not support ") +
-          NodeKindName(node->kind) + " inside a streaming pipeline");
+    return Status::Internal("unreachable node kind");
+  }
+
+  /// Creates the kJoinBuild stage (and everything its build pipeline
+  /// depends on) for `join`'s build side.
+  Status AddJoinBuild(const PlanNode* join, int* stage_id) {
+    PipelineLeaf bl;
+    MA_RETURN_IF_ERROR(CollectPipeline(join->children[0].get(), &bl));
+    Stage s;
+    s.kind = Stage::Kind::kJoinBuild;
+    s.root = join->children[0].get();
+    s.stop = bl.stop;
+    s.input = bl.input;
+    s.join = join;
+    s.deps = std::move(bl.deps);
+    s.label = join->label;
+    *stage_id = Push(std::move(s));
+    return Status::OK();
+  }
+
+  /// Creates stages computing the subtree rooted at `node` and
+  /// materializing its full output into an intermediate.
+  Status MaterializeNode(const PlanNode* node, int* stage_id) {
+    switch (node->kind) {
+      case NodeKind::kGroupBy: {
+        Stage s;
+        MA_RETURN_IF_ERROR(FillAggregate(node, &s));
+        s.materialize = true;
+        *stage_id = Push(std::move(s));
+        return Status::OK();
+      }
+      case NodeKind::kSort:
+      case NodeKind::kLimit: {
+        Stage s;
+        s.kind = Stage::Kind::kSort;
+        MA_RETURN_IF_ERROR(
+            MaterializeInput(node->children[0].get(), &s.input, &s.deps));
+        if (node->kind == NodeKind::kSort) s.sort_keys = node->sort_keys;
+        s.limit = node->limit;
+        s.materialize = true;
+        s.out_schema = node->schema;
+        s.label = node->label;
+        *stage_id = Push(std::move(s));
+        return Status::OK();
+      }
+      case NodeKind::kMergeJoin: {
+        Stage s;
+        MA_RETURN_IF_ERROR(FillMergeJoin(node, &s));
+        s.materialize = true;
+        *stage_id = Push(std::move(s));
+        return Status::OK();
+      }
+      default: {  // streaming chain: one materializing pipeline stage
+        Stage s;
+        PipelineLeaf pl;
+        MA_RETURN_IF_ERROR(CollectPipeline(node, &pl));
+        s.kind = Stage::Kind::kPipeline;
+        s.root = node;
+        s.stop = pl.stop;
+        s.input = pl.input;
+        s.deps = std::move(pl.deps);
+        s.materialize = true;
+        s.out_schema = node->schema;
+        s.label = node->label;
+        *stage_id = Push(std::move(s));
+        return Status::OK();
+      }
+    }
+  }
+
+  /// Resolves a merge-join (or sort) input: a bare base-table scan is
+  /// read directly, anything else is computed by stages of its own.
+  Status MaterializeInput(const PlanNode* node, StageInput* ref,
+                          std::vector<int>* deps) {
+    if (node->kind == NodeKind::kScan) {
+      ref->scan = node;
+      return Status::OK();
+    }
+    int id = -1;
+    MA_RETURN_IF_ERROR(MaterializeNode(node, &id));
+    ref->stage = id;
+    deps->push_back(id);
+    return Status::OK();
+  }
+
+  /// Fills an aggregation stage: the pipeline below the GroupBy plus
+  /// the breaker itself (thread-local pre-agg + merge at run time).
+  Status FillAggregate(const PlanNode* group_by, Stage* s) {
+    PipelineLeaf pl;
+    MA_RETURN_IF_ERROR(CollectPipeline(group_by->children[0].get(), &pl));
+    s->kind = Stage::Kind::kAggregate;
+    s->root = group_by->children[0].get();
+    s->stop = pl.stop;
+    s->input = pl.input;
+    s->agg = group_by;
+    s->deps = std::move(pl.deps);
+    s->out_schema = group_by->schema;
+    s->label = group_by->label;
+    return Status::OK();
+  }
+
+  /// Fills a merge-join stage: both sides materialized (or base
+  /// tables), each behind a prove-or-sort stage unless a Sort node on
+  /// the join key already proves the order statically.
+  Status FillMergeJoin(const PlanNode* merge, Stage* s) {
+    s->kind = Stage::Kind::kMergeJoin;
+    s->merge = merge;
+    s->out_schema = merge->schema;
+    s->label = merge->label;
+    MA_RETURN_IF_ERROR(MaterializeInput(merge->children[0].get(),
+                                        &s->input, &s->deps));
+    MA_RETURN_IF_ERROR(EnsureSorted(merge->children[0].get(),
+                                    merge->merge_spec.left_key, &s->input,
+                                    &s->deps, s->label + "/left"));
+    MA_RETURN_IF_ERROR(MaterializeInput(merge->children[1].get(),
+                                        &s->right, &s->deps));
+    MA_RETURN_IF_ERROR(EnsureSorted(merge->children[1].get(),
+                                    merge->merge_spec.right_key, &s->right,
+                                    &s->deps, s->label + "/right"));
+    return Status::OK();
+  }
+
+  /// Guarantees that `ref` (one merge-join side, producing `node`'s
+  /// output) arrives sorted ascending on `key`: statically proven by a
+  /// Sort node on the key, otherwise wrapped in an order-proof stage
+  /// that verifies the key order at run time before the merge (the
+  /// same sorted-input contract the serial MergeJoinOperator asserts —
+  /// plans that need a sort say so with an explicit Sort node, which
+  /// both executors lower, keeping serial and staged semantics equal).
+  Status EnsureSorted(const PlanNode* node, const std::string& key,
+                      StageInput* ref, std::vector<int>* deps,
+                      std::string label) {
+    if (node->kind == NodeKind::kSort && !node->sort_keys.empty() &&
+        node->sort_keys[0].column == key && !node->sort_keys[0].desc) {
+      return Status::OK();  // order proven by construction
+    }
+    Stage s;
+    s.kind = Stage::Kind::kSort;
+    s.input = *ref;
+    if (ref->from_stage()) s.deps.push_back(ref->stage);
+    s.sort_keys = {{key, false}};
+    s.prove_sorted = true;
+    s.materialize = true;
+    s.out_schema = node->schema;
+    s.label = std::move(label);
+    const int id = Push(std::move(s));
+    *ref = StageInput{};
+    ref->stage = id;
+    deps->push_back(id);
+    return Status::OK();
+  }
+
+  int Push(Stage s) {
+    s.id = static_cast<int>(out_->stages.size());
+    std::sort(s.deps.begin(), s.deps.end());
+    s.deps.erase(std::unique(s.deps.begin(), s.deps.end()), s.deps.end());
+    out_->stages.push_back(std::move(s));
+    return out_->stages.back().id;
+  }
+
+ private:
+  StagePlan* out_;
+};
+
+const char* StageKindName(Stage::Kind k) {
+  switch (k) {
+    case Stage::Kind::kPipeline:
+      return "pipeline";
+    case Stage::Kind::kJoinBuild:
+      return "join_build";
+    case Stage::Kind::kAggregate:
+      return "aggregate";
+    case Stage::Kind::kSort:
+      return "sort";
+    case Stage::Kind::kMergeJoin:
+      return "merge_join";
+  }
+  return "?";
+}
+
+void DescribeInput(const StageInput& in, std::string* out) {
+  if (in.from_stage()) {
+    out->append("stage ").append(std::to_string(in.stage));
+  } else if (in.scan != nullptr) {
+    out->append("table ").append(in.scan->table != nullptr
+                                     ? in.scan->table->name()
+                                     : "?");
   }
 }
 
 }  // namespace
+
+std::string StagePlan::Describe() const {
+  std::string out;
+  for (const Stage& s : stages) {
+    out.append("stage ").append(std::to_string(s.id)).append(": ");
+    out.append(StageKindName(s.kind));
+    if (s.prove_sorted) out.append(" (prove order)");
+    out.append(" <- ");
+    DescribeInput(s.input, &out);
+    if (s.kind == Stage::Kind::kMergeJoin) {
+      out.append(" x ");
+      DescribeInput(s.right, &out);
+    }
+    if (!s.deps.empty()) {
+      out.append("  deps[");
+      for (size_t i = 0; i < s.deps.size(); ++i) {
+        if (i > 0) out.append(",");
+        out.append(std::to_string(s.deps[i]));
+      }
+      out.append("]");
+    }
+    out.append(s.materialize ? "  -> intermediate" : "  -> result");
+    if (!s.label.empty()) out.append("  [").append(s.label).append("]");
+    out.append("\n");
+  }
+  if (!tail.empty()) {
+    out.append("tail:");
+    for (const PlanNode* n : tail) {
+      out.append(" ").append(NodeKindName(n->kind));
+    }
+    out.append("\n");
+  }
+  return out;
+}
 
 OperatorPtr Compiler::Lower(const PlanNode* node, Engine* engine) {
   switch (node->kind) {
@@ -144,17 +382,17 @@ OperatorPtr Compiler::CompileSerial(const LogicalPlan& plan,
   return Lower(plan.root.get(), engine);
 }
 
-Status Compiler::Fragment(const LogicalPlan& plan, Fragmentation* out) {
+Status Compiler::BuildStagePlan(const LogicalPlan& plan, StagePlan* out) {
   if (!plan.ok()) {
     return plan.status.ok() ? Status::InvalidArgument("empty plan")
                             : plan.status;
   }
-  *out = Fragmentation();
+  *out = StagePlan();
   const PlanNode* node = plan.root.get();
 
-  // Peel the tail: sorts and limits always run post-merge; filters and
-  // projects join them only while a breaker is still below (otherwise
-  // they belong to the streaming pipeline itself).
+  // Peel the tail: sorts and limits at the top always run post-merge;
+  // filters and projects join them only while a breaker is still below
+  // (otherwise they belong to the streaming pipeline itself).
   for (;;) {
     if (node->kind == NodeKind::kSort || node->kind == NodeKind::kLimit) {
       out->tail.push_back(node);
@@ -174,15 +412,34 @@ Status Compiler::Fragment(const LogicalPlan& plan, Fragmentation* out) {
   // merged result.
   std::reverse(out->tail.begin(), out->tail.end());
 
+  // The spine root becomes the final (non-materializing) stage; its
+  // sub-breakers and build sides become the stages before it.
+  StageBuilder builder(out);
+  Stage final_stage;
   if (node->kind == NodeKind::kGroupBy) {
-    out->agg = node;
-    node = node->children[0].get();
+    MA_RETURN_IF_ERROR(builder.FillAggregate(node, &final_stage));
+  } else if (node->kind == NodeKind::kMergeJoin) {
+    MA_RETURN_IF_ERROR(builder.FillMergeJoin(node, &final_stage));
+  } else {
+    MA_CHECK(!IsBreaker(node->kind));  // sorts/limits were peeled
+    StageBuilder::PipelineLeaf pl;
+    MA_RETURN_IF_ERROR(builder.CollectPipeline(node, &pl));
+    final_stage.kind = Stage::Kind::kPipeline;
+    final_stage.root = node;
+    final_stage.stop = pl.stop;
+    final_stage.input = pl.input;
+    final_stage.deps = std::move(pl.deps);
+    final_stage.label = node->label;
   }
-  out->pipeline_root = node;
-  MA_RETURN_IF_ERROR(
-      CollectFragment(node, &out->pipeline_scan, &out->builds));
-  if (out->pipeline_scan == nullptr) {
-    return Status::Internal("pipeline without a scan leaf");
+  final_stage.materialize = false;
+  final_stage.out_schema = node->schema;
+  out->final_stage = builder.Push(std::move(final_stage));
+
+  for (const Stage& s : out->stages) {
+    if (!s.input.from_stage() && s.input.scan == nullptr &&
+        s.kind != Stage::Kind::kMergeJoin) {
+      return Status::Internal("stage without a scan leaf");
+    }
   }
   return Status::OK();
 }
@@ -215,7 +472,7 @@ OperatorPtr Compiler::CompileFragment(const PlanNode* node,
           node->hash_spec, node->label);
     }
     default:
-      MA_CHECK(false);  // Fragment() admits no other kinds
+      MA_CHECK(false);  // the fragmenter admits no other kinds
       return nullptr;
   }
 }

@@ -5,25 +5,40 @@
 // plan can be compiled any number of times (across engines, modes and
 // repetitions).
 //
-// Parallel: Fragment() splits the plan at its pipeline breakers into
-// the phase structure ParallelExecutor understands:
-//   - every hash-join build side becomes a JoinBuild phase (executed
-//     bottom-up; a build pipeline may itself probe earlier builds),
-//   - a single GroupBy on the probe spine becomes the RunAgg phase
-//     (thread-local pre-aggregation via HashAggOperator::partial() +
-//     merge),
-//   - everything below the breaker forms the streaming pipeline, whose
-//     per-worker operator trees are instantiated by a PipelineFactory
-//     (one fresh tree per worker, as the factory contract demands),
-//   - sorts/limits (and filters/projects above the aggregation) form
-//     the tail, compiled serially over the merged — small — result.
-// Plans the morsel executor cannot run (merge joins, aggregations
-// feeding joins, multiple aggregations on the spine) are reported via
-// Status; QuerySession then falls back to serial execution.
+// Staged parallel: BuildStagePlan() fragments the plan into a StagePlan
+// — a topologically ordered DAG of stages. Each stage is one of
+//   - a pipeline fragment (scan → filter/project/hash-join-probe chain),
+//     run morsel-parallel with per-worker operator trees,
+//   - a hash-join build (shared immutable SharedJoinBuild),
+//   - an aggregation (thread-local pre-aggregation + packed-key merge),
+//   - a sort / limit (serial over its — materialized — input), or
+//   - a merge join (serial over two materialized, order-proven inputs).
+// A stage's input is either a base-table scan leaf or the materialized
+// output of an earlier stage: non-terminal stages write their result
+// into an IntermediateTable that downstream stages scan exactly like a
+// base table (storage/intermediate.h). This is what lets aggregations
+// feed joins, sorts feed merge joins, and subquery results be
+// re-scanned — plan shapes the single-pipeline fragmenter rejected.
+//
+// Merge joins become reachable from plans by order proof: each merge
+// input is wrapped in an order-proof stage unless a Sort node on the
+// join key already proves the order statically; at run time the stage
+// verifies the key column is ascending and passes the table through
+// untouched. An unsorted input without a Sort node is the same
+// contract breach the serial MergeJoinOperator aborts on — plans that
+// need sorting say so with an explicit Sort node, which both executors
+// lower, so execution mode never changes semantics.
+//
+// Determinism carries across stage boundaries: pipeline stages merge
+// per-morsel outputs in morsel order, aggregation stages emit groups in
+// packed-key order with fixed-point f64 sums, and sort/merge stages run
+// serially over inputs that are themselves byte-identical between
+// serial and parallel execution — so the whole DAG is.
 #ifndef MA_PLAN_COMPILER_H_
 #define MA_PLAN_COMPILER_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,10 +49,73 @@
 
 namespace ma::plan {
 
+/// Where a stage reads from: a base-table scan leaf of the plan, or the
+/// materialized output of an earlier stage.
+struct StageInput {
+  const PlanNode* scan = nullptr;  // base-table kScan leaf (stage < 0)
+  int stage = -1;                  // producing stage id (scan == null)
+
+  bool from_stage() const { return stage >= 0; }
+};
+
+struct Stage {
+  enum class Kind : u8 {
+    kPipeline,   // streaming fragment, morsel-parallel
+    kJoinBuild,  // shared hash-join build, morsel-parallel
+    kAggregate,  // pipeline + GroupBy breaker, pre-agg + merge
+    kSort,       // sort/limit (or merge-input order proof), serial
+    kMergeJoin,  // merge join over two materialized inputs, serial
+  };
+
+  int id = 0;
+  Kind kind = Kind::kPipeline;
+  /// Pipeline scan leaf (kPipeline/kJoinBuild/kAggregate), sort input
+  /// (kSort), or the left side (kMergeJoin).
+  StageInput input;
+  /// Right side of a kMergeJoin.
+  StageInput right;
+  /// Fragment root and the node replaced by the leaf operator when the
+  /// fragment is compiled per worker (kPipeline/kJoinBuild/kAggregate).
+  const PlanNode* root = nullptr;
+  const PlanNode* stop = nullptr;
+  const PlanNode* join = nullptr;   // kJoinBuild: the probing kHashJoin
+  const PlanNode* agg = nullptr;    // kAggregate: the kGroupBy node
+  const PlanNode* merge = nullptr;  // kMergeJoin node
+  std::vector<SortKey> sort_keys;   // kSort (empty = keep input order)
+  size_t limit = 0;                 // kSort
+  /// kSort inserted under a merge join: an order-proof stage — at run
+  /// time, assert the key column is ascending (the merge contract) and
+  /// pass the input through untouched.
+  bool prove_sorted = false;
+  /// True → output goes to an IntermediateTable scanned by later
+  /// stages; false → this is the final stage, its output is the result.
+  bool materialize = false;
+  /// Declared schema of the materialized output.
+  std::vector<ColumnInfo> out_schema;
+  /// Stage ids that must complete before this stage runs. The stages
+  /// vector itself is in topological order, so executing front to back
+  /// always satisfies these.
+  std::vector<int> deps;
+  std::string label;
+};
+
+/// A fragmented plan: stages in execution (topological) order plus the
+/// serial tail compiled over the final stage's merged result.
+struct StagePlan {
+  std::vector<Stage> stages;
+  /// Sorts/limits (and filters/projects above the last breaker) over
+  /// the final result, innermost first.
+  std::vector<const PlanNode*> tail;
+  int final_stage = -1;
+
+  /// Indented stage listing for diagnostics and docs.
+  std::string Describe() const;
+};
+
 class Compiler {
  public:
   /// Map from a kHashJoin plan node to the shared build the executor
-  /// produced for it (filled phase by phase during a parallel run).
+  /// produced for it (filled stage by stage during a parallel run).
   using BuildMap =
       std::unordered_map<const PlanNode*, const SharedJoinBuild*>;
 
@@ -45,34 +123,14 @@ class Compiler {
   /// The plan must be ok().
   static OperatorPtr CompileSerial(const LogicalPlan& plan, Engine* engine);
 
-  struct JoinBuildPhase {
-    const PlanNode* join = nullptr;  // the kHashJoin node
-    const PlanNode* root = nullptr;  // build subtree (join->children[0])
-    const PlanNode* scan = nullptr;  // base-table scan leaf of `root`
-  };
-
-  struct Fragmentation {
-    /// Join build phases in execution order: a phase only probes builds
-    /// of earlier phases.
-    std::vector<JoinBuildPhase> builds;
-    /// Streaming segment (scan/filter/project/probe chain).
-    const PlanNode* pipeline_root = nullptr;
-    const PlanNode* pipeline_scan = nullptr;
-    /// The aggregation breaker fed by the pipeline, or null for a pure
-    /// streaming plan.
-    const PlanNode* agg = nullptr;
-    /// Nodes above the breaker, innermost first; compiled serially over
-    /// the merged result.
-    std::vector<const PlanNode*> tail;
-  };
-
-  /// Splits `plan` at its pipeline breakers. Returns Unimplemented when
-  /// the plan cannot run on the morsel-driven executor.
-  static Status Fragment(const LogicalPlan& plan, Fragmentation* out);
+  /// Fragments `plan` into a stage DAG for the staged parallel
+  /// executor. Returns non-OK only for invalid plans (every valid plan
+  /// shape fragments); QuerySession then falls back to serial.
+  static Status BuildStagePlan(const LogicalPlan& plan, StagePlan* out);
 
   /// Lowers the fragment rooted at `node` for one worker: recursion
-  /// stops at `stop` (the fragment's scan leaf), which is replaced by
-  /// `leaf` (the worker's MorselScanOperator); kHashJoin nodes probe
+  /// stops at `stop` (the fragment's leaf position), which is replaced
+  /// by `leaf` (the worker's MorselScanOperator); kHashJoin nodes probe
   /// their shared build from `builds`.
   static OperatorPtr CompileFragment(const PlanNode* node,
                                      const PlanNode* stop, Engine* engine,

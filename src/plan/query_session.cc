@@ -1,11 +1,65 @@
 #include "plan/query_session.h"
 
 #include <thread>
+#include <utility>
 
 #include "common/cycleclock.h"
 #include "exec/op_scan.h"
+#include "exec/op_sort.h"
+#include "storage/intermediate.h"
 
 namespace ma::plan {
+namespace {
+
+/// Largest base table any stage scans — the row count that decides
+/// whether the morsel fan-out can pay for itself under kAuto.
+u64 DrivingRows(const StagePlan& sp) {
+  u64 rows = 0;
+  auto take = [&rows](const StageInput& in) {
+    if (in.scan != nullptr && in.scan->table != nullptr) {
+      rows = std::max<u64>(rows, in.scan->table->row_count());
+    }
+  };
+  for (const Stage& s : sp.stages) {
+    take(s.input);
+    take(s.right);
+  }
+  return rows;
+}
+
+/// True when the i64 column `name` of `t` is ascending (the runtime
+/// order proof for merge-join inputs).
+bool ColumnIsAscending(const Table* t, const std::string& name) {
+  const Column* c = t->FindColumn(name);
+  if (c == nullptr || c->type() != PhysicalType::kI64) return false;
+  const i64* d = c->Data<i64>();
+  for (size_t i = 1; i < c->size(); ++i) {
+    if (d[i] < d[i - 1]) return false;
+  }
+  return true;
+}
+
+ParallelExecutor::AggPlan MakeAggPlan(const PlanNode* agg) {
+  ParallelExecutor::AggPlan plan;
+  plan.group_keys = agg->group_keys;
+  plan.group_outputs = agg->group_outputs;
+  for (const HashAggOperator::AggSpec& a : agg->aggs) {
+    plan.aggs.push_back(a.Clone());
+  }
+  return plan;
+}
+
+std::unique_ptr<IntermediateTable> MakeIntermediate(const Stage& stage) {
+  std::vector<IntermediateTable::ColumnSpec> specs;
+  specs.reserve(stage.out_schema.size());
+  for (const ColumnInfo& c : stage.out_schema) {
+    specs.push_back({c.name, c.type});
+  }
+  return std::make_unique<IntermediateTable>(
+      "stage" + std::to_string(stage.id), std::move(specs));
+}
+
+}  // namespace
 
 QuerySession::QuerySession(SessionConfig config, PrimitiveDictionary* dict)
     : config_(std::move(config)),
@@ -16,21 +70,20 @@ RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode) {
   MA_CHECK(plan.ok());
   last_run_parallel_ = false;
   if (mode != ExecMode::kSerial) {
-    Compiler::Fragmentation frag;
-    const Status s = Compiler::Fragment(plan, &frag);
+    StagePlan sp;
+    const Status s = Compiler::BuildStagePlan(plan, &sp);
     bool parallel = s.ok();
     if (parallel && mode == ExecMode::kAuto) {
       const int threads =
           config_.parallel.num_threads > 0
               ? config_.parallel.num_threads
               : static_cast<int>(std::thread::hardware_concurrency());
-      parallel = threads > 1 &&
-                 frag.pipeline_scan->table->row_count() >=
-                     config_.min_parallel_rows;
+      parallel =
+          threads > 1 && DrivingRows(sp) >= config_.min_parallel_rows;
     }
     if (parallel) {
       last_run_parallel_ = true;
-      return RunParallel(frag);
+      return RunStaged(sp);
     }
   }
   return RunSerial(plan);
@@ -42,76 +95,150 @@ RunResult QuerySession::RunSerial(const LogicalPlan& plan) {
   return engine_.Run(*root);
 }
 
-RunResult QuerySession::RunParallel(const Compiler::Fragmentation& frag) {
+RunResult QuerySession::RunStaged(const StagePlan& sp) {
   if (parallel_ == nullptr) {
     parallel_ = std::make_unique<ParallelExecutor>(
         config_.engine, config_.parallel, dict_);
   }
-  engine_.ResetProfile();  // the tail runs on the serial engine
+  engine_.ResetProfile();  // sort/merge stages and the tail run here
   const u64 t0 = CycleClock::Now();
 
-  // Phase 1..k: shared join builds, dependency order (a build pipeline
-  // may probe builds of earlier phases).
+  // Stage outputs: shared join builds keyed by plan node, materialized
+  // intermediates (and order-proven aliases) keyed by stage id. An
+  // alias of a base table keeps the original scan's column projection;
+  // materialized intermediates scan every column (empty list).
   Compiler::BuildMap builds;
-  std::vector<std::unique_ptr<SharedJoinBuild>> owned;
-  for (const Compiler::JoinBuildPhase& phase : frag.builds) {
-    auto factory = [&phase, &builds](Engine* engine,
-                                     OperatorPtr scan) -> OperatorPtr {
-      return Compiler::CompileFragment(phase.root, phase.scan, engine,
-                                       std::move(scan), builds);
-    };
-    owned.push_back(parallel_->BuildJoin(phase.scan->table,
-                                         phase.scan->columns, factory,
-                                         phase.join->hash_spec));
-    builds[phase.join] = owned.back().get();
-  }
-
-  // Phase k+1: the streaming pipeline — straight merge, or thread-local
-  // pre-aggregation + merge when the spine ends in a GroupBy.
-  auto factory = [&frag, &builds](Engine* engine,
-                                  OperatorPtr scan) -> OperatorPtr {
-    return Compiler::CompileFragment(frag.pipeline_root,
-                                     frag.pipeline_scan, engine,
-                                     std::move(scan), builds);
-  };
-  RunResult result;
-  if (frag.agg != nullptr) {
-    ParallelExecutor::AggPlan agg_plan;
-    agg_plan.group_keys = frag.agg->group_keys;
-    agg_plan.group_outputs = frag.agg->group_outputs;
-    for (const HashAggOperator::AggSpec& a : frag.agg->aggs) {
-      HashAggOperator::AggSpec s;
-      s.fn = a.fn;
-      s.arg = a.arg != nullptr ? a.arg->Clone() : nullptr;
-      s.out_name = a.out_name;
-      s.type_hint = a.type_hint;
-      s.exact_f64_sum = a.exact_f64_sum;
-      agg_plan.aggs.push_back(std::move(s));
+  std::vector<std::unique_ptr<SharedJoinBuild>> owned_builds;
+  std::vector<std::unique_ptr<IntermediateTable>> mats(sp.stages.size());
+  std::vector<const Table*> outs(sp.stages.size(), nullptr);
+  std::vector<std::vector<std::string>> out_cols(sp.stages.size());
+  auto resolve = [&](const StageInput& in)
+      -> std::pair<const Table*, std::vector<std::string>> {
+    if (in.from_stage()) {
+      MA_CHECK(outs[in.stage] != nullptr);
+      return {outs[in.stage], out_cols[in.stage]};
     }
-    result = parallel_->RunAgg(frag.pipeline_scan->table,
-                               frag.pipeline_scan->columns, factory,
-                               agg_plan);
-  } else {
-    result = parallel_->RunPipeline(frag.pipeline_scan->table,
-                                    frag.pipeline_scan->columns, factory);
+    return {in.scan->table, in.scan->columns};
+  };
+
+  StageProfile acc;
+  RunResult result;
+  // Shared stage epilogue: fold the stage's timings into the run
+  // profile, then either materialize the output into this stage's
+  // intermediate (unless an Into-style runner filled it already) or
+  // keep it as the final result.
+  auto finish = [&](const Stage& stage, RunResult r) {
+    acc.execute += r.stages.execute;
+    acc.primitives += r.stages.primitives;
+    acc.postprocess += r.stages.postprocess;
+    if (stage.materialize) {
+      if (mats[stage.id] == nullptr) {
+        mats[stage.id] = MakeIntermediate(stage);
+        mats[stage.id]->Adopt(std::move(r.table));
+        outs[stage.id] = mats[stage.id]->table();
+      }
+    } else {
+      result = std::move(r);
+    }
+  };
+  // The stages vector is topologically ordered, so running front to
+  // back satisfies every dependency edge.
+  for (const Stage& stage : sp.stages) {
+    switch (stage.kind) {
+      case Stage::Kind::kJoinBuild: {
+        const auto [table, columns] = resolve(stage.input);
+        auto factory = [&stage, &builds](Engine* engine,
+                                         OperatorPtr leaf) -> OperatorPtr {
+          return Compiler::CompileFragment(stage.root, stage.stop, engine,
+                                           std::move(leaf), builds);
+        };
+        owned_builds.push_back(parallel_->BuildJoin(
+            table, columns, factory, stage.join->hash_spec));
+        builds[stage.join] = owned_builds.back().get();
+        break;
+      }
+      case Stage::Kind::kPipeline:
+      case Stage::Kind::kAggregate: {
+        const auto [table, columns] = resolve(stage.input);
+        auto factory = [&stage, &builds](Engine* engine,
+                                         OperatorPtr leaf) -> OperatorPtr {
+          return Compiler::CompileFragment(stage.root, stage.stop, engine,
+                                           std::move(leaf), builds);
+        };
+        RunResult r;
+        if (stage.kind == Stage::Kind::kPipeline && stage.materialize) {
+          // Per-morsel partials append straight into the intermediate.
+          mats[stage.id] = MakeIntermediate(stage);
+          r = parallel_->RunPipelineInto(table, columns, factory,
+                                         mats[stage.id].get());
+          outs[stage.id] = mats[stage.id]->table();
+        } else if (stage.kind == Stage::Kind::kAggregate) {
+          r = parallel_->RunAgg(table, columns, factory,
+                                MakeAggPlan(stage.agg));
+        } else {
+          r = parallel_->RunPipeline(table, columns, factory);
+        }
+        finish(stage, std::move(r));
+        break;
+      }
+      case Stage::Kind::kSort: {
+        const auto [table, columns] = resolve(stage.input);
+        if (stage.prove_sorted) {
+          // Order-proof stage under a merge join: verify the key column
+          // is ascending and pass the input through untouched. A
+          // violation is the same contract breach the serial
+          // MergeJoinOperator aborts on (inputs must arrive sorted;
+          // plans sort via an explicit Sort node, which both executors
+          // lower) — enforcing it identically here keeps execution mode
+          // from changing semantics. The merge's own drain re-asserts
+          // per row; this earlier, explicit pass fails the stage before
+          // the remaining merge inputs materialize, and goes away once
+          // the compiler propagates order properties (ROADMAP).
+          MA_CHECK(!stage.sort_keys.empty() &&
+                   ColumnIsAscending(table, stage.sort_keys[0].column));
+          outs[stage.id] = table;
+          out_cols[stage.id] = columns;
+          break;
+        }
+        auto op = std::make_unique<SortOperator>(
+            &engine_,
+            std::make_unique<ScanOperator>(&engine_, table, columns),
+            stage.sort_keys, stage.limit);
+        finish(stage, engine_.Run(*op));
+        break;
+      }
+      case Stage::Kind::kMergeJoin: {
+        const auto [left, left_cols] = resolve(stage.input);
+        const auto [right, right_cols] = resolve(stage.right);
+        MergeJoinOperator op(
+            &engine_,
+            std::make_unique<ScanOperator>(&engine_, left, left_cols),
+            std::make_unique<ScanOperator>(&engine_, right, right_cols),
+            stage.merge->merge_spec, stage.merge->label);
+        finish(stage, engine_.Run(op));
+        break;
+      }
+    }
   }
 
-  // Tail: sorts/limits (and post-aggregation filters/projects) over the
-  // merged — small — result, serially.
-  if (!frag.tail.empty()) {
+  // Tail: sorts/limits (and post-breaker filters/projects) over the
+  // final — small — merged result, serially.
+  if (!sp.tail.empty()) {
     std::unique_ptr<Table> merged = std::move(result.table);
     OperatorPtr op = std::make_unique<ScanOperator>(&engine_, merged.get());
-    for (const PlanNode* node : frag.tail) {
+    for (const PlanNode* node : sp.tail) {
       op = Compiler::CompileTailNode(node, &engine_, std::move(op));
     }
     RunResult tail_result = engine_.Run(*op);
-    tail_result.stages.execute += result.stages.execute;
-    tail_result.stages.primitives += result.stages.primitives;
-    tail_result.stages.postprocess += result.stages.postprocess;
+    acc.execute += tail_result.stages.execute;
+    acc.primitives += tail_result.stages.primitives;
+    acc.postprocess += tail_result.stages.postprocess;
+    tail_result.stages = StageProfile{};
     result = std::move(tail_result);
   }
 
-  // Wall clock over every phase (join builds included).
+  result.stages = acc;
+  // Wall clock over every stage (join builds included).
   result.total_cycles = CycleClock::Now() - t0;
   result.seconds = static_cast<f64>(result.total_cycles) /
                    CycleClock::FrequencyHz();

@@ -6,11 +6,19 @@
 //   plan::QuerySession session;
 //   RunResult r = session.Run(plan, plan::ExecMode::kAuto);
 //
+// Parallel runs execute the plan's StagePlan (plan/compiler.h) stage by
+// stage in dependency order: pipeline, join-build and aggregation
+// stages fan out over the work-stealing morsel pool; sort and merge-
+// join stages run serially on the session engine; non-terminal stages
+// materialize into IntermediateTables that later stages scan like base
+// tables.
+//
 // Determinism contract: a plan produces byte-identical result tables
 // under kSerial and kParallel at any thread count — streaming output
 // merges in morsel order, aggregation group outputs emit in packed-key
 // order with f64 sums accumulated order-independently (fixed point),
-// and tail sorts run serially over the merged result either way.
+// sort/merge stages consume inputs that are already byte-identical, and
+// tail sorts run serially over the merged result either way.
 #ifndef MA_PLAN_QUERY_SESSION_H_
 #define MA_PLAN_QUERY_SESSION_H_
 
@@ -29,18 +37,19 @@ namespace ma::plan {
 /// the flavor-dispatch policy inside an engine.)
 enum class ExecMode : u8 {
   kSerial,    // one operator tree, Engine::Run
-  kParallel,  // morsel-driven pipeline fragments; falls back to serial
-              // when the plan cannot be fragmented (check
-              // last_run_parallel())
-  kAuto,      // parallel when fragmentable and the driving table is
-              // large enough to amortize the fan-out
+  kParallel,  // staged execution over morsel-driven pipeline fragments;
+              // falls back to serial when the plan cannot be staged
+              // (check last_run_parallel())
+  kAuto,      // staged when the largest base table driving any stage is
+              // large enough to amortize the fan-out, serial otherwise
 };
 
 struct SessionConfig {
   EngineConfig engine;
   ParallelConfig parallel;
-  /// kAuto uses the parallel path only when the pipeline's driving
-  /// table has at least this many rows.
+  /// kAuto uses the staged parallel path only when some stage scans a
+  /// base table with at least this many rows; tiny inputs compile
+  /// serially (the fan-out would cost more than it saves).
   u64 min_parallel_rows = 64 * 1024;
 };
 
@@ -54,25 +63,27 @@ class QuerySession {
   /// result table.
   RunResult Run(const LogicalPlan& plan, ExecMode mode = ExecMode::kAuto);
 
-  /// True when the previous Run() went through per-worker compiled
+  /// True when the previous Run() executed the staged plan — its
+  /// pipeline/build/aggregate stages through per-worker compiled
   /// pipelines (kParallel/kAuto may fall back to serial).
   bool last_run_parallel() const { return last_run_parallel_; }
 
-  /// The serial engine (also runs parallel tails); holds the
-  /// primitive-instance profile of serial runs.
+  /// The serial engine (also runs sort/merge stages and tails); holds
+  /// the primitive-instance profile of serial runs.
   Engine* engine() { return &engine_; }
 
   /// The parallel executor, or null before the first parallel run.
   ParallelExecutor* parallel_executor() { return parallel_.get(); }
 
   /// Per-plan-site profile of the last run: merged across worker
-  /// threads after a parallel run (per-thread winners preserved),
-  /// straight from the engine after a serial run.
+  /// threads after a parallel run (per-thread winners preserved, most
+  /// recent parallel stage), straight from the engine after a serial
+  /// run.
   std::vector<InstanceProfile> Profile() const;
 
  private:
   RunResult RunSerial(const LogicalPlan& plan);
-  RunResult RunParallel(const Compiler::Fragmentation& frag);
+  RunResult RunStaged(const StagePlan& sp);
 
   SessionConfig config_;
   PrimitiveDictionary* dict_;

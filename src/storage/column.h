@@ -43,6 +43,15 @@ class Column {
     size_ += n;
   }
 
+  /// Bulk gather-append of strings at `sel` positions: payloads move
+  /// into this column's heap as one contiguous block (see
+  /// StringHeap::AddGather) instead of one heap interaction per row.
+  void AppendStringGather(const StrRef* src, const sel_t* sel, size_t n) {
+    MA_CHECK(type_ == PhysicalType::kStr);
+    heap_.AddGather(src, sel, n, &strs_);
+    size_ += n;
+  }
+
   /// Bulk gather-append of values at `sel` positions.
   template <typename T>
   void AppendGather(const T* src, const sel_t* sel, size_t n) {

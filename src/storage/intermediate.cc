@@ -1,0 +1,42 @@
+#include "storage/intermediate.h"
+
+namespace ma {
+
+IntermediateTable::IntermediateTable(std::string name,
+                                     std::vector<ColumnSpec> schema)
+    : schema_(std::move(schema)),
+      table_(std::make_unique<Table>(std::move(name))) {}
+
+void IntermediateTable::Adopt(std::unique_ptr<Table> t) {
+  MA_CHECK(t != nullptr);
+  table_ = std::move(t);
+  EnsureSchema();
+}
+
+void IntermediateTable::EnsureSchema() {
+  bool rebuild = false;
+  for (const ColumnSpec& spec : schema_) {
+    const Column* col = table_->FindColumn(spec.name);
+    if (col == nullptr) {
+      // A non-empty result always materialized every column; only an
+      // empty one can be missing declared columns.
+      MA_CHECK(table_->row_count() == 0);
+      table_->AddColumn(spec.name, spec.type);
+    } else if (col->type() != spec.type) {
+      // Appenders that never saw a row guess types (e.g. the aggregate
+      // merge falls back to i64); with zero rows the declared schema
+      // wins. With rows present this is a compiler schema bug.
+      MA_CHECK(table_->row_count() == 0);
+      rebuild = true;
+    }
+  }
+  if (rebuild) {
+    auto fresh = std::make_unique<Table>(table_->name());
+    for (const ColumnSpec& spec : schema_) {
+      fresh->AddColumn(spec.name, spec.type);
+    }
+    table_ = std::move(fresh);
+  }
+}
+
+}  // namespace ma

@@ -1,0 +1,60 @@
+// IntermediateTable: the materialized output of a non-terminal plan
+// stage. Columnar like any Table — downstream stages scan it with
+// ScanOperator or MorselScanOperator exactly like a base table — but
+// with a schema declared up front by the plan compiler, so an empty
+// result still carries typed columns that downstream scans and join
+// builds can resolve. Filled either by adopting a merged result table
+// or through mutable_table(), where the parallel executor appends
+// per-worker/per-morsel partial tables in morsel order (the
+// deterministic merge; see ParallelExecutor::RunPipelineInto).
+#ifndef MA_STORAGE_INTERMEDIATE_H_
+#define MA_STORAGE_INTERMEDIATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ma {
+
+class IntermediateTable {
+ public:
+  struct ColumnSpec {
+    std::string name;
+    PhysicalType type;
+  };
+
+  /// Creates an empty intermediate named `name` with the declared
+  /// schema. Columns are not instantiated until rows arrive (or
+  /// EnsureSchema() runs), so appenders that create columns on first
+  /// use keep working unchanged.
+  IntermediateTable(std::string name, std::vector<ColumnSpec> schema);
+
+  const Table* table() const { return table_.get(); }
+  /// The sink for appenders (per-worker partials land here in morsel
+  /// order); call EnsureSchema() once appending is done.
+  Table* mutable_table() { return table_.get(); }
+
+  /// Takes over `t` as the content (no copy).
+  void Adopt(std::unique_ptr<Table> t);
+
+  /// Ensures every declared column exists with its declared type, so
+  /// downstream stages can scan / type-resolve even a zero-row result.
+  /// An empty table whose appender guessed a different type (e.g. the
+  /// aggregate merge's i64 fallback when every worker starved) is
+  /// rebuilt from the declared schema; a typed mismatch with rows
+  /// present is a compiler bug and aborts.
+  void EnsureSchema();
+
+  size_t row_count() const { return table_->row_count(); }
+  const std::vector<ColumnSpec>& schema() const { return schema_; }
+
+ private:
+  std::vector<ColumnSpec> schema_;
+  std::unique_ptr<Table> table_;
+};
+
+}  // namespace ma
+
+#endif  // MA_STORAGE_INTERMEDIATE_H_

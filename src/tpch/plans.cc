@@ -1,6 +1,7 @@
 #include "tpch/plans.h"
 
 #include "plan/plan_builder.h"
+#include "tpch/text_pool.h"
 
 namespace ma::tpch {
 namespace {
@@ -23,6 +24,25 @@ Agg MakeAgg(const char* fn, ExprPtr arg, const char* out_name) {
   a.arg = std::move(arg);
   a.out_name = out_name;
   return a;
+}
+
+/// Region -> member nations (semi join over the tiny metadata tables);
+/// the returned builder's schema is the nation scan's.
+PlanBuilder NationsOfRegion(const TpchData& d, const std::string& region,
+                            const std::string& label) {
+  PlanBuilder rsel =
+      PlanBuilder::Scan(d.region, {"r_regionkey", "r_name"},
+                        label + "/region_scan");
+  rsel.Filter(StrEq("r_name", region), label + "/region");
+  HashJoinSpec spec;
+  spec.build_key = "r_regionkey";
+  spec.probe_key = "n_regionkey";
+  spec.kind = HashJoinSpec::Kind::kSemi;
+  PlanBuilder nations = PlanBuilder::Scan(
+      d.nation, {"n_nationkey", "n_name", "n_regionkey"},
+      label + "/nation_scan");
+  nations.HashJoin(std::move(rsel), spec, label + "/nation_of_region");
+  return nations;
 }
 
 }  // namespace
@@ -69,6 +89,167 @@ plan::LogicalPlan Q1Plan(const TpchData& d) {
       .Build();
 }
 
+plan::LogicalPlan Q3Plan(const TpchData& d) {
+  const i64 cutoff = Date(1995, 3, 15);
+  PlanBuilder cust = PlanBuilder::Scan(
+      d.customer, {"c_custkey", "c_mktsegment_code"}, "q3/customer_scan");
+  cust.Filter(Eq(Col("c_mktsegment_code"),
+                 Lit(CodeOf(Segments(), "BUILDING"))),
+              "q3/customer");
+
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.kind = HashJoinSpec::Kind::kSemi;
+  PlanBuilder orders = PlanBuilder::Scan(
+      d.orders, {"o_orderkey", "o_custkey", "o_orderdate",
+                 "o_shippriority"},
+      "q3/orders_scan");
+  orders.Filter(Lt(Col("o_orderdate"), Lit(cutoff)), "q3/orders")
+      .HashJoin(std::move(cust), cj, "q3/orders_customer");
+
+  HashJoinSpec oj;
+  oj.build_key = "o_orderkey";
+  oj.probe_key = "l_orderkey";
+  oj.build_outputs = {{"o_orderdate", "o_orderdate"},
+                      {"o_shippriority", "o_shippriority"}};
+  oj.probe_outputs = {"l_orderkey", "l_extendedprice", "l_discount"};
+  oj.use_bloom = true;
+
+  std::vector<Out> outs;
+  outs.push_back({"l_orderkey", Col("l_orderkey")});
+  outs.push_back({"o_orderdate", Col("o_orderdate")});
+  outs.push_back({"o_shippriority", Col("o_shippriority")});
+  outs.push_back({"revenue", Revenue()});
+
+  std::vector<Agg> aggs;
+  aggs.push_back(MakeAgg("sum", Col("revenue"), "revenue"));
+
+  return PlanBuilder::Scan(d.lineitem,
+                           {"l_orderkey", "l_extendedprice", "l_discount",
+                            "l_shipdate"},
+                           "q3/lineitem_scan")
+      .Filter(Gt(Col("l_shipdate"), Lit(cutoff)), "q3/lineitem")
+      .HashJoin(std::move(orders), oj, "q3/join")
+      .Project(std::move(outs), "q3/project")
+      .GroupBy({GK{"l_orderkey", 36}, GK{"o_orderdate", 13},
+                GK{"o_shippriority", 2}},
+               {"l_orderkey", "o_orderdate", "o_shippriority"},
+               std::move(aggs), "q3/agg")
+      .Sort({{"revenue", true}, {"o_orderdate", false}}, 10)
+      .Build();
+}
+
+plan::LogicalPlan Q4Plan(const TpchData& d) {
+  PlanBuilder late = PlanBuilder::Scan(
+      d.lineitem, {"l_orderkey", "l_commitdate", "l_receiptdate"},
+      "q4/lineitem_scan");
+  late.Filter(Lt(Col("l_commitdate"), Col("l_receiptdate")),
+              "q4/late_lines");
+
+  HashJoinSpec spec;
+  spec.build_key = "l_orderkey";
+  spec.probe_key = "o_orderkey";
+  spec.kind = HashJoinSpec::Kind::kSemi;
+
+  std::vector<Agg> aggs;
+  aggs.push_back(MakeAgg("count", nullptr, "order_count"));
+
+  return PlanBuilder::Scan(d.orders,
+                           {"o_orderkey", "o_orderdate", "o_orderpriority",
+                            "o_orderpriority_code"},
+                           "q4/orders_scan")
+      .Filter(RangeI64("o_orderdate", Date(1993, 7, 1), Date(1993, 10, 1)),
+              "q4/orders")
+      .HashJoin(std::move(late), spec, "q4/exists")
+      .GroupBy({GK{"o_orderpriority_code", 3}}, {"o_orderpriority"},
+               std::move(aggs), "q4/agg")
+      .Sort({{"o_orderpriority", false}})
+      .Build();
+}
+
+plan::LogicalPlan Q5Plan(const TpchData& d) {
+  // Asian suppliers with nation names; the build key encodes
+  // (suppkey, nationkey) so the final join enforces c_nationkey ==
+  // s_nationkey.
+  HashJoinSpec sn;
+  sn.build_key = "n_nationkey";
+  sn.probe_key = "s_nationkey";
+  sn.build_outputs = {{"n_name", "n_name"}};
+  sn.probe_outputs = {"s_suppkey", "s_nationkey"};
+  PlanBuilder supp = PlanBuilder::Scan(
+      d.supplier, {"s_suppkey", "s_nationkey"}, "q5/supplier_scan");
+  supp.HashJoin(NationsOfRegion(d, "ASIA", "q5"), sn,
+                "q5/supplier_nation");
+  std::vector<Out> souts;
+  souts.push_back({"s_supp_nation",
+                   Add(Mul(Col("s_suppkey"), Lit(32)),
+                       Col("s_nationkey"))});
+  souts.push_back({"s_nationkey", Col("s_nationkey")});
+  souts.push_back({"n_name", Col("n_name")});
+  supp.Project(std::move(souts), "q5/supp_key");
+
+  // Orders of 1994 with the customer nation attached.
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.build_outputs = {{"c_nationkey", "c_nationkey"}};
+  cj.probe_outputs = {"o_orderkey"};
+  PlanBuilder orders = PlanBuilder::Scan(
+      d.orders, {"o_orderkey", "o_custkey", "o_orderdate"},
+      "q5/orders_scan");
+  orders
+      .Filter(RangeI64("o_orderdate", Date(1994, 1, 1), Date(1995, 1, 1)),
+              "q5/orders")
+      .HashJoin(PlanBuilder::Scan(d.customer,
+                                  {"c_custkey", "c_nationkey"},
+                                  "q5/customer_scan"),
+                cj, "q5/orders_customer");
+
+  HashJoinSpec lj;
+  lj.build_key = "o_orderkey";
+  lj.probe_key = "l_orderkey";
+  lj.build_outputs = {{"c_nationkey", "c_nationkey"}};
+  lj.probe_outputs = {"l_suppkey", "l_extendedprice", "l_discount"};
+  lj.use_bloom = true;
+
+  std::vector<Out> louts;
+  louts.push_back({"l_supp_nation",
+                   Add(Mul(Col("l_suppkey"), Lit(32)),
+                       Col("c_nationkey"))});
+  louts.push_back({"l_extendedprice", Col("l_extendedprice")});
+  louts.push_back({"l_discount", Col("l_discount")});
+
+  HashJoinSpec fj;
+  fj.build_key = "s_supp_nation";
+  fj.probe_key = "l_supp_nation";
+  fj.build_outputs = {{"n_name", "n_name"},
+                      {"s_nationkey", "s_nationkey"}};
+  fj.probe_outputs = {"l_extendedprice", "l_discount"};
+  fj.use_bloom = true;
+
+  std::vector<Out> outs;
+  outs.push_back({"s_nationkey", Col("s_nationkey")});
+  outs.push_back({"n_name", Col("n_name")});
+  outs.push_back({"revenue", Revenue()});
+
+  std::vector<Agg> aggs;
+  aggs.push_back(MakeAgg("sum", Col("revenue"), "revenue"));
+
+  return PlanBuilder::Scan(d.lineitem,
+                           {"l_orderkey", "l_suppkey", "l_extendedprice",
+                            "l_discount"},
+                           "q5/lineitem_scan")
+      .HashJoin(std::move(orders), lj, "q5/join_lineitem")
+      .Project(std::move(louts), "q5/items_key")
+      .HashJoin(std::move(supp), fj, "q5/final_join")
+      .Project(std::move(outs), "q5/project")
+      .GroupBy({GK{"s_nationkey", 5}}, {"n_name"}, std::move(aggs),
+               "q5/agg")
+      .Sort({{"revenue", true}})
+      .Build();
+}
+
 plan::LogicalPlan Q6Plan(const TpchData& d) {
   std::vector<ExprPtr> preds;
   preds.push_back(Ge(Col("l_shipdate"), Lit(Date(1994, 1, 1))));
@@ -91,6 +272,204 @@ plan::LogicalPlan Q6Plan(const TpchData& d) {
       .Filter(AndAll(std::move(preds)), "q6/select")
       .Project(std::move(outs), "q6/project")
       .GroupBy({}, {}, std::move(aggs), "q6/agg")
+      .Build();
+}
+
+plan::LogicalPlan Q10Plan(const TpchData& d) {
+  // Per-customer revenue over returned items of Q4-1993 orders: the
+  // aggregation feeds the customer/nation joins above it, so the staged
+  // compiler materializes it and re-scans the intermediate.
+  HashJoinSpec oj;
+  oj.build_key = "o_orderkey";
+  oj.probe_key = "l_orderkey";
+  oj.build_outputs = {{"o_custkey", "o_custkey"}};
+  oj.probe_outputs = {"l_extendedprice", "l_discount"};
+  oj.use_bloom = true;
+  PlanBuilder orders = PlanBuilder::Scan(
+      d.orders, {"o_orderkey", "o_custkey", "o_orderdate"},
+      "q10/orders_scan");
+  orders.Filter(
+      RangeI64("o_orderdate", Date(1993, 10, 1), Date(1994, 1, 1)),
+      "q10/orders");
+
+  std::vector<Out> outs;
+  outs.push_back({"o_custkey", Col("o_custkey")});
+  outs.push_back({"revenue", Revenue()});
+
+  std::vector<Agg> aggs;
+  aggs.push_back(MakeAgg("sum", Col("revenue"), "revenue"));
+
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.build_outputs = {{"c_name", "c_name"},
+                      {"c_acctbal", "c_acctbal"},
+                      {"c_nationkey", "c_nationkey"},
+                      {"c_phone", "c_phone"},
+                      {"c_address", "c_address"},
+                      {"c_comment", "c_comment"}};
+  cj.probe_outputs = {"o_custkey", "revenue"};
+
+  HashJoinSpec nj;
+  nj.build_key = "n_nationkey";
+  nj.probe_key = "c_nationkey";
+  nj.build_outputs = {{"n_name", "n_name"}};
+  nj.probe_outputs = {"o_custkey", "c_name", "revenue", "c_acctbal",
+                      "c_phone", "c_address", "c_comment"};
+
+  return PlanBuilder::Scan(d.lineitem,
+                           {"l_orderkey", "l_extendedprice", "l_discount",
+                            "l_returnflag_code"},
+                           "q10/lineitem_scan")
+      .Filter(InI64("l_returnflag_code", {0, 1}),  // 'R' or 'A'
+              "q10/returned")
+      .HashJoin(std::move(orders), oj, "q10/join")
+      .Project(std::move(outs), "q10/project")
+      .GroupBy({GK{"o_custkey", 32}}, {"o_custkey"}, std::move(aggs),
+               "q10/agg")
+      .HashJoin(PlanBuilder::Scan(d.customer,
+                                  {"c_custkey", "c_name", "c_acctbal",
+                                   "c_nationkey", "c_phone", "c_address",
+                                   "c_comment"},
+                                  "q10/customer_scan"),
+                cj, "q10/customer_join")
+      .HashJoin(PlanBuilder::Scan(d.nation, {"n_nationkey", "n_name"},
+                                  "q10/nation_scan"),
+                nj, "q10/nation_join")
+      .Sort({{"revenue", true}}, 20)
+      .Build();
+}
+
+namespace {
+
+/// Q12's filtered lineitems (MAIL/SHIP, the date sandwich), right side
+/// of the merge join with orders on the clustered orderkey.
+PlanBuilder Q12Items(const TpchData& d, const std::string& label) {
+  std::vector<ExprPtr> preds;
+  preds.push_back(InI64("l_shipmode_code",
+                        {CodeOf(ShipModes(), "MAIL"),
+                         CodeOf(ShipModes(), "SHIP")}));
+  preds.push_back(Lt(Col("l_commitdate"), Col("l_receiptdate")));
+  preds.push_back(Lt(Col("l_shipdate"), Col("l_commitdate")));
+  preds.push_back(Ge(Col("l_receiptdate"), Lit(Date(1994, 1, 1))));
+  preds.push_back(Lt(Col("l_receiptdate"), Lit(Date(1995, 1, 1))));
+  PlanBuilder items = PlanBuilder::Scan(
+      d.lineitem,
+      {"l_orderkey", "l_shipmode", "l_shipmode_code", "l_shipdate",
+       "l_commitdate", "l_receiptdate"},
+      label + "_scan");
+  items.Filter(AndAll(std::move(preds)), label);
+  return items;
+}
+
+}  // namespace
+
+plan::LogicalPlan Q12Plan(const TpchData& d) {
+  // high = lines of URGENT/HIGH orders per shipmode: merge join with
+  // orders on the (ascending, order-proven) orderkey, filter on the
+  // fetched priority, count. Becomes the build side.
+  MergeJoinSpec mj;
+  mj.left_key = "o_orderkey";
+  mj.right_key = "l_orderkey";
+  mj.left_outputs = {{"o_orderpriority_code", "o_orderpriority_code"}};
+  mj.right_outputs = {{"l_shipmode_code", "l_shipmode_code"}};
+  std::vector<Agg> ha;
+  ha.push_back(MakeAgg("count", nullptr, "high_line_count"));
+  PlanBuilder high = PlanBuilder::Scan(
+      d.orders, {"o_orderkey", "o_orderpriority_code"}, "q12/orders_scan");
+  high.MergeJoin(Q12Items(d, "q12/select_high"), mj, "q12/mergejoin")
+      .Filter(Le(Col("o_orderpriority_code"), Lit(1)), "q12/high")
+      .GroupBy({GK{"l_shipmode_code", 3}}, {"l_shipmode_code"},
+               std::move(ha), "q12/high_agg");
+
+  // all = every filtered line per shipmode (the FK merge join keeps
+  // each line exactly once, so counting the filter output directly is
+  // equivalent); probes the high-count build.
+  std::vector<Agg> ta;
+  ta.push_back(MakeAgg("count", nullptr, "all_count"));
+
+  HashJoinSpec fj;
+  fj.build_key = "l_shipmode_code";
+  fj.probe_key = "l_shipmode_code";
+  fj.build_outputs = {{"high_line_count", "high_line_count"}};
+  fj.probe_outputs = {"l_shipmode", "all_count"};
+
+  std::vector<Out> outs;
+  outs.push_back({"l_shipmode", Col("l_shipmode")});
+  outs.push_back({"high_line_count", Col("high_line_count")});
+  outs.push_back({"low_line_count",
+                  Sub(Col("all_count"), Col("high_line_count"))});
+
+  return Q12Items(d, "q12/select")
+      .GroupBy({GK{"l_shipmode_code", 3}},
+               {"l_shipmode", "l_shipmode_code"}, std::move(ta),
+               "q12/all_agg")
+      .HashJoin(std::move(high), fj, "q12/final_join")
+      .Project(std::move(outs), "q12/final")
+      .Sort({{"l_shipmode", false}})
+      .Build();
+}
+
+plan::LogicalPlan Q14Plan(const TpchData& d) {
+  // promo and total revenue are both single-group aggregates; grouping
+  // them on a constant key ("one") makes the pair joinable, and the
+  // share computes in the projection above the join — no scalar
+  // post-processing outside the plan.
+  //
+  // Plans are trees, so the shipdate-filter + part-join pipeline below
+  // both aggregates is built (and executed) once per side. The old
+  // hand-built query shared one temp table instead; recovering that
+  // sharing needs common-subplan nodes in the plan layer (ROADMAP).
+  auto base = [&d](const std::string& label) {
+    HashJoinSpec pj;
+    pj.build_key = "p_partkey";
+    pj.probe_key = "l_partkey";
+    pj.build_outputs = {{"p_type_code", "p_type_code"}};
+    pj.probe_outputs = {"l_extendedprice", "l_discount"};
+    std::vector<Out> outs;
+    outs.push_back({"p_type_code", Col("p_type_code")});
+    outs.push_back({"revenue", Revenue()});
+    outs.push_back({"one", Add(Mul(Col("p_type_code"), Lit(0)), Lit(1))});
+    PlanBuilder b = PlanBuilder::Scan(
+        d.lineitem,
+        {"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"},
+        label + "/lineitem_scan");
+    b.Filter(RangeI64("l_shipdate", Date(1995, 9, 1), Date(1995, 10, 1)),
+             label + "/select")
+        .HashJoin(PlanBuilder::Scan(d.part, {"p_partkey", "p_type_code"},
+                                    label + "/part_scan"),
+                  pj, label + "/part_join")
+        .Project(std::move(outs), label + "/project");
+    return b;
+  };
+
+  // PROMO types occupy type codes [promo_lo, promo_lo + 25).
+  const i64 promo_lo = CodeOf(TypeSyllable1(), "PROMO") * 25;
+  std::vector<Agg> pa;
+  pa.push_back(MakeAgg("sum", Col("revenue"), "promo"));
+  PlanBuilder promo = base("q14/promo");
+  promo
+      .Filter(RangeI64("p_type_code", promo_lo, promo_lo + 25),
+              "q14/promo_filter")
+      .GroupBy({GK{"one", 1}}, {"one"}, std::move(pa), "q14/promo_agg");
+
+  std::vector<Agg> ta;
+  ta.push_back(MakeAgg("sum", Col("revenue"), "total"));
+
+  HashJoinSpec fj;
+  fj.build_key = "one";
+  fj.probe_key = "one";
+  fj.build_outputs = {{"promo", "promo"}};
+  fj.probe_outputs = {"total"};
+
+  std::vector<Out> outs;
+  outs.push_back({"promo_revenue",
+                  Div(Mul(Col("promo"), Lit(100.0)), Col("total"))});
+
+  return base("q14")
+      .GroupBy({GK{"one", 1}}, {"one"}, std::move(ta), "q14/total_agg")
+      .HashJoin(std::move(promo), fj, "q14/share_join")
+      .Project(std::move(outs), "q14/share")
       .Build();
 }
 

@@ -1,9 +1,11 @@
 // TPC-H queries expressed as logical plans. Written once against
 // PlanBuilder, these run unchanged on the serial Engine and on the
-// morsel-driven ParallelExecutor (plan/query_session.h) — the queries
-// below are the ones whose shape the parallel executor supports end to
-// end today; the hand-built trees in queries.cc cover the rest and
-// migrate here as the fragmenter grows.
+// staged morsel-driven executor (plan/query_session.h). With the stage
+// DAG compiler, plans may aggregate below joins (Q10, Q12, Q14), merge-
+// join inside a plan (Q12) and re-aggregate aggregate outputs — the
+// hand-built trees remaining in queries.cc migrate here as more shapes
+// (scalar subquery results folded into predicates, outer-join patches)
+// gain plan-level expressions.
 #ifndef MA_TPCH_PLANS_H_
 #define MA_TPCH_PLANS_H_
 
@@ -16,9 +18,40 @@ namespace ma::tpch {
 /// sort). Parallel: thread-local pre-aggregation + merge.
 plan::LogicalPlan Q1Plan(const TpchData& d);
 
+/// Q3: shipping priority. Customer semi-join feeds the orders build,
+/// the lineitem pipeline probes it, and the grouped revenue sorts into
+/// a top-10 tail.
+plan::LogicalPlan Q3Plan(const TpchData& d);
+
+/// Q4: order priority checking. Late-lineitem build, semi-joined orders
+/// pipeline, count per priority.
+plan::LogicalPlan Q4Plan(const TpchData& d);
+
+/// Q5: local supplier volume. A chain of builds (region -> nation ->
+/// supplier, customer -> orders) probed by the lineitem pipeline, with
+/// the (suppkey, nationkey) key trick enforcing cust_nation ==
+/// supp_nation.
+plan::LogicalPlan Q5Plan(const TpchData& d);
+
 /// Q6: forecasting revenue change (scan -> filter -> project -> global
 /// aggregate).
 plan::LogicalPlan Q6Plan(const TpchData& d);
+
+/// Q10: returned item reporting. The per-customer revenue aggregation
+/// feeds the customer and nation joins above it — the agg-feeding-join
+/// shape that compiles to dependent stages scanning a materialized
+/// intermediate.
+plan::LogicalPlan Q10Plan(const TpchData& d);
+
+/// Q12: shipping modes and order priority (the Figure 2 query). A
+/// merge join on the clustered orderkey inside the plan: the staged
+/// compiler proves the input order (or sorts), aggregates above the
+/// merge, and hash-joins the high-priority counts against the totals.
+plan::LogicalPlan Q12Plan(const TpchData& d);
+
+/// Q14: promotion effect. Promo and total revenue aggregated on a
+/// constant key and joined — both hash-join sides fed by aggregations.
+plan::LogicalPlan Q14Plan(const TpchData& d);
 
 }  // namespace ma::tpch
 

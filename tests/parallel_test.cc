@@ -25,6 +25,7 @@
 #include "exec/parallel/parallel_executor.h"
 #include "exec/parallel/thread_pool.h"
 #include "common/rng.h"
+#include "table_fingerprint.h"
 
 namespace ma {
 namespace {
@@ -92,40 +93,7 @@ TEST(ThreadPoolTest, RunsEveryWorkerEachPhase) {
 // Pipeline parity.
 // ---------------------------------------------------------------------
 
-/// Order- and bit-sensitive fingerprint: any difference in row order or
-/// in the last bit of a double changes it.
-u64 ExactFingerprint(const Table& t) {
-  u64 h = 1469598103934665603ULL;
-  auto mix = [&h](u64 v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  mix(t.row_count());
-  mix(t.num_columns());
-  for (size_t c = 0; c < t.num_columns(); ++c) {
-    const Column* col = t.column(c);
-    for (size_t i = 0; i < col->size(); ++i) {
-      switch (col->type()) {
-        case PhysicalType::kI64:
-          mix(static_cast<u64>(col->Get<i64>(i)));
-          break;
-        case PhysicalType::kF64: {
-          const f64 v = col->Get<f64>(i);
-          u64 bits;
-          std::memcpy(&bits, &v, sizeof(bits));
-          mix(bits);
-          break;
-        }
-        case PhysicalType::kI32:
-          mix(static_cast<u64>(col->Get<i32>(i)));
-          break;
-        default:
-          break;
-      }
-    }
-  }
-  return h;
-}
+// (ExactFingerprint comes from table_fingerprint.h.)
 
 std::unique_ptr<Table> MakeNumbersTable(size_t rows) {
   Rng rng(321);

@@ -1,5 +1,7 @@
 // The logical-plan layer: builder schema validation, serial/parallel
-// result parity for every node kind, pipeline-breaker fragmentation,
+// result parity for every node kind, stage-DAG fragmentation
+// (structural asserts on stage kinds, dependency edges and
+// materialization points for agg-feeding-join and merge-join plans),
 // and the TPC-H acceptance property — Q1 and Q6 expressed once via
 // PlanBuilder produce byte-identical tables under ExecMode::kSerial and
 // ExecMode::kParallel at 1, 2 and 4 threads, with the parallel runs
@@ -7,7 +9,6 @@
 // profile row per plan site with `instances` == thread count).
 #include <gtest/gtest.h>
 
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "plan/compiler.h"
 #include "plan/plan_builder.h"
 #include "plan/query_session.h"
+#include "table_fingerprint.h"
 #include "tpch/dbgen.h"
 #include "tpch/plans.h"
 
@@ -38,51 +40,8 @@ std::vector<ProjectOperator::Output> Outs(Args&&... args) {
 }
 
 // ---------------------------------------------------------------------
-// Helpers.
+// Helpers. (ExactFingerprint comes from table_fingerprint.h.)
 // ---------------------------------------------------------------------
-
-/// Order- and bit-sensitive fingerprint: row order, column names/types
-/// and the exact bit pattern of every cell (f64 included) all count.
-u64 ExactFingerprint(const Table& t) {
-  u64 h = 1469598103934665603ULL;
-  auto mix = [&h](u64 v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  auto mix_bytes = [&mix](std::string_view s) {
-    for (const char c : s) mix(static_cast<u8>(c));
-  };
-  mix(t.row_count());
-  mix(t.num_columns());
-  for (size_t c = 0; c < t.num_columns(); ++c) {
-    const Column* col = t.column(c);
-    mix_bytes(t.column_name(c));
-    mix(static_cast<u64>(col->type()));
-    for (size_t i = 0; i < col->size(); ++i) {
-      switch (col->type()) {
-        case PhysicalType::kI64:
-          mix(static_cast<u64>(col->Get<i64>(i)));
-          break;
-        case PhysicalType::kI32:
-          mix(static_cast<u64>(col->Get<i32>(i)));
-          break;
-        case PhysicalType::kF64: {
-          const f64 v = col->Get<f64>(i);
-          u64 bits;
-          std::memcpy(&bits, &v, sizeof(bits));
-          mix(bits);
-          break;
-        }
-        case PhysicalType::kStr:
-          mix_bytes(col->Get<StrRef>(i).view());
-          break;
-        default:
-          break;
-      }
-    }
-  }
-  return h;
-}
 
 /// Runs `plan` serially and in parallel at several thread counts and
 /// expects byte-identical result tables throughout. Returns the serial
@@ -383,10 +342,10 @@ TEST(PlanParityTest, JoinFeedingAggregationWithHavingTail) {
 }
 
 // ---------------------------------------------------------------------
-// Fragmentation.
+// Stage-DAG fragmentation.
 // ---------------------------------------------------------------------
 
-TEST(PlanFragmentTest, JoinAggSortSplitsIntoPhases) {
+TEST(PlanFragmentTest, JoinAggSortSplitsIntoStages) {
   auto probe = MakeNumbersTable(4096);
   auto b1 = MakeNumbersTable(256);
   auto b2 = MakeNumbersTable(256);
@@ -419,8 +378,8 @@ TEST(PlanFragmentTest, JoinAggSortSplitsIntoPhases) {
   const LogicalPlan plan = main.Build();
   ASSERT_TRUE(plan.ok()) << plan.status.message();
 
-  Compiler::Fragmentation frag;
-  const Status s = Compiler::Fragment(plan, &frag);
+  StagePlan sp;
+  const Status s = Compiler::BuildStagePlan(plan, &sp);
   ASSERT_TRUE(s.ok()) << s.message();
 
   // sort -> group_by -> join2 -> join1 -> scan along the spine.
@@ -432,22 +391,89 @@ TEST(PlanFragmentTest, JoinAggSortSplitsIntoPhases) {
   const PlanNode* nested_join = join2->children[0].get();
   ASSERT_EQ(nested_join->kind, NodeKind::kHashJoin);
 
-  ASSERT_EQ(frag.builds.size(), 3u);
-  EXPECT_EQ(frag.builds[0].join, nested_join);  // dependency first
-  EXPECT_EQ(frag.builds[1].join, join2);
-  EXPECT_EQ(frag.builds[2].join, join1);
-  EXPECT_EQ(frag.agg, agg);
-  EXPECT_EQ(frag.pipeline_root, join2);
-  EXPECT_EQ(frag.pipeline_scan, spine_scan);
-  ASSERT_EQ(frag.tail.size(), 1u);
-  EXPECT_EQ(frag.tail[0], sort);
+  // Three join-build stages in dependency order, then the final
+  // aggregation stage over the spine pipeline.
+  ASSERT_EQ(sp.stages.size(), 4u) << sp.Describe();
+  EXPECT_EQ(sp.stages[0].kind, Stage::Kind::kJoinBuild);
+  EXPECT_EQ(sp.stages[0].join, nested_join);  // dependency first
+  EXPECT_EQ(sp.stages[1].join, join2);
+  ASSERT_EQ(sp.stages[1].deps.size(), 1u);
+  EXPECT_EQ(sp.stages[1].deps[0], 0);  // probes the nested build
+  EXPECT_EQ(sp.stages[2].join, join1);
+  const Stage& last = sp.stages[3];
+  EXPECT_EQ(last.kind, Stage::Kind::kAggregate);
+  EXPECT_EQ(last.agg, agg);
+  EXPECT_EQ(last.root, join2);
+  EXPECT_EQ(last.input.scan, spine_scan);
+  EXPECT_FALSE(last.materialize);
+  EXPECT_EQ(last.deps, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sp.final_stage, 3);
+  ASSERT_EQ(sp.tail.size(), 1u);
+  EXPECT_EQ(sp.tail[0], sort);
 
   // The parity machinery also runs this shape (small tables, so force
   // the parallel mode).
   ExpectParity(plan, /*morsel_size=*/512);
 }
 
-TEST(PlanFragmentTest, MergeJoinFallsBackToSerial) {
+/// The acceptance-criteria shape: an aggregation feeding a hash join
+/// compiles to dependent stages, the aggregate materializing into an
+/// intermediate that the final pipeline scans.
+TEST(PlanFragmentTest, AggFeedingJoinMaterializesIntermediate) {
+  auto t = MakeNumbersTable(8192);
+  auto dim = MakeNumbersTable(64);
+
+  std::vector<HashAggOperator::AggSpec> aggs;
+  {
+    HashAggOperator::AggSpec a;
+    a.fn = "sum";
+    a.arg = Col("x");
+    a.out_name = "sum_x";
+    aggs.push_back(std::move(a));
+  }
+  HashJoinSpec spec;
+  spec.build_key = "g";
+  spec.probe_key = "g";
+  spec.build_outputs = {{"x", "dim_x"}};
+  spec.probe_outputs = {"g", "sum_x"};
+  PlanBuilder b = PlanBuilder::Scan(t.get(), {"g", "x"});
+  b.GroupBy({{"g", 4}}, {"g"}, std::move(aggs))
+      .HashJoin(PlanBuilder::Scan(dim.get(), {"g", "x"}), spec)
+      .Sort({{"g", false}});
+  const LogicalPlan plan = b.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status.message();
+
+  StagePlan sp;
+  ASSERT_TRUE(Compiler::BuildStagePlan(plan, &sp).ok());
+  const PlanNode* join = plan.root->children[0].get();
+  ASSERT_EQ(join->kind, NodeKind::kHashJoin);
+  const PlanNode* agg = join->children[1].get();
+  ASSERT_EQ(agg->kind, NodeKind::kGroupBy);
+
+  // The dimension build comes first, then the aggregate stage
+  // materializes, and the final pipeline scans the intermediate while
+  // probing the build.
+  ASSERT_EQ(sp.stages.size(), 3u) << sp.Describe();
+  EXPECT_EQ(sp.stages[0].kind, Stage::Kind::kJoinBuild);
+  EXPECT_EQ(sp.stages[0].join, join);
+  EXPECT_EQ(sp.stages[1].kind, Stage::Kind::kAggregate);
+  EXPECT_EQ(sp.stages[1].agg, agg);
+  EXPECT_TRUE(sp.stages[1].materialize);
+  ASSERT_EQ(sp.stages[1].out_schema.size(), 2u);
+  EXPECT_EQ(sp.stages[1].out_schema[0].name, "g");
+  EXPECT_EQ(sp.stages[1].out_schema[1].name, "sum_x");
+  const Stage& last = sp.stages[2];
+  EXPECT_EQ(last.kind, Stage::Kind::kPipeline);
+  EXPECT_TRUE(last.input.from_stage());
+  EXPECT_EQ(last.input.stage, 1);  // scans the materialized aggregate
+  EXPECT_EQ(last.stop, agg);
+  EXPECT_FALSE(last.materialize);
+  EXPECT_EQ(last.deps, (std::vector<int>{0, 1}));
+
+  ExpectParity(plan, /*morsel_size=*/512);
+}
+
+TEST(PlanFragmentTest, MergeJoinCompilesToProvenSortStages) {
   // Two tables sorted ascending on k; left keys unique.
   auto left = std::make_unique<Table>("left");
   Column* lk = left->AddColumn("k", PhysicalType::kI64);
@@ -476,17 +502,95 @@ TEST(PlanFragmentTest, MergeJoinFallsBackToSerial) {
   const LogicalPlan plan = b.Build();
   ASSERT_TRUE(plan.ok()) << plan.status.message();
 
-  Compiler::Fragmentation frag;
-  EXPECT_FALSE(Compiler::Fragment(plan, &frag).ok());
+  // The merge join fragments: a prove-or-sort stage per (base-scan)
+  // input, then the final merge stage consuming both.
+  StagePlan sp;
+  ASSERT_TRUE(Compiler::BuildStagePlan(plan, &sp).ok());
+  ASSERT_EQ(sp.stages.size(), 3u) << sp.Describe();
+  EXPECT_EQ(sp.stages[0].kind, Stage::Kind::kSort);
+  EXPECT_TRUE(sp.stages[0].prove_sorted);
+  EXPECT_TRUE(sp.stages[0].materialize);
+  EXPECT_EQ(sp.stages[1].kind, Stage::Kind::kSort);
+  EXPECT_TRUE(sp.stages[1].prove_sorted);
+  const Stage& merge = sp.stages[2];
+  EXPECT_EQ(merge.kind, Stage::Kind::kMergeJoin);
+  EXPECT_EQ(merge.input.stage, 0);
+  EXPECT_EQ(merge.right.stage, 1);
+  EXPECT_EQ(merge.deps, (std::vector<int>{0, 1}));
+  EXPECT_FALSE(merge.materialize);
 
-  // kParallel falls back to serial and still answers correctly.
+  // kParallel now runs the staged path — byte-identical to serial.
   QuerySession session{SessionConfig()};
   const RunResult serial = session.Run(plan, ExecMode::kSerial);
   EXPECT_EQ(serial.rows_emitted, 2000u);
-  const RunResult fallback = session.Run(plan, ExecMode::kParallel);
-  EXPECT_FALSE(session.last_run_parallel());
-  EXPECT_EQ(ExactFingerprint(*fallback.table),
+  const RunResult staged = session.Run(plan, ExecMode::kParallel);
+  EXPECT_TRUE(session.last_run_parallel());
+  EXPECT_EQ(ExactFingerprint(*staged.table),
             ExactFingerprint(*serial.table));
+}
+
+TEST(PlanFragmentTest, MergeJoinOverExplicitSortProvesOrderStatically) {
+  // The right side arrives unsorted, and the plan says so with an
+  // explicit Sort node on the join key. The fragmenter proves that
+  // side's order statically (no runtime order-proof stage for it) and
+  // both executors lower the same Sort — serial and staged results
+  // stay byte-identical.
+  auto left = std::make_unique<Table>("left");
+  Column* lk = left->AddColumn("k", PhysicalType::kI64);
+  Column* lv = left->AddColumn("lv", PhysicalType::kI64);
+  for (i64 i = 0; i < 200; ++i) {
+    lk->Append<i64>(i);
+    lv->Append<i64>(i * 3);
+  }
+  left->set_row_count(200);
+  auto right = std::make_unique<Table>("right");
+  Column* rk = right->AddColumn("k", PhysicalType::kI64);
+  Column* rv = right->AddColumn("rv", PhysicalType::kI64);
+  for (i64 i = 0; i < 1000; ++i) {
+    rk->Append<i64>((i * 37) % 200);  // scrambled
+    rv->Append<i64>(i);
+  }
+  right->set_row_count(1000);
+
+  MergeJoinSpec spec;
+  spec.left_key = "k";
+  spec.right_key = "k";
+  spec.left_outputs = {{"lv", "lv"}};
+  spec.right_outputs = {{"k", "rk"}, {"rv", "rv"}};
+  PlanBuilder sorted_right = PlanBuilder::Scan(right.get());
+  sorted_right.Sort({{"k", false}, {"rv", false}});
+  PlanBuilder b = PlanBuilder::Scan(left.get());
+  b.MergeJoin(std::move(sorted_right), spec);
+  const LogicalPlan plan = b.Build();
+  ASSERT_TRUE(plan.ok()) << plan.status.message();
+
+  // Stages: order proof for the bare left scan, sort stage for the
+  // right side (its Sort node proves the order statically — no second
+  // proof stage), then the merge.
+  StagePlan sp;
+  ASSERT_TRUE(Compiler::BuildStagePlan(plan, &sp).ok());
+  ASSERT_EQ(sp.stages.size(), 3u) << sp.Describe();
+  EXPECT_EQ(sp.stages[0].kind, Stage::Kind::kSort);
+  EXPECT_TRUE(sp.stages[0].prove_sorted);
+  EXPECT_EQ(sp.stages[1].kind, Stage::Kind::kSort);
+  EXPECT_FALSE(sp.stages[1].prove_sorted);
+  EXPECT_EQ(sp.stages[2].kind, Stage::Kind::kMergeJoin);
+
+  QuerySession session{SessionConfig()};
+  const RunResult serial = session.Run(plan, ExecMode::kSerial);
+  EXPECT_EQ(serial.rows_emitted, 1000u);
+  const RunResult staged = session.Run(plan, ExecMode::kParallel);
+  EXPECT_TRUE(session.last_run_parallel());
+  EXPECT_EQ(ExactFingerprint(*staged.table),
+            ExactFingerprint(*serial.table));
+  // Every right row matches exactly one left key, with lv == 3 * rk.
+  const Column* lvc = staged.table->FindColumn("lv");
+  const Column* rkc = staged.table->FindColumn("rk");
+  ASSERT_NE(lvc, nullptr);
+  ASSERT_NE(rkc, nullptr);
+  for (size_t i = 0; i < staged.table->row_count(); ++i) {
+    EXPECT_EQ(lvc->Data<i64>()[i], 3 * rkc->Data<i64>()[i]);
+  }
 }
 
 TEST(PlanFragmentTest, AutoStaysSerialOnSmallTables) {
@@ -495,6 +599,38 @@ TEST(PlanFragmentTest, AutoStaysSerialOnSmallTables) {
   session.Run(PlanBuilder::Scan(t.get(), {"a"}).Build(),
               ExecMode::kAuto);
   EXPECT_FALSE(session.last_run_parallel());
+}
+
+TEST(PlanFragmentTest, AutoRoutesByDrivingTableSize) {
+  // kAuto must pick serial for a tiny scan and the staged parallel
+  // path once the driving table clears the row threshold.
+  SessionConfig cfg;
+  cfg.parallel.num_threads = 2;
+  cfg.min_parallel_rows = 4096;
+
+  auto small = MakeNumbersTable(1024);
+  QuerySession small_session{cfg};
+  small_session.Run(PlanBuilder::Scan(small.get(), {"a"}).Build(),
+                    ExecMode::kAuto);
+  EXPECT_FALSE(small_session.last_run_parallel());
+
+  auto big = MakeNumbersTable(16 * 1024);
+  QuerySession big_session{cfg};
+  big_session.Run(PlanBuilder::Scan(big.get(), {"a"}).Build(),
+                  ExecMode::kAuto);
+  EXPECT_TRUE(big_session.last_run_parallel());
+
+  // The threshold looks at the largest *base* table any stage scans:
+  // a big build side below a small probe still flips kAuto parallel.
+  HashJoinSpec spec;
+  spec.build_key = "a";
+  spec.probe_key = "a";
+  spec.kind = HashJoinSpec::Kind::kSemi;
+  PlanBuilder probe = PlanBuilder::Scan(small.get(), {"a", "x"});
+  probe.HashJoin(PlanBuilder::Scan(big.get(), {"a"}), spec);
+  QuerySession join_session{cfg};
+  join_session.Run(probe.Build(), ExecMode::kAuto);
+  EXPECT_TRUE(join_session.last_run_parallel());
 }
 
 // ---------------------------------------------------------------------

@@ -1,12 +1,17 @@
 // End-to-end TPC-H query tests: every query runs under every execution
 // mode and produces identical results (Micro Adaptivity must not change
-// semantics), plus per-query sanity checks against independently
-// computed references on the generated data.
+// semantics), per-query sanity checks against independently computed
+// references on the generated data, and — for the queries expressed as
+// logical plans — byte-identity between serial and staged parallel
+// execution at 1/2/4 threads (the stage-DAG determinism contract).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <map>
 
+#include "plan/query_session.h"
+#include "table_fingerprint.h"
+#include "tpch/plans.h"
 #include "tpch/queries.h"
 #include "tpch/text_pool.h"
 #include "tpch/workload.h"
@@ -174,6 +179,61 @@ TEST_F(QueriesTest, Q22NoSelectedCustomerHasOrders) {
                 code == "17")
         << code;
   }
+}
+
+// --- plan-compiled queries: staged parallel == serial, byte for byte ---
+// (ExactFingerprint comes from table_fingerprint.h.)
+
+class StagedQueriesTest : public QueriesTest {};
+
+/// Runs `plan` serially and through the staged executor at 1/2/4
+/// worker threads; every staged table must equal the serial one byte
+/// for byte.
+void ExpectStagedParity(const plan::LogicalPlan& plan, const char* what) {
+  ASSERT_TRUE(plan.ok()) << what << ": " << plan.status.message();
+  plan::QuerySession serial_session{plan::SessionConfig{}};
+  const RunResult ref =
+      serial_session.Run(plan, plan::ExecMode::kSerial);
+  ASSERT_NE(ref.table, nullptr) << what;
+  const u64 ref_fp = ExactFingerprint(*ref.table);
+
+  for (const int threads : {1, 2, 4}) {
+    plan::SessionConfig cfg;
+    cfg.parallel.num_threads = threads;
+    cfg.parallel.morsel_size = 4096;
+    plan::QuerySession session{cfg};
+    const RunResult got = session.Run(plan, plan::ExecMode::kParallel);
+    ASSERT_TRUE(session.last_run_parallel())
+        << what << " at " << threads << " threads";
+    EXPECT_EQ(got.rows_emitted, ref.rows_emitted)
+        << what << " at " << threads << " threads";
+    EXPECT_EQ(ExactFingerprint(*got.table), ref_fp)
+        << what << " diverged at " << threads << " threads";
+  }
+}
+
+TEST_F(StagedQueriesTest, Q3ByteIdenticalStaged) {
+  ExpectStagedParity(Q3Plan(*data_), "Q3");
+}
+
+TEST_F(StagedQueriesTest, Q4ByteIdenticalStaged) {
+  ExpectStagedParity(Q4Plan(*data_), "Q4");
+}
+
+TEST_F(StagedQueriesTest, Q5ByteIdenticalStaged) {
+  ExpectStagedParity(Q5Plan(*data_), "Q5");
+}
+
+TEST_F(StagedQueriesTest, Q10ByteIdenticalStaged) {
+  ExpectStagedParity(Q10Plan(*data_), "Q10");
+}
+
+TEST_F(StagedQueriesTest, Q12ByteIdenticalStaged) {
+  ExpectStagedParity(Q12Plan(*data_), "Q12");
+}
+
+TEST_F(StagedQueriesTest, Q14ByteIdenticalStaged) {
+  ExpectStagedParity(Q14Plan(*data_), "Q14");
 }
 
 // --- every query, every mode, identical results ---
