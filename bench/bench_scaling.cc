@@ -16,11 +16,12 @@
 //    serial table byte for byte (f64 aggregates included, courtesy of
 //    the fixed-point SUM accumulator).
 //
-// 3. A staged query: TPC-H Q10, whose per-customer aggregation feeds
-//    the joins above it. The stage-DAG compiler materializes the agg
-//    into an IntermediateTable and runs the join pipeline over it
-//    morsel-parallel — this section tracks that staging preserves both
-//    the speedup and the bit-exact identity.
+// 3. Staged queries: TPC-H Q10, whose per-customer aggregation feeds
+//    the joins above it, and Q13, whose per-customer order counts feed
+//    a LEFT OUTER join build. The stage-DAG compiler materializes the
+//    aggs into IntermediateTables and runs the join pipelines over
+//    them morsel-parallel — this section tracks that staging preserves
+//    both the speedup and the bit-exact identity.
 //
 // Expected: near-linear scaling up to the physical core count (>= 2.5x
 // at 4 threads on a 4+-core host); on smaller hosts the curve flattens
@@ -268,15 +269,18 @@ int Run() {
       RunPlanQueries(std::move(single_stage), cores, &json);
 
   bench::PrintHeader(
-      "Staged queries: TPC-H Q10 (agg above join), serial vs 1/2/4/N "
-      "threads",
+      "Staged queries: TPC-H Q10 (agg above join) + Q13 (left outer "
+      "over an agg build), serial vs 1/2/4/N threads",
       "Q10's per-customer revenue aggregation materializes into an "
       "IntermediateTable that the customer/nation join pipeline above "
       "re-scans morsel-parallel — a multi-stage DAG, not a single "
-      "fragmented pipeline. Bit-exact identity asserted per thread "
-      "count.");
+      "fragmented pipeline. Q13 builds its per-customer order counts "
+      "the same way and probes them with a LEFT OUTER join (miss rows "
+      "patched with default payloads) before the histogram "
+      "aggregation. Bit-exact identity asserted per thread count.");
   std::vector<NamedPlan> staged;
   staged.push_back({"q10", tpch::Q10Plan(*data)});
+  staged.push_back({"q13", tpch::Q13Plan(*data)});
   plans_identical =
       RunPlanQueries(std::move(staged), cores, &json) && plans_identical;
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Checks that every intra-repo markdown link in README.md and docs/*.md
+# resolves to an existing file (anchors are stripped; external http(s)
+# and mailto links are skipped). Run from anywhere; exits non-zero and
+# lists every broken link it finds.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+broken=0
+
+for md in "$root"/README.md "$root"/docs/*.md; do
+  [ -e "$md" ] || continue
+  dir="$(dirname "$md")"
+  # Link targets: [text](target). Markdown images share the shape, so
+  # they are covered too. Process substitution keeps the loop in the
+  # main shell so `broken` propagates.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"  # strip in-page anchors
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: ${md#"$root"/} -> $target"
+      broken=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$broken" -ne 0 ]; then
+  echo "doc link check FAILED"
+  exit 1
+fi
+echo "doc link check OK"

@@ -65,6 +65,17 @@ void AppendGatherColumn(const Column& src, const sel_t* sel, size_t n,
   });
 }
 
+void AppendDefault(Column* dst) {
+  ForPhysicalType(dst->type(), [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_same_v<T, StrRef>) {
+      dst->AppendString("");
+    } else {
+      dst->Append<T>(T{});
+    }
+  });
+}
+
 void AppendVectorCell(const Vector& src, size_t row, Column* dst) {
   ForPhysicalType(src.type(), [&](auto tag) {
     using T = decltype(tag);

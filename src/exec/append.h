@@ -56,6 +56,10 @@ void AppendCell(const Column& src, size_t row, Column* dst);
 void AppendGatherColumn(const Column& src, const sel_t* sel, size_t n,
                         Column* dst);
 
+/// Appends one default cell (zero / empty string) to `dst` — the left
+/// outer hash join's miss-payload row.
+void AppendDefault(Column* dst);
+
 /// Copies one cell of a vector to the end of `dst`.
 void AppendVectorCell(const Vector& src, size_t row, Column* dst);
 

@@ -1,6 +1,7 @@
 #include "exec/evaluator.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "prim/map_kernels.h"
 #include "prim/sel_kernels.h"
@@ -31,8 +32,23 @@ PhysicalType ExprEvaluator::ResolveType(const Expr& expr,
       }
       return ResolveType(l, batch);
     }
+    case Expr::Kind::kCase: {
+      // The branches share one type; a literal branch coerces to the
+      // non-literal one (both literal: the then branch's type).
+      const Expr& then_v = *expr.children[1];
+      const Expr& else_v = *expr.children[2];
+      if (then_v.kind == Expr::Kind::kLiteral &&
+          else_v.kind != Expr::Kind::kLiteral) {
+        return ResolveType(else_v, batch);
+      }
+      return ResolveType(then_v, batch);
+    }
+    case Expr::Kind::kSubstr:
+      return PhysicalType::kStr;
     default:
-      MA_CHECK(false);  // predicates produce selections, not values
+      // Predicates produce selections, not values; kScalarRef must have
+      // been substituted by the plan compiler before execution.
+      MA_CHECK(false);
       return PhysicalType::kI64;
   }
 }
@@ -88,6 +104,8 @@ std::shared_ptr<Vector> ExprEvaluator::EvaluateValue(const Expr& expr,
     MA_CHECK(idx >= 0);
     return batch.column_ptr(idx);
   }
+  if (expr.kind == Expr::Kind::kCase) return EvaluateCase(expr, batch);
+  if (expr.kind == Expr::Kind::kSubstr) return EvaluateSubstr(expr, batch);
   MA_CHECK(expr.kind == Expr::Kind::kArith);
   NodeState& st = State(&expr);
   const PhysicalType t = ResolveType(expr, batch);
@@ -116,6 +134,160 @@ std::shared_ptr<Vector> ExprEvaluator::EvaluateValue(const Expr& expr,
     c.sel_n = batch.sel().size();
   }
   st.instance->Call(c);
+  st.out->set_size(batch.row_count());
+  return st.out;
+}
+
+std::shared_ptr<Vector> ExprEvaluator::EvaluateSubstr(const Expr& expr,
+                                                      Batch& batch) {
+  NodeState& st = State(&expr);
+  if (!st.bound) {
+    st.out_type = PhysicalType::kStr;
+    st.out = std::make_shared<Vector>(PhysicalType::kStr, kMaxVectorSize);
+    st.substr = SubstrSpec{static_cast<u32>(expr.sub_start),
+                           static_cast<u32>(expr.sub_len)};
+    st.instance = engine_->NewInstance(
+        "map_substr_str_col_val", label_prefix_ + "/" + expr.ToString());
+    st.bound = true;
+  }
+  bool lv = false;
+  const void* src = OperandData(*expr.children[0], PhysicalType::kStr,
+                                batch, st, &lv);
+  MA_CHECK(!lv);  // the source must be a string vector, not a constant
+
+  PrimCall c;
+  c.n = batch.row_count();
+  c.res = st.out->raw_data();
+  c.in1 = src;
+  c.in2 = &st.substr;
+  if (batch.has_sel()) {
+    c.sel = batch.sel().data();
+    c.sel_n = batch.sel().size();
+  }
+  st.instance->Call(c);
+  st.out->set_size(batch.row_count());
+  return st.out;
+}
+
+std::shared_ptr<Vector> ExprEvaluator::EvaluateCase(const Expr& expr,
+                                                    Batch& batch) {
+  NodeState& st = State(&expr);
+  const PhysicalType t = ResolveType(expr, batch);
+  if (!st.bound) {
+    st.out_type = t;
+    st.out = std::make_shared<Vector>(t, kMaxVectorSize);
+    st.bound = true;  // no primitive of its own: the predicate and the
+                      // branches each carry their own instances
+  }
+  if (case_depth_ == case_scratch_.size()) {
+    case_scratch_.push_back(std::make_unique<CaseScratch>());
+  }
+  CaseScratch& s = *case_scratch_[case_depth_];
+  ++case_depth_;
+  struct DepthGuard {
+    size_t& depth;
+    ~DepthGuard() { --depth; }
+  } guard{case_depth_};
+
+  // Save the input selection: the predicate narrows it to the THEN
+  // positions, and the caller must see it unchanged afterwards.
+  const bool had_sel = batch.has_sel();
+  s.input.clear();
+  if (had_sel) {
+    s.input.assign(batch.sel().data(),
+                   batch.sel().data() + batch.sel().size());
+  }
+
+  const size_t width = TypeWidth(t);
+  char* out = static_cast<char*>(st.out->raw_data());
+  // Applies `body(p)` to every currently-live position.
+  auto for_live = [&batch](auto&& body) {
+    if (batch.has_sel()) {
+      const SelVector& sel = batch.sel();
+      for (size_t j = 0; j < sel.size(); ++j) body(sel[j]);
+    } else {
+      for (size_t i = 0; i < batch.row_count(); ++i) {
+        body(static_cast<sel_t>(i));
+      }
+    }
+  };
+  // Writes one branch's values into `out` at the live positions: a
+  // literal branch fills the coerced constant, anything else evaluates
+  // and copies.
+  auto fill = [&](const Expr& branch) {
+    if (branch.kind == Expr::Kind::kLiteral) {
+      switch (t) {
+        case PhysicalType::kI16: {
+          const i16 v = branch.lit_type == PhysicalType::kF64
+                            ? static_cast<i16>(branch.lit_f)
+                            : static_cast<i16>(branch.lit_i);
+          i16* o = reinterpret_cast<i16*>(out);
+          for_live([&](sel_t p) { o[p] = v; });
+          break;
+        }
+        case PhysicalType::kI32: {
+          const i32 v = branch.lit_type == PhysicalType::kF64
+                            ? static_cast<i32>(branch.lit_f)
+                            : static_cast<i32>(branch.lit_i);
+          i32* o = reinterpret_cast<i32*>(out);
+          for_live([&](sel_t p) { o[p] = v; });
+          break;
+        }
+        case PhysicalType::kI64: {
+          const i64 v = branch.lit_type == PhysicalType::kF64
+                            ? static_cast<i64>(branch.lit_f)
+                            : branch.lit_i;
+          i64* o = reinterpret_cast<i64*>(out);
+          for_live([&](sel_t p) { o[p] = v; });
+          break;
+        }
+        case PhysicalType::kF64: {
+          const f64 v = branch.lit_type == PhysicalType::kF64
+                            ? branch.lit_f
+                            : static_cast<f64>(branch.lit_i);
+          f64* o = reinterpret_cast<f64*>(out);
+          for_live([&](sel_t p) { o[p] = v; });
+          break;
+        }
+        case PhysicalType::kStr: {
+          // Stable payload per branch node (a CASE may have two string
+          // literals; each keeps its own storage).
+          NodeState& bst = State(&branch);
+          bst.lit_str = branch.lit_s;
+          bst.lit_ref = StrRef{bst.lit_str.data(),
+                               static_cast<u32>(bst.lit_str.size())};
+          StrRef* o = reinterpret_cast<StrRef*>(out);
+          for_live([&](sel_t p) { o[p] = bst.lit_ref; });
+          break;
+        }
+        default:
+          MA_CHECK(false);
+      }
+      return;
+    }
+    const std::shared_ptr<Vector> v = EvaluateValue(branch, batch);
+    MA_CHECK(v->type() == t);
+    const char* src = static_cast<const char*>(v->raw_data());
+    for_live([&](sel_t p) {
+      std::memcpy(out + p * width, src + p * width, width);
+    });
+  };
+
+  // ELSE for every live position, then THEN for the positions the
+  // predicate keeps (overwriting the else values there).
+  fill(*expr.children[2]);
+  MA_CHECK(EvaluatePredicate(*expr.children[0], batch).ok());
+  fill(*expr.children[1]);
+
+  // Restore the input selection.
+  if (had_sel) {
+    SelVector& sel = batch.mutable_sel();
+    std::copy(s.input.begin(), s.input.end(), sel.data());
+    sel.set_size(s.input.size());
+    batch.set_sel_active(true);
+  } else {
+    batch.set_sel_active(false);
+  }
   st.out->set_size(batch.row_count());
   return st.out;
 }

@@ -12,6 +12,7 @@
 
 #include "exec/engine.h"
 #include "exec/expr.h"
+#include "prim/string_kernels.h"
 #include "vector/batch.h"
 
 namespace ma {
@@ -44,6 +45,8 @@ class ExprEvaluator {
     f64 lit_f64 = 0;
     std::string lit_str;
     StrRef lit_ref;
+    // kSubstr window with stable address for the _val parameter.
+    SubstrSpec substr;
   };
 
   NodeState& State(const Expr* node) { return states_[node]; }
@@ -55,6 +58,14 @@ class ExprEvaluator {
   /// yield vectors, literals yield a pointer to a single coerced value.
   const void* OperandData(const Expr& operand, PhysicalType as_type,
                           Batch& batch, NodeState& owner, bool* is_val);
+
+  /// kCase: evaluates the else branch for all live positions, the then
+  /// branch for the positions the predicate selects, and merges both
+  /// into one output vector; the batch's selection is restored.
+  std::shared_ptr<Vector> EvaluateCase(const Expr& expr, Batch& batch);
+
+  /// kSubstr: one map_substr primitive call over the live positions.
+  std::shared_ptr<Vector> EvaluateSubstr(const Expr& expr, Batch& batch);
 
   Engine* engine_;
   std::string label_prefix_;
@@ -69,6 +80,13 @@ class ExprEvaluator {
   };
   std::vector<std::unique_ptr<OrScratch>> or_scratch_;
   size_t or_depth_ = 0;
+  /// Scratch for kCase (saved input selection), pooled per nesting
+  /// depth like or_scratch_ (a case branch may itself contain a case).
+  struct CaseScratch {
+    std::vector<sel_t> input;
+  };
+  std::vector<std::unique_ptr<CaseScratch>> case_scratch_;
+  size_t case_depth_ = 0;
 };
 
 }  // namespace ma

@@ -1,5 +1,8 @@
 #include "exec/expr.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/status.h"
 
 namespace ma {
@@ -81,6 +84,37 @@ ExprPtr Expr::Or(std::vector<ExprPtr> preds) {
   return e;
 }
 
+ExprPtr Expr::CaseWhen(ExprPtr pred, ExprPtr then_v, ExprPtr else_v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCase;
+  e->children.push_back(std::move(pred));
+  e->children.push_back(std::move(then_v));
+  e->children.push_back(std::move(else_v));
+  return e;
+}
+
+ExprPtr Expr::Substr(ExprPtr str, i64 start, i64 len) {
+  MA_CHECK(start >= 0 && len >= 0);
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kSubstr;
+  e->children.push_back(std::move(str));
+  // The kernel's window is u32 (strings are u32-length); clamping here
+  // keeps the documented semantics for oversized requests — a start
+  // past every string yields "", a huge len means "to the end" —
+  // instead of silently truncating bits.
+  constexpr i64 kMaxU32 = std::numeric_limits<u32>::max();
+  e->sub_start = std::min(start, kMaxU32);
+  e->sub_len = std::min(len, kMaxU32);
+  return e;
+}
+
+ExprPtr Expr::ScalarRef(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kScalarRef;
+  e->column = std::move(name);
+  return e;
+}
+
 ExprPtr Expr::Clone() const {
   auto e = std::make_unique<Expr>();
   e->kind = kind;
@@ -90,6 +124,8 @@ ExprPtr Expr::Clone() const {
   e->lit_f = lit_f;
   e->lit_s = lit_s;
   e->op = op;
+  e->sub_start = sub_start;
+  e->sub_len = sub_len;
   e->children.reserve(children.size());
   for (const ExprPtr& c : children) e->children.push_back(c->Clone());
   return e;
@@ -118,6 +154,15 @@ std::string Expr::ToString() const {
       }
       return s + ")";
     }
+    case Kind::kCase:
+      return "case(" + children[0]->ToString() + "," +
+             children[1]->ToString() + "," + children[2]->ToString() + ")";
+    case Kind::kSubstr:
+      return "substr(" + children[0]->ToString() + "," +
+             std::to_string(sub_start) + "," + std::to_string(sub_len) +
+             ")";
+    case Kind::kScalarRef:
+      return "$" + column;
   }
   return "?";
 }

@@ -17,18 +17,25 @@ using ExprPtr = std::unique_ptr<Expr>;
 
 struct Expr {
   enum class Kind : u8 {
-    kColumn,   // reference to an input column by name
-    kLiteral,  // typed constant
-    kArith,    // op in {add, sub, mul, div}; value-producing
-    kCompare,  // op in {lt, le, gt, ge, eq, ne}; predicate
-    kStrPred,  // op in {eq, ne, prefix, notprefix, suffix, contains,
-               //        notcontains}; predicate over str column vs const
-    kAnd,      // conjunction of predicates (children narrow the selection)
-    kOr,       // disjunction of predicates (selection union)
+    kColumn,     // reference to an input column by name
+    kLiteral,    // typed constant
+    kArith,      // op in {add, sub, mul, div}; value-producing
+    kCompare,    // op in {lt, le, gt, ge, eq, ne}; predicate
+    kStrPred,    // op in {eq, ne, prefix, notprefix, suffix, contains,
+                 //        notcontains}; predicate over str column vs const
+    kAnd,        // conjunction of predicates (children narrow the selection)
+    kOr,         // disjunction of predicates (selection union)
+    kCase,       // children = {predicate, then-value, else-value};
+                 // value-producing conditional (CASE WHEN p THEN a ELSE b)
+    kSubstr,     // substring of a str expression: [sub_start, sub_start +
+                 //   sub_len), clamped to the source length; value-producing
+    kScalarRef,  // named plan-level scalar (a scalar subquery's single-row
+                 // result); the plan compiler substitutes a literal before
+                 // execution — the evaluator never sees this kind
   };
 
   Kind kind;
-  std::string column;  // kColumn
+  std::string column;  // kColumn; kScalarRef: the bound scalar's name
 
   // kLiteral payload (one of, per lit_type).
   PhysicalType lit_type = PhysicalType::kI64;
@@ -38,6 +45,10 @@ struct Expr {
 
   std::string op;  // kArith / kCompare / kStrPred
   std::vector<ExprPtr> children;
+
+  // kSubstr window (byte offsets into the source string).
+  i64 sub_start = 0;
+  i64 sub_len = 0;
 
   // --- factory helpers ---
   static ExprPtr Col(std::string name);
@@ -49,6 +60,9 @@ struct Expr {
   static ExprPtr StrPred(std::string op, ExprPtr col, std::string val);
   static ExprPtr And(std::vector<ExprPtr> preds);
   static ExprPtr Or(std::vector<ExprPtr> preds);
+  static ExprPtr CaseWhen(ExprPtr pred, ExprPtr then_v, ExprPtr else_v);
+  static ExprPtr Substr(ExprPtr str, i64 start, i64 len);
+  static ExprPtr ScalarRef(std::string name);
 
   /// Deep copy (plans are reused across engine configurations).
   ExprPtr Clone() const;
@@ -121,6 +135,25 @@ inline ExprPtr StrNotContains(std::string col, std::string val) {
 }
 inline ExprPtr AndAll(std::vector<ExprPtr> preds) {
   return Expr::And(std::move(preds));
+}
+/// CASE WHEN pred THEN then_v ELSE else_v END. `pred` is any predicate
+/// (comparison, string predicate, AND/OR — IN lists included); the
+/// branches are value expressions of one common type.
+inline ExprPtr Case(ExprPtr pred, ExprPtr then_v, ExprPtr else_v) {
+  return Expr::CaseWhen(std::move(pred), std::move(then_v),
+                        std::move(else_v));
+}
+/// substring(str from start for len), 0-based byte offsets, clamped to
+/// the source length (an empty or short string yields a shorter —
+/// possibly empty — result, never an out-of-bounds read).
+inline ExprPtr Substr(ExprPtr str, i64 start, i64 len) {
+  return Expr::Substr(std::move(str), start, len);
+}
+/// Reference to a plan-level scalar bound with PlanBuilder::BindScalar.
+/// Behaves like a typed literal of the scalar's type: it may appear
+/// wherever a literal may (comparison / arithmetic right-hand sides).
+inline ExprPtr ScalarRef(std::string name) {
+  return Expr::ScalarRef(std::move(name));
 }
 inline ExprPtr OrAny(std::vector<ExprPtr> preds) {
   return Expr::Or(std::move(preds));

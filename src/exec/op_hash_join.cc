@@ -1,8 +1,21 @@
 #include "exec/op_hash_join.h"
 
+#include "exec/append.h"
 #include "prim/fetch_kernels.h"
 
 namespace ma {
+
+namespace {
+
+/// The one chokepoint for the left-outer/bloom exclusion: missed probe
+/// rows must be *emitted*, never bloom-discarded, so a left outer join
+/// simply has no bloom filter.
+HashJoinSpec Normalize(HashJoinSpec spec) {
+  if (spec.kind == HashJoinSpec::Kind::kLeftOuter) spec.use_bloom = false;
+  return spec;
+}
+
+}  // namespace
 
 HashJoinOperator::HashJoinOperator(Engine* engine, OperatorPtr build,
                                    OperatorPtr probe, HashJoinSpec spec,
@@ -10,7 +23,7 @@ HashJoinOperator::HashJoinOperator(Engine* engine, OperatorPtr build,
     : Operator(engine),
       build_(std::move(build)),
       probe_(std::move(probe)),
-      spec_(std::move(spec)),
+      spec_(Normalize(std::move(spec))),
       label_(std::move(label)) {}
 
 HashJoinOperator::HashJoinOperator(Engine* engine,
@@ -19,7 +32,7 @@ HashJoinOperator::HashJoinOperator(Engine* engine,
                                    std::string label)
     : Operator(engine),
       probe_(std::move(probe)),
-      spec_(std::move(spec)),
+      spec_(Normalize(std::move(spec))),
       label_(std::move(label)),
       shared_(shared) {
   MA_CHECK(shared_ != nullptr && shared_->ht.finalized());
@@ -79,6 +92,22 @@ Status HashJoinOperator::Open() {
     }
     ht_.Finalize();
 
+    if (spec_.kind == HashJoinSpec::Kind::kLeftOuter) {
+      // The miss payload: one default row (zero / empty string) after
+      // the real build rows; missed probe rows fetch it like any match.
+      if (build_cols_.size() != spec_.build_outputs.size()) {
+        // Nothing was drained (empty build side); instantiate the
+        // declared types so the output schema survives.
+        MA_CHECK(build_cols_.empty());
+        MA_CHECK(spec_.build_output_types.size() ==
+                 spec_.build_outputs.size());
+        for (const PhysicalType t : spec_.build_output_types) {
+          build_cols_.push_back(std::make_unique<Column>(t));
+        }
+      }
+      for (auto& col : build_cols_) AppendDefault(col.get());
+    }
+
     if (spec_.use_bloom && engine_->config().join_bloom_filters) {
       bloom_ = std::make_unique<BloomFilter>(
           BloomFilter::ForKeys(ht_.num_rows() + 1));
@@ -101,6 +130,7 @@ Status HashJoinOperator::Open() {
 
   switch (spec_.kind) {
     case HashJoinSpec::Kind::kInner:
+    case HashJoinSpec::Kind::kLeftOuter:
       probe_inst_ =
           engine_->NewInstance("ht_probe_i64_col", label_ + "/probe");
       break;
@@ -125,8 +155,17 @@ Status HashJoinOperator::Open() {
 }
 
 bool HashJoinOperator::Next(Batch* out) {
-  return spec_.kind == HashJoinSpec::Kind::kInner ? NextInner(out)
-                                                  : NextSemiAnti(out);
+  switch (spec_.kind) {
+    case HashJoinSpec::Kind::kInner:
+      return NextInner(out);
+    case HashJoinSpec::Kind::kLeftOuter:
+      return NextLeftOuter(out);
+    case HashJoinSpec::Kind::kSemi:
+    case HashJoinSpec::Kind::kAnti:
+      return NextSemiAnti(out);
+  }
+  MA_CHECK(false);
+  return false;
 }
 
 bool HashJoinOperator::NextSemiAnti(Batch* out) {
@@ -221,52 +260,144 @@ bool HashJoinOperator::NextInner(Batch* out) {
     // Materialize output: gather probe columns at match positions and
     // build columns at matched build rows via fetch primitives.
     for (size_t i = 0; i < matches; ++i) match_pos64_[i] = match_pos_[i];
-    out->Clear();
-    for (size_t p = 0; p < spec_.probe_outputs.size(); ++p) {
-      const int idx = probe_batch_.FindColumn(spec_.probe_outputs[p]);
-      MA_CHECK(idx >= 0);
-      const Vector& src = probe_batch_.column(idx);
-      if (fetch_probe_[p] == nullptr) {
-        fetch_probe_[p] = engine_->NewInstance(
-            FetchSignature(src.type()),
-            label_ + "/fetch_probe_" + spec_.probe_outputs[p]);
-      }
-      if (out_probe_vecs_[p] == nullptr) {
-        out_probe_vecs_[p] =
-            std::make_shared<Vector>(src.type(), kMaxVectorSize);
-      }
-      const auto& dst = out_probe_vecs_[p];
-      PrimCall fc;
-      fc.n = matches;
-      fc.res = dst->raw_data();
-      fc.in1 = match_pos64_.data();
-      fc.state = const_cast<void*>(src.raw_data());
-      fetch_probe_[p]->CallN(fc, matches);
-      dst->set_size(matches);
-      out->AddColumn(spec_.probe_outputs[p], dst);
+    EmitGathered(out, match_pos64_.data(), match_row_.data(), matches);
+    return true;
+  }
+}
+
+void HashJoinOperator::EmitGathered(Batch* out, const u64* probe_pos,
+                                    const u64* build_row, size_t n) {
+  out->Clear();
+  for (size_t p = 0; p < spec_.probe_outputs.size(); ++p) {
+    const int idx = probe_batch_.FindColumn(spec_.probe_outputs[p]);
+    MA_CHECK(idx >= 0);
+    const Vector& src = probe_batch_.column(idx);
+    if (fetch_probe_[p] == nullptr) {
+      fetch_probe_[p] = engine_->NewInstance(
+          FetchSignature(src.type()),
+          label_ + "/fetch_probe_" + spec_.probe_outputs[p]);
     }
-    for (size_t b = 0; b < spec_.build_outputs.size(); ++b) {
-      const Column* src = build_col(b);
-      if (fetch_build_[b] == nullptr) {
-        fetch_build_[b] = engine_->NewInstance(
-            FetchSignature(src->type()),
-            label_ + "/fetch_build_" + spec_.build_outputs[b].second);
-      }
-      if (out_build_vecs_[b] == nullptr) {
-        out_build_vecs_[b] =
-            std::make_shared<Vector>(src->type(), kMaxVectorSize);
-      }
-      const auto& dst = out_build_vecs_[b];
-      PrimCall fc;
-      fc.n = matches;
-      fc.res = dst->raw_data();
-      fc.in1 = match_row_.data();
-      fc.state = const_cast<void*>(src->RawData());
-      fetch_build_[b]->CallN(fc, matches);
-      dst->set_size(matches);
-      out->AddColumn(spec_.build_outputs[b].second, dst);
+    if (out_probe_vecs_[p] == nullptr) {
+      out_probe_vecs_[p] =
+          std::make_shared<Vector>(src.type(), kMaxVectorSize);
     }
-    out->set_row_count(matches);
+    const auto& dst = out_probe_vecs_[p];
+    PrimCall fc;
+    fc.n = n;
+    fc.res = dst->raw_data();
+    fc.in1 = probe_pos;
+    fc.state = const_cast<void*>(src.raw_data());
+    fetch_probe_[p]->CallN(fc, n);
+    dst->set_size(n);
+    out->AddColumn(spec_.probe_outputs[p], dst);
+  }
+  for (size_t b = 0; b < spec_.build_outputs.size(); ++b) {
+    const Column* src = build_col(b);
+    if (fetch_build_[b] == nullptr) {
+      fetch_build_[b] = engine_->NewInstance(
+          FetchSignature(src->type()),
+          label_ + "/fetch_build_" + spec_.build_outputs[b].second);
+    }
+    if (out_build_vecs_[b] == nullptr) {
+      out_build_vecs_[b] =
+          std::make_shared<Vector>(src->type(), kMaxVectorSize);
+    }
+    const auto& dst = out_build_vecs_[b];
+    PrimCall fc;
+    fc.n = n;
+    fc.res = dst->raw_data();
+    fc.in1 = build_row;
+    fc.state = const_cast<void*>(src->RawData());
+    fetch_build_[b]->CallN(fc, n);
+    dst->set_size(n);
+    out->AddColumn(spec_.build_outputs[b].second, dst);
+  }
+  out->set_row_count(n);
+}
+
+bool HashJoinOperator::NextLeftOuter(Batch* out) {
+  for (;;) {
+    if (!probe_batch_valid_) {
+      probe_batch_.Clear();
+      if (!probe_->Next(&probe_batch_)) return false;
+      if (probe_batch_.live_count() == 0) continue;
+      const int key_idx = probe_batch_.FindColumn(spec_.probe_key);
+      MA_CHECK(key_idx >= 0);
+
+      // Drain the probe cursor over the whole batch; the match stream
+      // arrives grouped by probe position in selection order. Peak
+      // memory is one probe batch's full match list — unbounded in
+      // the join fan-out, unlike the inner path's chunked streaming
+      // (a bounded-cursor variant is a ROADMAP item; the plan-layer
+      // uses are unique-key builds, fan-out 1).
+      probe_state_ = ProbeState{};
+      probe_state_.table = &ht();
+      probe_state_.cursor = ProbeCursor{0, JoinHashTable::kNil, false};
+      outer_pos_.clear();
+      outer_row_.clear();
+      while (!probe_state_.cursor.done) {
+        probe_state_.out_probe_pos = match_pos_.data();
+        probe_state_.out_build_row = match_row_.data();
+        probe_state_.out_capacity = engine_->vector_size();
+        PrimCall c;
+        c.n = probe_batch_.row_count();
+        c.in1 = probe_batch_.column(key_idx).raw_data();
+        c.state = &probe_state_;
+        if (probe_batch_.has_sel()) {
+          c.sel = probe_batch_.sel().data();
+          c.sel_n = probe_batch_.sel().size();
+        }
+        const size_t before = probe_state_.cursor.pos;
+        const size_t m = probe_inst_->CallN(
+            c, std::max<u64>(1, probe_batch_.live_count() - before));
+        for (size_t i = 0; i < m; ++i) {
+          outer_pos_.push_back(match_pos_[i]);
+          outer_row_.push_back(match_row_[i]);
+        }
+      }
+
+      // Merge into emission order: probe rows in selection order, each
+      // contributing its matches or — when none — one default-payload
+      // row (the extra row appended after the real build rows).
+      outer_emit_pos_.clear();
+      outer_emit_row_.clear();
+      const u64 miss_row = ht().num_rows();
+      size_t m = 0;
+      auto take = [&](sel_t p) {
+        if (m < outer_pos_.size() && outer_pos_[m] == p) {
+          do {
+            outer_emit_pos_.push_back(p);
+            outer_emit_row_.push_back(outer_row_[m]);
+            ++m;
+          } while (m < outer_pos_.size() && outer_pos_[m] == p);
+        } else {
+          outer_emit_pos_.push_back(p);
+          outer_emit_row_.push_back(miss_row);
+        }
+      };
+      if (probe_batch_.has_sel()) {
+        const SelVector& sel = probe_batch_.sel();
+        for (size_t j = 0; j < sel.size(); ++j) take(sel[j]);
+      } else {
+        for (size_t i = 0; i < probe_batch_.row_count(); ++i) {
+          take(static_cast<sel_t>(i));
+        }
+      }
+      MA_CHECK(m == outer_pos_.size());
+      outer_emit_offset_ = 0;
+      probe_batch_valid_ = true;
+    }
+
+    if (outer_emit_offset_ >= outer_emit_pos_.size()) {
+      probe_batch_valid_ = false;
+      continue;
+    }
+    const size_t n = std::min<size_t>(
+        engine_->vector_size(),
+        outer_emit_pos_.size() - outer_emit_offset_);
+    EmitGathered(out, outer_emit_pos_.data() + outer_emit_offset_,
+                 outer_emit_row_.data() + outer_emit_offset_, n);
+    outer_emit_offset_ += n;
     return true;
   }
 }

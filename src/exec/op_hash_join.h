@@ -5,8 +5,12 @@
 // them adaptive primitive instances.
 //
 // Join kinds: inner (emits matched pairs, duplicates supported), semi
-// (probe rows with >= 1 match) and anti (probe rows with no match) — the
-// latter two narrow the probe batch's selection vector in place.
+// (probe rows with >= 1 match), anti (probe rows with no match) — the
+// latter two narrow the probe batch's selection vector in place — and
+// left outer (probe side preserved: matched probe rows emit like inner,
+// missed probe rows emit once with default build payloads — zero /
+// empty string — fetched from a default row appended after the build
+// columns).
 #ifndef MA_EXEC_OP_HASH_JOIN_H_
 #define MA_EXEC_OP_HASH_JOIN_H_
 
@@ -37,19 +41,27 @@ struct SharedJoinBuild {
 };
 
 struct HashJoinSpec {
-  enum class Kind : u8 { kInner, kSemi, kAnti };
+  enum class Kind : u8 { kInner, kSemi, kAnti, kLeftOuter };
 
   std::string build_key;  // i64 column of the build child
   std::string probe_key;  // i64 column of the probe child
   /// Build columns materialized into the output: (source name, out name).
   std::vector<std::pair<std::string, std::string>> build_outputs;
-  /// Probe columns passed through (inner: gathered at match positions;
-  /// semi/anti: all probe columns pass through, this list is ignored).
+  /// Probe columns passed through (inner/left outer: gathered at match
+  /// positions; semi/anti: all probe columns pass through, this list is
+  /// ignored).
   std::vector<std::string> probe_outputs;
   Kind kind = Kind::kInner;
   /// Pre-filter probe keys with a bloom filter over the build keys —
   /// pays off when most probe keys miss (paper §2 Loop Fission).
+  /// Ignored for left outer joins: missed probe rows must be emitted,
+  /// not discarded.
   bool use_bloom = false;
+  /// Declared types of build_outputs, parallel to it (optional). Filled
+  /// by the plan compiler so a left outer join over an *empty* build
+  /// side can still type its output columns and the default payload
+  /// row; hand-built trees may leave it empty.
+  std::vector<PhysicalType> build_output_types;
 };
 
 class HashJoinOperator : public Operator {
@@ -81,6 +93,12 @@ class HashJoinOperator : public Operator {
  private:
   bool NextInner(Batch* out);
   bool NextSemiAnti(Batch* out);
+  bool NextLeftOuter(Batch* out);
+  /// Gathers `n` output rows: probe columns at probe-batch positions
+  /// `probe_pos`, build columns at build rows `build_row` — the
+  /// materialization shared by the inner and left-outer paths.
+  void EmitGathered(Batch* out, const u64* probe_pos, const u64* build_row,
+                    size_t n);
 
   const JoinHashTable& ht() const {
     return shared_ != nullptr ? shared_->ht : ht_;
@@ -122,6 +140,14 @@ class HashJoinOperator : public Operator {
   std::vector<u64> match_row_;
   std::vector<u64> match_pos64_;
   std::vector<i64> key_scratch_;
+  /// Left-outer state for the current probe batch: the drained match
+  /// stream, then the merged emission lists (probe position, build row —
+  /// the default row for misses) consumed in vector-sized chunks.
+  std::vector<sel_t> outer_pos_;
+  std::vector<u64> outer_row_;
+  std::vector<u64> outer_emit_pos_;
+  std::vector<u64> outer_emit_row_;
+  size_t outer_emit_offset_ = 0;
   /// Pooled output vectors (per probe/build output column), reused every
   /// batch instead of allocating fresh kMaxVectorSize buffers.
   std::vector<std::shared_ptr<Vector>> out_probe_vecs_;

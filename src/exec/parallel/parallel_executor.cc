@@ -187,11 +187,17 @@ std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
   for (size_t i = 0; i < spec.build_outputs.size(); ++i) {
     PhysicalType type = PhysicalType::kI64;
     bool found = false;
+    // Declared types (plan-compiled joins) beat inference; they keep an
+    // empty build side typed the same as a populated one.
+    if (i < spec.build_output_types.size()) {
+      type = spec.build_output_types[i];
+      found = true;
+    }
     for (const BuildPartial& part : partials) {
+      if (found) break;
       if (i < part.cols.size()) {
         type = part.cols[i]->type();
         found = true;
-        break;
       }
     }
     if (!found) {
@@ -215,8 +221,17 @@ std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
     }
   }
   shared->ht.Finalize();
+  if (spec.kind == HashJoinSpec::Kind::kLeftOuter) {
+    // The miss-payload default row, exactly as the serial drain appends
+    // it (deterministic build row ids include the default row's id).
+    for (auto& col : shared->cols) AppendDefault(col.get());
+  }
 
-  if (spec.use_bloom && engine_config_.join_bloom_filters) {
+  // Left outer never blooms (missed probe rows must be emitted, not
+  // discarded); this entry point takes the spec by const ref, so the
+  // exclusion HashJoinOperator::Normalize applies lives here too.
+  if (spec.use_bloom && spec.kind != HashJoinSpec::Kind::kLeftOuter &&
+      engine_config_.join_bloom_filters) {
     shared->bloom = std::make_unique<BloomFilter>(
         BloomFilter::ForKeys(shared->ht.num_rows() + 1));
     const JoinHashTable::View v = shared->ht.view();

@@ -7,22 +7,115 @@
 #include "exec/op_sort.h"
 
 namespace ma::plan {
+
+namespace {
+
+ExprPtr ScalarLiteral(const Expr& ref, const ScalarBindings& scalars) {
+  const auto it = scalars.find(ref.column);
+  MA_CHECK(it != scalars.end());  // builder validation guarantees this
+  const ScalarValue& v = it->second;
+  return v.type == PhysicalType::kF64 ? Expr::LitF64(v.f)
+                                      : Expr::LitI64(v.i);
+}
+
+/// Rewrites every kScalarRef inside `e` (already a private clone) into
+/// its literal, in place.
+void SubstituteScalarRefs(Expr* e, const ScalarBindings& scalars) {
+  for (ExprPtr& c : e->children) {
+    if (c->kind == Expr::Kind::kScalarRef) {
+      c = ScalarLiteral(*c, scalars);
+    } else {
+      SubstituteScalarRefs(c.get(), scalars);
+    }
+  }
+}
+
+}  // namespace
+
+ExprPtr BindScalarRefs(const Expr& expr, const ScalarBindings& scalars) {
+  if (expr.kind == Expr::Kind::kScalarRef) {
+    return ScalarLiteral(expr, scalars);
+  }
+  // One deep-copy site (Expr::Clone carries every field); the
+  // substitution pass only rewrites the scalar-ref nodes.
+  ExprPtr e = expr.Clone();
+  SubstituteScalarRefs(e.get(), scalars);
+  return e;
+}
+
+ScalarValue ReadScalarValue(const Table& t, const std::string& column,
+                            PhysicalType type) {
+  ScalarValue v;
+  v.type = type;
+  MA_CHECK(t.row_count() <= 1);  // scalar subqueries produce one row
+  if (t.row_count() == 0) return v;
+  const Column* c = t.FindColumn(column);
+  MA_CHECK(c != nullptr && c->type() == type && c->size() >= 1);
+  if (type == PhysicalType::kF64) {
+    v.f = c->Get<f64>(0);
+  } else {
+    v.i = c->Get<i64>(0);
+  }
+  return v;
+}
+
 namespace {
 
 std::vector<ProjectOperator::Output> CloneOutputs(
-    const std::vector<ProjectOperator::Output>& outputs) {
+    const std::vector<ProjectOperator::Output>& outputs,
+    const ScalarBindings& scalars) {
   std::vector<ProjectOperator::Output> cloned;
   cloned.reserve(outputs.size());
-  for (const auto& o : outputs) cloned.push_back({o.name, o.expr->Clone()});
+  for (const auto& o : outputs) {
+    cloned.push_back({o.name, BindScalarRefs(*o.expr, scalars)});
+  }
   return cloned;
 }
 
 std::vector<HashAggOperator::AggSpec> CloneAggs(
-    const std::vector<HashAggOperator::AggSpec>& aggs) {
+    const std::vector<HashAggOperator::AggSpec>& aggs,
+    const ScalarBindings& scalars) {
   std::vector<HashAggOperator::AggSpec> cloned;
   cloned.reserve(aggs.size());
-  for (const auto& a : aggs) cloned.push_back(a.Clone());
+  for (const auto& a : aggs) {
+    cloned.push_back(a.Clone());
+    if (cloned.back().arg != nullptr) {
+      cloned.back().arg = BindScalarRefs(*a.arg, scalars);
+    }
+  }
   return cloned;
+}
+
+/// Scalar names referenced anywhere in `e`.
+void CollectScalarRefs(const Expr* e, std::vector<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kScalarRef) out->push_back(e->column);
+  for (const ExprPtr& c : e->children) CollectScalarRefs(c.get(), out);
+}
+
+/// Scalar names referenced by the streaming fragment [node..stop):
+/// filter predicates and project outputs, following the probe side of
+/// hash joins (build sides are stages of their own).
+void CollectFragmentScalarRefs(const PlanNode* node, const PlanNode* stop,
+                               std::vector<std::string>* out) {
+  if (node == nullptr || node == stop) return;
+  switch (node->kind) {
+    case NodeKind::kFilter:
+      CollectScalarRefs(node->predicate.get(), out);
+      CollectFragmentScalarRefs(node->children[0].get(), stop, out);
+      break;
+    case NodeKind::kProject:
+      for (const auto& o : node->outputs) {
+        CollectScalarRefs(o.expr.get(), out);
+      }
+      CollectFragmentScalarRefs(node->children[0].get(), stop, out);
+      break;
+    case NodeKind::kHashJoin:
+      CollectFragmentScalarRefs(node->children[1].get(), stop, out);
+      break;
+    default:
+      break;  // scan leaf or breaker boundary
+  }
 }
 
 /// True when the subtree contains a pipeline breaker (join build sides
@@ -55,6 +148,13 @@ bool IsBreaker(NodeKind k) {
 class StageBuilder {
  public:
   explicit StageBuilder(StagePlan* out) : out_(out) {}
+
+  /// Registers `name` as produced by stage `id` (its materialized
+  /// single-row intermediate); later stages referencing the scalar get
+  /// a dependency edge on it.
+  void DefineScalar(const std::string& name, int id) {
+    scalar_stage_[name] = id;
+  }
 
   /// The leaf of a streaming fragment: a base-table scan or the
   /// materialized output of a breaker stage, plus the node the leaf
@@ -254,6 +354,23 @@ class StageBuilder {
   }
 
   int Push(Stage s) {
+    // Scalar dep edges: the fragment's expressions read their scalar
+    // values from the producing stages' broadcast intermediates.
+    if (s.kind == Stage::Kind::kPipeline ||
+        s.kind == Stage::Kind::kJoinBuild ||
+        s.kind == Stage::Kind::kAggregate) {
+      std::vector<std::string> refs;
+      CollectFragmentScalarRefs(s.root, s.stop, &refs);
+      if (s.agg != nullptr) {
+        for (const auto& a : s.agg->aggs) {
+          CollectScalarRefs(a.arg.get(), &refs);
+        }
+      }
+      for (const std::string& name : refs) {
+        const auto it = scalar_stage_.find(name);
+        if (it != scalar_stage_.end()) s.deps.push_back(it->second);
+      }
+    }
     s.id = static_cast<int>(out_->stages.size());
     std::sort(s.deps.begin(), s.deps.end());
     s.deps.erase(std::unique(s.deps.begin(), s.deps.end()), s.deps.end());
@@ -263,6 +380,7 @@ class StageBuilder {
 
  private:
   StagePlan* out_;
+  std::unordered_map<std::string, int> scalar_stage_;
 };
 
 const char* StageKindName(Stage::Kind k) {
@@ -295,6 +413,11 @@ void DescribeInput(const StageInput& in, std::string* out) {
 
 std::string StagePlan::Describe() const {
   std::string out;
+  for (const ScalarStage& sc : scalars) {
+    out.append("scalar $").append(sc.name).append(" <- stage ");
+    out.append(std::to_string(sc.stage)).append(".").append(sc.column);
+    out.append("\n");
+  }
   for (const Stage& s : stages) {
     out.append("stage ").append(std::to_string(s.id)).append(": ");
     out.append(StageKindName(s.kind));
@@ -327,34 +450,35 @@ std::string StagePlan::Describe() const {
   return out;
 }
 
-OperatorPtr Compiler::Lower(const PlanNode* node, Engine* engine) {
+OperatorPtr Compiler::Lower(const PlanNode* node, Engine* engine,
+                            const ScalarBindings& scalars) {
   switch (node->kind) {
     case NodeKind::kScan:
       return std::make_unique<ScanOperator>(engine, node->table,
                                             node->columns);
     case NodeKind::kFilter:
       return std::make_unique<SelectOperator>(
-          engine, Lower(node->children[0].get(), engine),
-          node->predicate->Clone(), node->label);
+          engine, Lower(node->children[0].get(), engine, scalars),
+          BindScalarRefs(*node->predicate, scalars), node->label);
     case NodeKind::kProject:
       return std::make_unique<ProjectOperator>(
-          engine, Lower(node->children[0].get(), engine),
-          CloneOutputs(node->outputs), node->label);
+          engine, Lower(node->children[0].get(), engine, scalars),
+          CloneOutputs(node->outputs, scalars), node->label);
     case NodeKind::kHashJoin:
       return std::make_unique<HashJoinOperator>(
-          engine, Lower(node->children[0].get(), engine),
-          Lower(node->children[1].get(), engine), node->hash_spec,
+          engine, Lower(node->children[0].get(), engine, scalars),
+          Lower(node->children[1].get(), engine, scalars), node->hash_spec,
           node->label);
     case NodeKind::kMergeJoin:
       return std::make_unique<MergeJoinOperator>(
-          engine, Lower(node->children[0].get(), engine),
-          Lower(node->children[1].get(), engine), node->merge_spec,
+          engine, Lower(node->children[0].get(), engine, scalars),
+          Lower(node->children[1].get(), engine, scalars), node->merge_spec,
           node->label);
     case NodeKind::kGroupBy: {
       auto agg = std::make_unique<HashAggOperator>(
-          engine, Lower(node->children[0].get(), engine),
-          node->group_keys, node->group_outputs, CloneAggs(node->aggs),
-          node->label);
+          engine, Lower(node->children[0].get(), engine, scalars),
+          node->group_keys, node->group_outputs,
+          CloneAggs(node->aggs, scalars), node->label);
       // Plan contract: groups emit in packed-key order, matching the
       // parallel merge, so serial and parallel row order agree even
       // without a Sort above the aggregation.
@@ -363,13 +487,13 @@ OperatorPtr Compiler::Lower(const PlanNode* node, Engine* engine) {
     }
     case NodeKind::kSort:
       return std::make_unique<SortOperator>(
-          engine, Lower(node->children[0].get(), engine), node->sort_keys,
-          node->limit);
+          engine, Lower(node->children[0].get(), engine, scalars),
+          node->sort_keys, node->limit);
     case NodeKind::kLimit:
       // A sort with no keys keeps input order; partial_sort then just
       // cuts off after `limit` rows.
       return std::make_unique<SortOperator>(
-          engine, Lower(node->children[0].get(), engine),
+          engine, Lower(node->children[0].get(), engine, scalars),
           std::vector<SortKey>{}, node->limit);
   }
   MA_CHECK(false);
@@ -379,7 +503,19 @@ OperatorPtr Compiler::Lower(const PlanNode* node, Engine* engine) {
 OperatorPtr Compiler::CompileSerial(const LogicalPlan& plan,
                                     Engine* engine) {
   MA_CHECK(plan.ok());
-  return Lower(plan.root.get(), engine);
+  // Scalar subqueries run first, in declaration order, on the same
+  // engine; their values substitute into the main tree's expressions.
+  // Subquery plans cannot reference scalars (builder contract), so
+  // they lower against empty bindings.
+  ScalarBindings bindings;
+  const ScalarBindings no_scalars;
+  for (const ScalarSpec& sc : plan.scalars) {
+    OperatorPtr sub = Lower(sc.root.get(), engine, no_scalars);
+    const RunResult r = engine->Run(*sub);
+    MA_CHECK(r.table != nullptr);
+    bindings[sc.name] = ReadScalarValue(*r.table, sc.column, sc.type);
+  }
+  return Lower(plan.root.get(), engine, bindings);
 }
 
 Status Compiler::BuildStagePlan(const LogicalPlan& plan, StagePlan* out) {
@@ -388,6 +524,19 @@ Status Compiler::BuildStagePlan(const LogicalPlan& plan, StagePlan* out) {
                             : plan.status;
   }
   *out = StagePlan();
+  StageBuilder builder(out);
+
+  // Scalar subqueries become stages of their own, ahead of the main
+  // spine: each materializes its single-row result, which the stage
+  // scheduler reads into the run's ScalarBindings (the broadcast
+  // constant later stages' compiled expressions consume).
+  for (const ScalarSpec& sc : plan.scalars) {
+    int id = -1;
+    MA_RETURN_IF_ERROR(builder.MaterializeNode(sc.root.get(), &id));
+    out->scalars.push_back({sc.name, sc.column, sc.type, id});
+    builder.DefineScalar(sc.name, id);
+  }
+
   const PlanNode* node = plan.root.get();
 
   // Peel the tail: sorts and limits at the top always run post-merge;
@@ -414,7 +563,6 @@ Status Compiler::BuildStagePlan(const LogicalPlan& plan, StagePlan* out) {
 
   // The spine root becomes the final (non-materializing) stage; its
   // sub-breakers and build sides become the stages before it.
-  StageBuilder builder(out);
   Stage final_stage;
   if (node->kind == NodeKind::kGroupBy) {
     MA_RETURN_IF_ERROR(builder.FillAggregate(node, &final_stage));
@@ -447,28 +595,29 @@ Status Compiler::BuildStagePlan(const LogicalPlan& plan, StagePlan* out) {
 OperatorPtr Compiler::CompileFragment(const PlanNode* node,
                                       const PlanNode* stop, Engine* engine,
                                       OperatorPtr leaf,
-                                      const BuildMap& builds) {
+                                      const BuildMap& builds,
+                                      const ScalarBindings& scalars) {
   if (node == stop) return leaf;
   switch (node->kind) {
     case NodeKind::kFilter:
       return std::make_unique<SelectOperator>(
           engine,
           CompileFragment(node->children[0].get(), stop, engine,
-                          std::move(leaf), builds),
-          node->predicate->Clone(), node->label);
+                          std::move(leaf), builds, scalars),
+          BindScalarRefs(*node->predicate, scalars), node->label);
     case NodeKind::kProject:
       return std::make_unique<ProjectOperator>(
           engine,
           CompileFragment(node->children[0].get(), stop, engine,
-                          std::move(leaf), builds),
-          CloneOutputs(node->outputs), node->label);
+                          std::move(leaf), builds, scalars),
+          CloneOutputs(node->outputs, scalars), node->label);
     case NodeKind::kHashJoin: {
       const auto it = builds.find(node);
       MA_CHECK(it != builds.end());
       return std::make_unique<HashJoinOperator>(
           engine, it->second,
           CompileFragment(node->children[1].get(), stop, engine,
-                          std::move(leaf), builds),
+                          std::move(leaf), builds, scalars),
           node->hash_spec, node->label);
     }
     default:
@@ -478,7 +627,8 @@ OperatorPtr Compiler::CompileFragment(const PlanNode* node,
 }
 
 OperatorPtr Compiler::CompileTailNode(const PlanNode* node, Engine* engine,
-                                      OperatorPtr child) {
+                                      OperatorPtr child,
+                                      const ScalarBindings& scalars) {
   switch (node->kind) {
     case NodeKind::kSort:
       return std::make_unique<SortOperator>(engine, std::move(child),
@@ -487,13 +637,13 @@ OperatorPtr Compiler::CompileTailNode(const PlanNode* node, Engine* engine,
       return std::make_unique<SortOperator>(
           engine, std::move(child), std::vector<SortKey>{}, node->limit);
     case NodeKind::kFilter:
-      return std::make_unique<SelectOperator>(engine, std::move(child),
-                                              node->predicate->Clone(),
-                                              node->label);
+      return std::make_unique<SelectOperator>(
+          engine, std::move(child),
+          BindScalarRefs(*node->predicate, scalars), node->label);
     case NodeKind::kProject:
-      return std::make_unique<ProjectOperator>(engine, std::move(child),
-                                               CloneOutputs(node->outputs),
-                                               node->label);
+      return std::make_unique<ProjectOperator>(
+          engine, std::move(child), CloneOutputs(node->outputs, scalars),
+          node->label);
     default:
       MA_CHECK(false);
       return nullptr;

@@ -49,6 +49,25 @@
 
 namespace ma::plan {
 
+/// Value of one evaluated plan scalar (a scalar subquery's single-row
+/// result), substituted as a literal for every ScalarRef of that name
+/// when expressions are compiled.
+struct ScalarValue {
+  PhysicalType type = PhysicalType::kI64;
+  i64 i = 0;
+  f64 f = 0;
+};
+
+/// name -> value of every scalar the current compilation may reference.
+using ScalarBindings = std::unordered_map<std::string, ScalarValue>;
+
+/// Reads a scalar from its result table: row 0 of `column`, or the
+/// type's zero when the table is empty (threshold semantics — an empty
+/// aggregate result means "nothing qualifies"). More than one row is a
+/// contract breach and aborts.
+ScalarValue ReadScalarValue(const Table& t, const std::string& column,
+                            PhysicalType type);
+
 /// Where a stage reads from: a base-table scan leaf of the plan, or the
 /// materialized output of an earlier stage.
 struct StageInput {
@@ -102,7 +121,19 @@ struct Stage {
 /// A fragmented plan: stages in execution (topological) order plus the
 /// serial tail compiled over the final stage's merged result.
 struct StagePlan {
+  /// A scalar subquery's landing spot: stage `stage` materializes its
+  /// (single-row) result, and the scheduler reads `column` out of that
+  /// intermediate into the run's ScalarBindings — the broadcast
+  /// constant every later stage's compiled expressions consume.
+  struct ScalarStage {
+    std::string name;
+    std::string column;
+    PhysicalType type = PhysicalType::kI64;
+    int stage = -1;
+  };
+
   std::vector<Stage> stages;
+  std::vector<ScalarStage> scalars;
   /// Sorts/limits (and filters/projects above the last breaker) over
   /// the final result, innermost first.
   std::vector<const PlanNode*> tail;
@@ -120,31 +151,46 @@ class Compiler {
       std::unordered_map<const PlanNode*, const SharedJoinBuild*>;
 
   /// Lowers the whole plan into a serial operator tree on `engine`.
-  /// The plan must be ok().
+  /// The plan must be ok(). Scalar subqueries are evaluated here, on
+  /// `engine`, in declaration order (compiling a plan with scalars
+  /// executes its subqueries — they are inputs to the main tree's
+  /// expressions, not part of it).
   static OperatorPtr CompileSerial(const LogicalPlan& plan, Engine* engine);
 
   /// Fragments `plan` into a stage DAG for the staged parallel
-  /// executor. Returns non-OK only for invalid plans (every valid plan
-  /// shape fragments); QuerySession then falls back to serial.
+  /// executor: scalar-subquery stages first (each materializing its
+  /// single-row result; see StagePlan::scalars), then the main spine.
+  /// Returns non-OK only for invalid plans (every valid plan shape
+  /// fragments); QuerySession then falls back to serial.
   static Status BuildStagePlan(const LogicalPlan& plan, StagePlan* out);
 
   /// Lowers the fragment rooted at `node` for one worker: recursion
   /// stops at `stop` (the fragment's leaf position), which is replaced
   /// by `leaf` (the worker's MorselScanOperator); kHashJoin nodes probe
-  /// their shared build from `builds`.
+  /// their shared build from `builds`; ScalarRefs substitute their
+  /// values from `scalars`.
   static OperatorPtr CompileFragment(const PlanNode* node,
                                      const PlanNode* stop, Engine* engine,
                                      OperatorPtr leaf,
-                                     const BuildMap& builds);
+                                     const BuildMap& builds,
+                                     const ScalarBindings& scalars);
 
   /// Lowers one tail node (sort/limit/filter/project) on top of
   /// `child`, for the serial post-merge stage of a parallel run.
   static OperatorPtr CompileTailNode(const PlanNode* node, Engine* engine,
-                                     OperatorPtr child);
+                                     OperatorPtr child,
+                                     const ScalarBindings& scalars);
 
  private:
-  static OperatorPtr Lower(const PlanNode* node, Engine* engine);
+  static OperatorPtr Lower(const PlanNode* node, Engine* engine,
+                           const ScalarBindings& scalars);
 };
+
+/// Clones `expr` with every ScalarRef replaced by a literal holding its
+/// bound value — the substitution step of plan-level scalar folding
+/// (shared by the serial and staged compilers, and by AggSpec cloning
+/// in the parallel aggregation path).
+ExprPtr BindScalarRefs(const Expr& expr, const ScalarBindings& scalars);
 
 }  // namespace ma::plan
 

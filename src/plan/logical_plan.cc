@@ -87,6 +87,11 @@ std::string LogicalPlan::Describe() const {
   if (!status.ok()) return "invalid plan: " + status.message();
   if (root == nullptr) return "empty plan";
   std::string out;
+  for (const ScalarSpec& s : scalars) {
+    out.append("scalar $").append(s.name).append(" = ").append(s.column);
+    out.append(" of:\n");
+    DescribeNode(*s.root, 1, &out);
+  }
   DescribeNode(*root, 0, &out);
   return out;
 }

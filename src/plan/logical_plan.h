@@ -71,10 +71,29 @@ struct PlanNode {
   const ColumnInfo* FindColumn(std::string_view name) const;
 };
 
+/// A scalar subquery bound with PlanBuilder::BindScalar: `root` is a
+/// plan whose result is (at most) a single row; `column`'s value in
+/// that row becomes the scalar named `name`, substituted as a literal
+/// for every ScalarRef(name) in the main plan before execution. A
+/// zero-row result defaults the scalar to 0 (threshold semantics: an
+/// empty aggregate means "no threshold crossed"). Subquery plans may
+/// not themselves reference scalars.
+struct ScalarSpec {
+  std::string name;
+  std::string column;
+  PhysicalType type = PhysicalType::kI64;
+  std::unique_ptr<PlanNode> root;
+};
+
 /// A built plan. `status` carries the first builder validation error;
 /// compilation and QuerySession::Run refuse plans with !ok().
 struct LogicalPlan {
   std::unique_ptr<PlanNode> root;
+  /// Scalar subqueries, evaluated before the main plan in declaration
+  /// order. Serial compilation runs them on the target engine; the
+  /// staged compiler turns each into stages whose final materialized
+  /// (single-row) intermediate is read as a broadcast constant.
+  std::vector<ScalarSpec> scalars;
   Status status;
 
   bool ok() const { return status.ok() && root != nullptr; }

@@ -16,11 +16,31 @@ Status UnknownColumn(std::string_view name) {
                                  "'");
 }
 
+/// Literals and scalar refs both substitute to constants at compile
+/// time, so the same placement and coercion rules apply to both.
+bool IsConstLike(const Expr& e) {
+  return e.kind == Expr::Kind::kLiteral ||
+         e.kind == Expr::Kind::kScalarRef;
+}
+
+/// Whether a constant of `const_type` may coerce to `target`. Numeric
+/// literals coerce freely (the evaluator casts them to the vector
+/// side's type); strings never cross the numeric boundary — the
+/// evaluator would silently fill 0 / "" instead.
+bool ConstCompatible(PhysicalType const_type, PhysicalType target) {
+  if (const_type == PhysicalType::kStr ||
+      target == PhysicalType::kStr) {
+    return const_type == target;
+  }
+  return true;
+}
+
 }  // namespace
 
 Status InferValueType(const Expr& expr,
                       const std::vector<ColumnInfo>& schema,
-                      PhysicalType* out) {
+                      PhysicalType* out,
+                      const std::vector<ColumnInfo>* scalars) {
   switch (expr.kind) {
     case Expr::Kind::kColumn: {
       const ColumnInfo* c = Find(schema, expr.column);
@@ -31,30 +51,93 @@ Status InferValueType(const Expr& expr,
     case Expr::Kind::kLiteral:
       *out = expr.lit_type;
       return Status::OK();
+    case Expr::Kind::kScalarRef: {
+      const ColumnInfo* s =
+          scalars != nullptr ? Find(*scalars, expr.column) : nullptr;
+      if (s == nullptr) {
+        return Status::InvalidArgument(
+            "unknown scalar '$" + expr.column +
+            "' (bind it with BindScalar before use)");
+      }
+      *out = s->type;
+      return Status::OK();
+    }
     case Expr::Kind::kArith: {
       const Expr& l = *expr.children[0];
       const Expr& r = *expr.children[1];
-      if (l.kind == Expr::Kind::kLiteral) {
+      if (IsConstLike(l)) {
         return Status::InvalidArgument(
             "left operand of '" + expr.op +
-            "' must not be a literal: " + expr.ToString());
+            "' must not be a constant: " + expr.ToString());
       }
       PhysicalType lt;
-      MA_RETURN_IF_ERROR(InferValueType(l, schema, &lt));
+      MA_RETURN_IF_ERROR(InferValueType(l, schema, &lt, scalars));
       if (lt == PhysicalType::kStr) {
         return Status::InvalidArgument("arithmetic over string column: " +
                                        expr.ToString());
       }
-      if (r.kind != Expr::Kind::kLiteral) {
+      if (!IsConstLike(r)) {
         PhysicalType rt;
-        MA_RETURN_IF_ERROR(InferValueType(r, schema, &rt));
+        MA_RETURN_IF_ERROR(InferValueType(r, schema, &rt, scalars));
         if (rt != lt) {
           return Status::InvalidArgument(
               "type mismatch in '" + expr.ToString() + "': " +
               TypeName(lt) + " vs " + TypeName(rt));
         }
+      } else {
+        PhysicalType rt;  // the scalar must be bound, the constant
+                          // coercible to the vector side
+        MA_RETURN_IF_ERROR(InferValueType(r, schema, &rt, scalars));
+        if (!ConstCompatible(rt, lt)) {
+          return Status::InvalidArgument(
+              "type mismatch in '" + expr.ToString() + "': " +
+              TypeName(lt) + " vs " + TypeName(rt));
+        }
       }
-      *out = lt;  // literals coerce to the non-literal side
+      *out = lt;  // constants coerce to the non-constant side
+      return Status::OK();
+    }
+    case Expr::Kind::kCase: {
+      MA_RETURN_IF_ERROR(
+          CheckPredicate(*expr.children[0], schema, scalars));
+      const Expr& then_v = *expr.children[1];
+      const Expr& else_v = *expr.children[2];
+      PhysicalType tt, et;
+      MA_RETURN_IF_ERROR(InferValueType(then_v, schema, &tt, scalars));
+      MA_RETURN_IF_ERROR(InferValueType(else_v, schema, &et, scalars));
+      const bool tc = IsConstLike(then_v), ec = IsConstLike(else_v);
+      // A constant branch coerces to the non-constant one; two
+      // non-constant branches must match exactly; strings never
+      // coerce to numerics in any combination.
+      const bool compatible =
+          (tc || ec) ? ConstCompatible(tc ? tt : et, tc ? et : tt)
+                     : tt == et;
+      if (!compatible) {
+        return Status::InvalidArgument(
+            "case branches disagree in '" + expr.ToString() + "': " +
+            TypeName(tt) + " vs " + TypeName(et));
+      }
+      // The non-constant branch's type wins (both constant: the then
+      // branch's), mirroring ExprEvaluator::ResolveType.
+      *out = tc && !ec ? et : tt;
+      return Status::OK();
+    }
+    case Expr::Kind::kSubstr: {
+      const Expr& src = *expr.children[0];
+      if (IsConstLike(src)) {
+        // The evaluator requires a vector source (a constant substring
+        // would just be a shorter literal — write that instead).
+        return Status::InvalidArgument(
+            "substring source must be a column or string expression: " +
+            expr.ToString());
+      }
+      PhysicalType ct;
+      MA_RETURN_IF_ERROR(InferValueType(src, schema, &ct, scalars));
+      if (ct != PhysicalType::kStr) {
+        return Status::InvalidArgument(
+            "substring over non-string expression: " + expr.ToString());
+      }
+      *out = PhysicalType::kStr;
       return Status::OK();
     }
     default:
@@ -64,7 +147,8 @@ Status InferValueType(const Expr& expr,
 }
 
 Status CheckPredicate(const Expr& expr,
-                      const std::vector<ColumnInfo>& schema) {
+                      const std::vector<ColumnInfo>& schema,
+                      const std::vector<ColumnInfo>* scalars) {
   switch (expr.kind) {
     case Expr::Kind::kAnd:
     case Expr::Kind::kOr: {
@@ -72,44 +156,43 @@ Status CheckPredicate(const Expr& expr,
         return Status::InvalidArgument("empty AND/OR predicate");
       }
       for (const ExprPtr& child : expr.children) {
-        MA_RETURN_IF_ERROR(CheckPredicate(*child, schema));
+        MA_RETURN_IF_ERROR(CheckPredicate(*child, schema, scalars));
       }
       return Status::OK();
     }
     case Expr::Kind::kCompare: {
       const Expr& l = *expr.children[0];
       const Expr& r = *expr.children[1];
-      if (l.kind == Expr::Kind::kLiteral) {
+      if (IsConstLike(l)) {
         return Status::InvalidArgument(
             "left operand of '" + expr.op +
-            "' must not be a literal: " + expr.ToString());
+            "' must not be a constant: " + expr.ToString());
       }
       PhysicalType lt;
-      MA_RETURN_IF_ERROR(InferValueType(l, schema, &lt));
-      if (r.kind != Expr::Kind::kLiteral) {
-        PhysicalType rt;
-        MA_RETURN_IF_ERROR(InferValueType(r, schema, &rt));
-        if (rt != lt) {
-          return Status::InvalidArgument(
-              "type mismatch in '" + expr.ToString() + "': " +
-              TypeName(lt) + " vs " + TypeName(rt));
-        }
+      MA_RETURN_IF_ERROR(InferValueType(l, schema, &lt, scalars));
+      PhysicalType rt;
+      MA_RETURN_IF_ERROR(InferValueType(r, schema, &rt, scalars));
+      if (IsConstLike(r) ? !ConstCompatible(rt, lt) : rt != lt) {
+        return Status::InvalidArgument(
+            "type mismatch in '" + expr.ToString() + "': " +
+            TypeName(lt) + " vs " + TypeName(rt));
       }
       return Status::OK();
     }
     case Expr::Kind::kStrPred: {
-      const Expr& col = *expr.children[0];
-      if (col.kind != Expr::Kind::kColumn) {
+      const Expr& operand = *expr.children[0];
+      if (operand.kind != Expr::Kind::kColumn &&
+          operand.kind != Expr::Kind::kSubstr) {
         return Status::InvalidArgument(
-            "string predicate requires a column operand: " +
+            "string predicate requires a column or substring operand: " +
             expr.ToString());
       }
-      const ColumnInfo* c = Find(schema, col.column);
-      if (c == nullptr) return UnknownColumn(col.column);
-      if (c->type != PhysicalType::kStr) {
-        return Status::InvalidArgument("string predicate over " +
-                                       std::string(TypeName(c->type)) +
-                                       " column '" + col.column + "'");
+      PhysicalType t;
+      MA_RETURN_IF_ERROR(InferValueType(operand, schema, &t, scalars));
+      if (t != PhysicalType::kStr) {
+        return Status::InvalidArgument(
+            "string predicate over " + std::string(TypeName(t)) +
+            " operand: " + expr.ToString());
       }
       return Status::OK();
     }
@@ -176,7 +259,8 @@ PlanBuilder& PlanBuilder::Filter(ExprPtr predicate, std::string label) {
     Fail("filter with null predicate");
     return *this;
   }
-  const Status s = CheckPredicate(*predicate, root_->schema);
+  const Status s =
+      CheckPredicate(*predicate, root_->schema, &scalar_schema_);
   if (!s.ok()) {
     Fail(s.message());
     return *this;
@@ -202,13 +286,16 @@ PlanBuilder& PlanBuilder::Project(
       return *this;
     }
     if (o.expr->kind != Expr::Kind::kColumn &&
-        o.expr->kind != Expr::Kind::kArith) {
+        o.expr->kind != Expr::Kind::kArith &&
+        o.expr->kind != Expr::Kind::kCase &&
+        o.expr->kind != Expr::Kind::kSubstr) {
       Fail("project output '" + o.name +
-           "' must be a column or arithmetic expression");
+           "' must be a column, arithmetic, case or substring expression");
       return *this;
     }
     PhysicalType t;
-    const Status s = InferValueType(*o.expr, root_->schema, &t);
+    const Status s =
+        InferValueType(*o.expr, root_->schema, &t, &scalar_schema_);
     if (!s.ok()) {
       Fail(s.message());
       return *this;
@@ -229,6 +316,7 @@ PlanBuilder& PlanBuilder::HashJoin(PlanBuilder build, HashJoinSpec spec,
                             : build.status_.message());
     return *this;
   }
+  if (!AdoptScalars(&build)) return *this;
   const std::vector<ColumnInfo>& bs = build.root_->schema;
   const std::vector<ColumnInfo>& ps = root_->schema;
   const ColumnInfo* bk = Find(bs, spec.build_key);
@@ -247,7 +335,8 @@ PlanBuilder& PlanBuilder::HashJoin(PlanBuilder build, HashJoinSpec spec,
     return *this;
   }
   std::vector<ColumnInfo> schema;
-  if (spec.kind == HashJoinSpec::Kind::kInner) {
+  if (spec.kind == HashJoinSpec::Kind::kInner ||
+      spec.kind == HashJoinSpec::Kind::kLeftOuter) {
     for (const std::string& name : spec.probe_outputs) {
       const ColumnInfo* c = Find(ps, name);
       if (c == nullptr) {
@@ -256,6 +345,7 @@ PlanBuilder& PlanBuilder::HashJoin(PlanBuilder build, HashJoinSpec spec,
       }
       schema.push_back({name, c->type});
     }
+    spec.build_output_types.clear();
     for (const auto& [src, out_name] : spec.build_outputs) {
       const ColumnInfo* c = Find(bs, src);
       if (c == nullptr) {
@@ -263,6 +353,9 @@ PlanBuilder& PlanBuilder::HashJoin(PlanBuilder build, HashJoinSpec spec,
         return *this;
       }
       schema.push_back({out_name, c->type});
+      // Declared so an empty build side still types its columns (and,
+      // for left outer, the default payload row).
+      spec.build_output_types.push_back(c->type);
     }
   } else {
     // Semi/anti joins narrow the probe selection; build outputs would
@@ -291,6 +384,7 @@ PlanBuilder& PlanBuilder::MergeJoin(PlanBuilder right, MergeJoinSpec spec,
                             : right.status_.message());
     return *this;
   }
+  if (!AdoptScalars(&right)) return *this;
   const std::vector<ColumnInfo>& ls = root_->schema;
   const std::vector<ColumnInfo>& rs = right.root_->schema;
   const ColumnInfo* lk = Find(ls, spec.left_key);
@@ -330,6 +424,86 @@ PlanBuilder& PlanBuilder::MergeJoin(PlanBuilder right, MergeJoinSpec spec,
   n->children.emplace_back(std::move(right.root_));
   n->merge_spec = std::move(spec);
   n->schema = std::move(schema);
+  return *this;
+}
+
+namespace {
+
+/// True when the plan rooted at `n` is guaranteed to produce at most
+/// one row — the static shape check behind BindScalar (a key-less
+/// aggregation, a limit-1, or filters/projections over either). The
+/// runtime reader treats zero rows as the scalar's 0 default.
+bool AtMostOneRow(const PlanNode* n) {
+  switch (n->kind) {
+    case NodeKind::kGroupBy:
+      return n->group_keys.empty();
+    case NodeKind::kProject:
+    case NodeKind::kFilter:
+      return AtMostOneRow(n->children[0].get());
+    case NodeKind::kSort:
+    case NodeKind::kLimit:
+      return n->limit == 1 || AtMostOneRow(n->children[0].get());
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool PlanBuilder::AdoptScalars(PlanBuilder* sub) {
+  for (ScalarSpec& s : sub->scalars_) {
+    if (Find(scalar_schema_, s.name) != nullptr) {
+      Fail("duplicate scalar '" + s.name + "'");
+      return false;
+    }
+    scalar_schema_.push_back({s.name, s.type});
+    scalars_.push_back(std::move(s));
+  }
+  sub->scalars_.clear();
+  sub->scalar_schema_.clear();
+  return true;
+}
+
+PlanBuilder& PlanBuilder::BindScalar(std::string name, PlanBuilder sub,
+                                     std::string column) {
+  if (!Active()) return *this;
+  if (!sub.status_.ok() || sub.root_ == nullptr) {
+    Fail(sub.status_.ok() ? "scalar subquery is empty"
+                          : sub.status_.message());
+    return *this;
+  }
+  if (!sub.scalars_.empty()) {
+    Fail("scalar subquery '" + name +
+         "' may not reference scalars of its own");
+    return *this;
+  }
+  if (Find(scalar_schema_, name) != nullptr) {
+    Fail("duplicate scalar '" + name + "'");
+    return *this;
+  }
+  if (!AtMostOneRow(sub.root_.get())) {
+    Fail("scalar subquery '" + name +
+         "' must produce a single row (end it in a key-less GroupBy "
+         "or a Limit of 1)");
+    return *this;
+  }
+  const ColumnInfo* c = Find(sub.root_->schema, column);
+  if (c == nullptr) {
+    Fail("unknown column '" + column + "' (scalar subquery result)");
+    return *this;
+  }
+  if (c->type != PhysicalType::kI64 && c->type != PhysicalType::kF64) {
+    Fail("scalar '" + name + "' must be i64 or f64, got " +
+         TypeName(c->type));
+    return *this;
+  }
+  ScalarSpec s;
+  s.column = std::move(column);
+  s.type = c->type;
+  s.root = std::move(sub.root_);
+  scalar_schema_.push_back({name, c->type});
+  s.name = std::move(name);
+  scalars_.push_back(std::move(s));
   return *this;
 }
 
@@ -377,7 +551,8 @@ PlanBuilder& PlanBuilder::GroupBy(
     }
     PhysicalType arg_type = PhysicalType::kI64;
     if (a.arg != nullptr) {
-      const Status s = InferValueType(*a.arg, root_->schema, &arg_type);
+      const Status s =
+          InferValueType(*a.arg, root_->schema, &arg_type, &scalar_schema_);
       if (!s.ok()) {
         Fail(s.message());
         return *this;
@@ -454,6 +629,7 @@ LogicalPlan PlanBuilder::Build() {
     plan.status = Status::InvalidArgument("empty plan");
   }
   plan.root = std::move(root_);
+  plan.scalars = std::move(scalars_);
   return plan;
 }
 

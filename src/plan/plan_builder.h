@@ -39,10 +39,26 @@ class PlanBuilder {
                        std::string label = "project");
 
   /// Hash-joins `build` (consumed) against this plan as the probe side.
-  /// Inner joins emit spec.probe_outputs then spec.build_outputs; semi
-  /// and anti joins keep the probe schema unchanged.
+  /// Inner and left outer joins emit spec.probe_outputs then
+  /// spec.build_outputs (left outer: missed probe rows carry default —
+  /// zero / empty-string — build payloads); semi and anti joins keep
+  /// the probe schema unchanged.
   PlanBuilder& HashJoin(PlanBuilder build, HashJoinSpec spec,
                         std::string label = "hashjoin");
+
+  /// Binds the (single-row) result of `sub` as the plan-level scalar
+  /// `name`: `column`'s value in that row substitutes for every
+  /// ScalarRef(name) used by later Filter/Project/GroupBy expressions.
+  /// The subquery runs before the main plan (serially, or as broadcast
+  /// constant stages under staged execution); a zero-row result
+  /// defaults the scalar to 0. Scalars must be i64 or f64, names must
+  /// be unique within the plan, subqueries may not reference scalars
+  /// themselves, and the subquery's shape must guarantee at most one
+  /// row (a key-less GroupBy or a Limit of 1, possibly under
+  /// filters/projections) — checked eagerly like every other builder
+  /// rule.
+  PlanBuilder& BindScalar(std::string name, PlanBuilder sub,
+                          std::string column);
 
   /// Merge-joins this plan (the unique-key left side) with `right`
   /// (consumed); both must already be sorted ascending on their keys.
@@ -84,27 +100,39 @@ class PlanBuilder {
   /// True when building may continue (no prior error, root exists).
   bool Active() { return status_.ok() && root_ != nullptr; }
   void Fail(std::string message);
+  /// Moves a consumed sub-builder's scalars into this one (join sides
+  /// may bind scalars of their own); false + Fail on a name collision.
+  bool AdoptScalars(PlanBuilder* sub);
   /// Pushes `node` (owning the current root as its last child).
   PlanNode* Push(NodeKind kind, std::string label);
 
   std::unique_ptr<PlanNode> root_;
+  /// Scalar subqueries bound so far (moved into the plan by Build()).
+  std::vector<ScalarSpec> scalars_;
+  /// (name, type) of each bound scalar, for expression checking.
+  std::vector<ColumnInfo> scalar_schema_;
   Status status_;
 };
 
 // --- Expression checking against a schema (shared with tests) --------------
 
-/// Infers the type of a value expression (column, literal or
-/// arithmetic) against `schema`, mirroring ExprEvaluator's rules:
-/// literals coerce to the non-literal side, otherwise operand types
-/// must match exactly, and the left operand must not be a literal.
+/// Infers the type of a value expression (column, literal, arithmetic,
+/// CASE or substring) against `schema`, mirroring ExprEvaluator's
+/// rules: literals — and scalar refs, which substitute to literals —
+/// coerce to the non-literal side, otherwise operand types must match
+/// exactly, and the left operand must not be a literal. `scalars`
+/// lists the (name, type) of every bound plan scalar; null means no
+/// scalars are in scope.
 Status InferValueType(const Expr& expr,
                       const std::vector<ColumnInfo>& schema,
-                      PhysicalType* out);
+                      PhysicalType* out,
+                      const std::vector<ColumnInfo>* scalars = nullptr);
 
 /// Checks a predicate expression (comparison, string predicate, AND,
-/// OR) against `schema`.
+/// OR) against `schema` (`scalars` as for InferValueType).
 Status CheckPredicate(const Expr& expr,
-                      const std::vector<ColumnInfo>& schema);
+                      const std::vector<ColumnInfo>& schema,
+                      const std::vector<ColumnInfo>* scalars = nullptr);
 
 }  // namespace ma::plan
 

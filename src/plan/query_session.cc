@@ -39,12 +39,16 @@ bool ColumnIsAscending(const Table* t, const std::string& name) {
   return true;
 }
 
-ParallelExecutor::AggPlan MakeAggPlan(const PlanNode* agg) {
+ParallelExecutor::AggPlan MakeAggPlan(const PlanNode* agg,
+                                      const ScalarBindings& scalars) {
   ParallelExecutor::AggPlan plan;
   plan.group_keys = agg->group_keys;
   plan.group_outputs = agg->group_outputs;
   for (const HashAggOperator::AggSpec& a : agg->aggs) {
     plan.aggs.push_back(a.Clone());
+    if (plan.aggs.back().arg != nullptr) {
+      plan.aggs.back().arg = BindScalarRefs(*a.arg, scalars);
+    }
   }
   return plan;
 }
@@ -108,6 +112,10 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
   // alias of a base table keeps the original scan's column projection;
   // materialized intermediates scan every column (empty list).
   Compiler::BuildMap builds;
+  // Scalar values, filled as the producing stages complete (scalar
+  // stages precede their consumers in topological order); captured by
+  // reference in the fragment factories below.
+  ScalarBindings bindings;
   std::vector<std::unique_ptr<SharedJoinBuild>> owned_builds;
   std::vector<std::unique_ptr<IntermediateTable>> mats(sp.stages.size());
   std::vector<const Table*> outs(sp.stages.size(), nullptr);
@@ -147,10 +155,11 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
     switch (stage.kind) {
       case Stage::Kind::kJoinBuild: {
         const auto [table, columns] = resolve(stage.input);
-        auto factory = [&stage, &builds](Engine* engine,
-                                         OperatorPtr leaf) -> OperatorPtr {
+        auto factory = [&stage, &builds, &bindings](
+                           Engine* engine, OperatorPtr leaf) -> OperatorPtr {
           return Compiler::CompileFragment(stage.root, stage.stop, engine,
-                                           std::move(leaf), builds);
+                                           std::move(leaf), builds,
+                                           bindings);
         };
         owned_builds.push_back(parallel_->BuildJoin(
             table, columns, factory, stage.join->hash_spec));
@@ -160,10 +169,11 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
       case Stage::Kind::kPipeline:
       case Stage::Kind::kAggregate: {
         const auto [table, columns] = resolve(stage.input);
-        auto factory = [&stage, &builds](Engine* engine,
-                                         OperatorPtr leaf) -> OperatorPtr {
+        auto factory = [&stage, &builds, &bindings](
+                           Engine* engine, OperatorPtr leaf) -> OperatorPtr {
           return Compiler::CompileFragment(stage.root, stage.stop, engine,
-                                           std::move(leaf), builds);
+                                           std::move(leaf), builds,
+                                           bindings);
         };
         RunResult r;
         if (stage.kind == Stage::Kind::kPipeline && stage.materialize) {
@@ -174,7 +184,7 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
           outs[stage.id] = mats[stage.id]->table();
         } else if (stage.kind == Stage::Kind::kAggregate) {
           r = parallel_->RunAgg(table, columns, factory,
-                                MakeAggPlan(stage.agg));
+                                MakeAggPlan(stage.agg, bindings));
         } else {
           r = parallel_->RunPipeline(table, columns, factory);
         }
@@ -219,6 +229,16 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
         break;
       }
     }
+    // A scalar stage just completed: read its broadcast value out of
+    // the materialized single-row intermediate for every later stage's
+    // compiled expressions.
+    for (const StagePlan::ScalarStage& sc : sp.scalars) {
+      if (sc.stage == stage.id) {
+        MA_CHECK(outs[stage.id] != nullptr);
+        bindings[sc.name] =
+            ReadScalarValue(*outs[stage.id], sc.column, sc.type);
+      }
+    }
   }
 
   // Tail: sorts/limits (and post-breaker filters/projects) over the
@@ -227,7 +247,8 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
     std::unique_ptr<Table> merged = std::move(result.table);
     OperatorPtr op = std::make_unique<ScanOperator>(&engine_, merged.get());
     for (const PlanNode* node : sp.tail) {
-      op = Compiler::CompileTailNode(node, &engine_, std::move(op));
+      op = Compiler::CompileTailNode(node, &engine_, std::move(op),
+                                     bindings);
     }
     RunResult tail_result = engine_.Run(*op);
     acc.execute += tail_result.stages.execute;

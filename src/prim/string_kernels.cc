@@ -108,6 +108,57 @@ size_t SelStrNotContains(const PrimCall& c) {
   return SelStrGeneric<PredNotContains, true>(c);
 }
 
+/// Substring map: res[i] = clamped view of col[i]'s window. Selective
+/// only — dead positions of an intermediate StrRef vector may hold
+/// stale pointers, so a full-computation flavor must never read them.
+size_t MapSubstrScalar(const PrimCall& c) {
+  const StrRef* col = static_cast<const StrRef*>(c.in1);
+  const SubstrSpec spec = *static_cast<const SubstrSpec*>(c.in2);
+  StrRef* r = static_cast<StrRef*>(c.res);
+  if (c.sel != nullptr) {
+    for (size_t j = 0; j < c.sel_n; ++j) {
+      const sel_t i = c.sel[j];
+      r[i] = SubstrOf(col[i], spec.start, spec.len);
+    }
+    return c.sel_n;
+  }
+  for (size_t i = 0; i < c.n; ++i) {
+    r[i] = SubstrOf(col[i], spec.start, spec.len);
+  }
+  return c.n;
+}
+
+/// Substring map with the loops hand-unrolled by 4 — the flavor pair
+/// that gives the bandit a choice (and PRIMITIVES.md its "how to add a
+/// flavor" example).
+size_t MapSubstrUnroll4(const PrimCall& c) {
+  const StrRef* col = static_cast<const StrRef*>(c.in1);
+  const SubstrSpec spec = *static_cast<const SubstrSpec*>(c.in2);
+  StrRef* r = static_cast<StrRef*>(c.res);
+  if (c.sel != nullptr) {
+    size_t j = 0;
+#define MA_BODY(J)                                       \
+  {                                                      \
+    const sel_t i = c.sel[(J)];                          \
+    r[i] = SubstrOf(col[i], spec.start, spec.len);       \
+  }
+    for (; j + 4 <= c.sel_n; j += 4) {
+      MA_BODY(j + 0) MA_BODY(j + 1) MA_BODY(j + 2) MA_BODY(j + 3)
+    }
+    for (; j < c.sel_n; ++j) MA_BODY(j)
+#undef MA_BODY
+    return c.sel_n;
+  }
+  size_t i = 0;
+#define MA_BODY(I) r[(I)] = SubstrOf(col[(I)], spec.start, spec.len);
+  for (; i + 4 <= c.n; i += 4) {
+    MA_BODY(i + 0) MA_BODY(i + 1) MA_BODY(i + 2) MA_BODY(i + 3)
+  }
+  for (; i < c.n; ++i) MA_BODY(i)
+#undef MA_BODY
+  return c.n;
+}
+
 }  // namespace string_detail
 
 void RegisterStringKernels(PrimitiveDictionary* dict) {
@@ -150,6 +201,15 @@ void RegisterStringKernels(PrimitiveDictionary* dict) {
                           FlavorInfo{"default", FlavorSetId::kDefault,
                                      &SelStrNotContains},
                           /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register("map_substr_str_col_val",
+                          FlavorInfo{"scalar", FlavorSetId::kDefault,
+                                     &MapSubstrScalar},
+                          /*is_default=*/true)
+               .ok());
+  MA_CHECK(dict->Register("map_substr_str_col_val",
+                          FlavorInfo{"unroll4", FlavorSetId::kUnroll,
+                                     &MapSubstrUnroll4})
                .ok());
 }
 

@@ -17,7 +17,24 @@ class PrimitiveDictionary;
 
 void RegisterStringKernels(PrimitiveDictionary* dict);
 
+/// Parameter block of the substring map primitive
+/// (`map_substr_str_col_val`), passed through PrimCall::in2 like any
+/// other `_val` constant. The window [start, start + len) is clamped to
+/// each source string, so short and empty strings yield shorter
+/// (possibly empty) results instead of out-of-bounds reads.
+struct SubstrSpec {
+  u32 start = 0;
+  u32 len = 0;
+};
+
 namespace string_detail {
+
+/// Clamped substring view: shares the source's storage (no copy).
+inline StrRef SubstrOf(const StrRef& s, u32 start, u32 len) {
+  if (start >= s.len) return StrRef{s.data, 0};
+  const u32 avail = s.len - start;
+  return StrRef{s.data + start, len < avail ? len : avail};
+}
 
 inline bool StrEq(const StrRef& a, const StrRef& b) {
   return a.len == b.len && __builtin_memcmp(a.data, b.data, a.len) == 0;
@@ -39,6 +56,8 @@ size_t SelStrNotPrefix(const PrimCall& c);
 size_t SelStrSuffix(const PrimCall& c);
 size_t SelStrContains(const PrimCall& c);
 size_t SelStrNotContains(const PrimCall& c);
+size_t MapSubstrScalar(const PrimCall& c);
+size_t MapSubstrUnroll4(const PrimCall& c);
 
 }  // namespace string_detail
 }  // namespace ma

@@ -26,6 +26,13 @@ Agg MakeAgg(const char* fn, ExprPtr arg, const char* out_name) {
   return a;
 }
 
+/// Key of a nation by name.
+i64 NationCode(const std::string& name) {
+  const int c = CodeOf(NationNames(), name);
+  MA_CHECK(c >= 0);
+  return c;
+}
+
 /// Region -> member nations (semi join over the tiny metadata tables);
 /// the returned builder's schema is the nation scan's.
 PlanBuilder NationsOfRegion(const TpchData& d, const std::string& region,
@@ -407,6 +414,315 @@ plan::LogicalPlan Q12Plan(const TpchData& d) {
       .HashJoin(std::move(high), fj, "q12/final_join")
       .Project(std::move(outs), "q12/final")
       .Sort({{"l_shipmode", false}})
+      .Build();
+}
+
+plan::LogicalPlan Q2Plan(const TpchData& d) {
+  // The joined (partsupp x filtered part x European supplier) table.
+  // Plans are trees, so the pipeline is built once per use: once under
+  // the per-part min aggregation and once as the probe of the
+  // min-filter join (same duplication as Q14's base; a shared-subplan
+  // node would remove it — ROADMAP).
+  auto joined = [&d](const std::string& label) {
+    HashJoinSpec sj;
+    sj.build_key = "n_nationkey";
+    sj.probe_key = "s_nationkey";
+    sj.build_outputs = {{"n_name", "n_name"}};
+    sj.probe_outputs = {"s_suppkey", "s_name", "s_address", "s_phone",
+                        "s_acctbal", "s_comment"};
+    PlanBuilder supp = PlanBuilder::Scan(
+        d.supplier,
+        {"s_suppkey", "s_name", "s_address", "s_phone", "s_acctbal",
+         "s_comment", "s_nationkey"},
+        label + "/supplier_scan");
+    supp.HashJoin(NationsOfRegion(d, "EUROPE", label), sj,
+                  label + "/supplier_nation");
+
+    std::vector<ExprPtr> pp;
+    pp.push_back(Eq(Col("p_size"), Lit(15)));
+    pp.push_back(StrSuffix("p_type", "BRASS"));
+    PlanBuilder part = PlanBuilder::Scan(
+        d.part, {"p_partkey", "p_mfgr", "p_size", "p_type"},
+        label + "/part_scan");
+    part.Filter(AndAll(std::move(pp)), label + "/part");
+
+    HashJoinSpec pj;
+    pj.build_key = "p_partkey";
+    pj.probe_key = "ps_partkey";
+    pj.build_outputs = {{"p_mfgr", "p_mfgr"}};
+    pj.probe_outputs = {"ps_partkey", "ps_suppkey", "ps_supplycost"};
+    pj.use_bloom = true;  // most partsupp rows miss the filtered parts
+    PlanBuilder ps = PlanBuilder::Scan(
+        d.partsupp, {"ps_partkey", "ps_suppkey", "ps_supplycost"},
+        label + "/partsupp_scan");
+    ps.HashJoin(std::move(part), pj, label + "/partsupp_part");
+
+    HashJoinSpec ssj;
+    ssj.build_key = "s_suppkey";
+    ssj.probe_key = "ps_suppkey";
+    ssj.build_outputs = {{"s_name", "s_name"},       {"n_name", "n_name"},
+                         {"s_address", "s_address"}, {"s_phone", "s_phone"},
+                         {"s_acctbal", "s_acctbal"},
+                         {"s_comment", "s_comment"}};
+    ssj.probe_outputs = {"ps_partkey", "ps_supplycost", "p_mfgr"};
+    ps.HashJoin(std::move(supp), ssj, label + "/supplier_partsupp");
+    return ps;
+  };
+
+  std::vector<Agg> ma;
+  ma.push_back(MakeAgg("min", Col("ps_supplycost"), "min_cost"));
+  PlanBuilder mins = joined("q2/min");
+  mins.GroupBy({GK{"ps_partkey", 40}}, {"ps_partkey"}, std::move(ma),
+               "q2/min_agg");
+
+  HashJoinSpec mj;
+  mj.build_key = "ps_partkey";
+  mj.probe_key = "ps_partkey";
+  mj.build_outputs = {{"min_cost", "min_cost"}};
+  mj.probe_outputs = {"ps_partkey", "ps_supplycost", "p_mfgr", "s_name",
+                      "n_name",     "s_address",     "s_phone",
+                      "s_acctbal",  "s_comment"};
+
+  return joined("q2")
+      .HashJoin(std::move(mins), mj, "q2/min_join")
+      .Filter(Eq(Col("ps_supplycost"), Col("min_cost")), "q2/min_filter")
+      .Sort({{"s_acctbal", true},
+             {"n_name", false},
+             {"s_name", false},
+             {"ps_partkey", false}},
+            100)
+      .Build();
+}
+
+plan::LogicalPlan Q11Plan(const TpchData& d) {
+  // German partsupp rows with value = cost * availqty, used by both the
+  // per-part aggregation and the threshold subquery.
+  auto base = [&d](const std::string& label) {
+    PlanBuilder supp = PlanBuilder::Scan(
+        d.supplier, {"s_suppkey", "s_nationkey"},
+        label + "/supplier_scan");
+    supp.Filter(Eq(Col("s_nationkey"), Lit(NationCode("GERMANY"))),
+                label + "/s_nation");
+    HashJoinSpec sj;
+    sj.build_key = "s_suppkey";
+    sj.probe_key = "ps_suppkey";
+    sj.kind = HashJoinSpec::Kind::kSemi;
+    PlanBuilder ps = PlanBuilder::Scan(
+        d.partsupp,
+        {"ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty_f"},
+        label + "/partsupp_scan");
+    ps.HashJoin(std::move(supp), sj, label + "/partsupp_semi");
+    std::vector<Out> outs;
+    outs.push_back({"ps_partkey", Col("ps_partkey")});
+    outs.push_back(
+        {"value", Mul(Col("ps_supplycost"), Col("ps_availqty_f"))});
+    ps.Project(std::move(outs), label + "/project");
+    return ps;
+  };
+
+  // threshold = sum(value) * 0.0001 — a scalar subquery folded into the
+  // HAVING predicate below.
+  std::vector<Agg> ta;
+  ta.push_back(MakeAgg("sum", Col("value"), "total"));
+  PlanBuilder sub = base("q11/total");
+  sub.GroupBy({}, {}, std::move(ta), "q11/total_agg");
+  std::vector<Out> th;
+  th.push_back({"threshold", Mul(Col("total"), Lit(0.0001))});
+  sub.Project(std::move(th), "q11/threshold");
+
+  std::vector<Agg> pa;
+  pa.push_back(MakeAgg("sum", Col("value"), "value"));
+  return base("q11")
+      .GroupBy({GK{"ps_partkey", 40}}, {"ps_partkey"}, std::move(pa),
+               "q11/agg")
+      .BindScalar("q11_threshold", std::move(sub), "threshold")
+      .Filter(Gt(Col("value"), ScalarRef("q11_threshold")), "q11/having")
+      .Sort({{"value", true}})
+      .Build();
+}
+
+plan::LogicalPlan Q13Plan(const TpchData& d) {
+  // Orders without "special requests" counted per customer; the LEFT
+  // OUTER join patches customers with no such orders back in with a
+  // default c_count of 0, replacing the hand-assembled zero bucket.
+  PlanBuilder orders = PlanBuilder::Scan(
+      d.orders, {"o_custkey", "o_comment"}, "q13/orders_scan");
+  std::vector<Agg> ca;
+  ca.push_back(MakeAgg("count", nullptr, "c_count"));
+  orders
+      .Filter(StrNotContains("o_comment", "special requests"),
+              "q13/orders")
+      .GroupBy({GK{"o_custkey", 32}}, {"o_custkey"}, std::move(ca),
+               "q13/per_cust");
+
+  HashJoinSpec lj;
+  lj.build_key = "o_custkey";
+  lj.probe_key = "c_custkey";
+  lj.kind = HashJoinSpec::Kind::kLeftOuter;
+  lj.build_outputs = {{"c_count", "c_count"}};
+  // No probe outputs: only the (possibly patched) count feeds the
+  // histogram.
+
+  std::vector<Agg> ha;
+  ha.push_back(MakeAgg("count", nullptr, "custdist"));
+  return PlanBuilder::Scan(d.customer, {"c_custkey"}, "q13/customer_scan")
+      .HashJoin(std::move(orders), lj, "q13/cust_orders")
+      .GroupBy({GK{"c_count", 16}}, {"c_count"}, std::move(ha), "q13/hist")
+      .Sort({{"custdist", true}, {"c_count", true}})
+      .Build();
+}
+
+plan::LogicalPlan Q15Plan(const TpchData& d) {
+  // Revenue per supplier over Q1-1996 shipments.
+  auto rev = [&d](const std::string& label) {
+    PlanBuilder b = PlanBuilder::Scan(
+        d.lineitem,
+        {"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
+        label + "/lineitem_scan");
+    std::vector<Out> outs;
+    outs.push_back({"l_suppkey", Col("l_suppkey")});
+    outs.push_back({"revenue", Revenue()});
+    std::vector<Agg> aggs;
+    aggs.push_back(MakeAgg("sum", Col("revenue"), "total_revenue"));
+    b.Filter(RangeI64("l_shipdate", Date(1996, 1, 1), Date(1996, 4, 1)),
+             label + "/select")
+        .Project(std::move(outs), label + "/project")
+        .GroupBy({GK{"l_suppkey", 24}}, {"l_suppkey"}, std::move(aggs),
+                 label + "/agg");
+    return b;
+  };
+
+  // The top revenue — a scalar subquery folded into the filter (ties
+  // all survive, as in the reference SQL's = (select max(...))).
+  std::vector<Agg> ma;
+  ma.push_back(MakeAgg("max", Col("total_revenue"), "max_revenue"));
+  PlanBuilder sub = rev("q15/max");
+  sub.GroupBy({}, {}, std::move(ma), "q15/max_agg");
+
+  HashJoinSpec sj;
+  sj.build_key = "s_suppkey";
+  sj.probe_key = "l_suppkey";
+  sj.build_outputs = {{"s_name", "s_name"},
+                      {"s_address", "s_address"},
+                      {"s_phone", "s_phone"}};
+  sj.probe_outputs = {"l_suppkey", "total_revenue"};
+
+  return rev("q15")
+      .BindScalar("q15_max", std::move(sub), "max_revenue")
+      .Filter(Ge(Col("total_revenue"), ScalarRef("q15_max")), "q15/top")
+      .HashJoin(PlanBuilder::Scan(d.supplier,
+                                  {"s_suppkey", "s_name", "s_address",
+                                   "s_phone"},
+                                  "q15/supplier_scan"),
+                sj, "q15/supplier_join")
+      .Sort({{"l_suppkey", false}})
+      .Build();
+}
+
+plan::LogicalPlan Q17Plan(const TpchData& d) {
+  // Lineitems of the selected brand/container parts.
+  auto base = [&d](const std::string& label) {
+    std::vector<ExprPtr> pp;
+    pp.push_back(Eq(Col("p_brand_code"), Lit((2 - 1) * 5 + (3 - 1))));
+    pp.push_back(Eq(Col("p_container_code"),
+                    Lit(CodeOf(ContainerSyllable1(), "MED") * 8 +
+                        CodeOf(ContainerSyllable2(), "BOX"))));
+    PlanBuilder part = PlanBuilder::Scan(
+        d.part, {"p_partkey", "p_brand_code", "p_container_code"},
+        label + "/part_scan");
+    part.Filter(AndAll(std::move(pp)), label + "/part");
+    HashJoinSpec pj;
+    pj.build_key = "p_partkey";
+    pj.probe_key = "l_partkey";
+    pj.probe_outputs = {"l_partkey", "l_quantity_f", "l_extendedprice"};
+    pj.use_bloom = true;
+    PlanBuilder li = PlanBuilder::Scan(
+        d.lineitem, {"l_partkey", "l_quantity_f", "l_extendedprice"},
+        label + "/lineitem_scan");
+    li.HashJoin(std::move(part), pj, label + "/join");
+    return li;
+  };
+
+  // Per-part average quantity, joined back against the same pipeline
+  // (the agg-feeding-join shape; the threshold computes above it).
+  std::vector<Agg> aa;
+  aa.push_back(MakeAgg("avg", Col("l_quantity_f"), "avg_qty"));
+  PlanBuilder avgs = base("q17/avg");
+  avgs.GroupBy({GK{"l_partkey", 40}}, {"l_partkey"}, std::move(aa),
+               "q17/avg_agg");
+
+  HashJoinSpec bj;
+  bj.build_key = "l_partkey";
+  bj.probe_key = "l_partkey";
+  bj.build_outputs = {{"avg_qty", "avg_qty"}};
+  bj.probe_outputs = {"l_quantity_f", "l_extendedprice"};
+
+  std::vector<Out> touts;
+  touts.push_back({"l_quantity_f", Col("l_quantity_f")});
+  touts.push_back({"l_extendedprice", Col("l_extendedprice")});
+  touts.push_back({"threshold", Mul(Col("avg_qty"), Lit(0.2))});
+
+  std::vector<Agg> sa;
+  sa.push_back(MakeAgg("sum", Col("l_extendedprice"), "total"));
+
+  std::vector<Out> fouts;
+  fouts.push_back({"avg_yearly", Div(Col("total"), Lit(7.0))});
+
+  return base("q17")
+      .HashJoin(std::move(avgs), bj, "q17/back_join")
+      .Project(std::move(touts), "q17/threshold")
+      .Filter(Lt(Col("l_quantity_f"), Col("threshold")),
+              "q17/small_orders")
+      .GroupBy({}, {}, std::move(sa), "q17/sum")
+      .Project(std::move(fouts), "q17/final")
+      .Build();
+}
+
+plan::LogicalPlan Q22Plan(const TpchData& d) {
+  const std::vector<i64> codes = {13, 31, 23, 29, 30, 18, 17};
+  // Customers of the selected country codes; the country-code *string*
+  // is computed from the phone prefix with a substring projection (the
+  // reference SQL's substring(c_phone from 1 for 2)).
+  auto cust = [&d, &codes](const std::string& label) {
+    PlanBuilder b = PlanBuilder::Scan(
+        d.customer,
+        {"c_custkey", "c_acctbal", "c_phone", "c_cntrycode_code"},
+        label + "/customer_scan");
+    b.Filter(InI64("c_cntrycode_code", codes), label + "/cust");
+    std::vector<Out> outs;
+    outs.push_back({"c_custkey", Col("c_custkey")});
+    outs.push_back({"c_acctbal", Col("c_acctbal")});
+    outs.push_back({"c_cntrycode_code", Col("c_cntrycode_code")});
+    outs.push_back({"c_cntrycode", Substr(Col("c_phone"), 0, 2)});
+    b.Project(std::move(outs), label + "/project");
+    return b;
+  };
+
+  // Average positive balance — the scalar threshold for "rich".
+  std::vector<Agg> aa;
+  aa.push_back(MakeAgg("avg", Col("c_acctbal"), "avg_bal"));
+  PlanBuilder sub = cust("q22/avg");
+  sub.Filter(Gt(Col("c_acctbal"), Lit(0.0)), "q22/positive")
+      .GroupBy({}, {}, std::move(aa), "q22/avg_agg");
+
+  HashJoinSpec aj;
+  aj.build_key = "o_custkey";
+  aj.probe_key = "c_custkey";
+  aj.kind = HashJoinSpec::Kind::kAnti;
+
+  std::vector<Agg> fa;
+  fa.push_back(MakeAgg("count", nullptr, "numcust"));
+  fa.push_back(MakeAgg("sum", Col("c_acctbal"), "totacctbal"));
+
+  return cust("q22")
+      .BindScalar("q22_avg", std::move(sub), "avg_bal")
+      .Filter(Gt(Col("c_acctbal"), ScalarRef("q22_avg")), "q22/rich")
+      .HashJoin(PlanBuilder::Scan(d.orders, {"o_custkey"},
+                                  "q22/orders_scan"),
+                aj, "q22/no_orders")
+      .GroupBy({GK{"c_cntrycode_code", 6}}, {"c_cntrycode"},
+               std::move(fa), "q22/agg")
+      .Sort({{"c_cntrycode", false}})
       .Build();
 }
 

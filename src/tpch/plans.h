@@ -1,11 +1,13 @@
 // TPC-H queries expressed as logical plans. Written once against
 // PlanBuilder, these run unchanged on the serial Engine and on the
-// staged morsel-driven executor (plan/query_session.h). With the stage
-// DAG compiler, plans may aggregate below joins (Q10, Q12, Q14), merge-
-// join inside a plan (Q12) and re-aggregate aggregate outputs — the
-// hand-built trees remaining in queries.cc migrate here as more shapes
-// (scalar subquery results folded into predicates, outer-join patches)
-// gain plan-level expressions.
+// staged morsel-driven executor (plan/query_session.h). Plans may
+// aggregate below joins (Q10, Q12, Q14), merge-join inside a plan
+// (Q12), fold scalar-subquery results into predicates (Q11, Q15, Q22),
+// patch probe misses with a LEFT OUTER join (Q13), and compute
+// CASE/substring value expressions in projections (Q22) — the
+// hand-built trees remaining in queries.cc migrate here as the last
+// shapes (multi-table value expressions, correlated EXISTS chains)
+// gain plan-level support.
 #ifndef MA_TPCH_PLANS_H_
 #define MA_TPCH_PLANS_H_
 
@@ -17,6 +19,11 @@ namespace ma::tpch {
 /// Q1: pricing summary report (scan -> filter -> project -> group-by ->
 /// sort). Parallel: thread-local pre-aggregation + merge.
 plan::LogicalPlan Q1Plan(const TpchData& d);
+
+/// Q2: minimum cost supplier. The per-part MIN aggregation feeds a join
+/// back against the same (partsupp x part x European supplier) pipeline
+/// and the equality filter keeps the minimum-cost rows.
+plan::LogicalPlan Q2Plan(const TpchData& d);
 
 /// Q3: shipping priority. Customer semi-join feeds the orders build,
 /// the lineitem pipeline probes it, and the grouped revenue sorts into
@@ -42,6 +49,31 @@ plan::LogicalPlan Q6Plan(const TpchData& d);
 /// shape that compiles to dependent stages scanning a materialized
 /// intermediate.
 plan::LogicalPlan Q10Plan(const TpchData& d);
+
+/// Q11: important stock. The threshold (SUM(value) * 0.0001 over the
+/// same German-partsupp pipeline) is a scalar subquery folded into the
+/// HAVING filter — staged execution materializes it as a broadcast
+/// constant stage.
+plan::LogicalPlan Q11Plan(const TpchData& d);
+
+/// Q13: customer distribution. A LEFT OUTER hash join patches customers
+/// with no qualifying orders back in with a default count of 0 before
+/// the histogram aggregation.
+plan::LogicalPlan Q13Plan(const TpchData& d);
+
+/// Q15: top supplier. MAX(total_revenue) over the per-supplier revenue
+/// aggregate is a scalar subquery folded into the top filter.
+plan::LogicalPlan Q15Plan(const TpchData& d);
+
+/// Q17: small-quantity-order revenue. The per-part average quantity
+/// aggregation joins back against the same part/lineitem pipeline; the
+/// 0.2 * avg threshold computes in a projection above the join.
+plan::LogicalPlan Q17Plan(const TpchData& d);
+
+/// Q22: global sales opportunity. The average positive balance is a
+/// scalar subquery folded into the "rich" filter, and the country code
+/// string is a substring value expression over c_phone.
+plan::LogicalPlan Q22Plan(const TpchData& d);
 
 /// Q12: shipping modes and order priority (the Figure 2 query). A
 /// merge join on the clustered orderkey inside the plan: the staged

@@ -104,86 +104,11 @@ RunResult RunPlan(Engine* e, const plan::LogicalPlan& p);
 RunResult Q1(Engine* e, const TpchData& d) { return RunPlan(e, Q1Plan(d)); }
 
 // =====================================================================
-// Q2: Minimum cost supplier.
+// Q2: Minimum cost supplier — as a plan: the per-part MIN aggregation
+// feeds the min-filter join back against the supplier/partsupp
+// pipeline (tpch/plans.cc).
 // =====================================================================
-RunResult Q2(Engine* e, const TpchData& d) {
-  // Stage A: EUROPE suppliers with nation names.
-  auto nations = NationsOfRegion(e, d, "EUROPE", "q2");
-  HashJoinSpec sj;
-  sj.build_key = "n_nationkey";
-  sj.probe_key = "s_nationkey";
-  sj.build_outputs = {{"n_name", "n_name"}};
-  sj.probe_outputs = {"s_suppkey", "s_name", "s_address", "s_phone",
-                      "s_acctbal", "s_comment"};
-  auto supp_eu = Join(e, std::move(nations),
-                      Scan(e, d.supplier,
-                           {"s_suppkey", "s_name", "s_address", "s_phone",
-                            "s_acctbal", "s_comment", "s_nationkey"}),
-                      sj, "q2/supplier_nation");
-
-  // Parts: size 15, type ending in BRASS.
-  std::vector<ExprPtr> part_preds;
-  part_preds.push_back(Eq(Col("p_size"), Lit(15)));
-  part_preds.push_back(StrSuffix("p_type", "BRASS"));
-  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_mfgr", "p_size",
-                                        "p_type"}),
-                    AndAll(std::move(part_preds)), "q2/part");
-
-  // partsupp of those parts.
-  HashJoinSpec pj;
-  pj.build_key = "p_partkey";
-  pj.probe_key = "ps_partkey";
-  pj.build_outputs = {{"p_mfgr", "p_mfgr"}};
-  pj.probe_outputs = {"ps_partkey", "ps_suppkey", "ps_supplycost"};
-  pj.use_bloom = true;  // most partsupp rows miss the filtered parts
-  auto ps = Join(e, std::move(part_f),
-                 Scan(e, d.partsupp,
-                      {"ps_partkey", "ps_suppkey", "ps_supplycost"}),
-                 pj, "q2/partsupp_part");
-
-  // + European supplier columns.
-  HashJoinSpec ssj;
-  ssj.build_key = "s_suppkey";
-  ssj.probe_key = "ps_suppkey";
-  ssj.build_outputs = {{"s_name", "s_name"},       {"n_name", "n_name"},
-                       {"s_address", "s_address"}, {"s_phone", "s_phone"},
-                       {"s_acctbal", "s_acctbal"},
-                       {"s_comment", "s_comment"}};
-  ssj.probe_outputs = {"ps_partkey", "ps_supplycost", "p_mfgr"};
-  auto joined = Join(e, std::move(supp_eu), std::move(ps), ssj,
-                     "q2/supplier_partsupp");
-  auto t = RunToTable(e, *joined);
-
-  // Stage B: min supplycost per part.
-  std::vector<Agg> aggs;
-  aggs.push_back({"min", Col("ps_supplycost"), "min_cost"});
-  HashAggOperator min_agg(e, Scan(e, t.get(), {"ps_partkey",
-                                               "ps_supplycost"}),
-                          {{"ps_partkey", 40}}, {"ps_partkey"},
-                          std::move(aggs), "q2/min_agg");
-  auto mins = RunToTable(e, min_agg);
-
-  // Stage C: keep rows at the minimum, sort, top 100.
-  HashJoinSpec mj;
-  mj.build_key = "ps_partkey";
-  mj.probe_key = "ps_partkey";
-  mj.build_outputs = {{"min_cost", "min_cost"}};
-  mj.probe_outputs = {"ps_partkey", "ps_supplycost", "p_mfgr", "s_name",
-                      "n_name",     "s_address",     "s_phone",
-                      "s_acctbal",  "s_comment"};
-  auto back = Join(e, Scan(e, mins.get()), Scan(e, t.get()), mj,
-                   "q2/min_join");
-  auto filtered =
-      Sel(e, std::move(back),
-          Eq(Col("ps_supplycost"), Col("min_cost")), "q2/min_filter");
-  SortOperator sort(e, std::move(filtered),
-                    {{"s_acctbal", true},
-                     {"n_name", false},
-                     {"s_name", false},
-                     {"ps_partkey", false}},
-                    100);
-  return e->Run(sort);
-}
+RunResult Q2(Engine* e, const TpchData& d) { return RunPlan(e, Q2Plan(d)); }
 
 // =====================================================================
 // Q3, Q4, Q5: shipping priority, order priority checking, local
@@ -482,44 +407,11 @@ RunResult Q10(Engine* e, const TpchData& d) {
 }
 
 // =====================================================================
-// Q11: Important stock identification.
+// Q11: Important stock identification — as a plan: the threshold is a
+// scalar subquery folded into the HAVING filter (tpch/plans.cc).
 // =====================================================================
 RunResult Q11(Engine* e, const TpchData& d) {
-  auto supp_de = SupplierOfNation(e, d, "GERMANY",
-                                  {"s_suppkey", "s_nationkey"}, "q11");
-  HashJoinSpec sj;
-  sj.build_key = "s_suppkey";
-  sj.probe_key = "ps_suppkey";
-  sj.probe_outputs = {"ps_partkey", "ps_supplycost", "ps_availqty_f"};
-  sj.kind = HashJoinSpec::Kind::kSemi;
-  auto ps = Join(e, std::move(supp_de),
-                 Scan(e, d.partsupp, {"ps_partkey", "ps_suppkey",
-                                      "ps_supplycost", "ps_availqty_f"}),
-                 sj, "q11/partsupp_semi");
-  std::vector<Out> outs;
-  outs.push_back({"ps_partkey", Col("ps_partkey")});
-  outs.push_back({"value", Mul(Col("ps_supplycost"),
-                               Col("ps_availqty_f"))});
-  auto proj = Proj(e, std::move(ps), std::move(outs), "q11/project");
-  auto t = RunToTable(e, *proj);
-
-  std::vector<Agg> ga;
-  ga.push_back({"sum", Col("value"), "total"});
-  HashAggOperator global(e, Scan(e, t.get(), {"value"}), {}, {},
-                         std::move(ga), "q11/global");
-  auto total_tbl = RunToTable(e, global);
-  const f64 threshold =
-      total_tbl->FindColumn("total")->Data<f64>()[0] * 0.0001;
-
-  std::vector<Agg> pa;
-  pa.push_back({"sum", Col("value"), "value"});
-  auto agg = std::make_unique<HashAggOperator>(
-      e, Scan(e, t.get()), std::vector<GK>{{"ps_partkey", 40}},
-      std::vector<std::string>{"ps_partkey"}, std::move(pa), "q11/agg");
-  auto filtered = Sel(e, std::move(agg), Gt(Col("value"), Lit(threshold)),
-                      "q11/having");
-  SortOperator sort(e, std::move(filtered), {{"value", true}});
-  return e->Run(sort);
+  return RunPlan(e, Q11Plan(d));
 }
 
 // =====================================================================
@@ -533,37 +425,11 @@ RunResult Q12(Engine* e, const TpchData& d) {
 }
 
 // =====================================================================
-// Q13: Customer distribution.
+// Q13: Customer distribution — as a plan: the LEFT OUTER hash join
+// patches no-order customers in with a default count (tpch/plans.cc).
 // =====================================================================
 RunResult Q13(Engine* e, const TpchData& d) {
-  auto orders = Sel(e, Scan(e, d.orders, {"o_custkey", "o_comment"}),
-                    StrNotContains("o_comment", "special requests"),
-                    "q13/orders");
-  std::vector<Agg> ca;
-  ca.push_back({"count", nullptr, "c_count"});
-  HashAggOperator per_cust(e, std::move(orders), {{"o_custkey", 32}},
-                           {"o_custkey"}, std::move(ca), "q13/per_cust");
-  auto t1 = RunToTable(e, per_cust);
-
-  // Histogram over c_count, plus the bucket of customers with no orders
-  // at all (the left-outer part of the SQL, assembled directly).
-  std::vector<Agg> ha;
-  ha.push_back({"count", nullptr, "custdist"});
-  HashAggOperator hist(e, Scan(e, t1.get(), {"c_count"}),
-                       {{"c_count", 16}}, {"c_count"}, std::move(ha),
-                       "q13/hist");
-  auto h = RunToTable(e, hist);
-  const i64 zero_customers =
-      static_cast<i64>(d.customer->row_count()) -
-      static_cast<i64>(t1->row_count());
-  if (zero_customers > 0) {
-    h->FindMutableColumn("c_count")->Append<i64>(0);
-    h->FindMutableColumn("custdist")->Append<i64>(zero_customers);
-    h->set_row_count(h->row_count() + 1);
-  }
-  SortOperator sort(e, Scan(e, h.get()),
-                    {{"custdist", true}, {"c_count", true}});
-  return e->Run(sort);
+  return RunPlan(e, Q13Plan(d));
 }
 
 // =====================================================================
@@ -591,47 +457,11 @@ RunResult Q14(Engine* e, const TpchData& d) {
 }
 
 // =====================================================================
-// Q15: Top supplier.
+// Q15: Top supplier — as a plan: MAX(total_revenue) is a scalar
+// subquery folded into the top filter (tpch/plans.cc).
 // =====================================================================
 RunResult Q15(Engine* e, const TpchData& d) {
-  auto items = Sel(
-      e, Scan(e, d.lineitem, {"l_suppkey", "l_extendedprice",
-                              "l_discount", "l_shipdate"}),
-      RangeI64("l_shipdate", Date(1996, 1, 1), Date(1996, 4, 1)),
-      "q15/select");
-  std::vector<Out> outs;
-  outs.push_back({"l_suppkey", Col("l_suppkey")});
-  outs.push_back({"revenue", Revenue()});
-  auto proj = Proj(e, std::move(items), std::move(outs), "q15/project");
-  std::vector<Agg> aggs;
-  aggs.push_back({"sum", Col("revenue"), "total_revenue"});
-  HashAggOperator agg(e, std::move(proj), {{"l_suppkey", 24}},
-                      {"l_suppkey"}, std::move(aggs), "q15/agg");
-  auto revenue = RunToTable(e, agg);
-
-  std::vector<Agg> ma;
-  ma.push_back({"max", Col("total_revenue"), "max_revenue"});
-  HashAggOperator max_agg(e, Scan(e, revenue.get(), {"total_revenue"}),
-                          {}, {}, std::move(ma), "q15/max");
-  auto max_tbl = RunToTable(e, max_agg);
-  const f64 max_rev =
-      max_tbl->FindColumn("max_revenue")->Data<f64>()[0];
-
-  auto top = Sel(e, Scan(e, revenue.get()),
-                 Ge(Col("total_revenue"), Lit(max_rev)), "q15/top");
-  HashJoinSpec sj;
-  sj.build_key = "s_suppkey";
-  sj.probe_key = "l_suppkey";
-  sj.build_outputs = {{"s_name", "s_name"},
-                      {"s_address", "s_address"},
-                      {"s_phone", "s_phone"}};
-  sj.probe_outputs = {"l_suppkey", "total_revenue"};
-  auto joined = Join(e,
-                     Scan(e, d.supplier, {"s_suppkey", "s_name",
-                                          "s_address", "s_phone"}),
-                     std::move(top), sj, "q15/supplier_join");
-  SortOperator sort(e, std::move(joined), {{"l_suppkey", false}});
-  return e->Run(sort);
+  return RunPlan(e, Q15Plan(d));
 }
 
 // =====================================================================
@@ -698,63 +528,12 @@ RunResult Q16(Engine* e, const TpchData& d) {
 }
 
 // =====================================================================
-// Q17: Small-quantity-order revenue.
+// Q17: Small-quantity-order revenue — as a plan: the per-part average
+// joins back against the same pipeline, the threshold computes in a
+// projection above it (tpch/plans.cc).
 // =====================================================================
 RunResult Q17(Engine* e, const TpchData& d) {
-  std::vector<ExprPtr> pp;
-  pp.push_back(Eq(Col("p_brand_code"), Lit((2 - 1) * 5 + (3 - 1))));
-  pp.push_back(Eq(Col("p_container_code"),
-                  Lit(CodeOf(ContainerSyllable1(), "MED") * 8 +
-                      CodeOf(ContainerSyllable2(), "BOX"))));
-  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_brand_code",
-                                        "p_container_code"}),
-                    AndAll(std::move(pp)), "q17/part");
-  HashJoinSpec pj;
-  pj.build_key = "p_partkey";
-  pj.probe_key = "l_partkey";
-  pj.probe_outputs = {"l_partkey", "l_quantity_f", "l_extendedprice"};
-  pj.use_bloom = true;
-  auto t_op = Join(e, std::move(part_f),
-                   Scan(e, d.lineitem, {"l_partkey", "l_quantity_f",
-                                        "l_extendedprice"}),
-                   pj, "q17/join");
-  auto t = RunToTable(e, *t_op);
-
-  std::vector<Agg> aa;
-  aa.push_back({"avg", Col("l_quantity_f"), "avg_qty"});
-  HashAggOperator avg_agg(e, Scan(e, t.get(), {"l_partkey",
-                                               "l_quantity_f"}),
-                          {{"l_partkey", 40}}, {"l_partkey"},
-                          std::move(aa), "q17/avg");
-  auto avgs = RunToTable(e, avg_agg);
-
-  HashJoinSpec bj;
-  bj.build_key = "l_partkey";
-  bj.probe_key = "l_partkey";
-  bj.build_outputs = {{"avg_qty", "avg_qty"}};
-  bj.probe_outputs = {"l_quantity_f", "l_extendedprice"};
-  auto back = Join(e, Scan(e, avgs.get()), Scan(e, t.get()), bj,
-                   "q17/back_join");
-  std::vector<Out> outs;
-  outs.push_back({"l_quantity_f", Col("l_quantity_f")});
-  outs.push_back({"l_extendedprice", Col("l_extendedprice")});
-  outs.push_back({"threshold", Mul(Col("avg_qty"), Lit(0.2))});
-  auto proj = Proj(e, std::move(back), std::move(outs), "q17/threshold");
-  auto small = Sel(e, std::move(proj),
-                   Lt(Col("l_quantity_f"), Col("threshold")),
-                   "q17/small_orders");
-  std::vector<Agg> sa;
-  sa.push_back({"sum", Col("l_extendedprice"), "total"});
-  HashAggOperator sum_agg(e, std::move(small), {}, {}, std::move(sa),
-                          "q17/sum");
-  auto sum_tbl = RunToTable(e, sum_agg);
-
-  RunResult r;
-  r.table = std::make_unique<Table>("result");
-  r.table->AddColumn("avg_yearly", PhysicalType::kF64)
-      ->Append<f64>(sum_tbl->FindColumn("total")->Data<f64>()[0] / 7.0);
-  r.table->set_row_count(1);
-  return r;
+  return RunPlan(e, Q17Plan(d));
 }
 
 // =====================================================================
@@ -1040,42 +819,12 @@ RunResult Q21(Engine* e, const TpchData& d) {
 }
 
 // =====================================================================
-// Q22: Global sales opportunity.
+// Q22: Global sales opportunity — as a plan: the average positive
+// balance is a scalar subquery, the country code a substring value
+// expression over c_phone (tpch/plans.cc).
 // =====================================================================
 RunResult Q22(Engine* e, const TpchData& d) {
-  const std::vector<i64> codes = {13, 31, 23, 29, 30, 18, 17};
-  auto cust = Sel(e, Scan(e, d.customer,
-                          {"c_custkey", "c_acctbal", "c_cntrycode",
-                           "c_cntrycode_code"}),
-                  InI64("c_cntrycode_code", codes), "q22/cust");
-  auto t = RunToTable(e, *cust);
-
-  auto positive = Sel(e, Scan(e, t.get()),
-                      Gt(Col("c_acctbal"), Lit(0.0)), "q22/positive");
-  std::vector<Agg> aa;
-  aa.push_back({"avg", Col("c_acctbal"), "avg_bal"});
-  HashAggOperator avg_agg(e, std::move(positive), {}, {}, std::move(aa),
-                          "q22/avg");
-  auto avg_tbl = RunToTable(e, avg_agg);
-  const f64 avg_bal = avg_tbl->FindColumn("avg_bal")->Data<f64>()[0];
-
-  auto rich = Sel(e, Scan(e, t.get()),
-                  Gt(Col("c_acctbal"), Lit(avg_bal)), "q22/rich");
-  HashJoinSpec aj;
-  aj.build_key = "o_custkey";
-  aj.probe_key = "c_custkey";
-  aj.kind = HashJoinSpec::Kind::kAnti;
-  auto no_orders = Join(e, Scan(e, d.orders, {"o_custkey"}),
-                        std::move(rich), aj, "q22/no_orders");
-  std::vector<Agg> fa;
-  fa.push_back({"count", nullptr, "numcust"});
-  fa.push_back({"sum", Col("c_acctbal"), "totacctbal"});
-  auto agg = std::make_unique<HashAggOperator>(
-      e, std::move(no_orders),
-      std::vector<GK>{{"c_cntrycode_code", 6}},
-      std::vector<std::string>{"c_cntrycode"}, std::move(fa), "q22/agg");
-  SortOperator sort(e, std::move(agg), {{"c_cntrycode", false}});
-  return e->Run(sort);
+  return RunPlan(e, Q22Plan(d));
 }
 
 }  // namespace

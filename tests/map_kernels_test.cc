@@ -20,8 +20,10 @@ class MapFlavorEquivalenceTest
 std::vector<std::string> AllMapSignatures() {
   std::vector<std::string> sigs;
   for (const std::string& s : PrimitiveDictionary::Global().Signatures()) {
-    if (s.rfind("map_add", 0) == 0 || s.rfind("map_sub", 0) == 0 ||
-        s.rfind("map_mul", 0) == 0 || s.rfind("map_div", 0) == 0) {
+    // Trailing underscore: "map_sub_" must not catch map_substr (a
+    // string primitive with its own parity test in string_kernels_test).
+    if (s.rfind("map_add_", 0) == 0 || s.rfind("map_sub_", 0) == 0 ||
+        s.rfind("map_mul_", 0) == 0 || s.rfind("map_div_", 0) == 0) {
       sigs.push_back(s);
     }
   }

@@ -146,7 +146,7 @@ TEST(PlanBuilderTest, TypeErrorsAreRejected) {
   // Literal on the left of arithmetic (the evaluator would abort).
   PlanBuilder l = PlanBuilder::Scan(t.get());
   l.Project(Outs("bad", Add(Lit(1), Col("a"))));
-  EXPECT_NE(l.status().message().find("must not be a literal"),
+  EXPECT_NE(l.status().message().find("must not be a constant"),
             std::string::npos);
   // String predicate over a numeric column.
   PlanBuilder sp = PlanBuilder::Scan(t.get());
@@ -186,6 +186,115 @@ TEST(PlanBuilderTest, HashJoinValidation) {
   PlanBuilder s = PlanBuilder::Scan(t.get());
   s.HashJoin(PlanBuilder::Scan(t.get()), semi);
   EXPECT_NE(s.status().message().find("semi/anti"), std::string::npos);
+
+  // Left outer joins emit probe then build outputs and declare the
+  // build output types (the empty-build / miss-payload contract).
+  HashJoinSpec louter;
+  louter.build_key = "a";
+  louter.probe_key = "a";
+  louter.kind = HashJoinSpec::Kind::kLeftOuter;
+  louter.build_outputs = {{"x", "bx"}};
+  louter.probe_outputs = {"a"};
+  PlanBuilder lo = PlanBuilder::Scan(t.get());
+  lo.HashJoin(PlanBuilder::Scan(t.get()), louter);
+  ASSERT_TRUE(lo.status().ok()) << lo.status().message();
+  ASSERT_EQ(lo.schema().size(), 2u);
+  EXPECT_EQ(lo.schema()[0].name, "a");
+  EXPECT_EQ(lo.schema()[1].name, "bx");
+  EXPECT_EQ(lo.schema()[1].type, PhysicalType::kF64);
+}
+
+TEST(PlanBuilderTest, ScalarBindingValidation) {
+  auto t = MakeNumbersTable(16);
+  // Unbound scalar refs are rejected.
+  PlanBuilder u = PlanBuilder::Scan(t.get());
+  u.Filter(Gt(Col("x"), ScalarRef("nope")));
+  EXPECT_NE(u.status().message().find("unknown scalar"),
+            std::string::npos);
+
+  // A bound scalar type-checks and flows into predicates; duplicates
+  // are rejected.
+  auto sub = [&t]() {
+    std::vector<HashAggOperator::AggSpec> aggs;
+    HashAggOperator::AggSpec a;
+    a.fn = "max";
+    a.arg = Col("x");
+    a.out_name = "m";
+    aggs.push_back(std::move(a));
+    PlanBuilder s = PlanBuilder::Scan(t.get(), {"x"});
+    s.GroupBy({}, {}, std::move(aggs));
+    return s;
+  };
+  PlanBuilder b = PlanBuilder::Scan(t.get());
+  b.BindScalar("m", sub(), "m");
+  ASSERT_TRUE(b.status().ok()) << b.status().message();
+  b.BindScalar("m", sub(), "m");
+  EXPECT_NE(b.status().message().find("duplicate scalar"),
+            std::string::npos);
+
+  // Scalars must be numeric (i64/f64).
+  PlanBuilder one_str = PlanBuilder::Scan(t.get(), {"s"});
+  one_str.Limit(1);
+  PlanBuilder str_scalar = PlanBuilder::Scan(t.get());
+  str_scalar.BindScalar("s", std::move(one_str), "s");
+  EXPECT_NE(str_scalar.status().message().find("must be i64 or f64"),
+            std::string::npos);
+
+  // Shapes that may emit more than one row are rejected eagerly.
+  PlanBuilder multi = PlanBuilder::Scan(t.get());
+  multi.BindScalar("m2", PlanBuilder::Scan(t.get(), {"a"}), "a");
+  EXPECT_NE(multi.status().message().find("must produce a single row"),
+            std::string::npos);
+
+  // A scalar ref on the left of a comparison is rejected like a
+  // literal would be.
+  PlanBuilder l = PlanBuilder::Scan(t.get());
+  l.BindScalar("m", sub(), "m");
+  l.Filter(Gt(ScalarRef("m"), Col("x")));
+  EXPECT_NE(l.status().message().find("must not be a constant"),
+            std::string::npos);
+}
+
+TEST(PlanBuilderTest, CaseAndSubstrValidation) {
+  auto t = MakeNumbersTable(16);
+  // Case branches must agree in type.
+  PlanBuilder c = PlanBuilder::Scan(t.get());
+  c.Project(Outs("bad", Case(Lt(Col("a"), Lit(1)), Col("a"), Col("x"))));
+  EXPECT_NE(c.status().message().find("case branches disagree"),
+            std::string::npos);
+  // A literal branch coerces to the column branch's type.
+  PlanBuilder ok = PlanBuilder::Scan(t.get());
+  ok.Project(Outs("v", Case(Lt(Col("a"), Lit(1)), Col("x"), Lit(0.0))));
+  ASSERT_TRUE(ok.status().ok()) << ok.status().message();
+  EXPECT_EQ(ok.schema()[0].type, PhysicalType::kF64);
+  // A string literal cannot masquerade as a numeric case branch (the
+  // evaluator would silently fill 0).
+  PlanBuilder sl = PlanBuilder::Scan(t.get());
+  sl.Project(Outs("bad", Case(Lt(Col("a"), Lit(1)), Lit("hot"),
+                              Col("x"))));
+  EXPECT_NE(sl.status().message().find("case branches disagree"),
+            std::string::npos);
+  // ...nor a comparison constant (same silent-zero hazard).
+  PlanBuilder sc = PlanBuilder::Scan(t.get());
+  sc.Filter(Eq(Col("a"), Lit("ten")));
+  EXPECT_NE(sc.status().message().find("type mismatch"),
+            std::string::npos);
+  // Substring requires a string source and produces a string.
+  PlanBuilder bad = PlanBuilder::Scan(t.get());
+  bad.Project(Outs("bad", Substr(Col("a"), 0, 2)));
+  EXPECT_NE(bad.status().message().find("substring over non-string"),
+            std::string::npos);
+  // A literal substring source is rejected eagerly (the evaluator
+  // requires a vector operand and would abort).
+  PlanBuilder lit = PlanBuilder::Scan(t.get());
+  lit.Project(Outs("bad", Substr(Lit("abcdef"), 0, 2)));
+  EXPECT_NE(lit.status().message().find(
+                "substring source must be a column"),
+            std::string::npos);
+  PlanBuilder good = PlanBuilder::Scan(t.get());
+  good.Project(Outs("tag", Substr(Col("s"), 0, 2)));
+  ASSERT_TRUE(good.status().ok()) << good.status().message();
+  EXPECT_EQ(good.schema()[0].type, PhysicalType::kStr);
 }
 
 // ---------------------------------------------------------------------

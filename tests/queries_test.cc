@@ -212,6 +212,10 @@ void ExpectStagedParity(const plan::LogicalPlan& plan, const char* what) {
   }
 }
 
+TEST_F(StagedQueriesTest, Q2ByteIdenticalStaged) {
+  ExpectStagedParity(Q2Plan(*data_), "Q2");
+}
+
 TEST_F(StagedQueriesTest, Q3ByteIdenticalStaged) {
   ExpectStagedParity(Q3Plan(*data_), "Q3");
 }
@@ -228,12 +232,32 @@ TEST_F(StagedQueriesTest, Q10ByteIdenticalStaged) {
   ExpectStagedParity(Q10Plan(*data_), "Q10");
 }
 
+TEST_F(StagedQueriesTest, Q11ByteIdenticalStaged) {
+  ExpectStagedParity(Q11Plan(*data_), "Q11");
+}
+
 TEST_F(StagedQueriesTest, Q12ByteIdenticalStaged) {
   ExpectStagedParity(Q12Plan(*data_), "Q12");
 }
 
+TEST_F(StagedQueriesTest, Q13ByteIdenticalStaged) {
+  ExpectStagedParity(Q13Plan(*data_), "Q13");
+}
+
 TEST_F(StagedQueriesTest, Q14ByteIdenticalStaged) {
   ExpectStagedParity(Q14Plan(*data_), "Q14");
+}
+
+TEST_F(StagedQueriesTest, Q15ByteIdenticalStaged) {
+  ExpectStagedParity(Q15Plan(*data_), "Q15");
+}
+
+TEST_F(StagedQueriesTest, Q17ByteIdenticalStaged) {
+  ExpectStagedParity(Q17Plan(*data_), "Q17");
+}
+
+TEST_F(StagedQueriesTest, Q22ByteIdenticalStaged) {
+  ExpectStagedParity(Q22Plan(*data_), "Q22");
 }
 
 // --- every query, every mode, identical results ---

@@ -105,8 +105,49 @@ TEST_F(StringKernelTest, RegisteredInDictionary) {
   const auto& dict = PrimitiveDictionary::Global();
   EXPECT_NE(dict.Find("sel_eq_str_col_str_val"), nullptr);
   EXPECT_NE(dict.Find("sel_contains_str_col_str_val"), nullptr);
+  EXPECT_NE(dict.Find("map_substr_str_col_val"), nullptr);
   const FlavorEntry* eq = dict.Find("sel_eq_str_col_str_val");
   EXPECT_GE(eq->FindFlavor("nobranching"), 0);
+}
+
+TEST_F(StringKernelTest, SubstrFlavorsAgreeAndClamp) {
+  std::vector<StrRef> col{S(""), S("a"), S("ab"), S("abcdef"),
+                          S("13-987-1"), S("q"), S("xyzw")};
+  const SubstrSpec spec{1, 3};
+  auto run = [&](PrimFn fn, const sel_t* sel, size_t sel_n) {
+    std::vector<StrRef> out(col.size());
+    PrimCall c;
+    c.n = col.size();
+    c.res = out.data();
+    c.in1 = col.data();
+    c.in2 = &spec;
+    c.sel = sel;
+    c.sel_n = sel_n;
+    fn(c);
+    return out;
+  };
+  // Dense: the window clamps to each string — empty in, empty out.
+  const auto scalar =
+      run(&string_detail::MapSubstrScalar, nullptr, 0);
+  const auto unroll =
+      run(&string_detail::MapSubstrUnroll4, nullptr, 0);
+  const std::vector<std::string> expect{"",    "",    "b", "bcd",
+                                        "3-9", "",    "yzw"};
+  for (size_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(std::string(scalar[i].view()), expect[i]) << i;
+    EXPECT_EQ(std::string(unroll[i].view()), expect[i]) << i;
+  }
+  // Selective: only the listed positions are written; both flavors
+  // agree position for position.
+  const std::vector<sel_t> sel{0, 3, 4, 6};
+  const auto s2 =
+      run(&string_detail::MapSubstrScalar, sel.data(), sel.size());
+  const auto u2 =
+      run(&string_detail::MapSubstrUnroll4, sel.data(), sel.size());
+  for (const sel_t i : sel) {
+    EXPECT_EQ(std::string(s2[i].view()), expect[i]) << i;
+    EXPECT_EQ(std::string(u2[i].view()), expect[i]) << i;
+  }
 }
 
 }  // namespace
