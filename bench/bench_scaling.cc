@@ -23,14 +23,21 @@
 //    them morsel-parallel — this section tracks that staging preserves
 //    both the speedup and the bit-exact identity.
 //
+// 4. Governance overhead: Q1/Q6 governed (live QueryContext — far
+//    deadline, large memory budget, so polls and accounting run but
+//    never fire) vs ungoverned. Governance lives only at batch/morsel
+//    boundaries, so the delta should be ~1%; >10% fails the bench.
+//
 // Expected: near-linear scaling up to the physical core count (>= 2.5x
 // at 4 threads on a 4+-core host); on smaller hosts the curve flattens
 // at #cores and the JSON records the host's core count so the reader
 // can tell saturation from regression. Emits BENCH_scaling.json.
+#include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "bench_util.h"
+#include "exec/query_context.h"
 #include "exec/op_project.h"
 #include "exec/op_select.h"
 #include "exec/parallel/parallel_executor.h"
@@ -118,6 +125,17 @@ f64 MedianSeconds(F&& run, int reps = 5) {
   return samples[static_cast<size_t>(reps / 2)];
 }
 
+/// Best (minimum) seconds over `reps` runs after one warmup — the
+/// noise-robust statistic for overhead comparisons: scheduling noise
+/// only ever adds time, so min-vs-min isolates the code's own cost.
+template <typename F>
+f64 MinSeconds(F&& run, int reps = 7) {
+  run();  // warmup
+  f64 best = run();
+  for (int r = 1; r < reps; ++r) best = std::min(best, run());
+  return best;
+}
+
 struct NamedPlan {
   const char* name;
   plan::LogicalPlan plan;
@@ -188,6 +206,73 @@ bool RunPlanQueries(std::vector<NamedPlan> queries, int cores,
     }
   }
   return all_identical;
+}
+
+/// Section 4: lifecycle-governance overhead. The same Q1/Q6 plans run
+/// ungoverned (no QueryContext) and governed (far deadline + large
+/// memory budget, so every poll point and accounting charge is live but
+/// nothing ever fires). Poll points sit only at batch/morsel
+/// boundaries, so the delta should be noise (~1%); a blow-up past 10%
+/// means someone put governance in a hot loop, and the bench fails.
+bool RunGovernanceOverhead(std::vector<NamedPlan> queries, int cores,
+                           bench::BenchJson* json) {
+  std::printf("\n%-6s %-9s %12s %12s %10s %10s\n", "query", "mode",
+              "ungoverned", "governed", "overhead", "identical");
+  bool acceptable = true;
+  struct ModeRow {
+    const char* name;
+    plan::ExecMode mode;
+    int threads;
+  };
+  const ModeRow modes[] = {{"serial", plan::ExecMode::kSerial, 1},
+                           {"par4", plan::ExecMode::kParallel, 4}};
+  for (NamedPlan& q : queries) {
+    MA_CHECK(q.plan.ok());
+    for (const ModeRow& m : modes) {
+      plan::SessionConfig cfg;
+      cfg.engine.adaptive.mode = ExecMode::kAdaptive;
+      cfg.parallel.num_threads = m.threads;
+      plan::QuerySession session{cfg};
+
+      RunResult plain;
+      const f64 plain_seconds = MinSeconds([&] {
+        plain = session.Run(q.plan, m.mode);
+        return plain.seconds;
+      });
+      MA_CHECK(plain.ok());
+
+      QueryContext ctx;
+      ctx.SetTimeout(std::chrono::hours(1));
+      ctx.SetMemoryBudget(8ULL << 30);  // 8 GiB: accounting on, no trip
+      RunResult governed;
+      const f64 governed_seconds = MinSeconds([&] {
+        ctx.Reset();
+        governed = session.Run(q.plan, m.mode, &ctx);
+        return governed.seconds;
+      });
+      MA_CHECK(governed.ok());
+
+      const bool identical =
+          BitFingerprint(*governed.table) == BitFingerprint(*plain.table);
+      const f64 overhead_pct =
+          (governed_seconds / plain_seconds - 1.0) * 100.0;
+      acceptable = acceptable && identical && overhead_pct < 10.0;
+      std::printf("%-6s %-9s %12.6f %12.6f %9.2f%% %10s\n", q.name,
+                  m.name, plain_seconds, governed_seconds, overhead_pct,
+                  identical ? "yes" : "NO");
+      json->AddRow()
+          .Str("query", q.name)
+          .Str("mode", "governed_overhead")
+          .Str("exec", m.name)
+          .Num("threads", m.threads)
+          .Num("host_cores", cores)
+          .Num("ungoverned_seconds", plain_seconds)
+          .Num("governed_seconds", governed_seconds)
+          .Num("governed_overhead_pct", overhead_pct)
+          .Num("identical_to_ungoverned", identical ? 1 : 0);
+    }
+  }
+  return acceptable;
 }
 
 int Run() {
@@ -284,6 +369,18 @@ int Run() {
   plans_identical =
       RunPlanQueries(std::move(staged), cores, &json) && plans_identical;
 
+  bench::PrintHeader(
+      "Lifecycle-governance overhead: Q1 + Q6, governed vs ungoverned",
+      "Governed = a live QueryContext with a far deadline and a large "
+      "memory budget, so cancellation polls and memory accounting run "
+      "on every batch/morsel boundary but never fire. Expected "
+      "overhead ~1% (noise); >10% fails the bench.");
+  std::vector<NamedPlan> governed;
+  governed.push_back({"q1", tpch::Q1Plan(*data)});
+  governed.push_back({"q6", tpch::Q6Plan(*data)});
+  const bool governance_cheap =
+      RunGovernanceOverhead(std::move(governed), cores, &json);
+
   std::printf(
       "\nExpected: >= 2.5x at 4 threads on a 4+-core host; the curve\n"
       "saturates at the physical core count (host_cores in the JSON).\n"
@@ -297,6 +394,11 @@ int Run() {
   if (!plans_identical) {
     std::fprintf(stderr,
                  "FAIL: parallel plan result diverged from serial\n");
+    return 1;
+  }
+  if (!governance_cheap) {
+    std::fprintf(stderr,
+                 "FAIL: governed run diverged or overhead exceeded 10%%\n");
     return 1;
   }
   return 0;

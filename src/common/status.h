@@ -18,6 +18,12 @@ enum class StatusCode {
   kAlreadyExists,
   kInternal,
   kUnimplemented,
+  // Query-lifecycle terminations (exec/query_context.h): a governed run
+  // that was cancelled, ran past its deadline, or overran its memory
+  // budget ends with one of these instead of aborting the process.
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 class Status {
@@ -41,6 +47,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -68,6 +83,46 @@ class Status {
     ::ma::Status _st = (expr);                \
     if (!_st.ok()) return _st;                \
   } while (0)
+
+/// Value-or-error result for fallible producers. Accessing value() of a
+/// failed result is an invariant violation (check ok() / use
+/// MA_ASSIGN_OR_RETURN).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT: implicit
+    MA_CHECK(!status_.ok());  // OK without a value is meaningless
+  }
+  StatusOr(T v) : value_(std::move(v)) {}  // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() {
+    MA_CHECK(status_.ok());
+    return value_;
+  }
+  T take() {
+    MA_CHECK(status_.ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define MA_STATUS_CONCAT_INNER(a, b) a##b
+#define MA_STATUS_CONCAT(a, b) MA_STATUS_CONCAT_INNER(a, b)
+
+/// MA_ASSIGN_OR_RETURN(auto x, Producer()): evaluates a StatusOr
+/// expression, returns its status on failure, otherwise moves the value
+/// into the declared lhs.
+#define MA_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto MA_STATUS_CONCAT(_sor_, __LINE__) = (expr);              \
+  if (!MA_STATUS_CONCAT(_sor_, __LINE__).ok()) {                \
+    return MA_STATUS_CONCAT(_sor_, __LINE__).status();          \
+  }                                                             \
+  lhs = MA_STATUS_CONCAT(_sor_, __LINE__).take()
 
 }  // namespace ma
 

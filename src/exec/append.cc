@@ -76,6 +76,24 @@ void AppendDefault(Column* dst) {
   });
 }
 
+u64 ApproxBatchBytes(const Batch& batch) {
+  const size_t live = batch.live_count();
+  u64 bytes = 0;
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    const Vector& v = batch.column(c);
+    bytes += static_cast<u64>(live) * TypeWidth(v.type());
+    if (v.type() != PhysicalType::kStr) continue;
+    const StrRef* strs = v.Data<StrRef>();
+    if (batch.has_sel()) {
+      const SelVector& sel = batch.sel();
+      for (size_t i = 0; i < sel.size(); ++i) bytes += strs[sel[i]].len;
+    } else {
+      for (size_t i = 0; i < batch.row_count(); ++i) bytes += strs[i].len;
+    }
+  }
+  return bytes;
+}
+
 void AppendVectorCell(const Vector& src, size_t row, Column* dst) {
   ForPhysicalType(src.type(), [&](auto tag) {
     using T = decltype(tag);

@@ -63,6 +63,12 @@ void AppendDefault(Column* dst);
 /// Copies one cell of a vector to the end of `dst`.
 void AppendVectorCell(const Vector& src, size_t row, Column* dst);
 
+/// Approximate bytes needed to materialize the live rows of `batch`:
+/// fixed-width columns at TypeWidth, string columns at StrRef plus
+/// payload length. QueryContext memory accounting charges this when a
+/// batch is copied into an IntermediateTable or result table.
+u64 ApproxBatchBytes(const Batch& batch);
+
 }  // namespace ma
 
 #endif  // MA_EXEC_APPEND_H_

@@ -1,6 +1,7 @@
 #include "exec/engine.h"
 
 #include "common/cycleclock.h"
+#include "exec/append.h"
 #include "exec/operator.h"
 
 namespace ma {
@@ -32,25 +33,55 @@ u64 Engine::TotalPrimitiveCycles() const {
 
 RunResult Engine::Run(Operator& root, bool materialize) {
   RunResult result;
+  // A run governed by the private fallback context starts clean; an
+  // external context is one-per-run by contract and is left alone.
+  if (context_ == &own_context_) own_context_.Reset();
+  QueryContext* ctx = context_;
   const u64 prim_at_start = TotalPrimitiveCycles();
   const u64 t0 = CycleClock::Now();
 
-  MA_CHECK(root.Open().ok());
+  if (!ctx->MaybeInjectFault("engine/open").ok() ||
+      !ctx->Poll().ok()) {
+    result.status = ctx->status();
+    result.reason = ReasonFromStatus(result.status);
+    return result;
+  }
+  {
+    Status open = root.Open();
+    if (!open.ok()) ctx->Fail(std::move(open));
+  }
   const u64 t_open = CycleClock::Now();
 
   if (materialize) result.table = std::make_unique<Table>("result");
   Batch batch;
   u64 append_cycles = 0;
-  for (;;) {
-    batch.Clear();
-    if (!root.Next(&batch)) break;
-    result.rows_emitted += batch.live_count();
-    if (!materialize) continue;
-    const u64 a0 = CycleClock::Now();
-    AppendBatchToTable(batch, result.table.get());
-    append_cycles += CycleClock::Now() - a0;
+  u64 batches = 0;
+  const bool charged = ctx->accounting_enabled();
+  if (ctx->status().ok()) {
+    for (;;) {
+      // Cooperative cancellation: one relaxed load per batch, a full
+      // deadline poll every 32 batches (~32K rows).
+      if (ctx->ShouldStop()) break;
+      if ((batches++ & 31u) == 0 && !ctx->Poll().ok()) break;
+      if (!ctx->MaybeInjectFault("engine/batch").ok()) break;
+      batch.Clear();
+      if (!root.Next(&batch)) break;
+      result.rows_emitted += batch.live_count();
+      if (!materialize) continue;
+      if (charged &&
+          !ctx->ReserveMemory("alloc/result", ApproxBatchBytes(batch))
+               .ok()) {
+        break;
+      }
+      const u64 a0 = CycleClock::Now();
+      AppendBatchToTable(batch, result.table.get());
+      append_cycles += CycleClock::Now() - a0;
+    }
   }
   const u64 t_end = CycleClock::Now();
+  result.status = ctx->status();
+  result.reason = ReasonFromStatus(result.status);
+  if (!result.status.ok()) result.table.reset();
 
   result.stages.preprocess = t_open - t0;
   result.stages.execute = t_end - t_open - append_cycles;

@@ -12,6 +12,7 @@
 
 #include "adapt/heuristics.h"
 #include "adapt/primitive_instance.h"
+#include "exec/query_context.h"
 #include "registry/primitive_dictionary.h"
 #include "storage/table.h"
 
@@ -42,6 +43,13 @@ struct RunResult {
   u64 rows_emitted = 0;
   u64 total_cycles = 0;
   f64 seconds = 0;
+  /// Terminal status of the run: OK on success, the query's first error
+  /// otherwise (cancellation, deadline, budget overrun, operator
+  /// failure). A failed run's table is partial or null — never use it.
+  Status status;
+  /// Why the run ended, derived from `status` (kOk on success).
+  TerminationReason reason = TerminationReason::kOk;
+  bool ok() const { return status.ok(); }
 };
 
 class Engine {
@@ -76,10 +84,24 @@ class Engine {
   /// Drops all instances/profiling (e.g. between benchmark repetitions).
   void ResetProfile() { instances_.clear(); }
 
+  /// The query context governing runs on this engine — never null.
+  /// Without an external context (set_context) the engine uses a
+  /// private fallback that Run() resets per run, so ungoverned
+  /// hand-built trees stay self-contained.
+  QueryContext* context() const { return context_; }
+
+  /// Installs the per-query context (not owned); null restores the
+  /// private fallback. QuerySession/ParallelExecutor call this per run.
+  void set_context(QueryContext* ctx) {
+    context_ = ctx != nullptr ? ctx : &own_context_;
+  }
+
  private:
   EngineConfig config_;
   PrimitiveDictionary* dict_;
   std::vector<std::unique_ptr<PrimitiveInstance>> instances_;
+  QueryContext own_context_;
+  QueryContext* context_ = &own_context_;
 };
 
 }  // namespace ma

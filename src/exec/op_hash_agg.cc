@@ -45,15 +45,22 @@ Status HashAggOperator::Open() {
   key_scratch_.resize(kMaxVectorSize, 0);
   gid_scratch_.resize(kMaxVectorSize, 0);
   emit_pos_ = 0;
+  charged_bytes_ = 0;
   input_done_ = false;
 
-  // Drain the child now (blocking operator).
+  // Drain the child now (blocking operator). Each batch is a
+  // cancellation point; aggregation-state growth is charged against the
+  // memory budget when one is set.
+  QueryContext* ctx = engine_->context();
+  const bool charged = ctx->accounting_enabled();
   Batch batch;
   for (;;) {
+    if (ctx->ShouldStop()) return ctx->status();
     batch.Clear();
     if (!child_->Next(&batch)) break;
     if (batch.live_count() == 0) continue;
     ConsumeBatch(batch);
+    if (charged) MA_RETURN_IF_ERROR(ChargeAggMemory(ctx));
   }
   input_done_ = true;
   // If the input was empty, no aggregate got bound: settle argument
@@ -98,6 +105,27 @@ void HashAggOperator::ResizeAccumulators() {
     }
     if (st.spec.fn == "avg") st.count.resize(groups, 0);
   }
+}
+
+Status HashAggOperator::ChargeAggMemory(QueryContext* ctx) {
+  // Approximate resident aggregation state: group table slots (packed
+  // key + dense gid), accumulator arrays, avg counters, and group-output
+  // columns (string payloads counted at StrRef width — the heap bytes
+  // are bounded by the same order). Only the growth since the previous
+  // charge is reserved.
+  const u64 groups = table_.num_groups();
+  u64 bytes = groups * 16;
+  for (const AggState& st : aggs_) {
+    bytes += st.acc_i.size() * sizeof(i64) + st.acc_f.size() * sizeof(f64) +
+             st.acc_fx.size() * sizeof(i128) + st.count.size() * sizeof(i64);
+  }
+  for (const auto& col : group_out_cols_) {
+    bytes += static_cast<u64>(col->size()) * TypeWidth(col->type());
+  }
+  if (bytes <= charged_bytes_) return Status::OK();
+  const u64 delta = bytes - charged_bytes_;
+  charged_bytes_ = bytes;
+  return ctx->ReserveMemory("alloc/agg", delta);
 }
 
 void HashAggOperator::ConsumeBatch(Batch& batch) {

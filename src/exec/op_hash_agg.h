@@ -126,6 +126,11 @@ class HashAggOperator : public Operator {
 
   void ConsumeBatch(Batch& batch);
   void ResizeAccumulators();
+  /// Charges the growth of the aggregation state (group table +
+  /// accumulators + group-output columns) since the last charge against
+  /// the query's memory budget ("alloc/agg"). Only called when the
+  /// context has accounting enabled.
+  Status ChargeAggMemory(QueryContext* ctx);
 
   OperatorPtr child_;
   std::vector<GroupKey> group_keys_;
@@ -143,6 +148,8 @@ class HashAggOperator : public Operator {
   std::vector<i64> key_scratch_;
   std::vector<u32> gid_scratch_;
   u32 emit_pos_ = 0;
+  /// Aggregation-state bytes already charged to the query context.
+  u64 charged_bytes_ = 0;
   bool input_done_ = false;
   bool emit_key_sorted_ = false;
   /// Emission order (gid per output row) when emit_key_sorted_; empty

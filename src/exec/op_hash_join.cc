@@ -78,7 +78,10 @@ Status HashJoinOperator::Open() {
     Batch batch;
     std::vector<i64> dense_keys;
     u64 materialized = 0;
+    QueryContext* ctx = engine_->context();
+    const bool charged = ctx->accounting_enabled();
     for (;;) {
+      if (ctx->ShouldStop()) return ctx->status();
       batch.Clear();
       if (!build_->Next(&batch)) break;
       if (batch.live_count() == 0) continue;
@@ -86,6 +89,13 @@ Status HashJoinOperator::Open() {
       // grows incrementally (no second full copy of the key column).
       dense_keys.clear();
       DrainBuildBatch(batch, spec_, &dense_keys, &build_cols_);
+      if (charged) {
+        // Resident build state grows by the key+row slots plus the
+        // materialized output columns for this batch.
+        MA_RETURN_IF_ERROR(ctx->ReserveMemory(
+            "alloc/build",
+            dense_keys.size() * 16 + ApproxBatchBytes(batch)));
+      }
       ht_.Append(dense_keys.data(), dense_keys.size(), nullptr, 0,
                  materialized);
       materialized += dense_keys.size();

@@ -22,15 +22,25 @@ Status MergeJoinOperator::Drain(
   MA_RETURN_IF_ERROR(child->Open());
   Batch batch;
   i64 prev = std::numeric_limits<i64>::min();
+  QueryContext* ctx = engine_->context();
+  const bool charged = ctx->accounting_enabled();
   for (;;) {
+    if (ctx->ShouldStop()) return ctx->status();
     batch.Clear();
     if (!child->Next(&batch)) break;
     if (batch.live_count() == 0) continue;
+    if (charged) {
+      MA_RETURN_IF_ERROR(
+          ctx->ReserveMemory("alloc/merge", ApproxBatchBytes(batch)));
+    }
     const int key_idx = batch.FindColumn(key);
     MA_CHECK(key_idx >= 0);
     const i64* keys = batch.column(key_idx).Data<i64>();
+    // A mis-sorted input is a planner/user contract breach, not an
+    // engine invariant: fail the query instead of aborting the process.
+    bool sorted = true;
     auto push = [&](sel_t i) {
-      MA_CHECK(keys[i] >= prev);  // inputs must arrive sorted
+      sorted &= keys[i] >= prev;
       prev = keys[i];
       side->keys.push_back(keys[i]);
     };
@@ -41,6 +51,12 @@ Status MergeJoinOperator::Drain(
       for (size_t i = 0; i < batch.row_count(); ++i) {
         push(static_cast<sel_t>(i));
       }
+    }
+    if (!sorted) {
+      Status s = Status::InvalidArgument(
+          "merge join input key '" + key + "' is not sorted ascending");
+      ctx->Fail(s);
+      return s;
     }
     if (side->cols.empty()) {
       for (const auto& [src, out_name] : outs) {

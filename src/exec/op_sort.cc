@@ -15,9 +15,16 @@ Status SortOperator::Open() {
   MA_RETURN_IF_ERROR(child_->Open());
   buffer_ = std::make_unique<Table>("sort_buffer");
   Batch batch;
+  QueryContext* ctx = engine_->context();
+  const bool charged = ctx->accounting_enabled();
   for (;;) {
+    if (ctx->ShouldStop()) return ctx->status();
     batch.Clear();
     if (!child_->Next(&batch)) break;
+    if (charged) {
+      MA_RETURN_IF_ERROR(
+          ctx->ReserveMemory("alloc/sort", ApproxBatchBytes(batch)));
+    }
     AppendBatchToTable(batch, buffer_.get());
   }
   order_.resize(buffer_->row_count());

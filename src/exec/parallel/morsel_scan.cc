@@ -38,6 +38,16 @@ Status MorselScanOperator::Open() {
 
 bool MorselScanOperator::Next(Batch* out) {
   if (!in_morsel_ || pos_ >= cur_.end) {
+    // Morsel claims are the parallel cancellation points: a full poll
+    // (stop flag + deadline) plus the fault-injection site, once per
+    // ~64K rows. Unclaimed morsels stay in the queue and are drained
+    // without executing by whichever workers reach them.
+    QueryContext* ctx = engine_->context();
+    if (!ctx->Poll().ok() ||
+        !ctx->MaybeInjectFault("parallel/morsel").ok()) {
+      in_morsel_ = false;
+      return false;
+    }
     if (!queue_->Next(worker_, &cur_)) {
       in_morsel_ = false;
       return false;

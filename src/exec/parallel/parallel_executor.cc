@@ -48,11 +48,14 @@ ParallelExecutor::ParallelExecutor(EngineConfig engine_config,
 
 ParallelExecutor::~ParallelExecutor() = default;
 
-void ParallelExecutor::ResetEngines() {
+QueryContext* ParallelExecutor::ResetEngines() {
+  if (context_ == &own_context_) own_context_.Reset();
   engines_.clear();
   for (int w = 0; w < num_threads(); ++w) {
     engines_.push_back(std::make_unique<Engine>(engine_config_, dict_));
+    engines_.back()->set_context(context_);
   }
+  return context_;
 }
 
 u64 ParallelExecutor::TotalPrimitiveCycles() const {
@@ -75,7 +78,7 @@ RunResult ParallelExecutor::RunPipeline(
   auto sink = std::make_unique<Table>("result");
   RunResult result =
       RunPipelineImpl(table, std::move(scan_columns), factory, sink.get());
-  result.table = std::move(sink);
+  if (result.status.ok()) result.table = std::move(sink);
   return result;
 }
 
@@ -93,8 +96,9 @@ RunResult ParallelExecutor::RunPipelineImpl(
     const Table* table, std::vector<std::string> scan_columns,
     const PipelineFactory& factory, Table* sink) {
   MA_CHECK(table != nullptr);
-  ResetEngines();
+  QueryContext* ctx = ResetEngines();
   const u64 t0 = CycleClock::Now();
+  ctx->MaybeInjectFault("parallel/pipeline");
 
   MorselQueue queue(table->row_count(), parallel_config_.morsel_size,
                     num_threads(), parallel_config_.work_stealing);
@@ -103,21 +107,30 @@ RunResult ParallelExecutor::RunPipelineImpl(
   // index order afterwards makes the result independent of thread count
   // and stealing.
   std::vector<std::unique_ptr<Table>> morsel_out(queue.num_morsels());
-  std::vector<Status> status(num_threads(), Status::OK());
+  const bool accounted = ctx->accounting_enabled();
 
-  pool_->Run([&](int w) {
+  Status pool_status = pool_->Run([&](int w) {
+    if (ctx->ShouldStop()) return;
     Engine* engine = engines_[w].get();
     auto scan = std::make_unique<MorselScanOperator>(
         engine, table, scan_columns, &queue, w);
     MorselScanOperator* scan_leaf = scan.get();
     OperatorPtr root = factory(engine, std::move(scan));
-    status[w] = root->Open();
-    if (!status[w].ok()) return;
+    Status open = root->Open();
+    if (!open.ok()) {
+      ctx->Fail(std::move(open));
+      return;
+    }
     Batch batch;
     for (;;) {
       batch.Clear();
       if (!root->Next(&batch)) break;
       if (batch.live_count() == 0) continue;
+      if (accounted &&
+          !ctx->ReserveMemory("alloc/pipeline", ApproxBatchBytes(batch))
+               .ok()) {
+        return;
+      }
       // The pipeline is pull-based and holds no batches back, so this
       // output belongs to the morsel the scan leaf emitted last.
       const size_t m = scan_leaf->current_morsel();
@@ -127,14 +140,18 @@ RunResult ParallelExecutor::RunPipelineImpl(
       AppendBatchToTable(batch, morsel_out[m].get());
     }
   });
-  for (const Status& s : status) MA_CHECK(s.ok());
+  if (!pool_status.ok()) ctx->Fail(std::move(pool_status));
   const u64 t_exec = CycleClock::Now();
 
   RunResult result;
-  for (const auto& part : morsel_out) {
-    if (part != nullptr) AppendTableRows(*part, sink);
+  result.status = ctx->status();
+  result.reason = ReasonFromStatus(result.status);
+  if (result.status.ok()) {
+    for (const auto& part : morsel_out) {
+      if (part != nullptr) AppendTableRows(*part, sink);
+    }
+    result.rows_emitted = sink->row_count();
   }
-  result.rows_emitted = sink->row_count();
 
   const u64 t_end = CycleClock::Now();
   result.stages.execute = t_exec - t0;
@@ -150,7 +167,8 @@ std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
     const Table* build_table, std::vector<std::string> scan_columns,
     const PipelineFactory& factory, const HashJoinSpec& spec) {
   MA_CHECK(build_table != nullptr);
-  ResetEngines();
+  QueryContext* ctx = ResetEngines();
+  ctx->MaybeInjectFault("parallel/build");
 
   MorselQueue queue(build_table->row_count(), parallel_config_.morsel_size,
                     num_threads(), parallel_config_.work_stealing);
@@ -159,27 +177,38 @@ std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
     std::vector<std::unique_ptr<Column>> cols;
   };
   std::vector<BuildPartial> partials(queue.num_morsels());
-  std::vector<Status> status(num_threads(), Status::OK());
+  const bool accounted = ctx->accounting_enabled();
 
-  pool_->Run([&](int w) {
+  Status pool_status = pool_->Run([&](int w) {
+    if (ctx->ShouldStop()) return;
     Engine* engine = engines_[w].get();
     auto scan = std::make_unique<MorselScanOperator>(
         engine, build_table, scan_columns, &queue, w);
     MorselScanOperator* scan_leaf = scan.get();
     OperatorPtr root = factory(engine, std::move(scan));
-    status[w] = root->Open();
-    if (!status[w].ok()) return;
+    Status open = root->Open();
+    if (!open.ok()) {
+      ctx->Fail(std::move(open));
+      return;
+    }
     Batch batch;
     for (;;) {
       batch.Clear();
       if (!root->Next(&batch)) break;
       if (batch.live_count() == 0) continue;
+      if (accounted &&
+          !ctx->ReserveMemory("alloc/build", ApproxBatchBytes(batch)).ok()) {
+        return;
+      }
       BuildPartial& part = partials[scan_leaf->current_morsel()];
       HashJoinOperator::DrainBuildBatch(batch, spec, &part.keys,
                                         &part.cols);
     }
   });
-  for (const Status& s : status) MA_CHECK(s.ok());
+  if (!pool_status.ok()) ctx->Fail(std::move(pool_status));
+  // A failed build is useless (and possibly partial): report through
+  // the context and hand the caller nothing to probe.
+  if (!ctx->status().ok()) return nullptr;
 
   // Concatenate partials in morsel order: build row ids come out
   // exactly as a single-threaded drain would produce them.
@@ -247,15 +276,16 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
                                    const PipelineFactory& factory,
                                    const AggPlan& plan) {
   MA_CHECK(table != nullptr);
-  ResetEngines();
+  QueryContext* ctx = ResetEngines();
   const u64 t0 = CycleClock::Now();
+  ctx->MaybeInjectFault("parallel/agg");
 
   MorselQueue queue(table->row_count(), parallel_config_.morsel_size,
                     num_threads(), parallel_config_.work_stealing);
   std::vector<std::unique_ptr<HashAggOperator>> aggs(num_threads());
-  std::vector<Status> status(num_threads(), Status::OK());
 
-  pool_->Run([&](int w) {
+  Status pool_status = pool_->Run([&](int w) {
+    if (ctx->ShouldStop()) return;
     Engine* engine = engines_[w].get();
     auto scan = std::make_unique<MorselScanOperator>(
         engine, table, scan_columns, &queue, w);
@@ -270,11 +300,24 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
         engine, std::move(child), plan.group_keys, plan.group_outputs,
         std::move(specs), "parallel/agg");
     // Open() drains this worker's share of the morsels — the
-    // thread-local pre-aggregation.
-    status[w] = aggs[w]->Open();
+    // thread-local pre-aggregation. It polls the context per batch and
+    // charges "alloc/agg" growth itself.
+    Status open = aggs[w]->Open();
+    if (!open.ok()) ctx->Fail(std::move(open));
   });
-  for (const Status& s : status) MA_CHECK(s.ok());
+  if (!pool_status.ok()) ctx->Fail(std::move(pool_status));
   const u64 t_exec = CycleClock::Now();
+  if (!ctx->status().ok()) {
+    RunResult result;
+    result.status = ctx->status();
+    result.reason = ReasonFromStatus(result.status);
+    result.stages.execute = t_exec - t0;
+    result.stages.primitives = TotalPrimitiveCycles();
+    result.total_cycles = CycleClock::Now() - t0;
+    result.seconds =
+        static_cast<f64>(result.total_cycles) / CycleClock::FrequencyHz();
+    return result;
+  }
 
   // --- Merge the thread-local partials -------------------------------
   std::vector<HashAggOperator::Partial> parts;

@@ -100,7 +100,9 @@ class ParallelExecutor {
   /// them in morsel order into the shared table (deterministic row
   /// ids), finalizes, and — when `spec.use_bloom` — fills the shared
   /// bloom filter. Probe pipelines then mount the result via
-  /// HashJoinOperator's shared-build constructor.
+  /// HashJoinOperator's shared-build constructor. Returns null when the
+  /// query context failed mid-build (cancellation, deadline, budget,
+  /// worker error) — the caller reads context()->status().
   std::unique_ptr<SharedJoinBuild> BuildJoin(
       const Table* build_table, std::vector<std::string> scan_columns,
       const PipelineFactory& factory, const HashJoinSpec& spec);
@@ -127,6 +129,14 @@ class ParallelExecutor {
     return engines_;
   }
 
+  /// The query context governing runs — never null. Mirrors
+  /// Engine::set_context: null restores the private fallback, which
+  /// each run resets, so an ungoverned executor stays self-contained.
+  QueryContext* context() const { return context_; }
+  void set_context(QueryContext* ctx) {
+    context_ = ctx != nullptr ? ctx : &own_context_;
+  }
+
   /// Profiles of the most recent run, merged across workers by label.
   std::vector<InstanceProfile> MergedProfile() const;
 
@@ -137,8 +147,10 @@ class ParallelExecutor {
   RunResult RunPipelineImpl(const Table* table,
                             std::vector<std::string> scan_columns,
                             const PipelineFactory& factory, Table* sink);
-  /// Fresh per-worker engines for a new run.
-  void ResetEngines();
+  /// Fresh per-worker engines for a new run, all governed by the active
+  /// context (which is reset first when it is the private fallback).
+  /// Returns the context every phase of the run must poll.
+  QueryContext* ResetEngines();
   /// Sum of primitive cycles across all worker engines.
   u64 TotalPrimitiveCycles() const;
 
@@ -147,6 +159,8 @@ class ParallelExecutor {
   PrimitiveDictionary* dict_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Engine>> engines_;
+  QueryContext own_context_;
+  QueryContext* context_ = &own_context_;
 };
 
 }  // namespace ma

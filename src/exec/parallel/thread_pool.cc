@@ -1,5 +1,8 @@
 #include "exec/parallel/thread_pool.h"
 
+#include <exception>
+#include <new>
+
 #include "common/status.h"
 
 namespace ma {
@@ -21,15 +24,17 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::Run(const std::function<void(int)>& fn) {
+Status ThreadPool::Run(const std::function<void(int)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   MA_CHECK(pending_ == 0);
   task_ = &fn;
+  task_error_ = Status::OK();
   pending_ = size();
   ++generation_;
   start_cv_.notify_all();
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   task_ = nullptr;
+  return task_error_;
 }
 
 void ThreadPool::WorkerLoop(int id) {
@@ -44,10 +49,23 @@ void ThreadPool::WorkerLoop(int id) {
       seen = generation_;
       task = task_;
     }
-    (*task)(id);
+    // Contain anything a task throws: an escaping exception would
+    // std::terminate this thread, leave pending_ forever nonzero, and
+    // hang Run() plus the destructor's join.
+    Status error = Status::OK();
+    try {
+      (*task)(id);
+    } catch (const std::bad_alloc&) {
+      error = Status::ResourceExhausted("worker allocation failed");
+    } catch (const std::exception& e) {
+      error = Status::Internal(std::string("worker exception: ") + e.what());
+    } catch (...) {
+      error = Status::Internal("worker exception of unknown type");
+    }
     bool last;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (!error.ok() && task_error_.ok()) task_error_ = std::move(error);
       last = --pending_ == 0;
     }
     if (last) done_cv_.notify_one();

@@ -12,9 +12,11 @@
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace ma {
@@ -30,8 +32,13 @@ class ThreadPool {
   int size() const { return static_cast<int>(threads_.size()); }
 
   /// Invokes fn(worker_id) on every worker concurrently and blocks until
-  /// all workers have returned. Not reentrant.
-  void Run(const std::function<void(int)>& fn);
+  /// all workers have returned. Not reentrant. An exception escaping a
+  /// task is contained in the worker (never std::terminate): the first
+  /// one is reported in the returned Status (kResourceExhausted for
+  /// std::bad_alloc, kInternal otherwise) and the phase still completes
+  /// on every worker, so the pool and its condition variables stay
+  /// consistent for the next Run and for the destructor's join.
+  Status Run(const std::function<void(int)>& fn);
 
  private:
   void WorkerLoop(int id);
@@ -43,6 +50,7 @@ class ThreadPool {
   u64 generation_ = 0;
   int pending_ = 0;
   bool stop_ = false;
+  Status task_error_;  // first exception of the current phase (mu_)
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,196 @@
+#include "exec/query_context.h"
+
+#include <thread>
+
+namespace ma {
+
+const char* TerminationReasonName(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::kOk:
+      return "ok";
+    case TerminationReason::kCancelled:
+      return "cancelled";
+    case TerminationReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case TerminationReason::kResourceExhausted:
+      return "resource_exhausted";
+    case TerminationReason::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+TerminationReason ReasonFromStatus(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kOk:
+      return TerminationReason::kOk;
+    case StatusCode::kCancelled:
+      return TerminationReason::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return TerminationReason::kDeadlineExceeded;
+    case StatusCode::kResourceExhausted:
+      return TerminationReason::kResourceExhausted;
+    default:
+      return TerminationReason::kInternal;
+  }
+}
+
+// --- FaultInjector ---------------------------------------------------
+
+void FaultInjector::ArmFailure(std::string site_substr, u64 nth,
+                               StatusCode code, std::string message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arm a;
+  a.site_substr = std::move(site_substr);
+  a.nth = nth;
+  a.code = code;
+  a.message = std::move(message);
+  arms_.push_back(std::move(a));
+}
+
+void FaultInjector::ArmDelay(std::string site_substr, u64 nth,
+                             u64 micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arm a;
+  a.site_substr = std::move(site_substr);
+  a.nth = nth;
+  a.delay_micros = micros;
+  arms_.push_back(std::move(a));
+}
+
+void FaultInjector::ArmRandomFailure(std::string site_substr,
+                                     f64 probability, StatusCode code,
+                                     std::string message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Arm a;
+  a.site_substr = std::move(site_substr);
+  a.probability = probability;
+  a.code = code;
+  a.message = std::move(message);
+  arms_.push_back(std::move(a));
+}
+
+Status FaultInjector::Hit(std::string_view site) {
+  u64 delay_micros = 0;
+  Status fired = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_hits_;
+    for (Arm& a : arms_) {
+      if (site.find(a.site_substr) == std::string_view::npos) continue;
+      ++a.hits;
+      bool fire;
+      if (a.nth > 0) {
+        fire = a.hits == a.nth;
+      } else {
+        // Deterministic per (seed, site hash, hit index): splitmix-style
+        // scramble of the three into a uniform [0, 1) draw.
+        u64 x = seed_ ^ (a.hits * 0x9e3779b97f4a7c15ULL);
+        for (const char c : site) x = (x ^ static_cast<u8>(c)) * 0x100000001b3ULL;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        fire = static_cast<f64>(x >> 11) / static_cast<f64>(1ULL << 53) <
+               a.probability;
+      }
+      if (!fire) continue;
+      if (a.delay_micros > 0) {
+        delay_micros = a.delay_micros;
+      } else if (fired.ok()) {
+        fired = Status(a.code, "injected fault at " + std::string(site) +
+                                   ": " + a.message);
+      }
+    }
+  }
+  // Sleep outside the lock: a delay arm must not serialize other sites.
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+  return fired;
+}
+
+u64 FaultInjector::total_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_hits_;
+}
+
+// --- QueryContext ----------------------------------------------------
+
+void QueryContext::SetDeadline(std::chrono::steady_clock::time_point tp) {
+  deadline_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+}
+
+bool QueryContext::Fail(Status s) {
+  MA_CHECK(!s.ok());
+  bool installed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_.ok()) {
+      first_error_ = std::move(s);
+      installed = true;
+    }
+  }
+  // Raise the stop flag after the error is in place, so a poller that
+  // sees the flag always finds a non-OK status.
+  stop_.store(true, std::memory_order_release);
+  return installed;
+}
+
+Status QueryContext::Poll() {
+  if (stop_.load(std::memory_order_relaxed)) return status();
+  const i64 dl = deadline_ns_.load(std::memory_order_relaxed);
+  if (dl != 0) {
+    const i64 now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count();
+    if (now >= dl) {
+      Fail(Status::DeadlineExceeded("query deadline expired"));
+      return status();
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryContext::ReserveMemory(std::string_view site, u64 bytes) {
+  MA_RETURN_IF_ERROR(MaybeInjectFault(site));
+  const u64 now = reserved_.fetch_add(bytes, std::memory_order_relaxed) +
+                  bytes;
+  u64 peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+  const u64 budget = budget_.load(std::memory_order_relaxed);
+  if (budget != 0 && now > budget) {
+    // The overrun reservation stays recorded (high-water accounting);
+    // the query terminates before the allocation it covered can grow
+    // further. See docs/ROBUSTNESS.md for the accounting rules.
+    Status s = Status::ResourceExhausted(
+        "memory budget exhausted at " + std::string(site) + ": reserved " +
+        std::to_string(now) + " of " + std::to_string(budget) + " bytes");
+    Fail(s);
+    return s;
+  }
+  return Status::OK();
+}
+
+Status QueryContext::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void QueryContext::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    first_error_ = Status::OK();
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  reserved_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ma

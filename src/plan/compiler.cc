@@ -43,20 +43,27 @@ ExprPtr BindScalarRefs(const Expr& expr, const ScalarBindings& scalars) {
   return e;
 }
 
-ScalarValue ReadScalarValue(const Table& t, const std::string& column,
-                            PhysicalType type) {
-  ScalarValue v;
-  v.type = type;
-  MA_CHECK(t.row_count() <= 1);  // scalar subqueries produce one row
-  if (t.row_count() == 0) return v;
-  const Column* c = t.FindColumn(column);
-  MA_CHECK(c != nullptr && c->type() == type && c->size() >= 1);
-  if (type == PhysicalType::kF64) {
-    v.f = c->Get<f64>(0);
-  } else {
-    v.i = c->Get<i64>(0);
+Status ReadScalarValue(const Table& t, const std::string& column,
+                       PhysicalType type, ScalarValue* out) {
+  *out = ScalarValue();
+  out->type = type;
+  if (t.row_count() > 1) {
+    return Status::InvalidArgument(
+        "scalar subquery for '" + column + "' produced " +
+        std::to_string(t.row_count()) + " rows (expected at most one)");
   }
-  return v;
+  if (t.row_count() == 0) return Status::OK();
+  const Column* c = t.FindColumn(column);
+  if (c == nullptr || c->type() != type || c->size() < 1) {
+    return Status::InvalidArgument("scalar subquery column '" + column +
+                                   "' is missing or mistyped");
+  }
+  if (type == PhysicalType::kF64) {
+    out->f = c->Get<f64>(0);
+  } else {
+    out->i = c->Get<i64>(0);
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -502,7 +509,12 @@ OperatorPtr Compiler::Lower(const PlanNode* node, Engine* engine,
 
 OperatorPtr Compiler::CompileSerial(const LogicalPlan& plan,
                                     Engine* engine) {
-  MA_CHECK(plan.ok());
+  if (!plan.ok()) {
+    engine->context()->Fail(plan.status.ok()
+                                ? Status::InvalidArgument("empty plan")
+                                : plan.status);
+    return nullptr;
+  }
   // Scalar subqueries run first, in declaration order, on the same
   // engine; their values substitute into the main tree's expressions.
   // Subquery plans cannot reference scalars (builder contract), so
@@ -512,8 +524,22 @@ OperatorPtr Compiler::CompileSerial(const LogicalPlan& plan,
   for (const ScalarSpec& sc : plan.scalars) {
     OperatorPtr sub = Lower(sc.root.get(), engine, no_scalars);
     const RunResult r = engine->Run(*sub);
-    MA_CHECK(r.table != nullptr);
-    bindings[sc.name] = ReadScalarValue(*r.table, sc.column, sc.type);
+    if (!r.status.ok() || r.table == nullptr) {
+      // Engine::Run already recorded the failure on the context; make
+      // sure something is there even for a status-less null table.
+      engine->context()->Fail(
+          r.status.ok() ? Status::Internal("scalar subquery produced no "
+                                           "result table")
+                        : r.status);
+      return nullptr;
+    }
+    ScalarValue v;
+    Status s = ReadScalarValue(*r.table, sc.column, sc.type, &v);
+    if (!s.ok()) {
+      engine->context()->Fail(std::move(s));
+      return nullptr;
+    }
+    bindings[sc.name] = v;
   }
   return Lower(plan.root.get(), engine, bindings);
 }

@@ -61,12 +61,13 @@ struct ScalarValue {
 /// name -> value of every scalar the current compilation may reference.
 using ScalarBindings = std::unordered_map<std::string, ScalarValue>;
 
-/// Reads a scalar from its result table: row 0 of `column`, or the
-/// type's zero when the table is empty (threshold semantics — an empty
-/// aggregate result means "nothing qualifies"). More than one row is a
-/// contract breach and aborts.
-ScalarValue ReadScalarValue(const Table& t, const std::string& column,
-                            PhysicalType type);
+/// Reads a scalar from its result table into `out`: row 0 of `column`,
+/// or the type's zero when the table is empty (threshold semantics — an
+/// empty aggregate result means "nothing qualifies"). More than one
+/// row, a missing column or a type mismatch is a malformed query, not
+/// an engine invariant: reported as InvalidArgument.
+Status ReadScalarValue(const Table& t, const std::string& column,
+                       PhysicalType type, ScalarValue* out);
 
 /// Where a stage reads from: a base-table scan leaf of the plan, or the
 /// materialized output of an earlier stage.
@@ -151,10 +152,11 @@ class Compiler {
       std::unordered_map<const PlanNode*, const SharedJoinBuild*>;
 
   /// Lowers the whole plan into a serial operator tree on `engine`.
-  /// The plan must be ok(). Scalar subqueries are evaluated here, on
-  /// `engine`, in declaration order (compiling a plan with scalars
-  /// executes its subqueries — they are inputs to the main tree's
-  /// expressions, not part of it).
+  /// Scalar subqueries are evaluated here, on `engine`, in declaration
+  /// order (compiling a plan with scalars executes its subqueries —
+  /// they are inputs to the main tree's expressions, not part of it).
+  /// Returns null when the plan is invalid or a subquery run fails; the
+  /// error is recorded on engine->context() for the caller to report.
   static OperatorPtr CompileSerial(const LogicalPlan& plan, Engine* engine);
 
   /// Fragments `plan` into a stage DAG for the staged parallel

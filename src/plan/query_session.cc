@@ -70,9 +70,30 @@ QuerySession::QuerySession(SessionConfig config, PrimitiveDictionary* dict)
       dict_(dict),
       engine_(config_.engine, dict) {}
 
-RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode) {
-  MA_CHECK(plan.ok());
+namespace {
+
+RunResult FailedResult(QueryContext* ctx) {
+  RunResult r;
+  r.status = ctx->status();
+  if (r.status.ok()) r.status = Status::Internal("query failed");
+  r.reason = ReasonFromStatus(r.status);
+  return r;
+}
+
+}  // namespace
+
+RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode,
+                            QueryContext* ctx) {
+  if (ctx == nullptr) {
+    own_context_.Reset();
+    ctx = &own_context_;
+  }
   last_run_parallel_ = false;
+  if (!plan.ok()) {
+    ctx->Fail(plan.status.ok() ? Status::InvalidArgument("empty plan")
+                               : plan.status);
+    return FailedResult(ctx);
+  }
   if (mode != ExecMode::kSerial) {
     StagePlan sp;
     const Status s = Compiler::BuildStagePlan(plan, &sp);
@@ -87,24 +108,45 @@ RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode) {
     }
     if (parallel) {
       last_run_parallel_ = true;
-      return RunStaged(sp);
+      return RunStaged(sp, ctx);
     }
   }
-  return RunSerial(plan);
+  return RunSerial(plan, ctx);
 }
 
-RunResult QuerySession::RunSerial(const LogicalPlan& plan) {
+RunResult QuerySession::RunSerial(const LogicalPlan& plan,
+                                 QueryContext* ctx) {
   engine_.ResetProfile();
+  engine_.set_context(ctx);
+  RunResult r;
   OperatorPtr root = Compiler::CompileSerial(plan, &engine_);
-  return engine_.Run(*root);
+  if (root != nullptr) {
+    r = engine_.Run(*root);
+  } else {
+    r = FailedResult(ctx);  // compile recorded the error on ctx
+  }
+  engine_.set_context(nullptr);
+  return r;
 }
 
-RunResult QuerySession::RunStaged(const StagePlan& sp) {
+RunResult QuerySession::RunStaged(const StagePlan& sp, QueryContext* ctx) {
   if (parallel_ == nullptr) {
     parallel_ = std::make_unique<ParallelExecutor>(
         config_.engine, config_.parallel, dict_);
   }
   engine_.ResetProfile();  // sort/merge stages and the tail run here
+  engine_.set_context(ctx);
+  parallel_->set_context(ctx);
+  // Whatever way this run ends, the next query must find pristine
+  // executors: drop the context bindings on every exit path.
+  struct ContextGuard {
+    Engine* engine;
+    ParallelExecutor* parallel;
+    ~ContextGuard() {
+      engine->set_context(nullptr);
+      parallel->set_context(nullptr);
+    }
+  } guard{&engine_, parallel_.get()};
   const u64 t0 = CycleClock::Now();
 
   // Stage outputs: shared join builds keyed by plan node, materialized
@@ -139,6 +181,7 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
     acc.execute += r.stages.execute;
     acc.primitives += r.stages.primitives;
     acc.postprocess += r.stages.postprocess;
+    if (!r.status.ok()) return;  // the post-stage status check unwinds
     if (stage.materialize) {
       if (mats[stage.id] == nullptr) {
         mats[stage.id] = MakeIntermediate(stage);
@@ -150,8 +193,14 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
     }
   };
   // The stages vector is topologically ordered, so running front to
-  // back satisfies every dependency edge.
+  // back satisfies every dependency edge. A failed/cancelled query
+  // breaks out: downstream stages are skipped entirely (their inputs
+  // may not exist), and the post-loop check reports the first error.
   for (const Stage& stage : sp.stages) {
+    if (!ctx->Poll().ok() ||
+        !ctx->MaybeInjectFault("stage/" + std::to_string(stage.id)).ok()) {
+      break;
+    }
     switch (stage.kind) {
       case Stage::Kind::kJoinBuild: {
         const auto [table, columns] = resolve(stage.input);
@@ -163,6 +212,7 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
         };
         owned_builds.push_back(parallel_->BuildJoin(
             table, columns, factory, stage.join->hash_spec));
+        if (owned_builds.back() == nullptr) break;  // ctx holds the error
         builds[stage.join] = owned_builds.back().get();
         break;
       }
@@ -204,8 +254,15 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
           // per row; this earlier, explicit pass fails the stage before
           // the remaining merge inputs materialize, and goes away once
           // the compiler propagates order properties (ROADMAP).
-          MA_CHECK(!stage.sort_keys.empty() &&
-                   ColumnIsAscending(table, stage.sort_keys[0].column));
+          if (stage.sort_keys.empty() ||
+              !ColumnIsAscending(table, stage.sort_keys[0].column)) {
+            ctx->Fail(Status::InvalidArgument(
+                "merge join input key '" +
+                (stage.sort_keys.empty() ? std::string("?")
+                                         : stage.sort_keys[0].column) +
+                "' is not sorted ascending"));
+            break;
+          }
           outs[stage.id] = table;
           out_cols[stage.id] = columns;
           break;
@@ -229,16 +286,32 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
         break;
       }
     }
+    if (ctx->ShouldStop()) break;
     // A scalar stage just completed: read its broadcast value out of
     // the materialized single-row intermediate for every later stage's
     // compiled expressions.
     for (const StagePlan::ScalarStage& sc : sp.scalars) {
       if (sc.stage == stage.id) {
         MA_CHECK(outs[stage.id] != nullptr);
-        bindings[sc.name] =
-            ReadScalarValue(*outs[stage.id], sc.column, sc.type);
+        ScalarValue v;
+        Status s = ReadScalarValue(*outs[stage.id], sc.column, sc.type, &v);
+        if (!s.ok()) {
+          ctx->Fail(std::move(s));
+          break;
+        }
+        bindings[sc.name] = v;
       }
     }
+    if (ctx->ShouldStop()) break;
+  }
+
+  if (!ctx->status().ok()) {
+    RunResult failed = FailedResult(ctx);
+    failed.stages = acc;
+    failed.total_cycles = CycleClock::Now() - t0;
+    failed.seconds = static_cast<f64>(failed.total_cycles) /
+                     CycleClock::FrequencyHz();
+    return failed;
   }
 
   // Tail: sorts/limits (and post-breaker filters/projects) over the
@@ -263,6 +336,9 @@ RunResult QuerySession::RunStaged(const StagePlan& sp) {
   result.total_cycles = CycleClock::Now() - t0;
   result.seconds = static_cast<f64>(result.total_cycles) /
                    CycleClock::FrequencyHz();
+  result.status = ctx->status();  // the tail may have failed
+  result.reason = ReasonFromStatus(result.status);
+  if (!result.status.ok()) result.table.reset();
   return result;
 }
 

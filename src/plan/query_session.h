@@ -59,9 +59,17 @@ class QuerySession {
                         PrimitiveDictionary* dict =
                             &PrimitiveDictionary::Global());
 
-  /// Compiles and runs `plan` (which must be ok()) to a materialized
-  /// result table.
-  RunResult Run(const LogicalPlan& plan, ExecMode mode = ExecMode::kAuto);
+  /// Compiles and runs `plan` to a materialized result table. An
+  /// invalid plan returns a kInvalidArgument RunResult (never aborts).
+  /// `ctx` governs the run across every execution path — cancellation,
+  /// deadline, memory budget, fault injection (exec/query_context.h);
+  /// pass one context per run. Null runs ungoverned (a private fallback
+  /// context, reset per run, keeps error state from leaking between
+  /// queries). A failed run's RunResult carries the first error and its
+  /// TerminationReason, its table is null, and the session is reusable
+  /// for the next query as if freshly constructed.
+  RunResult Run(const LogicalPlan& plan, ExecMode mode = ExecMode::kAuto,
+                QueryContext* ctx = nullptr);
 
   /// True when the previous Run() executed the staged plan — its
   /// pipeline/build/aggregate stages through per-worker compiled
@@ -82,14 +90,19 @@ class QuerySession {
   std::vector<InstanceProfile> Profile() const;
 
  private:
-  RunResult RunSerial(const LogicalPlan& plan);
-  RunResult RunStaged(const StagePlan& sp);
+  RunResult RunSerial(const LogicalPlan& plan, QueryContext* ctx);
+  RunResult RunStaged(const StagePlan& sp, QueryContext* ctx);
 
   SessionConfig config_;
   PrimitiveDictionary* dict_;
   Engine engine_;
   std::unique_ptr<ParallelExecutor> parallel_;
   bool last_run_parallel_ = false;
+  /// Fallback context for Run(plan, mode, nullptr), reset per run. The
+  /// staged path shares ONE context between the serial engine and the
+  /// parallel executor, which is why the session owns it rather than
+  /// leaning on their private fallbacks.
+  QueryContext own_context_;
 };
 
 }  // namespace ma::plan

@@ -119,6 +119,15 @@ RunResult Q2(Engine* e, const TpchData& d) { return RunPlan(e, Q2Plan(d)); }
 RunResult RunPlan(Engine* e, const plan::LogicalPlan& p) {
   MA_CHECK(p.ok());
   auto root = plan::Compiler::CompileSerial(p, e);
+  if (root == nullptr) {
+    // A failed scalar subquery: the compiler recorded the error on the
+    // engine's context.
+    RunResult r;
+    r.status = e->context()->status();
+    if (r.status.ok()) r.status = Status::Internal("plan compilation failed");
+    r.reason = ReasonFromStatus(r.status);
+    return r;
+  }
   return e->Run(*root);
 }
 
