@@ -28,12 +28,22 @@
 //    never fire) vs ungoverned. Governance lives only at batch/morsel
 //    boundaries, so the delta should be ~1%; >10% fails the bench.
 //
+// 5. Concurrent serving: the plan-ported TPC-H query set submitted by
+//    1/2/4 concurrent tenants through one serve::WorkloadServer on a
+//    shared 4-thread pool (throughput in queries/sec, every completed
+//    table byte-identical to the single-tenant serial baseline), and
+//    shed rate vs offered load against a deliberately tiny server —
+//    overload must shed with kRejected-only semantics, and a shed
+//    query that returns a table is a hard bench failure.
+//
 // Expected: near-linear scaling up to the physical core count (>= 2.5x
 // at 4 threads on a 4+-core host); on smaller hosts the curve flattens
 // at #cores and the JSON records the host's core count so the reader
 // can tell saturation from regression. Emits BENCH_scaling.json.
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <thread>
 
 #include "bench_util.h"
@@ -42,6 +52,7 @@
 #include "exec/op_select.h"
 #include "exec/parallel/parallel_executor.h"
 #include "plan/query_session.h"
+#include "serve/workload_server.h"
 #include "tpch/dbgen.h"
 #include "tpch/plans.h"
 
@@ -275,6 +286,165 @@ bool RunGovernanceOverhead(std::vector<NamedPlan> queries, int cores,
   return acceptable;
 }
 
+/// Section 5: concurrent serving through serve::WorkloadServer.
+///
+/// (a) Throughput: 1/2/4 submitter threads each push every plan-ported
+///     TPC-H query once through one server (4-thread shared pool, 3
+///     drivers, 2 parallel slots, pooled memory leases). Every
+///     completed table is checked bit-exactly against the serial
+///     single-tenant baseline — multi-tenancy must not perturb bytes.
+///
+/// (b) Shed rate vs offered load: bursts of 2/8/32 copies of Q1 hit a
+///     server with ONE driver and a depth-2 admission queue, so only
+///     ~3 can be absorbed per burst and the rest must shed. The guard
+///     is hard: a shed query must report kUnavailable / kRejected,
+///     attempts == 0 and a null table; completed survivors must still
+///     match the serial bytes; the lease ledger must end at zero.
+bool RunServeSection(const tpch::TpchData& data, int cores,
+                     bench::BenchJson* json) {
+  // The plan-ported query set, built once. The server borrows plans,
+  // so they live here (deque: stable addresses) until every Wait().
+  std::vector<int> query_ids;
+  std::deque<plan::LogicalPlan> plans;
+  std::vector<u64> serial_fp;
+  {
+    plan::SessionConfig cfg;
+    cfg.engine.adaptive.mode = ExecMode::kAdaptive;
+    plan::QuerySession baseline{cfg};
+    for (int q = 1; q <= 22; ++q) {
+      if (!tpch::HasPlan(q)) continue;
+      query_ids.push_back(q);
+      plans.push_back(tpch::PlanForQuery(data, q));
+      RunResult r = baseline.Run(plans.back(), plan::ExecMode::kSerial);
+      MA_CHECK(r.ok());
+      serial_fp.push_back(BitFingerprint(*r.table));
+    }
+  }
+  bool serve_clean = true;
+
+  std::printf("\n%-10s %8s %8s %12s %10s %10s\n", "submitters",
+              "queries", "ok", "seconds", "qps", "identical");
+  for (const int submitters : {1, 2, 4}) {
+    serve::ServerConfig sc;
+    sc.pool_threads = 4;
+    sc.max_concurrent = 3;
+    sc.max_parallel_queries = 2;
+    sc.admission.max_queue_depth = 1 << 20;  // admit all: pure throughput
+    sc.admission.queue_deadline = std::chrono::milliseconds(0);
+    sc.memory_pool_bytes = 256ull << 20;
+    sc.default_query_budget = 32ull << 20;
+    serve::WorkloadServer server{sc};
+
+    std::atomic<u64> ok{0};
+    std::atomic<u64> bad{0};  // failed, shed, or byte-divergent
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> tenants;
+    for (int s = 0; s < submitters; ++s) {
+      tenants.emplace_back([&] {
+        std::vector<std::pair<size_t, serve::QueryHandle>> handles;
+        for (size_t i = 0; i < plans.size(); ++i) {
+          handles.emplace_back(
+              i, server.Submit(&plans[i],
+                               "q" + std::to_string(query_ids[i])));
+        }
+        for (auto& [i, h] : handles) {
+          const serve::QueryResult& qr = h.Wait();
+          if (qr.run.ok() && qr.run.table != nullptr &&
+              BitFingerprint(*qr.run.table) == serial_fp[i]) {
+            ok.fetch_add(1);
+          } else {
+            bad.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : tenants) t.join();
+    const f64 seconds =
+        std::chrono::duration<f64>(std::chrono::steady_clock::now() - t0)
+            .count();
+    server.Shutdown();
+    const u64 expected = static_cast<u64>(submitters) * plans.size();
+    const bool identical = bad.load() == 0 && ok.load() == expected &&
+                           server.broker()->leased_bytes() == 0;
+    serve_clean = serve_clean && identical;
+    const f64 qps = static_cast<f64>(ok.load()) / seconds;
+    std::printf("%-10d %8llu %8llu %12.6f %10.2f %10s\n", submitters,
+                static_cast<unsigned long long>(expected),
+                static_cast<unsigned long long>(ok.load()), seconds, qps,
+                identical ? "yes" : "NO");
+    json->AddRow()
+        .Str("mode", "serve_throughput")
+        .Num("submitters", submitters)
+        .Num("host_cores", cores)
+        .Num("pool_threads", 4)
+        .Num("queries", static_cast<f64>(expected))
+        .Num("queries_ok", static_cast<f64>(ok.load()))
+        .Num("seconds", seconds)
+        .Num("queries_per_second", qps)
+        .Num("identical_to_serial", identical ? 1 : 0);
+  }
+
+  const size_t q1 = 0;  // query_ids[0] == 1: the heaviest ported query
+  MA_CHECK(query_ids[q1] == 1);
+  std::printf("\n%-8s %10s %8s %10s %10s\n", "offered", "completed",
+              "shed", "shed_rate", "guard");
+  for (const int offered : {2, 8, 32}) {
+    serve::ServerConfig sc;
+    sc.pool_threads = 1;
+    sc.max_concurrent = 1;
+    sc.max_parallel_queries = 1;
+    sc.admission.max_queue_depth = 2;  // 1 executing + 2 queued absorb ~3
+    sc.admission.queue_deadline = std::chrono::milliseconds(0);
+    serve::WorkloadServer server{sc};
+
+    serve::SubmitOptions opts;
+    opts.mode = plan::ExecMode::kSerial;
+    std::vector<serve::QueryHandle> handles;
+    handles.reserve(offered);
+    for (int i = 0; i < offered; ++i) {
+      handles.push_back(server.Submit(&plans[q1], "shed-q1", opts));
+    }
+    u64 completed = 0;
+    u64 shed = 0;
+    bool guard = true;
+    for (serve::QueryHandle& h : handles) {
+      const serve::QueryResult& qr = h.Wait();
+      if (qr.run.reason == TerminationReason::kRejected) {
+        ++shed;
+        // The hard-fail guard: shedding means "never executed" — a
+        // rejected query carrying rows would be a serving-layer bug.
+        guard = guard && qr.run.table == nullptr &&
+                qr.run.status.code() == StatusCode::kUnavailable &&
+                qr.attempts == 0;
+      } else if (qr.run.ok() && qr.run.table != nullptr) {
+        ++completed;
+        guard = guard && BitFingerprint(*qr.run.table) == serial_fp[q1];
+      } else {
+        guard = false;  // nothing but success or kRejected is possible
+      }
+    }
+    server.Shutdown();
+    guard = guard && completed + shed == static_cast<u64>(offered) &&
+            server.broker()->leased_bytes() == 0;
+    serve_clean = serve_clean && guard;
+    const f64 shed_rate = static_cast<f64>(shed) / offered;
+    std::printf("%-8d %10llu %8llu %9.2f%% %10s\n", offered,
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(shed), shed_rate * 100.0,
+                guard ? "ok" : "VIOLATED");
+    json->AddRow()
+        .Str("mode", "serve_shed")
+        .Num("offered", offered)
+        .Num("host_cores", cores)
+        .Num("pool_threads", 1)
+        .Num("completed", static_cast<f64>(completed))
+        .Num("shed", static_cast<f64>(shed))
+        .Num("shed_rate", shed_rate)
+        .Num("rejected_guard_clean", guard ? 1 : 0);
+  }
+  return serve_clean;
+}
+
 int Run() {
   tpch::TpchConfig cfg;
   cfg.scale_factor = 0.1;
@@ -381,6 +551,19 @@ int Run() {
   const bool governance_cheap =
       RunGovernanceOverhead(std::move(governed), cores, &json);
 
+  bench::PrintHeader(
+      "Concurrent serving: WorkloadServer throughput + shed rate",
+      "All plan-ported TPC-H queries pushed by 1/2/4 tenants through "
+      "one WorkloadServer on a shared 4-thread pool — completed tables "
+      "must stay byte-identical to the serial single-tenant baseline. "
+      "Then bursts of Q1 against a 1-driver, depth-2 server: overload "
+      "sheds kRejected-only (null table, attempts 0), and the lease "
+      "ledger must end at zero.");
+  const bool serve_clean = RunServeSection(*data, cores, &json);
+
+  // The widest pool this binary drove (sections 1-5 use 1..max(8,N)).
+  json.set_pool_threads(std::max(8, cores));
+
   std::printf(
       "\nExpected: >= 2.5x at 4 threads on a 4+-core host; the curve\n"
       "saturates at the physical core count (host_cores in the JSON).\n"
@@ -399,6 +582,12 @@ int Run() {
   if (!governance_cheap) {
     std::fprintf(stderr,
                  "FAIL: governed run diverged or overhead exceeded 10%%\n");
+    return 1;
+  }
+  if (!serve_clean) {
+    std::fprintf(stderr,
+                 "FAIL: concurrent serving diverged from serial, shed a "
+                 "query with a table, or leaked lease bytes\n");
     return 1;
   }
   return 0;

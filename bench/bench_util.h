@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <variant>
 #include <vector>
 
@@ -84,7 +85,14 @@ class BenchJson {
     return rows_.back();
   }
 
+  /// Worker threads the benchmark actually used (0 = serial binary).
+  /// Recorded in the meta header so numbers from differently sized
+  /// hosts are never compared as if they came from the same machine.
+  void set_pool_threads(int n) { pool_threads_ = n; }
+
   /// Writes BENCH_<name>.json; prints the path so runs are discoverable.
+  /// Every file carries a meta header with the host's hardware
+  /// concurrency and the pool width used, ahead of the data rows.
   void Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -92,7 +100,12 @@ class BenchJson {
       std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", name_.c_str());
+    std::fprintf(f,
+                 "{\"bench\": \"%s\", \"meta\": "
+                 "{\"hardware_concurrency\": %u, \"pool_threads\": %d}, "
+                 "\"rows\": [",
+                 name_.c_str(), std::thread::hardware_concurrency(),
+                 pool_threads_);
     for (size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
       const auto& fields = rows_[r].fields_;
@@ -114,6 +127,7 @@ class BenchJson {
 
  private:
   std::string name_;
+  int pool_threads_ = 0;
   std::vector<Row> rows_;
 };
 

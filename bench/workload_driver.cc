@@ -1,0 +1,70 @@
+// workload_driver: concurrent-serving stress binary for the sanitizer
+// CI jobs. N submitter threads push the plan-ported TPC-H queries
+// through one WorkloadServer — optionally with probabilistic fault
+// injection the retry loop must heal — and the process exits nonzero
+// unless the run is clean:
+//
+//   - every completed result byte-identical to the serial baseline,
+//   - every shed query kRejected with no table,
+//   - the memory broker's lease ledger back at zero.
+//
+// Usage: workload_driver [submitters] [rounds] [fault_probability]
+// Defaults stress 4 submitters x 2 rounds with 2% injected faults —
+// small enough to finish under TSan's ~10x slowdown, hot enough that
+// admission, leasing, retries and degradation all actually fire.
+#include <cstdio>
+#include <cstdlib>
+
+#include "tpch/dbgen.h"
+#include "tpch/workload.h"
+
+using namespace ma;
+
+int main(int argc, char** argv) {
+  tpch::ServeWorkloadConfig cfg;
+  cfg.submitters = argc > 1 ? std::atoi(argv[1]) : 4;
+  cfg.rounds = argc > 2 ? std::atoi(argv[2]) : 2;
+  cfg.fault_probability = argc > 3 ? std::atof(argv[3]) : 0.02;
+
+  cfg.server.pool_threads = 4;
+  cfg.server.max_concurrent = 3;
+  cfg.server.max_parallel_queries = 2;
+  // Admit everything: this binary stresses execution-side concurrency
+  // (leases, retries, degradation); shedding behavior has its own
+  // deterministic tests in tests/serve_test.cc.
+  cfg.server.admission.max_queue_depth = 1 << 20;
+  cfg.server.admission.queue_deadline = std::chrono::milliseconds(0);
+  // A pool of 8 x 32 MiB budgets over 3 concurrent queries: leases
+  // always grant but the ledger is exercised on every query.
+  cfg.server.memory_pool_bytes = 256ull << 20;
+  cfg.server.default_query_budget = 32ull << 20;
+
+  tpch::TpchConfig data_cfg;
+  data_cfg.scale_factor = 0.01;  // sanitizer-sized
+  const auto data = tpch::Generate(data_cfg);
+
+  std::printf("workload_driver: %d submitters x %d rounds, fault p=%.3f\n",
+              cfg.submitters, cfg.rounds, cfg.fault_probability);
+  const tpch::ServeWorkloadReport report =
+      tpch::RunWorkloadConcurrently(*data, cfg, /*quiet=*/false);
+
+  bool pass = report.clean();
+  if (report.ok == 0) {
+    std::printf("FAIL: no query completed successfully\n");
+    pass = false;
+  }
+  if (report.mismatches > 0) {
+    std::printf("FAIL: %llu results differ from the serial baseline\n",
+                static_cast<unsigned long long>(report.mismatches));
+  }
+  if (report.rejected_with_table > 0) {
+    std::printf("FAIL: %llu rejected queries returned a table\n",
+                static_cast<unsigned long long>(report.rejected_with_table));
+  }
+  if (report.leaked_lease_bytes > 0) {
+    std::printf("FAIL: %llu lease bytes leaked\n",
+                static_cast<unsigned long long>(report.leaked_lease_bytes));
+  }
+  std::printf("workload_driver: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

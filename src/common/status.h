@@ -24,6 +24,10 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  // Admission-control shedding (serve/workload_server.h): the server is
+  // overloaded and refused to run the query at all — it never executed,
+  // so retrying later is always safe.
+  kUnavailable,
 };
 
 class Status {
@@ -56,6 +60,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

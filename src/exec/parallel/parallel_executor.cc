@@ -30,16 +30,22 @@ void AppendTableRows(const Table& src, Table* dst) {
 
 ParallelExecutor::ParallelExecutor(EngineConfig engine_config,
                                    ParallelConfig parallel_config,
-                                   PrimitiveDictionary* dict)
+                                   PrimitiveDictionary* dict,
+                                   ThreadPool* shared_pool)
     : engine_config_(std::move(engine_config)),
       parallel_config_(parallel_config),
       dict_(dict) {
-  int threads = parallel_config_.num_threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
+  if (shared_pool != nullptr) {
+    pool_ = shared_pool;
+  } else {
+    int threads = parallel_config_.num_threads;
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads <= 0) threads = 1;
+    }
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
   }
-  pool_ = std::make_unique<ThreadPool>(threads);
   // Prime lazily-initialized singletons on this thread so the parallel
   // regions neither race on first-touch nor absorb the ~20ms frequency
   // calibration into a timed section.
@@ -139,7 +145,7 @@ RunResult ParallelExecutor::RunPipelineImpl(
       }
       AppendBatchToTable(batch, morsel_out[m].get());
     }
-  });
+  }, task_tag_);
   if (!pool_status.ok()) ctx->Fail(std::move(pool_status));
   const u64 t_exec = CycleClock::Now();
 
@@ -204,7 +210,7 @@ std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
       HashJoinOperator::DrainBuildBatch(batch, spec, &part.keys,
                                         &part.cols);
     }
-  });
+  }, task_tag_);
   if (!pool_status.ok()) ctx->Fail(std::move(pool_status));
   // A failed build is useless (and possibly partial): report through
   // the context and hand the caller nothing to probe.
@@ -304,7 +310,7 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
     // charges "alloc/agg" growth itself.
     Status open = aggs[w]->Open();
     if (!open.ok()) ctx->Fail(std::move(open));
-  });
+  }, task_tag_);
   if (!pool_status.ok()) ctx->Fail(std::move(pool_status));
   const u64 t_exec = CycleClock::Now();
   if (!ctx->status().ok()) {

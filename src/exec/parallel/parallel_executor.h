@@ -67,14 +67,25 @@ class ParallelExecutor {
       std::function<OperatorPtr(Engine*, OperatorPtr scan)>;
 
   /// `engine_config` is cloned into every worker's engine. `dict` lets
-  /// tests run against a private primitive dictionary.
+  /// tests run against a private primitive dictionary. `shared_pool`,
+  /// when non-null, is a ThreadPool owned by someone else (the
+  /// WorkloadServer serving many concurrent queries on one pool); the
+  /// executor then sizes itself to that pool and never destroys it.
+  /// One executor still runs ONE query at a time — the pool is the
+  /// multi-tenant piece, phases from concurrent executors interleave on
+  /// it task by task.
   explicit ParallelExecutor(
       EngineConfig engine_config = EngineConfig(),
       ParallelConfig parallel_config = ParallelConfig(),
-      PrimitiveDictionary* dict = &PrimitiveDictionary::Global());
+      PrimitiveDictionary* dict = &PrimitiveDictionary::Global(),
+      ThreadPool* shared_pool = nullptr);
   ~ParallelExecutor();
 
   int num_threads() const { return pool_->size(); }
+
+  /// Tags this executor's pool phases (error attribution on the shared
+  /// pool); the serving layer sets the query label here per run.
+  void set_task_tag(std::string tag) { task_tag_ = std::move(tag); }
 
   /// Runs a streaming pipeline (scan → select/project/probe...) over a
   /// morsel-partitioned scan of `table`. The merged result table
@@ -157,7 +168,9 @@ class ParallelExecutor {
   EngineConfig engine_config_;
   ParallelConfig parallel_config_;
   PrimitiveDictionary* dict_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // null when pool is shared
+  ThreadPool* pool_ = nullptr;
+  std::string task_tag_;
   std::vector<std::unique_ptr<Engine>> engines_;
   QueryContext own_context_;
   QueryContext* context_ = &own_context_;

@@ -11,50 +11,56 @@ ThreadPool::ThreadPool(int num_threads) {
   MA_CHECK(num_threads >= 1);
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this, i] { WorkerLoop(i); });
+    threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Any tasks still queued belong to Run() calls that have not
+    // returned; the destructor must not race live callers.
+    MA_CHECK(tasks_.empty());
     stop_ = true;
   }
-  start_cv_.notify_all();
+  work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
-Status ThreadPool::Run(const std::function<void(int)>& fn) {
+Status ThreadPool::Run(const std::function<void(int)>& fn,
+                       std::string_view tag) {
+  Phase phase;
+  phase.fn = &fn;
+  phase.tag = std::string(tag);
+  phase.remaining = size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int id = 0; id < size(); ++id) {
+      tasks_.push_back(Task{&phase, id});
+    }
+  }
+  work_cv_.notify_all();
   std::unique_lock<std::mutex> lock(mu_);
-  MA_CHECK(pending_ == 0);
-  task_ = &fn;
-  task_error_ = Status::OK();
-  pending_ = size();
-  ++generation_;
-  start_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
-  task_ = nullptr;
-  return task_error_;
+  phase.done_cv.wait(lock, [&phase] { return phase.remaining == 0; });
+  return phase.error;
 }
 
-void ThreadPool::WorkerLoop(int id) {
-  u64 seen = 0;
+void ThreadPool::WorkerLoop() {
   for (;;) {
-    const std::function<void(int)>* task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock,
-                     [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      task = task_;
+      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = tasks_.front();
+      tasks_.pop_front();
     }
     // Contain anything a task throws: an escaping exception would
-    // std::terminate this thread, leave pending_ forever nonzero, and
-    // hang Run() plus the destructor's join.
+    // std::terminate this thread, leave its phase forever incomplete,
+    // and hang that tenant's Run() plus the destructor's join.
     Status error = Status::OK();
     try {
-      (*task)(id);
+      (*task.phase->fn)(task.logical_id);
     } catch (const std::bad_alloc&) {
       error = Status::ResourceExhausted("worker allocation failed");
     } catch (const std::exception& e) {
@@ -65,10 +71,19 @@ void ThreadPool::WorkerLoop(int id) {
     bool last;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!error.ok() && task_error_.ok()) task_error_ = std::move(error);
-      last = --pending_ == 0;
+      Phase* phase = task.phase;
+      if (!error.ok() && phase->error.ok()) {
+        phase->error =
+            phase->tag.empty()
+                ? std::move(error)
+                : Status(error.code(),
+                         "[" + phase->tag + "] " + error.message());
+      }
+      last = --phase->remaining == 0;
+      // After the notify below the caller may wake, return from Run and
+      // destroy the phase — touch it only while still holding mu_.
+      if (last) phase->done_cv.notify_one();
     }
-    if (last) done_cv_.notify_one();
   }
 }
 

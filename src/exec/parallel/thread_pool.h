@@ -1,18 +1,27 @@
-// ThreadPool: a fixed set of worker threads reused across parallel
-// phases. Each phase hands every worker the same callable with its
-// worker id; workers pull morsels from a MorselQueue inside, so the
-// pool itself needs no queueing beyond "run one task per worker".
+// ThreadPool: a fixed set of worker threads shared by every parallel
+// phase — and, since the serving layer (src/serve/) arrived, by every
+// concurrently running query. The pool is a tagged task queue: each
+// Run(fn, tag) call enqueues size() logical tasks (ids 0..size()-1) and
+// blocks until its own tasks complete. Multiple Run calls may be in
+// flight from different threads; their tasks interleave FIFO on the
+// shared workers, and each call tracks completion and errors through
+// its own phase record — one query's stage failure drains only that
+// query's work and can never fail, wedge, or misattribute another
+// tenant's phase.
 //
-// Synchronization happens only at phase boundaries (one condition
-// variable round-trip per Run call). Nothing here touches the per-vector
-// kernel dispatch path, which stays lock- and atomic-free by design.
+// Workers pull morsels from a MorselQueue inside each task, so the
+// pool itself needs no queueing beyond the task deque. Nothing here
+// touches the per-vector kernel dispatch path, which stays lock- and
+// atomic-free by design.
 #ifndef MA_EXEC_PARALLEL_THREAD_POOL_H_
 #define MA_EXEC_PARALLEL_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -31,26 +40,46 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(threads_.size()); }
 
-  /// Invokes fn(worker_id) on every worker concurrently and blocks until
-  /// all workers have returned. Not reentrant. An exception escaping a
-  /// task is contained in the worker (never std::terminate): the first
-  /// one is reported in the returned Status (kResourceExhausted for
-  /// std::bad_alloc, kInternal otherwise) and the phase still completes
-  /// on every worker, so the pool and its condition variables stay
-  /// consistent for the next Run and for the destructor's join.
-  Status Run(const std::function<void(int)>& fn);
+  /// Invokes fn(logical_id) for logical ids 0..size()-1 on the pool's
+  /// workers and blocks until all of this call's tasks have returned.
+  /// Safe to call from several threads concurrently: tasks from
+  /// concurrent calls interleave FIFO, each call completes and reports
+  /// independently, and a logical id is run exactly once per call (two
+  /// tasks of the same call never share an id, so per-id state like a
+  /// worker Engine stays single-threaded). `tag` labels this phase's
+  /// tasks for error attribution — pass the query/stage name.
+  ///
+  /// An exception escaping a task is contained in the worker (never
+  /// std::terminate): the first one is reported in the returned Status
+  /// (kResourceExhausted for std::bad_alloc, kInternal otherwise,
+  /// message prefixed with the tag), the call's remaining tasks still
+  /// run, and the pool stays consistent for every other tenant and for
+  /// the destructor's join.
+  Status Run(const std::function<void(int)>& fn, std::string_view tag = {});
 
  private:
-  void WorkerLoop(int id);
+  /// One Run() call in flight: its callable, completion count and
+  /// first-error slot. Lives on the caller's stack; workers reach it
+  /// through queued Task records and never touch it after the last
+  /// decrement (the caller may return and pop its frame immediately).
+  struct Phase {
+    const std::function<void(int)>* fn = nullptr;
+    std::string tag;
+    int remaining = 0;
+    Status error;
+    std::condition_variable done_cv;
+  };
+  struct Task {
+    Phase* phase;
+    int logical_id;
+  };
+
+  void WorkerLoop();
 
   std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* task_ = nullptr;  // valid while pending_ > 0
-  u64 generation_ = 0;
-  int pending_ = 0;
+  std::condition_variable work_cv_;
+  std::deque<Task> tasks_;
   bool stop_ = false;
-  Status task_error_;  // first exception of the current phase (mu_)
   std::vector<std::thread> threads_;
 };
 

@@ -14,6 +14,8 @@ const char* TerminationReasonName(TerminationReason r) {
       return "deadline_exceeded";
     case TerminationReason::kResourceExhausted:
       return "resource_exhausted";
+    case TerminationReason::kRejected:
+      return "rejected";
     case TerminationReason::kInternal:
       return "internal";
   }
@@ -30,6 +32,8 @@ TerminationReason ReasonFromStatus(const Status& s) {
       return TerminationReason::kDeadlineExceeded;
     case StatusCode::kResourceExhausted:
       return TerminationReason::kResourceExhausted;
+    case StatusCode::kUnavailable:
+      return TerminationReason::kRejected;
     default:
       return TerminationReason::kInternal;
   }
@@ -181,6 +185,29 @@ Status QueryContext::ReserveMemory(std::string_view site, u64 bytes) {
 Status QueryContext::status() const {
   std::lock_guard<std::mutex> lock(mu_);
   return first_error_;
+}
+
+void QueryContext::AdoptBudgetLease(u64 bytes,
+                                    std::function<void()> release) {
+  // At most one lease at a time; dropping a previous one here keeps the
+  // global pool's books balanced even if a caller re-leases.
+  ReleaseBudgetLease();
+  SetMemoryBudget(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  lease_release_ = std::move(release);
+}
+
+void QueryContext::ReleaseBudgetLease() {
+  std::function<void()> release;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    release = std::move(lease_release_);
+    lease_release_ = nullptr;
+  }
+  if (release) {
+    SetMemoryBudget(0);
+    release();  // outside mu_: the broker takes its own lock and wakes waiters
+  }
 }
 
 void QueryContext::Reset() {

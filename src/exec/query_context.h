@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -42,6 +43,7 @@ enum class TerminationReason : u8 {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  kRejected,  // shed by admission control before executing (serve/)
   kInternal,  // any other failure (injected faults, contract breaches)
 };
 
@@ -109,6 +111,7 @@ class FaultInjector {
 class QueryContext {
  public:
   QueryContext() = default;
+  ~QueryContext() { ReleaseBudgetLease(); }
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
 
@@ -176,6 +179,19 @@ class QueryContext {
            injector_ != nullptr;
   }
 
+  // --- Budget leases (serve/memory_broker.h) -------------------------
+
+  /// Adopts a budget leased from a global pool: sets the memory budget
+  /// to `bytes` and runs `release` exactly once when the lease is
+  /// dropped — via ReleaseBudgetLease() or destruction. Reset() keeps
+  /// the lease (it is configuration, like the budget itself), so one
+  /// lease can span several retry attempts of the same query.
+  void AdoptBudgetLease(u64 bytes, std::function<void()> release);
+
+  /// Runs the adopted lease's release callback (idempotent) and clears
+  /// the memory budget.
+  void ReleaseBudgetLease();
+
   // --- Results -------------------------------------------------------
 
   /// Terminal status: OK while the query is healthy, the first recorded
@@ -207,7 +223,8 @@ class QueryContext {
   std::atomic<u64> peak_{0};
   FaultInjector* injector_ = nullptr;
   mutable std::mutex mu_;
-  Status first_error_;  // guarded by mu_
+  Status first_error_;        // guarded by mu_
+  std::function<void()> lease_release_;  // guarded by mu_
 };
 
 }  // namespace ma

@@ -100,7 +100,8 @@ RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode,
     bool parallel = s.ok();
     if (parallel && mode == ExecMode::kAuto) {
       const int threads =
-          config_.parallel.num_threads > 0
+          config_.shared_pool != nullptr ? config_.shared_pool->size()
+          : config_.parallel.num_threads > 0
               ? config_.parallel.num_threads
               : static_cast<int>(std::thread::hardware_concurrency());
       parallel =
@@ -129,10 +130,16 @@ RunResult QuerySession::RunSerial(const LogicalPlan& plan,
   return r;
 }
 
+void QuerySession::set_task_tag(std::string tag) {
+  task_tag_ = std::move(tag);
+  if (parallel_ != nullptr) parallel_->set_task_tag(task_tag_);
+}
+
 RunResult QuerySession::RunStaged(const StagePlan& sp, QueryContext* ctx) {
   if (parallel_ == nullptr) {
     parallel_ = std::make_unique<ParallelExecutor>(
-        config_.engine, config_.parallel, dict_);
+        config_.engine, config_.parallel, dict_, config_.shared_pool);
+    parallel_->set_task_tag(task_tag_);
   }
   engine_.ResetProfile();  // sort/merge stages and the tail run here
   engine_.set_context(ctx);

@@ -51,6 +51,11 @@ struct SessionConfig {
   /// base table with at least this many rows; tiny inputs compile
   /// serially (the fan-out would cost more than it saves).
   u64 min_parallel_rows = 64 * 1024;
+  /// When non-null, staged runs execute on this externally owned pool
+  /// instead of a private one — the WorkloadServer hands every session
+  /// the SAME pool so N concurrent queries share one set of workers
+  /// (parallel.num_threads is then ignored; the pool's size rules).
+  ThreadPool* shared_pool = nullptr;
 };
 
 class QuerySession {
@@ -83,6 +88,10 @@ class QuerySession {
   /// The parallel executor, or null before the first parallel run.
   ParallelExecutor* parallel_executor() { return parallel_.get(); }
 
+  /// Labels this session's phases on a shared pool (error attribution
+  /// across tenants); the serving layer sets the query label per run.
+  void set_task_tag(std::string tag);
+
   /// Per-plan-site profile of the last run: merged across worker
   /// threads after a parallel run (per-thread winners preserved, most
   /// recent parallel stage), straight from the engine after a serial
@@ -97,6 +106,7 @@ class QuerySession {
   PrimitiveDictionary* dict_;
   Engine engine_;
   std::unique_ptr<ParallelExecutor> parallel_;
+  std::string task_tag_;  // applied to parallel_ (lazily) on creation
   bool last_run_parallel_ = false;
   /// Fallback context for Run(plan, mode, nullptr), reset per run. The
   /// staged path shares ONE context between the serial engine and the

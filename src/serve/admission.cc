@@ -1,0 +1,53 @@
+#include "serve/admission.h"
+
+#include <string>
+
+namespace ma::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {}
+
+Status AdmissionController::AdmitOrReject(int queued_now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_now >= config_.max_queue_depth) {
+    ++rejected_queue_full_;
+    return Status::Unavailable(
+        "admission queue full (" + std::to_string(queued_now) + "/" +
+        std::to_string(config_.max_queue_depth) + " queued)");
+  }
+  ++admitted_;
+  return Status::OK();
+}
+
+Status AdmissionController::CheckQueueAge(
+    std::chrono::steady_clock::time_point enqueued_at,
+    std::chrono::steady_clock::time_point now) {
+  if (config_.queue_deadline.count() <= 0) return Status::OK();
+  const auto waited = now - enqueued_at;
+  if (waited <= config_.queue_deadline) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_queue_deadline_;
+  const auto waited_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(waited);
+  return Status::Unavailable(
+      "queued " + std::to_string(waited_ms.count()) + "ms, past the " +
+      std::to_string(config_.queue_deadline.count()) +
+      "ms queue deadline");
+}
+
+u64 AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+u64 AdmissionController::rejected_queue_full() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_queue_full_;
+}
+
+u64 AdmissionController::rejected_queue_deadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_queue_deadline_;
+}
+
+}  // namespace ma::serve

@@ -1,0 +1,70 @@
+// AdmissionController: the front door of the WorkloadServer. Decides,
+// per submission, whether the server takes the query at all — and shed
+// load is the ONLY way a query is refused: a rejected query never
+// executes a single operator, never holds a memory lease, and returns
+// kUnavailable status / TerminationReason::kRejected, nothing else.
+//
+// Two rejection points, mirroring where overload shows up:
+//
+//   1. At submit — the bounded submission queue is full
+//      (max_queue_depth). Backpressure at the door beats unbounded
+//      queue growth: the caller learns immediately and can back off.
+//   2. At dispatch — the query sat queued longer than queue_deadline.
+//      Work that waited that long is usually already abandoned by the
+//      caller; running it anyway is wasted capacity exactly when the
+//      server has none to spare (the classic overload death spiral).
+//
+// The controller itself is just the policy + counters; the
+// WorkloadServer owns the queue and asks at both points.
+#ifndef MA_SERVE_ADMISSION_H_
+#define MA_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ma::serve {
+
+struct AdmissionConfig {
+  /// Submissions allowed to wait for a free execution slot. 0 means
+  /// "no queueing": a query is admitted only when a slot is free now.
+  int max_queue_depth = 8;
+  /// How long a submission may sit queued before dispatch gives up on
+  /// it. <= 0 disables the check.
+  std::chrono::milliseconds queue_deadline{2000};
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Called at submit with the current queue depth (entries waiting,
+  /// not yet dispatched). Admits or rejects kUnavailable (queue full).
+  Status AdmitOrReject(int queued_now);
+
+  /// Called at dispatch: has this entry outlived its queue deadline?
+  /// OK, or kUnavailable when the entry must be shed unexecuted.
+  Status CheckQueueAge(std::chrono::steady_clock::time_point enqueued_at,
+                       std::chrono::steady_clock::time_point now);
+
+  const AdmissionConfig& config() const { return config_; }
+  u64 admitted() const;
+  /// Rejections, split by which gate fired.
+  u64 rejected_queue_full() const;
+  u64 rejected_queue_deadline() const;
+
+ private:
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  u64 admitted_ = 0;
+  u64 rejected_queue_full_ = 0;
+  u64 rejected_queue_deadline_ = 0;
+};
+
+}  // namespace ma::serve
+
+#endif  // MA_SERVE_ADMISSION_H_

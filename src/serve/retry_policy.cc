@@ -1,0 +1,46 @@
+#include "serve/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ma::serve {
+namespace {
+
+/// splitmix64 finalizer — the standard 64-bit avalanche. Cheap, and
+/// statistically fine for jitter (this is not cryptographic).
+u64 Mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool RetryPolicy::IsTransient(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::chrono::microseconds RetryPolicy::Backoff(u64 query_id,
+                                               int attempt) const {
+  if (attempt < 2) return std::chrono::microseconds(0);
+  f64 base = static_cast<f64>(config_.initial_backoff.count()) *
+             std::pow(config_.multiplier, attempt - 2);
+  base = std::min(base, static_cast<f64>(config_.max_backoff.count()));
+  // Jitter factor in [1/2, 1): enough spread to de-synchronize
+  // retrying queries, deterministic for (seed, query, attempt).
+  const u64 h = Mix64(config_.seed ^ Mix64(query_id) ^
+                      Mix64(static_cast<u64>(attempt)));
+  const f64 jitter = 0.5 + 0.5 * (static_cast<f64>(h >> 11) /
+                                  static_cast<f64>(1ull << 53));
+  return std::chrono::microseconds(
+      static_cast<i64>(std::llround(base * jitter)));
+}
+
+}  // namespace ma::serve

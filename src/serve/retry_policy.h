@@ -1,0 +1,70 @@
+// RetryPolicy: decides which failures the WorkloadServer re-runs and
+// how long to back off between attempts.
+//
+// Retry eligibility follows one rule — retry only what a fresh attempt
+// could plausibly fix (docs/ROBUSTNESS.md has the full table):
+//
+//   kResourceExhausted   transient   pool pressure; completing queries
+//                                    free budget continuously
+//   kInternal            transient   worker faults / injected failures
+//                                    (the paper-repo's fault model)
+//   kCancelled           terminal    the caller asked for this outcome
+//   kDeadlineExceeded    terminal    the retry would miss it even harder
+//   kUnavailable         terminal    admission shed it; retrying inside
+//                                    the server defeats the shedding
+//   kInvalidArgument     terminal    the plan is wrong; so is the retry
+//
+// Backoff is capped exponential with deterministic, seeded jitter:
+// attempt k sleeps base*multiplier^(k-1), clamped to max, then scaled
+// by a jitter factor in [1/2, 1) drawn from splitmix64(seed, query id,
+// attempt). Same seed + same query id + same attempt => the same
+// backoff to the microsecond — retry schedules replay exactly, which
+// the determinism tests (tests/serve_test.cc) rely on.
+#ifndef MA_SERVE_RETRY_POLICY_H_
+#define MA_SERVE_RETRY_POLICY_H_
+
+#include <chrono>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ma::serve {
+
+struct RetryConfig {
+  /// Total attempts including the first. 1 = never retry.
+  int max_attempts = 3;
+  /// Backoff before the first retry (attempt 2).
+  std::chrono::microseconds initial_backoff{200};
+  /// Growth per further attempt.
+  f64 multiplier = 2.0;
+  /// Ceiling for the un-jittered backoff.
+  std::chrono::microseconds max_backoff{20000};
+  /// Jitter seed; fixed seed => byte-for-byte reproducible schedules.
+  u64 seed = 0x9e3779b97f4a7c15ull;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryConfig config) : config_(config) {}
+
+  /// True for failures a fresh attempt could fix (table above).
+  static bool IsTransient(const Status& s);
+
+  /// True when the server should run attempt `attempts_done + 1`.
+  bool ShouldRetry(const Status& s, int attempts_done) const {
+    return !s.ok() && IsTransient(s) && attempts_done < config_.max_attempts;
+  }
+
+  /// Deterministic backoff before retry attempt `attempt` (2-based:
+  /// the first retry is attempt 2) of query `query_id`.
+  std::chrono::microseconds Backoff(u64 query_id, int attempt) const;
+
+  const RetryConfig& config() const { return config_; }
+
+ private:
+  const RetryConfig config_;
+};
+
+}  // namespace ma::serve
+
+#endif  // MA_SERVE_RETRY_POLICY_H_

@@ -789,4 +789,37 @@ plan::LogicalPlan Q14Plan(const TpchData& d) {
       .Build();
 }
 
+bool HasPlan(int q) {
+  switch (q) {
+    case 1: case 2: case 3: case 4: case 5: case 6:
+    case 10: case 11: case 12: case 13: case 14: case 15:
+    case 17: case 22:
+      return true;
+    default:
+      return false;
+  }
+}
+
+plan::LogicalPlan PlanForQuery(const TpchData& d, int q) {
+  switch (q) {
+    case 1: return Q1Plan(d);
+    case 2: return Q2Plan(d);
+    case 3: return Q3Plan(d);
+    case 4: return Q4Plan(d);
+    case 5: return Q5Plan(d);
+    case 6: return Q6Plan(d);
+    case 10: return Q10Plan(d);
+    case 11: return Q11Plan(d);
+    case 12: return Q12Plan(d);
+    case 13: return Q13Plan(d);
+    case 14: return Q14Plan(d);
+    case 15: return Q15Plan(d);
+    case 17: return Q17Plan(d);
+    case 22: return Q22Plan(d);
+    default:
+      MA_CHECK(false);  // caller gates on HasPlan(q)
+      return plan::LogicalPlan{};
+  }
+}
+
 }  // namespace ma::tpch

@@ -85,6 +85,15 @@ plan::LogicalPlan Q12Plan(const TpchData& d);
 /// constant key and joined — both hash-join sides fed by aggregations.
 plan::LogicalPlan Q14Plan(const TpchData& d);
 
+/// True when query `q` (1..22) has a plan-level port above — the
+/// queries the workload and the serving layer (serve/workload_server.h)
+/// can drive through plan::QuerySession. The rest still run as
+/// hand-built trees in queries.cc.
+bool HasPlan(int q);
+
+/// The ported plan for query `q`; MA_CHECKs HasPlan(q).
+plan::LogicalPlan PlanForQuery(const TpchData& d, int q);
+
 }  // namespace ma::tpch
 
 #endif  // MA_TPCH_PLANS_H_

@@ -1,7 +1,17 @@
 #include "tpch/workload.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/cycleclock.h"
+#include "plan/query_session.h"
+#include "storage/table_fingerprint.h"
+#include "tpch/plans.h"
 
 namespace ma::tpch {
 
@@ -29,6 +39,31 @@ f64 ModeRun::GeoMeanSeconds() const {
   return std::exp(log_sum / static_cast<f64>(query_seconds.size()));
 }
 
+namespace {
+
+/// Folds one engine's primitive instances into InstanceProfile records.
+void HarvestProfiles(const Engine& engine,
+                     std::vector<InstanceProfile>* out) {
+  for (const auto& inst : engine.instances()) {
+    InstanceProfile p;
+    p.label = inst->label();
+    p.signature = inst->entry()->signature;
+    for (int s = 0; s < static_cast<int>(FlavorSetId::kNumSets); ++s) {
+      const auto set = static_cast<FlavorSetId>(s);
+      if (set != FlavorSetId::kDefault && inst->AffectedBy(set)) {
+        p.affected_sets |= FlavorSetBit(set);
+      }
+    }
+    p.calls = inst->calls();
+    p.tuples = inst->tuples();
+    p.cycles = inst->cycles();
+    if (inst->aph() != nullptr) p.aph = *inst->aph();
+    out->push_back(std::move(p));
+  }
+}
+
+}  // namespace
+
 ModeRun RunAllQueries(const EngineConfig& config, const TpchData& data,
                       std::string name, bool quiet) {
   ModeRun run;
@@ -36,24 +71,31 @@ ModeRun RunAllQueries(const EngineConfig& config, const TpchData& data,
   run.query_seconds.resize(kNumQueries);
   run.instances.resize(kNumQueries);
   for (int q = 1; q <= kNumQueries; ++q) {
-    Engine engine(config);
-    const RunResult r = RunQuery(&engine, data, q);
-    run.query_seconds[q - 1] = r.seconds;
-    for (const auto& inst : engine.instances()) {
-      InstanceProfile p;
-      p.label = inst->label();
-      p.signature = inst->entry()->signature;
-      for (int s = 0; s < static_cast<int>(FlavorSetId::kNumSets); ++s) {
-        const auto set = static_cast<FlavorSetId>(s);
-        if (set != FlavorSetId::kDefault && inst->AffectedBy(set)) {
-          p.affected_sets |= FlavorSetBit(set);
-        }
-      }
-      p.calls = inst->calls();
-      p.tuples = inst->tuples();
-      p.cycles = inst->cycles();
-      if (inst->aph() != nullptr) p.aph = *inst->aph();
-      run.instances[q - 1].push_back(std::move(p));
+    RunResult r;
+    if (HasPlan(q)) {
+      // Plan-ported: the QuerySession path — the same entry point the
+      // serving layer drives — with a fresh session per query so
+      // instances and bandit state stay per-query. Serial mode keeps
+      // primitive call sequences identical across the evaluation modes
+      // (the APH alignment the OPT approximation relies on).
+      plan::SessionConfig sc;
+      sc.engine = config;
+      plan::QuerySession session(sc, &PrimitiveDictionary::Global());
+      const plan::LogicalPlan p = PlanForQuery(data, q);
+      const u64 t0 = CycleClock::Now();
+      r = session.Run(p, plan::ExecMode::kSerial);
+      r.total_cycles = CycleClock::Now() - t0;
+      r.seconds =
+          static_cast<f64>(r.total_cycles) / CycleClock::FrequencyHz();
+      r.stages.primitives = session.engine()->TotalPrimitiveCycles();
+      run.query_seconds[q - 1] = r.seconds;
+      HarvestProfiles(*session.engine(), &run.instances[q - 1]);
+    } else {
+      // Hand-built tree: the legacy Engine path.
+      Engine engine(config);
+      r = RunQuery(&engine, data, q);
+      run.query_seconds[q - 1] = r.seconds;
+      HarvestProfiles(engine, &run.instances[q - 1]);
     }
     if (!quiet) {
       std::printf("  [%s] %-28s %8.3f ms, %zu rows\n", run.name.c_str(),
@@ -62,6 +104,104 @@ ModeRun RunAllQueries(const EngineConfig& config, const TpchData& data,
     }
   }
   return run;
+}
+
+ServeWorkloadReport RunWorkloadConcurrently(const TpchData& data,
+                                            const ServeWorkloadConfig& cfg,
+                                            bool quiet) {
+  // Serial single-tenant baseline: the bytes every concurrent result
+  // must reproduce exactly.
+  std::map<int, u64> baseline;
+  {
+    plan::QuerySession session;
+    for (int q = 1; q <= kNumQueries; ++q) {
+      if (!HasPlan(q)) continue;
+      const plan::LogicalPlan p = PlanForQuery(data, q);
+      RunResult r = session.Run(p, plan::ExecMode::kSerial);
+      MA_CHECK(r.status.ok() && r.table != nullptr);
+      baseline[q] = ExactFingerprint(*r.table);
+    }
+  }
+
+  ServeWorkloadReport report;
+  std::mutex report_mu;
+  {
+    serve::WorkloadServer server(cfg.server);
+    std::vector<std::thread> submitters;
+    submitters.reserve(cfg.submitters);
+    for (int s = 0; s < cfg.submitters; ++s) {
+      submitters.emplace_back([&, s] {
+        // One injector per submitter: FaultInjector is thread-safe,
+        // but per-submitter seeds decorrelate which hits fire.
+        FaultInjector injector(cfg.fault_seed + static_cast<u64>(s));
+        if (cfg.fault_probability > 0) {
+          injector.ArmRandomFailure("engine/batch", cfg.fault_probability,
+                                    StatusCode::kInternal,
+                                    "injected serve fault");
+          injector.ArmRandomFailure("parallel/morsel",
+                                    cfg.fault_probability,
+                                    StatusCode::kInternal,
+                                    "injected serve fault");
+        }
+        // Plans are borrowed by the server until Wait() — a deque
+        // keeps every element's address stable while we keep pushing.
+        std::deque<plan::LogicalPlan> plans;
+        std::vector<std::pair<int, serve::QueryHandle>> handles;
+        for (int round = 0; round < cfg.rounds; ++round) {
+          for (int q = 1; q <= kNumQueries; ++q) {
+            if (!HasPlan(q)) continue;
+            plans.push_back(PlanForQuery(data, q));
+            serve::SubmitOptions opts;
+            if (cfg.fault_probability > 0) opts.injector = &injector;
+            handles.emplace_back(
+                q, server.Submit(&plans.back(),
+                                 "s" + std::to_string(s) + "/q" +
+                                     std::to_string(q),
+                                 opts));
+          }
+        }
+        u64 ok = 0, failed = 0, rejected = 0, mism = 0, rej_table = 0;
+        for (auto& [q, handle] : handles) {
+          const serve::QueryResult& qr = handle.Wait();
+          if (qr.run.status.ok()) {
+            ++ok;
+            if (qr.run.table == nullptr ||
+                ExactFingerprint(*qr.run.table) != baseline[q]) {
+              ++mism;
+            }
+          } else if (qr.run.reason == TerminationReason::kRejected) {
+            ++rejected;
+            if (qr.run.table != nullptr) ++rej_table;
+          } else {
+            ++failed;
+          }
+        }
+        std::lock_guard<std::mutex> lock(report_mu);
+        report.ok += ok;
+        report.failed += failed;
+        report.rejected += rejected;
+        report.mismatches += mism;
+        report.rejected_with_table += rej_table;
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+    server.Shutdown();
+    report.stats = server.stats();
+    report.leaked_lease_bytes = server.broker()->leased_bytes();
+  }
+  if (!quiet) {
+    std::printf(
+        "  serve: %llu ok, %llu failed, %llu rejected | retries %llu, "
+        "degraded %llu | mismatches %llu, leaked %llu bytes\n",
+        static_cast<unsigned long long>(report.ok),
+        static_cast<unsigned long long>(report.failed),
+        static_cast<unsigned long long>(report.rejected),
+        static_cast<unsigned long long>(report.stats.retries),
+        static_cast<unsigned long long>(report.stats.degraded_to_serial),
+        static_cast<unsigned long long>(report.mismatches),
+        static_cast<unsigned long long>(report.leaked_lease_bytes));
+  }
+  return report;
 }
 
 EngineConfig DefaultConfig() {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/workload_server.h"
 #include "tpch/queries.h"
 
 namespace ma::tpch {
@@ -40,10 +41,50 @@ struct ModeRun {
   f64 GeoMeanSeconds() const;
 };
 
-/// Runs all 22 queries; one fresh Engine per query (instances and
-/// bandit state are per-query, as in Vectorwise).
+/// Runs all 22 queries; fresh engine state per query (instances and
+/// bandit state are per-query, as in Vectorwise). Plan-ported queries
+/// (plans.h HasPlan) run through plan::QuerySession — the same entry
+/// point the serving layer uses — and the remaining hand-built trees
+/// take the legacy Engine path.
 ModeRun RunAllQueries(const EngineConfig& config, const TpchData& data,
                       std::string name, bool quiet = true);
+
+/// Concurrent serving driver: `submitters` threads each submit every
+/// plan-ported query `rounds` times through one WorkloadServer, wait
+/// for their results, and check every completed table byte-for-byte
+/// against a serial single-tenant baseline. Used by the serve stress
+/// step in CI and by bench_scaling's concurrency section.
+struct ServeWorkloadConfig {
+  int submitters = 4;
+  int rounds = 2;
+  serve::ServerConfig server;
+  /// > 0 arms probabilistic kInternal fault injection (serial batch and
+  /// parallel morsel sites) on every submitted query — the retry loop
+  /// must heal what fires, up to its attempt cap.
+  f64 fault_probability = 0;
+  u64 fault_seed = 7;
+};
+struct ServeWorkloadReport {
+  serve::ServerStats stats;
+  u64 ok = 0;        // completed with a table
+  u64 failed = 0;    // executed, terminally failed (retries exhausted)
+  u64 rejected = 0;  // shed kRejected, never executed
+  /// Completed results whose bytes differ from the serial baseline.
+  /// Any nonzero value is a determinism bug.
+  u64 mismatches = 0;
+  /// Shed queries that returned rows anyway. Must stay 0 — rejection
+  /// means "never executed".
+  u64 rejected_with_table = 0;
+  /// MemoryBroker::leased_bytes() after the run. Must be 0.
+  u64 leaked_lease_bytes = 0;
+  bool clean() const {
+    return mismatches == 0 && rejected_with_table == 0 &&
+           leaked_lease_bytes == 0;
+  }
+};
+ServeWorkloadReport RunWorkloadConcurrently(const TpchData& data,
+                                            const ServeWorkloadConfig& cfg,
+                                            bool quiet = true);
 
 /// Convenience EngineConfigs for the evaluation modes.
 EngineConfig DefaultConfig();

@@ -1,62 +1,9 @@
-// Shared test helper: an order- and bit-sensitive table fingerprint.
-// Row order, column names/types and the exact bit pattern of every
-// cell (f64 included) all count — the byte-identity suites
-// (plan_test, queries_test, parallel_test) compare nothing weaker.
+// Forwarder: ExactFingerprint moved to src/storage/table_fingerprint.h
+// when the serving layer started comparing result identity outside the
+// test tree. Test includes keep working unchanged.
 #ifndef MA_TESTS_TABLE_FINGERPRINT_H_
 #define MA_TESTS_TABLE_FINGERPRINT_H_
 
-#include <cstring>
-#include <string_view>
-
-#include "storage/table.h"
-
-namespace ma {
-
-inline u64 ExactFingerprint(const Table& t) {
-  u64 h = 1469598103934665603ULL;
-  auto mix = [&h](u64 v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  auto mix_bytes = [&mix](std::string_view s) {
-    for (const char c : s) mix(static_cast<u8>(c));
-  };
-  mix(t.row_count());
-  mix(t.num_columns());
-  for (size_t c = 0; c < t.num_columns(); ++c) {
-    const Column* col = t.column(c);
-    mix_bytes(t.column_name(c));
-    mix(static_cast<u64>(col->type()));
-    for (size_t i = 0; i < col->size(); ++i) {
-      switch (col->type()) {
-        case PhysicalType::kI8:
-          mix(static_cast<u64>(col->Get<i8>(i)));
-          break;
-        case PhysicalType::kI16:
-          mix(static_cast<u64>(col->Get<i16>(i)));
-          break;
-        case PhysicalType::kI32:
-          mix(static_cast<u64>(col->Get<i32>(i)));
-          break;
-        case PhysicalType::kI64:
-          mix(static_cast<u64>(col->Get<i64>(i)));
-          break;
-        case PhysicalType::kF64: {
-          const f64 v = col->Get<f64>(i);
-          u64 bits;
-          std::memcpy(&bits, &v, sizeof(bits));
-          mix(bits);
-          break;
-        }
-        case PhysicalType::kStr:
-          mix_bytes(col->Get<StrRef>(i).view());
-          break;
-      }
-    }
-  }
-  return h;
-}
-
-}  // namespace ma
+#include "storage/table_fingerprint.h"
 
 #endif  // MA_TESTS_TABLE_FINGERPRINT_H_
