@@ -36,6 +36,17 @@
 //    overload must shed with kRejected-only semantics, and a shed
 //    query that returns a table is a hard bench failure.
 //
+// 6. Cross-query knowledge: the same workload served three times —
+//    cold (fresh server, empty store), warm in-process (second server
+//    sharing the first one's ProfileStore, plan cache hitting), and
+//    warm from disk (third server loading the store file the second
+//    one persisted). Reports workload seconds and plan-cache hit rate
+//    per pass. The paper's cross-query premise is that learned flavor
+//    knowledge transfers; the repo's determinism contract says it must
+//    transfer invisibly — any byte divergence from the serial baseline
+//    is a hard bench failure (latency deltas are reported, not gated:
+//    they are noise-sensitive on small scale factors).
+//
 // Expected: near-linear scaling up to the physical core count (>= 2.5x
 // at 4 threads on a 4+-core host); on smaller hosts the curve flattens
 // at #cores and the JSON records the host's core count so the reader
@@ -44,9 +55,11 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <thread>
 
 #include "bench_util.h"
+#include "knowledge/profile_store.h"
 #include "exec/query_context.h"
 #include "exec/op_project.h"
 #include "exec/op_select.h"
@@ -445,6 +458,134 @@ bool RunServeSection(const tpch::TpchData& data, int cores,
   return serve_clean;
 }
 
+/// Section 6: cold vs warm workload passes through WorkloadServer.
+///
+/// Pass "cold": fresh server, empty store — every bandit starts with
+/// its exploration sweep, every plan compiles. Pass "warm": a second
+/// server shares the first one's ProfileStore (priors seeded, plan
+/// cache fresh — it is per-server) and persists the store on Shutdown.
+/// Pass "warm_disk": a third server knows only the store file path —
+/// the knowledge survived a process-lifetime boundary. Each pass runs
+/// the plan-ported query set `kRounds` times through one driver so the
+/// plan cache has repeats to hit.
+bool RunKnowledgeSection(const tpch::TpchData& data, int cores,
+                         bench::BenchJson* json) {
+  std::vector<int> query_ids;
+  std::deque<plan::LogicalPlan> plans;
+  std::vector<u64> serial_fp;
+  {
+    plan::SessionConfig cfg;
+    cfg.engine.adaptive.mode = ExecMode::kAdaptive;
+    plan::QuerySession baseline{cfg};
+    for (int q = 1; q <= 22; ++q) {
+      if (!tpch::HasPlan(q)) continue;
+      query_ids.push_back(q);
+      plans.push_back(tpch::PlanForQuery(data, q));
+      RunResult r = baseline.Run(plans.back(), plan::ExecMode::kSerial);
+      MA_CHECK(r.ok());
+      serial_fp.push_back(BitFingerprint(*r.table));
+    }
+  }
+  const std::string store_path = "BENCH_scaling_knowledge_store.bin";
+  std::remove(store_path.c_str());
+  auto store = std::make_shared<knowledge::ProfileStore>();
+  constexpr int kRounds = 3;
+
+  auto server_config = [&] {
+    serve::ServerConfig sc;
+    sc.pool_threads = 4;
+    sc.max_concurrent = 1;  // one driver: pass latency is comparable
+    sc.max_parallel_queries = 1;
+    sc.admission.max_queue_depth = 1 << 20;
+    sc.admission.queue_deadline = std::chrono::milliseconds(0);
+    return sc;
+  };
+  // Runs every ported query kRounds times; returns wall seconds, or -1
+  // on any failure/divergence (the hard guard).
+  auto run_pass = [&](serve::WorkloadServer* server) -> f64 {
+    const auto t0 = std::chrono::steady_clock::now();
+    bool clean = true;
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<serve::QueryHandle> handles;
+      handles.reserve(plans.size());
+      for (size_t i = 0; i < plans.size(); ++i) {
+        handles.push_back(server->Submit(
+            &plans[i], "kq" + std::to_string(query_ids[i])));
+      }
+      for (size_t i = 0; i < handles.size(); ++i) {
+        const serve::QueryResult& qr = handles[i].Wait();
+        clean = clean && qr.run.ok() && qr.run.table != nullptr &&
+                BitFingerprint(*qr.run.table) == serial_fp[i];
+      }
+    }
+    const f64 seconds =
+        std::chrono::duration<f64>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return clean ? seconds : -1.0;
+  };
+
+  std::printf("\n%-10s %12s %10s %12s %12s %10s\n", "pass", "seconds",
+              "vs_cold", "cache_hits", "hit_rate", "identical");
+  bool knowledge_clean = true;
+  f64 cold_seconds = 0;
+  struct Pass {
+    const char* name;
+    f64 seconds;
+    serve::ServerStats stats;
+  };
+  std::vector<Pass> passes;
+  for (const char* pass : {"cold", "warm", "warm_disk"}) {
+    serve::ServerConfig sc = server_config();
+    if (std::strcmp(pass, "warm_disk") == 0) {
+      // Only the path: this server starts from the persisted file.
+      sc.knowledge.store_path = store_path;
+    } else {
+      sc.knowledge.store = store;
+      if (std::strcmp(pass, "warm") == 0) {
+        sc.knowledge.store_path = store_path;  // persist on Shutdown
+      }
+    }
+    serve::WorkloadServer server{sc};
+    if (std::strcmp(pass, "warm_disk") == 0 && !server.warm_started()) {
+      knowledge_clean = false;  // the warm pass failed to persist
+    }
+    const f64 seconds = run_pass(&server);
+    server.Shutdown();
+    knowledge_clean = knowledge_clean && seconds >= 0;
+    if (std::strcmp(pass, "cold") == 0) cold_seconds = seconds;
+    passes.push_back({pass, seconds, server.stats()});
+  }
+  for (const Pass& p : passes) {
+    const u64 lookups = p.stats.plan_cache_hits + p.stats.plan_cache_misses;
+    const f64 hit_rate =
+        lookups > 0
+            ? static_cast<f64>(p.stats.plan_cache_hits) / lookups
+            : 0.0;
+    std::printf("%-10s %12.6f %9.2fx %12llu %11.1f%% %10s\n", p.name,
+                p.seconds, p.seconds > 0 ? cold_seconds / p.seconds : 0.0,
+                static_cast<unsigned long long>(p.stats.plan_cache_hits),
+                hit_rate * 100.0, p.seconds >= 0 ? "yes" : "NO");
+    json->AddRow()
+        .Str("mode", "knowledge")
+        .Str("pass", p.name)
+        .Num("host_cores", cores)
+        .Num("rounds", kRounds)
+        .Num("queries_per_round", static_cast<f64>(plans.size()))
+        .Num("seconds", p.seconds)
+        .Num("speedup_vs_cold",
+             p.seconds > 0 ? cold_seconds / p.seconds : 0.0)
+        .Num("plan_cache_hits", static_cast<f64>(p.stats.plan_cache_hits))
+        .Num("plan_cache_misses",
+             static_cast<f64>(p.stats.plan_cache_misses))
+        .Num("plan_cache_hit_rate", hit_rate)
+        .Num("profiles_merged", static_cast<f64>(p.stats.profiles_merged))
+        .Num("store_profiles", static_cast<f64>(p.stats.store_profiles))
+        .Num("identical_to_serial", p.seconds >= 0 ? 1 : 0);
+  }
+  std::remove(store_path.c_str());
+  return knowledge_clean;
+}
+
 int Run() {
   tpch::TpchConfig cfg;
   cfg.scale_factor = 0.1;
@@ -561,8 +702,21 @@ int Run() {
       "ledger must end at zero.");
   const bool serve_clean = RunServeSection(*data, cores, &json);
 
-  // The widest pool this binary drove (sections 1-5 use 1..max(8,N)).
+  bench::PrintHeader(
+      "Cross-query knowledge: cold vs warm vs warm-from-disk",
+      "The ported query set served 3 rounds per pass through one "
+      "driver. cold = empty store; warm = shares the cold pass's "
+      "ProfileStore in-process (priors seeded, plan cache hitting); "
+      "warm_disk = a fresh server loading the store file the warm pass "
+      "persisted on Shutdown. Warm results must stay byte-identical to "
+      "the serial baseline — knowledge may move time, never bytes.");
+  const bool knowledge_clean = RunKnowledgeSection(*data, cores, &json);
+
+  // The widest pool this binary drove (sections 1-6 use 1..max(8,N)).
   json.set_pool_threads(std::max(8, cores));
+  // Sections 1-5 run cold; section 6's warm passes seeded priors from
+  // the knowledge store, so the file as a whole is marked warm.
+  json.set_warm_start(true);
 
   std::printf(
       "\nExpected: >= 2.5x at 4 threads on a 4+-core host; the curve\n"
@@ -588,6 +742,12 @@ int Run() {
     std::fprintf(stderr,
                  "FAIL: concurrent serving diverged from serial, shed a "
                  "query with a table, or leaked lease bytes\n");
+    return 1;
+  }
+  if (!knowledge_clean) {
+    std::fprintf(stderr,
+                 "FAIL: warm-started serving diverged from the serial "
+                 "baseline or the persisted store failed to load\n");
     return 1;
   }
   return 0;

@@ -90,6 +90,12 @@ class BenchJson {
   /// hosts are never compared as if they came from the same machine.
   void set_pool_threads(int n) { pool_threads_ = n; }
 
+  /// True when any section of this run seeded bandit priors from a
+  /// cross-query knowledge store (knowledge/profile_store.h). Recorded
+  /// in the meta header so warm numbers are never diffed against cold
+  /// ones as if they measured the same thing.
+  void set_warm_start(bool on) { warm_start_ = on; }
+
   /// Writes BENCH_<name>.json; prints the path so runs are discoverable.
   /// Every file carries a meta header with the host's hardware
   /// concurrency and the pool width used, ahead of the data rows.
@@ -102,10 +108,11 @@ class BenchJson {
     }
     std::fprintf(f,
                  "{\"bench\": \"%s\", \"meta\": "
-                 "{\"hardware_concurrency\": %u, \"pool_threads\": %d}, "
+                 "{\"hardware_concurrency\": %u, \"pool_threads\": %d, "
+                 "\"warm_start\": %s}, "
                  "\"rows\": [",
                  name_.c_str(), std::thread::hardware_concurrency(),
-                 pool_threads_);
+                 pool_threads_, warm_start_ ? "true" : "false");
     for (size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
       const auto& fields = rows_[r].fields_;
@@ -128,6 +135,7 @@ class BenchJson {
  private:
   std::string name_;
   int pool_threads_ = 0;
+  bool warm_start_ = false;
   std::vector<Row> rows_;
 };
 

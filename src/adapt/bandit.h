@@ -72,6 +72,17 @@ class BanditPolicy {
   /// exploration phases) return false.
   virtual bool ExploitationStable(int /*flavor*/) const { return false; }
 
+  /// Installs prior cost estimates (cycles/tuple, +inf = unknown; index
+  /// = flavor) learned from earlier queries at the same plan site, so
+  /// the policy can skip its cold-start exploration. Priors are REWARD
+  /// state only: every flavor is bit-exact by the flavor contract, so
+  /// seeding shifts which flavor runs, never what it computes. Called
+  /// at most once, right after construction/Reset and before the first
+  /// Choose(); stale priors must remain correctable by the policy's
+  /// normal exploration. Default: ignore (policies without a cost
+  /// model, e.g. round-robin).
+  virtual void SeedPriors(const std::vector<f64>& /*cost_per_tuple*/) {}
+
   virtual void Reset() = 0;
   virtual std::string name() const = 0;
   int num_flavors() const { return num_flavors_; }
@@ -130,6 +141,10 @@ class VwGreedyPolicy : public BanditPolicy {
   bool ExploitationStable(int flavor) const override {
     return !exploring_ && flavor == flavor_;
   }
+  /// Seeds avg_cost_ and jumps straight to exploiting the best prior —
+  /// the initial sweep is skipped; the periodic exploration cadence is
+  /// untouched, so stale priors are corrected like any stale window.
+  void SeedPriors(const std::vector<f64>& cost_per_tuple) override;
   void Reset() override;
   std::string name() const override;
 
@@ -173,6 +188,9 @@ class EpsPolicy : public BanditPolicy {
   bool ExploitationStable(int flavor) const override {
     return last_was_greedy_ && flavor == last_;
   }
+  /// Folds each prior in as one synthetic observation, so the lifetime
+  /// means start defined and the forced first-pull phase is skipped.
+  void SeedPriors(const std::vector<f64>& cost_per_tuple) override;
   void Reset() override;
   std::string name() const override;
 

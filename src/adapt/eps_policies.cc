@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "adapt/bandit.h"
@@ -68,6 +70,23 @@ void EpsPolicy::Update(u64 tuples, u64 cycles) {
   cycles_[last_] += cycles;
   tuples_[last_] += tuples;
   pulls_[last_] += 1;
+}
+
+void EpsPolicy::SeedPriors(const std::vector<f64>& cost_per_tuple) {
+  // Lifetime-mean policies take each prior as ONE synthetic pull of
+  // kPriorTuples tuples: enough to define the flavor's mean (so
+  // BestFlavor stops forcing untried flavors), light enough that real
+  // measurements dominate it within a handful of calls.
+  constexpr u64 kPriorTuples = 1024;
+  const int n = std::min(num_flavors_,
+                         static_cast<int>(cost_per_tuple.size()));
+  for (int f = 0; f < n; ++f) {
+    const f64 c = cost_per_tuple[f];
+    if (!std::isfinite(c) || c <= 0) continue;
+    pulls_[f] += 1;
+    tuples_[f] += kPriorTuples;
+    cycles_[f] += static_cast<u64>(c * static_cast<f64>(kPriorTuples));
+  }
 }
 
 std::string EpsPolicy::name() const {

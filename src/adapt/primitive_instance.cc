@@ -1,6 +1,8 @@
 #include "adapt/primitive_instance.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/cycleclock.h"
 #include "common/status.h"
@@ -61,6 +63,21 @@ int PrimitiveInstance::FindFlavor(std::string_view name) const {
     if (flavors_[i]->name == name) return static_cast<int>(i);
   }
   return -1;
+}
+
+void PrimitiveInstance::SeedPriors(const std::vector<FlavorPrior>& priors) {
+  if (policy_ == nullptr) return;  // non-adaptive or single-flavor
+  std::vector<f64> costs(flavors_.size(),
+                         std::numeric_limits<f64>::infinity());
+  bool any = false;
+  for (const FlavorPrior& p : priors) {
+    const int f = FindFlavor(p.flavor);
+    if (f < 0) continue;  // flavor unknown or not eligible here
+    if (!std::isfinite(p.cost_per_tuple) || p.cost_per_tuple <= 0) continue;
+    costs[f] = p.cost_per_tuple;
+    any = true;
+  }
+  if (any) policy_->SeedPriors(costs);
 }
 
 int PrimitiveInstance::PickFlavor(const PrimCall& call) {
@@ -136,6 +153,7 @@ void PrimitiveInstance::Record(int flavor, size_t produced, u64 tuples,
   usage_[flavor].calls += 1;
   usage_[flavor].tuples += tuples;
   usage_[flavor].cycles += cycles;
+  usage_[flavor].timed_tuples += tuples;
   if (aph_) aph_->Add(tuples, cycles);
   last_produced_ = produced;
   last_live_ = tuples;

@@ -31,6 +31,7 @@
 
 #include "adapt/aph.h"
 #include "adapt/bandit.h"
+#include "adapt/warm_start.h"
 #include "common/cycleclock.h"
 #include "registry/flavor.h"
 
@@ -167,8 +168,21 @@ class PrimitiveInstance {
     u64 calls = 0;
     u64 tuples = 0;
     u64 cycles = 0;
+    /// Tuples of the TIMED calls only. In chunked mode most calls skip
+    /// the rdtsc pair, so cycles/tuples under-estimates cost;
+    /// cycles/timed_tuples is the unbiased per-flavor mean the
+    /// knowledge store turns into warm-start priors.
+    u64 timed_tuples = 0;
   };
   const std::vector<FlavorUsage>& usage() const { return usage_; }
+
+  /// Installs warm-start priors on this instance's bandit: each prior's
+  /// flavor name is resolved against the eligible flavors() (unknown or
+  /// disabled flavors are skipped — a store written under a different
+  /// flavor-set configuration degrades gracefully). No-op outside
+  /// kAdaptive mode or for single-flavor instances. Reward state only —
+  /// results are unaffected by construction (see adapt/warm_start.h).
+  void SeedPriors(const std::vector<FlavorPrior>& priors);
 
   /// Current chunked-dispatch length K (1 = per-call dispatch). Grows
   /// while the winning flavor is stable, shrinks on regime change.

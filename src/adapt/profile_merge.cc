@@ -14,7 +14,7 @@ size_t FlavorRow(std::vector<FlavorUsageProfile>* flavors,
   for (size_t i = 0; i < flavors->size(); ++i) {
     if ((*flavors)[i].flavor == name) return i;
   }
-  flavors->push_back(FlavorUsageProfile{name, 0, 0, 0});
+  flavors->push_back(FlavorUsageProfile{.flavor = name});
   return flavors->size() - 1;
 }
 
@@ -55,6 +55,7 @@ std::vector<InstanceProfile> MergeInstanceProfiles(
       agg.calls += u.calls;
       agg.tuples += u.tuples;
       agg.cycles += u.cycles;
+      agg.timed_tuples += u.timed_tuples;
       if (best_usage == nullptr || u.calls > best_usage->calls) {
         best_usage = &u;
         best_name = &name;

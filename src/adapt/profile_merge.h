@@ -25,6 +25,9 @@ struct FlavorUsageProfile {
   u64 calls = 0;
   u64 tuples = 0;
   u64 cycles = 0;
+  /// Tuples of timed calls only; cycles/timed_tuples is the unbiased
+  /// per-flavor cost (see PrimitiveInstance::FlavorUsage).
+  u64 timed_tuples = 0;
 };
 
 struct InstanceProfile {

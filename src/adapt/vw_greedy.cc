@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "adapt/bandit.h"
@@ -94,6 +96,27 @@ void VwGreedyPolicy::Update(u64 tuples, u64 cycles) {
     // Exploitation: the best-known flavor for exploit_period calls.
     StartPhase(BestFlavor(), p_.exploit_period, /*exploring=*/false);
   }
+}
+
+void VwGreedyPolicy::SeedPriors(const std::vector<f64>& cost_per_tuple) {
+  bool any = false;
+  const int n = std::min(num_flavors_,
+                         static_cast<int>(cost_per_tuple.size()));
+  for (int f = 0; f < n; ++f) {
+    const f64 c = cost_per_tuple[f];
+    if (std::isfinite(c) && c > 0) {
+      avg_cost_[f] = c;
+      any = true;
+    }
+  }
+  if (!any) return;
+  // Warm start: skip the remaining initial sweep and exploit the best
+  // prior immediately. next_explore_ is untouched, so the periodic
+  // exploration phases still fire on schedule — a stale prior gets
+  // overwritten by a fresh phase window exactly like any old
+  // measurement would (non-stationarity resistance is preserved).
+  sweep_next_ = -1;
+  StartPhase(BestFlavor(), p_.exploit_period, /*exploring=*/false);
 }
 
 std::string VwGreedyPolicy::name() const {

@@ -1,0 +1,29 @@
+#include "adapt/warm_start.h"
+
+namespace ma {
+
+std::string WarmStartSnapshot::Key(std::string_view label,
+                                   std::string_view signature) {
+  // '\x1f' (unit separator) cannot appear in labels or signatures, so
+  // the concatenation is collision-free.
+  std::string key;
+  key.reserve(label.size() + 1 + signature.size());
+  key.append(label);
+  key.push_back('\x1f');
+  key.append(signature);
+  return key;
+}
+
+void WarmStartSnapshot::Add(std::string_view label,
+                            std::string_view signature,
+                            std::vector<FlavorPrior> priors) {
+  priors_[Key(label, signature)] = std::move(priors);
+}
+
+const std::vector<FlavorPrior>* WarmStartSnapshot::Find(
+    std::string_view label, std::string_view signature) const {
+  const auto it = priors_.find(Key(label, signature));
+  return it != priors_.end() ? &it->second : nullptr;
+}
+
+}  // namespace ma

@@ -1,0 +1,63 @@
+// Warm-start priors: learned per-flavor cost estimates handed to fresh
+// PrimitiveInstances so their bandits skip the cold-start sweep. The
+// knowledge layer (src/knowledge/profile_store.h) distills these from
+// merged profiles of earlier queries; this header lives in adapt/ so
+// the execution layer can consume priors without depending on the
+// knowledge store itself.
+//
+// Contract (docs/ADAPTIVITY.md): priors are REWARD state, never result
+// state. Every flavor of a primitive is bit-exact by the flavor
+// contract, so seeding can only change WHICH flavor runs — never what
+// any query computes. Warm and cold runs are byte-identical.
+#ifndef MA_ADAPT_WARM_START_H_
+#define MA_ADAPT_WARM_START_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ma {
+
+/// One flavor's learned cost at one plan site, distilled from the
+/// timed calls of earlier queries.
+struct FlavorPrior {
+  std::string flavor;
+  /// Mean cycles/tuple over timed calls only (chunked exploitation
+  /// calls carry no timing and are excluded, so the mean is unbiased).
+  f64 cost_per_tuple = 0;
+};
+
+/// An immutable map of priors keyed by (instance label, primitive
+/// signature). Built once per snapshot by the ProfileStore, then shared
+/// read-only across engines and worker threads (EngineConfig holds a
+/// shared_ptr<const WarmStartSnapshot>), so lookups need no locking.
+///
+/// The instance label is the plan-site identity ("q1/select"): the same
+/// site sees the same data stream across runs of the same plan, which
+/// is what makes its history a valid prior — the paper's per-instance
+/// learning, amortized across queries.
+class WarmStartSnapshot {
+ public:
+  static std::string Key(std::string_view label, std::string_view signature);
+
+  void Add(std::string_view label, std::string_view signature,
+           std::vector<FlavorPrior> priors);
+
+  /// Priors for the (label, signature) site, or null when this site was
+  /// never profiled. The returned pointer lives as long as the snapshot.
+  const std::vector<FlavorPrior>* Find(std::string_view label,
+                                       std::string_view signature) const;
+
+  size_t size() const { return priors_.size(); }
+  bool empty() const { return priors_.empty(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<FlavorPrior>> priors_;
+};
+
+}  // namespace ma
+
+#endif  // MA_ADAPT_WARM_START_H_

@@ -22,6 +22,12 @@ PrimitiveInstance* Engine::NewInstance(std::string_view signature,
   if (config_.adaptive.mode == ExecMode::kHeuristic) {
     InstallHeuristics(inst, config_.heuristics, bloom_bytes);
   }
+  if (config_.warm_start != nullptr &&
+      config_.adaptive.mode == ExecMode::kAdaptive) {
+    const std::vector<FlavorPrior>* priors =
+        config_.warm_start->Find(inst->label(), entry->signature);
+    if (priors != nullptr) inst->SeedPriors(*priors);
+  }
   return inst;
 }
 

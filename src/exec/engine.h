@@ -12,6 +12,7 @@
 
 #include "adapt/heuristics.h"
 #include "adapt/primitive_instance.h"
+#include "adapt/warm_start.h"
 #include "exec/query_context.h"
 #include "registry/primitive_dictionary.h"
 #include "storage/table.h"
@@ -27,6 +28,11 @@ struct EngineConfig {
   /// Use bloom filters in hash joins when the probe side is expected to
   /// miss often (the engine decides per join via this switch).
   bool join_bloom_filters = true;
+  /// Warm-start priors from the cross-query knowledge store; null = cold
+  /// start. Consulted only in kAdaptive mode, at instance creation, by
+  /// (label, signature). Shared and immutable: many engines (one per
+  /// worker thread) read the same snapshot concurrently.
+  std::shared_ptr<const WarmStartSnapshot> warm_start;
 };
 
 /// Cycle counts per execution stage, as in Table 1 of the paper.
@@ -94,6 +100,12 @@ class Engine {
   /// private fallback. QuerySession/ParallelExecutor call this per run.
   void set_context(QueryContext* ctx) {
     context_ = ctx != nullptr ? ctx : &own_context_;
+  }
+
+  /// Installs (or clears, with null) the warm-start snapshot consulted
+  /// by subsequent NewInstance calls. Existing instances are unchanged.
+  void set_warm_start(std::shared_ptr<const WarmStartSnapshot> ws) {
+    config_.warm_start = std::move(ws);
   }
 
  private:

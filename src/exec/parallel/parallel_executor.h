@@ -148,6 +148,13 @@ class ParallelExecutor {
     context_ = ctx != nullptr ? ctx : &own_context_;
   }
 
+  /// Installs (or clears, with null) warm-start priors for subsequent
+  /// runs: worker engines are rebuilt from engine_config_ at the start
+  /// of every run, so the snapshot reaches them on the next Run.
+  void set_warm_start(std::shared_ptr<const WarmStartSnapshot> ws) {
+    engine_config_.warm_start = std::move(ws);
+  }
+
   /// Profiles of the most recent run, merged across workers by label.
   std::vector<InstanceProfile> MergedProfile() const;
 

@@ -1,0 +1,56 @@
+#include "knowledge/plan_cache.h"
+
+namespace ma::knowledge {
+
+std::shared_ptr<const CachedPlan> PlanCache::GetOrCompile(
+    const plan::LogicalPlan& p) {
+  if (!p.ok()) return nullptr;
+  plan::PlanFingerprint fp = plan::FingerprintPlan(p);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(fp.hash);
+    if (it != entries_.end()) {
+      for (const auto& entry : it->second) {
+        if (entry->fingerprint.canon == fp.canon) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return entry;
+        }
+      }
+    }
+  }
+  // Compile outside the lock: BuildStagePlan walks the whole plan, and
+  // concurrent misses on different plans shouldn't serialize.
+  auto entry = std::make_shared<CachedPlan>();
+  entry->fingerprint = std::move(fp);
+  entry->plan = p.Clone();
+  const Status s = plan::Compiler::BuildStagePlan(entry->plan,
+                                                  &entry->stages);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (!s.ok()) return nullptr;  // unstageable: not worth caching
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& bucket = entries_[entry->fingerprint.hash];
+  for (const auto& existing : bucket) {
+    // A racing miss inserted the same plan first; keep the winner so
+    // all queries share one entry.
+    if (existing->fingerprint.canon == entry->fingerprint.canon) {
+      return existing;
+    }
+  }
+  bucket.push_back(entry);
+  return entry;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [hash, bucket] : entries_) n += bucket.size();
+  return n;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace ma::knowledge

@@ -1,0 +1,80 @@
+// PlanCache: compiled stage-DAG reuse across queries with equal
+// canonical fingerprints (plan/plan_fingerprint.h).
+//
+// Lifetime design: submitters own their LogicalPlans and may destroy
+// them as soon as the query's Wait() returns — long before the server
+// shuts down. A cache entry therefore never borrows the submitted plan:
+// on a miss it deep-clones the plan (LogicalPlan::Clone) and compiles
+// the StagePlan FROM THE CLONE, so every raw PlanNode* inside the
+// cached stages points into plan memory the entry itself owns. Entries
+// are immutable after insert and handed out as shared_ptr<const>, so a
+// query keeps its entry alive across the run even if the cache is
+// cleared mid-flight. Concurrent queries may execute one cached
+// StagePlan simultaneously — stage execution only reads it, the same
+// sharing discipline the per-worker fragment compilation already
+// exercises under TSan.
+//
+// The one pointer a clone cannot deep-copy is the base Table*: plans
+// reference catalog tables by pointer, so tables scanned by cached
+// plans must outlive the cache (in practice: the server). The
+// fingerprint embeds the table pointer + name + schema, which also
+// makes it the catalog version check — AddColumn changes the
+// fingerprint and retires stale entries to misses.
+//
+// Correctness over cleverness: equality is full canonical-byte
+// comparison, never hash-only, so a 64-bit hash collision costs one
+// cache miss instead of executing the wrong plan.
+#ifndef MA_KNOWLEDGE_PLAN_CACHE_H_
+#define MA_KNOWLEDGE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "plan/compiler.h"
+#include "plan/logical_plan.h"
+#include "plan/plan_fingerprint.h"
+
+namespace ma::knowledge {
+
+/// One cached compilation: the owning deep copy of the plan and the
+/// stage-DAG compiled from it. Immutable after construction.
+struct CachedPlan {
+  plan::PlanFingerprint fingerprint;
+  plan::LogicalPlan plan;    // owns every node `stages` points into
+  plan::StagePlan stages;
+};
+
+class PlanCache {
+ public:
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached compilation for a plan canonically equal to
+  /// `p`, compiling and inserting on a miss. Returns null — without
+  /// caching — when `p` is invalid or cannot be staged (e.g. plans the
+  /// staged compiler does not support); callers then fall back to the
+  /// uncached path. Thread-safe.
+  std::shared_ptr<const CachedPlan> GetOrCompile(const plan::LogicalPlan& p);
+
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  /// hash -> entries with that hash; equality within a bucket is full
+  /// canon comparison.
+  std::unordered_map<u64, std::vector<std::shared_ptr<const CachedPlan>>>
+      entries_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+};
+
+}  // namespace ma::knowledge
+
+#endif  // MA_KNOWLEDGE_PLAN_CACHE_H_

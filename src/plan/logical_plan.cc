@@ -31,6 +31,32 @@ const ColumnInfo* PlanNode::FindColumn(std::string_view name) const {
   return nullptr;
 }
 
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->kind = kind;
+  copy->label = label;
+  copy->children.reserve(children.size());
+  for (const auto& c : children) copy->children.push_back(c->Clone());
+  copy->table = table;
+  copy->columns = columns;
+  copy->predicate = predicate != nullptr ? predicate->Clone() : nullptr;
+  copy->outputs.reserve(outputs.size());
+  for (const auto& o : outputs) {
+    copy->outputs.push_back(
+        {o.name, o.expr != nullptr ? o.expr->Clone() : nullptr});
+  }
+  copy->hash_spec = hash_spec;
+  copy->merge_spec = merge_spec;
+  copy->group_keys = group_keys;
+  copy->group_outputs = group_outputs;
+  copy->aggs.reserve(aggs.size());
+  for (const auto& a : aggs) copy->aggs.push_back(a.Clone());
+  copy->sort_keys = sort_keys;
+  copy->limit = limit;
+  copy->schema = schema;
+  return copy;
+}
+
 namespace {
 
 void DescribeNode(const PlanNode& n, int depth, std::string* out) {
@@ -82,6 +108,22 @@ void DescribeNode(const PlanNode& n, int depth, std::string* out) {
 }
 
 }  // namespace
+
+LogicalPlan LogicalPlan::Clone() const {
+  LogicalPlan copy;
+  copy.root = root != nullptr ? root->Clone() : nullptr;
+  copy.scalars.reserve(scalars.size());
+  for (const ScalarSpec& s : scalars) {
+    ScalarSpec sc;
+    sc.name = s.name;
+    sc.column = s.column;
+    sc.type = s.type;
+    sc.root = s.root != nullptr ? s.root->Clone() : nullptr;
+    copy.scalars.push_back(std::move(sc));
+  }
+  copy.status = status;
+  return copy;
+}
 
 std::string LogicalPlan::Describe() const {
   if (!status.ok()) return "invalid plan: " + status.message();

@@ -69,6 +69,10 @@ struct PlanNode {
   std::vector<ColumnInfo> schema;
 
   const ColumnInfo* FindColumn(std::string_view name) const;
+
+  /// Deep copy of this subtree: expressions are cloned, `table` stays a
+  /// borrowed pointer to the same catalog table (plans never own data).
+  std::unique_ptr<PlanNode> Clone() const;
 };
 
 /// A scalar subquery bound with PlanBuilder::BindScalar: `root` is a
@@ -97,6 +101,11 @@ struct LogicalPlan {
   Status status;
 
   bool ok() const { return status.ok() && root != nullptr; }
+
+  /// Deep copy (root + scalar subqueries + status). The copy's lifetime
+  /// is independent of the original — what the plan cache relies on to
+  /// outlive submitter-owned plans.
+  LogicalPlan Clone() const;
 
   /// Indented tree rendering for diagnostics and docs.
   std::string Describe() const;

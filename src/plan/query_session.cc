@@ -83,7 +83,7 @@ RunResult FailedResult(QueryContext* ctx) {
 }  // namespace
 
 RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode,
-                            QueryContext* ctx) {
+                            QueryContext* ctx, const StagePlan* staged) {
   if (ctx == nullptr) {
     own_context_.Reset();
     ctx = &own_context_;
@@ -95,21 +95,28 @@ RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode,
     return FailedResult(ctx);
   }
   if (mode != ExecMode::kSerial) {
-    StagePlan sp;
-    const Status s = Compiler::BuildStagePlan(plan, &sp);
-    bool parallel = s.ok();
-    if (parallel && mode == ExecMode::kAuto) {
-      const int threads =
-          config_.shared_pool != nullptr ? config_.shared_pool->size()
-          : config_.parallel.num_threads > 0
-              ? config_.parallel.num_threads
-              : static_cast<int>(std::thread::hardware_concurrency());
-      parallel =
-          threads > 1 && DrivingRows(sp) >= config_.min_parallel_rows;
-    }
-    if (parallel) {
-      last_run_parallel_ = true;
-      return RunStaged(sp, ctx);
+    const int threads =
+        config_.shared_pool != nullptr ? config_.shared_pool->size()
+        : config_.parallel.num_threads > 0
+            ? config_.parallel.num_threads
+            : static_cast<int>(std::thread::hardware_concurrency());
+    auto gate = [&](const StagePlan& sp) {
+      return mode != ExecMode::kAuto ||
+             (threads > 1 && DrivingRows(sp) >= config_.min_parallel_rows);
+    };
+    if (staged != nullptr) {
+      // Precompiled (plan-cache hit): skip BuildStagePlan entirely.
+      if (gate(*staged)) {
+        last_run_parallel_ = true;
+        return RunStaged(*staged, ctx);
+      }
+    } else {
+      StagePlan sp;
+      const Status s = Compiler::BuildStagePlan(plan, &sp);
+      if (s.ok() && gate(sp)) {
+        last_run_parallel_ = true;
+        return RunStaged(sp, ctx);
+      }
     }
   }
   return RunSerial(plan, ctx);
@@ -133,6 +140,15 @@ RunResult QuerySession::RunSerial(const LogicalPlan& plan,
 void QuerySession::set_task_tag(std::string tag) {
   task_tag_ = std::move(tag);
   if (parallel_ != nullptr) parallel_->set_task_tag(task_tag_);
+}
+
+void QuerySession::set_warm_start(
+    std::shared_ptr<const WarmStartSnapshot> priors) {
+  // config_.engine seeds the parallel executor if it is created later;
+  // the live engines take the snapshot directly.
+  config_.engine.warm_start = priors;
+  engine_.set_warm_start(priors);
+  if (parallel_ != nullptr) parallel_->set_warm_start(std::move(priors));
 }
 
 RunResult QuerySession::RunStaged(const StagePlan& sp, QueryContext* ctx) {

@@ -73,8 +73,15 @@ class QuerySession {
   /// queries). A failed run's RunResult carries the first error and its
   /// TerminationReason, its table is null, and the session is reusable
   /// for the next query as if freshly constructed.
+  ///
+  /// `staged` is an optional precompiled stage-DAG for `plan` (the plan
+  /// cache hands in the StagePlan it compiled from its own clone of an
+  /// equal plan — see knowledge/plan_cache.h). When non-null, non-serial
+  /// runs skip Compiler::BuildStagePlan and execute `staged` directly;
+  /// the kAuto small-input gate still applies, and kSerial ignores it.
   RunResult Run(const LogicalPlan& plan, ExecMode mode = ExecMode::kAuto,
-                QueryContext* ctx = nullptr);
+                QueryContext* ctx = nullptr,
+                const StagePlan* staged = nullptr);
 
   /// True when the previous Run() executed the staged plan — its
   /// pipeline/build/aggregate stages through per-worker compiled
@@ -91,6 +98,12 @@ class QuerySession {
   /// Labels this session's phases on a shared pool (error attribution
   /// across tenants); the serving layer sets the query label per run.
   void set_task_tag(std::string tag);
+
+  /// Installs (or clears, with null) warm-start priors for subsequent
+  /// runs on both execution paths — the serial engine and the parallel
+  /// executor's per-worker engines. Priors are reward state only; they
+  /// steer flavor choice, never results (see adapt/warm_start.h).
+  void set_warm_start(std::shared_ptr<const WarmStartSnapshot> priors);
 
   /// Per-plan-site profile of the last run: merged across worker
   /// threads after a parallel run (per-thread winners preserved, most

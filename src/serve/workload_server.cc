@@ -69,7 +69,15 @@ WorkloadServer::WorkloadServer(ServerConfig config)
       pool_(ResolvePoolThreads(config_.pool_threads)),
       admission_(config_.admission),
       broker_(config_.memory_pool_bytes),
-      retry_(config_.retry) {
+      retry_(config_.retry),
+      store_(config_.knowledge.store != nullptr
+                 ? config_.knowledge.store
+                 : std::make_shared<knowledge::ProfileStore>()) {
+  if (!config_.knowledge.store_path.empty()) {
+    // A missing/corrupt store file is a cold start, not a failure: the
+    // store guarantees it is empty after a failed Load.
+    store_loaded_ = store_->Load(config_.knowledge.store_path).ok();
+  }
   const int drivers = std::max(1, config_.max_concurrent);
   drivers_.reserve(drivers);
   for (int i = 0; i < drivers; ++i) {
@@ -88,6 +96,17 @@ void WorkloadServer::Shutdown() {
   for (std::thread& t : drivers_) {
     if (t.joinable()) t.join();
   }
+  // Drivers drained: persist everything learned this run. Best-effort —
+  // a failed save costs the next process its warm start, nothing else.
+  bool save = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!config_.knowledge.store_path.empty() && !store_saved_) {
+      store_saved_ = true;
+      save = true;
+    }
+  }
+  if (save) store_->Save(config_.knowledge.store_path);
 }
 
 QueryHandle WorkloadServer::Submit(const plan::LogicalPlan* plan,
@@ -161,6 +180,20 @@ void WorkloadServer::DriverLoop() {
 void WorkloadServer::Execute(QueryHandle::State* q,
                              plan::QuerySession* session) {
   session->set_task_tag(q->label);
+  // Warm start: seed this query's fresh bandit instances from the
+  // store's current snapshot (reward priors only — never result
+  // bytes). Resolved once per query, so retries see stable priors.
+  session->set_warm_start(config_.knowledge.warm_start ? store_->Snapshot()
+                                                       : nullptr);
+  // Plan cache: reuse (or compile and insert) the stage-DAG for this
+  // plan's fingerprint. kSerial never uses staged execution, so it
+  // skips the cache entirely. The shared_ptr keeps the entry alive for
+  // the whole retry loop even if the cache is cleared concurrently.
+  std::shared_ptr<const knowledge::CachedPlan> cached;
+  if (config_.knowledge.plan_cache &&
+      q->opts.mode != plan::ExecMode::kSerial) {
+    cached = plan_cache_.GetOrCompile(*q->plan);
+  }
   bool lease_held = false;
   for (int attempt = 1;; ++attempt) {
     q->result.attempts = attempt;
@@ -213,12 +246,19 @@ void WorkloadServer::Execute(QueryHandle::State* q,
         }
       }
     }
-    RunResult r = session->Run(*q->plan, mode, &q->ctx);
+    RunResult r = session->Run(*q->plan, mode, &q->ctx,
+                               cached != nullptr ? &cached->stages : nullptr);
     if (slot) ReleaseParallelSlot();
     const bool retry = retry_.ShouldRetry(r.status, attempt);
     q->result.run = std::move(r);
     if (!retry) break;
   }
+  // Learn from success only: a failed attempt's profile is partial and
+  // would bias the priors.
+  if (config_.knowledge.learn && q->result.run.status.ok()) {
+    store_->Merge(session->Profile());
+  }
+  session->set_warm_start(nullptr);
   q->ctx.ReleaseBudgetLease();
 }
 
@@ -263,6 +303,10 @@ ServerStats WorkloadServer::stats() const {
   s.degraded_to_serial = degraded_.load(std::memory_order_relaxed);
   s.completed_ok = completed_ok_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.plan_cache_hits = plan_cache_.hits();
+  s.plan_cache_misses = plan_cache_.misses();
+  s.profiles_merged = store_->profiles_merged();
+  s.store_profiles = store_->size();
   return s;
 }
 

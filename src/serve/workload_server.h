@@ -32,7 +32,22 @@
 //     once every submitted query has completed.
 //
 // Plans are borrowed: the caller keeps each submitted LogicalPlan (and
-// the tables it scans) alive until that query's Wait() returns.
+// the tables it scans) alive until that query's Wait() returns. The
+// plan cache (knowledge/plan_cache.h) keeps that contract unchanged by
+// deep-cloning plans on cache misses — with one extension: base tables
+// scanned by cached plans must outlive the server, since a later query
+// with an equal fingerprint may re-execute the cached stage-DAG (the
+// fingerprint embeds the table pointer + schema, so a reused address
+// with a different schema misses instead of dangling).
+//
+// Cross-query knowledge (ServerConfig::knowledge): after each
+// successful query the session's merged flavor profile is folded into a
+// ProfileStore; before each attempt the store's snapshot seeds bandit
+// priors of the fresh instances. Priors are reward state only — warm
+// and cold runs produce byte-identical tables (tests/knowledge_test.cc).
+// With store_path set, the store is loaded at construction (missing or
+// corrupt file = cold start, the server still serves) and saved once on
+// Shutdown after the drivers drain.
 #ifndef MA_SERVE_WORKLOAD_SERVER_H_
 #define MA_SERVE_WORKLOAD_SERVER_H_
 
@@ -48,6 +63,8 @@
 
 #include "exec/parallel/thread_pool.h"
 #include "exec/query_context.h"
+#include "knowledge/plan_cache.h"
+#include "knowledge/profile_store.h"
 #include "plan/query_session.h"
 #include "serve/admission.h"
 #include "serve/memory_broker.h"
@@ -78,6 +95,9 @@ struct ServerConfig {
   std::chrono::milliseconds lease_max_wait{1000};
   /// Base per-driver session config; shared_pool is overwritten.
   plan::SessionConfig session;
+  /// Cross-query knowledge: plan cache, profile learning, warm-start
+  /// seeding, persistence (see knowledge/profile_store.h).
+  knowledge::KnowledgeConfig knowledge;
 };
 
 struct SubmitOptions {
@@ -112,6 +132,12 @@ struct ServerStats {
   u64 degraded_to_serial = 0;
   u64 completed_ok = 0;
   u64 failed = 0;    // executed but terminally failed
+  // Knowledge-layer counters, so benches and drivers read them here
+  // instead of recomputing ad hoc.
+  u64 plan_cache_hits = 0;
+  u64 plan_cache_misses = 0;
+  u64 profiles_merged = 0;  // query profiles folded into the store
+  u64 store_profiles = 0;   // distinct (site, signature) rows held
 };
 
 class WorkloadServer;
@@ -168,6 +194,12 @@ class WorkloadServer {
   ThreadPool* pool() { return &pool_; }
   MemoryBroker* broker() { return &broker_; }
   const AdmissionController* admission() const { return &admission_; }
+  /// The knowledge store this server learns into — the external one
+  /// from KnowledgeConfig::store, or the server-private one. Never null.
+  knowledge::ProfileStore* knowledge_store() { return store_.get(); }
+  /// True when construction loaded a persisted store from
+  /// KnowledgeConfig::store_path (false = cold start).
+  bool warm_started() const { return store_loaded_; }
 
  private:
   void DriverLoop();
@@ -187,6 +219,11 @@ class WorkloadServer {
   AdmissionController admission_;
   MemoryBroker broker_;
   RetryPolicy retry_;
+  std::shared_ptr<knowledge::ProfileStore> store_;
+  knowledge::PlanCache plan_cache_;
+  bool store_loaded_ = false;
+  /// Shutdown() saves the store at most once (guarded by queue_mu_).
+  bool store_saved_ = false;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -282,6 +282,90 @@ plan::LogicalPlan Q6Plan(const TpchData& d) {
       .Build();
 }
 
+plan::LogicalPlan Q7Plan(const TpchData& d) {
+  const i64 fr = NationCode("FRANCE");
+  const i64 de = NationCode("GERMANY");
+
+  // Orders annotated with customer nation (FRANCE or GERMANY only).
+  // The hash probe emits matches in probe order, so o_orderkey stays
+  // ascending into the merge join below.
+  HashJoinSpec cj;
+  cj.build_key = "c_custkey";
+  cj.probe_key = "o_custkey";
+  cj.build_outputs = {{"c_nationkey", "cust_nation_code"}};
+  cj.probe_outputs = {"o_orderkey"};
+  cj.use_bloom = true;
+  PlanBuilder cust = PlanBuilder::Scan(
+      d.customer, {"c_custkey", "c_nationkey"}, "q7/customer_scan");
+  cust.Filter(InI64("c_nationkey", {fr, de}), "q7/customer");
+  PlanBuilder orders = PlanBuilder::Scan(
+      d.orders, {"o_orderkey", "o_custkey"}, "q7/orders_scan");
+  orders.HashJoin(std::move(cust), cj, "q7/orders_customer");
+
+  // Lineitems shipped 1995-1996; merge join with the annotated orders
+  // on the orderkey — Figure 4(c)'s mergejoin instance.
+  MergeJoinSpec mj;
+  mj.left_key = "o_orderkey";
+  mj.right_key = "l_orderkey";
+  mj.left_outputs = {{"cust_nation_code", "cust_nation_code"}};
+  mj.right_outputs = {{"l_suppkey", "l_suppkey"},
+                      {"l_extendedprice", "l_extendedprice"},
+                      {"l_discount", "l_discount"},
+                      {"l_shipyear", "l_shipyear"}};
+  PlanBuilder items = PlanBuilder::Scan(
+      d.lineitem,
+      {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount",
+       "l_shipdate", "l_shipyear"},
+      "q7/lineitem_scan");
+  items.Filter(RangeI64("l_shipdate", Date(1995, 1, 1), Date(1997, 1, 1)),
+               "q7/lineitem");
+  orders.MergeJoin(std::move(items), mj, "q7/mergejoin");
+
+  // Attach supplier nation.
+  HashJoinSpec sj;
+  sj.build_key = "s_suppkey";
+  sj.probe_key = "l_suppkey";
+  sj.build_outputs = {{"s_nationkey", "supp_nation_code"}};
+  sj.probe_outputs = {"cust_nation_code", "l_extendedprice", "l_discount",
+                      "l_shipyear"};
+  sj.use_bloom = true;
+  PlanBuilder supp = PlanBuilder::Scan(
+      d.supplier, {"s_suppkey", "s_nationkey"}, "q7/supplier_scan");
+  supp.Filter(InI64("s_nationkey", {fr, de}), "q7/supplier");
+  orders.HashJoin(std::move(supp), sj, "q7/supplier_join");
+
+  // (supp=FR and cust=DE) or (supp=DE and cust=FR).
+  std::vector<ExprPtr> c1;
+  c1.push_back(Eq(Col("supp_nation_code"), Lit(fr)));
+  c1.push_back(Eq(Col("cust_nation_code"), Lit(de)));
+  std::vector<ExprPtr> c2;
+  c2.push_back(Eq(Col("supp_nation_code"), Lit(de)));
+  c2.push_back(Eq(Col("cust_nation_code"), Lit(fr)));
+  std::vector<ExprPtr> either;
+  either.push_back(AndAll(std::move(c1)));
+  either.push_back(AndAll(std::move(c2)));
+
+  std::vector<Out> outs;
+  outs.push_back({"supp_nation_code", Col("supp_nation_code")});
+  outs.push_back({"cust_nation_code", Col("cust_nation_code")});
+  outs.push_back({"l_shipyear", Col("l_shipyear")});
+  outs.push_back({"volume", Revenue()});
+
+  std::vector<Agg> aggs;
+  aggs.push_back(MakeAgg("sum", Col("volume"), "revenue"));
+
+  return orders.Filter(OrAny(std::move(either)), "q7/nation_pair")
+      .Project(std::move(outs), "q7/project")
+      .GroupBy({GK{"supp_nation_code", 5}, GK{"cust_nation_code", 5},
+                GK{"l_shipyear", 11}},
+               {"supp_nation_code", "cust_nation_code", "l_shipyear"},
+               std::move(aggs), "q7/agg")
+      .Sort({{"supp_nation_code", false},
+             {"cust_nation_code", false},
+             {"l_shipyear", false}})
+      .Build();
+}
+
 plan::LogicalPlan Q10Plan(const TpchData& d) {
   // Per-customer revenue over returned items of Q4-1993 orders: the
   // aggregation feeds the customer/nation joins above it, so the staged
@@ -791,7 +875,7 @@ plan::LogicalPlan Q14Plan(const TpchData& d) {
 
 bool HasPlan(int q) {
   switch (q) {
-    case 1: case 2: case 3: case 4: case 5: case 6:
+    case 1: case 2: case 3: case 4: case 5: case 6: case 7:
     case 10: case 11: case 12: case 13: case 14: case 15:
     case 17: case 22:
       return true;
@@ -808,6 +892,7 @@ plan::LogicalPlan PlanForQuery(const TpchData& d, int q) {
     case 4: return Q4Plan(d);
     case 5: return Q5Plan(d);
     case 6: return Q6Plan(d);
+    case 7: return Q7Plan(d);
     case 10: return Q10Plan(d);
     case 11: return Q11Plan(d);
     case 12: return Q12Plan(d);

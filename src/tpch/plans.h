@@ -44,6 +44,15 @@ plan::LogicalPlan Q5Plan(const TpchData& d);
 /// aggregate).
 plan::LogicalPlan Q6Plan(const TpchData& d);
 
+/// Q7: volume shipping. Customer-annotated orders merge-join the
+/// filtered lineitems on the clustered (ascending) orderkey — Figure
+/// 4(c)'s mergejoin instance; the hash probe preserves the orders scan
+/// order, so the staged order-proof stage passes without an explicit
+/// sort. Supplier nation attaches by hash join, the FR/DE nation-pair
+/// filter keeps the two directions, and revenue aggregates per
+/// (supp_nation, cust_nation, year).
+plan::LogicalPlan Q7Plan(const TpchData& d);
+
 /// Q10: returned item reporting. The per-customer revenue aggregation
 /// feeds the customer and nation joins above it — the agg-feeding-join
 /// shape that compiles to dependent stages scanning a materialized

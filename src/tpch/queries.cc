@@ -143,91 +143,10 @@ RunResult Q5(Engine* e, const TpchData& d) { return RunPlan(e, Q5Plan(d)); }
 RunResult Q6(Engine* e, const TpchData& d) { return RunPlan(e, Q6Plan(d)); }
 
 // =====================================================================
-// Q7: Volume shipping (uses the merge join on the orderkey order).
+// Q7: Volume shipping — via the logical plan (see Q1). Exercises the
+// merge join on the clustered orderkey order.
 // =====================================================================
-RunResult Q7(Engine* e, const TpchData& d) {
-  const i64 fr = NationCode("FRANCE");
-  const i64 de = NationCode("GERMANY");
-  // Orders annotated with customer nation (FRANCE or GERMANY only).
-  auto cust = Sel(e, Scan(e, d.customer, {"c_custkey", "c_nationkey"}),
-                  InI64("c_nationkey", {fr, de}), "q7/customer");
-  HashJoinSpec cj;
-  cj.build_key = "c_custkey";
-  cj.probe_key = "o_custkey";
-  cj.build_outputs = {{"c_nationkey", "cust_nation_code"}};
-  cj.probe_outputs = {"o_orderkey"};
-  cj.use_bloom = true;
-  auto orders_c = Join(e, std::move(cust),
-                       Scan(e, d.orders, {"o_orderkey", "o_custkey"}), cj,
-                       "q7/orders_customer");
-
-  // Lineitems shipped 1995-1996; merge join with the annotated orders on
-  // the (ascending) orderkey — Figure 4(c)'s mergejoin instance.
-  auto items =
-      Sel(e, Scan(e, d.lineitem,
-                  {"l_orderkey", "l_suppkey", "l_extendedprice",
-                   "l_discount", "l_shipdate", "l_shipyear"}),
-          RangeI64("l_shipdate", Date(1995, 1, 1), Date(1997, 1, 1)),
-          "q7/lineitem");
-  MergeJoinSpec mj;
-  mj.left_key = "o_orderkey";
-  mj.right_key = "l_orderkey";
-  mj.left_outputs = {{"cust_nation_code", "cust_nation_code"}};
-  mj.right_outputs = {{"l_suppkey", "l_suppkey"},
-                      {"l_extendedprice", "l_extendedprice"},
-                      {"l_discount", "l_discount"},
-                      {"l_shipyear", "l_shipyear"}};
-  auto merged = std::make_unique<MergeJoinOperator>(
-      e, std::move(orders_c), std::move(items), mj, "q7/mergejoin");
-
-  // Attach supplier nation.
-  auto supp = Sel(e, Scan(e, d.supplier, {"s_suppkey", "s_nationkey"}),
-                  InI64("s_nationkey", {fr, de}), "q7/supplier");
-  HashJoinSpec sj;
-  sj.build_key = "s_suppkey";
-  sj.probe_key = "l_suppkey";
-  sj.build_outputs = {{"s_nationkey", "supp_nation_code"}};
-  sj.probe_outputs = {"cust_nation_code", "l_extendedprice", "l_discount",
-                      "l_shipyear"};
-  sj.use_bloom = true;
-  auto joined =
-      Join(e, std::move(supp), std::move(merged), sj, "q7/supplier_join");
-
-  // (supp=FR and cust=DE) or (supp=DE and cust=FR).
-  std::vector<ExprPtr> c1;
-  c1.push_back(Eq(Col("supp_nation_code"), Lit(fr)));
-  c1.push_back(Eq(Col("cust_nation_code"), Lit(de)));
-  std::vector<ExprPtr> c2;
-  c2.push_back(Eq(Col("supp_nation_code"), Lit(de)));
-  c2.push_back(Eq(Col("cust_nation_code"), Lit(fr)));
-  std::vector<ExprPtr> either;
-  either.push_back(AndAll(std::move(c1)));
-  either.push_back(AndAll(std::move(c2)));
-  auto filtered = Sel(e, std::move(joined), OrAny(std::move(either)),
-                      "q7/nation_pair");
-
-  std::vector<Out> outs;
-  outs.push_back({"supp_nation_code", Col("supp_nation_code")});
-  outs.push_back({"cust_nation_code", Col("cust_nation_code")});
-  outs.push_back({"l_shipyear", Col("l_shipyear")});
-  outs.push_back({"volume", Revenue()});
-  auto proj = Proj(e, std::move(filtered), std::move(outs), "q7/project");
-  std::vector<Agg> aggs;
-  aggs.push_back({"sum", Col("volume"), "revenue"});
-  auto agg = std::make_unique<HashAggOperator>(
-      e, std::move(proj),
-      std::vector<GK>{{"supp_nation_code", 5},
-                      {"cust_nation_code", 5},
-                      {"l_shipyear", 11}},
-      std::vector<std::string>{"supp_nation_code", "cust_nation_code",
-                               "l_shipyear"},
-      std::move(aggs), "q7/agg");
-  SortOperator sort(e, std::move(agg),
-                    {{"supp_nation_code", false},
-                     {"cust_nation_code", false},
-                     {"l_shipyear", false}});
-  return e->Run(sort);
-}
+RunResult Q7(Engine* e, const TpchData& d) { return RunPlan(e, Q7Plan(d)); }
 
 // =====================================================================
 // Q8: National market share.

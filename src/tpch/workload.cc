@@ -200,6 +200,13 @@ ServeWorkloadReport RunWorkloadConcurrently(const TpchData& data,
         static_cast<unsigned long long>(report.stats.degraded_to_serial),
         static_cast<unsigned long long>(report.mismatches),
         static_cast<unsigned long long>(report.leaked_lease_bytes));
+    std::printf(
+        "  knowledge: plan cache %llu hits / %llu misses | %llu "
+        "profiles merged, %llu store rows\n",
+        static_cast<unsigned long long>(report.stats.plan_cache_hits),
+        static_cast<unsigned long long>(report.stats.plan_cache_misses),
+        static_cast<unsigned long long>(report.stats.profiles_merged),
+        static_cast<unsigned long long>(report.stats.store_profiles));
   }
   return report;
 }

@@ -228,6 +228,10 @@ TEST_F(StagedQueriesTest, Q5ByteIdenticalStaged) {
   ExpectStagedParity(Q5Plan(*data_), "Q5");
 }
 
+TEST_F(StagedQueriesTest, Q7ByteIdenticalStaged) {
+  ExpectStagedParity(Q7Plan(*data_), "Q7");
+}
+
 TEST_F(StagedQueriesTest, Q10ByteIdenticalStaged) {
   ExpectStagedParity(Q10Plan(*data_), "Q10");
 }
