@@ -4,6 +4,43 @@
 
 namespace ma {
 
+bool SortRowsLess(const std::vector<const Column*>& key_cols,
+                  const std::vector<SortKey>& keys, u64 a, u64 b) {
+  for (size_t k = 0; k < keys.size(); ++k) {
+    const Column* c = key_cols[k];
+    int r = 0;
+    switch (c->type()) {
+      case PhysicalType::kI16:
+        r = (c->Data<i16>()[a] > c->Data<i16>()[b]) -
+            (c->Data<i16>()[a] < c->Data<i16>()[b]);
+        break;
+      case PhysicalType::kI32:
+        r = (c->Data<i32>()[a] > c->Data<i32>()[b]) -
+            (c->Data<i32>()[a] < c->Data<i32>()[b]);
+        break;
+      case PhysicalType::kI64:
+        r = (c->Data<i64>()[a] > c->Data<i64>()[b]) -
+            (c->Data<i64>()[a] < c->Data<i64>()[b]);
+        break;
+      case PhysicalType::kF64:
+        r = (c->Data<f64>()[a] > c->Data<f64>()[b]) -
+            (c->Data<f64>()[a] < c->Data<f64>()[b]);
+        break;
+      case PhysicalType::kStr: {
+        const auto va = c->Data<StrRef>()[a].view();
+        const auto vb = c->Data<StrRef>()[b].view();
+        r = (va > vb) - (va < vb);
+        break;
+      }
+      default:
+        MA_CHECK(false);
+    }
+    if (keys[k].desc) r = -r;
+    if (r != 0) return r < 0;
+  }
+  return a < b;  // stable tiebreak
+}
+
 SortOperator::SortOperator(Engine* engine, OperatorPtr child,
                            std::vector<SortKey> keys, size_t limit)
     : Operator(engine),
@@ -38,41 +75,7 @@ Status SortOperator::Open() {
     MA_CHECK(c != nullptr);
     key_cols.push_back(c);
   }
-  auto cmp = [&](u64 a, u64 b) {
-    for (size_t k = 0; k < keys_.size(); ++k) {
-      const Column* c = key_cols[k];
-      int r = 0;
-      switch (c->type()) {
-        case PhysicalType::kI16:
-          r = (c->Data<i16>()[a] > c->Data<i16>()[b]) -
-              (c->Data<i16>()[a] < c->Data<i16>()[b]);
-          break;
-        case PhysicalType::kI32:
-          r = (c->Data<i32>()[a] > c->Data<i32>()[b]) -
-              (c->Data<i32>()[a] < c->Data<i32>()[b]);
-          break;
-        case PhysicalType::kI64:
-          r = (c->Data<i64>()[a] > c->Data<i64>()[b]) -
-              (c->Data<i64>()[a] < c->Data<i64>()[b]);
-          break;
-        case PhysicalType::kF64:
-          r = (c->Data<f64>()[a] > c->Data<f64>()[b]) -
-              (c->Data<f64>()[a] < c->Data<f64>()[b]);
-          break;
-        case PhysicalType::kStr: {
-          const auto va = c->Data<StrRef>()[a].view();
-          const auto vb = c->Data<StrRef>()[b].view();
-          r = (va > vb) - (va < vb);
-          break;
-        }
-        default:
-          MA_CHECK(false);
-      }
-      if (keys_[k].desc) r = -r;
-      if (r != 0) return r < 0;
-    }
-    return a < b;  // stable tiebreak
-  };
+  auto cmp = [&](u64 a, u64 b) { return SortRowsLess(key_cols, keys_, a, b); };
   if (limit_ > 0 && limit_ < order_.size()) {
     std::partial_sort(order_.begin(), order_.begin() + limit_,
                       order_.end(), cmp);

@@ -19,6 +19,14 @@ struct SortKey {
   bool desc = false;
 };
 
+/// The one sort order of the engine: true when row `a` sorts strictly
+/// before row `b` under `keys` (keys[k] read from key_cols[k]), ties
+/// broken by row index (`a < b` — stability). SortOperator and the
+/// parallel TopN path (ParallelExecutor::RunTopN) both compare through
+/// this function, which is what makes their outputs byte-identical.
+bool SortRowsLess(const std::vector<const Column*>& key_cols,
+                  const std::vector<SortKey>& keys, u64 a, u64 b);
+
 class SortOperator : public Operator {
  public:
   /// `limit` = 0 keeps all rows.

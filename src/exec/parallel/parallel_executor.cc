@@ -70,6 +70,16 @@ u64 ParallelExecutor::TotalPrimitiveCycles() const {
   return total;
 }
 
+int ParallelExecutor::ResolveWorkers(const StageHints& hints) const {
+  if (hints.workers <= 0) return num_threads();
+  return std::min(hints.workers, num_threads());
+}
+
+u64 ParallelExecutor::ResolveMorselSize(const StageHints& hints) const {
+  return hints.morsel_size > 0 ? hints.morsel_size
+                               : parallel_config_.morsel_size;
+}
+
 std::vector<InstanceProfile> ParallelExecutor::MergedProfile() const {
   std::vector<const PrimitiveInstance*> instances;
   for (const auto& eng : engines_) {
@@ -80,34 +90,36 @@ std::vector<InstanceProfile> ParallelExecutor::MergedProfile() const {
 
 RunResult ParallelExecutor::RunPipeline(
     const Table* table, std::vector<std::string> scan_columns,
-    const PipelineFactory& factory) {
+    const PipelineFactory& factory, const StageHints& hints) {
   auto sink = std::make_unique<Table>("result");
-  RunResult result =
-      RunPipelineImpl(table, std::move(scan_columns), factory, sink.get());
+  RunResult result = RunPipelineImpl(table, std::move(scan_columns), factory,
+                                     sink.get(), hints);
   if (result.status.ok()) result.table = std::move(sink);
   return result;
 }
 
 RunResult ParallelExecutor::RunPipelineInto(
     const Table* table, std::vector<std::string> scan_columns,
-    const PipelineFactory& factory, IntermediateTable* out) {
+    const PipelineFactory& factory, IntermediateTable* out,
+    const StageHints& hints) {
   MA_CHECK(out != nullptr);
-  RunResult result = RunPipelineImpl(table, std::move(scan_columns),
-                                     factory, out->mutable_table());
+  RunResult result = RunPipelineImpl(table, std::move(scan_columns), factory,
+                                     out->mutable_table(), hints);
   out->EnsureSchema();
   return result;
 }
 
 RunResult ParallelExecutor::RunPipelineImpl(
     const Table* table, std::vector<std::string> scan_columns,
-    const PipelineFactory& factory, Table* sink) {
+    const PipelineFactory& factory, Table* sink, const StageHints& hints) {
   MA_CHECK(table != nullptr);
   QueryContext* ctx = ResetEngines();
   const u64 t0 = CycleClock::Now();
   ctx->MaybeInjectFault("parallel/pipeline");
 
-  MorselQueue queue(table->row_count(), parallel_config_.morsel_size,
-                    num_threads(), parallel_config_.work_stealing);
+  const int workers = ResolveWorkers(hints);
+  MorselQueue queue(table->row_count(), ResolveMorselSize(hints), workers,
+                    parallel_config_.work_stealing);
   // One output slot per morsel; a morsel is processed by exactly one
   // worker, so workers never write the same slot. Merging the slots in
   // index order afterwards makes the result independent of thread count
@@ -116,7 +128,7 @@ RunResult ParallelExecutor::RunPipelineImpl(
   const bool accounted = ctx->accounting_enabled();
 
   Status pool_status = pool_->Run([&](int w) {
-    if (ctx->ShouldStop()) return;
+    if (w >= workers || ctx->ShouldStop()) return;
     Engine* engine = engines_[w].get();
     auto scan = std::make_unique<MorselScanOperator>(
         engine, table, scan_columns, &queue, w);
@@ -171,13 +183,15 @@ RunResult ParallelExecutor::RunPipelineImpl(
 
 std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
     const Table* build_table, std::vector<std::string> scan_columns,
-    const PipelineFactory& factory, const HashJoinSpec& spec) {
+    const PipelineFactory& factory, const HashJoinSpec& spec,
+    const StageHints& hints) {
   MA_CHECK(build_table != nullptr);
   QueryContext* ctx = ResetEngines();
   ctx->MaybeInjectFault("parallel/build");
 
-  MorselQueue queue(build_table->row_count(), parallel_config_.morsel_size,
-                    num_threads(), parallel_config_.work_stealing);
+  const int workers = ResolveWorkers(hints);
+  MorselQueue queue(build_table->row_count(), ResolveMorselSize(hints),
+                    workers, parallel_config_.work_stealing);
   struct BuildPartial {
     std::vector<i64> keys;
     std::vector<std::unique_ptr<Column>> cols;
@@ -186,7 +200,7 @@ std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
   const bool accounted = ctx->accounting_enabled();
 
   Status pool_status = pool_->Run([&](int w) {
-    if (ctx->ShouldStop()) return;
+    if (w >= workers || ctx->ShouldStop()) return;
     Engine* engine = engines_[w].get();
     auto scan = std::make_unique<MorselScanOperator>(
         engine, build_table, scan_columns, &queue, w);
@@ -264,8 +278,12 @@ std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
 
   // Left outer never blooms (missed probe rows must be emitted, not
   // discarded); this entry point takes the spec by const ref, so the
-  // exclusion HashJoinOperator::Normalize applies lives here too.
-  if (spec.use_bloom && spec.kind != HashJoinSpec::Kind::kLeftOuter &&
+  // exclusion HashJoinOperator::Normalize applies lives here too. A
+  // macro-adaptivity hint overrides the spec's static choice — bloom
+  // only discards probe rows that would miss anyway, so both arms
+  // produce identical join output.
+  const bool bloom_on = hints.bloom >= 0 ? hints.bloom != 0 : spec.use_bloom;
+  if (bloom_on && spec.kind != HashJoinSpec::Kind::kLeftOuter &&
       engine_config_.join_bloom_filters) {
     shared->bloom = std::make_unique<BloomFilter>(
         BloomFilter::ForKeys(shared->ht.num_rows() + 1));
@@ -280,18 +298,20 @@ std::unique_ptr<SharedJoinBuild> ParallelExecutor::BuildJoin(
 RunResult ParallelExecutor::RunAgg(const Table* table,
                                    std::vector<std::string> scan_columns,
                                    const PipelineFactory& factory,
-                                   const AggPlan& plan) {
+                                   const AggPlan& plan,
+                                   const StageHints& hints) {
   MA_CHECK(table != nullptr);
   QueryContext* ctx = ResetEngines();
   const u64 t0 = CycleClock::Now();
   ctx->MaybeInjectFault("parallel/agg");
 
-  MorselQueue queue(table->row_count(), parallel_config_.morsel_size,
-                    num_threads(), parallel_config_.work_stealing);
+  const int workers = ResolveWorkers(hints);
+  MorselQueue queue(table->row_count(), ResolveMorselSize(hints), workers,
+                    parallel_config_.work_stealing);
   std::vector<std::unique_ptr<HashAggOperator>> aggs(num_threads());
 
   Status pool_status = pool_->Run([&](int w) {
-    if (ctx->ShouldStop()) return;
+    if (w >= workers || ctx->ShouldStop()) return;
     Engine* engine = engines_[w].get();
     auto scan = std::make_unique<MorselScanOperator>(
         engine, table, scan_columns, &queue, w);
@@ -326,8 +346,11 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
   }
 
   // --- Merge the thread-local partials -------------------------------
+  // Workers past the hinted count never built an operator; skip them.
   std::vector<HashAggOperator::Partial> parts;
-  for (const auto& agg : aggs) parts.push_back(agg->partial());
+  for (const auto& agg : aggs) {
+    if (agg != nullptr) parts.push_back(agg->partial());
+  }
 
   // Union of group keys, emitted in packed-key order so the output is
   // independent of which worker saw which group first.
@@ -506,6 +529,120 @@ RunResult ParallelExecutor::RunAgg(const Table* table,
   const u64 t_end = CycleClock::Now();
   result.stages.execute = t_exec - t0;
   result.stages.primitives = TotalPrimitiveCycles();
+  result.stages.postprocess = t_end - t_exec;
+  result.total_cycles = t_end - t0;
+  result.seconds =
+      static_cast<f64>(result.total_cycles) / CycleClock::FrequencyHz();
+  return result;
+}
+
+RunResult ParallelExecutor::RunTopN(const Table* table,
+                                    const std::vector<std::string>& columns,
+                                    const std::vector<SortKey>& keys,
+                                    size_t limit, const StageHints& hints) {
+  MA_CHECK(table != nullptr);
+  MA_CHECK(limit > 0);
+  MA_CHECK(!keys.empty());
+  QueryContext* ctx = ResetEngines();
+  const u64 t0 = CycleClock::Now();
+  ctx->MaybeInjectFault("parallel/topn");
+
+  std::vector<const Column*> key_cols;
+  for (const SortKey& k : keys) {
+    const Column* c = table->FindColumn(k.column);
+    MA_CHECK(c != nullptr);
+    key_cols.push_back(c);
+  }
+  // SortRowsLess is a strict total order (row-index tiebreak), so "the
+  // best `limit` rows" is a uniquely defined set: every worker's heap
+  // retains any global winner it saw (eviction needs a strictly better
+  // row, and fewer than `limit` exist), so the merged candidates always
+  // contain the exact rows a serial partial_sort would pick.
+  auto less = [&](u64 a, u64 b) { return SortRowsLess(key_cols, keys, a, b); };
+
+  const int workers = ResolveWorkers(hints);
+  MorselQueue queue(table->row_count(), ResolveMorselSize(hints), workers,
+                    parallel_config_.work_stealing);
+  // Per-worker bounded max-heaps: front = worst retained row.
+  std::vector<std::vector<u64>> heaps(workers);
+
+  Status pool_status = pool_->Run([&](int w) {
+    if (w >= workers || ctx->ShouldStop()) return;
+    std::vector<u64>& heap = heaps[w];
+    heap.reserve(limit);
+    Morsel m;
+    while (queue.Next(w, &m)) {
+      if (ctx->ShouldStop()) return;
+      for (u64 r = m.begin; r < m.end; ++r) {
+        if (heap.size() < limit) {
+          heap.push_back(r);
+          std::push_heap(heap.begin(), heap.end(), less);
+        } else if (less(r, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), less);
+          heap.back() = r;
+          std::push_heap(heap.begin(), heap.end(), less);
+        }
+      }
+    }
+  }, task_tag_);
+  if (!pool_status.ok()) ctx->Fail(std::move(pool_status));
+  const u64 t_exec = CycleClock::Now();
+
+  RunResult result;
+  if (!ctx->status().ok()) {
+    result.status = ctx->status();
+    result.reason = ReasonFromStatus(result.status);
+    result.stages.execute = t_exec - t0;
+    result.total_cycles = CycleClock::Now() - t0;
+    result.seconds =
+        static_cast<f64>(result.total_cycles) / CycleClock::FrequencyHz();
+    return result;
+  }
+
+  // Ordered merge: the exact rows and order a serial sort+limit yields.
+  std::vector<u64> order;
+  for (const auto& heap : heaps) {
+    order.insert(order.end(), heap.begin(), heap.end());
+  }
+  std::sort(order.begin(), order.end(), less);
+  if (order.size() > limit) order.resize(limit);
+
+  result.table = std::make_unique<Table>("result");
+  std::vector<sel_t> sel(order.begin(), order.end());
+  std::vector<std::string> all_cols;
+  const std::vector<std::string>* out_cols = &columns;
+  if (columns.empty()) {
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      all_cols.push_back(table->column_name(i));
+    }
+    out_cols = &all_cols;
+  }
+  if (ctx->accounting_enabled()) {
+    Status charge = ctx->ReserveMemory(
+        "alloc/sort", (sel.size() + 1) * out_cols->size() * sizeof(u64));
+    if (!charge.ok()) {
+      ctx->Fail(std::move(charge));
+      result.table = nullptr;
+      result.status = ctx->status();
+      result.reason = ReasonFromStatus(result.status);
+      result.stages.execute = t_exec - t0;
+      result.total_cycles = CycleClock::Now() - t0;
+      result.seconds =
+          static_cast<f64>(result.total_cycles) / CycleClock::FrequencyHz();
+      return result;
+    }
+  }
+  for (const std::string& name : *out_cols) {
+    const Column* src = table->FindColumn(name);
+    MA_CHECK(src != nullptr);
+    Column* dst = result.table->AddColumn(name, src->type());
+    AppendGatherColumn(*src, sel.data(), sel.size(), dst);
+  }
+  result.table->set_row_count(sel.size());
+  result.rows_emitted = sel.size();
+
+  const u64 t_end = CycleClock::Now();
+  result.stages.execute = t_exec - t0;
   result.stages.postprocess = t_end - t_exec;
   result.total_cycles = t_end - t0;
   result.seconds =

@@ -37,6 +37,7 @@
 #include "exec/engine.h"
 #include "exec/op_hash_agg.h"
 #include "exec/op_hash_join.h"
+#include "exec/op_sort.h"
 #include "exec/parallel/morsel.h"
 #include "exec/parallel/morsel_scan.h"
 #include "exec/parallel/thread_pool.h"
@@ -50,11 +51,28 @@ struct ParallelConfig {
   /// Rows per morsel (64 vectors at the default vector size): large
   /// enough to amortize the queue mutex over many primitive calls,
   /// small enough to rebalance skewed pipelines by stealing.
-  u64 morsel_size = 64 * 1024;
+  u64 morsel_size = kDefaultMorselRows;
   /// Disable to pin each worker to its contiguous partition — useful
   /// for experiments that need a known thread-to-data assignment (e.g.
   /// the per-thread bandit divergence test).
   bool work_stealing = true;
+};
+
+/// Per-stage execution-strategy overrides, resolved once before a stage
+/// runs (macro-adaptivity; adapt/strategy.h). Defaults mean "use the
+/// static configuration". Every field is byte-neutral: worker count and
+/// morsel size only redistribute morsels (outputs merge in morsel-index
+/// order), and the bloom filter only skips probe rows that would miss
+/// anyway.
+struct StageHints {
+  /// Workers to actually run (clamped to the pool size); 0 = all.
+  int workers = 0;
+  /// Rows per morsel; 0 = ParallelConfig::morsel_size.
+  u64 morsel_size = 0;
+  /// Bloom filter on the join build: -1 = follow the spec/config, 0 =
+  /// force off, 1 = force on (still subject to the left-outer and
+  /// EngineConfig::join_bloom_filters exclusions).
+  int bloom = -1;
 };
 
 class ParallelExecutor {
@@ -93,7 +111,8 @@ class ParallelExecutor {
   /// across thread counts.
   RunResult RunPipeline(const Table* table,
                         std::vector<std::string> scan_columns,
-                        const PipelineFactory& factory);
+                        const PipelineFactory& factory,
+                        const StageHints& hints = StageHints());
 
   /// Like RunPipeline, but materializes the merged output into `out`
   /// (an intermediate a later plan stage scans like a base table): the
@@ -104,7 +123,8 @@ class ParallelExecutor {
   RunResult RunPipelineInto(const Table* table,
                             std::vector<std::string> scan_columns,
                             const PipelineFactory& factory,
-                            IntermediateTable* out);
+                            IntermediateTable* out,
+                            const StageHints& hints = StageHints());
 
   /// Parallel hash-join build: drains per-worker build pipelines over a
   /// morsel scan of `build_table` into per-morsel buffers, concatenates
@@ -116,7 +136,8 @@ class ParallelExecutor {
   /// worker error) — the caller reads context()->status().
   std::unique_ptr<SharedJoinBuild> BuildJoin(
       const Table* build_table, std::vector<std::string> scan_columns,
-      const PipelineFactory& factory, const HashJoinSpec& spec);
+      const PipelineFactory& factory, const HashJoinSpec& spec,
+      const StageHints& hints = StageHints());
 
   /// Thread-local pre-aggregation + merge. Each worker drains its own
   /// HashAggOperator over the factory pipeline; partials merge into one
@@ -132,7 +153,23 @@ class ParallelExecutor {
   };
   RunResult RunAgg(const Table* table,
                    std::vector<std::string> scan_columns,
-                   const PipelineFactory& factory, const AggPlan& plan);
+                   const PipelineFactory& factory, const AggPlan& plan,
+                   const StageHints& hints = StageHints());
+
+  /// Parallel TopN over a materialized table: each worker keeps a
+  /// bounded heap of the best `limit` row ids it has seen (ordered by
+  /// SortRowsLess — the exact comparator SortOperator uses), the heaps
+  /// merge and fully sort at the end, and the winning rows are gathered
+  /// into a fresh table. `columns` selects and orders the output
+  /// columns (empty = all of `table`'s columns in table order). The
+  /// heap comparison keys on row ids only through SortRowsLess's stable
+  /// tiebreak, so the survivors — and therefore the output bytes — are
+  /// identical to a serial sort+limit at any worker count or morsel
+  /// size. Requires limit > 0 and non-empty keys.
+  RunResult RunTopN(const Table* table,
+                    const std::vector<std::string>& columns,
+                    const std::vector<SortKey>& keys, size_t limit,
+                    const StageHints& hints = StageHints());
 
   /// Per-worker engines of the most recent run (index = worker id) —
   /// each holds that thread's PrimitiveInstances and bandit state.
@@ -164,7 +201,12 @@ class ParallelExecutor {
   /// order.
   RunResult RunPipelineImpl(const Table* table,
                             std::vector<std::string> scan_columns,
-                            const PipelineFactory& factory, Table* sink);
+                            const PipelineFactory& factory, Table* sink,
+                            const StageHints& hints);
+  /// Hints resolved against the pool and static config: the worker
+  /// count actually running this stage and the morsel size to split by.
+  int ResolveWorkers(const StageHints& hints) const;
+  u64 ResolveMorselSize(const StageHints& hints) const;
   /// Fresh per-worker engines for a new run, all governed by the active
   /// context (which is reset first when it is the private fallback).
   /// Returns the context every phase of the run must poll.

@@ -56,7 +56,9 @@ void PutPairs(std::string* out,
   }
 }
 
-void PutNode(std::string* out, const PlanNode& n) {
+/// `stable` omits table pointers so the canon (and its hash) survives
+/// process restarts — the variant behind PlanFingerprint::stable_hash.
+void PutNode(std::string* out, const PlanNode& n, bool stable) {
   PutU8(out, static_cast<u8>(n.kind));
   PutStr(out, n.label);
   switch (n.kind) {
@@ -64,7 +66,7 @@ void PutNode(std::string* out, const PlanNode& n) {
       // Table identity + name + full column schema: the pointer keys the
       // exact catalog object, the schema acts as its version (AddColumn
       // changes the fingerprint).
-      PutU64(out, reinterpret_cast<u64>(n.table));
+      PutU64(out, stable ? 0 : reinterpret_cast<u64>(n.table));
       if (n.table != nullptr) {
         PutStr(out, n.table->name());
         PutU64(out, n.table->num_columns());
@@ -134,7 +136,24 @@ void PutNode(std::string* out, const PlanNode& n) {
       break;
   }
   PutU64(out, n.children.size());
-  for (const auto& c : n.children) PutNode(out, *c);
+  for (const auto& c : n.children) PutNode(out, *c, stable);
+}
+
+void PutPlan(std::string* out, const LogicalPlan& plan, bool stable) {
+  if (!plan.ok()) {
+    PutStr(out, "!invalid");
+    PutStr(out, plan.status.message());
+    return;
+  }
+  PutStr(out, "plan-v1");
+  PutU64(out, plan.scalars.size());
+  for (const ScalarSpec& s : plan.scalars) {
+    PutStr(out, s.name);
+    PutStr(out, s.column);
+    PutU8(out, static_cast<u8>(s.type));
+    PutNode(out, *s.root, stable);
+  }
+  PutNode(out, *plan.root, stable);
 }
 
 u64 Fnv1a64(std::string_view bytes) {
@@ -150,22 +169,11 @@ u64 Fnv1a64(std::string_view bytes) {
 
 PlanFingerprint FingerprintPlan(const LogicalPlan& plan) {
   PlanFingerprint fp;
-  std::string* out = &fp.canon;
-  if (!plan.ok()) {
-    PutStr(out, "!invalid");
-    PutStr(out, plan.status.message());
-  } else {
-    PutStr(out, "plan-v1");
-    PutU64(out, plan.scalars.size());
-    for (const ScalarSpec& s : plan.scalars) {
-      PutStr(out, s.name);
-      PutStr(out, s.column);
-      PutU8(out, static_cast<u8>(s.type));
-      PutNode(out, *s.root);
-    }
-    PutNode(out, *plan.root);
-  }
+  PutPlan(&fp.canon, plan, /*stable=*/false);
   fp.hash = Fnv1a64(fp.canon);
+  std::string stable_canon;
+  PutPlan(&stable_canon, plan, /*stable=*/true);
+  fp.stable_hash = Fnv1a64(stable_canon);
   return fp;
 }
 

@@ -216,11 +216,15 @@ TEST(ProfileStoreTest, CorruptOrTruncatedFileFallsBackToColdStart) {
   }
   // Trailing garbage is rejected too (size/checksum mismatch).
   expect_cold(good + "xx", "trailing");
-  // A future format version is refused rather than misparsed.
+  // Other format versions are refused rather than misparsed — both a
+  // future one and the strategy-less v1 (old files cold-start cleanly).
   {
     std::string future = good;
-    future[4] = 2;  // version u32 at offset 4 (little-endian)
+    future[4] = 3;  // version u32 at offset 4 (little-endian)
     expect_cold(future, "future-version");
+    std::string v1 = good;
+    v1[4] = 1;
+    expect_cold(v1, "old-version");
   }
   std::remove(path.c_str());
 }
