@@ -1,66 +1,127 @@
-// Table 11: overall TPC-H comparison — base Vectorwise-style execution
-// (no heuristics) vs tuned heuristics vs Micro Adaptivity (all flavor
-// sets). Per-query improvement factors and the geometric mean (the
-// power-score proxy). Single-threaded, as in the paper.
+// Table 11: overall TPC-H comparison, now as the full 22/22 power run —
+// every query expressed as a logical plan (tpch/plans.cc) and executed
+// twice per repetition: serially and through the staged adaptive
+// parallel engine. Per-query times, the parallel improvement factor,
+// and the geometric mean (the power-score proxy) print as the table and
+// land in BENCH_table11.json.
+//
+// The run doubles as a differential check: the staged result of every
+// query must be byte-identical to the serial one (the stage-DAG
+// determinism contract). Any divergence is a hard failure — the binary
+// exits non-zero so CI smoke runs (MA_BENCH_SHORT=1) catch it.
 #include <cmath>
+#include <cstdlib>
+#include <thread>
 
 #include "bench_util.h"
+#include "plan/query_session.h"
+#include "storage/table_fingerprint.h"
+#include "tpch/plans.h"
+#include "tpch/queries.h"
 #include "tpch/workload.h"
 
 namespace ma::tpch {
 namespace {
 
+struct QueryTimes {
+  f64 serial_sec = 1e30;
+  f64 staged_sec = 1e30;
+  u64 fingerprint = 0;
+  u64 rows = 0;
+};
+
 void Run() {
+  const bool short_run = std::getenv("MA_BENCH_SHORT") != nullptr;
   TpchConfig cfg;
-  cfg.scale_factor = 0.2;
+  cfg.scale_factor = short_run ? 0.02 : 0.2;
   auto data = Generate(cfg);
   std::printf("TPC-H SF %.2f: lineitem=%zu orders=%zu\n",
               cfg.scale_factor, data->lineitem->row_count(),
               data->orders->row_count());
 
-  // Repeat the three modes *interleaved* and keep the fastest time per
-  // query per mode: back-to-back repetition would hand whichever mode
-  // runs last any slow drift of the shared machine.
-  constexpr int kReps = 3;
-  ModeRun base = RunAllQueries(DefaultConfig(), *data, "base");
-  ModeRun heur = RunAllQueries(HeuristicConfig(), *data, "heuristics");
-  ModeRun adapt =
-      RunAllQueries(AdaptiveConfig(), *data, "micro-adaptive");
-  for (int r = 1; r < kReps; ++r) {
-    const ModeRun b = RunAllQueries(DefaultConfig(), *data, "base");
-    const ModeRun h = RunAllQueries(HeuristicConfig(), *data, "h");
-    const ModeRun a = RunAllQueries(AdaptiveConfig(), *data, "a");
-    for (int q = 0; q < kNumQueries; ++q) {
-      base.query_seconds[q] =
-          std::min(base.query_seconds[q], b.query_seconds[q]);
-      heur.query_seconds[q] =
-          std::min(heur.query_seconds[q], h.query_seconds[q]);
-      adapt.query_seconds[q] =
-          std::min(adapt.query_seconds[q], a.query_seconds[q]);
+  const int threads = short_run
+                          ? 2
+                          : static_cast<int>(std::min(
+                                8u, std::thread::hardware_concurrency()));
+  plan::SessionConfig serial_cfg;
+  serial_cfg.engine = AdaptiveConfig();
+  plan::SessionConfig staged_cfg;
+  staged_cfg.engine = AdaptiveConfig();
+  staged_cfg.parallel.num_threads = threads;
+  plan::QuerySession serial_session{serial_cfg};
+  plan::QuerySession staged_session{staged_cfg};
+
+  // Repeat serial and staged *interleaved* and keep the fastest time
+  // per query per mode: back-to-back repetition would hand whichever
+  // mode runs last any slow drift of the shared machine. The byte
+  // identity of the two results is asserted on every repetition.
+  const int reps = short_run ? 1 : 3;
+  QueryTimes times[kNumQueries];
+  for (int r = 0; r < reps; ++r) {
+    for (int q = 1; q <= kNumQueries; ++q) {
+      const plan::LogicalPlan plan = PlanForQuery(*data, q);
+      QueryTimes& t = times[q - 1];
+
+      RunResult s = serial_session.Run(plan, plan::ExecMode::kSerial);
+      if (!s.status.ok() || s.table == nullptr) {
+        std::fprintf(stderr, "Q%d serial failed: %s\n", q,
+                     s.status.message().c_str());
+        std::exit(1);
+      }
+      t.serial_sec = std::min(t.serial_sec, s.seconds);
+      t.fingerprint = ExactFingerprint(*s.table);
+      t.rows = s.rows_emitted;
+
+      RunResult p = staged_session.Run(plan, plan::ExecMode::kParallel);
+      if (!p.status.ok() || p.table == nullptr) {
+        std::fprintf(stderr, "Q%d staged failed: %s\n", q,
+                     p.status.message().c_str());
+        std::exit(1);
+      }
+      t.staged_sec = std::min(t.staged_sec, p.seconds);
+      if (ExactFingerprint(*p.table) != t.fingerprint) {
+        std::fprintf(stderr,
+                     "Q%d DIVERGED: staged result is not byte-identical "
+                     "to serial (rep %d, %d threads)\n",
+                     q, r, threads);
+        std::exit(1);
+      }
     }
   }
 
   bench::PrintHeader(
-      "Table 11: TPC-H — base vs Heuristics vs Micro Adaptivity",
-      "Base column in seconds; other columns are improvement factors "
-      "(base / mode, >1 means faster than base).");
-  std::printf("%-6s %14s %12s %16s\n", "query", "base (sec)",
-              "Heuristics", "Micro Adaptive");
-  f64 geo_h = 0, geo_a = 0;
-  for (int q = 0; q < kNumQueries; ++q) {
-    const f64 b = base.query_seconds[q];
-    const f64 fh = b / heur.query_seconds[q];
-    const f64 fa = b / adapt.query_seconds[q];
-    geo_h += std::log(fh);
-    geo_a += std::log(fa);
-    std::printf("Q%-5d %14.4f %12.2f %16.2f\n", q + 1, b, fh, fa);
+      "Table 11: TPC-H power run — serial vs staged adaptive parallel",
+      "All 22 queries as logical plans; staged results verified "
+      "byte-identical to serial. Factor = serial / staged (>1 means the "
+      "staged parallel engine is faster).");
+  std::printf("%-28s %14s %14s %8s\n", "query", "serial (sec)",
+              "staged (sec)", "factor");
+  f64 geo = 0;
+  bench::BenchJson json("table11");
+  json.set_pool_threads(threads);
+  for (int q = 1; q <= kNumQueries; ++q) {
+    const QueryTimes& t = times[q - 1];
+    const f64 factor = t.serial_sec / t.staged_sec;
+    geo += std::log(factor);
+    std::printf("%-28s %14.4f %14.4f %8.2f\n", QueryName(q),
+                t.serial_sec, t.staged_sec, factor);
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(t.fingerprint));
+    json.AddRow()
+        .Num("query", q)
+        .Str("name", QueryName(q))
+        .Num("serial_sec", t.serial_sec)
+        .Num("staged_sec", t.staged_sec)
+        .Num("factor", factor)
+        .Num("rows", static_cast<f64>(t.rows))
+        .Str("fingerprint", fp);
   }
-  std::printf("%-6s %14s %12.2f %16.2f\n", "GeoAvg", "",
-              std::exp(geo_h / kNumQueries),
-              std::exp(geo_a / kNumQueries));
-  std::printf(
-      "\nExpected (paper): heuristics ~1.05x geometric mean, Micro\n"
-      "Adaptivity ~1.09x, consistently >= 1 on most queries.\n");
+  const f64 geomean = std::exp(geo / kNumQueries);
+  std::printf("%-28s %14s %14s %8.2f\n", "GeoAvg", "", "", geomean);
+  json.AddRow().Str("name", "geomean").Num("factor", geomean);
+  json.Write();
+  std::printf("\nAll 22 staged results byte-identical to serial.\n");
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 // Compile-checks the code blocks in README.md (the "Writing queries",
-// "Scalar subqueries" and "Multi-stage plans" sections). Each section
+// "Scalar subqueries", "Shared subplans" and "Multi-stage plans"
+// sections). Each section
 // below mirrors one README block with just enough scaffolding around
 // it to build; if the public API drifts away from the README, this
 // translation unit stops compiling and CI fails. Run it and it
@@ -198,6 +199,42 @@ void MultiStageSnippet(const MiniTpch& m) {
               static_cast<unsigned long long>(r.rows_emitted));
 }
 
+// --- README "Shared subplans (DAG plans)" ----------------------------------
+
+void SharedSnippet(const MiniTpch& m) {
+  auto late_pipeline = [&] {
+    plan::PlanBuilder b = plan::PlanBuilder::Scan(
+        m.lineitem.get(), {"l_orderkey", "l_extendedprice"});
+    b.Filter(Gt(Col("l_extendedprice"), Lit(150.0)));
+    return b;
+  };
+  std::vector<HashAggOperator::AggSpec> aggs(1);
+  aggs[0].fn = "count";
+  aggs[0].out_name = "n";
+  HashJoinSpec semi_spec;
+  semi_spec.build_key = "l_orderkey";
+  semi_spec.probe_key = "l_orderkey";
+  semi_spec.kind = HashJoinSpec::Kind::kSemi;
+
+  // one filtered-lineitem pipeline, two consumers:
+  plan::SharedSubplan late =
+      plan::PlanBuilder::BindShared("late", late_pipeline());
+
+  plan::PlanBuilder counts = plan::PlanBuilder::SharedRef(late);
+  counts.GroupBy({{"l_orderkey", 32}}, {"l_orderkey"}, std::move(aggs));
+
+  plan::LogicalPlan q =
+      plan::PlanBuilder::SharedRef(late)            // same rows again
+          .HashJoin(std::move(counts), semi_spec)   // probe the counts
+          .Build();
+  // both executors run the "late" pipeline exactly once
+
+  plan::QuerySession session(plan::SessionConfig{});
+  const RunResult r = session.Run(q, plan::ExecMode::kParallel);
+  std::printf("shared: %llu late rows survive the semi join\n",
+              static_cast<unsigned long long>(r.rows_emitted));
+}
+
 }  // namespace
 
 int main() {
@@ -212,5 +249,6 @@ int main() {
 
   const MiniTpch m = MakeMiniTpch();
   MultiStageSnippet(m);
+  SharedSnippet(m);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "exec/op_scan.h"
 #include "exec/op_select.h"
 #include "exec/op_sort.h"
+#include "plan/plan_fingerprint.h"
 
 namespace ma::plan {
 
@@ -68,6 +69,18 @@ Status ReadScalarValue(const Table& t, const std::string& column,
 
 namespace {
 
+/// Serial leaf for kSharedScan: scans a shared subplan's materialized
+/// result and co-owns it, so the one evaluated table outlives
+/// CompileSerial for as long as any consumer in the tree does.
+class SharedResultScanOperator : public ScanOperator {
+ public:
+  SharedResultScanOperator(Engine* engine, std::shared_ptr<Table> table)
+      : ScanOperator(engine, table.get()), owned_(std::move(table)) {}
+
+ private:
+  std::shared_ptr<Table> owned_;
+};
+
 std::vector<ProjectOperator::Output> CloneOutputs(
     const std::vector<ProjectOperator::Output>& outputs,
     const ScalarBindings& scalars) {
@@ -126,7 +139,9 @@ void CollectFragmentScalarRefs(const PlanNode* node, const PlanNode* stop,
 }
 
 /// True when the subtree contains a pipeline breaker (join build sides
-/// do not count: they become stages of their own).
+/// do not count: they become stages of their own). A shared scan is a
+/// leaf from the consumer's perspective — its materialization is a
+/// stage of its own, scanned like a base table.
 bool ContainsBreaker(const PlanNode* node) {
   switch (node->kind) {
     case NodeKind::kGroupBy:
@@ -140,6 +155,7 @@ bool ContainsBreaker(const PlanNode* node) {
     case NodeKind::kProject:
       return ContainsBreaker(node->children[0].get());
     case NodeKind::kScan:
+    case NodeKind::kSharedScan:
       return false;
   }
   return false;
@@ -150,11 +166,37 @@ bool IsBreaker(NodeKind k) {
          k == NodeKind::kLimit || k == NodeKind::kMergeJoin;
 }
 
+/// Counts canonical (label-free) subtree encodings — pass 1 of the
+/// compiler's automatic CSE. kSharedScan leaves have no children;
+/// shared spec roots are counted as roots of their own.
+void CountSubtrees(const PlanNode& n,
+                   std::unordered_map<std::string, int>* counts) {
+  ++(*counts)[SubtreeCanon(n)];
+  for (const auto& c : n.children) CountSubtrees(*c, counts);
+}
+
 /// Grows a StagePlan bottom-up: stages are appended children-first, so
 /// the stages vector comes out in topological order by construction.
 class StageBuilder {
  public:
   explicit StageBuilder(StagePlan* out) : out_(out) {}
+
+  /// Automatic CSE marking: counts every subtree's canonical encoding
+  /// across all of `plan`'s roots, then marks the MAXIMAL nodes whose
+  /// encoding occurs at least twice (marking stops descending at a
+  /// marked node, so inner duplicates merge as part of the outer
+  /// subtree, and a marked subtree never contains another marked
+  /// node). During stage building every marked occurrence resolves to
+  /// one materializing stage, keyed by the canonical encoding.
+  void MarkCse(const LogicalPlan& plan) {
+    std::unordered_map<std::string, int> counts;
+    for (const auto& sp : plan.shared) CountSubtrees(*sp->root, &counts);
+    for (const auto& sc : plan.scalars) CountSubtrees(*sc.root, &counts);
+    CountSubtrees(*plan.root, &counts);
+    for (const auto& sp : plan.shared) MarkSubtrees(*sp->root, counts);
+    for (const auto& sc : plan.scalars) MarkSubtrees(*sc.root, counts);
+    MarkSubtrees(*plan.root, counts);
+  }
 
   /// Registers `name` as produced by stage `id` (its materialized
   /// single-row intermediate); later stages referencing the scalar get
@@ -177,6 +219,20 @@ class StageBuilder {
   /// breaker below becomes a materializing stage whose output the
   /// fragment scans.
   Status CollectPipeline(const PlanNode* node, PipelineLeaf* leaf) {
+    // Shared materialization (explicit SharedRef or automatic CSE)
+    // terminates the fragment: the node becomes a leaf scanning the
+    // single shared intermediate.
+    int shared_id = -1;
+    MA_RETURN_IF_ERROR(MaybeShared(node, &shared_id));
+    if (shared_id >= 0) {
+      if (leaf->input.scan != nullptr || leaf->input.from_stage()) {
+        return Status::Internal("fragment with two scan leaves");
+      }
+      leaf->input.stage = shared_id;
+      leaf->stop = node;
+      leaf->deps.push_back(shared_id);
+      return Status::OK();
+    }
     switch (node->kind) {
       case NodeKind::kScan:
         if (leaf->input.scan != nullptr || leaf->input.from_stage()) {
@@ -185,6 +241,8 @@ class StageBuilder {
         leaf->input.scan = node;
         leaf->stop = node;
         return Status::OK();
+      case NodeKind::kSharedScan:
+        return Status::Internal("shared scan not resolved to a stage");
       case NodeKind::kFilter:
       case NodeKind::kProject:
         return CollectPipeline(node->children[0].get(), leaf);
@@ -231,6 +289,14 @@ class StageBuilder {
   /// Creates stages computing the subtree rooted at `node` and
   /// materializing its full output into an intermediate.
   Status MaterializeNode(const PlanNode* node, int* stage_id) {
+    // A shared/deduplicated subtree is already (or becomes) one
+    // materializing stage; reuse it instead of materializing again.
+    int shared_id = -1;
+    MA_RETURN_IF_ERROR(MaybeShared(node, &shared_id));
+    if (shared_id >= 0) {
+      *stage_id = shared_id;
+      return Status::OK();
+    }
     switch (node->kind) {
       case NodeKind::kGroupBy: {
         Stage s;
@@ -360,6 +426,62 @@ class StageBuilder {
     return Status::OK();
   }
 
+  /// Resolves `node` to the id of a shared materializing stage when it
+  /// is a kSharedScan leaf (explicit sharing) or a CSE-marked duplicate
+  /// subtree (automatic sharing); leaves *stage_id at -1 otherwise. The
+  /// first marked occurrence builds the stage with itself exempted, so
+  /// the recursive MaterializeNode below doesn't loop straight back
+  /// here; inner nodes of a marked subtree are never themselves marked
+  /// (maximality), so one exemption pointer suffices.
+  Status MaybeShared(const PlanNode* node, int* stage_id) {
+    *stage_id = -1;
+    if (node->kind == NodeKind::kSharedScan) {
+      return SharedStage(node->shared.get(), stage_id);
+    }
+    if (node == cse_exempt_) return Status::OK();
+    const auto it = cse_nodes_.find(node);
+    if (it == cse_nodes_.end()) return Status::OK();
+    const std::string canon = it->second;
+    const auto sit = cse_stage_.find(canon);
+    if (sit != cse_stage_.end()) {
+      *stage_id = sit->second;
+      return Status::OK();
+    }
+    const PlanNode* saved = cse_exempt_;
+    cse_exempt_ = node;
+    int id = -1;
+    const Status st = MaterializeNode(node, &id);
+    cse_exempt_ = saved;
+    MA_RETURN_IF_ERROR(st);
+    cse_stage_[canon] = id;
+    *stage_id = id;
+    return Status::OK();
+  }
+
+  /// Get-or-create the materializing stage for an explicitly bound
+  /// shared subplan. Keyed by spec identity, and unified with the
+  /// automatic-CSE stage map so an explicit SharedRef and an inline
+  /// duplicate of the same subtree land on one stage.
+  Status SharedStage(const SharedSpec* spec, int* stage_id) {
+    const auto it = shared_stage_.find(spec);
+    if (it != shared_stage_.end()) {
+      *stage_id = it->second;
+      return Status::OK();
+    }
+    const std::string canon = SubtreeCanon(*spec->root);
+    int id = -1;
+    const auto cit = cse_stage_.find(canon);
+    if (cit != cse_stage_.end()) {
+      id = cit->second;
+    } else {
+      MA_RETURN_IF_ERROR(MaterializeNode(spec->root.get(), &id));
+      cse_stage_[canon] = id;
+    }
+    shared_stage_[spec] = id;
+    *stage_id = id;
+    return Status::OK();
+  }
+
   int Push(Stage s) {
     // Scalar dep edges: the fragment's expressions read their scalar
     // values from the producing stages' broadcast intermediates.
@@ -386,8 +508,33 @@ class StageBuilder {
   }
 
  private:
+  /// Marks the maximal duplicate subtrees under `n` (pass 2 of MarkCse).
+  void MarkSubtrees(const PlanNode& n,
+                    const std::unordered_map<std::string, int>& counts) {
+    // Bare scans are already shared base tables, and shared scans are
+    // refs to a materialization — neither is worth a stage of its own.
+    if (n.kind != NodeKind::kScan && n.kind != NodeKind::kSharedScan) {
+      std::string canon = SubtreeCanon(n);
+      const auto it = counts.find(canon);
+      if (it != counts.end() && it->second >= 2) {
+        cse_nodes_.emplace(&n, std::move(canon));
+        return;  // maximal: inner duplicates merge as part of this one
+      }
+    }
+    for (const auto& c : n.children) MarkSubtrees(*c, counts);
+  }
+
   StagePlan* out_;
   std::unordered_map<std::string, int> scalar_stage_;
+  /// Explicitly shared subplans already lowered to a stage.
+  std::unordered_map<const SharedSpec*, int> shared_stage_;
+  /// CSE-marked duplicate nodes -> their canonical subtree encoding.
+  std::unordered_map<const PlanNode*, std::string> cse_nodes_;
+  /// Canonical encoding -> the one stage materializing that subtree.
+  std::unordered_map<std::string, int> cse_stage_;
+  /// The marked node currently being materialized (its own stage build
+  /// must not resolve it back to itself).
+  const PlanNode* cse_exempt_ = nullptr;
 };
 
 const char* StageKindName(Stage::Kind k) {
@@ -458,32 +605,38 @@ std::string StagePlan::Describe() const {
 }
 
 OperatorPtr Compiler::Lower(const PlanNode* node, Engine* engine,
-                            const ScalarBindings& scalars) {
+                            const ScalarBindings& scalars,
+                            const SharedTables& shared) {
   switch (node->kind) {
     case NodeKind::kScan:
       return std::make_unique<ScanOperator>(engine, node->table,
                                             node->columns);
+    case NodeKind::kSharedScan: {
+      const auto it = shared.find(node->shared.get());
+      MA_CHECK(it != shared.end());  // CompileSerial evaluates specs first
+      return std::make_unique<SharedResultScanOperator>(engine, it->second);
+    }
     case NodeKind::kFilter:
       return std::make_unique<SelectOperator>(
-          engine, Lower(node->children[0].get(), engine, scalars),
+          engine, Lower(node->children[0].get(), engine, scalars, shared),
           BindScalarRefs(*node->predicate, scalars), node->label);
     case NodeKind::kProject:
       return std::make_unique<ProjectOperator>(
-          engine, Lower(node->children[0].get(), engine, scalars),
+          engine, Lower(node->children[0].get(), engine, scalars, shared),
           CloneOutputs(node->outputs, scalars), node->label);
     case NodeKind::kHashJoin:
       return std::make_unique<HashJoinOperator>(
-          engine, Lower(node->children[0].get(), engine, scalars),
-          Lower(node->children[1].get(), engine, scalars), node->hash_spec,
-          node->label);
+          engine, Lower(node->children[0].get(), engine, scalars, shared),
+          Lower(node->children[1].get(), engine, scalars, shared),
+          node->hash_spec, node->label);
     case NodeKind::kMergeJoin:
       return std::make_unique<MergeJoinOperator>(
-          engine, Lower(node->children[0].get(), engine, scalars),
-          Lower(node->children[1].get(), engine, scalars), node->merge_spec,
-          node->label);
+          engine, Lower(node->children[0].get(), engine, scalars, shared),
+          Lower(node->children[1].get(), engine, scalars, shared),
+          node->merge_spec, node->label);
     case NodeKind::kGroupBy: {
       auto agg = std::make_unique<HashAggOperator>(
-          engine, Lower(node->children[0].get(), engine, scalars),
+          engine, Lower(node->children[0].get(), engine, scalars, shared),
           node->group_keys, node->group_outputs,
           CloneAggs(node->aggs, scalars), node->label);
       // Plan contract: groups emit in packed-key order, matching the
@@ -494,13 +647,13 @@ OperatorPtr Compiler::Lower(const PlanNode* node, Engine* engine,
     }
     case NodeKind::kSort:
       return std::make_unique<SortOperator>(
-          engine, Lower(node->children[0].get(), engine, scalars),
+          engine, Lower(node->children[0].get(), engine, scalars, shared),
           node->sort_keys, node->limit);
     case NodeKind::kLimit:
       // A sort with no keys keeps input order; partial_sort then just
       // cuts off after `limit` rows.
       return std::make_unique<SortOperator>(
-          engine, Lower(node->children[0].get(), engine, scalars),
+          engine, Lower(node->children[0].get(), engine, scalars, shared),
           std::vector<SortKey>{}, node->limit);
   }
   MA_CHECK(false);
@@ -515,14 +668,36 @@ OperatorPtr Compiler::CompileSerial(const LogicalPlan& plan,
                                 : plan.status);
     return nullptr;
   }
-  // Scalar subqueries run first, in declaration order, on the same
-  // engine; their values substitute into the main tree's expressions.
-  // Subquery plans cannot reference scalars (builder contract), so
-  // they lower against empty bindings.
+  // Shared subplans evaluate first — plan.shared is in dependency
+  // order, so each spec's own shared refs are already materialized when
+  // it runs. Each result table is owned by the map's shared_ptr and
+  // co-owned by every consumer operator, so the one materialization
+  // outlives this function with the returned tree. Shared subplans
+  // cannot reference scalars (builder contract), so they lower against
+  // empty bindings.
   ScalarBindings bindings;
   const ScalarBindings no_scalars;
+  SharedTables shared_tables;
+  for (const auto& sp : plan.shared) {
+    OperatorPtr sub =
+        Lower(sp->root.get(), engine, no_scalars, shared_tables);
+    RunResult r = engine->Run(*sub);
+    if (!r.status.ok() || r.table == nullptr) {
+      engine->context()->Fail(
+          r.status.ok() ? Status::Internal("shared subplan produced no "
+                                           "result table")
+                        : r.status);
+      return nullptr;
+    }
+    shared_tables[sp.get()] = std::shared_ptr<Table>(std::move(r.table));
+  }
+  // Scalar subqueries run next, in declaration order, on the same
+  // engine; their values substitute into the main tree's expressions.
+  // Subquery plans cannot reference scalars (builder contract), so
+  // they lower against empty bindings (their roots may reference
+  // shared subplans).
   for (const ScalarSpec& sc : plan.scalars) {
-    OperatorPtr sub = Lower(sc.root.get(), engine, no_scalars);
+    OperatorPtr sub = Lower(sc.root.get(), engine, no_scalars, shared_tables);
     const RunResult r = engine->Run(*sub);
     if (!r.status.ok() || r.table == nullptr) {
       // Engine::Run already recorded the failure on the context; make
@@ -541,7 +716,7 @@ OperatorPtr Compiler::CompileSerial(const LogicalPlan& plan,
     }
     bindings[sc.name] = v;
   }
-  return Lower(plan.root.get(), engine, bindings);
+  return Lower(plan.root.get(), engine, bindings, shared_tables);
 }
 
 Status Compiler::BuildStagePlan(const LogicalPlan& plan, StagePlan* out) {
@@ -551,6 +726,11 @@ Status Compiler::BuildStagePlan(const LogicalPlan& plan, StagePlan* out) {
   }
   *out = StagePlan();
   StageBuilder builder(out);
+
+  // Automatic CSE: structurally identical subtrees (label-free canon,
+  // table pointers included) materialize once and are scanned by every
+  // consumer — the same machinery explicit SharedRefs resolve through.
+  builder.MarkCse(plan);
 
   // Scalar subqueries become stages of their own, ahead of the main
   // spine: each materializes its single-row result, which the stage

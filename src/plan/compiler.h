@@ -61,6 +61,13 @@ struct ScalarValue {
 /// name -> value of every scalar the current compilation may reference.
 using ScalarBindings = std::unordered_map<std::string, ScalarValue>;
 
+/// Serial execution of a shared subplan (SharedSpec) materializes its
+/// result once; every kSharedScan consumer in the compiled tree co-owns
+/// that table through this map's shared_ptr (the operator tree outlives
+/// CompileSerial's local map).
+using SharedTables =
+    std::unordered_map<const SharedSpec*, std::shared_ptr<Table>>;
+
 /// Reads a scalar from its result table into `out`: row 0 of `column`,
 /// or the type's zero when the table is empty (threshold semantics — an
 /// empty aggregate result means "nothing qualifies"). More than one
@@ -185,7 +192,8 @@ class Compiler {
 
  private:
   static OperatorPtr Lower(const PlanNode* node, Engine* engine,
-                           const ScalarBindings& scalars);
+                           const ScalarBindings& scalars,
+                           const SharedTables& shared);
 };
 
 /// Clones `expr` with every ScalarRef replaced by a literal holding its

@@ -20,6 +20,8 @@ const char* NodeKindName(NodeKind k) {
       return "sort";
     case NodeKind::kLimit:
       return "limit";
+    case NodeKind::kSharedScan:
+      return "shared_scan";
   }
   return "?";
 }
@@ -53,6 +55,7 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   for (const auto& a : aggs) copy->aggs.push_back(a.Clone());
   copy->sort_keys = sort_keys;
   copy->limit = limit;
+  copy->shared = shared;  // specs are immutable: clones share them
   copy->schema = schema;
   return copy;
 }
@@ -101,6 +104,9 @@ void DescribeNode(const PlanNode& n, int depth, std::string* out) {
     case NodeKind::kLimit:
       out->append(" ").append(std::to_string(n.limit));
       break;
+    case NodeKind::kSharedScan:
+      out->append(" @").append(n.shared != nullptr ? n.shared->name : "?");
+      break;
   }
   if (!n.label.empty()) out->append("  [").append(n.label).append("]");
   out->append("\n");
@@ -121,6 +127,7 @@ LogicalPlan LogicalPlan::Clone() const {
     sc.root = s.root != nullptr ? s.root->Clone() : nullptr;
     copy.scalars.push_back(std::move(sc));
   }
+  copy.shared = shared;  // refcounted; spec trees are immutable
   copy.status = status;
   return copy;
 }
@@ -129,6 +136,10 @@ std::string LogicalPlan::Describe() const {
   if (!status.ok()) return "invalid plan: " + status.message();
   if (root == nullptr) return "empty plan";
   std::string out;
+  for (const auto& sp : shared) {
+    out.append("shared @").append(sp->name).append(" = once:\n");
+    DescribeNode(*sp->root, 1, &out);
+  }
   for (const ScalarSpec& s : scalars) {
     out.append("scalar $").append(s.name).append(" = ").append(s.column);
     out.append(" of:\n");

@@ -22,14 +22,15 @@
 namespace ma::plan {
 
 enum class NodeKind : u8 {
-  kScan,       // leaf: columns of an in-memory table
-  kFilter,     // predicate over the child's schema
-  kProject,    // named value expressions
-  kHashJoin,   // children[0] = build, children[1] = probe
-  kMergeJoin,  // children[0] = left (unique key), children[1] = right
-  kGroupBy,    // hash aggregation (pipeline breaker)
-  kSort,       // order by + optional limit (pipeline breaker)
-  kLimit,      // first-n in input order
+  kScan,        // leaf: columns of an in-memory table
+  kFilter,      // predicate over the child's schema
+  kProject,     // named value expressions
+  kHashJoin,    // children[0] = build, children[1] = probe
+  kMergeJoin,   // children[0] = left (unique key), children[1] = right
+  kGroupBy,     // hash aggregation (pipeline breaker)
+  kSort,        // order by + optional limit (pipeline breaker)
+  kLimit,       // first-n in input order
+  kSharedScan,  // leaf: the materialization of a shared subplan
 };
 
 const char* NodeKindName(NodeKind k);
@@ -37,6 +38,21 @@ const char* NodeKindName(NodeKind k);
 struct ColumnInfo {
   std::string name;
   PhysicalType type;
+};
+
+struct PlanNode;
+
+/// A subplan bound once with PlanBuilder::BindShared and scanned by any
+/// number of kSharedScan consumers — the node that turns plan trees
+/// into DAGs. The spec is immutable after Build(), so clones of a plan
+/// share the same spec object (refcounted); executors materialize
+/// `root` exactly once per run and every consumer reads that single
+/// result table. Shared subplans may reference other shared subplans
+/// (acyclic by construction: a spec can only reference specs bound
+/// before it) but may not bind scalars of their own.
+struct SharedSpec {
+  std::string name;
+  std::unique_ptr<PlanNode> root;
 };
 
 struct PlanNode {
@@ -64,6 +80,9 @@ struct PlanNode {
   // kSort / kLimit
   std::vector<SortKey> sort_keys;
   size_t limit = 0;
+  // kSharedScan: the shared subplan this leaf reads. Refcounted so the
+  // spec tree outlives every plan clone that references it.
+  std::shared_ptr<const SharedSpec> shared;
 
   /// Output schema, computed by the builder as the node is added.
   std::vector<ColumnInfo> schema;
@@ -98,6 +117,11 @@ struct LogicalPlan {
   /// staged compiler turns each into stages whose final materialized
   /// (single-row) intermediate is read as a broadcast constant.
   std::vector<ScalarSpec> scalars;
+  /// Shared subplans referenced anywhere in the plan (root, scalar
+  /// roots, or other shared subplans), in dependency order: a spec
+  /// appears after every spec it references, so executors can
+  /// materialize front-to-back. Collected by PlanBuilder::Build.
+  std::vector<std::shared_ptr<const SharedSpec>> shared;
   Status status;
 
   bool ok() const { return status.ok() && root != nullptr; }

@@ -253,6 +253,42 @@ PlanBuilder PlanBuilder::Scan(const Table* table,
   return b;
 }
 
+SharedSubplan PlanBuilder::BindShared(std::string name, PlanBuilder sub) {
+  SharedSubplan h;
+  if (!sub.status_.ok() || sub.root_ == nullptr) {
+    h.status_ = sub.status_.ok()
+                    ? Status::InvalidArgument("shared subplan '" + name +
+                                              "' is empty")
+                    : sub.status_;
+    return h;
+  }
+  if (!sub.scalars_.empty()) {
+    h.status_ = Status::InvalidArgument(
+        "shared subplan '" + name + "' may not bind scalars of its own");
+    return h;
+  }
+  auto spec = std::make_shared<SharedSpec>();
+  spec->name = std::move(name);
+  spec->root = std::move(sub.root_);
+  h.spec_ = std::move(spec);
+  return h;
+}
+
+PlanBuilder PlanBuilder::SharedRef(const SharedSubplan& shared,
+                                   std::string label) {
+  PlanBuilder b;
+  if (!shared.ok()) {
+    b.status_ = !shared.status().ok()
+                    ? shared.status()
+                    : Status::InvalidArgument("shared ref to unbound subplan");
+    return b;
+  }
+  PlanNode* n = b.Push(NodeKind::kSharedScan, std::move(label));
+  n->shared = shared.spec();
+  n->schema = shared.spec()->root->schema;
+  return b;
+}
+
 PlanBuilder& PlanBuilder::Filter(ExprPtr predicate, std::string label) {
   if (!Active()) return *this;
   if (predicate == nullptr) {
@@ -622,6 +658,27 @@ PlanBuilder& PlanBuilder::Limit(size_t n_rows, std::string label) {
   return *this;
 }
 
+namespace {
+
+/// Collects every SharedSpec referenced under `n` into `out` in
+/// dependency order (a spec's own references first), deduplicated by
+/// identity. Acyclic by construction: a spec can only reference specs
+/// bound before it existed.
+void CollectShared(const PlanNode* n,
+                   std::vector<std::shared_ptr<const SharedSpec>>* out) {
+  if (n->kind == NodeKind::kSharedScan && n->shared != nullptr) {
+    for (const auto& s : *out) {
+      if (s == n->shared) return;
+    }
+    CollectShared(n->shared->root.get(), out);
+    out->push_back(n->shared);
+    return;
+  }
+  for (const auto& c : n->children) CollectShared(c.get(), out);
+}
+
+}  // namespace
+
 LogicalPlan PlanBuilder::Build() {
   LogicalPlan plan;
   plan.status = status_;
@@ -630,6 +687,12 @@ LogicalPlan PlanBuilder::Build() {
   }
   plan.root = std::move(root_);
   plan.scalars = std::move(scalars_);
+  if (plan.root != nullptr) {
+    for (const ScalarSpec& s : plan.scalars) {
+      CollectShared(s.root.get(), &plan.shared);
+    }
+    CollectShared(plan.root.get(), &plan.shared);
+  }
   return plan;
 }
 

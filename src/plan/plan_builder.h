@@ -22,6 +22,26 @@
 
 namespace ma::plan {
 
+class PlanBuilder;
+
+/// Handle to a subplan bound once with PlanBuilder::BindShared.
+/// Copyable — every copy references the same SharedSpec, so any number
+/// of SharedRef chains (and plans) can consume the single
+/// materialization. An invalid bind (empty or failed sub-builder)
+/// yields a handle whose status propagates into any plan that
+/// references it, mirroring the builder's first-failure-sticks rule.
+class SharedSubplan {
+ public:
+  bool ok() const { return status_.ok() && spec_ != nullptr; }
+  const Status& status() const { return status_; }
+  const std::shared_ptr<const SharedSpec>& spec() const { return spec_; }
+
+ private:
+  friend class PlanBuilder;
+  std::shared_ptr<const SharedSpec> spec_;
+  Status status_;
+};
+
 class PlanBuilder {
  public:
   /// Starts a plan at a table scan. An empty column list scans every
@@ -29,6 +49,19 @@ class PlanBuilder {
   static PlanBuilder Scan(const Table* table,
                           std::vector<std::string> columns = {},
                           std::string label = "scan");
+
+  /// Registers `sub` as a shared subplan: executors materialize it
+  /// exactly once per run, and every SharedRef of the returned handle
+  /// scans that single result — the explicit way to build DAG-shaped
+  /// plans (the compiler also deduplicates structurally identical
+  /// subtrees automatically). Shared subplans may reference other
+  /// shared subplans but may not bind scalars of their own.
+  static SharedSubplan BindShared(std::string name, PlanBuilder sub);
+
+  /// Starts a plan at a scan of `shared`'s materialization; its schema
+  /// is the shared subplan's output schema.
+  static PlanBuilder SharedRef(const SharedSubplan& shared,
+                               std::string label = "shared");
 
   /// Keeps rows satisfying `predicate` (a comparison, string predicate,
   /// AND or OR over the current schema).

@@ -58,15 +58,23 @@ void PutPairs(std::string* out,
 
 /// `stable` omits table pointers so the canon (and its hash) survives
 /// process restarts — the variant behind PlanFingerprint::stable_hash.
-void PutNode(std::string* out, const PlanNode& n, bool stable) {
+/// `labels` = false omits node labels — the variant behind
+/// SubtreeCanon, where display-only label prefixes must not keep
+/// structurally identical subtrees apart.
+struct CanonFlags {
+  bool stable = false;
+  bool labels = true;
+};
+
+void PutNode(std::string* out, const PlanNode& n, CanonFlags f) {
   PutU8(out, static_cast<u8>(n.kind));
-  PutStr(out, n.label);
+  PutStr(out, f.labels ? std::string_view(n.label) : std::string_view());
   switch (n.kind) {
     case NodeKind::kScan: {
       // Table identity + name + full column schema: the pointer keys the
       // exact catalog object, the schema acts as its version (AddColumn
       // changes the fingerprint).
-      PutU64(out, stable ? 0 : reinterpret_cast<u64>(n.table));
+      PutU64(out, f.stable ? 0 : reinterpret_cast<u64>(n.table));
       if (n.table != nullptr) {
         PutStr(out, n.table->name());
         PutU64(out, n.table->num_columns());
@@ -134,26 +142,36 @@ void PutNode(std::string* out, const PlanNode& n, bool stable) {
       }
       PutU64(out, n.limit);
       break;
+    case NodeKind::kSharedScan:
+      // The spec's name AND its full subtree at every reference site:
+      // a shared scan can never be canon-equal to the inlined subtree
+      // (the kind byte differs), so sharing structure is plan identity,
+      // yet two refs of the same spec encode identically.
+      PutStr(out, n.shared != nullptr ? n.shared->name : "?");
+      if (n.shared != nullptr) PutNode(out, *n.shared->root, f);
+      break;
   }
   PutU64(out, n.children.size());
-  for (const auto& c : n.children) PutNode(out, *c, stable);
+  for (const auto& c : n.children) PutNode(out, *c, f);
 }
 
-void PutPlan(std::string* out, const LogicalPlan& plan, bool stable) {
+void PutPlan(std::string* out, const LogicalPlan& plan, CanonFlags f) {
   if (!plan.ok()) {
     PutStr(out, "!invalid");
     PutStr(out, plan.status.message());
     return;
   }
-  PutStr(out, "plan-v1");
+  PutStr(out, "plan-v2");
+  PutU64(out, plan.shared.size());
+  for (const auto& sp : plan.shared) PutStr(out, sp->name);
   PutU64(out, plan.scalars.size());
   for (const ScalarSpec& s : plan.scalars) {
     PutStr(out, s.name);
     PutStr(out, s.column);
     PutU8(out, static_cast<u8>(s.type));
-    PutNode(out, *s.root, stable);
+    PutNode(out, *s.root, f);
   }
-  PutNode(out, *plan.root, stable);
+  PutNode(out, *plan.root, f);
 }
 
 u64 Fnv1a64(std::string_view bytes) {
@@ -169,12 +187,18 @@ u64 Fnv1a64(std::string_view bytes) {
 
 PlanFingerprint FingerprintPlan(const LogicalPlan& plan) {
   PlanFingerprint fp;
-  PutPlan(&fp.canon, plan, /*stable=*/false);
+  PutPlan(&fp.canon, plan, {.stable = false, .labels = true});
   fp.hash = Fnv1a64(fp.canon);
   std::string stable_canon;
-  PutPlan(&stable_canon, plan, /*stable=*/true);
+  PutPlan(&stable_canon, plan, {.stable = true, .labels = true});
   fp.stable_hash = Fnv1a64(stable_canon);
   return fp;
+}
+
+std::string SubtreeCanon(const PlanNode& n) {
+  std::string out;
+  PutNode(&out, n, {.stable = false, .labels = false});
+  return out;
 }
 
 }  // namespace ma::plan

@@ -41,10 +41,23 @@ struct PlanFingerprint {
   bool operator!=(const PlanFingerprint& o) const { return !(*this == o); }
 };
 
-/// Canonical fingerprint of `plan` (root + scalar subqueries). Invalid
-/// or empty plans get a distinctive canon and are never cache-equal to
-/// a valid plan.
+/// Canonical fingerprint of `plan` (root + scalar subqueries + shared
+/// subplans). Invalid or empty plans get a distinctive canon and are
+/// never cache-equal to a valid plan. A kSharedScan leaf encodes its
+/// spec's full subtree at every reference site, so a plan that shares
+/// a subtree via BindShared and a plan that builds the same subtree
+/// twice inline get DIFFERENT canons — sharing structure is part of
+/// plan identity (the plan cache must not conflate them: they compile
+/// to different stage DAGs).
 PlanFingerprint FingerprintPlan(const LogicalPlan& plan);
+
+/// Canonical bytes of the subtree rooted at `n` with LABELS OMITTED and
+/// table pointers included — the key the compiler's automatic CSE uses
+/// to detect structurally identical subtrees. Labels are display-only
+/// prefixes for primitive-instance names (the same pipeline built twice
+/// under "q14/promo" and "q14" must still merge); table pointers keep
+/// same-shaped subtrees over different tables apart.
+std::string SubtreeCanon(const PlanNode& n);
 
 }  // namespace ma::plan
 

@@ -93,6 +93,25 @@ RunResult FailedResult(QueryContext* ctx) {
   return r;
 }
 
+/// Rebuilds an empty result from the plan's declared output schema.
+/// The serial drain learns column names/types only from emitted
+/// batches, so a zero-row query yields a zero-COLUMN table there,
+/// while staged materialization emits typed empty columns — the one
+/// place the two executors used to disagree. Normalizing every empty
+/// result at the Run() boundary keeps the byte-identity contract on
+/// degenerate inputs too.
+RunResult WithDeclaredSchema(const std::vector<ColumnInfo>& schema,
+                             RunResult r) {
+  if (!r.status.ok() || r.table == nullptr || r.table->row_count() != 0) {
+    return r;
+  }
+  auto t = std::make_unique<Table>("result");
+  for (const ColumnInfo& c : schema) t->AddColumn(c.name, c.type);
+  t->set_row_count(0);
+  r.table = std::move(t);
+  return r;
+}
+
 }  // namespace
 
 RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode,
@@ -131,18 +150,20 @@ RunResult QuerySession::Run(const LogicalPlan& plan, ExecMode mode,
       // Precompiled (plan-cache hit): skip BuildStagePlan entirely.
       if (gate(*staged)) {
         last_run_parallel_ = true;
-        return RunStaged(*staged, ctx, site_prefix);
+        return WithDeclaredSchema(plan.root->schema,
+                                  RunStaged(*staged, ctx, site_prefix));
       }
     } else {
       StagePlan sp;
       const Status s = Compiler::BuildStagePlan(plan, &sp);
       if (s.ok() && gate(sp)) {
         last_run_parallel_ = true;
-        return RunStaged(sp, ctx, site_prefix);
+        return WithDeclaredSchema(plan.root->schema,
+                                  RunStaged(sp, ctx, site_prefix));
       }
     }
   }
-  return RunSerial(plan, ctx);
+  return WithDeclaredSchema(plan.root->schema, RunSerial(plan, ctx));
 }
 
 RunResult QuerySession::RunSerial(const LogicalPlan& plan,

@@ -1,13 +1,15 @@
-// TPC-H queries expressed as logical plans. Written once against
-// PlanBuilder, these run unchanged on the serial Engine and on the
-// staged morsel-driven executor (plan/query_session.h). Plans may
-// aggregate below joins (Q10, Q12, Q14), merge-join inside a plan
-// (Q12), fold scalar-subquery results into predicates (Q11, Q15, Q22),
-// patch probe misses with a LEFT OUTER join (Q13), and compute
-// CASE/substring value expressions in projections (Q22) — the
-// hand-built trees remaining in queries.cc migrate here as the last
-// shapes (multi-table value expressions, correlated EXISTS chains)
-// gain plan-level support.
+// All 22 TPC-H queries expressed as logical plans. Written once
+// against PlanBuilder, these run unchanged on the serial Engine and on
+// the staged morsel-driven executor (plan/query_session.h). Plans may
+// aggregate below joins (Q10, Q12, Q14), re-aggregate an aggregation
+// (Q16, Q21), merge-join inside a plan (Q12), fold scalar-subquery
+// results into predicates (Q11, Q15, Q22), patch probe misses with a
+// LEFT OUTER join (Q13), compute CASE/substring value expressions in
+// projections (Q8, Q22), and share one subplan across several
+// consumers — explicitly with PlanBuilder::BindShared (Q21's late
+// lines) or implicitly via the compiler's automatic deduplication of
+// structurally identical subtrees (Q2/Q11/Q14/Q15/Q17/Q22's
+// twice-built pipelines).
 #ifndef MA_TPCH_PLANS_H_
 #define MA_TPCH_PLANS_H_
 
@@ -53,6 +55,16 @@ plan::LogicalPlan Q6Plan(const TpchData& d);
 /// (supp_nation, cust_nation, year).
 plan::LogicalPlan Q7Plan(const TpchData& d);
 
+/// Q8: national market share. A CASE projection zeroes non-BRAZIL
+/// volume so one aggregation carries both the total and the BRAZIL sum
+/// per year; the share divides in the projection above it.
+plan::LogicalPlan Q8Plan(const TpchData& d);
+
+/// Q9: product type profit measure. A four-join chain (part, partsupp,
+/// orders, nation-annotated supplier) under a per-(nation, year) profit
+/// aggregation.
+plan::LogicalPlan Q9Plan(const TpchData& d);
+
 /// Q10: returned item reporting. The per-customer revenue aggregation
 /// feeds the customer and nation joins above it — the agg-feeding-join
 /// shape that compiles to dependent stages scanning a materialized
@@ -74,10 +86,35 @@ plan::LogicalPlan Q13Plan(const TpchData& d);
 /// aggregate is a scalar subquery folded into the top filter.
 plan::LogicalPlan Q15Plan(const TpchData& d);
 
+/// Q16: parts/supplier relationship. Distinct-count via re-aggregation:
+/// a dedupe GroupBy on (brand, type, size, suppkey) feeds a second
+/// GroupBy that counts its groups.
+plan::LogicalPlan Q16Plan(const TpchData& d);
+
 /// Q17: small-quantity-order revenue. The per-part average quantity
 /// aggregation joins back against the same part/lineitem pipeline; the
 /// 0.2 * avg threshold computes in a projection above the join.
 plan::LogicalPlan Q17Plan(const TpchData& d);
+
+/// Q18: large volume customers. The per-order quantity sum (HAVING >
+/// 300) builds the orders join; customer names attach above.
+plan::LogicalPlan Q18Plan(const TpchData& d);
+
+/// Q19: discounted revenue — the big OR-of-ANDs predicate over the
+/// part-annotated lineitems, summed into one global revenue value.
+plan::LogicalPlan Q19Plan(const TpchData& d);
+
+/// Q20: potential part promotion. The 1994 shipped-quantity aggregation
+/// builds the partsupp join, excess stock filters against half that
+/// quantity, and two semi joins (forest parts, CANADA suppliers) narrow
+/// to the final supplier list.
+plan::LogicalPlan Q20Plan(const TpchData& d);
+
+/// Q21: suppliers who kept orders waiting. The late-lineitem filter is
+/// a shared subplan (PlanBuilder::BindShared) consumed by both the
+/// per-order late-supplier count and the main spine; chained semi joins
+/// express the EXISTS / NOT EXISTS pair over the counts.
+plan::LogicalPlan Q21Plan(const TpchData& d);
 
 /// Q22: global sales opportunity. The average positive balance is a
 /// scalar subquery folded into the "rich" filter, and the country code
@@ -94,10 +131,10 @@ plan::LogicalPlan Q12Plan(const TpchData& d);
 /// constant key and joined — both hash-join sides fed by aggregations.
 plan::LogicalPlan Q14Plan(const TpchData& d);
 
-/// True when query `q` (1..22) has a plan-level port above — the
-/// queries the workload and the serving layer (serve/workload_server.h)
-/// can drive through plan::QuerySession. The rest still run as
-/// hand-built trees in queries.cc.
+/// True when query `q` (1..22) has a plan-level port above. All 22
+/// queries do — the workload and the serving layer
+/// (serve/workload_server.h) drive every query through
+/// plan::QuerySession. Kept for call-site compatibility.
 bool HasPlan(int q);
 
 /// The ported plan for query `q`; MA_CHECKs HasPlan(q).

@@ -4,117 +4,17 @@
 
 #include "common/cycleclock.h"
 
-#include "exec/op_hash_agg.h"
-#include "exec/op_hash_join.h"
-#include "exec/op_merge_join.h"
-#include "exec/op_project.h"
-#include "exec/op_scan.h"
-#include "exec/op_select.h"
-#include "exec/op_sort.h"
 #include "plan/compiler.h"
 #include "tpch/plans.h"
-#include "tpch/text_pool.h"
 
 namespace ma::tpch {
 namespace {
 
-using Out = ProjectOperator::Output;
-using Agg = HashAggOperator::AggSpec;
-using GK = HashAggOperator::GroupKey;
-
-OperatorPtr Scan(Engine* e, const Table* t,
-                 std::vector<std::string> cols = {}) {
-  return std::make_unique<ScanOperator>(e, t, std::move(cols));
-}
-
-OperatorPtr Sel(Engine* e, OperatorPtr child, ExprPtr pred,
-                std::string label) {
-  return std::make_unique<SelectOperator>(e, std::move(child),
-                                          std::move(pred),
-                                          std::move(label));
-}
-
-OperatorPtr Proj(Engine* e, OperatorPtr child, std::vector<Out> outs,
-                 std::string label) {
-  return std::make_unique<ProjectOperator>(e, std::move(child),
-                                           std::move(outs),
-                                           std::move(label));
-}
-
-OperatorPtr Join(Engine* e, OperatorPtr build, OperatorPtr probe,
-                 HashJoinSpec spec, std::string label) {
-  return std::make_unique<HashJoinOperator>(e, std::move(build),
-                                            std::move(probe),
-                                            std::move(spec),
-                                            std::move(label));
-}
-
-std::unique_ptr<Table> RunToTable(Engine* e, Operator& root) {
-  return e->Run(root).table;
-}
-
-/// Sugar: revenue expression l_extendedprice * (1 - l_discount), written
-/// without a literal on the left: ep - ep*disc.
-ExprPtr Revenue() {
-  return Sub(Col("l_extendedprice"),
-             Mul(Col("l_extendedprice"), Col("l_discount")));
-}
-
-/// Keys of nations/regions by name.
-i64 NationCode(const std::string& name) {
-  const int c = CodeOf(NationNames(), name);
-  MA_CHECK(c >= 0);
-  return c;
-}
-
-/// Suppliers (or customers) of one nation: filtered scan.
-OperatorPtr SupplierOfNation(Engine* e, const TpchData& d,
-                             const std::string& nation,
-                             std::vector<std::string> cols,
-                             const std::string& label) {
-  return Sel(e, Scan(e, d.supplier, std::move(cols)),
-             Eq(Col("s_nationkey"), Lit(NationCode(nation))),
-             label + "/s_nation");
-}
-
-/// Region -> member nation keys, via tiny joins on the metadata tables.
-OperatorPtr NationsOfRegion(Engine* e, const TpchData& d,
-                            const std::string& region,
-                            const std::string& label) {
-  // region is 5 rows; nation 25. Semi join nation against the selected
-  // region key.
-  auto rsel = Sel(e, Scan(e, d.region, {"r_regionkey", "r_name"}),
-                  StrEq("r_name", region), label + "/region");
-  HashJoinSpec spec;
-  spec.build_key = "r_regionkey";
-  spec.probe_key = "n_regionkey";
-  spec.kind = HashJoinSpec::Kind::kSemi;
-  return Join(e, std::move(rsel),
-              Scan(e, d.nation, {"n_nationkey", "n_name", "n_regionkey"}),
-              spec, label + "/nation_of_region");
-}
-
 // =====================================================================
-// Q1: Pricing summary report — expressed once as a logical plan
-// (tpch/plans.cc) and lowered onto this engine; the same plan runs
-// morsel-parallel through plan::QuerySession.
-// =====================================================================
-RunResult RunPlan(Engine* e, const plan::LogicalPlan& p);
-
-RunResult Q1(Engine* e, const TpchData& d) { return RunPlan(e, Q1Plan(d)); }
-
-// =====================================================================
-// Q2: Minimum cost supplier — as a plan: the per-part MIN aggregation
-// feeds the min-filter join back against the supplier/partsupp
-// pipeline (tpch/plans.cc).
-// =====================================================================
-RunResult Q2(Engine* e, const TpchData& d) { return RunPlan(e, Q2Plan(d)); }
-
-// =====================================================================
-// Q3, Q4, Q5: shipping priority, order priority checking, local
-// supplier volume — expressed as logical plans (tpch/plans.cc) and
+// Every query is expressed once as a logical plan (tpch/plans.cc) and
 // lowered onto this engine; the same plans run stage-parallel through
-// plan::QuerySession.
+// plan::QuerySession. RunPlan is the serial lowering shared by all of
+// them.
 // =====================================================================
 RunResult RunPlan(Engine* e, const plan::LogicalPlan& p) {
   MA_CHECK(p.ok());
@@ -131,239 +31,9 @@ RunResult RunPlan(Engine* e, const plan::LogicalPlan& p) {
   return e->Run(*root);
 }
 
-RunResult Q3(Engine* e, const TpchData& d) { return RunPlan(e, Q3Plan(d)); }
-
-RunResult Q4(Engine* e, const TpchData& d) { return RunPlan(e, Q4Plan(d)); }
-
-RunResult Q5(Engine* e, const TpchData& d) { return RunPlan(e, Q5Plan(d)); }
-
 // =====================================================================
-// Q6: Forecasting revenue change — via the logical plan (see Q1).
-// =====================================================================
-RunResult Q6(Engine* e, const TpchData& d) { return RunPlan(e, Q6Plan(d)); }
-
-// =====================================================================
-// Q7: Volume shipping — via the logical plan (see Q1). Exercises the
-// merge join on the clustered orderkey order.
-// =====================================================================
-RunResult Q7(Engine* e, const TpchData& d) { return RunPlan(e, Q7Plan(d)); }
-
-// =====================================================================
-// Q8: National market share.
-// =====================================================================
-RunResult Q8(Engine* e, const TpchData& d) {
-  const i64 steel =
-      CodeOf(TypeSyllable1(), "ECONOMY") * 25 +
-      CodeOf(TypeSyllable2(), "ANODIZED") * 5 +
-      CodeOf(TypeSyllable3(), "STEEL");
-  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_type_code"}),
-                    Eq(Col("p_type_code"), Lit(steel)), "q8/part");
-  HashJoinSpec pj;
-  pj.build_key = "p_partkey";
-  pj.probe_key = "l_partkey";
-  pj.probe_outputs = {"l_orderkey", "l_suppkey", "l_extendedprice",
-                      "l_discount"};
-  pj.use_bloom = true;
-  auto l1 = Join(e, std::move(part_f),
-                 Scan(e, d.lineitem,
-                      {"l_partkey", "l_orderkey", "l_suppkey",
-                       "l_extendedprice", "l_discount"}),
-                 pj, "q8/part_join");
-
-  auto orders =
-      Sel(e, Scan(e, d.orders, {"o_orderkey", "o_custkey", "o_orderdate",
-                                "o_orderyear"}),
-          RangeI64("o_orderdate", Date(1995, 1, 1), Date(1997, 1, 1)),
-          "q8/orders");
-  HashJoinSpec oj;
-  oj.build_key = "o_orderkey";
-  oj.probe_key = "l_orderkey";
-  oj.build_outputs = {{"o_custkey", "o_custkey"},
-                      {"o_orderyear", "o_orderyear"}};
-  oj.probe_outputs = {"l_suppkey", "l_extendedprice", "l_discount"};
-  oj.use_bloom = true;
-  auto l2 = Join(e, std::move(orders), std::move(l1), oj,
-                 "q8/orders_join");
-
-  // Customers in AMERICA.
-  auto nations = NationsOfRegion(e, d, "AMERICA", "q8");
-  HashJoinSpec cn;
-  cn.build_key = "n_nationkey";
-  cn.probe_key = "c_nationkey";
-  cn.kind = HashJoinSpec::Kind::kSemi;
-  auto cust_am = Join(e, std::move(nations),
-                      Scan(e, d.customer, {"c_custkey", "c_nationkey"}),
-                      cn, "q8/customer_region");
-  HashJoinSpec cj;
-  cj.build_key = "c_custkey";
-  cj.probe_key = "o_custkey";
-  cj.kind = HashJoinSpec::Kind::kSemi;
-  auto l3 = Join(e, std::move(cust_am), std::move(l2), cj,
-                 "q8/customer_semi");
-
-  // Supplier nation for every line.
-  HashJoinSpec sj;
-  sj.build_key = "s_suppkey";
-  sj.probe_key = "l_suppkey";
-  sj.build_outputs = {{"s_nationkey", "supp_nation_code"}};
-  sj.probe_outputs = {"o_orderyear", "l_extendedprice", "l_discount"};
-  auto l4 = Join(e, Scan(e, d.supplier, {"s_suppkey", "s_nationkey"}),
-                 std::move(l3), sj, "q8/supplier_join");
-  std::vector<Out> outs;
-  outs.push_back({"o_orderyear", Col("o_orderyear")});
-  outs.push_back({"supp_nation_code", Col("supp_nation_code")});
-  outs.push_back({"volume", Revenue()});
-  auto proj = Proj(e, std::move(l4), std::move(outs), "q8/project");
-  auto t = RunToTable(e, *proj);
-
-  // Total volume per year and BRAZIL volume per year; share = ratio.
-  std::vector<Agg> a1;
-  a1.push_back({"sum", Col("volume"), "total"});
-  HashAggOperator total_agg(e, Scan(e, t.get(), {"o_orderyear", "volume"}),
-                            {{"o_orderyear", 11}}, {"o_orderyear"},
-                            std::move(a1), "q8/total_agg");
-  auto totals = RunToTable(e, total_agg);
-
-  auto brazil_rows =
-      Sel(e, Scan(e, t.get()),
-          Eq(Col("supp_nation_code"), Lit(NationCode("BRAZIL"))),
-          "q8/brazil");
-  std::vector<Agg> a2;
-  a2.push_back({"sum", Col("volume"), "brazil_volume"});
-  HashAggOperator brazil_agg(e, std::move(brazil_rows),
-                             {{"o_orderyear", 11}}, {"o_orderyear"},
-                             std::move(a2), "q8/brazil_agg");
-  auto brazil = RunToTable(e, brazil_agg);
-
-  HashJoinSpec fj;
-  fj.build_key = "o_orderyear";
-  fj.probe_key = "o_orderyear";
-  fj.build_outputs = {{"brazil_volume", "brazil_volume"}};
-  fj.probe_outputs = {"o_orderyear", "total"};
-  auto joinf = Join(e, Scan(e, brazil.get()), Scan(e, totals.get()), fj,
-                    "q8/share_join");
-  std::vector<Out> fouts;
-  fouts.push_back({"o_orderyear", Col("o_orderyear")});
-  fouts.push_back({"mkt_share", Div(Col("brazil_volume"), Col("total"))});
-  auto projf = Proj(e, std::move(joinf), std::move(fouts), "q8/share");
-  SortOperator sort(e, std::move(projf), {{"o_orderyear", false}});
-  return e->Run(sort);
-}
-
-// =====================================================================
-// Q9: Product type profit measure.
-// =====================================================================
-RunResult Q9(Engine* e, const TpchData& d) {
-  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_name"}),
-                    StrContains("p_name", "green"), "q9/part");
-  HashJoinSpec pj;
-  pj.build_key = "p_partkey";
-  pj.probe_key = "l_partkey";
-  pj.probe_outputs = {"l_orderkey", "l_suppkey", "l_pskey",
-                      "l_quantity_f", "l_extendedprice", "l_discount"};
-  pj.use_bloom = true;
-  auto l1 = Join(e, std::move(part_f),
-                 Scan(e, d.lineitem,
-                      {"l_partkey", "l_orderkey", "l_suppkey", "l_pskey",
-                       "l_quantity_f", "l_extendedprice", "l_discount"}),
-                 pj, "q9/part_join");
-
-  HashJoinSpec psj;
-  psj.build_key = "ps_pskey";
-  psj.probe_key = "l_pskey";
-  psj.build_outputs = {{"ps_supplycost", "ps_supplycost"}};
-  psj.probe_outputs = {"l_orderkey", "l_suppkey", "l_quantity_f",
-                       "l_extendedprice", "l_discount"};
-  auto l2 = Join(e, Scan(e, d.partsupp, {"ps_pskey", "ps_supplycost"}),
-                 std::move(l1), psj, "q9/partsupp_join");
-
-  HashJoinSpec oj;
-  oj.build_key = "o_orderkey";
-  oj.probe_key = "l_orderkey";
-  oj.build_outputs = {{"o_orderyear", "o_orderyear"}};
-  oj.probe_outputs = {"l_suppkey", "l_quantity_f", "l_extendedprice",
-                      "l_discount", "ps_supplycost"};
-  auto l3 = Join(e, Scan(e, d.orders, {"o_orderkey", "o_orderyear"}),
-                 std::move(l2), oj, "q9/orders_join");
-
-  // supplier -> nation name.
-  HashJoinSpec nj;
-  nj.build_key = "n_nationkey";
-  nj.probe_key = "s_nationkey";
-  nj.build_outputs = {{"n_name", "n_name"}};
-  nj.probe_outputs = {"s_suppkey", "s_nationkey"};
-  auto supp_n = Join(e, Scan(e, d.nation, {"n_nationkey", "n_name"}),
-                     Scan(e, d.supplier, {"s_suppkey", "s_nationkey"}),
-                     nj, "q9/supplier_nation");
-  HashJoinSpec sj;
-  sj.build_key = "s_suppkey";
-  sj.probe_key = "l_suppkey";
-  sj.build_outputs = {{"s_nationkey", "s_nationkey"},
-                      {"n_name", "n_name"}};
-  sj.probe_outputs = {"o_orderyear", "l_quantity_f", "l_extendedprice",
-                      "l_discount", "ps_supplycost"};
-  auto l4 =
-      Join(e, std::move(supp_n), std::move(l3), sj, "q9/supplier_join");
-
-  std::vector<Out> outs;
-  outs.push_back({"s_nationkey", Col("s_nationkey")});
-  outs.push_back({"n_name", Col("n_name")});
-  outs.push_back({"o_orderyear", Col("o_orderyear")});
-  outs.push_back({"amount",
-                  Sub(Revenue(),
-                      Mul(Col("ps_supplycost"), Col("l_quantity_f")))});
-  auto proj = Proj(e, std::move(l4), std::move(outs), "q9/project");
-  std::vector<Agg> aggs;
-  aggs.push_back({"sum", Col("amount"), "sum_profit"});
-  auto agg = std::make_unique<HashAggOperator>(
-      e, std::move(proj),
-      std::vector<GK>{{"s_nationkey", 5}, {"o_orderyear", 11}},
-      std::vector<std::string>{"n_name", "o_orderyear"}, std::move(aggs),
-      "q9/agg");
-  SortOperator sort(e, std::move(agg),
-                    {{"n_name", false}, {"o_orderyear", true}});
-  return e->Run(sort);
-}
-
-// =====================================================================
-// Q10: Returned item reporting — the agg-feeding-join plan: the
-// per-customer revenue aggregation materializes and the customer /
-// nation joins above it scan the intermediate (tpch/plans.cc).
-// =====================================================================
-RunResult Q10(Engine* e, const TpchData& d) {
-  return RunPlan(e, Q10Plan(d));
-}
-
-// =====================================================================
-// Q11: Important stock identification — as a plan: the threshold is a
-// scalar subquery folded into the HAVING filter (tpch/plans.cc).
-// =====================================================================
-RunResult Q11(Engine* e, const TpchData& d) {
-  return RunPlan(e, Q11Plan(d));
-}
-
-// =====================================================================
-// Q12: Shipping modes and order priority (the Figure 2 query) — as a
-// plan with the merge join on the clustered orderkey inside it; the
-// staged compiler proves the key order and keeps op_merge_join
-// (Figure 4(d)'s fetch primitives materialize the priority column).
-// =====================================================================
-RunResult Q12(Engine* e, const TpchData& d) {
-  return RunPlan(e, Q12Plan(d));
-}
-
-// =====================================================================
-// Q13: Customer distribution — as a plan: the LEFT OUTER hash join
-// patches no-order customers in with a default count (tpch/plans.cc).
-// =====================================================================
-RunResult Q13(Engine* e, const TpchData& d) {
-  return RunPlan(e, Q13Plan(d));
-}
-
-// =====================================================================
-// Q14: Promotion effect — as a plan: promo and total revenue aggregate
-// on a constant key and join, the share computes in the projection
-// above (both hash-join sides fed by aggregation stages).
+// Q14: promotion effect — the plan's division has no zero guard, so
+// keep the historical contract for degenerate data windows.
 // =====================================================================
 RunResult Q14(Engine* e, const TpchData& d) {
   RunResult r = RunPlan(e, Q14Plan(d));
@@ -382,377 +52,6 @@ RunResult Q14(Engine* e, const TpchData& d) {
     r.rows_emitted = 1;
   }
   return r;
-}
-
-// =====================================================================
-// Q15: Top supplier — as a plan: MAX(total_revenue) is a scalar
-// subquery folded into the top filter (tpch/plans.cc).
-// =====================================================================
-RunResult Q15(Engine* e, const TpchData& d) {
-  return RunPlan(e, Q15Plan(d));
-}
-
-// =====================================================================
-// Q16: Parts/supplier relationship.
-// =====================================================================
-RunResult Q16(Engine* e, const TpchData& d) {
-  std::vector<ExprPtr> pp;
-  pp.push_back(Ne(Col("p_brand_code"),
-                  Lit((4 - 1) * 5 + (5 - 1))));  // Brand#45
-  pp.push_back(StrNotPrefix("p_type", "MEDIUM POLISHED"));
-  pp.push_back(InI64("p_size", {49, 14, 23, 45, 19, 3, 36, 9}));
-  auto part_f = Sel(e, Scan(e, d.part,
-                            {"p_partkey", "p_brand", "p_brand_code",
-                             "p_type", "p_type_code", "p_size"}),
-                    AndAll(std::move(pp)), "q16/part");
-  HashJoinSpec pj;
-  pj.build_key = "p_partkey";
-  pj.probe_key = "ps_partkey";
-  pj.build_outputs = {{"p_brand", "p_brand"},
-                      {"p_brand_code", "p_brand_code"},
-                      {"p_type", "p_type"},
-                      {"p_type_code", "p_type_code"},
-                      {"p_size", "p_size"}};
-  pj.probe_outputs = {"ps_suppkey"};
-  pj.use_bloom = true;
-  auto ps = Join(e, std::move(part_f),
-                 Scan(e, d.partsupp, {"ps_partkey", "ps_suppkey"}), pj,
-                 "q16/partsupp_join");
-
-  auto bad = Sel(e, Scan(e, d.supplier, {"s_suppkey", "s_comment"}),
-                 StrContains("s_comment", "Customer Complaints"),
-                 "q16/complaints");
-  HashJoinSpec aj;
-  aj.build_key = "s_suppkey";
-  aj.probe_key = "ps_suppkey";
-  aj.kind = HashJoinSpec::Kind::kAnti;
-  auto good = Join(e, std::move(bad), std::move(ps), aj, "q16/anti");
-
-  // Distinct suppliers per (brand, type, size): dedupe then count.
-  std::vector<Agg> da;
-  da.push_back({"count", nullptr, "dummy"});
-  HashAggOperator dedupe(
-      e, std::move(good),
-      {{"p_brand_code", 5}, {"p_type_code", 8}, {"p_size", 6},
-       {"ps_suppkey", 24}},
-      {"p_brand", "p_type", "p_size", "p_brand_code", "p_type_code"},
-      std::move(da), "q16/dedupe");
-  auto t = RunToTable(e, dedupe);
-
-  std::vector<Agg> ca;
-  ca.push_back({"count", nullptr, "supplier_cnt"});
-  auto cnt = std::make_unique<HashAggOperator>(
-      e, Scan(e, t.get()),
-      std::vector<GK>{{"p_brand_code", 5}, {"p_type_code", 8},
-                      {"p_size", 6}},
-      std::vector<std::string>{"p_brand", "p_type", "p_size"},
-      std::move(ca), "q16/count");
-  SortOperator sort(e, std::move(cnt),
-                    {{"supplier_cnt", true},
-                     {"p_brand", false},
-                     {"p_type", false},
-                     {"p_size", false}});
-  return e->Run(sort);
-}
-
-// =====================================================================
-// Q17: Small-quantity-order revenue — as a plan: the per-part average
-// joins back against the same pipeline, the threshold computes in a
-// projection above it (tpch/plans.cc).
-// =====================================================================
-RunResult Q17(Engine* e, const TpchData& d) {
-  return RunPlan(e, Q17Plan(d));
-}
-
-// =====================================================================
-// Q18: Large volume customers.
-// =====================================================================
-RunResult Q18(Engine* e, const TpchData& d) {
-  std::vector<Agg> qa;
-  qa.push_back({"sum", Col("l_quantity"), "sum_qty", PhysicalType::kI64});
-  auto per_order = std::make_unique<HashAggOperator>(
-      e, Scan(e, d.lineitem, {"l_orderkey", "l_quantity"}),
-      std::vector<GK>{{"l_orderkey", 36}},
-      std::vector<std::string>{"l_orderkey"}, std::move(qa), "q18/agg");
-  auto big = Sel(e, std::move(per_order), Gt(Col("sum_qty"), Lit(300)),
-                 "q18/having");
-  HashJoinSpec oj;
-  oj.build_key = "l_orderkey";
-  oj.probe_key = "o_orderkey";
-  oj.build_outputs = {{"sum_qty", "sum_qty"}};
-  oj.probe_outputs = {"o_orderkey", "o_custkey", "o_orderdate",
-                      "o_totalprice"};
-  oj.use_bloom = true;
-  auto orders = Join(e, std::move(big),
-                     Scan(e, d.orders, {"o_orderkey", "o_custkey",
-                                        "o_orderdate", "o_totalprice"}),
-                     oj, "q18/orders_join");
-  HashJoinSpec cj;
-  cj.build_key = "c_custkey";
-  cj.probe_key = "o_custkey";
-  cj.build_outputs = {{"c_name", "c_name"}};
-  cj.probe_outputs = {"o_custkey", "o_orderkey", "o_orderdate",
-                      "o_totalprice", "sum_qty"};
-  auto with_cust = Join(e, Scan(e, d.customer, {"c_custkey", "c_name"}),
-                        std::move(orders), cj, "q18/customer_join");
-  SortOperator sort(e, std::move(with_cust),
-                    {{"o_totalprice", true}, {"o_orderdate", false}},
-                    100);
-  return e->Run(sort);
-}
-
-// =====================================================================
-// Q19: Discounted revenue (the big OR-of-ANDs predicate).
-// =====================================================================
-RunResult Q19(Engine* e, const TpchData& d) {
-  std::vector<ExprPtr> lp;
-  lp.push_back(InI64("l_shipmode_code", {CodeOf(ShipModes(), "AIR"),
-                                         CodeOf(ShipModes(),
-                                                "REG AIR")}));
-  lp.push_back(Eq(Col("l_shipinstruct_code"),
-                  Lit(CodeOf(ShipInstructs(), "DELIVER IN PERSON"))));
-  auto items = Sel(e, Scan(e, d.lineitem,
-                           {"l_partkey", "l_quantity", "l_extendedprice",
-                            "l_discount", "l_shipmode_code",
-                            "l_shipinstruct_code"}),
-                   AndAll(std::move(lp)), "q19/lineitem");
-  HashJoinSpec pj;
-  pj.build_key = "p_partkey";
-  pj.probe_key = "l_partkey";
-  pj.build_outputs = {{"p_brand_code", "p_brand_code"},
-                      {"p_container_code", "p_container_code"},
-                      {"p_size", "p_size"}};
-  pj.probe_outputs = {"l_quantity", "l_extendedprice", "l_discount"};
-  auto joined = Join(e,
-                     Scan(e, d.part, {"p_partkey", "p_brand_code",
-                                      "p_container_code", "p_size"}),
-                     std::move(items), pj, "q19/join");
-
-  auto container_codes = [](std::vector<std::pair<const char*,
-                                                  const char*>> pairs) {
-    std::vector<i64> codes;
-    for (const auto& [a, b] : pairs) {
-      codes.push_back(CodeOf(ContainerSyllable1(), a) * 8 +
-                      CodeOf(ContainerSyllable2(), b));
-    }
-    return codes;
-  };
-  auto branch = [&](int brand_m, int brand_n, std::vector<i64> containers,
-                    i64 qty_lo, i64 qty_hi, i64 size_hi) {
-    std::vector<ExprPtr> preds;
-    preds.push_back(Eq(Col("p_brand_code"),
-                       Lit((brand_m - 1) * 5 + (brand_n - 1))));
-    preds.push_back(InI64("p_container_code", std::move(containers)));
-    preds.push_back(Ge(Col("l_quantity"), Lit(qty_lo)));
-    preds.push_back(Le(Col("l_quantity"), Lit(qty_hi)));
-    preds.push_back(Ge(Col("p_size"), Lit(i64{1})));
-    preds.push_back(Le(Col("p_size"), Lit(size_hi)));
-    return AndAll(std::move(preds));
-  };
-  std::vector<ExprPtr> branches;
-  branches.push_back(branch(
-      1, 2,
-      container_codes({{"SM", "CASE"}, {"SM", "BOX"}, {"SM", "PACK"},
-                       {"SM", "PKG"}}),
-      1, 11, 5));
-  branches.push_back(branch(
-      2, 3,
-      container_codes({{"MED", "BAG"}, {"MED", "BOX"}, {"MED", "PKG"},
-                       {"MED", "PACK"}}),
-      10, 20, 10));
-  branches.push_back(branch(
-      3, 4,
-      container_codes({{"LG", "CASE"}, {"LG", "BOX"}, {"LG", "PACK"},
-                       {"LG", "PKG"}}),
-      20, 30, 15));
-  auto filtered = Sel(e, std::move(joined), OrAny(std::move(branches)),
-                      "q19/or_filter");
-  std::vector<Out> outs;
-  outs.push_back({"revenue", Revenue()});
-  auto proj = Proj(e, std::move(filtered), std::move(outs),
-                   "q19/project");
-  std::vector<Agg> aggs;
-  aggs.push_back({"sum", Col("revenue"), "revenue"});
-  HashAggOperator agg(e, std::move(proj), {}, {}, std::move(aggs),
-                      "q19/agg");
-  return e->Run(agg);
-}
-
-// =====================================================================
-// Q20: Potential part promotion.
-// =====================================================================
-RunResult Q20(Engine* e, const TpchData& d) {
-  // Quantity shipped in 1994 per (part, supplier).
-  auto shipped = Sel(
-      e, Scan(e, d.lineitem, {"l_pskey", "l_quantity_f", "l_shipdate"}),
-      RangeI64("l_shipdate", Date(1994, 1, 1), Date(1995, 1, 1)),
-      "q20/shipped");
-  std::vector<Agg> sa;
-  sa.push_back({"sum", Col("l_quantity_f"), "sum_qty"});
-  HashAggOperator qty_agg(e, std::move(shipped), {{"l_pskey", 48}},
-                          {"l_pskey"}, std::move(sa), "q20/qty_agg");
-  auto qty = RunToTable(e, qty_agg);
-
-  // partsupp rows with availqty > 0.5 * shipped qty.
-  HashJoinSpec qj;
-  qj.build_key = "l_pskey";
-  qj.probe_key = "ps_pskey";
-  qj.build_outputs = {{"sum_qty", "sum_qty"}};
-  qj.probe_outputs = {"ps_partkey", "ps_suppkey", "ps_availqty_f"};
-  auto ps = Join(e, Scan(e, qty.get()),
-                 Scan(e, d.partsupp, {"ps_pskey", "ps_partkey",
-                                      "ps_suppkey", "ps_availqty_f"}),
-                 qj, "q20/qty_join");
-  std::vector<Out> houts;
-  houts.push_back({"ps_partkey", Col("ps_partkey")});
-  houts.push_back({"ps_suppkey", Col("ps_suppkey")});
-  houts.push_back({"ps_availqty_f", Col("ps_availqty_f")});
-  houts.push_back({"half_qty", Mul(Col("sum_qty"), Lit(0.5))});
-  auto hproj = Proj(e, std::move(ps), std::move(houts), "q20/half");
-  auto excess = Sel(e, std::move(hproj),
-                    Gt(Col("ps_availqty_f"), Col("half_qty")),
-                    "q20/excess");
-
-  // Restrict to forest% parts (semi join).
-  auto part_f = Sel(e, Scan(e, d.part, {"p_partkey", "p_name"}),
-                    StrPrefix("p_name", "forest"), "q20/part");
-  HashJoinSpec fj;
-  fj.build_key = "p_partkey";
-  fj.probe_key = "ps_partkey";
-  fj.kind = HashJoinSpec::Kind::kSemi;
-  auto forest = Join(e, std::move(part_f), std::move(excess), fj,
-                     "q20/forest_semi");
-
-  // Distinct supplier keys.
-  std::vector<Agg> da;
-  da.push_back({"count", nullptr, "dummy"});
-  HashAggOperator dedupe(e, std::move(forest), {{"ps_suppkey", 24}},
-                         {"ps_suppkey"}, std::move(da), "q20/dedupe");
-  auto supp_keys = RunToTable(e, dedupe);
-
-  // Suppliers in CANADA among them.
-  auto canada = SupplierOfNation(
-      e, d, "CANADA", {"s_suppkey", "s_name", "s_address", "s_nationkey"},
-      "q20");
-  HashJoinSpec sj;
-  sj.build_key = "ps_suppkey";
-  sj.probe_key = "s_suppkey";
-  sj.kind = HashJoinSpec::Kind::kSemi;
-  auto result = Join(e, Scan(e, supp_keys.get(), {"ps_suppkey"}),
-                     std::move(canada), sj, "q20/supplier_semi");
-  SortOperator sort(e, std::move(result), {{"s_name", false}});
-  return e->Run(sort);
-}
-
-// =====================================================================
-// Q21: Suppliers who kept orders waiting.
-// =====================================================================
-RunResult Q21(Engine* e, const TpchData& d) {
-  // Distinct (orderkey, suppkey) pairs over all lineitems -> number of
-  // distinct suppliers per order.
-  std::vector<Agg> dummy1;
-  dummy1.push_back({"count", nullptr, "dummy"});
-  HashAggOperator all_pairs(
-      e, Scan(e, d.lineitem, {"l_orderkey", "l_suppkey"}),
-      {{"l_orderkey", 36}, {"l_suppkey", 24}}, {"l_orderkey"},
-      std::move(dummy1), "q21/all_pairs");
-  auto pairs_tbl = RunToTable(e, all_pairs);
-  std::vector<Agg> c1;
-  c1.push_back({"count", nullptr, "n_supp"});
-  HashAggOperator supp_per_order(e, Scan(e, pairs_tbl.get(),
-                                         {"l_orderkey"}),
-                                 {{"l_orderkey", 36}}, {"l_orderkey"},
-                                 std::move(c1), "q21/supp_per_order");
-  auto n_supp = RunToTable(e, supp_per_order);
-
-  // Same for *late* lineitems (receipt > commit).
-  auto late = Sel(e, Scan(e, d.lineitem,
-                          {"l_orderkey", "l_suppkey", "l_commitdate",
-                           "l_receiptdate"}),
-                  Gt(Col("l_receiptdate"), Col("l_commitdate")),
-                  "q21/late");
-  std::vector<Agg> dummy2;
-  dummy2.push_back({"count", nullptr, "dummy"});
-  HashAggOperator late_pairs(e, std::move(late),
-                             {{"l_orderkey", 36}, {"l_suppkey", 24}},
-                             {"l_orderkey"}, std::move(dummy2),
-                             "q21/late_pairs");
-  auto late_tbl = RunToTable(e, late_pairs);
-  std::vector<Agg> c2;
-  c2.push_back({"count", nullptr, "n_late_supp"});
-  HashAggOperator late_per_order(e, Scan(e, late_tbl.get(),
-                                         {"l_orderkey"}),
-                                 {{"l_orderkey", 36}}, {"l_orderkey"},
-                                 std::move(c2), "q21/late_per_order");
-  auto n_late = RunToTable(e, late_per_order);
-
-  // l1: late lines of SAUDI ARABIA suppliers on F-status orders.
-  auto saudi = SupplierOfNation(e, d, "SAUDI ARABIA",
-                                {"s_suppkey", "s_name", "s_nationkey"},
-                                "q21");
-  auto late2 = Sel(e, Scan(e, d.lineitem,
-                           {"l_orderkey", "l_suppkey", "l_commitdate",
-                            "l_receiptdate"}),
-                   Gt(Col("l_receiptdate"), Col("l_commitdate")),
-                   "q21/late2");
-  HashJoinSpec sj;
-  sj.build_key = "s_suppkey";
-  sj.probe_key = "l_suppkey";
-  sj.build_outputs = {{"s_name", "s_name"}};
-  sj.probe_outputs = {"l_orderkey", "l_suppkey"};
-  sj.use_bloom = true;
-  auto l1 = Join(e, std::move(saudi), std::move(late2), sj,
-                 "q21/saudi_join");
-
-  auto orders_f = Sel(e, Scan(e, d.orders, {"o_orderkey",
-                                            "o_orderstatus_code"}),
-                      Eq(Col("o_orderstatus_code"), Lit(i64{0})),
-                      "q21/orders_f");
-  HashJoinSpec ofj;
-  ofj.build_key = "o_orderkey";
-  ofj.probe_key = "l_orderkey";
-  ofj.kind = HashJoinSpec::Kind::kSemi;
-  auto l2 = Join(e, std::move(orders_f), std::move(l1), ofj,
-                 "q21/status_semi");
-
-  // exists other supplier: n_supp >= 2.
-  auto multi = Sel(e, Scan(e, n_supp.get()),
-                   Ge(Col("n_supp"), Lit(i64{2})), "q21/multi");
-  HashJoinSpec mj;
-  mj.build_key = "l_orderkey";
-  mj.probe_key = "l_orderkey";
-  mj.kind = HashJoinSpec::Kind::kSemi;
-  auto l3 = Join(e, std::move(multi), std::move(l2), mj,
-                 "q21/exists_semi");
-
-  // not exists other late supplier: n_late_supp == 1.
-  auto single_late = Sel(e, Scan(e, n_late.get()),
-                         Eq(Col("n_late_supp"), Lit(i64{1})),
-                         "q21/single_late");
-  HashJoinSpec lj;
-  lj.build_key = "l_orderkey";
-  lj.probe_key = "l_orderkey";
-  lj.kind = HashJoinSpec::Kind::kSemi;
-  auto l4 = Join(e, std::move(single_late), std::move(l3), lj,
-                 "q21/notexists_semi");
-
-  std::vector<Agg> fa;
-  fa.push_back({"count", nullptr, "numwait"});
-  auto agg = std::make_unique<HashAggOperator>(
-      e, std::move(l4), std::vector<GK>{{"l_suppkey", 24}},
-      std::vector<std::string>{"s_name"}, std::move(fa), "q21/agg");
-  SortOperator sort(e, std::move(agg),
-                    {{"numwait", true}, {"s_name", false}}, 100);
-  return e->Run(sort);
-}
-
-// =====================================================================
-// Q22: Global sales opportunity — as a plan: the average positive
-// balance is a scalar subquery, the country code a substring value
-// expression over c_phone (tpch/plans.cc).
-// =====================================================================
-RunResult Q22(Engine* e, const TpchData& d) {
-  return RunPlan(e, Q22Plan(d));
 }
 
 }  // namespace
@@ -778,40 +77,17 @@ const char* QueryName(int q) {
 namespace {
 
 RunResult DispatchQuery(Engine* e, const TpchData& d, int q) {
-  switch (q) {
-    case 1: return Q1(e, d);
-    case 2: return Q2(e, d);
-    case 3: return Q3(e, d);
-    case 4: return Q4(e, d);
-    case 5: return Q5(e, d);
-    case 6: return Q6(e, d);
-    case 7: return Q7(e, d);
-    case 8: return Q8(e, d);
-    case 9: return Q9(e, d);
-    case 10: return Q10(e, d);
-    case 11: return Q11(e, d);
-    case 12: return Q12(e, d);
-    case 13: return Q13(e, d);
-    case 14: return Q14(e, d);
-    case 15: return Q15(e, d);
-    case 16: return Q16(e, d);
-    case 17: return Q17(e, d);
-    case 18: return Q18(e, d);
-    case 19: return Q19(e, d);
-    case 20: return Q20(e, d);
-    case 21: return Q21(e, d);
-    case 22: return Q22(e, d);
-    default:
-      MA_CHECK(false);
-      return RunResult{};
-  }
+  MA_CHECK(q >= 1 && q <= kNumQueries);
+  if (q == 14) return Q14(e, d);
+  return RunPlan(e, PlanForQuery(d, q));
 }
 
 }  // namespace
 
 RunResult RunQuery(Engine* e, const TpchData& d, int q) {
-  // Multi-stage queries run several plans; per-query time and the
-  // primitive-cycle total must cover all of them, so measure around the
+  // Per-query time and the primitive-cycle total must cover the whole
+  // compilation + execution (including scalar subqueries and shared
+  // subplans the serial compiler runs eagerly), so measure around the
   // whole query here rather than relying on the last stage's RunResult.
   const u64 prim0 = e->TotalPrimitiveCycles();
   const u64 t0 = CycleClock::Now();

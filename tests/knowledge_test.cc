@@ -384,6 +384,85 @@ TEST(PlanCacheTest, EqualPlansHitLiteralAndTableChangesMiss) {
   EXPECT_EQ(ExactFingerprint(*r.table), serial_fp);
 }
 
+TEST(PlanCacheTest, DagPlansKeyOnSharedSubplanIdentity) {
+  auto t = MakeNumbersTable(8 * 1024);
+  PlanCache cache;
+
+  // The same subtree consumed twice, two ways: bound once and
+  // referenced twice (a true DAG), or simply built twice inline.
+  // Executors unify both onto one materialization, but the PLANS are
+  // different — BindShared pins one evaluation; inline duplicates stay
+  // two subtrees a future compiler could diverge — so the canonical
+  // encodings (and cache entries) must differ.
+  auto filtered = [&t]() {
+    PlanBuilder b = PlanBuilder::Scan(t.get(), {"a", "g", "x"});
+    b.Filter(Lt(Col("a"), Lit(static_cast<i64>(500))));
+    return b;
+  };
+  auto count_per_g = [](PlanBuilder b) {
+    std::vector<HashAggOperator::AggSpec> aggs;
+    HashAggOperator::AggSpec cnt;
+    cnt.fn = "count";
+    cnt.out_name = "cnt";
+    aggs.push_back(std::move(cnt));
+    b.GroupBy({{"g", 8}}, {"g"}, std::move(aggs));
+    return b;
+  };
+  auto join_back = [](PlanBuilder probe, PlanBuilder build) {
+    HashJoinSpec j;
+    j.build_key = "g";
+    j.probe_key = "g";
+    j.build_outputs = {{"cnt", "cnt"}};
+    j.probe_outputs = {"a", "g", "x"};
+    probe.HashJoin(std::move(build), j);
+    probe.Sort({{"a", false}, {"g", false}, {"cnt", false}});
+    return probe.Build();
+  };
+
+  auto dag_plan = [&]() {
+    const plan::SharedSubplan shared =
+        PlanBuilder::BindShared("kt_shared", filtered());
+    return join_back(PlanBuilder::SharedRef(shared),
+                     count_per_g(PlanBuilder::SharedRef(shared)));
+  };
+  const LogicalPlan dag = dag_plan();
+  const LogicalPlan inline_dup = join_back(filtered(),
+                                           count_per_g(filtered()));
+  ASSERT_TRUE(dag.ok()) << dag.status.ToString();
+  ASSERT_TRUE(inline_dup.ok()) << inline_dup.status.ToString();
+
+  auto e_dag = cache.GetOrCompile(dag);
+  ASSERT_NE(e_dag, nullptr);
+  auto e_dup = cache.GetOrCompile(inline_dup);
+  ASSERT_NE(e_dup, nullptr);
+  EXPECT_NE(e_dag.get(), e_dup.get());
+  EXPECT_NE(plan::FingerprintPlan(dag).canon,
+            plan::FingerprintPlan(inline_dup).canon);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Rebuilding the DAG plan — a FRESH SharedSpec object, same name and
+  // structure — hits the first entry: sharing is keyed canonically,
+  // not on spec pointer identity.
+  auto e_again = cache.GetOrCompile(dag_plan());
+  EXPECT_EQ(e_again.get(), e_dag.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Both cached compilations execute to the same bytes as their serial
+  // baselines (the results themselves agree — only the keys differ).
+  const u64 serial_fp = SerialFingerprint(dag);
+  QuerySession session;
+  const RunResult r1 = session.Run(e_dag->plan, plan::ExecMode::kParallel,
+                                   nullptr, &e_dag->stages);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(ExactFingerprint(*r1.table), serial_fp);
+  const RunResult r2 = session.Run(e_dup->plan, plan::ExecMode::kParallel,
+                                   nullptr, &e_dup->stages);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(ExactFingerprint(*r2.table), serial_fp);
+}
+
 TEST(PlanCacheTest, SchemaChangeChangesFingerprint) {
   auto t = MakeNumbersTable(1024);
   const LogicalPlan p = AggPlan(t.get());

@@ -743,6 +743,136 @@ TEST(PlanFragmentTest, AutoRoutesByDrivingTableSize) {
 }
 
 // ---------------------------------------------------------------------
+// Shared-subplan CSE: structural asserts on the stage DAG.
+// ---------------------------------------------------------------------
+
+/// The duplicated subtree all CSE tests use: filter over a scan, with a
+/// tweakable literal and table so near-miss variants differ in exactly
+/// one leaf.
+PlanBuilder FilteredScan(const Table* t, i64 threshold) {
+  PlanBuilder b = PlanBuilder::Scan(t, {"a", "g", "x"});
+  b.Filter(Lt(Col("a"), Lit(threshold)));
+  return b;
+}
+
+/// Joins a per-group count of `build` back against `probe` — the
+/// consumer shape sitting on top of the (maybe shared) subtrees.
+LogicalPlan JoinCountsAgainst(PlanBuilder probe, PlanBuilder build) {
+  std::vector<HashAggOperator::AggSpec> aggs;
+  HashAggOperator::AggSpec cnt;
+  cnt.fn = "count";
+  cnt.out_name = "cnt";
+  aggs.push_back(std::move(cnt));
+  build.GroupBy({{"g", 4}}, {"g"}, std::move(aggs));
+
+  HashJoinSpec j;
+  j.build_key = "g";
+  j.probe_key = "g";
+  j.build_outputs = {{"cnt", "cnt"}};
+  j.probe_outputs = {"a", "g", "x"};
+  probe.HashJoin(std::move(build), j);
+  return probe.Build();
+}
+
+size_t CountBaseScanStages(const StagePlan& sp) {
+  size_t n = 0;
+  for (const Stage& s : sp.stages) {
+    if (s.input.scan != nullptr) ++n;
+  }
+  return n;
+}
+
+size_t CountReaders(const StagePlan& sp, int stage_id) {
+  size_t n = 0;
+  for (const Stage& s : sp.stages) {
+    if (s.input.from_stage() && s.input.stage == stage_id) ++n;
+    if (s.right.from_stage() && s.right.stage == stage_id) ++n;
+  }
+  return n;
+}
+
+TEST(PlanCseTest, DuplicateSubtreeMaterializesOnceWithTwoReaders) {
+  auto t = MakeNumbersTable(4096);
+  const LogicalPlan plan =
+      JoinCountsAgainst(FilteredScan(t.get(), 500),
+                        FilteredScan(t.get(), 500));
+  ASSERT_TRUE(plan.ok()) << plan.status.message();
+
+  StagePlan sp;
+  ASSERT_TRUE(Compiler::BuildStagePlan(plan, &sp).ok());
+
+  // One materializing stage runs the duplicated filter+scan; the
+  // aggregate and the final probe pipeline both read its output, so
+  // the base table is scanned by exactly one stage.
+  ASSERT_EQ(sp.stages.size(), 4u) << sp.Describe();
+  EXPECT_EQ(CountBaseScanStages(sp), 1u) << sp.Describe();
+  const Stage& shared = sp.stages[0];
+  EXPECT_TRUE(shared.materialize);
+  ASSERT_NE(shared.input.scan, nullptr);
+  EXPECT_EQ(shared.input.scan->table, t.get());
+  EXPECT_EQ(CountReaders(sp, shared.id), 2u) << sp.Describe();
+
+  // The merged DAG still produces the right bytes everywhere.
+  ExpectParity(plan, /*morsel_size=*/512);
+}
+
+TEST(PlanCseTest, ExplicitBindSharedLandsOnOneStage) {
+  auto t = MakeNumbersTable(4096);
+  const SharedSubplan shared =
+      PlanBuilder::BindShared("cse_base", FilteredScan(t.get(), 500));
+  ASSERT_TRUE(shared.ok()) << shared.status().message();
+  const LogicalPlan plan =
+      JoinCountsAgainst(PlanBuilder::SharedRef(shared, "probe_ref"),
+                        PlanBuilder::SharedRef(shared, "build_ref"));
+  ASSERT_TRUE(plan.ok()) << plan.status.message();
+
+  StagePlan sp;
+  ASSERT_TRUE(Compiler::BuildStagePlan(plan, &sp).ok());
+  ASSERT_EQ(sp.stages.size(), 4u) << sp.Describe();
+  EXPECT_EQ(CountBaseScanStages(sp), 1u) << sp.Describe();
+  EXPECT_EQ(CountReaders(sp, sp.stages[0].id), 2u) << sp.Describe();
+
+  ExpectParity(plan, /*morsel_size=*/512);
+}
+
+TEST(PlanCseTest, NearMissLiteralIsNotMerged) {
+  auto t = MakeNumbersTable(4096);
+  // Identical shape, but the filter literals differ by one: the canon
+  // encodings differ, so both subtrees keep their own base-table scan.
+  const LogicalPlan plan =
+      JoinCountsAgainst(FilteredScan(t.get(), 500),
+                        FilteredScan(t.get(), 501));
+  ASSERT_TRUE(plan.ok()) << plan.status.message();
+
+  StagePlan sp;
+  ASSERT_TRUE(Compiler::BuildStagePlan(plan, &sp).ok());
+  EXPECT_EQ(sp.stages.size(), 3u) << sp.Describe();
+  EXPECT_EQ(CountBaseScanStages(sp), 2u) << sp.Describe();
+
+  ExpectParity(plan, /*morsel_size=*/512);
+}
+
+TEST(PlanCseTest, NearMissTableIsNotMerged) {
+  // Same shape, same literal, equal CONTENTS — but two distinct table
+  // objects. Identity of the scanned table is part of the subtree
+  // canon (scanning a different table is a different computation), so
+  // no merge happens.
+  auto t1 = MakeNumbersTable(4096);
+  auto t2 = MakeNumbersTable(4096);
+  const LogicalPlan plan =
+      JoinCountsAgainst(FilteredScan(t1.get(), 500),
+                        FilteredScan(t2.get(), 500));
+  ASSERT_TRUE(plan.ok()) << plan.status.message();
+
+  StagePlan sp;
+  ASSERT_TRUE(Compiler::BuildStagePlan(plan, &sp).ok());
+  EXPECT_EQ(sp.stages.size(), 3u) << sp.Describe();
+  EXPECT_EQ(CountBaseScanStages(sp), 2u) << sp.Describe();
+
+  ExpectParity(plan, /*morsel_size=*/512);
+}
+
+// ---------------------------------------------------------------------
 // TPC-H acceptance: Q1 and Q6, one plan, every executor, same bytes.
 // ---------------------------------------------------------------------
 

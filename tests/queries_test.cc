@@ -7,10 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 
+#include "knowledge/plan_cache.h"
 #include "plan/query_session.h"
 #include "table_fingerprint.h"
+#include "tpch_golden_fingerprints.h"
 #include "tpch/plans.h"
 #include "tpch/queries.h"
 #include "tpch/text_pool.h"
@@ -212,8 +216,44 @@ void ExpectStagedParity(const plan::LogicalPlan& plan, const char* what) {
   }
 }
 
+TEST_F(StagedQueriesTest, Q1ByteIdenticalStaged) {
+  ExpectStagedParity(Q1Plan(*data_), "Q1");
+}
+
 TEST_F(StagedQueriesTest, Q2ByteIdenticalStaged) {
   ExpectStagedParity(Q2Plan(*data_), "Q2");
+}
+
+TEST_F(StagedQueriesTest, Q6ByteIdenticalStaged) {
+  ExpectStagedParity(Q6Plan(*data_), "Q6");
+}
+
+TEST_F(StagedQueriesTest, Q8ByteIdenticalStaged) {
+  ExpectStagedParity(Q8Plan(*data_), "Q8");
+}
+
+TEST_F(StagedQueriesTest, Q9ByteIdenticalStaged) {
+  ExpectStagedParity(Q9Plan(*data_), "Q9");
+}
+
+TEST_F(StagedQueriesTest, Q16ByteIdenticalStaged) {
+  ExpectStagedParity(Q16Plan(*data_), "Q16");
+}
+
+TEST_F(StagedQueriesTest, Q18ByteIdenticalStaged) {
+  ExpectStagedParity(Q18Plan(*data_), "Q18");
+}
+
+TEST_F(StagedQueriesTest, Q19ByteIdenticalStaged) {
+  ExpectStagedParity(Q19Plan(*data_), "Q19");
+}
+
+TEST_F(StagedQueriesTest, Q20ByteIdenticalStaged) {
+  ExpectStagedParity(Q20Plan(*data_), "Q20");
+}
+
+TEST_F(StagedQueriesTest, Q21ByteIdenticalStaged) {
+  ExpectStagedParity(Q21Plan(*data_), "Q21");
 }
 
 TEST_F(StagedQueriesTest, Q3ByteIdenticalStaged) {
@@ -262,6 +302,83 @@ TEST_F(StagedQueriesTest, Q17ByteIdenticalStaged) {
 
 TEST_F(StagedQueriesTest, Q22ByteIdenticalStaged) {
   ExpectStagedParity(Q22Plan(*data_), "Q22");
+}
+
+// --- golden fingerprints: results pinned against a checked-in table ---
+//
+// StagedQueriesTest proves serial and staged agree with *each other*;
+// these tests pin both against kGoldenFingerprints
+// (tpch_golden_fingerprints.h), so a change that breaks serial and
+// staged identically — an expression rewrite, a dbgen tweak, a plan
+// reshape — still fails until the goldens are regenerated on purpose.
+
+class GoldenFingerprints : public QueriesTest {};
+
+/// Fingerprint of query `q` under one execution leg. threads == 0 means
+/// serial; otherwise staged-parallel, optionally with a precompiled
+/// StagePlan (the plan-cache-warm leg).
+u64 GoldenFingerprint(const TpchData& d, int q, int threads,
+                      const plan::StagePlan* staged = nullptr) {
+  const plan::LogicalPlan plan = PlanForQuery(d, q);
+  EXPECT_TRUE(plan.ok()) << "Q" << q << ": " << plan.status.message();
+  plan::SessionConfig cfg;
+  if (threads > 0) {
+    cfg.parallel.num_threads = threads;
+    cfg.parallel.morsel_size = 4096;
+  }
+  plan::QuerySession session{cfg};
+  const RunResult r = session.Run(
+      plan, threads > 0 ? plan::ExecMode::kParallel : plan::ExecMode::kSerial,
+      nullptr, staged);
+  EXPECT_TRUE(r.status.ok()) << "Q" << q << ": " << r.status.message();
+  if (r.table == nullptr) return 0;
+  return ExactFingerprint(*r.table);
+}
+
+TEST_F(GoldenFingerprints, SerialMatchesGolden) {
+  if (std::getenv("MA_REGEN_GOLDEN") != nullptr) {
+    // Regeneration mode: print the table to paste into
+    // tpch_golden_fingerprints.h instead of asserting.
+    for (int q = 1; q <= kNumQueries; ++q) {
+      std::printf(
+          "    0x%016llxull,  // Q%d\n",
+          static_cast<unsigned long long>(GoldenFingerprint(*data_, q, 0)),
+          q);
+    }
+    return;
+  }
+  for (int q = 1; q <= kNumQueries; ++q) {
+    EXPECT_EQ(GoldenFingerprint(*data_, q, 0), kGoldenFingerprints[q])
+        << "Q" << q << " serial result drifted from golden";
+  }
+}
+
+TEST_F(GoldenFingerprints, StagedMatchesGolden) {
+  for (const int threads : {1, 2, 4}) {
+    for (int q = 1; q <= kNumQueries; ++q) {
+      EXPECT_EQ(GoldenFingerprint(*data_, q, threads), kGoldenFingerprints[q])
+          << "Q" << q << " staged result drifted from golden at "
+          << threads << " threads";
+    }
+  }
+}
+
+TEST_F(GoldenFingerprints, PlanCacheWarmMatchesGolden) {
+  // A warm plan-cache hit hands the session a StagePlan compiled from
+  // the *cached* plan clone; executing it must still reproduce the
+  // goldens bit for bit.
+  knowledge::PlanCache cache;
+  for (int q = 1; q <= kNumQueries; ++q) {
+    auto cold = cache.GetOrCompile(PlanForQuery(*data_, q));
+    ASSERT_NE(cold, nullptr) << "Q" << q << " did not cache";
+    auto warm = cache.GetOrCompile(PlanForQuery(*data_, q));
+    ASSERT_EQ(warm.get(), cold.get()) << "Q" << q << " missed on rerun";
+    EXPECT_EQ(GoldenFingerprint(*data_, q, 2, &warm->stages),
+              kGoldenFingerprints[q])
+        << "Q" << q << " plan-cache-warm result drifted from golden";
+  }
+  EXPECT_EQ(cache.hits(), static_cast<u64>(kNumQueries));
+  EXPECT_EQ(cache.misses(), static_cast<u64>(kNumQueries));
 }
 
 // --- every query, every mode, identical results ---

@@ -1,0 +1,53 @@
+// Golden result fingerprints of all 22 TPC-H queries at SF 0.01.
+//
+// Each value is ExactFingerprint (storage/table_fingerprint.h) of the
+// query's result table — row order, column names/types and the exact
+// bit pattern of every f64 cell included — on the deterministic dbgen
+// data (TpchConfig defaults: seed 19940401, scale_factor overridden to
+// 0.01 by the fixture). The GoldenFingerprints suite in queries_test.cc
+// asserts that serial execution, staged execution at 1/2/4 threads, and
+// a plan-cache-warm staged run all reproduce these exact values, so any
+// change to expression evaluation, aggregation, join order sensitivity
+// or plan shape shows up as a diff here rather than as a silent drift.
+//
+// Regenerating after an INTENTIONAL result change:
+//   MA_REGEN_GOLDEN=1 ./queries_test \
+//       --gtest_filter='GoldenFingerprints*Serial*'
+// prints this table; paste it below and re-run the suite.
+#ifndef MA_TESTS_TPCH_GOLDEN_FINGERPRINTS_H_
+#define MA_TESTS_TPCH_GOLDEN_FINGERPRINTS_H_
+
+#include "storage/table.h"
+
+namespace ma::tpch {
+
+/// Index 0 unused; [q] is query q's golden fingerprint.
+inline constexpr u64 kGoldenFingerprints[23] = {
+    0x0000000000000000ull,  // (unused)
+    0xd8c38373e6b6b86dull,  // Q1
+    0x24ba45a1c66b74deull,  // Q2
+    0x78e5114742ad702aull,  // Q3
+    0xfb425a66a66dddedull,  // Q4
+    0xc73c0670edee0183ull,  // Q5
+    0xc44c00e6a0f9bd07ull,  // Q6
+    0x0fbc94b1ea046695ull,  // Q7
+    0x87dfdd68d9abdf32ull,  // Q8
+    0x4f995e16d5ef7b14ull,  // Q9
+    0x019e9acce6cd78beull,  // Q10
+    0xf70e4357137dd513ull,  // Q11
+    0xae23c06324c95d1eull,  // Q12
+    0x400900e543cf527full,  // Q13
+    0x0f72324496cf373cull,  // Q14
+    0x2067e37705b12650ull,  // Q15
+    0x8b8e59c790250f11ull,  // Q16
+    0xab0da36450e56ce4ull,  // Q17
+    0x3d7b84b59982126aull,  // Q18
+    0x3f0a76865b4de437ull,  // Q19
+    0x867d852309c66a57ull,  // Q20
+    0x2977088ec4d308e8ull,  // Q21
+    0x44e25369273cde9full,  // Q22
+};
+
+}  // namespace ma::tpch
+
+#endif  // MA_TESTS_TPCH_GOLDEN_FINGERPRINTS_H_
